@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation: kernel-launch overhead sensitivity. The paper attributes
+ * NvB's stall profile (>90% "functional done") to its many short
+ * kernels; this ablation sweeps the modeled host-launch setup cost to
+ * show which applications are launch-bound (NvB, NW, STAR — the
+ * multi-launch pipelines) and which are compute-bound.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, Cycles>> &
+overheads()
+{
+    static const std::vector<std::pair<std::string, Cycles>> values{
+        {"0", 0}, {"1250", 1250}, {"2500", 2500}, {"5000", 5000},
+        {"10000", 10000}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, cycles] : overheads()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.kernelLaunchOverhead = cycles;
+        bench::addSuite(collector, label, cfg,
+                        /*include_cdp=*/false);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, cycles] : overheads())
+        headers.push_back(label + "cy");
+    core::Table table(headers);
+    for (const auto &app : core::appNames()) {
+        const auto *base = collector.find("2500", app);
+        if (!base)
+            continue;
+        std::vector<std::string> row{app};
+        for (const auto &[label, cycles] : overheads()) {
+            const auto *record = collector.find(label, app);
+            row.push_back(record
+                              ? core::Table::num(
+                                    core::speedupVs(*base, *record), 3)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Ablation: speedup vs host kernel-launch overhead "
+        "(2500-cycle baseline)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: host-device (PCIe) bandwidth sensitivity of end-to-end
+ * application time. Fig 4 shows the GASAL2 family is PCI-transaction
+ * heavy; this ablation quantifies how much total time (kernels + PCI)
+ * each application loses when the link slows down, and how little when
+ * it speeds up.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, double>> &
+bandwidths()
+{
+    static const std::vector<std::pair<std::string, double>> values{
+        {"2GB/s", 2.0}, {"8GB/s", 8.0}, {"32GB/s", 32.0}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, gbs] : bandwidths()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.pci.bandwidthGBs = gbs;
+        bench::addSuite(collector, label, cfg,
+                        /*include_cdp=*/false);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, gbs] : bandwidths())
+        headers.push_back(label);
+    headers.push_back("PCI share @8GB/s");
+    core::Table table(headers);
+    for (const auto &app : core::appNames()) {
+        const auto *base = collector.find("8GB/s", app);
+        if (!base)
+            continue;
+        std::vector<std::string> row{app};
+        for (const auto &[label, gbs] : bandwidths()) {
+            const auto *record = collector.find(label, app);
+            // End-to-end (kernels + PCI) speedup vs the 8GB/s baseline.
+            row.push_back(record
+                              ? core::Table::num(
+                                    double(base->totalCycles) /
+                                        double(record->totalCycles),
+                                    3)
+                              : "-");
+        }
+        row.push_back(core::Table::percent(
+            double(base->profiledPciCycles) /
+            double(base->totalCycles)));
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Ablation: end-to-end speedup vs PCIe bandwidth "
+        "(8GB/s baseline)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

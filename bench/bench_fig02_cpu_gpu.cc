@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 2: CPU vs GPU vs GPU-CDP performance for SW, NW, and STAR.
+ * CPU time is the wall clock of the reference implementation; GPU
+ * time is simulated cycles at the 1.5 GHz core clock. All values are
+ * normalized to the CPU (CPU = 1; higher speedup = shorter bar in the
+ * paper).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    const core::RunConfig cfg = bench::baseConfig();
+    for (const std::string app : {"SW", "NW", "STAR"}) {
+        bench::addRun(collector, "fig2", app, false, cfg);
+        bench::addRun(collector, "fig2", app, true, cfg);
+    }
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "CPU (s)", "GPU (s)", "GPU-CDP (s)",
+                       "GPU speedup", "CDP speedup",
+                       "CDP vs GPU"});
+    for (const std::string app : {"SW", "NW", "STAR"}) {
+        const auto *gpu = collector.find("fig2", app);
+        const auto *cdp = collector.find("fig2", app + "-CDP");
+        if (!gpu || !cdp)
+            continue;
+        const double cpu_s = gpu->cpuSeconds;
+        table.addRow({app, core::Table::num(cpu_s, 4),
+                      core::Table::num(gpu->gpuSeconds, 4),
+                      core::Table::num(cdp->gpuSeconds, 4),
+                      core::Table::num(cpu_s / gpu->gpuSeconds, 1) +
+                          "x",
+                      core::Table::num(cpu_s / cdp->gpuSeconds, 1) +
+                          "x",
+                      core::Table::num(gpu->gpuSeconds /
+                                           cdp->gpuSeconds, 2) + "x"});
+    }
+    bench::emitTable(
+        "Figure 2: CPU vs GPU vs GPU-CDP (normalized to CPU)", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 3: kernel execution time of the CDP variant of every
+ * application relative to its non-CDP version (paper: up to 59%
+ * improvement, 14% on average).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig3", bench::baseConfig(), true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "non-CDP cycles", "CDP cycles",
+                       "CDP/non-CDP", "Improvement"});
+    std::vector<double> improvements;
+    for (const auto &app : core::appNames()) {
+        const auto *base = collector.find("fig3", app);
+        const auto *cdp = collector.find("fig3", app + "-CDP");
+        if (!base || !cdp)
+            continue;
+        const double rel = double(cdp->kernelCycles) /
+                           double(base->kernelCycles);
+        improvements.push_back(1.0 - rel);
+        table.addRow({app, std::to_string(base->kernelCycles),
+                      std::to_string(cdp->kernelCycles),
+                      core::Table::num(rel, 3),
+                      core::Table::percent(1.0 - rel)});
+    }
+    double sum = 0.0, best = 0.0;
+    for (double v : improvements) {
+        sum += v;
+        best = std::max(best, v);
+    }
+    table.addRow({"average", "", "", "",
+                  core::Table::percent(
+                      improvements.empty()
+                          ? 0.0 : sum / double(improvements.size()))});
+    table.addRow({"max", "", "", "", core::Table::percent(best)});
+    bench::emitTable("Figure 3: CDP vs non-CDP kernel time", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 4: (a) kernel-function invocation count vs PCI (cudaMemcpy)
+ * transaction count per application; (b) total and average time spent
+ * in kernels vs PCI transfers.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig4", bench::baseConfig(),
+                    /*include_cdp=*/false);
+}
+
+void
+printFigure()
+{
+    core::Table counts({"App", "Kernel count", "PCI count",
+                        "Kernel/PCI"});
+    core::Table times({"App", "Kernel total (ms)", "PCI total (ms)",
+                       "Kernel avg (us)", "PCI avg (us)"});
+    const double ghz = GpuConfig{}.coreClockGhz;
+    for (const auto &record : collector.at("fig4")) {
+        counts.addRow(
+            {record.app, std::to_string(record.kernelInvocations),
+             std::to_string(record.pciTransactions),
+             core::Table::num(double(record.kernelInvocations) /
+                                  double(record.pciTransactions),
+                              2)});
+        const double k_ms =
+            double(record.profiledKernelCycles) / (ghz * 1e6);
+        const double p_ms =
+            double(record.profiledPciCycles) / (ghz * 1e6);
+        times.addRow(
+            {record.app, core::Table::num(k_ms, 3),
+             core::Table::num(p_ms, 3),
+             core::Table::num(k_ms * 1000.0 /
+                                  double(record.kernelInvocations),
+                              1),
+             core::Table::num(p_ms * 1000.0 /
+                                  double(record.pciTransactions),
+                              1)});
+    }
+    bench::emitTable("Figure 4a: kernel vs PCI invocation counts",
+                     counts);
+    bench::emitTable("Figure 4b: kernel vs PCI execution time", times);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 5: pipeline-stall breakdown per application (CDP and
+ * non-CDP). The paper's headline findings: long memory latency causes
+ * up to 95% of stalls, and NvB is dominated (>90%) by "functional
+ * done" (cores waiting for the next kernel's setup).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using sim::StallReason;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig5", bench::baseConfig(), true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "MemLatency", "ControlHazard", "Sync",
+                       "DataHazard", "Structural", "FunctionalDone",
+                       "Idle"});
+    for (const auto &record : collector.at("fig5")) {
+        auto pct = [&record](StallReason reason) {
+            return core::Table::percent(
+                core::stallFraction(record, reason));
+        };
+        table.addRow({record.label(), pct(StallReason::MemLatency),
+                      pct(StallReason::ControlHazard),
+                      pct(StallReason::Sync),
+                      pct(StallReason::DataHazard),
+                      pct(StallReason::Structural),
+                      pct(StallReason::FunctionalDone),
+                      pct(StallReason::Idle)});
+    }
+    bench::emitTable("Figure 5: pipeline stall breakdown", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

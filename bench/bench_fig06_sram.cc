@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 6: utilization of the SRAM structures (register file, shared
+ * memory, constant memory) per application at full occupancy, from
+ * each kernel's declared resources — the equivalent of the paper's
+ * "-Xptxas=-v" methodology.
+ */
+
+#include "bench/common.hh"
+
+#include "sim/occupancy.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig6", bench::baseConfig(),
+                    /*include_cdp=*/false);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "Registers", "SharedMem", "ConstMem",
+                       "Limiter"});
+    const GpuConfig cfg;
+    for (const auto &record : collector.at("fig6")) {
+        const sim::Occupancy occ =
+            sim::computeOccupancy(cfg, record.primarySpec);
+        table.addRow({record.app,
+                      core::Table::percent(occ.registerUtilization),
+                      core::Table::percent(occ.sharedMemUtilization),
+                      core::Table::percent(occ.constMemUtilization),
+                      sim::toString(occ.limiter)});
+    }
+    bench::emitTable("Figure 6: SRAM structure utilization", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7: execution time with and without shared memory for the two
+ * shared-memory-heavy kernels, NW and PairHMM (paper: 1.88x and
+ * 36.92x slower without shared memory, respectively).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    core::RunConfig with = bench::baseConfig();
+    core::RunConfig without = with;
+    without.options.sharedMem = false;
+    for (const std::string app : {"NW", "PairHMM"}) {
+        bench::addRun(collector, "shared", app, false, with);
+        bench::addRun(collector, "noshared", app, false, without);
+    }
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "Shared cycles", "Global cycles",
+                       "Slowdown without shared"});
+    for (const std::string app : {"NW", "PairHMM"}) {
+        const auto *with = collector.find("shared", app);
+        const auto *without = collector.find("noshared", app);
+        if (!with || !without)
+            continue;
+        table.addRow({app, std::to_string(with->kernelCycles),
+                      std::to_string(without->kernelCycles),
+                      core::Table::num(double(without->kernelCycles) /
+                                           double(with->kernelCycles),
+                                       2) + "x"});
+    }
+    bench::emitTable(
+        "Figure 7: execution time with/without shared memory", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 8: distribution of executed instruction types per
+ * application (paper: integer >60%, then load/store, then floating
+ * point; special-function ops are rare).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using sim::OpKind;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig8", bench::baseConfig(), true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "Int", "Fp", "LoadStore", "Sfu",
+                       "Control", "Other"});
+    for (const auto &record : collector.at("fig8")) {
+        const double ld = core::insnFraction(record, OpKind::Load);
+        const double st = core::insnFraction(record, OpKind::Store);
+        const double br = core::insnFraction(record, OpKind::Branch);
+        const double intf = core::insnFraction(record, OpKind::IntAlu);
+        const double fp = core::insnFraction(record, OpKind::FpAlu);
+        const double sfu = core::insnFraction(record, OpKind::Sfu);
+        table.addRow({record.label(), core::Table::percent(intf),
+                      core::Table::percent(fp),
+                      core::Table::percent(ld + st),
+                      core::Table::percent(sfu),
+                      core::Table::percent(br),
+                      core::Table::percent(
+                          1.0 - intf - fp - ld - st - sfu - br)});
+    }
+    bench::emitTable("Figure 8: instruction-type distribution", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

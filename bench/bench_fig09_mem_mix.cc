@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 9: distribution of memory-instruction types per application
+ * (paper: GASAL2 kernels are local-dominant; NW and PairHMM are >95%
+ * shared; the rest lean on global/local).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using sim::MemSpace;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig9", bench::baseConfig(), true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "Global", "Local", "Shared", "Const",
+                       "Tex", "Param"});
+    for (const auto &record : collector.at("fig9")) {
+        auto pct = [&record](MemSpace space) {
+            return core::Table::percent(
+                core::memFraction(record, space));
+        };
+        table.addRow({record.label(), pct(MemSpace::Global),
+                      pct(MemSpace::Local), pct(MemSpace::Shared),
+                      pct(MemSpace::Const), pct(MemSpace::Tex),
+                      pct(MemSpace::Param)});
+    }
+    bench::emitTable("Figure 9: memory-instruction distribution",
+                     table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 10: warp-occupancy distribution (active lanes per issued
+ * warp, bucketed W1-4 .. W29-32) for the non-CDP and CDP variants.
+ * Headlines to reproduce: NW/GASAL2 mostly W29-32; CLUSTER dominated
+ * by W1-4; STAR around half occupancy; STAR-CDP >80% W1-4;
+ * NW-CDP at full occupancy.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig10", bench::baseConfig(), true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "W1-4", "W5-8", "W9-12", "W13-16",
+                       "W17-20", "W21-24", "W25-28", "W29-32"});
+    for (const auto &record : collector.at("fig10")) {
+        std::vector<std::string> row{record.label()};
+        for (int lo = 1; lo <= 29; lo += 4) {
+            row.push_back(core::Table::percent(
+                core::occupancyFraction(record, lo, lo + 3)));
+        }
+        table.addRow(row);
+    }
+    bench::emitTable("Figure 10: warp occupancy", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11: performance when the CTAs per core (and the matching
+ * thread/register/shared-memory budgets) scale to 25%, 50%, 150% and
+ * 200% of the baseline (paper: mostly flat; PairHMM-CDP and NvB
+ * benefit from more CTAs).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+const std::vector<std::pair<std::string, double>> &
+factors()
+{
+    static const std::vector<std::pair<std::string, double>> values{
+        {"25%", 0.25}, {"50%", 0.5}, {"100%", 1.0}, {"150%", 1.5},
+        {"200%", 2.0}};
+    return values;
+}
+
+void
+registerRuns()
+{
+    for (const auto &[label, factor] : factors()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.scaleCtaResources(factor);
+        bench::addSuite(collector, label, cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, factor] : factors())
+        headers.push_back(label);
+    core::Table table(headers);
+
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("100%", label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        for (const auto &[cfg_label, factor] : factors()) {
+            const auto *record = collector.find(cfg_label, label);
+            row.push_back(record
+                              ? core::Table::num(
+                                    core::speedupVs(*base, *record), 3)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Figure 11: speedup vs CTA/core scaling (1.0 = baseline)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

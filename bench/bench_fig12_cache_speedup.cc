@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 12: speedup across the L1/L2 capacity sweep of Table I,
+ * normalized to the baseline 128KB L1 + 4MB L2 (paper: small caches
+ * hurt; GKSW gains up to 7x non-CDP / 2.7x CDP at the largest sizes).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+std::string
+cacheLabel(std::uint32_t l1, std::uint32_t l2)
+{
+    auto kb = [](std::uint32_t bytes) {
+        return bytes >= 1024 * 1024
+            ? std::to_string(bytes >> 20) + "M"
+            : std::to_string(bytes >> 10) + "K";
+    };
+    return kb(l1) + "+" + kb(l2);
+}
+
+void
+registerRuns()
+{
+    for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.l1SizeBytes = l1;
+        cfg.system.gpu.l2SizeBytes = l2;
+        bench::addSuite(collector, cacheLabel(l1, l2), cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    const std::string base_label = cacheLabel(128u << 10, 4u << 20);
+    std::vector<std::string> headers{"App"};
+    for (auto [l1, l2] : GpuConfig::cacheSweep())
+        headers.push_back(cacheLabel(l1, l2));
+    core::Table table(headers);
+
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find(base_label, label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+            const auto *record =
+                collector.find(cacheLabel(l1, l2), label);
+            row.push_back(record
+                              ? core::Table::num(
+                                    core::speedupVs(*base, *record), 3)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Figure 12: speedup vs cache size (baseline 128K L1 + 4M L2)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

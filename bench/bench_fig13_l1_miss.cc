@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 13: L1 miss rate across the cache-capacity sweep (paper:
+ * ~30% average; SW and most GASAL2 kernels low; PairHMM and NvB very
+ * high and insensitive to capacity).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+std::string
+cacheLabel(std::uint32_t l1, std::uint32_t l2)
+{
+    auto kb = [](std::uint32_t bytes) {
+        return bytes >= 1024 * 1024
+            ? std::to_string(bytes >> 20) + "M"
+            : std::to_string(bytes >> 10) + "K";
+    };
+    return kb(l1) + "+" + kb(l2);
+}
+
+void
+registerRuns()
+{
+    for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+        if (l1 == 0)
+            continue;  // no L1 -> no L1 miss rate
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.l1SizeBytes = l1;
+        cfg.system.gpu.l2SizeBytes = l2;
+        bench::addSuite(collector, cacheLabel(l1, l2), cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+        if (l1 != 0)
+            headers.push_back(cacheLabel(l1, l2));
+    }
+    core::Table table(headers);
+
+    std::vector<double> baseline_rates;
+    for (const auto &label : bench::suiteLabels(true)) {
+        std::vector<std::string> row{label};
+        for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+            if (l1 == 0)
+                continue;
+            const auto *record =
+                collector.find(cacheLabel(l1, l2), label);
+            if (!record) {
+                row.push_back("-");
+                continue;
+            }
+            const double rate = record->stats.l1MissRate();
+            row.push_back(core::Table::percent(rate));
+            if (l1 == 128u << 10)
+                baseline_rates.push_back(rate);
+        }
+        table.addRow(row);
+    }
+    double avg = 0.0;
+    for (double r : baseline_rates)
+        avg += r;
+    if (!baseline_rates.empty())
+        avg /= double(baseline_rates.size());
+    std::vector<std::string> avg_row{"average(base)"};
+    for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+        if (l1 == 0)
+            continue;
+        avg_row.push_back(l1 == 128u << 10 ? core::Table::percent(avg)
+                                           : "");
+    }
+    table.addRow(avg_row);
+    bench::emitTable("Figure 13: L1 miss rate vs cache size", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

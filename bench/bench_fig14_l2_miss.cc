@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 14: L2 miss rate across the cache-capacity sweep (paper: NW,
+ * PairHMM, NvB stay high even with large L2; GASAL2 reaches ~95% at
+ * the smallest capacity).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+std::string
+cacheLabel(std::uint32_t l1, std::uint32_t l2)
+{
+    auto kb = [](std::uint32_t bytes) {
+        return bytes >= 1024 * 1024
+            ? std::to_string(bytes >> 20) + "M"
+            : std::to_string(bytes >> 10) + "K";
+    };
+    return kb(l1) + "+" + kb(l2);
+}
+
+void
+registerRuns()
+{
+    for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.l1SizeBytes = l1;
+        cfg.system.gpu.l2SizeBytes = l2;
+        bench::addSuite(collector, cacheLabel(l1, l2), cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (auto [l1, l2] : GpuConfig::cacheSweep())
+        headers.push_back(cacheLabel(l1, l2));
+    core::Table table(headers);
+
+    for (const auto &label : bench::suiteLabels(true)) {
+        std::vector<std::string> row{label};
+        for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+            const auto *record =
+                collector.find(cacheLabel(l1, l2), label);
+            row.push_back(record ? core::Table::percent(
+                                       record->stats.l2MissRate())
+                                 : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable("Figure 14: L2 miss rate vs cache size", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

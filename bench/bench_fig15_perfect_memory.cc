@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 15: speedup under a perfect (zero-latency) memory system
+ * (paper: ~27% average; STAR/CLUSTER flat; GG/GL ~25%; GKSW up to 5x).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "baseline", bench::baseConfig(), true);
+    core::RunConfig perfect = bench::baseConfig();
+    perfect.system.gpu.perfectMemory = true;
+    bench::addSuite(collector, "perfect", perfect, true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "Baseline cycles", "Perfect cycles",
+                       "Speedup"});
+    std::vector<double> speedups;
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("baseline", label);
+        const auto *perfect = collector.find("perfect", label);
+        if (!base || !perfect)
+            continue;
+        const double speedup = core::speedupVs(*base, *perfect);
+        speedups.push_back(speedup);
+        table.addRow({label, std::to_string(base->kernelCycles),
+                      std::to_string(perfect->kernelCycles),
+                      core::Table::num(speedup, 2) + "x"});
+    }
+    table.addRow({"geomean", "", "",
+                  core::Table::num(core::geomean(speedups), 2) + "x"});
+    bench::emitTable("Figure 15: perfect-memory speedup", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

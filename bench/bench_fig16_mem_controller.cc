@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 16: impact of the DRAM memory-controller policy (baseline
+ * FR-FCFS vs FIFO vs OoO-128; paper: FIFO up to 15% slower for
+ * GL/GKSW; OoO-128 roughly matches the baseline).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, MemSchedPolicy>> &
+policies()
+{
+    static const std::vector<std::pair<std::string, MemSchedPolicy>>
+        values{{"FR-FCFS", MemSchedPolicy::FrFcfs},
+               {"FIFO", MemSchedPolicy::Fifo},
+               {"OoO-128", MemSchedPolicy::OoO128}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, policy] : policies()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.memSched = policy;
+        bench::addSuite(collector, label, cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, policy] : policies())
+        headers.push_back(label);
+    core::Table table(headers);
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("FR-FCFS", label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        for (const auto &[cfg_label, policy] : policies()) {
+            const auto *record = collector.find(cfg_label, label);
+            row.push_back(record
+                              ? core::Table::num(
+                                    core::speedupVs(*base, *record), 3)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Figure 16: DRAM controller speedup (FR-FCFS baseline)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 17: DRAM efficiency (time moving data on the pins / time the
+ * controller had pending work) per controller policy (paper: ~40%
+ * average; NW/PairHMM/NvB at 60-80%; FIFO slightly worse).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, MemSchedPolicy>> &
+policies()
+{
+    static const std::vector<std::pair<std::string, MemSchedPolicy>>
+        values{{"FR-FCFS", MemSchedPolicy::FrFcfs},
+               {"FIFO", MemSchedPolicy::Fifo},
+               {"OoO-128", MemSchedPolicy::OoO128}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, policy] : policies()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.memSched = policy;
+        bench::addSuite(collector, label, cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, policy] : policies())
+        headers.push_back(label);
+    core::Table table(headers);
+    std::vector<double> base_values;
+    for (const auto &label : bench::suiteLabels(true)) {
+        std::vector<std::string> row{label};
+        for (const auto &[cfg_label, policy] : policies()) {
+            const auto *record = collector.find(cfg_label, label);
+            if (!record) {
+                row.push_back("-");
+                continue;
+            }
+            const double eff = record->stats.dramEfficiency();
+            row.push_back(core::Table::percent(eff));
+            if (cfg_label == "FR-FCFS")
+                base_values.push_back(eff);
+        }
+        table.addRow(row);
+    }
+    double avg = 0.0;
+    for (double v : base_values)
+        avg += v;
+    if (!base_values.empty())
+        avg /= double(base_values.size());
+    table.addRow({"average", core::Table::percent(avg), "", ""});
+    bench::emitTable("Figure 17: DRAM efficiency", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 18: DRAM utilization (data-pin busy time over total kernel
+ * time). Paper: mostly low, with GKSW and NvB (and their CDP
+ * variants) standing out as memory-intensive.
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "fig18", bench::baseConfig(), true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "DRAM utilization", "Pin-busy cycles",
+                       "Kernel cycles"});
+    for (const auto &record : collector.at("fig18")) {
+        table.addRow({record.label(),
+                      core::Table::percent(
+                          record.stats.dramUtilization()),
+                      std::to_string(record.stats.dramPinBusy),
+                      std::to_string(record.stats.gpuCycles)});
+    }
+    bench::emitTable("Figure 18: DRAM utilization", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 19: warp-scheduler sensitivity (LRR baseline vs GTO, OLD,
+ * two-level; paper: small differences overall, slight gains for
+ * NvB and PairHMM-CDP under GTO/OLD).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, WarpSchedPolicy>> &
+schedulers()
+{
+    static const std::vector<std::pair<std::string, WarpSchedPolicy>>
+        values{{"LRR", WarpSchedPolicy::Lrr},
+               {"GTO", WarpSchedPolicy::Gto},
+               {"OLD", WarpSchedPolicy::Oldest},
+               {"2LV", WarpSchedPolicy::TwoLevel}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, policy] : schedulers()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.gpu.warpSched = policy;
+        bench::addSuite(collector, label, cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, policy] : schedulers())
+        headers.push_back(label);
+    core::Table table(headers);
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("LRR", label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        for (const auto &[cfg_label, policy] : schedulers()) {
+            const auto *record = collector.find(cfg_label, label);
+            row.push_back(record
+                              ? core::Table::num(
+                                    core::speedupVs(*base, *record), 3)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Figure 19: warp-scheduler speedup (LRR baseline)", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

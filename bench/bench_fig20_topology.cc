@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 20: interconnect topology sensitivity (local crossbar
+ * baseline vs mesh, fat tree, butterfly; paper: slight losses on the
+ * alternatives; SW-CDP and NW-CDP drop sharply on the mesh).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, NocTopology>> &
+topologies()
+{
+    static const std::vector<std::pair<std::string, NocTopology>>
+        values{{"xbar", NocTopology::Xbar},
+               {"mesh", NocTopology::Mesh},
+               {"fat-tree", NocTopology::FatTree},
+               {"butterfly", NocTopology::Butterfly}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, topo] : topologies()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.noc.topology = topo;
+        bench::addSuite(collector, label, cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, topo] : topologies())
+        headers.push_back(label);
+    core::Table table(headers);
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("xbar", label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        for (const auto &[cfg_label, topo] : topologies()) {
+            const auto *record = collector.find(cfg_label, label);
+            row.push_back(record
+                              ? core::Table::num(
+                                    core::speedupVs(*base, *record), 3)
+                              : "-");
+        }
+        table.addRow(row);
+    }
+    bench::emitTable(
+        "Figure 20: topology speedup (local crossbar baseline)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

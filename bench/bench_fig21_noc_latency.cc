@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 21: router-latency sensitivity on a mesh (ideal zero-delay
+ * router baseline, then +4/+8/+16 cycles per hop; paper: average
+ * degradation of 36%/60%/78%, with the CDP variants hurting most).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+const std::vector<std::pair<std::string, Cycles>> &
+delays()
+{
+    static const std::vector<std::pair<std::string, Cycles>> values{
+        {"+0", 0}, {"+4", 4}, {"+8", 8}, {"+16", 16}};
+    return values;
+}
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    for (const auto &[label, delay] : delays()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.noc.topology = NocTopology::Mesh;
+        cfg.system.noc.routerDelay = delay;
+        bench::addSuite(collector, label, cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    for (const auto &[label, delay] : delays())
+        headers.push_back(label);
+    core::Table table(headers);
+    std::vector<std::vector<double>> degradations(delays().size());
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("+0", label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        std::size_t col = 0;
+        for (const auto &[cfg_label, delay] : delays()) {
+            const auto *record = collector.find(cfg_label, label);
+            if (record) {
+                const double speedup = core::speedupVs(*base, *record);
+                row.push_back(core::Table::num(speedup, 3));
+                degradations[col].push_back(1.0 - speedup);
+            } else {
+                row.push_back("-");
+            }
+            ++col;
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg_row{"avg degradation"};
+    for (const auto &column : degradations) {
+        double sum = 0.0;
+        for (double v : column)
+            sum += v;
+        avg_row.push_back(core::Table::percent(
+            column.empty() ? 0.0 : sum / double(column.size())));
+    }
+    table.addRow(avg_row);
+    bench::emitTable(
+        "Figure 21: mesh router-latency speedup (ideal router = 1.0)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

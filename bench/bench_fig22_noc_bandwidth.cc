@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 22: channel-bandwidth sensitivity on a mesh (flit width 40B
+ * baseline, then 32/16/8B; paper: ~10% average loss at 32B and severe
+ * degradation at 16/8B, ~34% average at 8B).
+ */
+
+#include "bench/common.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+std::string
+flitLabel(std::uint32_t flit)
+{
+    return std::to_string(flit) + "B";
+}
+
+void
+registerRuns()
+{
+    for (auto flit : NocConfig::flitSweep()) {
+        core::RunConfig cfg = bench::baseConfig();
+        cfg.system.noc.topology = NocTopology::Mesh;
+        cfg.system.noc.flitBytes = flit;
+        bench::addSuite(collector, flitLabel(flit), cfg, true);
+    }
+}
+
+void
+printFigure()
+{
+    std::vector<std::string> headers{"App"};
+    // Print widest first, matching the paper's normalization to 40B.
+    std::vector<std::uint32_t> flits = NocConfig::flitSweep();
+    std::sort(flits.rbegin(), flits.rend());
+    for (auto flit : flits)
+        headers.push_back(flitLabel(flit));
+    core::Table table(headers);
+
+    std::vector<std::vector<double>> degradations(flits.size());
+    for (const auto &label : bench::suiteLabels(true)) {
+        const auto *base = collector.find("40B", label);
+        if (!base)
+            continue;
+        std::vector<std::string> row{label};
+        for (std::size_t col = 0; col < flits.size(); ++col) {
+            const auto *record =
+                collector.find(flitLabel(flits[col]), label);
+            if (record) {
+                const double speedup = core::speedupVs(*base, *record);
+                row.push_back(core::Table::num(speedup, 3));
+                degradations[col].push_back(1.0 - speedup);
+            } else {
+                row.push_back("-");
+            }
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avg_row{"avg degradation"};
+    for (const auto &column : degradations) {
+        double sum = 0.0;
+        for (double v : column)
+            sum += v;
+        avg_row.push_back(core::Table::percent(
+            column.empty() ? 0.0 : sum / double(column.size())));
+    }
+    table.addRow(avg_row);
+    bench::emitTable(
+        "Figure 22: mesh channel-width speedup (40B flit = 1.0)",
+        table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Table I: hardware configuration settings. Prints the default
+ * (bold-in-paper) configuration and every sweep list, and validates
+ * that each sweep point forms a legal configuration.
+ */
+
+#include "bench/common.hh"
+
+#include "sim/gpu.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+void
+registerRuns()
+{
+    // Table I is static configuration; validate each sweep entry by
+    // constructing a device from it inside a benchmark.
+    benchmark::RegisterBenchmark(
+        "table1/validate_sweeps", [](benchmark::State &state) {
+            for (auto _ : state) {
+                (void)_;
+                int validated = 0;
+                for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+                    SystemConfig cfg;
+                    cfg.gpu.l1SizeBytes = l1;
+                    cfg.gpu.l2SizeBytes = l2;
+                    sim::Gpu gpu(cfg);
+                    ++validated;
+                }
+                for (auto policy :
+                     {MemSchedPolicy::FrFcfs, MemSchedPolicy::Fifo,
+                      MemSchedPolicy::OoO128}) {
+                    SystemConfig cfg;
+                    cfg.gpu.memSched = policy;
+                    sim::Gpu gpu(cfg);
+                    ++validated;
+                }
+                state.counters["configs"] = validated;
+            }
+        })
+        ->Iterations(1);
+}
+
+std::string
+joinU32(const std::vector<std::uint32_t> &values,
+        std::uint32_t bold)
+{
+    std::string out;
+    for (auto v : values) {
+        if (!out.empty())
+            out += ", ";
+        out += v == bold ? "[" + std::to_string(v) + "]"
+                         : std::to_string(v);
+    }
+    return out;
+}
+
+void
+printFigure()
+{
+    const GpuConfig def;
+    core::Table table({"Configuration", "Settings ([x] = default)"});
+    table.addRow({"Shader Cores", std::to_string(def.numCores)});
+    table.addRow({"Warp Size", std::to_string(def.warpSizeLanes)});
+    table.addRow({"Constant Cache Size / Core",
+                  std::to_string(def.constMemBytes / 1024) + "KB"});
+    table.addRow({"Texture Cache Size / Core",
+                  std::to_string(def.texCacheBytes / 1024) + "KB"});
+    table.addRow({"Number of Registers / Core",
+                  joinU32(GpuConfig::registerSweep(),
+                          def.registersPerCore)});
+    table.addRow({"Number of CTAs / Core",
+                  joinU32(GpuConfig::ctaSweep(), def.maxCtasPerCore)});
+    table.addRow({"Number of Threads / Core",
+                  joinU32(GpuConfig::threadSweep(),
+                          def.maxThreadsPerCore)});
+    table.addRow({"Shared Memory / Core (KB)",
+                  joinU32(GpuConfig::sharedMemSweepKb(),
+                          def.sharedMemPerCoreBytes / 1024)});
+    std::string caches;
+    for (auto [l1, l2] : GpuConfig::cacheSweep()) {
+        if (!caches.empty())
+            caches += ", ";
+        const bool is_def = l1 == def.l1SizeBytes &&
+                            l2 == def.l2SizeBytes;
+        const std::string entry = std::to_string(l1 / 1024) + "K/" +
+                                  std::to_string(l2 / 1024) + "K";
+        caches += is_def ? "[" + entry + "]" : entry;
+    }
+    table.addRow({"L1/L2 Cache (L1 KB / L2 KB)", caches});
+    table.addRow({"Memory Controller",
+                  "[FR-FCFS], FIFO, OoO-128"});
+    table.addRow({"Scheduler", "[LRR], GTO, OLD, 2LV"});
+    ggpu::bench::emitTable("Table I: hardware configuration settings",
+                           table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

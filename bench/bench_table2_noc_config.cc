@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table II: interconnect configuration settings. Prints the Booksim-
+ * style parameter table and validates each topology/flit-size point
+ * by constructing a network and checking route sanity.
+ */
+
+#include "bench/common.hh"
+
+#include "noc/network.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+void
+registerRuns()
+{
+    benchmark::RegisterBenchmark(
+        "table2/validate_topologies", [](benchmark::State &state) {
+            for (auto _ : state) {
+                (void)_;
+                const int nodes = 86;  // 78 cores + 8 partitions
+                std::uint64_t routes = 0;
+                for (auto topo :
+                     {NocTopology::Xbar, NocTopology::Mesh,
+                      NocTopology::FatTree, NocTopology::Butterfly}) {
+                    for (auto flit : NocConfig::flitSweep()) {
+                        NocConfig cfg;
+                        cfg.topology = topo;
+                        cfg.flitBytes = flit;
+                        noc::Network net(cfg, nodes);
+                        for (int s = 0; s < nodes; s += 7)
+                            for (int d = 0; d < nodes; d += 11)
+                                routes += std::uint64_t(
+                                    net.zeroLoadLatency(s, d, 32));
+                    }
+                }
+                state.counters["route_latency_sum"] = double(routes);
+            }
+        })
+        ->Iterations(1);
+}
+
+void
+printFigure()
+{
+    const NocConfig def;
+    core::Table table({"Configuration", "Settings ([x] = default)"});
+    table.addRow({"Topology",
+                  "[Local Xbar], Mesh, Fat Tree, Butterfly"});
+    table.addRow({"Routing Mechanism",
+                  "Dimension Order (mesh), Destination Tag "
+                  "(butterfly), Nearest Common Ancestor (fat tree)"});
+    table.addRow({"Routing delay", std::to_string(def.routerDelay)});
+    table.addRow({"Virtual channels",
+                  std::to_string(def.virtualChannels)});
+    table.addRow({"Virtual channel buffers",
+                  std::to_string(def.vcBufferFlits)});
+    std::string flits;
+    for (auto f : NocConfig::flitSweep()) {
+        if (!flits.empty())
+            flits += ", ";
+        flits += f == def.flitBytes ? "[" + std::to_string(f) + "]"
+                                    : std::to_string(f);
+    }
+    table.addRow({"Flit size (Bytes)", flits});
+    table.addRow({"Alloc iters", std::to_string(def.allocIters)});
+    table.addRow({"VC alloc delay", std::to_string(def.vcAllocDelay)});
+    table.addRow({"Input Speedup", std::to_string(def.inputSpeedup)});
+    ggpu::bench::emitTable(
+        "Table II: interconnect configuration settings", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table III: benchmark properties — input, grid and CTA dimensions of
+ * the primary kernel, shared/constant memory usage, and the computed
+ * CTAs per core (occupancy), for every application.
+ */
+
+#include "bench/common.hh"
+
+#include "sim/occupancy.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+void
+registerRuns()
+{
+    bench::addSuite(collector, "base", bench::baseConfig(),
+                    /*include_cdp=*/false);
+}
+
+std::string
+dim3Str(const Dim3 &d)
+{
+    return "(" + std::to_string(d.x) + "," + std::to_string(d.y) +
+           "," + std::to_string(d.z) + ")";
+}
+
+void
+printFigure()
+{
+    core::Table table({"Benchmark", "Input", "Grid", "CTA",
+                       "SharedMem?", "ConstMem?", "CTA/core",
+                       "Verified"});
+    const GpuConfig gpu_cfg;
+    for (const auto &record : collector.at("base")) {
+        const auto &spec = record.primarySpec;
+        const sim::Occupancy occ =
+            sim::computeOccupancy(gpu_cfg, spec);
+        table.addRow({record.app, record.detail, dim3Str(spec.grid),
+                      dim3Str(spec.cta),
+                      spec.res.usesShared() ? "YES" : "NO",
+                      spec.res.constBytes > 0 ? "YES" : "NO",
+                      std::to_string(occ.ctasPerCore),
+                      record.verified ? "yes" : "NO"});
+    }
+    bench::emitTable("Table III: benchmark properties", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN(registerRuns, printFigure)

@@ -1,0 +1,94 @@
+#include "bench/common.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/log.hh"
+
+namespace ggpu::bench
+{
+
+core::RunConfig
+baseConfig()
+{
+    core::RunConfig config;
+    config.options.scale = core::scaleFromEnv();
+    return config;
+}
+
+void
+addRun(Collector &collector, const std::string &config_label,
+       const std::string &app, bool cdp, const core::RunConfig &config)
+{
+    const std::string bench_name =
+        config_label + "/" + app + (cdp ? "-CDP" : "");
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [&collector, config_label, app, cdp,
+         config](benchmark::State &state) {
+            core::RunConfig cfg = config;
+            cfg.options.cdp = cdp;
+            for (auto _ : state) {
+                (void)_;
+                core::RunRecord record = core::runApp(app, cfg);
+                state.SetIterationTime(record.gpuSeconds);
+                state.counters["sim_cycles"] =
+                    double(record.kernelCycles);
+                state.counters["ipc"] = record.stats.ipc();
+                state.counters["verified"] =
+                    record.verified ? 1.0 : 0.0;
+                collector.add(config_label, std::move(record));
+            }
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+}
+
+void
+addSuite(Collector &collector, const std::string &config_label,
+         const core::RunConfig &config, bool include_cdp)
+{
+    for (const auto &app : core::appNames()) {
+        addRun(collector, config_label, app, false, config);
+        if (include_cdp)
+            addRun(collector, config_label, app, true, config);
+    }
+}
+
+void
+emitTable(const std::string &title, const core::Table &table)
+{
+    std::cout << "\n== " << title << " ==\n";
+    table.print(std::cout);
+    if (std::getenv("GGPU_CSV"))
+        std::cout << "[csv]\n" << table.toCsv();
+    std::cout.flush();
+}
+
+std::vector<std::string>
+suiteLabels(bool include_cdp)
+{
+    std::vector<std::string> labels;
+    for (const auto &app : core::appNames()) {
+        labels.push_back(app);
+        if (include_cdp)
+            labels.push_back(app + "-CDP");
+    }
+    return labels;
+}
+
+int
+benchMain(int argc, char **argv,
+          const std::function<void()> &register_runs,
+          const std::function<void()> &print_figure)
+{
+    benchmark::Initialize(&argc, argv);
+    register_runs();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    print_figure();
+    return 0;
+}
+
+} // namespace ggpu::bench

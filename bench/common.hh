@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared harness for the per-figure benchmark binaries. Every binary
+ * registers its (config, app) runs as google-benchmark entries whose
+ * manual time is the *simulated* GPU time; after the runs, a printer
+ * reproduces the corresponding paper table/figure as text (and CSV
+ * when GGPU_CSV is set).
+ */
+
+#ifndef GGPU_BENCH_COMMON_HH
+#define GGPU_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/suite.hh"
+
+namespace ggpu::bench
+{
+
+/** All records one binary produced, keyed by (config label, run label). */
+class Collector
+{
+  public:
+    void
+    add(const std::string &config, core::RunRecord record)
+    {
+        records_[config].push_back(std::move(record));
+    }
+
+    /** Records of one configuration, in registration order. */
+    const std::vector<core::RunRecord> &
+    at(const std::string &config) const
+    {
+        static const std::vector<core::RunRecord> empty;
+        auto it = records_.find(config);
+        return it == records_.end() ? empty : it->second;
+    }
+
+    /** Find a specific run; nullptr when missing. */
+    const core::RunRecord *
+    find(const std::string &config, const std::string &label) const
+    {
+        for (const auto &record : at(config))
+            if (record.label() == label)
+                return &record;
+        return nullptr;
+    }
+
+    bool
+    allVerified() const
+    {
+        for (const auto &[config, records] : records_)
+            for (const auto &record : records)
+                if (!record.verified)
+                    return false;
+        return true;
+    }
+
+    const std::map<std::string, std::vector<core::RunRecord>> &
+    all() const
+    {
+        return records_;
+    }
+
+  private:
+    std::map<std::string, std::vector<core::RunRecord>> records_;
+};
+
+/** Baseline system config (Table I/II bold values) + env scale. */
+core::RunConfig baseConfig();
+
+/**
+ * Register one app run as a google-benchmark entry. The run executes
+ * once; its simulated GPU seconds become the reported manual time and
+ * the record lands in @p collector under @p config_label.
+ */
+void addRun(Collector &collector, const std::string &config_label,
+            const std::string &app, bool cdp,
+            const core::RunConfig &config);
+
+/** Register the whole suite (optionally with CDP variants). */
+void addSuite(Collector &collector, const std::string &config_label,
+              const core::RunConfig &config, bool include_cdp = true);
+
+/** Print @p table, plus CSV when GGPU_CSV is set. */
+void emitTable(const std::string &title, const core::Table &table);
+
+/**
+ * Shared main: registers runs, executes them through the benchmark
+ * library, then prints the figure tables.
+ */
+int benchMain(int argc, char **argv,
+              const std::function<void()> &register_runs,
+              const std::function<void()> &print_figure);
+
+/** Standard labels for the 20 suite runs (Table III order x CDP). */
+std::vector<std::string> suiteLabels(bool include_cdp = true);
+
+} // namespace ggpu::bench
+
+#define GGPU_BENCH_MAIN(register_runs, print_figure)                    \
+    int                                                                 \
+    main(int argc, char **argv)                                         \
+    {                                                                   \
+        return ggpu::bench::benchMain(argc, argv, (register_runs),      \
+                                      (print_figure));                  \
+    }
+
+#endif // GGPU_BENCH_COMMON_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Characterization front end (a miniature Accel-Sim driver): run any
+ * of the ten benchmark applications under a chosen configuration and
+ * print the full microarchitectural report — stall breakdown,
+ * instruction and memory mixes, warp occupancy, cache miss rates,
+ * DRAM and NoC behaviour.
+ *
+ * Usage: characterize [app] [--cdp] [--scale tiny|small|medium]
+ *        [--sched lrr|gto|old|2lv] [--topo xbar|mesh|fattree|butterfly]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "common/log.hh"
+#include "core/report.hh"
+#include "core/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ggpu;
+
+    std::string app = "SW";
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value after ", arg);
+            return argv[++i];
+        };
+        if (arg == "--cdp") {
+            config.options.cdp = true;
+        } else if (arg == "--no-shared") {
+            config.options.sharedMem = false;
+        } else if (arg == "--scale") {
+            const std::string v = next();
+            config.options.scale = v == "tiny"
+                ? kernels::InputScale::Tiny
+                : v == "medium" ? kernels::InputScale::Medium
+                                : kernels::InputScale::Small;
+        } else if (arg == "--sched") {
+            const std::string v = next();
+            config.system.gpu.warpSched = v == "gto"
+                ? WarpSchedPolicy::Gto
+                : v == "old" ? WarpSchedPolicy::Oldest
+                : v == "2lv" ? WarpSchedPolicy::TwoLevel
+                             : WarpSchedPolicy::Lrr;
+        } else if (arg == "--topo") {
+            const std::string v = next();
+            config.system.noc.topology = v == "mesh"
+                ? NocTopology::Mesh
+                : v == "fattree" ? NocTopology::FatTree
+                : v == "butterfly" ? NocTopology::Butterfly
+                                   : NocTopology::Xbar;
+        } else if (arg[0] != '-') {
+            app = arg;
+        } else {
+            fatal("unknown option ", arg);
+        }
+    }
+
+    const core::RunRecord r = core::runApp(app, config);
+    std::cout << "=== " << r.label() << " (" << r.detail << ") ===\n"
+              << "verified: " << (r.verified ? "yes" : "NO") << "\n"
+              << "kernel cycles: " << r.kernelCycles << "  (IPC "
+              << core::Table::num(r.stats.ipc(), 2) << ")\n"
+              << "launches: " << r.kernelInvocations
+              << "  PCI transfers: " << r.pciTransactions << "\n\n";
+
+    core::Table stalls({"Stall reason", "Fraction"});
+    for (int s = 1; s < int(sim::StallReason::NumReasons); ++s) {
+        stalls.addRow({sim::toString(sim::StallReason(s)),
+                       core::Table::percent(core::stallFraction(
+                           r, sim::StallReason(s)))});
+    }
+    stalls.print(std::cout);
+
+    core::Table mixes({"Class", "Instructions", "Memory space",
+                       "Accesses"});
+    const char *kinds[] = {"int", "fp", "sfu", "load", "store",
+                           "branch"};
+    const sim::OpKind kind_ids[] = {
+        sim::OpKind::IntAlu, sim::OpKind::FpAlu, sim::OpKind::Sfu,
+        sim::OpKind::Load, sim::OpKind::Store, sim::OpKind::Branch};
+    const char *spaces[] = {"global", "shared", "local",
+                            "const", "tex", "param"};
+    const sim::MemSpace space_ids[] = {
+        sim::MemSpace::Global, sim::MemSpace::Shared,
+        sim::MemSpace::Local, sim::MemSpace::Const, sim::MemSpace::Tex,
+        sim::MemSpace::Param};
+    for (int i = 0; i < 6; ++i) {
+        mixes.addRow({kinds[i],
+                      core::Table::percent(
+                          core::insnFraction(r, kind_ids[i])),
+                      spaces[i],
+                      core::Table::percent(
+                          core::memFraction(r, space_ids[i]))});
+    }
+    std::cout << "\n";
+    mixes.print(std::cout);
+
+    std::cout << "\nL1 miss rate:  "
+              << core::Table::percent(r.stats.l1MissRate())
+              << "\nL2 miss rate:  "
+              << core::Table::percent(r.stats.l2MissRate())
+              << "\nDRAM efficiency: "
+              << core::Table::percent(r.stats.dramEfficiency())
+              << "\nDRAM utilization: "
+              << core::Table::percent(r.stats.dramUtilization())
+              << "\nNoC packets: " << r.stats.nocPackets
+              << " (avg latency "
+              << core::Table::num(
+                     ratio(r.stats.nocLatencySum, r.stats.nocPackets),
+                     1)
+              << " cycles)\n";
+
+    core::Table occ({"Occupancy", "Fraction"});
+    for (int lo = 1; lo <= 29; lo += 4) {
+        occ.addRow({"W" + std::to_string(lo) + "-" +
+                        std::to_string(lo + 3),
+                    core::Table::percent(
+                        core::occupancyFraction(r, lo, lo + 3))});
+    }
+    std::cout << "\n";
+    occ.print(std::cout);
+    return r.verified ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Multiple-sequence-alignment pipeline: build a mutated sequence
+ * family, run the center-star MSA on the CPU, print the alignment,
+ * and run the STAR benchmark (the CPU/GPU co-running version) on the
+ * simulated device.
+ *
+ * Build & run:  ./build/examples/msa_pipeline
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "core/report.hh"
+#include "core/suite.hh"
+#include "genomics/datagen.hh"
+#include "genomics/msa/center_star.hh"
+
+int
+main()
+{
+    using namespace ggpu;
+    Rng rng(7);
+
+    const auto family = genomics::makeFamilies(
+        rng, /*families=*/1, /*members=*/6, /*length=*/48,
+        /*divergence=*/0.08, /*length_jitter=*/0.0);
+    std::vector<std::string> seqs;
+    for (const auto &seq : family)
+        seqs.push_back(seq.data);
+
+    const genomics::MsaResult msa =
+        genomics::centerStarAlign(seqs, genomics::Scoring{});
+    std::cout << "Center sequence: index " << msa.centerIndex
+              << ", sum-of-pairs score " << msa.sumOfPairsScore
+              << "\n\nAlignment:\n";
+    for (std::size_t i = 0; i < msa.rows.size(); ++i) {
+        std::cout << (i == msa.centerIndex ? "*" : " ") << " "
+                  << msa.rows[i] << "\n";
+    }
+
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const core::RunRecord gpu = core::runApp("STAR", config);
+    config.options.cdp = true;
+    const core::RunRecord cdp = core::runApp("STAR", config);
+    std::cout << "\nSTAR on the simulated GPU: " << gpu.kernelCycles
+              << " cycles; with CUDA Dynamic Parallelism: "
+              << cdp.kernelCycles << " cycles ("
+              << core::Table::num(double(gpu.kernelCycles) /
+                                      double(cdp.kernelCycles),
+                                  2)
+              << "x, the Fig 2 effect)\n";
+    return gpu.verified && cdp.verified ? 0 : 1;
+}

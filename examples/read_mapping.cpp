@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Read-mapping pipeline: generate a synthetic reference + error-laden
+ * reads (the hg19/SRR493095 stand-in), build an FM-index, map the
+ * reads with the seed-and-extend CPU mapper, and cross-check the
+ * NvBowtie-style GPU benchmark against it.
+ *
+ * Build & run:  ./build/examples/read_mapping
+ */
+
+#include <iostream>
+
+#include "common/random.hh"
+#include "core/suite.hh"
+#include "genomics/datagen.hh"
+#include "genomics/fasta.hh"
+#include "genomics/index/fm_index.hh"
+#include "genomics/map/read_mapper.hh"
+
+int
+main()
+{
+    using namespace ggpu;
+    Rng rng(2024);
+
+    // ---- 1. Data + index ------------------------------------------
+    const auto set = genomics::makeReadSet(rng, /*ref_len=*/20000,
+                                           /*count=*/200,
+                                           /*read_len=*/72,
+                                           /*error_rate=*/0.01);
+    std::cout << "Reference: " << set.reference.size()
+              << " bp, reads: " << set.reads.size() << " x "
+              << set.reads[0].size() << " bp\n";
+    std::cout << "FASTQ head:\n"
+              << genomics::writeFastq(
+                     {set.reads.begin(), set.reads.begin() + 2});
+
+    const genomics::FmIndex index(set.reference);
+
+    // ---- 2. CPU mapping --------------------------------------------
+    const auto results =
+        genomics::mapReads(index, set.reference, set.reads);
+    std::size_t mapped = 0, correct = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        mapped += results[i].mapped;
+        correct += results[i].mapped &&
+                   results[i].position == set.truePos[i];
+    }
+    std::cout << "CPU mapper: " << mapped << "/" << results.size()
+              << " mapped, " << correct << " at the true position\n";
+
+    // ---- 3. The same pipeline as the NvB GPU benchmark -------------
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const core::RunRecord record = core::runApp("NvB", config);
+    std::cout << "GPU NvB benchmark: " << record.detail
+              << " (verified: " << (record.verified ? "yes" : "NO")
+              << ", " << record.kernelInvocations
+              << " kernel launches)\n";
+    return record.verified ? 0 : 1;
+}

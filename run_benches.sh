@@ -1,0 +1,12 @@
+#!/bin/sh
+# Run every benchmark binary, teeing per-figure output.
+set -u
+out="${1:-/root/repo/bench_output.txt}"
+: > "$out"
+for b in build/bench/bench_*; do
+    [ -x "$b" ] || continue
+    echo "==== $(basename "$b") ====" >> "$out"
+    "$b" --benchmark_min_warmup_time=0 >> "$out" 2>&1
+    echo >> "$out"
+done
+echo "ALL_BENCHES_DONE" >> "$out"

@@ -1,0 +1,164 @@
+#include "common/config.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ggpu
+{
+
+void
+GpuConfig::scaleCtaResources(double factor)
+{
+    if (factor <= 0.0)
+        fatal("CTA resource scale factor must be positive, got ", factor);
+    auto scale_u32 = [factor](std::uint32_t v) {
+        double scaled = std::round(double(v) * factor);
+        return std::uint32_t(scaled < 1.0 ? 1.0 : scaled);
+    };
+    registersPerCore = scale_u32(registersPerCore);
+    maxCtasPerCore = scale_u32(maxCtasPerCore);
+    maxThreadsPerCore = scale_u32(maxThreadsPerCore);
+    sharedMemPerCoreBytes = scale_u32(sharedMemPerCoreBytes);
+    // The warp-slot file cannot exceed the 64-entry scoreboard.
+    maxWarpsPerCore = int(std::min<std::uint32_t>(
+        64, scale_u32(std::uint32_t(maxWarpsPerCore))));
+}
+
+void
+GpuConfig::validate() const
+{
+    if (numCores <= 0)
+        fatal("GpuConfig: numCores must be positive");
+    if (warpSizeLanes != warpSize)
+        fatal("GpuConfig: only warp size 32 is supported");
+    if (lineBytes == 0 || !std::has_single_bit(lineBytes))
+        fatal("GpuConfig: cache line size must be a power of two");
+    if (l1SizeBytes != 0 && l1SizeBytes % (lineBytes * l1Assoc) != 0)
+        fatal("GpuConfig: L1 size must be a multiple of assoc * line size");
+    if (l2SizeBytes == 0)
+        fatal("GpuConfig: L2 cache cannot be disabled");
+    if (l2SizeBytes % std::uint32_t(numMemPartitions) != 0)
+        fatal("GpuConfig: L2 size must divide evenly across partitions");
+    if ((l2SizeBytes / numMemPartitions) % (lineBytes * l2Assoc) != 0)
+        fatal("GpuConfig: L2 slice size must be a multiple of assoc * line");
+    if (numMemPartitions <= 0)
+        fatal("GpuConfig: need at least one memory partition");
+    if (maxThreadsPerCore % std::uint32_t(warpSize) != 0)
+        fatal("GpuConfig: threads per core must be a multiple of warp size");
+    if (issueWidth <= 0)
+        fatal("GpuConfig: issue width must be positive");
+    if (coreClockGhz <= 0.0)
+        fatal("GpuConfig: core clock must be positive");
+    if (dramRowBytes == 0 || dramBurstBytes == 0)
+        fatal("GpuConfig: DRAM row/burst sizes must be positive");
+}
+
+const std::vector<std::uint32_t> &
+GpuConfig::registerSweep()
+{
+    static const std::vector<std::uint32_t> values{
+        16384, 32768, 65536, 131072, 262144};
+    return values;
+}
+
+const std::vector<std::uint32_t> &
+GpuConfig::ctaSweep()
+{
+    static const std::vector<std::uint32_t> values{8, 16, 32, 64, 128};
+    return values;
+}
+
+const std::vector<std::uint32_t> &
+GpuConfig::threadSweep()
+{
+    static const std::vector<std::uint32_t> values{
+        384, 768, 1536, 3072, 6144};
+    return values;
+}
+
+const std::vector<std::uint32_t> &
+GpuConfig::sharedMemSweepKb()
+{
+    static const std::vector<std::uint32_t> values{32, 64, 100, 256, 512};
+    return values;
+}
+
+const std::vector<std::pair<std::uint32_t, std::uint32_t>> &
+GpuConfig::cacheSweep()
+{
+    static const std::vector<std::pair<std::uint32_t, std::uint32_t>> values{
+        {0, 128u << 10},
+        {32u << 10, 512u << 10},
+        {128u << 10, 4u << 20},
+        {256u << 10, 8u << 20},
+        {512u << 10, 16u << 20},
+        {4u << 20, 128u << 20},
+    };
+    return values;
+}
+
+void
+NocConfig::validate() const
+{
+    if (flitBytes == 0)
+        fatal("NocConfig: flit size must be positive");
+    if (virtualChannels <= 0 || vcBufferFlits <= 0)
+        fatal("NocConfig: VC count and buffers must be positive");
+    if (allocIters <= 0 || inputSpeedup <= 0)
+        fatal("NocConfig: allocator parameters must be positive");
+}
+
+const std::vector<std::uint32_t> &
+NocConfig::flitSweep()
+{
+    static const std::vector<std::uint32_t> values{8, 16, 32, 40};
+    return values;
+}
+
+void
+SystemConfig::validate() const
+{
+    gpu.validate();
+    noc.validate();
+    if (pci.bandwidthGBs <= 0.0 || pci.latencyUs < 0.0)
+        fatal("PciConfig: invalid bandwidth/latency");
+}
+
+std::string
+toString(MemSchedPolicy policy)
+{
+    switch (policy) {
+      case MemSchedPolicy::FrFcfs: return "FR-FCFS";
+      case MemSchedPolicy::Fifo: return "FIFO";
+      case MemSchedPolicy::OoO128: return "OoO-128";
+    }
+    return "unknown";
+}
+
+std::string
+toString(WarpSchedPolicy policy)
+{
+    switch (policy) {
+      case WarpSchedPolicy::Lrr: return "LRR";
+      case WarpSchedPolicy::Gto: return "GTO";
+      case WarpSchedPolicy::Oldest: return "OLD";
+      case WarpSchedPolicy::TwoLevel: return "2LV";
+    }
+    return "unknown";
+}
+
+std::string
+toString(NocTopology topo)
+{
+    switch (topo) {
+      case NocTopology::Xbar: return "local-xbar";
+      case NocTopology::Mesh: return "mesh";
+      case NocTopology::FatTree: return "fat-tree";
+      case NocTopology::Butterfly: return "butterfly";
+    }
+    return "unknown";
+}
+
+} // namespace ggpu

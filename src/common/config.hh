@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Simulator configuration structures mirroring Tables I and II of the
+ * Genomics-GPU paper (hardware configuration and interconnect
+ * configuration). Bold values in the paper are the defaults here; the
+ * remaining values form the sweep lists used by the benchmark harness.
+ */
+
+#ifndef GGPU_COMMON_CONFIG_HH
+#define GGPU_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ggpu
+{
+
+/** DRAM memory-controller request scheduling policy (Table I / Fig 16). */
+enum class MemSchedPolicy
+{
+    FrFcfs,   //!< First-Row First-Come-First-Serve (baseline, out of order)
+    Fifo,     //!< Simple in-order FIFO
+    OoO128    //!< FR-FCFS with a 128-entry out-of-order buffer
+};
+
+/** Warp scheduler algorithm (Fig 19). */
+enum class WarpSchedPolicy
+{
+    Lrr,      //!< Loose round robin (Accel-Sim default)
+    Gto,      //!< Greedy-then-oldest
+    Oldest,   //!< Oldest-first
+    TwoLevel  //!< Two-level active/pending scheduler
+};
+
+/** Interconnect topology (Table II / Fig 20). */
+enum class NocTopology
+{
+    Xbar,      //!< Local crossbar (RTX 3070 baseline)
+    Mesh,      //!< 2-D mesh, dimension-order routing
+    FatTree,   //!< Fat tree, nearest-common-ancestor routing
+    Butterfly  //!< k-ary butterfly, destination-tag routing
+};
+
+/** Per-SM-core and chip-wide hardware configuration (Table I). */
+struct GpuConfig
+{
+    // --- Core array ----------------------------------------------------
+    int numCores = 78;              //!< Shader cores (SMs); RTX 3070 GA104
+    int warpSizeLanes = warpSize;   //!< SIMD width
+    double coreClockGhz = 1.5;      //!< Base clock used to convert cycles
+
+    // --- Per-core SRAM resources (occupancy limits) ---------------------
+    std::uint32_t registersPerCore = 65536;   //!< 32-bit registers
+    std::uint32_t maxCtasPerCore = 32;
+    std::uint32_t maxThreadsPerCore = 1536;
+    std::uint32_t sharedMemPerCoreBytes = 100 * 1024;
+    std::uint32_t constMemBytes = 64 * 1024;  //!< Constant cache per core
+    std::uint32_t texCacheBytes = 128 * 1024; //!< Texture cache per core
+
+    // --- Issue / execution ----------------------------------------------
+    int issueWidth = 2;             //!< Warp instructions issued per cycle
+    int maxWarpsPerCore = 48;       //!< 1536 threads / 32 lanes
+    Cycles intAluLatency = 4;
+    Cycles fpAluLatency = 4;
+    Cycles sfuLatency = 16;
+    Cycles sharedMemLatency = 24;
+    Cycles constMemLatency = 8;     //!< On constant-cache hit
+    Cycles branchPenalty = 2;       //!< Control-hazard bubble after branch
+
+    // --- Caches ---------------------------------------------------------
+    std::uint32_t l1SizeBytes = 128 * 1024;   //!< Per core; 0 disables L1
+    std::uint32_t l1Assoc = 256;
+    std::uint32_t l2SizeBytes = 4 * 1024 * 1024; //!< Chip-wide, sliced
+    std::uint32_t l2Assoc = 16;
+    std::uint32_t lineBytes = 128;
+    Cycles l1HitLatency = 28;
+    Cycles l2HitLatency = 120;
+
+    // --- Memory system --------------------------------------------------
+    int numMemPartitions = 8;       //!< L2 slices / DRAM channels
+    MemSchedPolicy memSched = MemSchedPolicy::FrFcfs;
+    Cycles dramRowHitLatency = 100;
+    Cycles dramRowMissLatency = 250;
+    std::uint32_t dramBanksPerChannel = 16;
+    std::uint32_t dramRowBytes = 2048;
+    std::uint32_t dramBurstBytes = 32;
+    Cycles dramBurstCycles = 2;     //!< Data-pin occupancy per burst
+    int memSchedQueueSize = 64;     //!< Request-queue entries (128 for OoO128)
+    bool perfectMemory = false;     //!< Fig 15: zero memory access latency
+
+    // --- Scheduler / kernel management -----------------------------------
+    WarpSchedPolicy warpSched = WarpSchedPolicy::Lrr;
+    Cycles kernelLaunchOverhead = 2500;  //!< Host-side launch setup cycles
+    Cycles cdpLaunchOverhead = 800;      //!< Device-side child-launch setup
+    Cycles cdpRuntimeSetup = 1500;       //!< One-time device runtime setup
+
+    /** Scale CTA/thread/register/smem limits together (Fig 11 sweep). */
+    void scaleCtaResources(double factor);
+
+    /** Throw FatalError when a field combination is unsupported. */
+    void validate() const;
+
+    /** Sweep lists straight out of Table I (non-bold entries included). */
+    static const std::vector<std::uint32_t> &registerSweep();
+    static const std::vector<std::uint32_t> &ctaSweep();
+    static const std::vector<std::uint32_t> &threadSweep();
+    static const std::vector<std::uint32_t> &sharedMemSweepKb();
+    static const std::vector<std::pair<std::uint32_t, std::uint32_t>> &
+    cacheSweep(); //!< (L1 bytes, L2 bytes) pairs used in Fig 12
+};
+
+/** Interconnection-network configuration (Table II). */
+struct NocConfig
+{
+    NocTopology topology = NocTopology::Xbar;
+    std::uint32_t flitBytes = 40;       //!< Channel width; Table II bold
+    int virtualChannels = 2;
+    int vcBufferFlits = 4;
+    Cycles routerDelay = 0;             //!< Extra per-hop pipeline delay
+    Cycles vcAllocDelay = 1;
+    int allocIters = 1;
+    int inputSpeedup = 2;
+    Cycles linkDelay = 1;               //!< Base per-hop traversal cost
+
+    void validate() const;
+
+    /** Flit-size sweep from Table II / Fig 22. */
+    static const std::vector<std::uint32_t> &flitSweep();
+};
+
+/** Host-device interconnect (PCIe) model parameters (Fig 4). */
+struct PciConfig
+{
+    double bandwidthGBs = 8.0;   //!< Effective PCIe 3.0 x16 bandwidth
+    double latencyUs = 8.0;      //!< Per-transaction fixed overhead
+};
+
+/** Full simulated-system configuration. */
+struct SystemConfig
+{
+    GpuConfig gpu;
+    NocConfig noc;
+    PciConfig pci;
+
+    void validate() const;
+};
+
+/** Human-readable names for reports. */
+std::string toString(MemSchedPolicy policy);
+std::string toString(WarpSchedPolicy policy);
+std::string toString(NocTopology topo);
+
+} // namespace ggpu
+
+#endif // GGPU_COMMON_CONFIG_HH

@@ -1,0 +1,51 @@
+#include "common/log.hh"
+
+#include <atomic>
+#include <iostream>
+
+namespace ggpu
+{
+
+namespace
+{
+
+std::atomic<bool> quietFlag{false};
+
+const char *
+prefixFor(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info: ";
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Fatal: return "fatal: ";
+      case LogLevel::Panic: return "panic: ";
+    }
+    return "";
+}
+
+} // namespace
+
+void
+logFail(LogLevel level, const std::string &msg)
+{
+    if (!quietFlag.load())
+        std::cerr << prefixFor(level) << msg << std::endl;
+    if (level == LogLevel::Panic)
+        throw PanicError(msg);
+    throw FatalError(msg);
+}
+
+void
+logNote(LogLevel level, const std::string &msg)
+{
+    if (!quietFlag.load())
+        std::cerr << prefixFor(level) << msg << std::endl;
+}
+
+void
+setLogQuiet(bool quiet)
+{
+    quietFlag.store(quiet);
+}
+
+} // namespace ggpu

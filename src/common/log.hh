@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 tradition: panic() for
+ * simulator bugs, fatal() for user errors, warn()/inform() for advisories.
+ */
+
+#ifndef GGPU_COMMON_LOG_HH
+#define GGPU_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace ggpu
+{
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a formatted message; Fatal and Panic throw (so tests can observe
+ * them) carrying the message. Panic indicates a simulator bug, Fatal a
+ * user/configuration error.
+ */
+[[noreturn]] void logFail(LogLevel level, const std::string &msg);
+void logNote(LogLevel level, const std::string &msg);
+
+/** Error thrown by fatal(): the user asked for something unsupported. */
+class FatalError : public std::exception
+{
+  public:
+    explicit FatalError(std::string msg) : msg_(std::move(msg)) {}
+    const char *what() const noexcept override { return msg_.c_str(); }
+
+  private:
+    std::string msg_;
+};
+
+/** Error thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::exception
+{
+  public:
+    explicit PanicError(std::string msg) : msg_(std::move(msg)) {}
+    const char *what() const noexcept override { return msg_.c_str(); }
+
+  private:
+    std::string msg_;
+};
+
+namespace detail
+{
+
+inline void
+streamInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    streamInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    streamInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort simulation due to an internal bug. Throws PanicError. */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logFail(LogLevel::Panic, detail::concat(args...));
+}
+
+/** Abort simulation due to a user/configuration error. Throws FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logFail(LogLevel::Fatal, detail::concat(args...));
+}
+
+/** Non-fatal advisory about questionable behaviour. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logNote(LogLevel::Warn, detail::concat(args...));
+}
+
+/** Normal operating status message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logNote(LogLevel::Inform, detail::concat(args...));
+}
+
+/** Suppress or restore warn()/inform() output (used by quiet benches). */
+void setLogQuiet(bool quiet);
+
+} // namespace ggpu
+
+#endif // GGPU_COMMON_LOG_HH

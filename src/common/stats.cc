@@ -1,0 +1,95 @@
+#include "common/stats.hh"
+
+#include "common/log.hh"
+
+namespace ggpu
+{
+
+double
+ratio(std::uint64_t num, std::uint64_t den)
+{
+    return den == 0 ? 0.0 : double(num) / double(den);
+}
+
+void
+Histogram::add(std::size_t key, std::uint64_t n)
+{
+    if (counts_.empty())
+        panic("Histogram::add on a zero-bucket histogram");
+    if (key >= counts_.size())
+        key = counts_.size() - 1;
+    counts_[key] += n;
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts_)
+        c = 0;
+}
+
+std::uint64_t
+Histogram::count(std::size_t key) const
+{
+    return key < counts_.size() ? counts_[key] : 0;
+}
+
+std::uint64_t
+Histogram::total() const
+{
+    std::uint64_t sum = 0;
+    for (auto c : counts_)
+        sum += c;
+    return sum;
+}
+
+double
+Histogram::fraction(std::size_t key) const
+{
+    return ratio(count(key), total());
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.counts_.size() != counts_.size())
+        panic("Histogram::merge with mismatched bucket counts");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    values_[name] = value;
+}
+
+void
+StatSet::add(const std::string &name, double value)
+{
+    values_[name] += value;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        panic("StatSet: unknown stat '", name, "'");
+    return it->second;
+}
+
+double
+StatSet::getOr(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+} // namespace ggpu

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Lightweight statistics primitives used by every timing component:
+ * scalar counters, ratio helpers, and bucketed histograms (for warp
+ * occupancy, stall breakdowns, instruction mixes).
+ */
+
+#ifndef GGPU_COMMON_STATS_HH
+#define GGPU_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ggpu
+{
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Safe ratio helper: returns 0 when the denominator is 0. */
+double ratio(std::uint64_t num, std::uint64_t den);
+
+/**
+ * Fixed-bucket histogram over small integer keys (e.g. warp occupancy
+ * 1..32, or enum-indexed stall reasons).
+ */
+class Histogram
+{
+  public:
+    /** @param buckets Number of buckets; keys are clamped into range. */
+    explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+    void add(std::size_t key, std::uint64_t n = 1);
+    void reset();
+
+    std::uint64_t count(std::size_t key) const;
+    std::uint64_t total() const;
+    /** Fraction of all samples in bucket @p key (0 when empty). */
+    double fraction(std::size_t key) const;
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Merge another histogram of the same shape into this one. */
+    void merge(const Histogram &other);
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+/**
+ * Named scalar collection used by the report layer: components export
+ * their counters into one of these so benches can print uniform tables.
+ */
+class StatSet
+{
+  public:
+    void set(const std::string &name, double value);
+    void add(const std::string &name, double value);
+    bool has(const std::string &name) const;
+    /** Throws PanicError when @p name was never set. */
+    double get(const std::string &name) const;
+    double getOr(const std::string &name, double fallback) const;
+
+    const std::map<std::string, double> &all() const { return values_; }
+
+  private:
+    std::map<std::string, double> values_;
+};
+
+} // namespace ggpu
+
+#endif // GGPU_COMMON_STATS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every Genomics-GPU subsystem.
+ */
+
+#ifndef GGPU_COMMON_TYPES_HH
+#define GGPU_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace ggpu
+{
+
+/** Byte address inside the simulated device (or host) address space. */
+using Addr = std::uint64_t;
+
+/** Simulation time expressed in GPU core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** 32-wide warp lane mask; bit i set means lane i is active. */
+using LaneMask = std::uint32_t;
+
+/** Number of lanes in a warp. Fixed at 32 across all NVIDIA generations. */
+inline constexpr int warpSize = 32;
+
+/** Mask with every lane of a warp active. */
+inline constexpr LaneMask fullMask = 0xffffffffu;
+
+/** Three-component launch dimension (grid or CTA), mirroring dim3. */
+struct Dim3
+{
+    std::uint32_t x = 1;
+    std::uint32_t y = 1;
+    std::uint32_t z = 1;
+
+    constexpr std::uint64_t count() const
+    {
+        return std::uint64_t(x) * y * z;
+    }
+
+    constexpr bool operator==(const Dim3 &other) const = default;
+};
+
+} // namespace ggpu
+
+#endif // GGPU_COMMON_TYPES_HH

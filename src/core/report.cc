@@ -1,0 +1,146 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ggpu::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        fatal("Table: row has ", cells.size(), " cells, expected ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(int(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    return num(fraction * 100.0, precision) + "%";
+}
+
+double
+stallFraction(const RunRecord &record, sim::StallReason reason)
+{
+    return record.stats.stalls.fraction(std::size_t(reason));
+}
+
+double
+insnFraction(const RunRecord &record, sim::OpKind kind)
+{
+    const auto &by_kind = record.stats.insnByKind;
+    std::uint64_t total = 0;
+    for (auto v : by_kind)
+        total += v;
+    return ratio(by_kind[std::size_t(kind)], total);
+}
+
+double
+memFraction(const RunRecord &record, sim::MemSpace space)
+{
+    const auto &by_space = record.stats.memBySpace;
+    std::uint64_t total = 0;
+    for (auto v : by_space)
+        total += v;
+    return ratio(by_space[std::size_t(space)], total);
+}
+
+double
+occupancyFraction(const RunRecord &record, int lo, int hi)
+{
+    const auto &hist = record.stats.warpOcc;
+    std::uint64_t in_range = 0;
+    for (int lanes = lo; lanes <= hi; ++lanes)
+        in_range += hist.count(std::size_t(lanes - 1));
+    return ratio(in_range, hist.total());
+}
+
+double
+speedupVs(const RunRecord &baseline, const RunRecord &record)
+{
+    return record.kernelCycles == 0
+        ? 0.0
+        : double(baseline.kernelCycles) / double(record.kernelCycles);
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            return 0.0;
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / double(values.size()));
+}
+
+} // namespace ggpu::core

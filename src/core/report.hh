@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reporting helpers: a fixed-width/CSV table printer and the figure
+ * extractors that turn RunRecords into exactly the series each paper
+ * figure plots.
+ */
+
+#ifndef GGPU_CORE_REPORT_HH
+#define GGPU_CORE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/suite.hh"
+
+namespace ggpu::core
+{
+
+/** Simple column-aligned table with CSV export. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+    std::string toCsv() const;
+
+    static std::string num(double value, int precision = 3);
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fraction of stall cycles attributed to @p reason (Fig 5). */
+double stallFraction(const RunRecord &record, sim::StallReason reason);
+
+/** Fraction of dynamic instructions of @p kind (Fig 8). */
+double insnFraction(const RunRecord &record, sim::OpKind kind);
+
+/** Fraction of memory instructions in @p space (Fig 9). */
+double memFraction(const RunRecord &record, sim::MemSpace space);
+
+/** Fraction of issued warps with occupancy in [lo, hi] lanes
+ *  (Fig 10 buckets, 1-based). */
+double occupancyFraction(const RunRecord &record, int lo, int hi);
+
+/** Speedup of @p record versus @p baseline by kernel cycles. */
+double speedupVs(const RunRecord &baseline, const RunRecord &record);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+} // namespace ggpu::core
+
+#endif // GGPU_CORE_REPORT_HH

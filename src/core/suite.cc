@@ -1,0 +1,108 @@
+#include "core/suite.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace ggpu::core
+{
+
+const std::vector<std::string> &
+appNames()
+{
+    static const std::vector<std::string> names{
+        "SW", "NW", "STAR", "GG", "GL", "GKSW", "GSG",
+        "CLUSTER", "PairHMM", "NvB"};
+    return names;
+}
+
+std::unique_ptr<kernels::BenchmarkApp>
+makeApp(const std::string &name)
+{
+    using genomics::AlignMode;
+    if (name == "SW")
+        return kernels::makeSwApp();
+    if (name == "NW")
+        return kernels::makeNwApp();
+    if (name == "STAR")
+        return kernels::makeStarApp();
+    if (name == "GG")
+        return kernels::makeGasalApp(AlignMode::Global);
+    if (name == "GL")
+        return kernels::makeGasalApp(AlignMode::Local);
+    if (name == "GKSW")
+        return kernels::makeGasalApp(AlignMode::KswBanded);
+    if (name == "GSG")
+        return kernels::makeGasalApp(AlignMode::SemiGlobal);
+    if (name == "CLUSTER")
+        return kernels::makeClusterApp();
+    if (name == "PairHMM")
+        return kernels::makePairHmmApp();
+    if (name == "NvB")
+        return kernels::makeNvbApp();
+    fatal("unknown benchmark application '", name, "'");
+}
+
+RunRecord
+runApp(const std::string &name, const RunConfig &config)
+{
+    rt::Device device(config.system);
+    auto app = makeApp(name);
+    const kernels::AppRunResult result =
+        app->run(device, config.options);
+
+    RunRecord record;
+    record.app = name;
+    record.cdp = config.options.cdp;
+    record.verified = result.verified;
+    record.detail = result.detail;
+    record.kernelCycles = result.kernelCycles;
+    record.totalCycles = result.totalCycles;
+    record.gpuSeconds = device.seconds(result.kernelCycles);
+    record.cpuSeconds = result.cpuReferenceSeconds;
+    record.stats = device.gpu().stats();
+    record.kernelInvocations = device.profiler().kernelInvocations();
+    record.pciTransactions = device.profiler().pciTransactions();
+    record.profiledKernelCycles = device.profiler().kernelCycles();
+    record.profiledPciCycles = device.profiler().pciCycles();
+    record.primarySpec = result.primarySpec;
+
+    if (!record.verified)
+        warn("suite: ", record.label(),
+             " failed functional verification");
+    return record;
+}
+
+std::vector<RunRecord>
+runSuite(const RunConfig &config, bool include_cdp)
+{
+    std::vector<RunRecord> records;
+    for (const std::string &name : appNames()) {
+        RunConfig cfg = config;
+        cfg.options.cdp = false;
+        records.push_back(runApp(name, cfg));
+        if (include_cdp) {
+            cfg.options.cdp = true;
+            records.push_back(runApp(name, cfg));
+        }
+    }
+    return records;
+}
+
+kernels::InputScale
+scaleFromEnv()
+{
+    const char *env = std::getenv("GGPU_SCALE");
+    if (!env)
+        return kernels::InputScale::Small;
+    const std::string value(env);
+    if (value == "tiny")
+        return kernels::InputScale::Tiny;
+    if (value == "small")
+        return kernels::InputScale::Small;
+    if (value == "medium")
+        return kernels::InputScale::Medium;
+    fatal("GGPU_SCALE must be tiny|small|medium, got '", value, "'");
+}
+
+} // namespace ggpu::core

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Genomics-GPU suite: registry of the ten benchmark applications,
+ * a run orchestrator that executes an app on a freshly configured
+ * simulated device, and the per-run record (timing + microarchitecture
+ * statistics + profiler counts) every evaluation figure draws from.
+ */
+
+#ifndef GGPU_CORE_SUITE_HH
+#define GGPU_CORE_SUITE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/app.hh"
+
+namespace ggpu::core
+{
+
+/** Table III order of the ten applications. */
+const std::vector<std::string> &appNames();
+
+/** Instantiate an application by its Table III abbreviation. */
+std::unique_ptr<kernels::BenchmarkApp> makeApp(const std::string &name);
+
+/** Everything needed to reproduce one run. */
+struct RunConfig
+{
+    SystemConfig system;
+    kernels::AppOptions options;
+};
+
+/** One application run's full outcome. */
+struct RunRecord
+{
+    std::string app;        //!< Abbreviation ("SW", ...)
+    bool cdp = false;
+    bool verified = false;
+    std::string detail;
+
+    Cycles kernelCycles = 0;
+    Cycles totalCycles = 0;
+    double gpuSeconds = 0.0;      //!< kernelCycles at the core clock
+    double cpuSeconds = 0.0;      //!< CPU reference wall time
+
+    sim::SimStats stats;          //!< Microarchitectural counters
+    std::uint64_t kernelInvocations = 0;
+    std::uint64_t pciTransactions = 0;
+    Cycles profiledKernelCycles = 0;
+    Cycles profiledPciCycles = 0;
+
+    sim::LaunchSpec primarySpec;
+
+    /** Display label ("SW" / "SW-CDP"). */
+    std::string label() const
+    {
+        return cdp ? app + "-CDP" : app;
+    }
+};
+
+/** Run one application on a fresh device built from @p config. */
+RunRecord runApp(const std::string &name, const RunConfig &config);
+
+/**
+ * Run the whole suite (optionally the CDP variant of every app too).
+ * Records appear in Table III order, non-CDP before CDP per app.
+ */
+std::vector<RunRecord> runSuite(const RunConfig &config,
+                                bool include_cdp = true);
+
+/** The scale tier named by the GGPU_SCALE env var (default Small). */
+kernels::InputScale scaleFromEnv();
+
+} // namespace ggpu::core
+
+#endif // GGPU_CORE_SUITE_HH

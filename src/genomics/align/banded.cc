@@ -1,0 +1,144 @@
+#include "genomics/align/banded.hh"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+#include "common/log.hh"
+#include "genomics/align/nw.hh"
+
+namespace ggpu::genomics
+{
+
+namespace
+{
+
+constexpr int negInf = INT_MIN / 4;
+
+} // namespace
+
+AffineResult
+alignAffine(const std::string &q, const std::string &t,
+            const Scoring &scoring, AlignMode mode, int band)
+{
+    const std::size_t n = q.size();
+    const std::size_t m = t.size();
+    const int open = scoring.gapOpen + scoring.gapExtend;
+    const int extend = scoring.gapExtend;
+    const bool local =
+        mode == AlignMode::Local || mode == AlignMode::KswBanded;
+    const bool banded = mode == AlignMode::KswBanded;
+    if (banded && band <= 0)
+        fatal("alignAffine: KswBanded needs a positive band width");
+
+    // Rolling rows of H (match) and E (gap-in-target, horizontal move
+    // consumes target) plus a full row of F (gap-in-query, vertical).
+    std::vector<int> h_prev(m + 1), h_curr(m + 1);
+    std::vector<int> f_prev(m + 1, negInf), f_curr(m + 1, negInf);
+
+    // Row 0 boundary.
+    for (std::size_t j = 0; j <= m; ++j) {
+        switch (mode) {
+          case AlignMode::Global:
+            h_prev[j] = j == 0 ? 0 : open + int(j - 1) * extend;
+            break;
+          case AlignMode::Local:
+          case AlignMode::KswBanded:
+          case AlignMode::SemiGlobal:
+            h_prev[j] = 0;  // free target prefix
+            break;
+        }
+    }
+
+    AffineResult best;
+    best.score = local ? 0 : negInf;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        int e = negInf;  // E for (i, j) carried along the row
+        switch (mode) {
+          case AlignMode::Global:
+          case AlignMode::SemiGlobal:
+            h_curr[0] = open + int(i - 1) * extend;
+            break;
+          case AlignMode::Local:
+          case AlignMode::KswBanded:
+            h_curr[0] = 0;
+            break;
+        }
+        f_curr[0] = negInf;
+
+        std::size_t jlo = 1, jhi = m;
+        if (banded) {
+            const long center = long(i);
+            jlo = std::size_t(std::max(1L, center - band));
+            jhi = std::size_t(
+                std::min(long(m), center + band));
+            if (jlo > 1)
+                h_curr[jlo - 1] = negInf;
+            for (std::size_t j = 1; j < jlo; ++j)
+                f_curr[j] = negInf;
+        }
+
+        for (std::size_t j = jlo; j <= jhi; ++j) {
+            e = std::max(h_curr[j - 1] + open, e + extend);
+            const int f =
+                std::max(h_prev[j] + open, f_prev[j] + extend);
+            f_curr[j] = f;
+            int h = h_prev[j - 1] + scoring.subst(q[i - 1], t[j - 1]);
+            h = std::max({h, e, f});
+            if (local)
+                h = std::max(h, 0);
+            h_curr[j] = h;
+
+            const bool track = local ||
+                (mode == AlignMode::SemiGlobal && i == n) ||
+                (mode == AlignMode::Global && i == n && j == m);
+            if (track && h > best.score) {
+                best.score = h;
+                best.endQ = i;
+                best.endT = j;
+            }
+        }
+        if (banded && jhi < m)
+            h_curr[jhi + 1] = negInf;
+
+        std::swap(h_prev, h_curr);
+        std::swap(f_prev, f_curr);
+    }
+
+    if (mode == AlignMode::Global) {
+        best.score = h_prev[m];
+        best.endQ = n;
+        best.endT = m;
+    }
+    return best;
+}
+
+double
+globalIdentity(const std::string &a, const std::string &b,
+               const Scoring &scoring)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    const NwAlignment aln = nwAlign(a, b, scoring);
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < aln.alignedA.size(); ++i)
+        if (aln.alignedA[i] == aln.alignedB[i])
+            ++matches;
+    return aln.alignedA.empty()
+        ? 0.0 : double(matches) / double(aln.alignedA.size());
+}
+
+std::string
+toString(AlignMode mode)
+{
+    switch (mode) {
+      case AlignMode::Global: return "global";
+      case AlignMode::Local: return "local";
+      case AlignMode::SemiGlobal: return "semi-global";
+      case AlignMode::KswBanded: return "ksw-banded";
+    }
+    return "unknown";
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Affine-gap pairwise alignment engine covering the four GASAL2
+ * kernels of the paper: global (GG), local (GL), semi-global (GSG,
+ * query end-to-end, target free), and KSW-style banded local (GKSW).
+ */
+
+#ifndef GGPU_GENOMICS_ALIGN_BANDED_HH
+#define GGPU_GENOMICS_ALIGN_BANDED_HH
+
+#include <cstddef>
+#include <string>
+
+#include "genomics/align/scoring.hh"
+
+namespace ggpu::genomics
+{
+
+/** Alignment mode, matching the GASAL2 kernel set. */
+enum class AlignMode
+{
+    Global,      //!< GG: both sequences end-to-end
+    Local,       //!< GL: best-scoring subsequence pair
+    SemiGlobal,  //!< GSG: all of the query, any target substring
+    KswBanded    //!< GKSW: banded local with affine gaps
+};
+
+/** Result of an affine-gap alignment. */
+struct AffineResult
+{
+    int score = 0;
+    std::size_t endQ = 0;  //!< 1-based end row (query)
+    std::size_t endT = 0;  //!< 1-based end column (target)
+};
+
+/**
+ * Affine-gap DP (Gotoh) over query @p q and target @p t.
+ *
+ * @param band Half band width around the main diagonal for
+ *             AlignMode::KswBanded; ignored otherwise. Cells outside
+ *             the band are treated as -infinity.
+ */
+AffineResult alignAffine(const std::string &q, const std::string &t,
+                         const Scoring &scoring, AlignMode mode,
+                         int band = 16);
+
+/** Alignment identity: exact matches / aligned columns, via global
+ *  affine alignment with traceback-free column counting. */
+double globalIdentity(const std::string &a, const std::string &b,
+                      const Scoring &scoring);
+
+std::string toString(AlignMode mode);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_ALIGN_BANDED_HH

@@ -1,0 +1,150 @@
+#include "genomics/align/edit_distance.hh"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+std::size_t
+editDistanceDp(const std::string &a, const std::string &b)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    std::vector<std::size_t> prev(m + 1), curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] != b[j - 1]);
+            curr[j] = std::min({subst, prev[j] + 1, curr[j - 1] + 1});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+std::size_t
+editDistanceMyers(const std::string &a, const std::string &b)
+{
+    // Myers 1999, blocked into 64-bit words along the pattern (a); the
+    // text (b) streams column by column. The score is tracked at the
+    // pattern's last row via the pre-shift horizontal delta bit.
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+
+    const std::size_t words = (n + 63) / 64;
+    const std::size_t last_word = words - 1;
+    const std::uint64_t score_bit = std::uint64_t(1) << ((n - 1) % 64);
+
+    std::array<std::vector<std::uint64_t>, 256> peq;
+    for (auto &v : peq)
+        v.assign(words, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        peq[std::uint8_t(a[i])][i / 64] |= std::uint64_t(1)
+                                           << (i % 64);
+    }
+
+    std::vector<std::uint64_t> pv(words, ~std::uint64_t(0));
+    std::vector<std::uint64_t> mv(words, 0);
+    std::size_t score = n;
+    constexpr std::uint64_t highBit = std::uint64_t(1) << 63;
+
+    for (std::size_t j = 0; j < m; ++j) {
+        const auto &peq_col = peq[std::uint8_t(b[j])];
+        int hin = 1;  // row-0 boundary: D[0][j] -> D[0][j+1] is +1
+
+        for (std::size_t w = 0; w < words; ++w) {
+            const std::uint64_t pvw = pv[w];
+            const std::uint64_t mvw = mv[w];
+            std::uint64_t eq = peq_col[w];
+            const std::uint64_t xv = eq | mvw;
+            if (hin < 0)
+                eq |= 1;  // incoming -1 acts as a free match
+            const std::uint64_t xh =
+                (((eq & pvw) + pvw) ^ pvw) | eq;
+
+            std::uint64_t ph = mvw | ~(xh | pvw);
+            std::uint64_t mh = pvw & xh;
+
+            if (w == last_word) {
+                score += (ph & score_bit) ? 1 : 0;
+                score -= (mh & score_bit) ? 1 : 0;
+            }
+
+            int hout = 0;
+            if (ph & highBit)
+                hout = 1;
+            else if (mh & highBit)
+                hout = -1;
+
+            ph <<= 1;
+            mh <<= 1;
+            if (hin < 0)
+                mh |= 1;
+            else if (hin > 0)
+                ph |= 1;
+
+            pv[w] = mh | ~(xv | ph);
+            mv[w] = ph & xv;
+            hin = hout;
+        }
+    }
+    return score;
+}
+
+std::size_t
+editDistanceBounded(const std::string &a, const std::string &b,
+                    std::size_t limit)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const std::size_t len_gap = n > m ? n - m : m - n;
+    if (len_gap > limit)
+        return limit + 1;
+
+    // Ukkonen band: only cells with |i - j| <= limit can stay under
+    // the threshold; abandon as soon as a whole band row exceeds it.
+    const std::size_t inf = limit + 1;
+    std::vector<std::size_t> prev(m + 1, inf), curr(m + 1, inf);
+    for (std::size_t j = 0; j <= std::min(m, limit); ++j)
+        prev[j] = j;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        const std::size_t jlo = i > limit ? i - limit : 0;
+        const std::size_t jhi = std::min(m, i + limit);
+        std::size_t row_min = inf;
+        if (jlo == 0) {
+            curr[0] = i <= limit ? i : inf;
+            row_min = curr[0];
+        } else {
+            curr[jlo - 1] = inf;
+        }
+        for (std::size_t j = std::max<std::size_t>(1, jlo); j <= jhi;
+             ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] != b[j - 1]);
+            const std::size_t del = prev[j] + 1;
+            const std::size_t ins = curr[j - 1] + 1;
+            curr[j] = std::min({subst, del, ins, inf});
+            row_min = std::min(row_min, curr[j]);
+        }
+        if (jhi < m)
+            curr[jhi + 1] = inf;
+        if (row_min > limit)
+            return limit + 1;
+        std::swap(prev, curr);
+    }
+    return std::min(prev[m], inf);
+}
+
+} // namespace ggpu::genomics

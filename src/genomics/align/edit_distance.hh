@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Myers bit-parallel edit distance: O(n*m/64) Levenshtein distance,
+ * the standard fast pre-filter in clustering/mapping pipelines (the
+ * nGIA paper's filter family). Also provides a banded variant that
+ * reports early when the distance provably exceeds a threshold.
+ */
+
+#ifndef GGPU_GENOMICS_ALIGN_EDIT_DISTANCE_HH
+#define GGPU_GENOMICS_ALIGN_EDIT_DISTANCE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ggpu::genomics
+{
+
+/** Plain dynamic-programming Levenshtein distance (reference). */
+std::size_t editDistanceDp(const std::string &a, const std::string &b);
+
+/**
+ * Myers bit-parallel edit distance over arbitrary byte alphabets.
+ * Equivalent to editDistanceDp for any inputs.
+ */
+std::size_t editDistanceMyers(const std::string &a,
+                              const std::string &b);
+
+/**
+ * Thresholded distance: returns the exact distance when it is
+ * <= @p limit, otherwise returns limit + 1 (possibly much faster via
+ * the Ukkonen band).
+ */
+std::size_t editDistanceBounded(const std::string &a,
+                                const std::string &b,
+                                std::size_t limit);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_ALIGN_EDIT_DISTANCE_HH

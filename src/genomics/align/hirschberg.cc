@@ -1,0 +1,106 @@
+#include "genomics/align/hirschberg.hh"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+namespace
+{
+
+/** Last row of the NW score matrix of @p a vs @p b (linear space). */
+std::vector<int>
+nwLastRow(const std::string &a, const std::string &b,
+          const Scoring &scoring)
+{
+    const int gap = scoring.gapExtend;
+    std::vector<int> prev(b.size() + 1), curr(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        prev[j] = int(j) * gap;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        curr[0] = int(i) * gap;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const int diag =
+                prev[j - 1] + scoring.subst(a[i - 1], b[j - 1]);
+            curr[j] = std::max({diag, prev[j] + gap, curr[j - 1] + gap});
+        }
+        std::swap(prev, curr);
+    }
+    return prev;
+}
+
+void
+recurse(const std::string &a, const std::string &b,
+        const Scoring &scoring, std::string &out_a, std::string &out_b)
+{
+    const int gap = scoring.gapExtend;
+    if (a.empty()) {
+        out_a.append(b.size(), '-');
+        out_b.append(b);
+        return;
+    }
+    if (b.empty()) {
+        out_a.append(a);
+        out_b.append(a.size(), '-');
+        return;
+    }
+    if (a.size() == 1 || b.size() == 1) {
+        // Small base case: full-matrix alignment is O(n) here.
+        const NwAlignment aln = nwAlign(a, b, scoring);
+        out_a += aln.alignedA;
+        out_b += aln.alignedB;
+        return;
+    }
+
+    const std::size_t mid = a.size() / 2;
+    const std::string a_top = a.substr(0, mid);
+    const std::string a_bot = a.substr(mid);
+    const std::string b_rev(b.rbegin(), b.rend());
+    const std::string a_bot_rev(a_bot.rbegin(), a_bot.rend());
+
+    const std::vector<int> fwd = nwLastRow(a_top, b, scoring);
+    const std::vector<int> rev = nwLastRow(a_bot_rev, b_rev, scoring);
+
+    std::size_t split = 0;
+    int best = INT_MIN;
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+        const int total = fwd[j] + rev[b.size() - j];
+        if (total > best) {
+            best = total;
+            split = j;
+        }
+    }
+    (void)gap;
+
+    recurse(a_top, b.substr(0, split), scoring, out_a, out_b);
+    recurse(a_bot, b.substr(split), scoring, out_a, out_b);
+}
+
+} // namespace
+
+NwAlignment
+hirschbergAlign(const std::string &a, const std::string &b,
+                const Scoring &scoring)
+{
+    NwAlignment out;
+    recurse(a, b, scoring, out.alignedA, out.alignedB);
+    if (out.alignedA.size() != out.alignedB.size())
+        panic("hirschbergAlign: ragged alignment rows");
+
+    out.score = 0;
+    for (std::size_t i = 0; i < out.alignedA.size(); ++i) {
+        const char ca = out.alignedA[i];
+        const char cb = out.alignedB[i];
+        if (ca == '-' && cb == '-')
+            panic("hirschbergAlign: double-gap column");
+        out.score += (ca == '-' || cb == '-')
+            ? scoring.gapExtend : scoring.subst(ca, cb);
+    }
+    return out;
+}
+
+} // namespace ggpu::genomics

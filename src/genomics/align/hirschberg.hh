@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Hirschberg linear-space global alignment: the same optimal alignment
+ * nwAlign() produces, computed with O(min(n, m)) memory via
+ * divide-and-conquer — the right tool for long sequences where the
+ * full traceback matrix does not fit (e.g. megabase references).
+ */
+
+#ifndef GGPU_GENOMICS_ALIGN_HIRSCHBERG_HH
+#define GGPU_GENOMICS_ALIGN_HIRSCHBERG_HH
+
+#include <string>
+
+#include "genomics/align/nw.hh"
+#include "genomics/align/scoring.hh"
+
+namespace ggpu::genomics
+{
+
+/**
+ * Optimal global alignment (linear gap penalties) in linear space.
+ * The score always equals nwScore(a, b, scoring); the traceback is an
+ * optimal alignment (possibly a different co-optimal one than
+ * nwAlign's).
+ */
+NwAlignment hirschbergAlign(const std::string &a, const std::string &b,
+                            const Scoring &scoring);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_ALIGN_HIRSCHBERG_HH

@@ -1,0 +1,136 @@
+#include "genomics/align/nw.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+int
+nwScore(const std::string &a, const std::string &b, const Scoring &scoring)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const int gap = scoring.gapExtend;
+
+    std::vector<int> prev(m + 1), curr(m + 1);
+    for (std::size_t j = 0; j <= m; ++j)
+        prev[j] = int(j) * gap;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = int(i) * gap;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int diag = prev[j - 1] + scoring.subst(a[i - 1],
+                                                         b[j - 1]);
+            const int up = prev[j] + gap;
+            const int left = curr[j - 1] + gap;
+            curr[j] = std::max({diag, up, left});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[m];
+}
+
+NwAlignment
+nwAlign(const std::string &a, const std::string &b, const Scoring &scoring)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const int gap = scoring.gapExtend;
+
+    // Full matrix for traceback; inputs used with traceback are short
+    // (MSA rows), so the O(nm) memory is acceptable.
+    std::vector<int> dp((n + 1) * (m + 1));
+    auto at = [&dp, m](std::size_t i, std::size_t j) -> int & {
+        return dp[i * (m + 1) + j];
+    };
+
+    for (std::size_t i = 0; i <= n; ++i)
+        at(i, 0) = int(i) * gap;
+    for (std::size_t j = 0; j <= m; ++j)
+        at(0, j) = int(j) * gap;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int diag =
+                at(i - 1, j - 1) + scoring.subst(a[i - 1], b[j - 1]);
+            const int up = at(i - 1, j) + gap;
+            const int left = at(i, j - 1) + gap;
+            at(i, j) = std::max({diag, up, left});
+        }
+    }
+
+    NwAlignment out;
+    out.score = at(n, m);
+
+    std::size_t i = n, j = m;
+    std::string ra, rb;
+    while (i > 0 || j > 0) {
+        if (i > 0 && j > 0 &&
+            at(i, j) == at(i - 1, j - 1) + scoring.subst(a[i - 1],
+                                                         b[j - 1])) {
+            ra.push_back(a[i - 1]);
+            rb.push_back(b[j - 1]);
+            --i;
+            --j;
+        } else if (i > 0 && at(i, j) == at(i - 1, j) + gap) {
+            ra.push_back(a[i - 1]);
+            rb.push_back('-');
+            --i;
+        } else if (j > 0 && at(i, j) == at(i, j - 1) + gap) {
+            ra.push_back('-');
+            rb.push_back(b[j - 1]);
+            --j;
+        } else {
+            panic("nwAlign: traceback inconsistent at (", i, ",", j, ")");
+        }
+    }
+    out.alignedA.assign(ra.rbegin(), ra.rend());
+    out.alignedB.assign(rb.rbegin(), rb.rend());
+    return out;
+}
+
+int
+nwScoreWavefront(const std::string &a, const std::string &b,
+                 const Scoring &scoring)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const int gap = scoring.gapExtend;
+
+    // Three rolling anti-diagonals indexed by row i; diagonal d holds
+    // cells (i, d - i).
+    const std::size_t diags = n + m + 1;
+    std::vector<int> d2(n + 1), d1(n + 1), d0(n + 1);
+
+    int result = 0;
+    for (std::size_t d = 0; d < diags; ++d) {
+        const std::size_t ilo = d > m ? d - m : 0;
+        const std::size_t ihi = std::min(d, n);
+        for (std::size_t i = ilo; i <= ihi; ++i) {
+            const std::size_t j = d - i;
+            int value;
+            if (i == 0) {
+                value = int(j) * gap;
+            } else if (j == 0) {
+                value = int(i) * gap;
+            } else {
+                const int diag =
+                    d2[i - 1] + scoring.subst(a[i - 1], b[j - 1]);
+                const int up = d1[i - 1] + gap;
+                const int left = d1[i] + gap;
+                value = std::max({diag, up, left});
+            }
+            d0[i] = value;
+            if (i == n && j == m)
+                result = value;
+        }
+        std::swap(d2, d1);
+        std::swap(d1, d0);
+    }
+    return result;
+}
+
+} // namespace ggpu::genomics

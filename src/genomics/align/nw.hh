@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Needleman-Wunsch global alignment (linear gap penalty), the CPU
+ * reference for the NW benchmark and the pairwise engine inside the
+ * center-star MSA.
+ */
+
+#ifndef GGPU_GENOMICS_ALIGN_NW_HH
+#define GGPU_GENOMICS_ALIGN_NW_HH
+
+#include <string>
+
+#include "genomics/align/scoring.hh"
+
+namespace ggpu::genomics
+{
+
+/** Global alignment with traceback. */
+struct NwAlignment
+{
+    int score = 0;
+    std::string alignedA;  //!< With '-' gap characters
+    std::string alignedB;
+};
+
+/** Global alignment score, linear gaps (gapExtend per residue). */
+int nwScore(const std::string &a, const std::string &b,
+            const Scoring &scoring);
+
+/** Full global alignment with traceback. */
+NwAlignment nwAlign(const std::string &a, const std::string &b,
+                    const Scoring &scoring);
+
+/**
+ * Anti-diagonal wavefront evaluation of the same DP — the order the
+ * GPU kernel computes cells in. Used by tests to prove the kernel's
+ * schedule preserves the recurrence.
+ */
+int nwScoreWavefront(const std::string &a, const std::string &b,
+                     const Scoring &scoring);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_ALIGN_NW_HH

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Shared scoring scheme for all pairwise aligners in the suite.
+ */
+
+#ifndef GGPU_GENOMICS_ALIGN_SCORING_HH
+#define GGPU_GENOMICS_ALIGN_SCORING_HH
+
+namespace ggpu::genomics
+{
+
+/** Match/mismatch/affine-gap scores (GASAL2 defaults). */
+struct Scoring
+{
+    int match = 2;
+    int mismatch = -3;
+    int gapOpen = -5;    //!< Charged when a gap is opened
+    int gapExtend = -1;  //!< Charged per gap residue, including the first
+
+    int
+    subst(char a, char b) const
+    {
+        return a == b ? match : mismatch;
+    }
+};
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_ALIGN_SCORING_HH

@@ -1,0 +1,102 @@
+#include "genomics/align/sw.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+SwResult
+swScore(const std::string &a, const std::string &b, const Scoring &scoring)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const int gap = scoring.gapExtend;
+
+    std::vector<int> prev(m + 1, 0), curr(m + 1, 0);
+    SwResult best;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        curr[0] = 0;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int diag =
+                prev[j - 1] + scoring.subst(a[i - 1], b[j - 1]);
+            const int up = prev[j] + gap;
+            const int left = curr[j - 1] + gap;
+            const int value = std::max({0, diag, up, left});
+            curr[j] = value;
+            if (value > best.score) {
+                best.score = value;
+                best.endA = i;
+                best.endB = j;
+            }
+        }
+        std::swap(prev, curr);
+    }
+    return best;
+}
+
+SwAlignment
+swAlign(const std::string &a, const std::string &b, const Scoring &scoring)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = b.size();
+    const int gap = scoring.gapExtend;
+
+    std::vector<int> dp((n + 1) * (m + 1), 0);
+    auto at = [&dp, m](std::size_t i, std::size_t j) -> int & {
+        return dp[i * (m + 1) + j];
+    };
+
+    SwAlignment out;
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 1; i <= n; ++i) {
+        for (std::size_t j = 1; j <= m; ++j) {
+            const int diag =
+                at(i - 1, j - 1) + scoring.subst(a[i - 1], b[j - 1]);
+            const int up = at(i - 1, j) + gap;
+            const int left = at(i, j - 1) + gap;
+            const int value = std::max({0, diag, up, left});
+            at(i, j) = value;
+            if (value > out.score) {
+                out.score = value;
+                bi = i;
+                bj = j;
+            }
+        }
+    }
+
+    out.endA = bi;
+    out.endB = bj;
+
+    std::string ra, rb;
+    std::size_t i = bi, j = bj;
+    while (i > 0 && j > 0 && at(i, j) > 0) {
+        if (at(i, j) ==
+            at(i - 1, j - 1) + scoring.subst(a[i - 1], b[j - 1])) {
+            ra.push_back(a[i - 1]);
+            rb.push_back(b[j - 1]);
+            --i;
+            --j;
+        } else if (at(i, j) == at(i - 1, j) + gap) {
+            ra.push_back(a[i - 1]);
+            rb.push_back('-');
+            --i;
+        } else if (at(i, j) == at(i, j - 1) + gap) {
+            ra.push_back('-');
+            rb.push_back(b[j - 1]);
+            --j;
+        } else {
+            panic("swAlign: traceback inconsistent at (", i, ",", j, ")");
+        }
+    }
+    out.startA = i;
+    out.startB = j;
+    out.alignedA.assign(ra.rbegin(), ra.rend());
+    out.alignedB.assign(rb.rbegin(), rb.rend());
+    return out;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Smith-Waterman local alignment (linear gaps), the CPU reference for
+ * the SW benchmark.
+ */
+
+#ifndef GGPU_GENOMICS_ALIGN_SW_HH
+#define GGPU_GENOMICS_ALIGN_SW_HH
+
+#include <cstddef>
+#include <string>
+
+#include "genomics/align/scoring.hh"
+
+namespace ggpu::genomics
+{
+
+/** Best local alignment score and its matrix end coordinates. */
+struct SwResult
+{
+    int score = 0;
+    std::size_t endA = 0;  //!< 1-based row of the best cell
+    std::size_t endB = 0;  //!< 1-based column of the best cell
+};
+
+/** Local alignment with traceback. */
+struct SwAlignment
+{
+    int score = 0;
+    std::size_t startA = 0, endA = 0;  //!< [startA, endA) in a
+    std::size_t startB = 0, endB = 0;
+    std::string alignedA;
+    std::string alignedB;
+};
+
+/** Best-score local alignment (linear gaps, O(min) memory). */
+SwResult swScore(const std::string &a, const std::string &b,
+                 const Scoring &scoring);
+
+/** Full local alignment with traceback. */
+SwAlignment swAlign(const std::string &a, const std::string &b,
+                    const Scoring &scoring);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_ALIGN_SW_HH

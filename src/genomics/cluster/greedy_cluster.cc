@@ -1,0 +1,119 @@
+#include "genomics/cluster/greedy_cluster.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+#include "genomics/align/banded.hh"
+
+namespace ggpu::genomics
+{
+
+std::vector<std::uint32_t>
+kmerProfile(const std::string &seq, int k)
+{
+    if (k <= 0 || k > 12)
+        fatal("kmerProfile: k must be in [1, 12], got ", k);
+    const std::size_t words = (std::size_t(1) << (2 * k)) / 32 + 1;
+    std::vector<std::uint32_t> bits(words, 0);
+    if (seq.size() < std::size_t(k))
+        return bits;
+
+    const std::uint32_t mask = (1u << (2 * k)) - 1;
+    std::uint32_t code = 0;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        code = ((code << 2) | baseToCode(seq[i])) & mask;
+        if (i + 1 >= std::size_t(k))
+            bits[code / 32] |= 1u << (code % 32);
+    }
+    return bits;
+}
+
+double
+sharedWordFraction(const std::vector<std::uint32_t> &ref_profile,
+                   const std::string &probe, int k)
+{
+    if (probe.size() < std::size_t(k))
+        return 0.0;
+    const std::uint32_t mask = (1u << (2 * k)) - 1;
+    std::uint32_t code = 0;
+    std::size_t total = 0, shared = 0;
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+        code = ((code << 2) | baseToCode(probe[i])) & mask;
+        if (i + 1 >= std::size_t(k)) {
+            ++total;
+            if (ref_profile[code / 32] & (1u << (code % 32)))
+                ++shared;
+        }
+    }
+    return total == 0 ? 0.0 : double(shared) / double(total);
+}
+
+ClusterResult
+greedyCluster(const std::vector<Sequence> &seqs,
+              const ClusterParams &params, const Scoring &scoring)
+{
+    if (params.identityThreshold <= 0.0 ||
+        params.identityThreshold > 1.0)
+        fatal("greedyCluster: identity threshold must be in (0, 1]");
+
+    ClusterResult out;
+    out.assignment.assign(seqs.size(), -1);
+
+    // Process longest-first: representatives are always at least as
+    // long as their members (the greedy incremental invariant).
+    std::vector<std::size_t> order(seqs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&seqs](std::size_t a, std::size_t b) {
+                         return seqs[a].size() > seqs[b].size();
+                     });
+
+    struct Rep
+    {
+        std::size_t index;
+        std::vector<std::uint32_t> profile;
+    };
+    std::vector<Rep> reps;
+
+    for (std::size_t idx : order) {
+        const std::string &probe = seqs[idx].data;
+        int assigned = -1;
+
+        for (std::size_t c = 0; c < reps.size(); ++c) {
+            const std::string &rep = seqs[reps[c].index].data;
+
+            // Pre-filter 1: length ratio bound.
+            if (double(probe.size()) <
+                params.minLengthRatio * double(rep.size())) {
+                ++out.filteredOut;
+                continue;
+            }
+            // Pre-filter 2: shared short words.
+            const double shared = sharedWordFraction(
+                reps[c].profile, probe, params.wordLength);
+            if (shared <
+                params.identityThreshold * params.wordFilterSlack) {
+                ++out.filteredOut;
+                continue;
+            }
+
+            ++out.alignmentsPerformed;
+            const double identity = globalIdentity(rep, probe, scoring);
+            if (identity >= params.identityThreshold) {
+                assigned = int(c);
+                break;
+            }
+        }
+
+        if (assigned < 0) {
+            assigned = int(reps.size());
+            reps.push_back({idx, kmerProfile(probe, params.wordLength)});
+            out.representatives.push_back(idx);
+        }
+        out.assignment[idx] = assigned;
+    }
+    return out;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Greedy incremental alignment-based clustering (the nGIA / CLUSTER
+ * benchmark): sequences sorted by length seed clusters greedily; a
+ * short-word (k-mer) filter rejects obvious non-members before the
+ * exact identity check via global alignment, exactly the pre-filter +
+ * greedy-incremental structure of nGIA/CD-HIT.
+ */
+
+#ifndef GGPU_GENOMICS_CLUSTER_GREEDY_CLUSTER_HH
+#define GGPU_GENOMICS_CLUSTER_GREEDY_CLUSTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/align/scoring.hh"
+#include "genomics/sequence.hh"
+
+namespace ggpu::genomics
+{
+
+/** Clustering knobs (CD-HIT-style defaults). */
+struct ClusterParams
+{
+    double identityThreshold = 0.9;
+    int wordLength = 5;            //!< Short-word filter k
+    /** Minimum shared-word fraction to bother aligning. Derived from
+     *  the identity threshold the way CD-HIT bounds word overlap. */
+    double wordFilterSlack = 0.5;
+    /** Length ratio below which a pair can never reach the identity
+     *  threshold (pre-filter). */
+    double minLengthRatio = 0.8;
+};
+
+/** Cluster assignment result. */
+struct ClusterResult
+{
+    /** assignment[i] = cluster id of input sequence i. */
+    std::vector<int> assignment;
+    /** representatives[c] = input index of cluster c's representative. */
+    std::vector<std::size_t> representatives;
+    /** Number of candidate pairs that passed the k-mer filter. */
+    std::uint64_t alignmentsPerformed = 0;
+    /** Number of pairs rejected by the pre-filters. */
+    std::uint64_t filteredOut = 0;
+};
+
+/** k-mer presence profile used by the short-word filter. */
+std::vector<std::uint32_t> kmerProfile(const std::string &seq, int k);
+
+/** Fraction of @p probe's k-mers present in @p reference's profile. */
+double sharedWordFraction(const std::vector<std::uint32_t> &ref_profile,
+                          const std::string &probe, int k);
+
+/** Run greedy incremental clustering over @p seqs. */
+ClusterResult greedyCluster(const std::vector<Sequence> &seqs,
+                            const ClusterParams &params,
+                            const Scoring &scoring);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_CLUSTER_GREEDY_CLUSTER_HH

@@ -1,0 +1,160 @@
+#include "genomics/datagen.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+std::string
+randomDna(Rng &rng, std::size_t length)
+{
+    static const char bases[] = "ACGT";
+    std::string out(length, 'A');
+    for (auto &c : out)
+        c = bases[rng.below(4)];
+    return out;
+}
+
+std::string
+randomProtein(Rng &rng, std::size_t length)
+{
+    const std::string &letters = proteinLetters();
+    std::string out(length, 'A');
+    for (auto &c : out)
+        c = letters[rng.below(letters.size())];
+    return out;
+}
+
+std::string
+mutate(Rng &rng, const std::string &seq, const MutationProfile &profile)
+{
+    static const char bases[] = "ACGT";
+    std::string out;
+    out.reserve(seq.size() + 16);
+    for (char c : seq) {
+        if (rng.chance(profile.deletionRate))
+            continue;
+        if (rng.chance(profile.insertionRate)) {
+            const std::size_t len =
+                1 + rng.below(std::max<std::size_t>(
+                        1, profile.maxIndelLength));
+            for (std::size_t i = 0; i < len; ++i)
+                out.push_back(bases[rng.below(4)]);
+        }
+        if (rng.chance(profile.substitutionRate)) {
+            char replacement = c;
+            while (replacement == c)
+                replacement = bases[rng.below(4)];
+            out.push_back(replacement);
+        } else {
+            out.push_back(c);
+        }
+    }
+    if (out.empty())
+        out.push_back(bases[rng.below(4)]);
+    return out;
+}
+
+ReadSet
+makeReadSet(Rng &rng, std::size_t ref_len, std::size_t count,
+            std::size_t read_len, double error_rate)
+{
+    if (read_len == 0 || ref_len < read_len)
+        fatal("makeReadSet: reference shorter than read length");
+
+    static const char bases[] = "ACGT";
+    ReadSet set;
+    set.reference = randomDna(rng, ref_len);
+    set.reads.reserve(count);
+    set.truePos.reserve(count);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t pos = rng.below(ref_len - read_len + 1);
+        std::string bases_out = set.reference.substr(pos, read_len);
+        std::string qual(read_len, 'I');
+        for (std::size_t b = 0; b < read_len; ++b) {
+            if (rng.chance(error_rate)) {
+                char replacement = bases_out[b];
+                while (replacement == bases_out[b])
+                    replacement = bases[rng.below(4)];
+                bases_out[b] = replacement;
+                qual[b] = '#';  // low quality at the error site
+            }
+        }
+        Sequence read;
+        read.name = "read" + std::to_string(i) + "/" + std::to_string(pos);
+        read.data = std::move(bases_out);
+        read.qual = std::move(qual);
+        set.reads.push_back(std::move(read));
+        set.truePos.push_back(pos);
+    }
+    return set;
+}
+
+PairBatch
+makePairBatch(Rng &rng, std::size_t pairs, std::size_t query_len,
+              const MutationProfile &profile)
+{
+    PairBatch batch;
+    batch.queries.reserve(pairs);
+    batch.targets.reserve(pairs);
+    for (std::size_t i = 0; i < pairs; ++i) {
+        batch.queries.push_back(randomDna(rng, query_len));
+        batch.targets.push_back(mutate(rng, batch.queries.back(),
+                                       profile));
+    }
+    return batch;
+}
+
+std::vector<Sequence>
+makeFamilies(Rng &rng, std::size_t families, std::size_t members,
+             std::size_t length, double divergence, double length_jitter)
+{
+    MutationProfile profile;
+    profile.substitutionRate = divergence;
+    profile.insertionRate = divergence / 8.0;
+    profile.deletionRate = divergence / 8.0;
+
+    std::vector<Sequence> out;
+    out.reserve(families * members);
+    for (std::size_t f = 0; f < families; ++f) {
+        const double jitter =
+            1.0 + length_jitter * (rng.uniform() * 2.0 - 1.0);
+        const std::size_t base_len = std::max<std::size_t>(
+            16, std::size_t(double(length) * jitter));
+        const std::string ancestor = randomDna(rng, base_len);
+        for (std::size_t m = 0; m < members; ++m) {
+            Sequence seq;
+            seq.name = "fam" + std::to_string(f) + "_m" +
+                       std::to_string(m);
+            seq.data = m == 0 ? ancestor : mutate(rng, ancestor, profile);
+            out.push_back(std::move(seq));
+        }
+    }
+    return out;
+}
+
+std::vector<Sequence>
+makeProteinSet(Rng &rng, std::size_t count, std::size_t length,
+               double divergence)
+{
+    const std::string &letters = proteinLetters();
+    const std::string ancestor = randomProtein(rng, length);
+    std::vector<Sequence> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Sequence seq;
+        seq.name = "prot" + std::to_string(i);
+        seq.data = ancestor;
+        for (auto &c : seq.data) {
+            if (rng.chance(divergence))
+                c = letters[rng.below(letters.size())];
+        }
+        out.push_back(std::move(seq));
+    }
+    return out;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic dataset generators standing in for the paper's inputs
+ * (Table III): random genomes, mutated read sets with a sequencing
+ * error profile (for SRR493095.fastq / hg19.fa), batches of query/
+ * target pairs (query_batch.fasta), protein sets (protein.txt), and
+ * similarity-structured families (testData.fasta for clustering).
+ * Everything is seeded and bit-reproducible.
+ */
+
+#ifndef GGPU_GENOMICS_DATAGEN_HH
+#define GGPU_GENOMICS_DATAGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hh"
+#include "genomics/sequence.hh"
+
+namespace ggpu::genomics
+{
+
+/** Uniform random DNA of length @p length. */
+std::string randomDna(Rng &rng, std::size_t length);
+/** Uniform random protein of length @p length. */
+std::string randomProtein(Rng &rng, std::size_t length);
+
+/** Point-mutation / indel profile applied by mutate(). */
+struct MutationProfile
+{
+    double substitutionRate = 0.02;
+    double insertionRate = 0.005;
+    double deletionRate = 0.005;
+    std::size_t maxIndelLength = 3;
+};
+
+/** Apply @p profile to a copy of @p seq (DNA). */
+std::string mutate(Rng &rng, const std::string &seq,
+                   const MutationProfile &profile);
+
+/** A reference genome plus reads sampled from it. */
+struct ReadSet
+{
+    std::string reference;
+    std::vector<Sequence> reads;
+    std::vector<std::size_t> truePos;  //!< Sampled start positions
+};
+
+/**
+ * Sample @p count reads of length @p read_len from a fresh random
+ * reference of length @p ref_len, applying sequencing errors at
+ * @p error_rate (substitutions only, like Illumina) and attaching
+ * plausible phred qualities.
+ */
+ReadSet makeReadSet(Rng &rng, std::size_t ref_len, std::size_t count,
+                    std::size_t read_len, double error_rate = 0.01);
+
+/** A batch of query/target pairs for pairwise-alignment kernels. */
+struct PairBatch
+{
+    std::vector<std::string> queries;
+    std::vector<std::string> targets;  //!< Mutated copies of queries
+};
+
+/** GASAL2-style batch: targets are mutated queries (alignable pairs). */
+PairBatch makePairBatch(Rng &rng, std::size_t pairs,
+                        std::size_t query_len,
+                        const MutationProfile &profile = {});
+
+/**
+ * Family-structured set for MSA/clustering: @p families ancestors,
+ * each with @p members mutated descendants, lengths jittered by
+ * @p length_jitter around @p length.
+ */
+std::vector<Sequence> makeFamilies(Rng &rng, std::size_t families,
+                                   std::size_t members,
+                                   std::size_t length,
+                                   double divergence = 0.05,
+                                   double length_jitter = 0.1);
+
+/** Protein set standing in for the STAR benchmark's protein.txt. */
+std::vector<Sequence> makeProteinSet(Rng &rng, std::size_t count,
+                                     std::size_t length,
+                                     double divergence = 0.08);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_DATAGEN_HH

@@ -1,0 +1,129 @@
+#include "genomics/fasta.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+std::vector<Sequence>
+parseFasta(const std::string &text)
+{
+    std::vector<Sequence> seqs;
+    std::istringstream in(text);
+    std::string line;
+    Sequence current;
+    bool have_record = false;
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        if (line[0] == '>') {
+            if (have_record)
+                seqs.push_back(std::move(current));
+            current = Sequence{};
+            current.name = line.substr(1);
+            have_record = true;
+        } else if (line[0] == ';') {
+            continue;  // classic FASTA comment
+        } else {
+            if (!have_record)
+                fatal("FASTA: sequence data before any '>' header");
+            current.data += line;
+        }
+    }
+    if (have_record)
+        seqs.push_back(std::move(current));
+    return seqs;
+}
+
+std::vector<Sequence>
+parseFastq(const std::string &text)
+{
+    std::vector<Sequence> seqs;
+    std::istringstream in(text);
+    std::string header, bases, plus, qual;
+
+    while (std::getline(in, header)) {
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            fatal("FASTQ: expected '@' header, got: ", header);
+        if (!std::getline(in, bases) || !std::getline(in, plus) ||
+            !std::getline(in, qual))
+            fatal("FASTQ: truncated record for ", header);
+        if (plus.empty() || plus[0] != '+')
+            fatal("FASTQ: expected '+' separator for ", header);
+        if (qual.size() != bases.size())
+            fatal("FASTQ: quality length mismatch for ", header);
+        Sequence seq;
+        seq.name = header.substr(1);
+        seq.data = bases;
+        seq.qual = qual;
+        seqs.push_back(std::move(seq));
+    }
+    return seqs;
+}
+
+std::string
+writeFasta(const std::vector<Sequence> &seqs, std::size_t width)
+{
+    if (width == 0)
+        fatal("writeFasta: width must be positive");
+    std::ostringstream out;
+    for (const Sequence &seq : seqs) {
+        out << '>' << seq.name << '\n';
+        for (std::size_t i = 0; i < seq.data.size(); i += width)
+            out << seq.data.substr(i, width) << '\n';
+    }
+    return out.str();
+}
+
+std::string
+writeFastq(const std::vector<Sequence> &seqs)
+{
+    std::ostringstream out;
+    for (const Sequence &seq : seqs) {
+        out << '@' << seq.name << '\n' << seq.data << '\n' << "+\n";
+        if (seq.qual.size() == seq.data.size())
+            out << seq.qual << '\n';
+        else
+            out << std::string(seq.data.size(), 'I') << '\n';
+    }
+    return out.str();
+}
+
+std::vector<Sequence>
+readSequenceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open sequence file: ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    for (char c : text) {
+        if (c == '>')
+            return parseFasta(text);
+        if (c == '@')
+            return parseFastq(text);
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            fatal("file ", path, " is neither FASTA nor FASTQ");
+    }
+    return {};
+}
+
+void
+writeFastaFile(const std::string &path, const std::vector<Sequence> &seqs)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("cannot write sequence file: ", path);
+    out << writeFasta(seqs);
+}
+
+} // namespace ggpu::genomics

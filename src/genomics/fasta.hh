@@ -1,0 +1,40 @@
+/**
+ * @file
+ * FASTA and FASTQ readers/writers so the suite can consume the same
+ * file formats the paper's datasets use (query_batch.fasta,
+ * protein.txt, hg19.fa, SRR493095.fastq); synthetic equivalents are
+ * produced by the datagen module in these formats.
+ */
+
+#ifndef GGPU_GENOMICS_FASTA_HH
+#define GGPU_GENOMICS_FASTA_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "genomics/sequence.hh"
+
+namespace ggpu::genomics
+{
+
+/** Parse FASTA text. Throws FatalError on malformed input. */
+std::vector<Sequence> parseFasta(const std::string &text);
+/** Parse FASTQ text (4-line records). */
+std::vector<Sequence> parseFastq(const std::string &text);
+
+/** Serialize to FASTA with @p width residues per line. */
+std::string writeFasta(const std::vector<Sequence> &seqs,
+                       std::size_t width = 70);
+/** Serialize to FASTQ; sequences without quality get 'I' (Q40). */
+std::string writeFastq(const std::vector<Sequence> &seqs);
+
+/** Read a whole file; dispatches on leading '>' vs '@'. */
+std::vector<Sequence> readSequenceFile(const std::string &path);
+/** Write sequences to @p path as FASTA. */
+void writeFastaFile(const std::string &path,
+                    const std::vector<Sequence> &seqs);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_FASTA_HH

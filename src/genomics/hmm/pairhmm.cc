@@ -1,0 +1,163 @@
+#include "genomics/hmm/pairhmm.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+namespace
+{
+
+/** Per-base substitution probability from a phred+33 quality char. */
+double
+errorProb(char qual_char, double fallback)
+{
+    if (qual_char == 0)
+        return fallback;
+    const int phred = qual_char - 33;
+    if (phred < 0 || phred > 60)
+        fatal("pairHmm: quality character out of phred+33 range");
+    return std::pow(10.0, -phred / 10.0);
+}
+
+struct Transitions
+{
+    double mm, mx, xx, xm;
+};
+
+Transitions
+transitionsFor(const PairHmmParams &params)
+{
+    if (params.gapOpen <= 0.0 || params.gapOpen >= 0.5)
+        fatal("pairHmm: gapOpen must be in (0, 0.5)");
+    if (params.gapExtend <= 0.0 || params.gapExtend >= 1.0)
+        fatal("pairHmm: gapExtend must be in (0, 1)");
+    return {1.0 - 2.0 * params.gapOpen, params.gapOpen,
+            params.gapExtend, 1.0 - params.gapExtend};
+}
+
+double
+matchEmission(char read_base, char hap_base, double err)
+{
+    return read_base == hap_base ? 1.0 - err : err / 3.0;
+}
+
+} // namespace
+
+double
+pairHmmForward(const std::string &read, const std::string &qual,
+               const std::string &hap, const PairHmmParams &params)
+{
+    const std::size_t n = read.size();
+    const std::size_t m = hap.size();
+    if (n == 0 || m == 0)
+        fatal("pairHmm: empty read or haplotype");
+    if (!qual.empty() && qual.size() != n)
+        fatal("pairHmm: quality length mismatch");
+
+    const Transitions tr = transitionsFor(params);
+
+    // Row-major forward over (read position, haplotype position).
+    std::vector<double> m_prev(m + 1, 0.0), m_curr(m + 1, 0.0);
+    std::vector<double> i_prev(m + 1, 0.0), i_curr(m + 1, 0.0);
+    std::vector<double> d_prev(m + 1, 0.0), d_curr(m + 1, 0.0);
+
+    // Free haplotype offset: probability mass enters through D.
+    const double init = 1.0 / double(m);
+    for (std::size_t j = 0; j <= m; ++j)
+        d_prev[j] = init;
+
+    for (std::size_t i = 1; i <= n; ++i) {
+        const double err =
+            errorProb(qual.empty() ? char(0) : qual[i - 1],
+                      params.defaultBaseError);
+        m_curr[0] = 0.0;
+        i_curr[0] = 0.0;
+        d_curr[0] = 0.0;
+        for (std::size_t j = 1; j <= m; ++j) {
+            const double emit =
+                matchEmission(read[i - 1], hap[j - 1], err);
+            m_curr[j] = emit * (tr.mm * m_prev[j - 1] +
+                                tr.xm * (i_prev[j - 1] + d_prev[j - 1]));
+            i_curr[j] = tr.mx * m_prev[j] + tr.xx * i_prev[j];
+            d_curr[j] = tr.mx * m_curr[j - 1] + tr.xx * d_curr[j - 1];
+        }
+        std::swap(m_prev, m_curr);
+        std::swap(i_prev, i_curr);
+        std::swap(d_prev, d_curr);
+    }
+
+    double likelihood = 0.0;
+    for (std::size_t j = 1; j <= m; ++j)
+        likelihood += m_prev[j] + i_prev[j];
+    if (likelihood <= 0.0)
+        return -400.0;  // hard floor, matches GATK's log10 clamp idea
+    return std::log10(likelihood);
+}
+
+double
+pairHmmForwardWavefront(const std::string &read, const std::string &qual,
+                        const std::string &hap,
+                        const PairHmmParams &params)
+{
+    const std::size_t n = read.size();
+    const std::size_t m = hap.size();
+    if (n == 0 || m == 0)
+        fatal("pairHmm: empty read or haplotype");
+
+    const Transitions tr = transitionsFor(params);
+    const double init = 1.0 / double(m);
+
+    // Diagonals indexed by read position i; diagonal d holds (i, d-i).
+    struct Cell
+    {
+        double m = 0.0, i = 0.0, d = 0.0;
+    };
+    std::vector<Cell> d2(n + 1), d1(n + 1), d0(n + 1);
+
+    double likelihood = 0.0;
+    const std::size_t diags = n + m + 1;
+    for (std::size_t d = 0; d < diags; ++d) {
+        const std::size_t ilo = d > m ? d - m : 0;
+        const std::size_t ihi = std::min(d, n);
+        // D has a same-row dependency on (i, j-1), which lives on the
+        // previous diagonal; within a diagonal all cells are
+        // independent — exactly why the GPU kernel parallelizes this.
+        for (std::size_t i = ilo; i <= ihi; ++i) {
+            const std::size_t j = d - i;
+            Cell cell;
+            if (i == 0) {
+                cell.d = init;
+            } else if (j == 0) {
+                // Column 0 is all-zero for M/I/D with i >= 1.
+            } else {
+                const double err = errorProb(
+                    qual.empty() ? char(0) : qual[i - 1],
+                    params.defaultBaseError);
+                const double emit =
+                    matchEmission(read[i - 1], hap[j - 1], err);
+                const Cell &up_left = d2[i - 1];   // (i-1, j-1)
+                const Cell &up = d1[i - 1];        // (i-1, j)
+                const Cell &left = d1[i];          // (i, j-1)
+                cell.m = emit * (tr.mm * up_left.m +
+                                 tr.xm * (up_left.i + up_left.d));
+                cell.i = tr.mx * up.m + tr.xx * up.i;
+                cell.d = tr.mx * left.m + tr.xx * left.d;
+            }
+            d0[i] = cell;
+            if (i == n && j >= 1)
+                likelihood += cell.m + cell.i;
+        }
+        std::swap(d2, d1);
+        std::swap(d1, d0);
+    }
+    if (likelihood <= 0.0)
+        return -400.0;
+    return std::log10(likelihood);
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Pair Hidden Markov Model forward algorithm (the PairHMM benchmark),
+ * in the GATK HaplotypeCaller formulation: a read with per-base
+ * qualities is evaluated against a candidate haplotype; the forward
+ * sum over match/insert/delete state paths yields the likelihood
+ * P(read | haplotype).
+ */
+
+#ifndef GGPU_GENOMICS_HMM_PAIRHMM_HH
+#define GGPU_GENOMICS_HMM_PAIRHMM_HH
+
+#include <string>
+
+namespace ggpu::genomics
+{
+
+/** Transition parameters of the 3-state pair HMM. */
+struct PairHmmParams
+{
+    double gapOpen = 1e-3;       //!< Match -> Insert/Delete
+    double gapExtend = 1e-1;     //!< Insert -> Insert, Delete -> Delete
+    /** Substitution probability used when no quality string is given. */
+    double defaultBaseError = 1e-2;
+};
+
+/**
+ * log10 P(read | haplotype) by the forward algorithm.
+ *
+ * @param read Read bases (canonical DNA).
+ * @param qual Optional phred+33 qualities (empty -> defaultBaseError).
+ * @param hap Haplotype bases.
+ */
+double pairHmmForward(const std::string &read, const std::string &qual,
+                      const std::string &hap,
+                      const PairHmmParams &params = {});
+
+/**
+ * Same recurrence evaluated along anti-diagonals (the GPU kernel's
+ * schedule); used by tests to prove schedule equivalence.
+ */
+double pairHmmForwardWavefront(const std::string &read,
+                               const std::string &qual,
+                               const std::string &hap,
+                               const PairHmmParams &params = {});
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_HMM_PAIRHMM_HH

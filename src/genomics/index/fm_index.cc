@@ -1,0 +1,182 @@
+#include "genomics/index/fm_index.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.hh"
+#include "genomics/sequence.hh"
+
+namespace ggpu::genomics
+{
+
+std::vector<std::uint32_t>
+buildSuffixArray(const std::vector<std::uint8_t> &codes)
+{
+    const std::size_t n = codes.size();
+    std::vector<std::uint32_t> sa(n), rank(n), tmp(n);
+    std::iota(sa.begin(), sa.end(), 0);
+    for (std::size_t i = 0; i < n; ++i)
+        rank[i] = codes[i];
+
+    for (std::size_t k = 1;; k *= 2) {
+        auto key = [&rank, n, k](std::uint32_t i) {
+            const std::uint32_t second =
+                i + k < n ? rank[i + k] + 1 : 0;
+            return std::pair<std::uint32_t, std::uint32_t>(rank[i],
+                                                           second);
+        };
+        std::sort(sa.begin(), sa.end(),
+                  [&key](std::uint32_t a, std::uint32_t b) {
+                      return key(a) < key(b);
+                  });
+        tmp[sa[0]] = 0;
+        for (std::size_t i = 1; i < n; ++i) {
+            tmp[sa[i]] = tmp[sa[i - 1]] +
+                         (key(sa[i - 1]) < key(sa[i]) ? 1 : 0);
+        }
+        rank = tmp;
+        if (rank[sa[n - 1]] == n - 1)
+            break;
+    }
+    return sa;
+}
+
+FmIndex::FmIndex(const std::string &text, std::uint32_t sa_sample_rate)
+    : saSampleRate_(sa_sample_rate)
+{
+    if (text.empty())
+        fatal("FmIndex: empty text");
+    if (sa_sample_rate == 0)
+        fatal("FmIndex: SA sample rate must be positive");
+    textSize_ = text.size();
+
+    std::vector<std::uint8_t> codes;
+    codes.reserve(text.size() + 1);
+    for (char c : text)
+        codes.push_back(baseToCode(c));
+    codes.push_back(sentinel);
+
+    sa_ = buildSuffixArray(codes);
+    const std::size_t n = codes.size();
+
+    bwt_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t suffix = sa_[i];
+        bwt_[i] = suffix == 0 ? codes[n - 1] : codes[suffix - 1];
+        if (bwt_[i] == sentinel)
+            sentinelRow_ = std::uint32_t(i);
+    }
+
+    // C array: codes strictly smaller than c across the text.
+    std::array<std::uint32_t, 6> counts{};
+    for (std::uint8_t c : codes)
+        ++counts[c];
+    std::uint32_t running = 0;
+    for (std::size_t c = 0; c < 5; ++c) {
+        c_[c] = running;
+        running += counts[c];
+    }
+
+    // Occ checkpoints every occStride_ BWT positions, codes 0..3.
+    const std::size_t blocks = n / occStride_ + 1;
+    occCheckpoints_.assign(4 * blocks, 0);
+    std::array<std::uint32_t, 4> acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % occStride_ == 0) {
+            for (std::size_t c = 0; c < 4; ++c)
+                occCheckpoints_[c * blocks + i / occStride_] = acc[c];
+        }
+        if (bwt_[i] < 4)
+            ++acc[bwt_[i]];
+    }
+
+    // SA samples at rows whose suffix position is a sampling multiple.
+    saSamples_.assign(n, UINT32_MAX);
+    for (std::size_t i = 0; i < n; ++i)
+        if (sa_[i] % saSampleRate_ == 0)
+            saSamples_[i] = sa_[i];
+}
+
+std::uint32_t
+FmIndex::occ(std::uint8_t code, std::uint32_t pos) const
+{
+    if (code >= 4)
+        panic("FmIndex::occ: code ", int(code), " out of range");
+    const std::size_t blocks = bwt_.size() / occStride_ + 1;
+    const std::uint32_t block = pos / occStride_;
+    std::uint32_t count = occCheckpoints_[code * blocks + block];
+    for (std::uint32_t i = block * occStride_; i < pos; ++i)
+        if (bwt_[i] == code)
+            ++count;
+    return count;
+}
+
+FmIndex::Range
+FmIndex::extend(const Range &range, std::uint8_t code) const
+{
+    Range out;
+    out.lo = c_[code] + occ(code, range.lo);
+    out.hi = c_[code] + occ(code, range.hi);
+    return out;
+}
+
+FmIndex::Range
+FmIndex::search(const std::string &pattern) const
+{
+    Range range = wholeRange();
+    for (auto it = pattern.rbegin(); it != pattern.rend(); ++it) {
+        range = extend(range, baseToCode(*it));
+        if (range.empty())
+            return range;
+    }
+    return range;
+}
+
+std::uint32_t
+FmIndex::lfMap(std::uint32_t row) const
+{
+    const std::uint8_t code = bwt_[row];
+    if (code == sentinel)
+        return c_[sentinel];
+    return c_[code] + occ(code, row);
+}
+
+std::vector<std::uint32_t>
+FmIndex::locate(const Range &range, std::size_t max_hits) const
+{
+    std::vector<std::uint32_t> hits;
+    const std::uint32_t limit =
+        std::min<std::uint32_t>(range.hi,
+                                range.lo +
+                                    std::uint32_t(max_hits));
+    for (std::uint32_t row = range.lo; row < limit; ++row) {
+        std::uint32_t r = row;
+        std::uint32_t steps = 0;
+        while (saSamples_[r] == UINT32_MAX) {
+            r = lfMap(r);
+            ++steps;
+            if (steps > bwt_.size())
+                panic("FmIndex::locate: LF walk did not terminate");
+        }
+        hits.push_back(saSamples_[r] + steps);
+    }
+    std::sort(hits.begin(), hits.end());
+    return hits;
+}
+
+std::vector<std::uint32_t>
+FmIndex::flatOccTable() const
+{
+    const std::size_t n = bwt_.size();
+    std::vector<std::uint32_t> flat(4 * (n + 1), 0);
+    std::array<std::uint32_t, 4> acc{};
+    for (std::size_t i = 0; i <= n; ++i) {
+        for (std::size_t c = 0; c < 4; ++c)
+            flat[c * (n + 1) + i] = acc[c];
+        if (i < n && bwt_[i] < 4)
+            ++acc[bwt_[i]];
+    }
+    return flat;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * FM-index over 2-bit DNA (suffix array + BWT + rank structure), the
+ * substrate of the NvBowtie-style read-mapping benchmark: exact-match
+ * backward search and sampled-SA locate, plus a flattened occurrence
+ * table exportable to simulated device memory for the GPU kernel.
+ */
+
+#ifndef GGPU_GENOMICS_INDEX_FM_INDEX_HH
+#define GGPU_GENOMICS_INDEX_FM_INDEX_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ggpu::genomics
+{
+
+/** FM-index of one canonical-DNA text. */
+class FmIndex
+{
+  public:
+    /** Half-open suffix-array interval of pattern occurrences. */
+    struct Range
+    {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = 0;
+
+        bool empty() const { return hi <= lo; }
+        std::uint32_t count() const { return empty() ? 0 : hi - lo; }
+    };
+
+    /**
+     * Build from @p text (A/C/G/T only). A sentinel is appended
+     * internally. @p sa_sample_rate controls locate() memory/time.
+     */
+    explicit FmIndex(const std::string &text,
+                     std::uint32_t sa_sample_rate = 4);
+
+    std::size_t textSize() const { return textSize_; }
+
+    /** Exact-match backward search for @p pattern. */
+    Range search(const std::string &pattern) const;
+
+    /** One backward-extension step with base code @p code (0..3). */
+    Range extend(const Range &range, std::uint8_t code) const;
+
+    /** Initial range covering the whole index. */
+    Range wholeRange() const
+    {
+        return {0, std::uint32_t(bwt_.size())};
+    }
+
+    /** Text positions of up to @p max_hits occurrences in @p range. */
+    std::vector<std::uint32_t> locate(const Range &range,
+                                      std::size_t max_hits = 16) const;
+
+    /** rank of @p code in bwt[0, pos). */
+    std::uint32_t occ(std::uint8_t code, std::uint32_t pos) const;
+    /** Number of codes strictly smaller than @p code in the text. */
+    std::uint32_t cOf(std::uint8_t code) const
+    {
+        return c_[code];
+    }
+
+    /**
+     * Dense per-position occurrence table (occ[c][i] for all i), the
+     * layout the GPU kernel walks: row-major [code][position], with
+     * bwt.size()+1 entries per code.
+     */
+    std::vector<std::uint32_t> flatOccTable() const;
+    const std::vector<std::uint8_t> &bwt() const { return bwt_; }
+    const std::vector<std::uint32_t> &suffixArray() const { return sa_; }
+
+  private:
+    static constexpr std::uint8_t sentinel = 4;  //!< '$', smallest code
+
+    std::uint32_t lfMap(std::uint32_t row) const;
+
+    std::size_t textSize_ = 0;
+    std::vector<std::uint8_t> bwt_;        //!< Codes 0..3 plus sentinel
+    std::uint32_t sentinelRow_ = 0;        //!< BWT row holding '$'
+    std::array<std::uint32_t, 5> c_{};     //!< C array over 0..4
+    std::uint32_t occStride_ = 64;         //!< Checkpoint spacing
+    std::vector<std::uint32_t> occCheckpoints_;  //!< [code][block]
+    std::uint32_t saSampleRate_;
+    std::vector<std::uint32_t> saSamples_; //!< SA values at sampled rows
+    std::vector<std::uint32_t> sa_;        //!< Full SA (kept for tests)
+};
+
+/** Suffix array of @p codes (terminated text) by prefix doubling. */
+std::vector<std::uint32_t> buildSuffixArray(
+    const std::vector<std::uint8_t> &codes);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_INDEX_FM_INDEX_HH

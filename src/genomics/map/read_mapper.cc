@@ -1,0 +1,73 @@
+#include "genomics/map/read_mapper.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/log.hh"
+#include "genomics/align/banded.hh"
+
+namespace ggpu::genomics
+{
+
+MapResult
+mapRead(const FmIndex &index, const std::string &reference,
+        const std::string &read, const Scoring &scoring,
+        const MapperParams &params)
+{
+    if (params.seedLength == 0 || params.seedStride == 0)
+        fatal("mapRead: seed length/stride must be positive");
+
+    MapResult out;
+    if (read.size() < params.seedLength)
+        return out;
+
+    // Collect candidate reference start positions from seed hits.
+    std::set<std::uint32_t> candidates;
+    for (std::size_t start = 0;
+         start + params.seedLength <= read.size();
+         start += params.seedStride) {
+        const std::string seed = read.substr(start, params.seedLength);
+        const FmIndex::Range range = index.search(seed);
+        if (range.empty())
+            continue;
+        for (std::uint32_t hit :
+             index.locate(range, params.maxSeedHits)) {
+            // Anchor implies the read started seed-offset earlier.
+            if (hit >= start)
+                candidates.insert(std::uint32_t(hit - start));
+        }
+    }
+
+    // Score each anchor with a banded global alignment of the read
+    // against the reference window it implies.
+    for (std::uint32_t pos : candidates) {
+        if (pos + read.size() > reference.size())
+            continue;
+        const std::string window =
+            reference.substr(pos, read.size() + std::size_t(params.band));
+        const AffineResult aln = alignAffine(
+            read, window, scoring, AlignMode::SemiGlobal, params.band);
+        ++out.candidates;
+        if (!out.mapped || aln.score > out.score) {
+            out.mapped = aln.score >= params.minScore;
+            out.score = aln.score;
+            out.position = pos;
+        }
+    }
+    return out;
+}
+
+std::vector<MapResult>
+mapReads(const FmIndex &index, const std::string &reference,
+         const std::vector<Sequence> &reads, const Scoring &scoring,
+         const MapperParams &params)
+{
+    std::vector<MapResult> out;
+    out.reserve(reads.size());
+    for (const Sequence &read : reads)
+        out.push_back(mapRead(index, reference, read.data, scoring,
+                              params));
+    return out;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Bowtie2-style seed-and-extend read mapper (CPU reference for the
+ * NvBowtie benchmark): exact-match seeds from the FM-index anchor
+ * candidate positions; a banded global alignment around each anchor
+ * scores the full read; the best-scoring position wins.
+ */
+
+#ifndef GGPU_GENOMICS_MAP_READ_MAPPER_HH
+#define GGPU_GENOMICS_MAP_READ_MAPPER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/align/scoring.hh"
+#include "genomics/index/fm_index.hh"
+#include "genomics/sequence.hh"
+
+namespace ggpu::genomics
+{
+
+/** Mapper knobs. */
+struct MapperParams
+{
+    std::size_t seedLength = 20;
+    std::size_t seedStride = 10;     //!< Seed start spacing in the read
+    std::size_t maxSeedHits = 16;    //!< locate() cap per seed
+    int band = 8;                    //!< Extension band half-width
+    int minScore = 0;                //!< Report threshold
+};
+
+/** One read's mapping result. */
+struct MapResult
+{
+    bool mapped = false;
+    std::uint32_t position = 0;  //!< Reference start of the alignment
+    int score = 0;
+    std::uint32_t candidates = 0;  //!< Anchors scored
+};
+
+/** Map one read against @p reference using @p index. */
+MapResult mapRead(const FmIndex &index, const std::string &reference,
+                  const std::string &read,
+                  const Scoring &scoring = Scoring{},
+                  const MapperParams &params = MapperParams{});
+
+/** Map a batch of reads; results align index-wise with @p reads. */
+std::vector<MapResult> mapReads(const FmIndex &index,
+                                const std::string &reference,
+                                const std::vector<Sequence> &reads,
+                                const Scoring &scoring = Scoring{},
+                                const MapperParams &params =
+                                    MapperParams{});
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_MAP_READ_MAPPER_HH

@@ -1,0 +1,150 @@
+#include "genomics/msa/center_star.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "genomics/align/nw.hh"
+
+namespace ggpu::genomics
+{
+
+long long
+centerScore(const std::vector<std::string> &seqs, std::size_t center,
+            const Scoring &scoring)
+{
+    long long total = 0;
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        if (i != center)
+            total += nwScore(seqs[center], seqs[i], scoring);
+    }
+    return total;
+}
+
+std::size_t
+pickCenter(const std::vector<std::string> &seqs, const Scoring &scoring)
+{
+    if (seqs.empty())
+        fatal("pickCenter: empty sequence set");
+
+    // All-pairs scores, reused symmetrically.
+    const std::size_t k = seqs.size();
+    std::vector<long long> sums(k, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = i + 1; j < k; ++j) {
+            const int s = nwScore(seqs[i], seqs[j], scoring);
+            sums[i] += s;
+            sums[j] += s;
+        }
+    }
+    return std::size_t(
+        std::max_element(sums.begin(), sums.end()) - sums.begin());
+}
+
+MsaResult
+centerStarAlign(const std::vector<std::string> &seqs,
+                const Scoring &scoring)
+{
+    if (seqs.empty())
+        fatal("centerStarAlign: empty sequence set");
+
+    MsaResult out;
+    out.centerIndex = pickCenter(seqs, scoring);
+    const std::string &center = seqs[out.centerIndex];
+    const std::size_t clen = center.size();
+
+    // Pairwise alignments of every sequence against the center.
+    std::vector<NwAlignment> alns(seqs.size());
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        if (i != out.centerIndex)
+            alns[i] = nwAlign(center, seqs[i], scoring);
+    }
+
+    // ins[p] = max gaps any pairwise alignment inserts into the center
+    // immediately before center position p (p == clen: at the end).
+    std::vector<std::size_t> ins(clen + 1, 0);
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        if (i == out.centerIndex)
+            continue;
+        std::size_t pos = 0, run = 0;
+        for (char c : alns[i].alignedA) {
+            if (c == '-') {
+                ++run;
+            } else {
+                ins[pos] = std::max(ins[pos], run);
+                run = 0;
+                ++pos;
+            }
+        }
+        ins[clen] = std::max(ins[clen], run);
+    }
+
+    // Build the master (center) row.
+    std::string master;
+    for (std::size_t p = 0; p < clen; ++p) {
+        master.append(ins[p], '-');
+        master.push_back(center[p]);
+    }
+    master.append(ins[clen], '-');
+
+    // Re-pad every pairwise alignment onto the master gap pattern.
+    out.rows.assign(seqs.size(), std::string());
+    out.rows[out.centerIndex] = master;
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        if (i == out.centerIndex)
+            continue;
+        const std::string &ga = alns[i].alignedA;  // gapped center
+        const std::string &gb = alns[i].alignedB;  // gapped member
+        std::string row;
+        std::size_t pos = 0;   // center position reached
+        std::size_t k2 = 0;    // cursor in the pairwise alignment
+        for (std::size_t p = 0; p <= clen; ++p) {
+            // Gaps this alignment inserts before center position p.
+            std::size_t run = 0;
+            while (k2 < ga.size() && ga[k2] == '-') {
+                row.push_back(gb[k2]);
+                ++k2;
+                ++run;
+            }
+            row.append(ins[p] - run, '-');
+            if (p < clen) {
+                if (k2 >= ga.size() || ga[k2] != center[pos])
+                    panic("centerStarAlign: master merge out of sync");
+                row.push_back(gb[k2]);
+                ++k2;
+                ++pos;
+            }
+        }
+        if (row.size() != master.size())
+            panic("centerStarAlign: row length ", row.size(),
+                  " != master length ", master.size());
+        out.rows[i] = std::move(row);
+    }
+
+    out.sumOfPairsScore = sumOfPairs(out.rows, scoring);
+    return out;
+}
+
+long long
+sumOfPairs(const std::vector<std::string> &rows, const Scoring &scoring)
+{
+    long long total = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (std::size_t j = i + 1; j < rows.size(); ++j) {
+            if (rows[i].size() != rows[j].size())
+                fatal("sumOfPairs: ragged MSA rows");
+            for (std::size_t c = 0; c < rows[i].size(); ++c) {
+                const char a = rows[i][c];
+                const char b = rows[j][c];
+                if (a == '-' && b == '-')
+                    continue;
+                if (a == '-' || b == '-')
+                    total += scoring.gapExtend;
+                else
+                    total += scoring.subst(a, b);
+            }
+        }
+    }
+    return total;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Center-star multiple sequence alignment (the STAR benchmark): pick
+ * the sequence with the best summed pairwise score as the center,
+ * align every other sequence to it, and merge the pairwise gap
+ * patterns into one MSA.
+ */
+
+#ifndef GGPU_GENOMICS_MSA_CENTER_STAR_HH
+#define GGPU_GENOMICS_MSA_CENTER_STAR_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "genomics/align/scoring.hh"
+
+namespace ggpu::genomics
+{
+
+/** A finished multiple alignment. */
+struct MsaResult
+{
+    std::size_t centerIndex = 0;
+    std::vector<std::string> rows;  //!< Gapped rows, equal lengths
+    long long sumOfPairsScore = 0;  //!< SP score of the final MSA
+};
+
+/**
+ * Sum of pairwise global scores of sequence @p center against all
+ * others (the center-selection objective).
+ */
+long long centerScore(const std::vector<std::string> &seqs,
+                      std::size_t center, const Scoring &scoring);
+
+/** Index of the sequence maximizing centerScore(). */
+std::size_t pickCenter(const std::vector<std::string> &seqs,
+                       const Scoring &scoring);
+
+/** Run the full center-star MSA. */
+MsaResult centerStarAlign(const std::vector<std::string> &seqs,
+                          const Scoring &scoring);
+
+/** Sum-of-pairs score of an MSA (gap columns use gapExtend). */
+long long sumOfPairs(const std::vector<std::string> &rows,
+                     const Scoring &scoring);
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_MSA_CENTER_STAR_HH

@@ -1,0 +1,152 @@
+#include "genomics/sequence.hh"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/log.hh"
+
+namespace ggpu::genomics
+{
+
+namespace
+{
+
+const std::string dnaLetters = "ACGT";
+const std::string rnaLetters = "ACGU";
+const std::string proteinLetters20 = "ACDEFGHIKLMNPQRSTVWY";
+
+const std::string &
+lettersFor(Alphabet alphabet)
+{
+    switch (alphabet) {
+      case Alphabet::Dna: return dnaLetters;
+      case Alphabet::Rna: return rnaLetters;
+      case Alphabet::Protein: return proteinLetters20;
+    }
+    panic("unknown alphabet");
+}
+
+bool
+isAmbiguityCode(char c)
+{
+    // IUPAC nucleotide ambiguity codes.
+    static const std::string codes = "NRYSWKMBDHV";
+    return codes.find(c) != std::string::npos;
+}
+
+} // namespace
+
+const std::string &
+proteinLetters()
+{
+    return proteinLetters20;
+}
+
+bool
+isValid(const std::string &data, Alphabet alphabet)
+{
+    const std::string &letters = lettersFor(alphabet);
+    return std::all_of(data.begin(), data.end(), [&letters](char c) {
+        return letters.find(char(std::toupper(c))) != std::string::npos;
+    });
+}
+
+std::string
+canonicalize(const std::string &data, Alphabet alphabet)
+{
+    const std::string &letters = lettersFor(alphabet);
+    std::string out;
+    out.reserve(data.size());
+    for (char raw : data) {
+        const char c = char(std::toupper(raw));
+        if (letters.find(c) != std::string::npos) {
+            out.push_back(c);
+        } else if (alphabet != Alphabet::Protein && isAmbiguityCode(c)) {
+            out.push_back('A');
+        } else if (alphabet == Alphabet::Dna && c == 'U') {
+            out.push_back('T');
+        } else if (alphabet == Alphabet::Rna && c == 'T') {
+            out.push_back('U');
+        } else {
+            fatal("sequence: residue '", c, "' is not valid in this ",
+                  "alphabet");
+        }
+    }
+    return out;
+}
+
+std::uint8_t
+baseToCode(char base)
+{
+    switch (base) {
+      case 'A': return 0;
+      case 'C': return 1;
+      case 'G': return 2;
+      case 'T': case 'U': return 3;
+      default:
+        fatal("baseToCode: non-canonical base '", base, "'");
+    }
+}
+
+char
+codeToBase(std::uint8_t code)
+{
+    if (code > 3)
+        fatal("codeToBase: code ", int(code), " out of range");
+    return dnaLetters[code];
+}
+
+std::vector<std::uint32_t>
+packDna2bit(const std::string &data)
+{
+    std::vector<std::uint32_t> packed((data.size() + 15) / 16, 0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        packed[i / 16] |= std::uint32_t(baseToCode(data[i]))
+                          << (2 * (i % 16));
+    }
+    return packed;
+}
+
+std::uint8_t
+packedBaseAt(const std::vector<std::uint32_t> &packed, std::size_t index)
+{
+    if (index / 16 >= packed.size())
+        panic("packedBaseAt: index ", index, " out of range");
+    return std::uint8_t((packed[index / 16] >> (2 * (index % 16))) & 3u);
+}
+
+std::string
+reverseComplement(const std::string &data)
+{
+    std::string out;
+    out.reserve(data.size());
+    for (auto it = data.rbegin(); it != data.rend(); ++it) {
+        switch (*it) {
+          case 'A': out.push_back('T'); break;
+          case 'C': out.push_back('G'); break;
+          case 'G': out.push_back('C'); break;
+          case 'T': out.push_back('A'); break;
+          default:
+            fatal("reverseComplement: non-canonical base '", *it, "'");
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint8_t>
+encode(const std::string &data, Alphabet alphabet)
+{
+    const std::string &letters = lettersFor(alphabet);
+    std::vector<std::uint8_t> out;
+    out.reserve(data.size());
+    for (char c : data) {
+        const auto pos = letters.find(c);
+        if (pos == std::string::npos)
+            fatal("encode: residue '", c, "' is not canonical");
+        out.push_back(std::uint8_t(pos));
+    }
+    return out;
+}
+
+} // namespace ggpu::genomics

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Biological sequence types shared by every genomics algorithm in the
+ * suite: DNA/RNA/protein alphabets, validation, 2-bit packing for GPU
+ * kernels, and reverse complement.
+ */
+
+#ifndef GGPU_GENOMICS_SEQUENCE_HH
+#define GGPU_GENOMICS_SEQUENCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ggpu::genomics
+{
+
+/** Residue alphabet of a sequence. */
+enum class Alphabet
+{
+    Dna,      //!< A, C, G, T (N tolerated on input, mapped to A)
+    Rna,      //!< A, C, G, U
+    Protein   //!< 20 standard amino acids
+};
+
+/** A named biological sequence. */
+struct Sequence
+{
+    std::string name;
+    std::string data;   //!< Upper-case residues
+    std::string qual;   //!< Optional per-base quality (FASTQ), phred+33
+
+    std::size_t size() const { return data.size(); }
+    bool empty() const { return data.empty(); }
+};
+
+/** True when every residue of @p data is legal in @p alphabet. */
+bool isValid(const std::string &data, Alphabet alphabet);
+
+/**
+ * Upper-case @p data and replace IUPAC ambiguity codes with 'A' (DNA)
+ * so downstream 2-bit packing is total. Throws FatalError on residues
+ * outside the alphabet.
+ */
+std::string canonicalize(const std::string &data, Alphabet alphabet);
+
+/** Map A/C/G/T -> 0..3. Input must be canonical DNA. */
+std::uint8_t baseToCode(char base);
+/** Map 0..3 -> A/C/G/T. */
+char codeToBase(std::uint8_t code);
+
+/** Pack canonical DNA into 2-bit codes, 16 bases per 32-bit word. */
+std::vector<std::uint32_t> packDna2bit(const std::string &data);
+/** Extract base @p index from a 2-bit packed buffer. */
+std::uint8_t packedBaseAt(const std::vector<std::uint32_t> &packed,
+                          std::size_t index);
+
+/** Reverse complement of canonical DNA. */
+std::string reverseComplement(const std::string &data);
+
+/** Encode each residue as a small integer (DNA 0..3, protein 0..19). */
+std::vector<std::uint8_t> encode(const std::string &data,
+                                 Alphabet alphabet);
+
+/** The 20 standard amino-acid letters in index order. */
+const std::string &proteinLetters();
+
+} // namespace ggpu::genomics
+
+#endif // GGPU_GENOMICS_SEQUENCE_HH

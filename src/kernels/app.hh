@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The benchmark-application interface of the Genomics-GPU suite. Each
+ * of the paper's ten applications implements BenchmarkApp: run()
+ * executes the full host workflow (uploads, kernel launches including
+ * the CDP variant, downloads) on a simulated device, verifies every
+ * device result against the CPU reference implementation, and reports
+ * the timing/profile numbers the evaluation figures need.
+ */
+
+#ifndef GGPU_KERNELS_APP_HH
+#define GGPU_KERNELS_APP_HH
+
+#include <memory>
+#include <string>
+
+#include "genomics/align/banded.hh"
+#include "runtime/device.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::kernels
+{
+
+/** Input-size tier (the paper ships datasets of different sizes). */
+enum class InputScale
+{
+    Tiny,    //!< Unit-test sized; seconds of simulation at most
+    Small,   //!< Default for the benchmark harness
+    Medium   //!< Table III shaped (full grid dimensions)
+};
+
+/** Per-run options. */
+struct AppOptions
+{
+    bool cdp = false;          //!< Use the CDP (device-launch) variant
+    bool sharedMem = true;     //!< Fig 7: shared-memory on/off variants
+    InputScale scale = InputScale::Small;
+    std::uint64_t seed = 0x5eedu;
+};
+
+/** What one application run produced. */
+struct AppRunResult
+{
+    bool verified = false;         //!< Device results match CPU reference
+    Cycles kernelCycles = 0;       //!< Sum of kernel durations
+    Cycles totalCycles = 0;        //!< Kernels + PCI transfers
+    double cpuReferenceSeconds = 0.0;  //!< Wall time of the CPU reference
+    sim::LaunchSpec primarySpec;   //!< Main kernel's launch shape
+    std::string detail;            //!< Free-form result summary
+};
+
+/** One benchmark application (SW, NW, STAR, GG, ...). */
+class BenchmarkApp
+{
+  public:
+    virtual ~BenchmarkApp() = default;
+
+    /** Table III abbreviation ("SW", "NW", "GKSW", ...). */
+    virtual std::string name() const = 0;
+    /** Full benchmark name ("Smith-Waterman", ...). */
+    virtual std::string fullName() const = 0;
+
+    /** Execute the workload on @p dev and verify it. */
+    virtual AppRunResult run(rt::Device &dev,
+                             const AppOptions &opts) = 0;
+};
+
+std::unique_ptr<BenchmarkApp> makeSwApp();
+std::unique_ptr<BenchmarkApp> makeNwApp();
+std::unique_ptr<BenchmarkApp> makeStarApp();
+/** GASAL2 family: Global=GG, Local=GL, KswBanded=GKSW, SemiGlobal=GSG. */
+std::unique_ptr<BenchmarkApp> makeGasalApp(genomics::AlignMode mode);
+std::unique_ptr<BenchmarkApp> makeClusterApp();
+std::unique_ptr<BenchmarkApp> makePairHmmApp();
+std::unique_ptr<BenchmarkApp> makeNvbApp();
+
+} // namespace ggpu::kernels
+
+#endif // GGPU_KERNELS_APP_HH

@@ -1,0 +1,718 @@
+/**
+ * @file
+ * Greedy incremental clustering benchmark (CLUSTER, after nGIA): the
+ * host processes length-sorted sequences in chunks; per chunk the GPU
+ * runs (1) a short-word filter kernel — each thread streams one
+ * query's k-mers from the shared-memory chunk cache against one
+ * representative's bitmap profile with a deterministic early exit,
+ * which is why most warps run with only a few live lanes (Fig 10:
+ * W1-4 dominant) — and (2) an identity kernel that computes an
+ * LCS-based identity by DP for the pairs that survived the filter.
+ * The host performs the greedy assignment and uploads new
+ * representative profiles. Table III: grid (128,1,1), CTA (128,1,1),
+ * shared memory used. The CDP variant launches the filter/identity
+ * stages as child grids from a per-chunk parent.
+ */
+
+#include "kernels/app.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/align/nw.hh"
+#include "genomics/cluster/greedy_cluster.hh"
+#include "genomics/datagen.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::kernels
+{
+
+namespace
+{
+
+using namespace ggpu::sim;
+using genomics::Scoring;
+
+constexpr int kWord = 5;                    //!< Short-word length
+constexpr double kIdentityThreshold = 0.8;  //!< LCS / max-length
+constexpr double kWordSlack = 0.6;          //!< Filter fraction factor
+
+struct ClusterShape
+{
+    std::uint32_t numSeqs;
+    std::uint32_t chunk;
+    std::uint32_t seqLen;   //!< Family base length (jittered)
+};
+
+ClusterShape
+shapeFor(InputScale scale)
+{
+    switch (scale) {
+      case InputScale::Tiny: return {24, 12, 32};
+      case InputScale::Small: return {64, 16, 56};
+      case InputScale::Medium: return {128, 32, 96};
+    }
+    panic("ClusterApp: unknown scale");
+}
+
+struct ClusterBuffers
+{
+    Addr seqs = 0;      //!< char [seq][maxLen], padded with 'A'
+    Addr lens = 0;      //!< u32 per sequence
+    Addr profiles = 0;  //!< u32 [rep][profileWords] k-mer bitmaps
+    Addr repIds = 0;    //!< u32 rep slot -> sequence index
+    Addr results = 0;   //!< i32 [chunk*maxReps]: -1 filtered, else LCS
+    std::uint32_t maxLen = 0;
+    std::uint32_t maxReps = 0;
+    std::uint32_t profileWords = 0;
+};
+
+/** Required shared-word count for a query (filter threshold). */
+std::uint32_t
+neededWords(std::uint32_t query_len)
+{
+    if (query_len < kWord)
+        return 0;
+    const double total = double(query_len - kWord + 1);
+    return std::uint32_t(kIdentityThreshold * kWordSlack * total);
+}
+
+/**
+ * Filter kernel: thread = (chunk query, representative). Streams the
+ * query from shared memory, probes the rep's k-mer bitmap in global
+ * memory, exits as soon as the outcome is decided. Writes 0 (pass)
+ * or -1 (reject) to results.
+ */
+class ClusterFilterKernel : public KernelBody
+{
+  public:
+    ClusterFilterKernel(const ClusterBuffers &bufs,
+                        std::uint32_t chunk_first,
+                        std::uint32_t chunk_size, std::uint32_t num_reps)
+        : bufs_(bufs), chunkFirst_(chunk_first), chunkSize_(chunk_size),
+          numReps_(num_reps)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        auto gid = w.globalTid();
+
+        struct LaneWork
+        {
+            std::uint32_t q = 0, rep = 0, qlen = 0, rlen = 0;
+            std::uint32_t shared = 0, kmer = 0, code = 0;
+            bool alive = false;
+            std::string query;
+            std::vector<std::uint32_t> profile;
+        };
+        std::array<LaneWork, warpSize> work;
+
+        LaneMask active = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!w.laneActive(lane))
+                continue;
+            const std::uint32_t q = gid[lane] / numReps_;
+            const std::uint32_t rep = gid[lane] % numReps_;
+            if (q >= chunkSize_)
+                continue;
+            LaneWork &lw = work[std::size_t(lane)];
+            lw.q = q;
+            lw.rep = rep;
+            lw.alive = true;
+            active |= LaneMask(1) << lane;
+        }
+        w.emitInt(3);
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        // Lengths and functional data.
+        LaneArray<std::uint32_t> qlen_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return chunkFirst_ + work[std::size_t(lane)].q;
+            });
+        auto qlen = w.loadGlobal<std::uint32_t>(bufs_.lens, qlen_idx);
+        LaneArray<std::uint32_t> rid_idx = w.make<std::uint32_t>(
+            [&](int lane) { return work[std::size_t(lane)].rep; });
+        auto rep_seq = w.loadGlobal<std::uint32_t>(bufs_.repIds,
+                                                   rid_idx);
+        LaneArray<std::uint32_t> rlen_idx = w.make<std::uint32_t>(
+            [&](int lane) { return rep_seq[lane]; });
+        auto rlen = w.loadGlobal<std::uint32_t>(bufs_.lens, rlen_idx);
+
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!((active >> lane) & 1u))
+                continue;
+            LaneWork &lw = work[std::size_t(lane)];
+            lw.qlen = qlen[lane];
+            lw.rlen = rlen[lane];
+            lw.query.resize(lw.qlen);
+            w.mem().read(bufs_.seqs +
+                             Addr(chunkFirst_ + lw.q) * bufs_.maxLen,
+                         lw.query.data(), lw.qlen);
+            lw.profile.resize(bufs_.profileWords);
+            w.mem().read(bufs_.profiles +
+                             Addr(lw.rep) * bufs_.profileWords * 4,
+                         lw.profile.data(), bufs_.profileWords * 4);
+        }
+
+        // Length-ratio pre-filter (reps are never shorter).
+        w.emitInt(2);
+        LaneMask alive = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!((active >> lane) & 1u))
+                continue;
+            LaneWork &lw = work[std::size_t(lane)];
+            if (double(lw.qlen) >= 0.8 * double(lw.rlen) &&
+                lw.qlen >= kWord)
+                alive |= LaneMask(1) << lane;
+            else
+                lw.alive = false;
+        }
+
+        // K-mer streaming loop with deterministic early exit: a lane
+        // retires once its decision is known. The shrinking mask is
+        // the source of CLUSTER's W1-4-heavy occupancy.
+        const std::uint32_t mask_code = (1u << (2 * kWord)) - 1;
+        std::array<std::int32_t, warpSize> verdict;
+        verdict.fill(-1);
+        std::uint32_t step = 0;
+        LaneMask running = alive;
+        while (running) {
+            w.branchPoint();
+            w.pushMask(running);
+            // Shared chunk-cache byte + profile-word probe.
+            const std::int32_t ld = w.sharedNote(false, 1);
+            LaneArray<std::uint32_t> word_idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    const LaneWork &lw = work[std::size_t(lane)];
+                    return lw.rep * bufs_.profileWords +
+                           (lw.code & mask_code) / 32;
+                });
+            auto word =
+                w.loadGlobal<std::uint32_t>(bufs_.profiles, word_idx);
+            w.emitInt(4, std::max(ld, word.dep));
+
+            for (int lane = 0; lane < warpSize; ++lane) {
+                if (!((running >> lane) & 1u))
+                    continue;
+                LaneWork &lw = work[std::size_t(lane)];
+                lw.code = ((lw.code << 2) |
+                           genomics::baseToCode(lw.query[step])) &
+                          mask_code;
+                if (step + 1 >= std::uint32_t(kWord)) {
+                    const std::uint32_t bit = lw.code;
+                    if (lw.profile[bit / 32] & (1u << (bit % 32)))
+                        ++lw.shared;
+                }
+                const std::uint32_t total_kmers = lw.qlen - kWord + 1;
+                const std::uint32_t need = neededWords(lw.qlen);
+                const std::uint32_t done_kmers =
+                    step + 1 >= std::uint32_t(kWord)
+                        ? step + 2 - kWord : 0;
+                const std::uint32_t remaining =
+                    total_kmers - done_kmers;
+                bool retire = false;
+                if (step + 1 >= lw.qlen) {
+                    verdict[std::size_t(lane)] =
+                        lw.shared >= need ? 0 : -1;
+                    retire = true;
+                } else if (lw.shared >= need) {
+                    verdict[std::size_t(lane)] = 0;  // already passing
+                    retire = true;
+                } else if (lw.shared + remaining < need) {
+                    retire = true;  // can never pass
+                }
+                if (retire)
+                    running &= ~(LaneMask(1) << lane);
+            }
+            w.popMask();
+            ++step;
+        }
+
+        // Write verdicts.
+        LaneArray<std::uint32_t> out_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                const LaneWork &lw = work[std::size_t(lane)];
+                return lw.q * bufs_.maxReps + lw.rep;
+            });
+        LaneArray<std::int32_t> out = w.make<std::int32_t>(
+            [&](int lane) { return verdict[std::size_t(lane)]; });
+        w.storeGlobal<std::int32_t>(bufs_.results, out_idx, out);
+        w.popMask();
+    }
+
+  private:
+    ClusterBuffers bufs_;
+    std::uint32_t chunkFirst_;
+    std::uint32_t chunkSize_;
+    std::uint32_t numReps_;
+};
+
+/**
+ * Identity kernel: same thread domain; threads whose filter verdict
+ * passed compute the LCS score (unit-match NW) between the query and
+ * the representative, rolling rows in local memory.
+ */
+class ClusterIdentityKernel : public KernelBody
+{
+  public:
+    ClusterIdentityKernel(const ClusterBuffers &bufs,
+                          std::uint32_t chunk_first,
+                          std::uint32_t chunk_size,
+                          std::uint32_t num_reps)
+        : bufs_(bufs), chunkFirst_(chunk_first), chunkSize_(chunk_size),
+          numReps_(num_reps)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        auto gid = w.globalTid();
+
+        std::array<std::uint32_t, warpSize> q{}, rep{};
+        LaneMask domain = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!w.laneActive(lane))
+                continue;
+            const std::uint32_t qq = gid[lane] / numReps_;
+            if (qq >= chunkSize_)
+                continue;
+            q[std::size_t(lane)] = qq;
+            rep[std::size_t(lane)] = gid[lane] % numReps_;
+            domain |= LaneMask(1) << lane;
+        }
+        w.emitInt(3);
+        if (domain == 0)
+            return;
+        w.pushMask(domain);
+
+        // Load the filter verdicts; only passing lanes do the DP.
+        LaneArray<std::uint32_t> res_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return q[std::size_t(lane)] * bufs_.maxReps +
+                       rep[std::size_t(lane)];
+            });
+        auto verdict =
+            w.loadGlobal<std::int32_t>(bufs_.results, res_idx);
+        w.emitInt(1, verdict.dep);
+        w.branchPoint();
+
+        LaneMask pass = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (((domain >> lane) & 1u) && verdict[lane] == 0)
+                pass |= LaneMask(1) << lane;
+        if (pass == 0) {
+            w.popMask();
+            return;
+        }
+        w.pushMask(pass);
+
+        // Functional sequence fetch.
+        struct LanePair
+        {
+            std::string a, b;
+        };
+        std::array<LanePair, warpSize> pairs;
+        std::array<std::uint32_t, warpSize> la{}, lb{};
+        LaneArray<std::uint32_t> qlen_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return chunkFirst_ + q[std::size_t(lane)];
+            });
+        auto qlen = w.loadGlobal<std::uint32_t>(bufs_.lens, qlen_idx);
+        LaneArray<std::uint32_t> rid_idx = w.make<std::uint32_t>(
+            [&](int lane) { return rep[std::size_t(lane)]; });
+        auto rep_seq =
+            w.loadGlobal<std::uint32_t>(bufs_.repIds, rid_idx);
+        LaneArray<std::uint32_t> rlen_idx = w.make<std::uint32_t>(
+            [&](int lane) { return rep_seq[lane]; });
+        auto rlen = w.loadGlobal<std::uint32_t>(bufs_.lens, rlen_idx);
+
+        std::uint32_t max_q = 0, max_r = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!((pass >> lane) & 1u))
+                continue;
+            la[std::size_t(lane)] = qlen[lane];
+            lb[std::size_t(lane)] = rlen[lane];
+            auto &lp = pairs[std::size_t(lane)];
+            lp.a.resize(qlen[lane]);
+            lp.b.resize(rlen[lane]);
+            w.mem().read(bufs_.seqs + Addr(chunkFirst_ +
+                                           q[std::size_t(lane)]) *
+                                          bufs_.maxLen,
+                         lp.a.data(), qlen[lane]);
+            w.mem().read(bufs_.seqs + Addr(rep_seq[lane]) * bufs_.maxLen,
+                         lp.b.data(), rlen[lane]);
+            max_q = std::max(max_q, qlen[lane]);
+            max_r = std::max(max_r, rlen[lane]);
+        }
+
+        // LCS DP, rolling rows in local memory; ragged lanes retire as
+        // their rows run out (more divergence).
+        std::array<std::vector<int>, warpSize> prev, curr;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            prev[std::size_t(lane)].assign(
+                lb[std::size_t(lane)] + 1, 0);
+            curr[std::size_t(lane)] = prev[std::size_t(lane)];
+        }
+
+        for (std::uint32_t i = 1; i <= max_q; ++i) {
+            LaneMask row_mask = 0;
+            for (int lane = 0; lane < warpSize; ++lane)
+                if (((pass >> lane) & 1u) && i <= la[std::size_t(lane)])
+                    row_mask |= LaneMask(1) << lane;
+            w.branchPoint();
+            if (row_mask == 0)
+                break;
+            w.pushMask(row_mask);
+            // One global byte for the query row base.
+            LaneArray<std::uint32_t> a_idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return (chunkFirst_ + q[std::size_t(lane)]) *
+                               bufs_.maxLen + (i - 1) % bufs_.maxLen;
+                });
+            auto a = w.loadGlobal<char>(bufs_.seqs, a_idx);
+            std::int32_t dep = a.dep;
+            for (std::uint32_t j = 1; j <= max_r; ++j) {
+                // Register-blocked rows: one 16B local access / 4 cells.
+                if (j % 4 == 1) {
+                    const std::int32_t ld =
+                        w.localAccess(false, j / 4, 16, dep);
+                    dep = -1;
+                    w.emitInt(3, ld);
+                    w.localAccess(true,
+                                  (bufs_.maxLen + 4) / 4 + j / 4, 16);
+                } else {
+                    w.emitInt(3);
+                }
+                for (int lane = 0; lane < warpSize; ++lane) {
+                    if (!((row_mask >> lane) & 1u) ||
+                        j > lb[std::size_t(lane)])
+                        continue;
+                    auto &p = prev[std::size_t(lane)];
+                    auto &c = curr[std::size_t(lane)];
+                    const auto &lp = pairs[std::size_t(lane)];
+                    const int match =
+                        lp.a[i - 1] == lp.b[j - 1] ? 1 : 0;
+                    c[j] = std::max({p[j - 1] + match, p[j], c[j - 1]});
+                }
+            }
+            for (int lane = 0; lane < warpSize; ++lane)
+                std::swap(prev[std::size_t(lane)],
+                          curr[std::size_t(lane)]);
+            w.popMask();
+        }
+
+        LaneArray<std::int32_t> out = w.make<std::int32_t>(
+            [&](int lane) {
+                return ((pass >> lane) & 1u)
+                    ? prev[std::size_t(lane)][lb[std::size_t(lane)]]
+                    : -1;
+            });
+        w.storeGlobal<std::int32_t>(bufs_.results, res_idx, out);
+        w.popMask();
+        w.popMask();
+    }
+
+  private:
+    ClusterBuffers bufs_;
+    std::uint32_t chunkFirst_;
+    std::uint32_t chunkSize_;
+    std::uint32_t numReps_;
+};
+
+/** CDP parent: filter then identity as synchronized child grids. */
+class ClusterCdpParent : public KernelBody
+{
+  public:
+    ClusterCdpParent(const ClusterBuffers &bufs,
+                     std::uint32_t chunk_first, std::uint32_t chunk_size,
+                     std::uint32_t num_reps, Dim3 stage_grid)
+        : bufs_(bufs), chunkFirst_(chunk_first), chunkSize_(chunk_size),
+          numReps_(num_reps), stageGrid_(stage_grid)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        LaunchSpec filter;
+        filter.name = "cluster_filter";
+        filter.grid = stageGrid_;
+        filter.cta = {128, 1, 1};
+        filter.res.regsPerThread = 32;
+        filter.res.smemPerCtaBytes = 8 * 1024;
+        filter.body = std::make_shared<ClusterFilterKernel>(
+            bufs_, chunkFirst_, chunkSize_, numReps_);
+        w.launchChild(filter);
+        w.deviceSync();
+
+        LaunchSpec ident;
+        ident.name = "cluster_identity";
+        ident.grid = stageGrid_;
+        ident.cta = {128, 1, 1};
+        ident.res.regsPerThread = 40;
+        ident.res.smemPerCtaBytes = 8 * 1024;
+        ident.body = std::make_shared<ClusterIdentityKernel>(
+            bufs_, chunkFirst_, chunkSize_, numReps_);
+        w.launchChild(ident);
+        w.deviceSync();
+    }
+
+  private:
+    ClusterBuffers bufs_;
+    std::uint32_t chunkFirst_;
+    std::uint32_t chunkSize_;
+    std::uint32_t numReps_;
+    Dim3 stageGrid_;
+};
+
+class ClusterApp : public BenchmarkApp
+{
+  public:
+    std::string name() const override { return "CLUSTER"; }
+    std::string
+    fullName() const override
+    {
+        return "Greedy incremental alignment clustering (nGIA)";
+    }
+
+    AppRunResult
+    run(rt::Device &dev, const AppOptions &opts) override
+    {
+        const ClusterShape shape = shapeFor(opts.scale);
+        Rng rng(opts.seed ^ 0xC1u);
+
+        auto raw = genomics::makeFamilies(
+            rng, std::max<std::size_t>(2, shape.numSeqs / 8), 8,
+            shape.seqLen, 0.012, 0.04);
+        raw.resize(shape.numSeqs);
+
+        // Length-sorted processing order (greedy invariant).
+        std::stable_sort(raw.begin(), raw.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.data.size() > b.data.size();
+                         });
+
+        const std::uint32_t max_len = std::uint32_t(raw[0].data.size());
+        const std::uint32_t profile_words =
+            (1u << (2 * kWord)) / 32 + 1;
+
+        ClusterBuffers bufs;
+        bufs.maxLen = max_len;
+        bufs.maxReps = shape.numSeqs;
+        bufs.profileWords = profile_words;
+        auto d_seqs = dev.alloc<char>(std::size_t(shape.numSeqs) *
+                                      max_len);
+        auto d_lens = dev.alloc<std::uint32_t>(shape.numSeqs);
+        auto d_prof = dev.alloc<std::uint32_t>(
+            std::size_t(shape.numSeqs) * profile_words);
+        auto d_rep_ids = dev.alloc<std::uint32_t>(shape.numSeqs);
+        auto d_results = dev.alloc<std::int32_t>(
+            std::size_t(shape.chunk) * shape.numSeqs);
+        bufs.seqs = d_seqs.addr;
+        bufs.lens = d_lens.addr;
+        bufs.profiles = d_prof.addr;
+        bufs.repIds = d_rep_ids.addr;
+        bufs.results = d_results.addr;
+
+        std::vector<char> flat(std::size_t(shape.numSeqs) * max_len,
+                               'A');
+        std::vector<std::uint32_t> lens(shape.numSeqs);
+        for (std::uint32_t s = 0; s < shape.numSeqs; ++s) {
+            std::copy(raw[s].data.begin(), raw[s].data.end(),
+                      flat.begin() + std::size_t(s) * max_len);
+            lens[s] = std::uint32_t(raw[s].data.size());
+        }
+
+        const Cycles start = dev.gpu().now();
+        dev.upload(d_seqs, flat);
+        dev.upload(d_lens, lens);
+
+        AppRunResult result;
+        std::vector<int> assignment(shape.numSeqs, -1);
+        std::vector<std::uint32_t> reps;  // sequence indices
+
+        auto add_rep = [&](std::uint32_t seq_idx) {
+            const auto profile =
+                genomics::kmerProfile(raw[seq_idx].data, kWord);
+            dev.copyIn(bufs.profiles +
+                           Addr(reps.size()) * profile_words * 4,
+                       profile.data(), profile.size() * 4);
+            const std::uint32_t id32 = seq_idx;
+            dev.copyIn(bufs.repIds + Addr(reps.size()) * 4, &id32, 4);
+            reps.push_back(seq_idx);
+        };
+
+        for (std::uint32_t first = 0; first < shape.numSeqs;
+             first += shape.chunk) {
+            const std::uint32_t size =
+                std::min(shape.chunk, shape.numSeqs - first);
+
+            if (reps.empty()) {
+                // Bootstrap: the longest sequence seeds cluster 0.
+                add_rep(first);
+                assignment[first] = 0;
+            }
+
+            const std::uint32_t num_reps =
+                std::uint32_t(reps.size());
+            const std::uint32_t threads = size * num_reps;
+            Dim3 stage_grid{(threads + 127) / 128, 1, 1};
+
+            if (opts.cdp) {
+                LaunchSpec parent;
+                parent.name = "cluster_cdp_parent";
+                parent.grid = {1, 1, 1};
+                parent.cta = {32, 1, 1};
+                parent.res.regsPerThread = 32;
+                parent.body = std::make_shared<ClusterCdpParent>(
+                    bufs, first, size, num_reps, stage_grid);
+                result.kernelCycles += dev.launch(parent).cycles;
+                if (first == 0)
+                    result.primarySpec = parent;
+            } else {
+                LaunchSpec filter;
+                filter.name = "cluster_filter";
+                filter.grid = stage_grid;
+                filter.cta = {128, 1, 1};
+                filter.res.regsPerThread = 32;
+                filter.res.smemPerCtaBytes = 8 * 1024;
+                filter.body = std::make_shared<ClusterFilterKernel>(
+                    bufs, first, size, num_reps);
+                result.kernelCycles += dev.launch(filter).cycles;
+                if (first == 0)
+                    result.primarySpec = filter;
+
+                LaunchSpec ident;
+                ident.name = "cluster_identity";
+                ident.grid = stage_grid;
+                ident.cta = {128, 1, 1};
+                ident.res.regsPerThread = 40;
+                ident.res.smemPerCtaBytes = 8 * 1024;
+                ident.body = std::make_shared<ClusterIdentityKernel>(
+                    bufs, first, size, num_reps);
+                result.kernelCycles += dev.launch(ident).cycles;
+            }
+
+            // Download scores; greedy-assign on the host.
+            std::vector<std::int32_t> scores(std::size_t(size) *
+                                             bufs.maxReps);
+            dev.copyOut(scores.data(), bufs.results,
+                        scores.size() * 4);
+            for (std::uint32_t qi = 0; qi < size; ++qi) {
+                const std::uint32_t seq = first + qi;
+                if (assignment[seq] >= 0)
+                    continue;  // bootstrap rep
+                int chosen = -1;
+                for (std::uint32_t r = 0; r < num_reps; ++r) {
+                    const std::int32_t lcs =
+                        scores[qi * bufs.maxReps + r];
+                    if (lcs < 0)
+                        continue;
+                    const double denom = double(std::max(
+                        lens[seq], lens[reps[r]]));
+                    if (double(lcs) / denom >= kIdentityThreshold) {
+                        chosen = int(r);
+                        break;
+                    }
+                }
+                if (chosen < 0) {
+                    chosen = int(reps.size());
+                    add_rep(seq);
+                }
+                assignment[seq] = chosen;
+            }
+        }
+
+        result.totalCycles = dev.gpu().now() - start;
+
+        // ---- CPU verification: replay the same chunked pipeline ----
+        const auto cpu_start = std::chrono::steady_clock::now();
+        Scoring lcs_scoring;
+        lcs_scoring.match = 1;
+        lcs_scoring.mismatch = 0;
+        lcs_scoring.gapOpen = 0;
+        lcs_scoring.gapExtend = 0;
+
+        std::vector<int> expected(shape.numSeqs, -1);
+        std::vector<std::uint32_t> cpu_reps;
+        for (std::uint32_t first = 0; first < shape.numSeqs;
+             first += shape.chunk) {
+            const std::uint32_t size =
+                std::min(shape.chunk, shape.numSeqs - first);
+            if (cpu_reps.empty()) {
+                cpu_reps.push_back(first);
+                expected[first] = 0;
+            }
+            const std::uint32_t num_reps =
+                std::uint32_t(cpu_reps.size());
+            for (std::uint32_t qi = 0; qi < size; ++qi) {
+                const std::uint32_t seq = first + qi;
+                if (expected[seq] >= 0)
+                    continue;
+                int chosen = -1;
+                for (std::uint32_t r = 0; r < num_reps; ++r) {
+                    const auto &query = raw[seq].data;
+                    const auto &rep = raw[cpu_reps[r]].data;
+                    if (double(query.size()) <
+                            0.8 * double(rep.size()) ||
+                        query.size() < kWord)
+                        continue;
+                    const auto prof =
+                        genomics::kmerProfile(rep, kWord);
+                    const double frac = genomics::sharedWordFraction(
+                        prof, query, kWord);
+                    const std::uint32_t total =
+                        std::uint32_t(query.size()) - kWord + 1;
+                    if (std::uint32_t(frac * double(total) + 0.5) <
+                        neededWords(std::uint32_t(query.size())))
+                        continue;
+                    const int lcs =
+                        genomics::nwScore(query, rep, lcs_scoring);
+                    const double denom = double(
+                        std::max(query.size(), rep.size()));
+                    if (double(lcs) / denom >= kIdentityThreshold) {
+                        chosen = int(r);
+                        break;
+                    }
+                }
+                if (chosen < 0) {
+                    chosen = int(cpu_reps.size());
+                    cpu_reps.push_back(seq);
+                }
+                expected[seq] = chosen;
+            }
+        }
+        result.cpuReferenceSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cpu_start).count();
+
+        bool ok = assignment == expected;
+        if (!ok)
+            warn("CLUSTER: GPU assignment differs from CPU replay");
+        result.verified = ok;
+        result.detail = std::to_string(reps.size()) + " clusters over " +
+                        std::to_string(shape.numSeqs) + " sequences";
+        return result;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BenchmarkApp>
+makeClusterApp()
+{
+    return std::make_unique<ClusterApp>();
+}
+
+} // namespace ggpu::kernels

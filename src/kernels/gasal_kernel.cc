@@ -1,0 +1,485 @@
+/**
+ * @file
+ * GASAL2 benchmark family (GG = global, GL = local, GSG = semi-global,
+ * GKSW = KSW-style local extension): one thread aligns one pair with
+ * the affine-gap (Gotoh) DP, rolling H/E rows held in per-thread local
+ * memory — which is why local accesses dominate these kernels' memory
+ * mix (Fig 9). The host processes the workload in batches, uploading
+ * query/target/metadata and downloading results around every launch,
+ * so PCI transactions outnumber kernel launches (Fig 4). GKSW aligns
+ * a short query against a long target with full-length rows, giving
+ * it the large, cache-capacity-sensitive working set the paper
+ * observes (Figs 12-15, 18). Table III: grid (40,1,1), CTA (128,1,1).
+ */
+
+#include "kernels/app.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/datagen.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::kernels
+{
+
+namespace
+{
+
+using namespace ggpu::sim;
+using genomics::AlignMode;
+using genomics::Scoring;
+
+struct GasalShape
+{
+    std::uint32_t queryLen;
+    std::uint32_t targetLen;
+    std::uint32_t gridX;     //!< CTAs per launch (Table III: 40)
+    std::uint32_t batches;   //!< Host batch loop count
+
+    Dim3 grid() const { return {gridX, 1, 1}; }
+    Dim3 cta() const { return {128, 1, 1}; }
+    std::uint32_t pairsPerBatch() const { return gridX * 128; }
+    std::uint32_t totalPairs() const { return pairsPerBatch() * batches; }
+};
+
+GasalShape
+shapeFor(InputScale scale, AlignMode mode)
+{
+    const bool ksw = mode == AlignMode::KswBanded;
+    switch (scale) {
+      case InputScale::Tiny:
+        return ksw ? GasalShape{6, 48, 2, 1} : GasalShape{12, 12, 2, 1};
+      case InputScale::Small:
+        return ksw ? GasalShape{8, 192, 10, 2}
+                   : GasalShape{24, 24, 10, 2};
+      case InputScale::Medium:
+        return ksw ? GasalShape{12, 256, 40, 2}
+                   : GasalShape{24, 24, 40, 2};
+    }
+    panic("GasalApp: unknown scale");
+}
+
+struct GasalBuffers
+{
+    Addr query = 0;     //!< char, q[i * pairs + pair] (interleaved)
+    Addr target = 0;    //!< char, t[j * pairs + pair]
+    Addr meta = 0;      //!< per-pair metadata (lengths/offsets)
+    Addr scores = 0;    //!< int32 per pair
+    std::uint32_t totalPairs = 0;
+};
+
+/** Thread-per-pair affine-gap alignment over one batch. */
+class GasalKernel : public KernelBody
+{
+  public:
+    GasalKernel(const GasalBuffers &bufs, const GasalShape &shape,
+                AlignMode mode, std::uint32_t batch_offset,
+                const Scoring &scoring)
+        : bufs_(bufs), shape_(shape), mode_(mode),
+          batchOffset_(batch_offset), scoring_(scoring)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        const std::uint32_t lq = shape_.queryLen;
+        const std::uint32_t lt = shape_.targetLen;
+        const int open = scoring_.gapOpen + scoring_.gapExtend;
+        const int extend = scoring_.gapExtend;
+        const bool local_mode = mode_ == AlignMode::Local ||
+                                mode_ == AlignMode::KswBanded;
+        constexpr int neg_inf = INT32_MIN / 4;
+
+        auto pair = w.globalTid();
+        for (int lane = 0; lane < warpSize; ++lane)
+            pair[lane] += batchOffset_;
+        w.emitInt(1);
+
+        LaneMask active = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (w.laneActive(lane) && pair[lane] < bufs_.totalPairs)
+                active |= LaneMask(1) << lane;
+        w.emitInt(1);
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        // Scoring scheme + per-pair metadata.
+        w.constRead(4);
+        LaneArray<std::uint32_t> meta_idx = w.make<std::uint32_t>(
+            [&](int lane) { return pair[lane]; });
+        auto meta = w.loadGlobal<std::uint32_t>(bufs_.meta, meta_idx);
+        (void)meta;
+
+        // Cache the query in "registers" (one global gather per base).
+        std::array<std::array<char, 64>, warpSize> query{};
+        for (std::uint32_t i = 0; i < lq; ++i) {
+            LaneArray<std::uint32_t> idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return i * bufs_.totalPairs + pair[lane];
+                });
+            auto base = w.loadGlobal<char>(bufs_.query, idx);
+            for (int lane = 0; lane < warpSize; ++lane)
+                query[std::size_t(lane)][i] = base[lane];
+        }
+
+        // GG/GL/GSG work on short targets cached up front; GKSW
+        // streams its long target from global memory as it walks
+        // (packed-target walk), which is what makes it memory-bound.
+        const bool stream_target = mode_ == AlignMode::KswBanded;
+        std::array<std::vector<char>, warpSize> target_cache;
+        if (!stream_target) {
+            for (int lane = 0; lane < warpSize; ++lane)
+                target_cache[std::size_t(lane)].resize(lt);
+            for (std::uint32_t j = 0; j < lt; ++j) {
+                LaneArray<std::uint32_t> idx = w.make<std::uint32_t>(
+                    [&](int lane) {
+                        return j * bufs_.totalPairs + pair[lane];
+                    });
+                auto base = w.loadGlobal<char>(bufs_.target, idx);
+                for (int lane = 0; lane < warpSize; ++lane)
+                    target_cache[std::size_t(lane)][j] = base[lane];
+            }
+        }
+
+        // Functional DP state per lane: H rows and the vertical-gap F
+        // column over the target; the horizontal-gap E runs along the
+        // row as a scalar.
+        std::array<std::vector<int>, warpSize> h_prev, h_curr, f_col;
+        std::array<int, warpSize> best{};
+        for (int lane = 0; lane < warpSize; ++lane) {
+            auto &hp = h_prev[std::size_t(lane)];
+            hp.assign(lt + 1, 0);
+            if (mode_ == AlignMode::Global) {
+                for (std::uint32_t j = 1; j <= lt; ++j)
+                    hp[j] = open + int(j - 1) * extend;
+            }
+            h_curr[std::size_t(lane)].assign(lt + 1, 0);
+            f_col[std::size_t(lane)].assign(lt + 1, neg_inf);
+            best[std::size_t(lane)] = local_mode ? 0 : neg_inf;
+        }
+
+        for (std::uint32_t i = 1; i <= lq; ++i) {
+            // Row boundary; E runs along the row per lane.
+            w.emitInt(2);
+            std::array<int, warpSize> e_run{};
+            for (int lane = 0; lane < warpSize; ++lane) {
+                e_run[std::size_t(lane)] = neg_inf;
+                h_curr[std::size_t(lane)][0] = local_mode
+                    ? 0 : open + int(i - 1) * extend;
+            }
+
+            std::int32_t stream_dep = -1;
+            for (std::uint32_t j = 1; j <= lt; ++j) {
+                LaneArray<char> tb;
+                tb.ctx = &w;
+                if (stream_target) {
+                    // One packed 4-byte fetch covers four cells.
+                    if (j % 4 == 1) {
+                        LaneArray<std::uint32_t> t_idx =
+                            w.make<std::uint32_t>([&](int lane) {
+                                return ((j - 1) / 4) *
+                                           bufs_.totalPairs +
+                                       pair[lane];
+                            });
+                        stream_dep =
+                            w.loadGlobal<std::uint32_t>(bufs_.target,
+                                                        t_idx)
+                                .dep;
+                    }
+                    for (int lane = 0; lane < warpSize; ++lane) {
+                        if ((active >> lane) & 1u)
+                            tb[lane] = w.mem().load<char>(
+                                bufs_.target +
+                                Addr(j - 1) * bufs_.totalPairs +
+                                pair[lane]);
+                    }
+                    tb.dep = stream_dep;
+                } else {
+                    for (int lane = 0; lane < warpSize; ++lane) {
+                        if ((active >> lane) & 1u)
+                            tb[lane] =
+                                target_cache[std::size_t(lane)][j - 1];
+                    }
+                }
+
+                // H of the previous row from local memory, register-
+                // blocked: one 16-byte packed access covers four DP
+                // cells (E/F stay in registers, as in GASAL2).
+                if (j % 4 == 1) {
+                    const std::int32_t ld =
+                        w.localAccess(false, j / 4, 16, tb.dep);
+                    w.emitInt(6, ld);  // E, F, H max chains + best
+                    w.localAccess(true, (lt + 4) / 4 + j / 4, 16);
+                } else {
+                    w.emitInt(6, tb.dep);
+                }
+
+                for (int lane = 0; lane < warpSize; ++lane) {
+                    if (!((active >> lane) & 1u))
+                        continue;
+                    auto &hp = h_prev[std::size_t(lane)];
+                    auto &hc = h_curr[std::size_t(lane)];
+                    auto &fc = f_col[std::size_t(lane)];
+                    const char qb = query[std::size_t(lane)][i - 1];
+                    // E: horizontal gap, carried along the row.
+                    int &e = e_run[std::size_t(lane)];
+                    e = std::max(hc[j - 1] + open, e + extend);
+                    // F: vertical gap, carried down the column.
+                    fc[j] = std::max(hp[j] + open, fc[j] + extend);
+                    int h = hp[j - 1] + scoring_.subst(qb, tb[lane]);
+                    h = std::max({h, e, fc[j]});
+                    if (local_mode)
+                        h = std::max(h, 0);
+                    hc[j] = h;
+
+                    int &bl = best[std::size_t(lane)];
+                    if (local_mode) {
+                        bl = std::max(bl, h);
+                    } else if (mode_ == AlignMode::SemiGlobal &&
+                               i == lq) {
+                        bl = std::max(bl, h);
+                    } else if (mode_ == AlignMode::Global && i == lq &&
+                               j == lt) {
+                        bl = h;
+                    }
+                }
+            }
+            for (int lane = 0; lane < warpSize; ++lane)
+                std::swap(h_prev[std::size_t(lane)],
+                          h_curr[std::size_t(lane)]);
+        }
+
+        LaneArray<std::int32_t> out = w.make<std::int32_t>(
+            [&best](int lane) { return best[std::size_t(lane)]; });
+        LaneArray<std::uint32_t> out_idx = w.make<std::uint32_t>(
+            [&pair](int lane) { return pair[lane]; });
+        w.storeGlobal<std::int32_t>(bufs_.scores, out_idx, out);
+        w.popMask();
+    }
+
+  private:
+    GasalBuffers bufs_;
+    GasalShape shape_;
+    AlignMode mode_;
+    std::uint32_t batchOffset_;
+    Scoring scoring_;
+};
+
+/** CDP parent: launches per-batch children instead of the host loop. */
+class GasalCdpParent : public KernelBody
+{
+  public:
+    GasalCdpParent(const GasalBuffers &bufs, const GasalShape &shape,
+                   AlignMode mode, const Scoring &scoring)
+        : bufs_(bufs), shape_(shape), mode_(mode), scoring_(scoring)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        const std::uint32_t half_grid =
+            std::max(1u, shape_.gridX / 2);
+        const std::uint32_t half_pairs = half_grid * 128;
+        for (std::uint32_t b = 0; b < shape_.batches; ++b) {
+            // Within a batch the pair range is split into two
+            // concurrent half-grids (dynamic parallelism exposes the
+            // slack the 40-CTA host launch leaves on a 78-SM device);
+            // batches stay ordered because they share the staging
+            // buffer.
+            for (std::uint32_t h = 0; h < 2; ++h) {
+                LaunchSpec child;
+                child.name = "gasal_half_batch";
+                child.grid = {half_grid, 1, 1};
+                child.cta = shape_.cta();
+                child.res.regsPerThread = 40;
+                child.body = std::make_shared<GasalKernel>(
+                    bufs_, shape_, mode_,
+                    b * shape_.pairsPerBatch() + h * half_pairs,
+                    scoring_);
+                w.emitInt(2);
+                w.launchChild(child);
+            }
+            w.deviceSync();
+        }
+    }
+
+  private:
+    GasalBuffers bufs_;
+    GasalShape shape_;
+    AlignMode mode_;
+    Scoring scoring_;
+};
+
+std::string
+abbrevFor(AlignMode mode)
+{
+    switch (mode) {
+      case AlignMode::Global: return "GG";
+      case AlignMode::Local: return "GL";
+      case AlignMode::KswBanded: return "GKSW";
+      case AlignMode::SemiGlobal: return "GSG";
+    }
+    return "G?";
+}
+
+class GasalApp : public BenchmarkApp
+{
+  public:
+    explicit GasalApp(AlignMode mode) : mode_(mode) {}
+
+    std::string name() const override { return abbrevFor(mode_); }
+    std::string
+    fullName() const override
+    {
+        return "GASAL2 " + genomics::toString(mode_);
+    }
+
+    AppRunResult
+    run(rt::Device &dev, const AppOptions &opts) override
+    {
+        const GasalShape shape = shapeFor(opts.scale, mode_);
+        const Scoring scoring;
+        Rng rng(opts.seed ^ (0x77 + std::uint64_t(mode_)));
+
+        const std::uint32_t pairs = shape.totalPairs();
+        std::vector<std::string> queries(pairs), targets(pairs);
+        for (std::uint32_t p = 0; p < pairs; ++p) {
+            queries[p] = genomics::randomDna(rng, shape.queryLen);
+            if (mode_ == AlignMode::KswBanded) {
+                // Query embedded in a long target (extension case).
+                const std::string pad_l = genomics::randomDna(
+                    rng, rng.below(shape.targetLen - shape.queryLen));
+                std::string t = pad_l +
+                    genomics::mutate(rng, queries[p],
+                                     genomics::MutationProfile{});
+                if (t.size() > shape.targetLen)
+                    t.resize(shape.targetLen);
+                t += genomics::randomDna(rng,
+                                         shape.targetLen - t.size());
+                targets[p] = std::move(t);
+            } else {
+                genomics::MutationProfile profile;
+                profile.insertionRate = 0;
+                profile.deletionRate = 0;
+                targets[p] =
+                    genomics::mutate(rng, queries[p], profile);
+            }
+        }
+
+        std::vector<char> q(std::size_t(shape.queryLen) * pairs);
+        std::vector<char> t(std::size_t(shape.targetLen) * pairs);
+        for (std::uint32_t p = 0; p < pairs; ++p) {
+            for (std::uint32_t i = 0; i < shape.queryLen; ++i)
+                q[std::size_t(i) * pairs + p] = queries[p][i];
+            for (std::uint32_t j = 0; j < shape.targetLen; ++j)
+                t[std::size_t(j) * pairs + p] = targets[p][j];
+        }
+        std::vector<std::uint32_t> meta(pairs);
+        for (std::uint32_t p = 0; p < pairs; ++p)
+            meta[p] = (shape.queryLen << 16) | shape.targetLen;
+
+        GasalBuffers bufs;
+        bufs.totalPairs = pairs;
+        auto dq = dev.alloc<char>(q.size());
+        auto dt = dev.alloc<char>(t.size());
+        auto dm = dev.alloc<std::uint32_t>(pairs);
+        auto ds = dev.alloc<std::int32_t>(pairs);
+        bufs.query = dq.addr;
+        bufs.target = dt.addr;
+        bufs.meta = dm.addr;
+        bufs.scores = ds.addr;
+
+        const Cycles start = dev.gpu().now();
+        AppRunResult result;
+
+        if (opts.cdp) {
+            // All copies up front, then one parent kernel drives the
+            // batch loop on-device.
+            dev.upload(dq, q);
+            dev.upload(dt, t);
+            dev.upload(dm, meta);
+            LaunchSpec parent;
+            parent.name = "gasal_cdp_parent";
+            parent.grid = {1, 1, 1};
+            parent.cta = {32, 1, 1};
+            parent.res.regsPerThread = 32;
+            parent.body = std::make_shared<GasalCdpParent>(
+                bufs, shape, mode_, scoring);
+            result.kernelCycles += dev.launch(parent).cycles;
+            result.primarySpec = parent;
+            (void)dev.download(ds);
+        } else {
+            // GASAL2 batch pipeline: copies bracket every launch, so
+            // PCI transactions outnumber kernels.
+            const std::uint32_t per = shape.pairsPerBatch();
+            for (std::uint32_t b = 0; b < shape.batches; ++b) {
+                const std::size_t qoff =
+                    0;  // interleaved layout: upload whole planes
+                (void)qoff;
+                dev.copyIn(bufs.query, q.data(), q.size());
+                dev.copyIn(bufs.target, t.data(), t.size());
+                dev.copyIn(bufs.meta, meta.data(),
+                           meta.size() * sizeof(std::uint32_t));
+                LaunchSpec spec;
+                spec.name = "gasal_batch";
+                spec.grid = shape.grid();
+                spec.cta = shape.cta();
+                spec.res.regsPerThread = 40;
+                spec.body = std::make_shared<GasalKernel>(
+                    bufs, shape, mode_, b * per, scoring);
+                result.kernelCycles += dev.launch(spec).cycles;
+                if (b == 0)
+                    result.primarySpec = spec;
+                std::vector<std::int32_t> partial(per);
+                dev.copyOut(partial.data(),
+                            bufs.scores + Addr(b) * per * 4,
+                            partial.size() * 4);
+            }
+        }
+
+        const auto gpu_scores = dev.download(ds);
+        result.totalCycles = dev.gpu().now() - start;
+
+        const auto cpu_start = std::chrono::steady_clock::now();
+        const AlignMode verify_mode = mode_ == AlignMode::KswBanded
+            ? AlignMode::Local : mode_;  // GKSW computes full rows
+        bool ok = true;
+        for (std::uint32_t p = 0; p < pairs; ++p) {
+            const int expected = genomics::alignAffine(
+                queries[p], targets[p], scoring, verify_mode).score;
+            if (gpu_scores[p] != expected) {
+                warn(name(), ": pair ", p, " GPU ", gpu_scores[p],
+                     " CPU ", expected);
+                ok = false;
+            }
+        }
+        result.cpuReferenceSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cpu_start).count();
+        result.verified = ok;
+        result.detail = std::to_string(pairs) + " pairs " +
+                        std::to_string(shape.queryLen) + "x" +
+                        std::to_string(shape.targetLen);
+        return result;
+    }
+
+  private:
+    AlignMode mode_;
+};
+
+} // namespace
+
+std::unique_ptr<BenchmarkApp>
+makeGasalApp(genomics::AlignMode mode)
+{
+    return std::make_unique<GasalApp>(mode);
+}
+
+} // namespace ggpu::kernels

@@ -1,0 +1,712 @@
+/**
+ * @file
+ * NvBowtie benchmark (NvB): FM-index short-read mapping in the NVBIO
+ * style. The host builds the FM-index and streams read batches; per
+ * batch the GPU runs three short stage kernels — seed (backward
+ * search, two occurrence-table texture fetches per step), locate
+ * (suffix-array lookups), extend (banded semi-global scoring around
+ * each anchor) — so execution is dominated by kernel-launch setup
+ * ("functional done" stalls, Fig 5) and random texture/global traffic
+ * with very high L1/L2 miss rates (Figs 13-14). Table III: grid
+ * (2048,1,1), CTA (256,1,1), hg19 + SRR493095 (synthetic equivalents
+ * here). The CDP variant launches the stage kernels from a per-batch
+ * parent kernel.
+ */
+
+#include "kernels/app.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/align/banded.hh"
+#include "genomics/datagen.hh"
+#include "genomics/index/fm_index.hh"
+#include "genomics/map/read_mapper.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::kernels
+{
+
+namespace
+{
+
+using namespace ggpu::sim;
+using genomics::FmIndex;
+using genomics::MapperParams;
+using genomics::Scoring;
+
+constexpr std::uint32_t kMaxCandidates = 16;
+
+struct NvbShape
+{
+    std::uint32_t refLen;
+    std::uint32_t readLen;
+    std::uint32_t readsPerBatch;
+    std::uint32_t batches;
+
+    Dim3 grid() const
+    {
+        return {(readsPerBatch + 255) / 256, 1, 1};
+    }
+    Dim3 cta() const { return {256, 1, 1}; }
+    std::uint32_t totalReads() const
+    {
+        return readsPerBatch * batches;
+    }
+};
+
+NvbShape
+shapeFor(InputScale scale)
+{
+    switch (scale) {
+      case InputScale::Tiny: return {2048, 36, 64, 2};
+      case InputScale::Small: return {8192, 48, 256, 6};
+      case InputScale::Medium: return {32768, 64, 512, 8};
+    }
+    panic("NvbApp: unknown scale");
+}
+
+struct NvbBuffers
+{
+    Addr occ = 0;        //!< u32 [4][bwtLen+1] dense occurrence table
+    Addr cArr = 0;       //!< u32 [5]
+    Addr sa = 0;         //!< u32 suffix array
+    Addr ref = 0;        //!< char reference text
+    Addr reads = 0;      //!< char [read][readLen]
+    Addr seedRanges = 0; //!< u32 [read][numSeeds][2] (lo, hi)
+    Addr candidates = 0; //!< u32 [read][kMaxCandidates+1] (count, ...)
+    Addr results = 0;    //!< i32 [read][2]: best score, position
+    std::uint32_t bwtLen = 0;
+    std::uint32_t refLen = 0;
+    std::uint32_t numSeeds = 0;
+};
+
+/** Per-batch host-side copies of the functional inputs. */
+struct NvbHostData
+{
+    const FmIndex *index = nullptr;
+    const std::string *reference = nullptr;
+    std::vector<std::string> reads;
+    MapperParams params;
+    Scoring scoring;
+};
+
+/** Stage 1: exact backward search of each read's seeds. */
+class NvbSeedKernel : public KernelBody
+{
+  public:
+    NvbSeedKernel(const NvbBuffers &bufs,
+                  std::shared_ptr<NvbHostData> host,
+                  std::uint32_t batch_first, std::uint32_t batch_size)
+        : bufs_(bufs), host_(std::move(host)), batchFirst_(batch_first),
+          batchSize_(batch_size)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(4);  // C array from constant memory
+        auto gid = w.globalTid();
+
+        LaneMask active = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (w.laneActive(lane) && gid[lane] < batchSize_)
+                active |= LaneMask(1) << lane;
+        w.emitInt(1);
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        const MapperParams &mp = host_->params;
+        const FmIndex &index = *host_->index;
+        const std::uint32_t stride = bufs_.bwtLen + 1;
+
+        for (std::uint32_t seed = 0; seed < bufs_.numSeeds; ++seed) {
+            const std::size_t seed_start = seed * mp.seedStride;
+
+            // Per-lane running SA ranges.
+            std::array<FmIndex::Range, warpSize> range;
+            range.fill(index.wholeRange());
+
+            LaneMask running = active;
+            for (std::uint32_t step = 0;
+                 step < mp.seedLength && running; ++step) {
+                w.branchPoint();
+                w.pushMask(running);
+                // Read base, then two occ fetches via texture.
+                LaneArray<std::uint32_t> base_idx =
+                    w.make<std::uint32_t>([&](int lane) {
+                        const std::uint32_t r = batchFirst_ + gid[lane];
+                        return r * std::uint32_t(
+                                       host_->reads[0].size()) +
+                               std::uint32_t(seed_start +
+                                             mp.seedLength - 1 - step);
+                    });
+                auto base = w.loadGlobal<char>(bufs_.reads, base_idx);
+
+                std::array<std::uint8_t, warpSize> code{};
+                for (int lane = 0; lane < warpSize; ++lane) {
+                    if ((running >> lane) & 1u)
+                        code[std::size_t(lane)] =
+                            genomics::baseToCode(base[lane]);
+                }
+                LaneArray<std::uint32_t> occ_lo = w.make<std::uint32_t>(
+                    [&](int lane) {
+                        return code[std::size_t(lane)] * stride +
+                               range[std::size_t(lane)].lo;
+                    });
+                LaneArray<std::uint32_t> occ_hi = w.make<std::uint32_t>(
+                    [&](int lane) {
+                        return code[std::size_t(lane)] * stride +
+                               range[std::size_t(lane)].hi;
+                    });
+                auto lo = w.loadTex<std::uint32_t>(bufs_.occ, occ_lo);
+                auto hi = w.loadTex<std::uint32_t>(bufs_.occ, occ_hi);
+                w.emitInt(4, std::max(lo.dep, hi.dep));
+
+                for (int lane = 0; lane < warpSize; ++lane) {
+                    if (!((running >> lane) & 1u))
+                        continue;
+                    auto &rg = range[std::size_t(lane)];
+                    const std::uint32_t c =
+                        index.cOf(code[std::size_t(lane)]);
+                    rg.lo = c + lo[lane];
+                    rg.hi = c + hi[lane];
+                    if (rg.empty())
+                        running &= ~(LaneMask(1) << lane);
+                }
+                w.popMask();
+            }
+
+            // Store the (lo, hi) pair for this seed.
+            LaneArray<std::uint32_t> out_lo = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return (gid[lane] * bufs_.numSeeds + seed) * 2;
+                });
+            LaneArray<std::uint32_t> lo_val = w.make<std::uint32_t>(
+                [&](int lane) { return range[std::size_t(lane)].lo; });
+            LaneArray<std::uint32_t> out_hi = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return (gid[lane] * bufs_.numSeeds + seed) * 2 + 1;
+                });
+            LaneArray<std::uint32_t> hi_val = w.make<std::uint32_t>(
+                [&](int lane) { return range[std::size_t(lane)].hi; });
+            w.storeGlobal<std::uint32_t>(bufs_.seedRanges, out_lo,
+                                         lo_val);
+            w.storeGlobal<std::uint32_t>(bufs_.seedRanges, out_hi,
+                                         hi_val);
+        }
+        w.popMask();
+    }
+
+  private:
+    NvbBuffers bufs_;
+    std::shared_ptr<NvbHostData> host_;
+    std::uint32_t batchFirst_;
+    std::uint32_t batchSize_;
+};
+
+/** Stage 2: suffix-array lookups -> deduplicated sorted candidates. */
+class NvbLocateKernel : public KernelBody
+{
+  public:
+    NvbLocateKernel(const NvbBuffers &bufs,
+                    std::shared_ptr<NvbHostData> host,
+                    std::uint32_t batch_first, std::uint32_t batch_size)
+        : bufs_(bufs), host_(std::move(host)), batchFirst_(batch_first),
+          batchSize_(batch_size)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        auto gid = w.globalTid();
+
+        LaneMask active = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (w.laneActive(lane) && gid[lane] < batchSize_)
+                active |= LaneMask(1) << lane;
+        w.emitInt(1);
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        const MapperParams &mp = host_->params;
+        std::array<std::vector<std::uint32_t>, warpSize> cands;
+
+        for (std::uint32_t seed = 0; seed < bufs_.numSeeds; ++seed) {
+            // Load this seed's range back.
+            LaneArray<std::uint32_t> lo_idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return (gid[lane] * bufs_.numSeeds + seed) * 2;
+                });
+            auto lo = w.loadGlobal<std::uint32_t>(bufs_.seedRanges,
+                                                  lo_idx);
+            LaneArray<std::uint32_t> hi_idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return (gid[lane] * bufs_.numSeeds + seed) * 2 + 1;
+                });
+            auto hi = w.loadGlobal<std::uint32_t>(bufs_.seedRanges,
+                                                  hi_idx);
+            w.emitInt(2, std::max(lo.dep, hi.dep));
+
+            // SA fetch loop: lanes with more hits keep running.
+            std::uint32_t max_hits = 0;
+            std::array<std::uint32_t, warpSize> hits{};
+            for (int lane = 0; lane < warpSize; ++lane) {
+                if (!((active >> lane) & 1u))
+                    continue;
+                const std::uint32_t count =
+                    hi[lane] > lo[lane] ? hi[lane] - lo[lane] : 0;
+                hits[std::size_t(lane)] = std::min(
+                    count, std::uint32_t(mp.maxSeedHits));
+                max_hits = std::max(max_hits,
+                                    hits[std::size_t(lane)]);
+            }
+
+            const std::size_t seed_start = seed * mp.seedStride;
+            for (std::uint32_t h = 0; h < max_hits; ++h) {
+                LaneMask mask = 0;
+                for (int lane = 0; lane < warpSize; ++lane)
+                    if (((active >> lane) & 1u) &&
+                        h < hits[std::size_t(lane)])
+                        mask |= LaneMask(1) << lane;
+                w.branchPoint();
+                w.pushMask(mask);
+                LaneArray<std::uint32_t> sa_idx = w.make<std::uint32_t>(
+                    [&](int lane) { return lo[lane] + h; });
+                auto pos = w.loadTex<std::uint32_t>(bufs_.sa, sa_idx);
+                w.emitInt(3, pos.dep);
+                for (int lane = 0; lane < warpSize; ++lane) {
+                    if (!((mask >> lane) & 1u))
+                        continue;
+                    if (pos[lane] >= seed_start) {
+                        cands[std::size_t(lane)].push_back(
+                            std::uint32_t(pos[lane] - seed_start));
+                    }
+                }
+                w.popMask();
+            }
+        }
+
+        // Dedup + sort in local memory (insertion sort, data-dependent
+        // trip counts -> divergence), then store.
+        std::uint32_t max_c = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!((active >> lane) & 1u))
+                continue;
+            auto &cv = cands[std::size_t(lane)];
+            std::sort(cv.begin(), cv.end());
+            cv.erase(std::unique(cv.begin(), cv.end()), cv.end());
+            if (cv.size() > kMaxCandidates)
+                cv.resize(kMaxCandidates);
+            max_c = std::max(max_c, std::uint32_t(cv.size()));
+        }
+        w.localAccess(true, 0, 4);
+        w.emitInt(2 * max_c + 2);  // insertion sort + dedup passes
+
+        LaneArray<std::uint32_t> cnt_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return gid[lane] * (kMaxCandidates + 1);
+            });
+        LaneArray<std::uint32_t> cnt = w.make<std::uint32_t>(
+            [&](int lane) {
+                return std::uint32_t(cands[std::size_t(lane)].size());
+            });
+        w.storeGlobal<std::uint32_t>(bufs_.candidates, cnt_idx, cnt);
+        for (std::uint32_t c = 0; c < max_c; ++c) {
+            LaneMask mask = 0;
+            for (int lane = 0; lane < warpSize; ++lane)
+                if (((active >> lane) & 1u) &&
+                    c < cands[std::size_t(lane)].size())
+                    mask |= LaneMask(1) << lane;
+            if (mask == 0)
+                break;
+            w.pushMask(mask);
+            LaneArray<std::uint32_t> idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return gid[lane] * (kMaxCandidates + 1) + 1 + c;
+                });
+            LaneArray<std::uint32_t> val = w.make<std::uint32_t>(
+                [&](int lane) {
+                    const auto &cv = cands[std::size_t(lane)];
+                    return c < cv.size() ? cv[c] : 0;
+                });
+            w.storeGlobal<std::uint32_t>(bufs_.candidates, idx, val);
+            w.popMask();
+        }
+        w.popMask();
+    }
+
+  private:
+    NvbBuffers bufs_;
+    std::shared_ptr<NvbHostData> host_;
+    std::uint32_t batchFirst_;
+    std::uint32_t batchSize_;
+};
+
+/** Stage 3: banded semi-global extension at every candidate. */
+class NvbExtendKernel : public KernelBody
+{
+  public:
+    NvbExtendKernel(const NvbBuffers &bufs,
+                    std::shared_ptr<NvbHostData> host,
+                    std::uint32_t batch_first, std::uint32_t batch_size)
+        : bufs_(bufs), host_(std::move(host)), batchFirst_(batch_first),
+          batchSize_(batch_size)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(4);
+        auto gid = w.globalTid();
+
+        LaneMask active = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (w.laneActive(lane) && gid[lane] < batchSize_)
+                active |= LaneMask(1) << lane;
+        w.emitInt(1);
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        const MapperParams &mp = host_->params;
+        const Scoring &scoring = host_->scoring;
+        const std::uint32_t rlen =
+            std::uint32_t(host_->reads[0].size());
+
+        // Candidate counts.
+        LaneArray<std::uint32_t> cnt_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return gid[lane] * (kMaxCandidates + 1);
+            });
+        auto cnt = w.loadGlobal<std::uint32_t>(bufs_.candidates,
+                                               cnt_idx);
+        w.emitInt(1, cnt.dep);
+
+        std::array<int, warpSize> best_score;
+        std::array<std::uint32_t, warpSize> best_pos{};
+        std::array<bool, warpSize> mapped{};
+        best_score.fill(INT32_MIN / 4);
+
+        std::uint32_t max_c = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if ((active >> lane) & 1u)
+                max_c = std::max(max_c, cnt[lane]);
+
+        for (std::uint32_t c = 0; c < max_c; ++c) {
+            LaneMask mask = 0;
+            for (int lane = 0; lane < warpSize; ++lane)
+                if (((active >> lane) & 1u) && c < cnt[lane])
+                    mask |= LaneMask(1) << lane;
+            w.branchPoint();
+            if (mask == 0)
+                break;
+            w.pushMask(mask);
+
+            LaneArray<std::uint32_t> cand_idx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return gid[lane] * (kMaxCandidates + 1) + 1 + c;
+                });
+            auto pos = w.loadGlobal<std::uint32_t>(bufs_.candidates,
+                                                   cand_idx);
+            w.emitInt(2, pos.dep);
+
+            // Banded DP over the window: per row, one reference byte
+            // gather plus local-memory row traffic.
+            for (std::uint32_t i = 1; i <= rlen; ++i) {
+                LaneArray<std::uint32_t> ridx = w.make<std::uint32_t>(
+                    [&](int lane) {
+                        return (pos[lane] + i - 1) %
+                               std::max(1u, bufs_.refLen);
+                    });
+                auto rb = w.loadGlobal<char>(bufs_.ref, ridx);
+                const std::int32_t ld =
+                    w.localAccess(false, i % 64, 4, rb.dep);
+                w.emitInt(4 * std::uint32_t(mp.band) / 2, ld);
+                w.localAccess(true, 64 + i % 64, 4);
+            }
+
+            // Functional score via the reference aligner (the kernel's
+            // DP is emission-shaped above; values come from the exact
+            // same algorithm the CPU reference uses).
+            for (int lane = 0; lane < warpSize; ++lane) {
+                if (!((mask >> lane) & 1u))
+                    continue;
+                const std::uint32_t read_id =
+                    batchFirst_ + gid[lane];
+                const std::string &read =
+                    host_->reads[read_id - batchFirst_];
+                const std::string &ref = *host_->reference;
+                if (pos[lane] + read.size() > ref.size())
+                    continue;
+                const std::string window = ref.substr(
+                    pos[lane], read.size() + std::size_t(mp.band));
+                const int score = genomics::alignAffine(
+                    read, window, scoring,
+                    genomics::AlignMode::SemiGlobal, mp.band).score;
+                if (!mapped[std::size_t(lane)] ||
+                    score > best_score[std::size_t(lane)]) {
+                    mapped[std::size_t(lane)] = score >= mp.minScore;
+                    best_score[std::size_t(lane)] = score;
+                    best_pos[std::size_t(lane)] = pos[lane];
+                }
+            }
+            w.popMask();
+        }
+
+        LaneArray<std::uint32_t> s_idx = w.make<std::uint32_t>(
+            [&](int lane) { return gid[lane] * 2; });
+        LaneArray<std::int32_t> s_val = w.make<std::int32_t>(
+            [&](int lane) {
+                return mapped[std::size_t(lane)]
+                    ? best_score[std::size_t(lane)] : INT32_MIN / 4;
+            });
+        LaneArray<std::uint32_t> p_idx = w.make<std::uint32_t>(
+            [&](int lane) { return gid[lane] * 2 + 1; });
+        LaneArray<std::int32_t> p_val = w.make<std::int32_t>(
+            [&](int lane) {
+                return std::int32_t(best_pos[std::size_t(lane)]);
+            });
+        w.storeGlobal<std::int32_t>(bufs_.results, s_idx, s_val);
+        w.storeGlobal<std::int32_t>(bufs_.results, p_idx, p_val);
+        w.popMask();
+    }
+
+  private:
+    NvbBuffers bufs_;
+    std::shared_ptr<NvbHostData> host_;
+    std::uint32_t batchFirst_;
+    std::uint32_t batchSize_;
+};
+
+/** CDP parent: seed -> locate -> extend as synchronized children. */
+class NvbCdpParent : public KernelBody
+{
+  public:
+    NvbCdpParent(const NvbBuffers &bufs,
+                 std::shared_ptr<NvbHostData> host, const NvbShape &shape,
+                 std::uint32_t batch_first, std::uint32_t batch_size)
+        : bufs_(bufs), host_(std::move(host)), shape_(shape),
+          batchFirst_(batch_first), batchSize_(batch_size)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        auto stage = [&](const std::string &name,
+                         std::shared_ptr<KernelBody> body) {
+            LaunchSpec child;
+            child.name = name;
+            child.grid = shape_.grid();
+            child.cta = shape_.cta();
+            child.res.regsPerThread = 32;
+            child.body = std::move(body);
+            w.launchChild(child);
+            w.deviceSync();
+        };
+        stage("nvb_seed", std::make_shared<NvbSeedKernel>(
+                              bufs_, host_, batchFirst_, batchSize_));
+        stage("nvb_locate", std::make_shared<NvbLocateKernel>(
+                                bufs_, host_, batchFirst_, batchSize_));
+        stage("nvb_extend", std::make_shared<NvbExtendKernel>(
+                                bufs_, host_, batchFirst_, batchSize_));
+    }
+
+  private:
+    NvbBuffers bufs_;
+    std::shared_ptr<NvbHostData> host_;
+    NvbShape shape_;
+    std::uint32_t batchFirst_;
+    std::uint32_t batchSize_;
+};
+
+class NvbApp : public BenchmarkApp
+{
+  public:
+    std::string name() const override { return "NvB"; }
+    std::string
+    fullName() const override
+    {
+        return "NvBowtie FM-index read mapping";
+    }
+
+    AppRunResult
+    run(rt::Device &dev, const AppOptions &opts) override
+    {
+        const NvbShape shape = shapeFor(opts.scale);
+        Rng rng(opts.seed ^ 0xB0B0);
+
+        MapperParams params;
+        params.seedLength = std::min<std::size_t>(20, shape.readLen / 2);
+        params.seedStride = params.seedLength / 2;
+        params.maxSeedHits = kMaxCandidates;
+        params.band = 8;
+
+        auto read_set = genomics::makeReadSet(
+            rng, shape.refLen, shape.totalReads(), shape.readLen, 0.01);
+        const FmIndex index(read_set.reference);
+
+        const std::uint32_t num_seeds = std::uint32_t(
+            (shape.readLen - params.seedLength) / params.seedStride + 1);
+
+        NvbBuffers bufs;
+        bufs.bwtLen = std::uint32_t(index.bwt().size());
+        bufs.refLen = shape.refLen;
+        bufs.numSeeds = num_seeds;
+
+        const auto occ = index.flatOccTable();
+        const auto &sa = index.suffixArray();
+        auto d_occ = dev.alloc<std::uint32_t>(occ.size());
+        auto d_c = dev.alloc<std::uint32_t>(5);
+        auto d_sa = dev.alloc<std::uint32_t>(sa.size());
+        auto d_ref = dev.alloc<char>(shape.refLen);
+        auto d_reads = dev.alloc<char>(std::size_t(shape.readsPerBatch) *
+                                       shape.readLen);
+        auto d_ranges = dev.alloc<std::uint32_t>(
+            std::size_t(shape.readsPerBatch) * num_seeds * 2);
+        auto d_cands = dev.alloc<std::uint32_t>(
+            std::size_t(shape.readsPerBatch) * (kMaxCandidates + 1));
+        auto d_results = dev.alloc<std::int32_t>(
+            std::size_t(shape.readsPerBatch) * 2);
+        bufs.occ = d_occ.addr;
+        bufs.cArr = d_c.addr;
+        bufs.sa = d_sa.addr;
+        bufs.ref = d_ref.addr;
+        bufs.reads = d_reads.addr;
+        bufs.seedRanges = d_ranges.addr;
+        bufs.candidates = d_cands.addr;
+        bufs.results = d_results.addr;
+
+        const Cycles start = dev.gpu().now();
+        dev.upload(d_occ, occ);
+        dev.upload(d_sa, sa);
+        dev.copyIn(d_ref.addr, read_set.reference.data(), shape.refLen);
+
+        AppRunResult result;
+        std::vector<std::int32_t> all_results(
+            std::size_t(shape.totalReads()) * 2);
+
+        const Scoring scoring;
+        for (std::uint32_t b = 0; b < shape.batches; ++b) {
+            const std::uint32_t first = b * shape.readsPerBatch;
+
+            auto host = std::make_shared<NvbHostData>();
+            host->index = &index;
+            host->reference = &read_set.reference;
+            host->params = params;
+            host->scoring = scoring;
+            std::vector<char> flat(std::size_t(shape.readsPerBatch) *
+                                   shape.readLen);
+            for (std::uint32_t r = 0; r < shape.readsPerBatch; ++r) {
+                const auto &read = read_set.reads[first + r].data;
+                host->reads.push_back(read);
+                std::copy(read.begin(), read.end(),
+                          flat.begin() + std::size_t(r) * shape.readLen);
+            }
+            dev.upload(d_reads, flat);
+
+            // NOTE: kernels index reads relative to the batch buffer.
+            if (opts.cdp) {
+                LaunchSpec parent;
+                parent.name = "nvb_cdp_parent";
+                parent.grid = {1, 1, 1};
+                parent.cta = {32, 1, 1};
+                parent.res.regsPerThread = 32;
+                parent.body = std::make_shared<NvbCdpParent>(
+                    bufs, host, shape, 0, shape.readsPerBatch);
+                result.kernelCycles += dev.launch(parent).cycles;
+                if (b == 0)
+                    result.primarySpec = parent;
+            } else {
+                auto stage = [&](const std::string &name,
+                                 std::shared_ptr<KernelBody> body) {
+                    LaunchSpec spec;
+                    spec.name = name;
+                    spec.grid = shape.grid();
+                    spec.cta = shape.cta();
+                    spec.res.regsPerThread = 32;
+                    spec.body = std::move(body);
+                    result.kernelCycles += dev.launch(spec).cycles;
+                    return spec;
+                };
+                auto s1 = stage("nvb_seed",
+                                std::make_shared<NvbSeedKernel>(
+                                    bufs, host, 0,
+                                    shape.readsPerBatch));
+                stage("nvb_locate", std::make_shared<NvbLocateKernel>(
+                                        bufs, host, 0,
+                                        shape.readsPerBatch));
+                stage("nvb_extend", std::make_shared<NvbExtendKernel>(
+                                        bufs, host, 0,
+                                        shape.readsPerBatch));
+                if (b == 0)
+                    result.primarySpec = s1;
+            }
+
+            std::vector<std::int32_t> batch_out(
+                std::size_t(shape.readsPerBatch) * 2);
+            dev.copyOut(batch_out.data(), bufs.results,
+                        batch_out.size() * 4);
+            std::copy(batch_out.begin(), batch_out.end(),
+                      all_results.begin() +
+                          std::size_t(first) * 2);
+        }
+
+        result.totalCycles = dev.gpu().now() - start;
+
+        // ---- CPU reference: the seed-and-extend mapper -------------
+        const auto cpu_start = std::chrono::steady_clock::now();
+        bool ok = true;
+        std::uint32_t mapped = 0, correct = 0;
+        for (std::uint32_t r = 0; r < shape.totalReads(); ++r) {
+            const auto expected = genomics::mapRead(
+                index, read_set.reference, read_set.reads[r].data,
+                scoring, params);
+            const std::int32_t gpu_score = all_results[r * 2];
+            const std::int32_t gpu_pos = all_results[r * 2 + 1];
+            const bool gpu_mapped = gpu_score > INT32_MIN / 8;
+            if (gpu_mapped != expected.mapped ||
+                (expected.mapped &&
+                 (gpu_score != expected.score ||
+                  std::uint32_t(gpu_pos) != expected.position))) {
+                warn("NvB: read ", r, " GPU (", gpu_score, ",",
+                     gpu_pos, ") CPU (", expected.score, ",",
+                     expected.position, ")");
+                ok = false;
+            }
+            mapped += expected.mapped;
+            correct += expected.mapped &&
+                       expected.position == read_set.truePos[r];
+        }
+        result.cpuReferenceSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cpu_start).count();
+        result.verified = ok;
+        result.detail = std::to_string(mapped) + "/" +
+                        std::to_string(shape.totalReads()) +
+                        " mapped, " + std::to_string(correct) +
+                        " at the true position";
+        return result;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BenchmarkApp>
+makeNvbApp()
+{
+    return std::make_unique<NvbApp>();
+}
+
+} // namespace ggpu::kernels

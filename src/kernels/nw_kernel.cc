@@ -1,0 +1,490 @@
+/**
+ * @file
+ * Needleman-Wunsch benchmark (NW): one CTA aligns one pair by
+ * anti-diagonal wavefront. Each host launch advances a block of T
+ * diagonals; within a launch the diagonals are barrier-separated
+ * phases with the rolling diagonals held in shared memory (Table III:
+ * grid (500,1,1), CTA (128,1,1), shared + constant memory). Boundary
+ * diagonals persist between launches in global memory, so the kernel
+ * count far exceeds the PCI count (Fig 4). The shared-memory-off
+ * variant (Fig 7) keeps the diagonals in global memory throughout;
+ * the CDP variant launches the diagonal blocks from a parent kernel.
+ */
+
+#include "kernels/app.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/align/nw.hh"
+#include "genomics/datagen.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::kernels
+{
+
+namespace
+{
+
+using namespace ggpu::sim;
+using genomics::Scoring;
+
+struct NwShape
+{
+    std::uint32_t seqLen;
+    std::uint32_t pairs;        //!< == grid.x (one CTA per pair)
+    std::uint32_t diagTile;     //!< Diagonals advanced per launch
+
+    Dim3 grid() const { return {pairs, 1, 1}; }
+    Dim3 cta() const { return {128, 1, 1}; }
+    std::uint32_t diagonals() const { return 2 * seqLen + 1; }
+    std::uint32_t launches() const
+    {
+        return (diagonals() + diagTile - 1) / diagTile;
+    }
+};
+
+NwShape
+shapeFor(InputScale scale)
+{
+    switch (scale) {
+      case InputScale::Tiny: return {24, 8, 12};
+      case InputScale::Small: return {64, 96, 16};
+      case InputScale::Medium: return {128, 500, 16};  // Table III grid
+    }
+    panic("NwApp: unknown scale");
+}
+
+struct NwBuffers
+{
+    Addr query = 0;    //!< char, q[pair * len + i]
+    Addr target = 0;   //!< char, t[pair * len + j]
+    Addr diag[3] = {0, 0, 0};  //!< int32 [pair][len+1], slot = d % 3
+    Addr scores = 0;   //!< int32 per pair
+    std::uint32_t pairs = 0;
+    std::uint32_t len = 0;
+};
+
+/**
+ * One diagonal-block sweep. Computes diagonals [firstDiag,
+ * firstDiag + tile) for its pair, phase-per-diagonal with barriers.
+ */
+class NwTileKernel : public KernelBody
+{
+  public:
+    /**
+     * @param fixed_pair Pair handled by CTA 0 when >= 0 (CDP child
+     *        grids are per-pair); -1 means pair == CTA index.
+     */
+    NwTileKernel(const NwBuffers &bufs, std::uint32_t first_diag,
+                 std::uint32_t tile, const Scoring &scoring,
+                 bool use_shared, int fixed_pair = -1)
+        : bufs_(bufs), firstDiag_(first_diag), tile_(tile),
+          scoring_(scoring), useShared_(use_shared),
+          fixedPair_(fixed_pair)
+    {
+    }
+
+    int
+    numPhases(Dim3, Dim3) const override
+    {
+        return int(tile_) + 2;  // load, tile diagonals, store
+    }
+
+    void
+    runPhase(WarpCtx &w, int phase) override
+    {
+        const std::uint32_t len = bufs_.len;
+        const std::uint32_t pair = fixedPair_ >= 0
+            ? std::uint32_t(fixedPair_)
+            : std::uint32_t(w.ctaLinear());
+
+        // Shared layout: three diagonal slots then the cached bases.
+        const std::uint32_t diag_words = len + 1;
+        const std::uint32_t base_off = 3 * diag_words * 4;
+
+        // Lane's matrix row index i.
+        auto i_arr = w.tid();
+        LaneMask rows = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (w.laneActive(lane) && i_arr[lane] <= len)
+                rows |= LaneMask(1) << lane;
+        w.emitInt(1);  // row-bound compare
+
+        if (phase == 0) {
+            loadPhase(w, pair, rows, i_arr, base_off, diag_words);
+            return;
+        }
+        if (phase == int(tile_) + 1) {
+            storePhase(w, pair, rows, i_arr, diag_words);
+            return;
+        }
+
+        const std::uint32_t d = firstDiag_ + std::uint32_t(phase - 1);
+        if (d >= 2 * len + 1)
+            return;  // tail launch past the last diagonal
+
+        // Active cells of diagonal d: max(0, d-len) <= i <= min(d, len).
+        const std::uint32_t ilo = d > len ? d - len : 0;
+        const std::uint32_t ihi = std::min(d, len);
+        LaneMask cells = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            const std::uint32_t i = i_arr[lane];
+            if (((rows >> lane) & 1u) && i >= ilo && i <= ihi)
+                cells |= LaneMask(1) << lane;
+        }
+        w.emitInt(2);  // diagonal-range compares
+        w.branchPoint();
+        if (cells == 0)
+            return;
+        w.pushMask(cells);
+
+        const std::uint32_t cur = (d % 3) * diag_words;
+        const std::uint32_t prev1 = ((d + 2) % 3) * diag_words;
+        const std::uint32_t prev2 = ((d + 1) % 3) * diag_words;
+
+        LaneArray<std::int32_t> value = w.broadcast<std::int32_t>(0);
+        // Boundary lanes (i == 0 or j == 0) take d * gap directly.
+        LaneMask interior = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!((cells >> lane) & 1u))
+                continue;
+            const std::uint32_t i = i_arr[lane];
+            const std::uint32_t j = d - i;
+            if (i == 0 || j == 0)
+                value[lane] = std::int32_t(d) * scoring_.gapExtend;
+            else
+                interior |= LaneMask(1) << lane;
+        }
+        w.emitInt(1);  // boundary select
+
+        if (interior) {
+            w.pushMask(interior);
+            LaneArray<std::uint32_t> i_idx = w.make<std::uint32_t>(
+                [&](int lane) { return i_arr[lane]; });
+            LaneArray<std::uint32_t> im1 = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return i_arr[lane] == 0 ? 0 : i_arr[lane] - 1;
+                });
+
+            // Bases a[i-1], b[j-1] from the shared caches.
+            LaneArray<std::uint32_t> a_idx = w.make<std::uint32_t>(
+                [&](int lane) { return i_arr[lane] - 1; });
+            LaneArray<std::uint32_t> b_idx = w.make<std::uint32_t>(
+                [&](int lane) { return len + (d - i_arr[lane]) - 1; });
+            auto a = w.loadShared<char>(base_off, a_idx);
+            auto b = w.loadShared<char>(base_off, b_idx);
+
+            LaneArray<std::int32_t> up, left, diag;
+            if (useShared_) {
+                up = w.loadShared<std::int32_t>(prev1 * 4, im1);
+                left = w.loadShared<std::int32_t>(prev1 * 4, i_idx);
+                diag = w.loadShared<std::int32_t>(prev2 * 4, im1);
+            } else {
+                // Fig 7 variant: diagonals live in global memory.
+                up = w.loadGlobal<std::int32_t>(
+                    globalDiag(prev1 / diag_words, pair), im1);
+                left = w.loadGlobal<std::int32_t>(
+                    globalDiag(prev1 / diag_words, pair), i_idx);
+                diag = w.loadGlobal<std::int32_t>(
+                    globalDiag(prev2 / diag_words, pair), im1);
+            }
+
+            w.emitInt(4, std::max({up.dep, left.dep, diag.dep, a.dep,
+                                   b.dep}));
+            for (int lane = 0; lane < warpSize; ++lane) {
+                if (!((interior >> lane) & 1u))
+                    continue;
+                const int subst = scoring_.subst(a[lane], b[lane]);
+                value[lane] = std::max(
+                    {diag[lane] + subst,
+                     up[lane] + scoring_.gapExtend,
+                     left[lane] + scoring_.gapExtend});
+            }
+            w.popMask();
+        }
+
+        if (useShared_) {
+            w.storeShared<std::int32_t>(cur * 4, i_idx(w, i_arr),
+                                        value);
+        } else {
+            w.storeGlobal<std::int32_t>(
+                globalDiag(cur / diag_words, pair), i_idx(w, i_arr),
+                value);
+        }
+
+        // The final cell (len, len) carries the score.
+        if (d == 2 * len) {
+            for (int lane = 0; lane < warpSize; ++lane) {
+                if (((cells >> lane) & 1u) && i_arr[lane] == len) {
+                    LaneMask one = LaneMask(1) << lane;
+                    w.pushMask(one);
+                    LaneArray<std::uint32_t> out_idx =
+                        w.broadcast<std::uint32_t>(pair);
+                    w.storeGlobal<std::int32_t>(bufs_.scores, out_idx,
+                                                value);
+                    w.popMask();
+                }
+            }
+        }
+        w.popMask();
+    }
+
+  private:
+    /** Global address of rolling diagonal slot (0..2) for @p pair. */
+    Addr
+    globalDiag(std::uint32_t slot, std::uint32_t pair) const
+    {
+        return bufs_.diag[slot % 3] + Addr(pair) * (bufs_.len + 1) * 4;
+    }
+
+    static LaneArray<std::uint32_t>
+    i_idx(WarpCtx &w, const LaneArray<std::uint32_t> &i_arr)
+    {
+        return w.make<std::uint32_t>(
+            [&](int lane) { return i_arr[lane]; });
+    }
+
+    void
+    loadPhase(WarpCtx &w, std::uint32_t pair, LaneMask rows,
+              const LaneArray<std::uint32_t> &i_arr,
+              std::uint32_t base_off, std::uint32_t diag_words)
+    {
+        const std::uint32_t len = bufs_.len;
+        w.constRead(4);  // scoring parameters
+        if (rows == 0)
+            return;
+        w.pushMask(rows);
+
+        // Cache a and b into shared (a at [0,len), b at [len, 2len)).
+        LaneMask base_lanes = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (((rows >> lane) & 1u) && i_arr[lane] < len)
+                base_lanes |= LaneMask(1) << lane;
+        if (base_lanes) {
+            w.pushMask(base_lanes);
+            LaneArray<std::uint32_t> q_idx = w.make<std::uint32_t>(
+                [&](int lane) { return pair * len + i_arr[lane]; });
+            auto a = w.loadGlobal<char>(bufs_.query, q_idx);
+            auto b = w.loadGlobal<char>(bufs_.target, q_idx);
+            LaneArray<std::uint32_t> sa = w.make<std::uint32_t>(
+                [&](int lane) { return i_arr[lane]; });
+            LaneArray<std::uint32_t> sb = w.make<std::uint32_t>(
+                [&](int lane) { return len + i_arr[lane]; });
+            w.storeShared<char>(base_off, sa, a);
+            w.storeShared<char>(base_off, sb, b);
+            w.popMask();
+        }
+
+        // Restore the boundary diagonals from the previous launch
+        // (global variant reads them from global directly).
+        if (useShared_ && firstDiag_ > 0) {
+            const std::uint32_t d1 = firstDiag_ - 1;
+            LaneArray<std::uint32_t> idx = i_idx(w, i_arr);
+            auto v1 = w.loadGlobal<std::int32_t>(
+                globalDiag(d1 % 3, pair), idx);
+            w.storeShared<std::int32_t>((d1 % 3) * diag_words * 4, idx,
+                                        v1);
+            if (firstDiag_ > 1) {
+                const std::uint32_t d2 = firstDiag_ - 2;
+                auto v2 = w.loadGlobal<std::int32_t>(
+                    globalDiag(d2 % 3, pair), idx);
+                w.storeShared<std::int32_t>((d2 % 3) * diag_words * 4,
+                                            idx, v2);
+            }
+        }
+        w.popMask();
+    }
+
+    void
+    storePhase(WarpCtx &w, std::uint32_t pair, LaneMask rows,
+               const LaneArray<std::uint32_t> &i_arr,
+               std::uint32_t diag_words)
+    {
+        const std::uint32_t len = bufs_.len;
+        const std::uint32_t last =
+            std::min(firstDiag_ + tile_ - 1, 2 * len);
+        if (!useShared_ || rows == 0)
+            return;  // global variant keeps slots current as it goes
+        w.pushMask(rows);
+        LaneArray<std::uint32_t> idx = i_idx(w, i_arr);
+        auto v1 = w.loadShared<std::int32_t>(
+            (last % 3) * diag_words * 4, idx);
+        w.storeGlobal<std::int32_t>(globalDiag(last % 3, pair), idx, v1);
+        if (last > 0) {
+            auto v2 = w.loadShared<std::int32_t>(
+                ((last - 1) % 3) * diag_words * 4, idx);
+            w.storeGlobal<std::int32_t>(globalDiag((last - 1) % 3, pair),
+                                        idx, v2);
+        }
+        w.popMask();
+    }
+
+    NwBuffers bufs_;
+    std::uint32_t firstDiag_;
+    std::uint32_t tile_;
+    Scoring scoring_;
+    bool useShared_;
+    int fixedPair_;
+};
+
+/** CDP parent: one CTA per pair; launches its diagonal blocks. */
+class NwCdpParent : public KernelBody
+{
+  public:
+    NwCdpParent(const NwBuffers &bufs, const NwShape &shape,
+                const Scoring &scoring, bool use_shared)
+        : bufs_(bufs), shape_(shape), scoring_(scoring),
+          useShared_(use_shared)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        const int pair = int(w.ctaLinear());
+        w.constRead(2);
+        for (std::uint32_t k = 0; k < shape_.launches(); ++k) {
+            LaunchSpec child;
+            child.name = "nw_tile";
+            child.grid = {1, 1, 1};
+            child.cta = shape_.cta();
+            child.res.regsPerThread = 28;
+            child.res.smemPerCtaBytes = 16 * 1024;
+            child.body = std::make_shared<NwTileKernel>(
+                bufs_, k * shape_.diagTile, shape_.diagTile, scoring_,
+                useShared_, pair);
+            w.emitInt(2);
+            w.launchChild(child);
+            w.deviceSync();  // diagonals are sequentially dependent
+        }
+    }
+
+  private:
+    NwBuffers bufs_;
+    NwShape shape_;
+    Scoring scoring_;
+    bool useShared_;
+};
+
+class NwApp : public BenchmarkApp
+{
+  public:
+    std::string name() const override { return "NW"; }
+    std::string fullName() const override { return "Needleman-Wunsch"; }
+
+    AppRunResult
+    run(rt::Device &dev, const AppOptions &opts) override
+    {
+        const NwShape shape = shapeFor(opts.scale);
+        const Scoring scoring;
+        Rng rng(opts.seed ^ 0x11);
+
+        genomics::PairBatch batch;
+        genomics::MutationProfile profile;
+        profile.insertionRate = 0;
+        profile.deletionRate = 0;  // keep equal lengths
+        for (std::uint32_t p = 0; p < shape.pairs; ++p) {
+            batch.queries.push_back(
+                genomics::randomDna(rng, shape.seqLen));
+            batch.targets.push_back(
+                genomics::mutate(rng, batch.queries.back(), profile));
+        }
+
+        std::vector<char> q(std::size_t(shape.pairs) * shape.seqLen);
+        std::vector<char> t(q.size());
+        for (std::uint32_t p = 0; p < shape.pairs; ++p) {
+            for (std::uint32_t i = 0; i < shape.seqLen; ++i) {
+                q[std::size_t(p) * shape.seqLen + i] =
+                    batch.queries[p][i];
+                t[std::size_t(p) * shape.seqLen + i] =
+                    batch.targets[p][i];
+            }
+        }
+
+        NwBuffers bufs;
+        bufs.pairs = shape.pairs;
+        bufs.len = shape.seqLen;
+        auto dq = dev.alloc<char>(q.size());
+        auto dt = dev.alloc<char>(t.size());
+        const std::size_t diag_count =
+            std::size_t(shape.pairs) * (shape.seqLen + 1);
+        auto d_diag0 = dev.alloc<std::int32_t>(diag_count);
+        auto d_diag1 = dev.alloc<std::int32_t>(diag_count);
+        auto d_diag2 = dev.alloc<std::int32_t>(diag_count);
+        auto ds = dev.alloc<std::int32_t>(shape.pairs);
+        bufs.query = dq.addr;
+        bufs.target = dt.addr;
+        bufs.diag[0] = d_diag0.addr;
+        bufs.diag[1] = d_diag1.addr;
+        bufs.diag[2] = d_diag2.addr;
+        bufs.scores = ds.addr;
+
+        const Cycles start = dev.gpu().now();
+        dev.upload(dq, q);
+        dev.upload(dt, t);
+
+        AppRunResult result;
+        if (opts.cdp) {
+            LaunchSpec parent;
+            parent.name = "nw_cdp_parent";
+            parent.grid = {shape.pairs, 1, 1};
+            parent.cta = {32, 1, 1};
+            parent.res.regsPerThread = 24;
+            parent.body = std::make_shared<NwCdpParent>(
+                bufs, shape, scoring, opts.sharedMem);
+            result.kernelCycles += dev.launch(parent).cycles;
+            result.primarySpec = parent;
+        } else {
+            for (std::uint32_t k = 0; k < shape.launches(); ++k) {
+                LaunchSpec spec;
+                spec.name = "nw_tile";
+                spec.grid = shape.grid();
+                spec.cta = shape.cta();
+                spec.res.regsPerThread = 28;
+                spec.res.smemPerCtaBytes = 16 * 1024;
+                spec.body = std::make_shared<NwTileKernel>(
+                    bufs, k * shape.diagTile, shape.diagTile, scoring,
+                    opts.sharedMem);
+                result.kernelCycles += dev.launch(spec).cycles;
+                if (k == 0)
+                    result.primarySpec = spec;
+            }
+        }
+
+        const auto gpu_scores = dev.download(ds);
+        result.totalCycles = dev.gpu().now() - start;
+
+        const auto cpu_start = std::chrono::steady_clock::now();
+        bool ok = true;
+        for (std::uint32_t p = 0; p < shape.pairs; ++p) {
+            const int expected = genomics::nwScore(
+                batch.queries[p], batch.targets[p], scoring);
+            if (gpu_scores[p] != expected) {
+                warn("NW: pair ", p, " GPU ", gpu_scores[p], " CPU ",
+                     expected);
+                ok = false;
+            }
+        }
+        result.cpuReferenceSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cpu_start).count();
+        result.verified = ok;
+        result.detail = std::to_string(shape.pairs) +
+                        " pairs, wavefront tiles of " +
+                        std::to_string(shape.diagTile) + " diagonals";
+        return result;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BenchmarkApp>
+makeNwApp()
+{
+    return std::make_unique<NwApp>();
+}
+
+} // namespace ggpu::kernels

@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Pair-HMM benchmark (PairHMM): one CTA evaluates the forward
+ * algorithm for one (read, haplotype) pair along anti-diagonals; the
+ * rolling M/I/D diagonals live in shared memory, which is why >95% of
+ * this kernel's memory instructions are shared accesses (Fig 9) and
+ * why the shared-memory-off variant is catastrophically slower
+ * (Fig 7: 36.92x in the paper — every diagonal then round-trips
+ * through L2). Heavily floating-point (Fig 8); per-base error
+ * probabilities are computed with SFU pow ops. Table III: grid
+ * (150,1,1), CTA (128,1,1), synthetic 128x128 data. The CDP variant
+ * launches per-pair child grids from a parent.
+ */
+
+#include "kernels/app.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/datagen.hh"
+#include "genomics/hmm/pairhmm.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::kernels
+{
+
+namespace
+{
+
+using namespace ggpu::sim;
+using genomics::PairHmmParams;
+
+struct HmmShape
+{
+    std::uint32_t readLen;
+    std::uint32_t hapLen;
+    std::uint32_t pairs;   //!< == grid.x (one CTA per pair)
+
+    Dim3 grid() const { return {pairs, 1, 1}; }
+    Dim3 cta() const { return {128, 1, 1}; }
+    std::uint32_t diagonals() const { return readLen + hapLen + 1; }
+};
+
+HmmShape
+shapeFor(InputScale scale)
+{
+    switch (scale) {
+      case InputScale::Tiny: return {16, 24, 6};
+      case InputScale::Small: return {40, 48, 60};
+      case InputScale::Medium: return {96, 96, 150};  // Table III grid
+    }
+    panic("PairHmmApp: unknown scale");
+}
+
+struct HmmBuffers
+{
+    Addr reads = 0;     //!< char [pair][readLen]
+    Addr quals = 0;     //!< char [pair][readLen]
+    Addr haps = 0;      //!< char [pair][hapLen]
+    Addr scratch = 0;   //!< float scratch for the no-shared variant
+    Addr results = 0;   //!< double log10-likelihood per pair
+    std::uint32_t pairs = 0;
+};
+
+/** Per-CTA functional forward state (cross-warp, so body-held). */
+struct HmmCtaState
+{
+    struct Cell
+    {
+        double m = 0.0, i = 0.0, d = 0.0;
+    };
+    std::vector<Cell> d2, d1, d0;  //!< Rolling anti-diagonals
+    double likelihood = 0.0;
+    std::vector<double> err;       //!< Per-read-base error prob
+    std::string read, qual, hap;
+};
+
+/** Anti-diagonal forward evaluation for one pair per CTA. */
+class PairHmmKernel : public KernelBody
+{
+  public:
+    PairHmmKernel(const HmmBuffers &bufs, const HmmShape &shape,
+                  const PairHmmParams &params, bool use_shared,
+                  int fixed_pair = -1)
+        : bufs_(bufs), shape_(shape), params_(params),
+          useShared_(use_shared), fixedPair_(fixed_pair)
+    {
+    }
+
+    int
+    numPhases(Dim3, Dim3) const override
+    {
+        return int(shape_.diagonals()) + 2;  // load, diagonals, store
+    }
+
+    void
+    runPhase(WarpCtx &w, int phase) override
+    {
+        const std::uint32_t n = shape_.readLen;
+        // CDP children cover a base-offset slice of the pairs; host
+        // launches map CTA index to pair directly.
+        const std::uint32_t pair = std::uint32_t(
+            (fixedPair_ >= 0 ? std::uint32_t(fixedPair_) : 0) +
+            w.ctaLinear());
+        if (pair >= bufs_.pairs)
+            return;
+        HmmCtaState &state = states_[pair];
+
+        // Lanes cover read positions i (0..n).
+        auto i_arr = w.tid();
+        LaneMask rows = 0;
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (w.laneActive(lane) && i_arr[lane] <= n)
+                rows |= LaneMask(1) << lane;
+        w.emitInt(1);
+
+        if (phase == 0) {
+            loadPhase(w, pair, rows, i_arr, state);
+            return;
+        }
+        if (phase == int(shape_.diagonals()) + 1) {
+            storePhase(w, pair, rows, i_arr, state);
+            return;
+        }
+
+        const std::uint32_t d = std::uint32_t(phase - 1);
+        const std::uint32_t m = shape_.hapLen;
+        const std::uint32_t ilo = d > m ? d - m : 0;
+        const std::uint32_t ihi = std::min(d, n);
+
+        // Rotate the rolling diagonals exactly once per phase, before
+        // any warp computes (warp 0 always runs first in a phase).
+        if (w.warpInCta() == 0 && d > 0) {
+            std::swap(state.d2, state.d1);
+            std::swap(state.d1, state.d0);
+        }
+
+        LaneMask cells = 0;
+        for (int lane = 0; lane < warpSize; ++lane) {
+            const std::uint32_t i = i_arr[lane];
+            if (((rows >> lane) & 1u) && i >= ilo && i <= ihi)
+                cells |= LaneMask(1) << lane;
+        }
+        w.emitInt(2);
+        w.branchPoint();
+        if (cells == 0)
+            return;
+        w.pushMask(cells);
+
+        // Emission: 7 diagonal reads + 3 writes per cell, through
+        // shared memory or (Fig 7 variant) global scratch.
+        std::int32_t dep = -1;
+        if (useShared_) {
+            dep = w.sharedNote(false, 4);
+            for (int r = 0; r < 6; ++r)
+                w.sharedNote(false, 4);
+        } else {
+            LaneArray<std::uint32_t> sidx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return pair * 4096 + (d % 3) * 1024 + i_arr[lane];
+                });
+            dep = w.memNote(false, MemSpace::Global, bufs_.scratch,
+                            sidx, 4);
+            for (int r = 0; r < 6; ++r)
+                w.memNote(false, MemSpace::Global, bufs_.scratch, sidx,
+                          4);
+        }
+        w.emitFp(9, dep);  // three-state recurrence
+
+        const genomics::PairHmmParams &p = params_;
+        const double mm = 1.0 - 2.0 * p.gapOpen;
+        const double mx = p.gapOpen;
+        const double xx = p.gapExtend;
+        const double xm = 1.0 - p.gapExtend;
+        const double init = 1.0 / double(m);
+
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!((cells >> lane) & 1u))
+                continue;
+            const std::uint32_t i = i_arr[lane];
+            const std::uint32_t j = d - i;
+            HmmCtaState::Cell cell;
+            if (i == 0) {
+                cell.d = init;
+            } else if (j == 0) {
+                // all-zero column
+            } else {
+                const double err = state.err[i - 1];
+                const double emit =
+                    state.read[i - 1] == state.hap[j - 1]
+                        ? 1.0 - err : err / 3.0;
+                const auto &up_left = state.d2[i - 1];
+                const auto &up = state.d1[i - 1];
+                const auto &left = state.d1[i];
+                cell.m = emit * (mm * up_left.m +
+                                 xm * (up_left.i + up_left.d));
+                cell.i = mx * up.m + xx * up.i;
+                cell.d = mx * left.m + xx * left.d;
+            }
+            state.d0[i] = cell;
+            if (i == n && j >= 1)
+                state.likelihood += cell.m + cell.i;
+        }
+
+        // Write back the new diagonal.
+        if (useShared_) {
+            w.sharedNote(true, 4);
+            w.sharedNote(true, 4);
+            w.sharedNote(true, 4);
+        } else {
+            LaneArray<std::uint32_t> sidx = w.make<std::uint32_t>(
+                [&](int lane) {
+                    return pair * 4096 + (d % 3) * 1024 + i_arr[lane];
+                });
+            for (int r = 0; r < 3; ++r)
+                w.memNote(true, MemSpace::Global, bufs_.scratch, sidx,
+                          4);
+        }
+
+        w.popMask();
+    }
+
+  private:
+    void
+    loadPhase(WarpCtx &w, std::uint32_t pair, LaneMask rows,
+              const LaneArray<std::uint32_t> &i_arr, HmmCtaState &state)
+    {
+        const std::uint32_t n = shape_.readLen;
+        const std::uint32_t m = shape_.hapLen;
+        w.constRead(4);  // transition parameters
+
+        if (w.warpInCta() == 0 && state.read.empty()) {
+            // Functional load of the pair's data (once per CTA).
+            state.read.resize(n);
+            state.qual.resize(n);
+            state.hap.resize(m);
+            w.mem().read(bufs_.reads + Addr(pair) * n,
+                         state.read.data(), n);
+            w.mem().read(bufs_.quals + Addr(pair) * n,
+                         state.qual.data(), n);
+            w.mem().read(bufs_.haps + Addr(pair) * m,
+                         state.hap.data(), m);
+            state.err.resize(n);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                state.err[i] =
+                    std::pow(10.0, -(state.qual[i] - 33) / 10.0);
+            }
+            state.d2.assign(n + 1, {});
+            state.d1.assign(n + 1, {});
+            state.d0.assign(n + 1, {});
+            const double init = 1.0 / double(m);
+            // Diagonal -1 equivalents start empty; the i==0 boundary
+            // in the compute phases injects the D-row mass.
+            (void)init;
+        }
+
+        if (rows == 0)
+            return;
+        w.pushMask(rows);
+        // Read/qual/hap gathers into shared (timed traffic).
+        LaneArray<std::uint32_t> idx = w.make<std::uint32_t>(
+            [&](int lane) { return pair * n + i_arr[lane] % n; });
+        auto r = w.loadGlobal<char>(bufs_.reads, idx);
+        auto q = w.loadGlobal<char>(bufs_.quals, idx);
+        LaneArray<std::uint32_t> hidx = w.make<std::uint32_t>(
+            [&](int lane) { return pair * m + i_arr[lane] % m; });
+        auto h = w.loadGlobal<char>(bufs_.haps, hidx);
+        w.emitSfu(1, q.dep);  // pow10 for the error probability
+        w.sharedNote(true, 1, r.dep);
+        w.sharedNote(true, 1, q.dep);
+        w.sharedNote(true, 1, h.dep);
+        w.popMask();
+    }
+
+    void
+    storePhase(WarpCtx &w, std::uint32_t pair, LaneMask rows,
+               const LaneArray<std::uint32_t> &i_arr,
+               HmmCtaState &state)
+    {
+        if (rows == 0)
+            return;
+        // Lane holding i == n writes the final likelihood.
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (((rows >> lane) & 1u) &&
+                i_arr[lane] == shape_.readLen) {
+                w.pushMask(LaneMask(1) << lane);
+                const double ll = state.likelihood <= 0.0
+                    ? -400.0 : std::log10(state.likelihood);
+                LaneArray<std::uint32_t> out_idx =
+                    w.broadcast<std::uint32_t>(pair);
+                LaneArray<double> out = w.broadcast<double>(ll);
+                w.emitSfu(1);  // log10
+                w.storeGlobal<double>(bufs_.results, out_idx, out);
+                w.popMask();
+            }
+        }
+        // Free the functional state once the final warp is done with
+        // it (earlier warps must not invalidate the reference).
+        const std::uint32_t row_warps =
+            (shape_.readLen + 1 + warpSize - 1) /
+            std::uint32_t(warpSize);
+        if (std::uint32_t(w.warpInCta()) == row_warps - 1)
+            states_.erase(pair);
+    }
+
+    HmmBuffers bufs_;
+    HmmShape shape_;
+    PairHmmParams params_;
+    bool useShared_;
+    int fixedPair_;
+    std::map<std::uint32_t, HmmCtaState> states_;
+};
+
+/** CDP parent: one child grid per pair. */
+class PairHmmCdpParent : public KernelBody
+{
+  public:
+    PairHmmCdpParent(const HmmBuffers &bufs, const HmmShape &shape,
+                     const PairHmmParams &params, bool use_shared)
+        : bufs_(bufs), shape_(shape), params_(params),
+          useShared_(use_shared)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        // Each parent warp launches its slice as child grids of four
+        // CTAs (one pair per CTA), amortizing the device-launch cost.
+        constexpr std::uint32_t perWarp = 8;
+        constexpr std::uint32_t perChild = 4;
+        const std::uint32_t first =
+            std::uint32_t(w.ctaLinear()) * perWarp;
+        for (std::uint32_t p = first;
+             p < std::min(first + perWarp, shape_.pairs);
+             p += perChild) {
+            LaunchSpec child;
+            child.name = "pairhmm_pairs";
+            child.grid = {std::min(perChild, shape_.pairs - p), 1, 1};
+            child.cta = shape_.cta();
+            child.res.regsPerThread = 48;
+            child.res.smemPerCtaBytes = 10 * 1024;
+            child.body = std::make_shared<PairHmmKernel>(
+                bufs_, shape_, params_, useShared_, int(p));
+            w.emitInt(2);
+            w.launchChild(child);
+        }
+        w.deviceSync();
+    }
+
+  private:
+    HmmBuffers bufs_;
+    HmmShape shape_;
+    PairHmmParams params_;
+    bool useShared_;
+};
+
+class PairHmmApp : public BenchmarkApp
+{
+  public:
+    std::string name() const override { return "PairHMM"; }
+    std::string
+    fullName() const override
+    {
+        return "Pair Hidden Markov Model forward";
+    }
+
+    AppRunResult
+    run(rt::Device &dev, const AppOptions &opts) override
+    {
+        const HmmShape shape = shapeFor(opts.scale);
+        const PairHmmParams params;
+        Rng rng(opts.seed ^ 0x44aa);
+
+        // Synthetic read/haplotype pairs: reads sampled from the hap
+        // with errors, plausible qualities (Synthetic_data(128_128)).
+        std::vector<std::string> reads(shape.pairs), quals(shape.pairs),
+            haps(shape.pairs);
+        for (std::uint32_t p = 0; p < shape.pairs; ++p) {
+            haps[p] = genomics::randomDna(rng, shape.hapLen);
+            const std::size_t off =
+                rng.below(shape.hapLen - shape.readLen + 1);
+            reads[p] = haps[p].substr(off, shape.readLen);
+            quals[p].assign(shape.readLen, 'I');
+            for (std::uint32_t i = 0; i < shape.readLen; ++i) {
+                if (rng.chance(0.02)) {
+                    char c = reads[p][i];
+                    while (c == reads[p][i])
+                        c = "ACGT"[rng.below(4)];
+                    reads[p][i] = c;
+                    quals[p][i] = '(';  // Q7
+                }
+            }
+        }
+
+        std::vector<char> flat_r(std::size_t(shape.pairs) *
+                                 shape.readLen);
+        std::vector<char> flat_q(flat_r.size());
+        std::vector<char> flat_h(std::size_t(shape.pairs) *
+                                 shape.hapLen);
+        for (std::uint32_t p = 0; p < shape.pairs; ++p) {
+            std::copy(reads[p].begin(), reads[p].end(),
+                      flat_r.begin() + std::size_t(p) * shape.readLen);
+            std::copy(quals[p].begin(), quals[p].end(),
+                      flat_q.begin() + std::size_t(p) * shape.readLen);
+            std::copy(haps[p].begin(), haps[p].end(),
+                      flat_h.begin() + std::size_t(p) * shape.hapLen);
+        }
+
+        HmmBuffers bufs;
+        bufs.pairs = shape.pairs;
+        auto dr = dev.alloc<char>(flat_r.size());
+        auto dq = dev.alloc<char>(flat_q.size());
+        auto dh = dev.alloc<char>(flat_h.size());
+        auto dscratch =
+            dev.alloc<float>(std::size_t(shape.pairs) * 4096);
+        auto dres = dev.alloc<double>(shape.pairs);
+        bufs.reads = dr.addr;
+        bufs.quals = dq.addr;
+        bufs.haps = dh.addr;
+        bufs.scratch = dscratch.addr;
+        bufs.results = dres.addr;
+
+        const Cycles start = dev.gpu().now();
+        dev.upload(dr, flat_r);
+        dev.upload(dq, flat_q);
+        dev.upload(dh, flat_h);
+
+        AppRunResult result;
+        if (opts.cdp) {
+            LaunchSpec parent;
+            parent.name = "pairhmm_cdp_parent";
+            parent.grid = {(shape.pairs + 7) / 8, 1, 1};
+            parent.cta = {32, 1, 1};
+            parent.res.regsPerThread = 32;
+            parent.body = std::make_shared<PairHmmCdpParent>(
+                bufs, shape, params, opts.sharedMem);
+            result.kernelCycles += dev.launch(parent).cycles;
+            result.primarySpec = parent;
+        } else {
+            // Host pipeline: pairs are processed as two sequential
+            // region batches (the HaplotypeCaller pattern); the CDP
+            // variant overlaps them via device launches.
+            const std::uint32_t half = (shape.pairs + 1) / 2;
+            for (std::uint32_t base = 0; base < shape.pairs;
+                 base += half) {
+                LaunchSpec spec;
+                spec.name = "pairhmm_forward";
+                spec.grid = {std::min(half, shape.pairs - base), 1, 1};
+                spec.cta = shape.cta();
+                spec.res.regsPerThread = 48;
+                spec.res.smemPerCtaBytes =
+                    opts.sharedMem ? 10 * 1024 : 0;
+                spec.body = std::make_shared<PairHmmKernel>(
+                    bufs, shape, params, opts.sharedMem, int(base));
+                result.kernelCycles += dev.launch(spec).cycles;
+                if (base == 0)
+                    result.primarySpec = spec;
+            }
+        }
+
+        const auto gpu_ll = dev.download(dres);
+        result.totalCycles = dev.gpu().now() - start;
+
+        const auto cpu_start = std::chrono::steady_clock::now();
+        bool ok = true;
+        for (std::uint32_t p = 0; p < shape.pairs; ++p) {
+            const double expected = genomics::pairHmmForward(
+                reads[p], quals[p], haps[p], params);
+            if (std::abs(gpu_ll[p] - expected) > 1e-9) {
+                warn("PairHMM: pair ", p, " GPU ", gpu_ll[p], " CPU ",
+                     expected);
+                ok = false;
+            }
+        }
+        result.cpuReferenceSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cpu_start).count();
+        result.verified = ok;
+        result.detail = std::to_string(shape.pairs) + " pairs " +
+                        std::to_string(shape.readLen) + "x" +
+                        std::to_string(shape.hapLen);
+        return result;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BenchmarkApp>
+makePairHmmApp()
+{
+    return std::make_unique<PairHmmApp>();
+}
+
+} // namespace ggpu::kernels

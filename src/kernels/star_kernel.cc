@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Center Star MSA benchmark (STAR): a CPU/GPU co-running pipeline like
+ * CMSA. Kernel 1 computes all-pairs global-alignment scores (thread
+ * per (i,j) pair over the upper triangle, so roughly half of each
+ * warp's lanes are active — the sub-optimal warp occupancy Fig 10
+ * reports). The host picks the center; kernel 2 aligns every sequence
+ * to it (one thread per sequence, heavily divergent); the MSA merge
+ * runs on the CPU. Table III: grid (12,1,1), CTA (256,1,1), protein
+ * input, no shared memory. The CDP variant launches one small child
+ * grid per matrix row / per sequence, whose mostly-empty warps are why
+ * STAR-CDP shows >80% W1-4 occupancy — and why it halves the runtime
+ * (Fig 2): children spread across otherwise idle SMs.
+ */
+
+#include "kernels/app.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/datagen.hh"
+#include "genomics/align/nw.hh"
+#include "genomics/msa/center_star.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::kernels
+{
+
+namespace
+{
+
+using namespace ggpu::sim;
+using genomics::Scoring;
+
+struct StarShape
+{
+    std::uint32_t numSeqs;
+    std::uint32_t seqLen;
+    std::uint32_t gridX;
+
+    Dim3 grid() const { return {gridX, 1, 1}; }
+    Dim3 cta() const { return {256, 1, 1}; }
+};
+
+StarShape
+shapeFor(InputScale scale)
+{
+    switch (scale) {
+      case InputScale::Tiny: return {8, 24, 1};
+      case InputScale::Small: return {16, 48, 4};
+      case InputScale::Medium: return {24, 96, 12};  // Table III grid
+    }
+    panic("StarApp: unknown scale");
+}
+
+struct StarBuffers
+{
+    Addr seqs = 0;        //!< char, s[seq * len + pos]
+    Addr pairScores = 0;  //!< int32 [numSeqs * numSeqs]
+    Addr centerScores = 0;//!< int32 per sequence (vs the center)
+    std::uint32_t numSeqs = 0;
+    std::uint32_t len = 0;
+};
+
+/**
+ * Warp-synchronous global-alignment DP for up to 32 lane-assigned
+ * (a, b) sequence pairs, rolling rows in per-thread local memory.
+ * Returns the per-lane NW score (linear gaps).
+ */
+LaneArray<std::int32_t>
+warpNwDp(WarpCtx &w, LaneMask active, const StarBuffers &bufs,
+         const std::array<std::uint32_t, warpSize> &seq_a,
+         const std::array<std::uint32_t, warpSize> &seq_b,
+         const Scoring &scoring)
+{
+    const std::uint32_t len = bufs.len;
+    const int gap = scoring.gapExtend;
+
+    std::array<std::vector<int>, warpSize> prev, curr;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        auto &p = prev[std::size_t(lane)];
+        p.resize(len + 1);
+        for (std::uint32_t j = 0; j <= len; ++j)
+            p[j] = int(j) * gap;
+        curr[std::size_t(lane)].assign(len + 1, 0);
+    }
+
+    // Cache b per lane (strided gathers; poor coalescing is inherent
+    // to the per-pair layout, as in the original CMSA kernels).
+    std::array<std::array<char, 128>, warpSize> b_cache{};
+    for (std::uint32_t j = 0; j < len; ++j) {
+        LaneArray<std::uint32_t> idx = w.make<std::uint32_t>(
+            [&](int lane) { return seq_b[std::size_t(lane)] * len + j; });
+        auto base = w.loadGlobal<char>(bufs.seqs, idx);
+        for (int lane = 0; lane < warpSize; ++lane)
+            b_cache[std::size_t(lane)][j] = base[lane];
+    }
+
+    for (std::uint32_t i = 1; i <= len; ++i) {
+        LaneArray<std::uint32_t> a_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return seq_a[std::size_t(lane)] * len + (i - 1);
+            });
+        auto a = w.loadGlobal<char>(bufs.seqs, a_idx);
+
+        std::int32_t dep = a.dep;
+        for (std::uint32_t j = 1; j <= len; ++j) {
+            // Register-blocked rows: one 16B local access per 4 cells.
+            if (j % 4 == 1) {
+                const std::int32_t ld =
+                    w.localAccess(false, j / 4, 16, dep);
+                dep = -1;
+                w.emitInt(4, ld);
+                w.localAccess(true, (len + 4) / 4 + j / 4, 16);
+            } else {
+                w.emitInt(4);
+            }
+
+            for (int lane = 0; lane < warpSize; ++lane) {
+                if (!((active >> lane) & 1u))
+                    continue;
+                auto &p = prev[std::size_t(lane)];
+                auto &c = curr[std::size_t(lane)];
+                c[0] = int(i) * gap;
+                const int subst = scoring.subst(
+                    a[lane], b_cache[std::size_t(lane)][j - 1]);
+                c[j] = std::max({p[j - 1] + subst, p[j] + gap,
+                                 c[j - 1] + gap});
+            }
+        }
+        for (int lane = 0; lane < warpSize; ++lane)
+            std::swap(prev[std::size_t(lane)], curr[std::size_t(lane)]);
+    }
+
+    return w.make<std::int32_t>([&](int lane) {
+        return ((active >> lane) & 1u)
+            ? prev[std::size_t(lane)][len] : 0;
+    });
+}
+
+/** Kernel 1: all-pairs scores over the upper triangle. */
+class StarPairsKernel : public KernelBody
+{
+  public:
+    StarPairsKernel(const StarBuffers &bufs, const Scoring &scoring,
+                    int fixed_row = -1)
+        : bufs_(bufs), scoring_(scoring), fixedRow_(fixed_row)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        const std::uint32_t k = bufs_.numSeqs;
+        w.constRead(4);
+
+        std::array<std::uint32_t, warpSize> si{}, sj{};
+        LaneMask active = 0;
+        auto gid = w.globalTid();
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!w.laneActive(lane))
+                continue;
+            std::uint32_t i, j;
+            if (fixedRow_ >= 0) {
+                // CDP child: this grid handles one matrix row.
+                i = std::uint32_t(fixedRow_);
+                j = gid[lane];
+            } else {
+                i = gid[lane] / k;
+                j = gid[lane] % k;
+            }
+            if (i < k && j < k && i < j) {
+                si[std::size_t(lane)] = i;
+                sj[std::size_t(lane)] = j;
+                active |= LaneMask(1) << lane;
+            }
+        }
+        w.emitInt(3);  // index decompose + triangle test
+        w.branchPoint();
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        auto score = warpNwDp(w, active, bufs_, si, sj, scoring_);
+        LaneArray<std::uint32_t> out_idx = w.make<std::uint32_t>(
+            [&](int lane) {
+                return si[std::size_t(lane)] * bufs_.numSeqs +
+                       sj[std::size_t(lane)];
+            });
+        w.storeGlobal<std::int32_t>(bufs_.pairScores, out_idx, score);
+        w.popMask();
+    }
+
+  private:
+    StarBuffers bufs_;
+    Scoring scoring_;
+    int fixedRow_;
+};
+
+/** Kernel 2: align every sequence against the chosen center. */
+class StarCenterKernel : public KernelBody
+{
+  public:
+    StarCenterKernel(const StarBuffers &bufs, std::uint32_t center,
+                     const Scoring &scoring, int fixed_seq = -1)
+        : bufs_(bufs), center_(center), scoring_(scoring),
+          fixedSeq_(fixed_seq)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        const std::uint32_t k = bufs_.numSeqs;
+        w.constRead(4);
+
+        std::array<std::uint32_t, warpSize> si{}, sc{};
+        LaneMask active = 0;
+        auto gid = w.globalTid();
+        for (int lane = 0; lane < warpSize; ++lane) {
+            if (!w.laneActive(lane))
+                continue;
+            const std::uint32_t s =
+                fixedSeq_ >= 0 && lane == 0 ? std::uint32_t(fixedSeq_)
+                : (fixedSeq_ >= 0 ? k : gid[lane]);
+            if (s < k && s != center_) {
+                si[std::size_t(lane)] = s;
+                sc[std::size_t(lane)] = center_;
+                active |= LaneMask(1) << lane;
+            }
+        }
+        w.emitInt(2);
+        w.branchPoint();
+        if (active == 0)
+            return;
+        w.pushMask(active);
+
+        auto score = warpNwDp(w, active, bufs_, sc, si, scoring_);
+        LaneArray<std::uint32_t> out_idx = w.make<std::uint32_t>(
+            [&](int lane) { return si[std::size_t(lane)]; });
+        w.storeGlobal<std::int32_t>(bufs_.centerScores, out_idx, score);
+        w.popMask();
+    }
+
+  private:
+    StarBuffers bufs_;
+    std::uint32_t center_;
+    Scoring scoring_;
+    int fixedSeq_;
+};
+
+/** CDP parent for kernel 1: one child grid per matrix row. */
+class StarPairsCdpParent : public KernelBody
+{
+  public:
+    StarPairsCdpParent(const StarBuffers &bufs, const Scoring &scoring)
+        : bufs_(bufs), scoring_(scoring)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        for (std::uint32_t i = 0; i + 1 < bufs_.numSeqs; ++i) {
+            LaunchSpec child;
+            child.name = "star_pairs_row";
+            child.grid = {(bufs_.numSeqs + 31) / 32, 1, 1};
+            child.cta = {32, 1, 1};
+            child.res.regsPerThread = 64;
+            child.body = std::make_shared<StarPairsKernel>(
+                bufs_, scoring_, int(i));
+            w.emitInt(2);
+            w.launchChild(child);
+            // The score matrix is staged through a double-buffered
+            // workspace: at most two row grids may be in flight.
+            if (i % 2 == 1)
+                w.deviceSync();
+        }
+        w.deviceSync();
+    }
+
+  private:
+    StarBuffers bufs_;
+    Scoring scoring_;
+};
+
+/** CDP parent for kernel 2: one single-thread child per sequence. */
+class StarCenterCdpParent : public KernelBody
+{
+  public:
+    StarCenterCdpParent(const StarBuffers &bufs, std::uint32_t center,
+                        const Scoring &scoring)
+        : bufs_(bufs), center_(center), scoring_(scoring)
+    {
+    }
+
+    void
+    runPhase(WarpCtx &w, int) override
+    {
+        w.constRead(2);
+        for (std::uint32_t s = 0; s < bufs_.numSeqs; ++s) {
+            if (s == center_)
+                continue;
+            LaunchSpec child;
+            child.name = "star_center_seq";
+            child.grid = {1, 1, 1};
+            child.cta = {32, 1, 1};
+            child.res.regsPerThread = 64;
+            child.body = std::make_shared<StarCenterKernel>(
+                bufs_, center_, scoring_, int(s));
+            w.emitInt(2);
+            w.launchChild(child);
+        }
+        w.deviceSync();
+    }
+
+  private:
+    StarBuffers bufs_;
+    std::uint32_t center_;
+    Scoring scoring_;
+};
+
+class StarApp : public BenchmarkApp
+{
+  public:
+    std::string name() const override { return "STAR"; }
+    std::string
+    fullName() const override
+    {
+        return "Center Star Multiple Sequence Alignment";
+    }
+
+    AppRunResult
+    run(rt::Device &dev, const AppOptions &opts) override
+    {
+        const StarShape shape = shapeFor(opts.scale);
+        const Scoring scoring;
+        Rng rng(opts.seed ^ 0x57A2);
+
+        const auto seq_set = genomics::makeProteinSet(
+            rng, shape.numSeqs, shape.seqLen, 0.08);
+        std::vector<std::string> seqs;
+        for (const auto &s : seq_set)
+            seqs.push_back(s.data);
+
+        std::vector<char> flat(std::size_t(shape.numSeqs) *
+                               shape.seqLen);
+        for (std::uint32_t s = 0; s < shape.numSeqs; ++s)
+            std::copy(seqs[s].begin(), seqs[s].end(),
+                      flat.begin() + std::size_t(s) * shape.seqLen);
+
+        StarBuffers bufs;
+        bufs.numSeqs = shape.numSeqs;
+        bufs.len = shape.seqLen;
+        auto d_seqs = dev.alloc<char>(flat.size());
+        auto d_pairs = dev.alloc<std::int32_t>(
+            std::size_t(shape.numSeqs) * shape.numSeqs);
+        auto d_center = dev.alloc<std::int32_t>(shape.numSeqs);
+        bufs.seqs = d_seqs.addr;
+        bufs.pairScores = d_pairs.addr;
+        bufs.centerScores = d_center.addr;
+
+        const Cycles start = dev.gpu().now();
+        dev.upload(d_seqs, flat);
+
+        AppRunResult result;
+
+        // ---- Kernel 1: all-pairs scores ---------------------------
+        if (opts.cdp) {
+            LaunchSpec parent;
+            parent.name = "star_pairs_cdp";
+            parent.grid = {1, 1, 1};
+            parent.cta = {32, 1, 1};
+            parent.res.regsPerThread = 32;
+            parent.body =
+                std::make_shared<StarPairsCdpParent>(bufs, scoring);
+            result.kernelCycles += dev.launch(parent).cycles;
+            result.primarySpec = parent;
+        } else {
+            // Host-driven row sweep: one launch per score-matrix row,
+            // serialized by the single in-order stream (the pattern
+            // the CDP variant collapses into device-side launches).
+            for (std::uint32_t row = 0; row + 1 < shape.numSeqs;
+                 ++row) {
+                LaunchSpec spec;
+                spec.name = "star_pairs_row";
+                spec.grid = shape.grid();
+                spec.cta = shape.cta();
+                spec.res.regsPerThread = 64;
+                spec.body = std::make_shared<StarPairsKernel>(
+                    bufs, scoring, int(row));
+                result.kernelCycles += dev.launch(spec).cycles;
+                if (row == 0)
+                    result.primarySpec = spec;
+            }
+        }
+
+        // ---- Host step: pick the center (co-running CPU part) ----
+        const auto pair_scores = dev.download(d_pairs);
+        std::vector<long long> sums(shape.numSeqs, 0);
+        for (std::uint32_t i = 0; i < shape.numSeqs; ++i) {
+            for (std::uint32_t j = i + 1; j < shape.numSeqs; ++j) {
+                const int s = pair_scores[i * shape.numSeqs + j];
+                sums[i] += s;
+                sums[j] += s;
+            }
+        }
+        const std::uint32_t center = std::uint32_t(
+            std::max_element(sums.begin(), sums.end()) - sums.begin());
+
+        // ---- Kernel 2: align everyone to the center ---------------
+        if (opts.cdp) {
+            LaunchSpec parent;
+            parent.name = "star_center_cdp";
+            parent.grid = {1, 1, 1};
+            parent.cta = {32, 1, 1};
+            parent.res.regsPerThread = 32;
+            parent.body = std::make_shared<StarCenterCdpParent>(
+                bufs, center, scoring);
+            result.kernelCycles += dev.launch(parent).cycles;
+        } else {
+            LaunchSpec spec;
+            spec.name = "star_center";
+            spec.grid = shape.grid();
+            spec.cta = shape.cta();
+            spec.res.regsPerThread = 64;
+            spec.body = std::make_shared<StarCenterKernel>(bufs, center,
+                                                           scoring);
+            result.kernelCycles += dev.launch(spec).cycles;
+        }
+
+        const auto center_scores = dev.download(d_center);
+        result.totalCycles = dev.gpu().now() - start;
+
+        // ---- Verification against the CPU reference ---------------
+        const auto cpu_start = std::chrono::steady_clock::now();
+        bool ok = true;
+        const std::size_t expected_center =
+            genomics::pickCenter(seqs, scoring);
+        // Ties are broken identically (same sums, same argmax rule).
+        if (expected_center != center) {
+            warn("STAR: GPU center ", center, " != CPU center ",
+                 expected_center);
+            ok = false;
+        }
+        for (std::uint32_t s = 0; s < shape.numSeqs; ++s) {
+            if (s == center)
+                continue;
+            const int expected =
+                genomics::nwScore(seqs[center], seqs[s], scoring);
+            if (center_scores[s] != expected) {
+                warn("STAR: seq ", s, " GPU ", center_scores[s],
+                     " CPU ", expected);
+                ok = false;
+            }
+        }
+        // Full CPU MSA for the Fig 2 baseline timing.
+        const auto msa = genomics::centerStarAlign(seqs, scoring);
+        (void)msa;
+        result.cpuReferenceSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - cpu_start).count();
+        result.verified = ok;
+        result.detail = std::to_string(shape.numSeqs) + " proteins of " +
+                        std::to_string(shape.seqLen) + " residues";
+        return result;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<BenchmarkApp>
+makeStarApp()
+{
+    return std::make_unique<StarApp>();
+}
+
+} // namespace ggpu::kernels

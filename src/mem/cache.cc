@@ -1,0 +1,118 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace ggpu::mem
+{
+
+Cache::Cache(std::uint32_t size_bytes, std::uint32_t assoc,
+             std::uint32_t line_bytes, std::string name)
+    : enabled_(size_bytes != 0), lineBytes_(line_bytes), assoc_(assoc),
+      numSets_(0), name_(std::move(name))
+{
+    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
+        fatal("cache ", name_, ": line size must be a power of two");
+    if (!enabled_)
+        return;
+    if (assoc_ == 0)
+        fatal("cache ", name_, ": associativity must be positive");
+    std::uint32_t lines = size_bytes / lineBytes_;
+    if (lines == 0)
+        fatal("cache ", name_, ": capacity smaller than one line");
+    if (assoc_ > lines)
+        assoc_ = lines;  // fully-associative corner
+    numSets_ = lines / assoc_;
+    if (numSets_ == 0 || !std::has_single_bit(numSets_))
+        fatal("cache ", name_, ": set count must be a power of two, got ",
+              numSets_);
+    lines_.resize(std::size_t(numSets_) * assoc_);
+}
+
+std::uint32_t
+Cache::setIndex(Addr line_addr) const
+{
+    return std::uint32_t((line_addr / lineBytes_) & (numSets_ - 1));
+}
+
+CacheResult
+Cache::access(Addr addr, bool write)
+{
+    (void)write;  // write-allocate: stores behave like loads for tags
+    if (!enabled_)
+        return CacheResult::Bypass;
+
+    accesses_.inc();
+    ++useClock_;
+
+    const Addr line = lineAddr(addr);
+    const std::size_t base = std::size_t(setIndex(line)) * assoc_;
+
+    std::size_t victim = base;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::size_t i = base; i < base + assoc_; ++i) {
+        Line &entry = lines_[i];
+        if (entry.valid && entry.tag == line) {
+            entry.lastUse = useClock_;
+            hits_.inc();
+            return CacheResult::Hit;
+        }
+        if (!entry.valid) {
+            victim = i;
+            oldest = 0;
+        } else if (entry.lastUse < oldest) {
+            victim = i;
+            oldest = entry.lastUse;
+        }
+    }
+
+    misses_.inc();
+    lines_[victim] = {line, true, useClock_};
+    return CacheResult::Miss;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    if (!enabled_)
+        return false;
+    const Addr line = lineAddr(addr);
+    const std::size_t base = std::size_t(setIndex(line)) * assoc_;
+    for (std::size_t i = base; i < base + assoc_; ++i)
+        if (lines_[i].valid && lines_[i].tag == line)
+            return true;
+    return false;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    if (!enabled_)
+        return;
+    const Addr line = lineAddr(addr);
+    const std::size_t base = std::size_t(setIndex(line)) * assoc_;
+    for (std::size_t i = base; i < base + assoc_; ++i) {
+        if (lines_[i].valid && lines_[i].tag == line) {
+            lines_[i].valid = false;
+            return;
+        }
+    }
+}
+
+void
+Cache::flush()
+{
+    for (auto &entry : lines_)
+        entry.valid = false;
+}
+
+void
+Cache::resetStats()
+{
+    accesses_.reset();
+    hits_.reset();
+    misses_.reset();
+}
+
+} // namespace ggpu::mem

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Set-associative tag-array cache model with LRU replacement, used for
+ * both the per-SM L1 data caches and the chip-wide sliced L2 (Table I
+ * geometries). The simulator is trace-driven, so the cache tracks tags
+ * and statistics only; data correctness is handled by the functional
+ * emission phase.
+ */
+
+#ifndef GGPU_MEM_CACHE_HH
+#define GGPU_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ggpu::mem
+{
+
+/** Outcome of a cache lookup. */
+enum class CacheResult
+{
+    Hit,
+    Miss,
+    Bypass  //!< Cache disabled (size 0); access goes straight through
+};
+
+/**
+ * Tag-only set-associative cache with true-LRU replacement.
+ *
+ * Addresses are line-aligned internally; the caller may pass any byte
+ * address within the line.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity; 0 creates a disabled (bypass) cache.
+     * @param assoc Ways per set. When size/assoc yields fewer than one set
+     *        the associativity is clamped down (fully-associative corner).
+     * @param line_bytes Cache line size (power of two).
+     * @param name Label used in error messages.
+     */
+    Cache(std::uint32_t size_bytes, std::uint32_t assoc,
+          std::uint32_t line_bytes, std::string name);
+
+    /**
+     * Look up @p addr; allocate on miss.
+     * @param write True for store accesses (write-allocate policy).
+     * @return Hit, Miss, or Bypass when the cache is disabled.
+     */
+    CacheResult access(Addr addr, bool write);
+
+    /** Probe without updating LRU, allocating, or counting stats. */
+    bool contains(Addr addr) const;
+
+    /** Drop one line if present (write-through write-invalidate). */
+    void invalidate(Addr addr);
+
+    /** Drop all cached lines (models the inter-kernel locality loss the
+     *  paper attributes to cudaMemcpy between launches). */
+    void flush();
+
+    /** Reset statistics but keep cache contents. */
+    void resetStats();
+
+    bool enabled() const { return enabled_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+
+    std::uint64_t accesses() const { return accesses_.value(); }
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+    double missRate() const { return ratio(misses(), accesses()); }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr & ~Addr(lineBytes_ - 1); }
+    std::uint32_t setIndex(Addr line_addr) const;
+
+    bool enabled_;
+    std::uint32_t lineBytes_;
+    std::uint32_t assoc_;
+    std::uint32_t numSets_;
+    std::string name_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Line> lines_;  //!< numSets_ * assoc_, set-major
+
+    Counter accesses_;
+    Counter hits_;
+    Counter misses_;
+};
+
+} // namespace ggpu::mem
+
+#endif // GGPU_MEM_CACHE_HH

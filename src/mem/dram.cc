@@ -1,0 +1,147 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ggpu::mem
+{
+
+DramChannel::DramChannel(const GpuConfig &cfg, int channel_id)
+    : cfg_(cfg), channelId_(channel_id)
+{
+    queueCapacity_ = cfg.memSched == MemSchedPolicy::OoO128
+        ? 128 : std::size_t(cfg.memSchedQueueSize);
+    banks_.resize(cfg.dramBanksPerChannel);
+    const std::uint32_t bursts =
+        (cfg.lineBytes + cfg.dramBurstBytes - 1) / cfg.dramBurstBytes;
+    dataCyclesPerLine_ = Cycles(bursts) * cfg.dramBurstCycles;
+}
+
+std::uint32_t
+DramChannel::bankOf(Addr line_addr) const
+{
+    return std::uint32_t((line_addr / cfg_.dramRowBytes)
+                         % banks_.size());
+}
+
+Addr
+DramChannel::rowOf(Addr line_addr) const
+{
+    return line_addr / (Addr(cfg_.dramRowBytes) * banks_.size());
+}
+
+bool
+DramChannel::canAccept() const
+{
+    return queue_.size() < queueCapacity_;
+}
+
+void
+DramChannel::push(const DramRequest &req)
+{
+    if (!canAccept())
+        panic("DramChannel ", channelId_, ": push on full queue");
+    queue_.push_back(req);
+}
+
+int
+DramChannel::pickRequest(Cycles now) const
+{
+    if (queue_.empty())
+        return -1;
+
+    if (cfg_.memSched == MemSchedPolicy::Fifo) {
+        // Strict in-order: only the head may issue, and only when its
+        // bank has finished its previous operation.
+        const DramRequest &head = queue_.front();
+        return banks_[bankOf(head.lineAddr)].readyAt <= now ? 0 : -1;
+    }
+
+    // FR-FCFS (and its larger-window OoO-128 variant): prefer the oldest
+    // row-buffer hit whose bank is ready; otherwise the oldest ready
+    // request (which opens a new row).
+    int oldest_ready = -1;
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        const DramRequest &req = queue_[i];
+        const Bank &bank = banks_[bankOf(req.lineAddr)];
+        if (bank.readyAt > now)
+            continue;
+        if (bank.openRow == rowOf(req.lineAddr))
+            return int(i);
+        if (oldest_ready < 0)
+            oldest_ready = int(i);
+    }
+    return oldest_ready;
+}
+
+void
+DramChannel::tick(Cycles now, std::vector<DramCompletion> &completed)
+{
+    // Account active cycles (work pending or in flight) since last tick.
+    if (now > lastTick_) {
+        if (!queue_.empty() || !inFlight_.empty())
+            active_.inc(now - lastTick_);
+        lastTick_ = now;
+    }
+
+    // Retire finished transfers.
+    for (std::size_t i = 0; i < inFlight_.size();) {
+        if (inFlight_[i].doneAt <= now) {
+            completed.push_back(inFlight_[i]);
+            inFlight_[i] = inFlight_.back();
+            inFlight_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Issue at most one request per cycle.
+    const int pick = pickRequest(now);
+    if (pick < 0)
+        return;
+
+    const DramRequest req = queue_[std::size_t(pick)];
+    queue_.erase(queue_.begin() + pick);
+
+    Bank &bank = banks_[bankOf(req.lineAddr)];
+    const bool row_hit = bank.openRow == rowOf(req.lineAddr);
+    const Cycles service = row_hit
+        ? cfg_.dramRowHitLatency : cfg_.dramRowMissLatency;
+    (row_hit ? rowHits_ : rowMisses_).inc();
+
+    const Cycles data_start = std::max(now + service, pinFreeAt_);
+    const Cycles done = data_start + dataCyclesPerLine_;
+    pinFreeAt_ = done;
+    bank.readyAt = done;
+    bank.openRow = rowOf(req.lineAddr);
+
+    pinBusy_.inc(dataCyclesPerLine_);
+    served_.inc();
+    inFlight_.push_back({req.reqId, req.write, done});
+}
+
+Cycles
+DramChannel::nextEventAt(Cycles now) const
+{
+    Cycles next = ~Cycles(0);
+    for (const auto &inflight : inFlight_)
+        next = std::min(next, inflight.doneAt);
+    for (const auto &req : queue_) {
+        const Bank &bank = banks_[bankOf(req.lineAddr)];
+        next = std::min(next, std::max(bank.readyAt, now + 1));
+    }
+    return next <= now ? now + 1 : next;
+}
+
+void
+DramChannel::resetStats()
+{
+    served_.reset();
+    rowHits_.reset();
+    rowMisses_.reset();
+    pinBusy_.reset();
+    active_.reset();
+}
+
+} // namespace ggpu::mem

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * GDDR channel model with banked row buffers and pluggable request
+ * scheduling (FIFO, FR-FCFS, OoO-128 — Table I / Fig 16). Tracks the
+ * data-pin busy time needed for the paper's DRAM efficiency (Fig 17)
+ * and DRAM utilization (Fig 18) metrics.
+ */
+
+#ifndef GGPU_MEM_DRAM_HH
+#define GGPU_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ggpu::mem
+{
+
+/** One memory request as seen by a DRAM channel. */
+struct DramRequest
+{
+    Addr lineAddr = 0;
+    bool write = false;
+    Cycles arrival = 0;
+    std::uint64_t reqId = 0;   //!< Opaque tag for completion routing
+};
+
+/** A serviced request and the cycle its data transfer finished. */
+struct DramCompletion
+{
+    std::uint64_t reqId = 0;
+    bool write = false;
+    Cycles doneAt = 0;
+};
+
+/**
+ * One DRAM channel: a request queue, a set of banks with open-row
+ * tracking, and a shared data bus.
+ *
+ * Timing approximation: a request issues when its bank is ready; the
+ * data transfer starts after the row-hit or row-miss service latency
+ * (whichever applies) and once the shared data pins are free, occupying
+ * them for lineBytes/burstBytes bursts. Bank-level parallelism overlaps
+ * activation latencies across banks.
+ */
+class DramChannel
+{
+  public:
+    DramChannel(const GpuConfig &cfg, int channel_id);
+
+    /** Whether the request queue has space under the active policy. */
+    bool canAccept() const;
+
+    /** Enqueue a request. Caller must have checked canAccept(). */
+    void push(const DramRequest &req);
+
+    /**
+     * Advance to cycle @p now: issue at most one queued request and
+     * collect any transfers that completed at or before @p now.
+     */
+    void tick(Cycles now, std::vector<DramCompletion> &completed);
+
+    /** True when no request is queued or in flight. */
+    bool idle() const { return queue_.empty() && inFlight_.empty(); }
+
+    /**
+     * Earliest future cycle (> @p now) at which this channel could make
+     * progress (issue a queued request or complete a transfer); ~0 when
+     * idle. Used by the simulator's time-jump fast path.
+     */
+    Cycles nextEventAt(Cycles now) const;
+
+    void resetStats();
+
+    // Statistics for Figs 16-18.
+    std::uint64_t served() const { return served_.value(); }
+    std::uint64_t rowHits() const { return rowHits_.value(); }
+    std::uint64_t rowMisses() const { return rowMisses_.value(); }
+    std::uint64_t pinBusyCycles() const { return pinBusy_.value(); }
+    std::uint64_t activeCycles() const { return active_.value(); }
+
+    /** Fraction of active (pending-work) cycles spent moving data. */
+    double efficiency() const { return ratio(pinBusyCycles(),
+                                             activeCycles()); }
+
+  private:
+    struct Bank
+    {
+        Addr openRow = ~Addr(0);
+        Cycles readyAt = 0;
+    };
+
+    std::uint32_t bankOf(Addr line_addr) const;
+    Addr rowOf(Addr line_addr) const;
+
+    /** Index into queue_ of the request to issue now, or -1. */
+    int pickRequest(Cycles now) const;
+
+    const GpuConfig &cfg_;
+    int channelId_;
+    std::size_t queueCapacity_;
+    Cycles dataCyclesPerLine_;
+
+    std::deque<DramRequest> queue_;
+    std::vector<Bank> banks_;
+    Cycles pinFreeAt_ = 0;
+    Cycles lastTick_ = 0;
+    std::vector<DramCompletion> inFlight_;
+
+    Counter served_;
+    Counter rowHits_;
+    Counter rowMisses_;
+    Counter pinBusy_;
+    Counter active_;
+};
+
+} // namespace ggpu::mem
+
+#endif // GGPU_MEM_DRAM_HH

@@ -1,0 +1,36 @@
+#include "mem/pci.hh"
+
+#include <cmath>
+
+namespace ggpu::mem
+{
+
+double
+PciModel::transferSeconds(std::uint64_t bytes) const
+{
+    const double latency_s = cfg_.latencyUs * 1e-6;
+    const double bw_bytes_per_s = cfg_.bandwidthGBs * 1e9;
+    return latency_s + double(bytes) / bw_bytes_per_s;
+}
+
+Cycles
+PciModel::transfer(std::uint64_t bytes, PciDirection dir,
+                   double core_clock_ghz)
+{
+    (void)dir;  // symmetric link; direction kept for future asymmetry
+    transactions_.inc();
+    bytes_.inc(bytes);
+    const double seconds = transferSeconds(bytes);
+    totalSeconds_ += seconds;
+    return Cycles(std::llround(seconds * core_clock_ghz * 1e9));
+}
+
+void
+PciModel::resetStats()
+{
+    transactions_.reset();
+    bytes_.reset();
+    totalSeconds_ = 0.0;
+}
+
+} // namespace ggpu::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Host-device interconnect (PCIe) transfer-time model. Figure 4 of the
+ * paper counts cudaMemcpy ("PCI") transactions and their total/average
+ * time; this model supplies the per-transfer latency used there.
+ */
+
+#ifndef GGPU_MEM_PCI_HH
+#define GGPU_MEM_PCI_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ggpu::mem
+{
+
+/** Direction of a host-device transfer. */
+enum class PciDirection { HostToDevice, DeviceToHost };
+
+/** Latency/bandwidth model of PCIe transfers plus transaction stats. */
+class PciModel
+{
+  public:
+    explicit PciModel(const PciConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Record one cudaMemcpy-style transfer and return its duration in
+     * GPU core cycles at @p core_clock_ghz.
+     */
+    Cycles transfer(std::uint64_t bytes, PciDirection dir,
+                    double core_clock_ghz);
+
+    /** Duration of a @p bytes transfer in seconds. */
+    double transferSeconds(std::uint64_t bytes) const;
+
+    std::uint64_t transactions() const { return transactions_.value(); }
+    std::uint64_t bytesMoved() const { return bytes_.value(); }
+    double totalSeconds() const { return totalSeconds_; }
+
+    void resetStats();
+
+  private:
+    PciConfig cfg_;
+    Counter transactions_;
+    Counter bytes_;
+    double totalSeconds_ = 0.0;
+};
+
+} // namespace ggpu::mem
+
+#endif // GGPU_MEM_PCI_HH

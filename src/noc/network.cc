@@ -1,0 +1,97 @@
+#include "noc/network.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ggpu::noc
+{
+
+Network::Network(const NocConfig &cfg, int num_nodes)
+    : cfg_(cfg), topo_(Topology::create(cfg.topology, num_nodes))
+{
+    cfg_.validate();
+    perHopLatency_ = cfg_.linkDelay + cfg_.routerDelay + cfg_.vcAllocDelay;
+    linkFreeAt_.assign(std::size_t(topo_->numLinks()), 0);
+}
+
+std::uint32_t
+Network::flitsFor(std::uint32_t payload_bytes) const
+{
+    const std::uint32_t total = payload_bytes + headerBytes;
+    return (total + cfg_.flitBytes - 1) / cfg_.flitBytes;
+}
+
+Cycles
+Network::serialization(int link, std::uint32_t flit_count) const
+{
+    const double width = topo_->linkWidthFactor(link);
+    return Cycles(std::max<std::uint64_t>(
+        1, std::uint64_t(std::ceil(double(flit_count) / width))));
+}
+
+Cycles
+Network::send(int src, int dst, std::uint32_t payload_bytes, Cycles now)
+{
+    const std::uint32_t flit_count = flitsFor(payload_bytes);
+    packets_.inc();
+    flits_.inc(flit_count);
+
+    if (src == dst) {
+        // Core-local traffic (e.g. a partition replying to itself in
+        // degenerate configs) still pays one router traversal.
+        latencySum_.inc(perHopLatency_);
+        return now + perHopLatency_;
+    }
+
+    std::vector<int> links;
+    topo_->route(src, dst, links);
+    if (links.empty())
+        panic("Network: empty route from ", src, " to ", dst);
+
+    Cycles t = now;
+    for (int link : links) {
+        Cycles &free_at = linkFreeAt_[std::size_t(link)];
+        const Cycles start = std::max(t, free_at);
+        const Cycles ser = serialization(link, flit_count);
+        free_at = start + ser;
+        // Head flit reaches the next router after the hop latency; the
+        // tail arrives a serialization time later (wormhole pipeline).
+        t = start + perHopLatency_ + ser - 1;
+    }
+
+    latencySum_.inc(t - now);
+    return t;
+}
+
+Cycles
+Network::zeroLoadLatency(int src, int dst,
+                         std::uint32_t payload_bytes) const
+{
+    if (src == dst)
+        return perHopLatency_;
+    const std::uint32_t flit_count = flitsFor(payload_bytes);
+    std::vector<int> links;
+    topo_->route(src, dst, links);
+    Cycles t = 0;
+    for (int link : links)
+        t += perHopLatency_ + serialization(link, flit_count) - 1;
+    return t;
+}
+
+void
+Network::resetStats()
+{
+    packets_.reset();
+    flits_.reset();
+    latencySum_.reset();
+}
+
+void
+Network::resetState()
+{
+    std::fill(linkFreeAt_.begin(), linkFreeAt_.end(), 0);
+}
+
+} // namespace ggpu::noc

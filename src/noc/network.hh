@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Flit-level interconnect timing model (Booksim substitute). Packets
+ * are serialized into flits by the channel width (Table II flit size),
+ * contend for each link along the topology route, and pay a per-hop
+ * router pipeline latency. Captures exactly the sensitivities the
+ * paper sweeps: topology (Fig 20), router latency (Fig 21), and
+ * channel bandwidth (Fig 22).
+ */
+
+#ifndef GGPU_NOC_NETWORK_HH
+#define GGPU_NOC_NETWORK_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "noc/topology.hh"
+
+namespace ggpu::noc
+{
+
+/**
+ * Link-contention network. Each unidirectional link transfers one flit
+ * per cycle (scaled by the topology's width factor); a packet holds
+ * each link on its route for its serialization time, wormhole style.
+ */
+class Network
+{
+  public:
+    /**
+     * @param cfg Table II configuration.
+     * @param num_nodes Total endpoints (SM cores + memory partitions).
+     */
+    Network(const NocConfig &cfg, int num_nodes);
+
+    /**
+     * Inject a packet of @p payload_bytes at @p now; returns the cycle
+     * it is fully delivered at @p dst.
+     */
+    Cycles send(int src, int dst, std::uint32_t payload_bytes, Cycles now);
+
+    /** Zero-load latency of a route (no contention), for tests. */
+    Cycles zeroLoadLatency(int src, int dst,
+                           std::uint32_t payload_bytes) const;
+
+    const Topology &topology() const { return *topo_; }
+
+    std::uint64_t packets() const { return packets_.value(); }
+    std::uint64_t flits() const { return flits_.value(); }
+    /** Mean end-to-end packet latency in cycles. */
+    double avgLatency() const
+    {
+        return ratio(latencySum_.value(), packets());
+    }
+
+    void resetStats();
+    /** Also clears link reservations (between kernels). */
+    void resetState();
+
+  private:
+    std::uint32_t flitsFor(std::uint32_t payload_bytes) const;
+    Cycles serialization(int link, std::uint32_t flits) const;
+
+    static constexpr std::uint32_t headerBytes = 8;
+
+    NocConfig cfg_;
+    std::unique_ptr<Topology> topo_;
+    Cycles perHopLatency_;
+    std::vector<Cycles> linkFreeAt_;
+
+    Counter packets_;
+    Counter flits_;
+    Counter latencySum_;
+};
+
+} // namespace ggpu::noc
+
+#endif // GGPU_NOC_NETWORK_HH

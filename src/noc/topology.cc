@@ -1,0 +1,200 @@
+#include "noc/topology.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/log.hh"
+
+namespace ggpu::noc
+{
+
+double
+Topology::linkWidthFactor(int link) const
+{
+    (void)link;
+    return 1.0;
+}
+
+int
+Topology::hops(int src, int dst) const
+{
+    std::vector<int> links;
+    route(src, dst, links);
+    return int(links.size());
+}
+
+std::unique_ptr<Topology>
+Topology::create(NocTopology kind, int num_nodes)
+{
+    switch (kind) {
+      case NocTopology::Xbar:
+        return std::make_unique<XbarTopology>(num_nodes);
+      case NocTopology::Mesh:
+        return std::make_unique<MeshTopology>(num_nodes);
+      case NocTopology::FatTree:
+        return std::make_unique<FatTreeTopology>(num_nodes);
+      case NocTopology::Butterfly:
+        return std::make_unique<ButterflyTopology>(num_nodes);
+    }
+    panic("unknown NocTopology");
+}
+
+// ---------------------------------------------------------------- Xbar
+
+XbarTopology::XbarTopology(int num_nodes) : numNodes_(num_nodes)
+{
+    if (num_nodes <= 0)
+        fatal("XbarTopology: need at least one node");
+}
+
+void
+XbarTopology::route(int src, int dst, std::vector<int> &out) const
+{
+    if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
+        panic("XbarTopology: route outside node range");
+    // Input port of the source, then output port of the destination.
+    out.push_back(src);
+    out.push_back(numNodes_ + dst);
+}
+
+// ---------------------------------------------------------------- Mesh
+
+MeshTopology::MeshTopology(int num_nodes) : numNodes_(num_nodes)
+{
+    if (num_nodes <= 0)
+        fatal("MeshTopology: need at least one node");
+    cols_ = int(std::ceil(std::sqrt(double(num_nodes))));
+    rows_ = (num_nodes + cols_ - 1) / cols_;
+}
+
+int
+MeshTopology::numLinks() const
+{
+    // Routes traverse filler grid positions beyond the last node when
+    // the node count is not a perfect rectangle, so links exist for
+    // every grid position.
+    return rows_ * cols_ * 4;
+}
+
+void
+MeshTopology::route(int src, int dst, std::vector<int> &out) const
+{
+    if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
+        panic("MeshTopology: route outside node range");
+
+    int x = src % cols_;
+    int y = src / cols_;
+    const int dx = dst % cols_;
+    const int dy = dst / cols_;
+
+    // Dimension-order: resolve X first, then Y. Each hop uses the
+    // outgoing directional link of the node it leaves.
+    while (x != dx) {
+        const int dir = x < dx ? 0 : 1;  // E : W
+        out.push_back(linkId(y * cols_ + x, dir));
+        x += x < dx ? 1 : -1;
+    }
+    while (y != dy) {
+        const int dir = y < dy ? 2 : 3;  // S : N
+        out.push_back(linkId(y * cols_ + x, dir));
+        y += y < dy ? 1 : -1;
+    }
+}
+
+// ------------------------------------------------------------- FatTree
+
+FatTreeTopology::FatTreeTopology(int num_nodes) : numNodes_(num_nodes)
+{
+    if (num_nodes <= 0)
+        fatal("FatTreeTopology: need at least one node");
+    leaves_ = int(std::bit_ceil(unsigned(num_nodes)));
+    levels_ = leaves_ > 1 ? std::countr_zero(unsigned(leaves_)) : 1;
+
+    levelOffset_.resize(std::size_t(levels_) + 1, 0);
+    int edges = 0;
+    for (int level = 0; level < levels_; ++level) {
+        levelOffset_[std::size_t(level)] = edges;
+        edges += leaves_ >> level;  // edges from level to level+1
+    }
+    levelOffset_[std::size_t(levels_)] = edges;
+    numEdges_ = edges;
+}
+
+int
+FatTreeTopology::edgeIndex(int level, int pos) const
+{
+    return levelOffset_[std::size_t(level)] + pos;
+}
+
+void
+FatTreeTopology::route(int src, int dst, std::vector<int> &out) const
+{
+    if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
+        panic("FatTreeTopology: route outside node range");
+    if (src == dst)
+        return;
+
+    // Climb from both leaves until the positions coincide: that is the
+    // nearest common ancestor. Record up-links on the way up from src
+    // and down-links (in order) on the way down to dst.
+    int up = src;
+    int down = dst;
+    std::vector<int> down_links;
+    int level = 0;
+    while (up != down) {
+        if (level >= levels_)
+            panic("FatTreeTopology: NCA search escaped the root");
+        out.push_back(2 * edgeIndex(level, up));            // up link
+        down_links.push_back(2 * edgeIndex(level, down) + 1); // down link
+        up >>= 1;
+        down >>= 1;
+        ++level;
+    }
+    for (auto it = down_links.rbegin(); it != down_links.rend(); ++it)
+        out.push_back(*it);
+}
+
+double
+FatTreeTopology::linkWidthFactor(int link) const
+{
+    // Find the level this edge sits on; capacity doubles per level.
+    const int edge = link / 2;
+    for (int level = 0; level < levels_; ++level) {
+        if (edge < levelOffset_[std::size_t(level) + 1])
+            return double(1 << level);
+    }
+    return double(1 << (levels_ - 1));
+}
+
+// ----------------------------------------------------------- Butterfly
+
+ButterflyTopology::ButterflyTopology(int num_nodes) : numNodes_(num_nodes)
+{
+    if (num_nodes <= 0)
+        fatal("ButterflyTopology: need at least one node");
+    ports_ = int(std::bit_ceil(unsigned(num_nodes)));
+    stages_ = ports_ > 1 ? std::countr_zero(unsigned(ports_)) : 1;
+}
+
+void
+ButterflyTopology::route(int src, int dst, std::vector<int> &out) const
+{
+    if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
+        panic("ButterflyTopology: route outside node range");
+
+    // Destination-tag routing: stage s replaces bit (stages-1-s) of the
+    // current position with the destination's bit. Forward traffic
+    // (src < dst in node id is irrelevant) uses the first links array;
+    // the same wiring exists in the reverse direction for replies.
+    const bool reverse = src > dst;
+    int current = src;
+    for (int s = 0; s < stages_; ++s) {
+        const int bit = stages_ - 1 - s;
+        const int next = (current & ~(1 << bit)) | (dst & (1 << bit));
+        const int base = reverse ? stages_ * ports_ : 0;
+        out.push_back(base + s * ports_ + next);
+        current = next;
+    }
+}
+
+} // namespace ggpu::noc

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Interconnect topologies from Table II of the paper: local crossbar
+ * (baseline), 2-D mesh with dimension-order routing, fat tree with
+ * nearest-common-ancestor routing, and butterfly with destination-tag
+ * routing. A topology maps a (source, destination) node pair to the
+ * ordered list of links a packet traverses.
+ */
+
+#ifndef GGPU_NOC_TOPOLOGY_HH
+#define GGPU_NOC_TOPOLOGY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+
+namespace ggpu::noc
+{
+
+/**
+ * Abstract network topology. Nodes are numbered 0..numNodes-1; links
+ * are numbered 0..numLinks-1 and are unidirectional.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    virtual std::string name() const = 0;
+    virtual int numNodes() const = 0;
+    virtual int numLinks() const = 0;
+
+    /** Append the link ids of the @p src -> @p dst route to @p out. */
+    virtual void route(int src, int dst, std::vector<int> &out) const = 0;
+
+    /**
+     * Relative bandwidth of @p link (1.0 = one flit/cycle). Fat trees
+     * fatten links toward the root.
+     */
+    virtual double linkWidthFactor(int link) const;
+
+    /** Hop count of the src -> dst route. */
+    int hops(int src, int dst) const;
+
+    /** Factory keyed by the Table II topology enum. */
+    static std::unique_ptr<Topology> create(NocTopology kind, int num_nodes);
+};
+
+/** Single-stage crossbar: every route is input port -> output port. */
+class XbarTopology : public Topology
+{
+  public:
+    explicit XbarTopology(int num_nodes);
+
+    std::string name() const override { return "local-xbar"; }
+    int numNodes() const override { return numNodes_; }
+    int numLinks() const override { return 2 * numNodes_; }
+    void route(int src, int dst, std::vector<int> &out) const override;
+
+  private:
+    int numNodes_;
+};
+
+/** 2-D mesh with X-then-Y dimension-order routing. */
+class MeshTopology : public Topology
+{
+  public:
+    explicit MeshTopology(int num_nodes);
+
+    std::string name() const override { return "mesh"; }
+    int numNodes() const override { return numNodes_; }
+    int numLinks() const override;
+    void route(int src, int dst, std::vector<int> &out) const override;
+
+    int cols() const { return cols_; }
+    int rows() const { return rows_; }
+
+  private:
+    /** Link leaving @p node in direction @p dir (0=E,1=W,2=S,3=N). */
+    int linkId(int node, int dir) const { return node * 4 + dir; }
+
+    int numNodes_;
+    int cols_;
+    int rows_;
+};
+
+/** Binary fat tree; route climbs to the nearest common ancestor. */
+class FatTreeTopology : public Topology
+{
+  public:
+    explicit FatTreeTopology(int num_nodes);
+
+    std::string name() const override { return "fat-tree"; }
+    int numNodes() const override { return numNodes_; }
+    int numLinks() const override { return 2 * numEdges_; }
+    void route(int src, int dst, std::vector<int> &out) const override;
+    double linkWidthFactor(int link) const override;
+
+    int levels() const { return levels_; }
+
+  private:
+    int edgeIndex(int level, int pos) const;
+
+    int numNodes_;
+    int leaves_;    //!< next power of two >= numNodes_
+    int levels_;    //!< log2(leaves_)
+    int numEdges_;
+    std::vector<int> levelOffset_;
+};
+
+/** 2-ary n-fly butterfly with destination-tag routing. */
+class ButterflyTopology : public Topology
+{
+  public:
+    explicit ButterflyTopology(int num_nodes);
+
+    std::string name() const override { return "butterfly"; }
+    int numNodes() const override { return numNodes_; }
+    int numLinks() const override { return 2 * stages_ * ports_; }
+    void route(int src, int dst, std::vector<int> &out) const override;
+
+    int stages() const { return stages_; }
+
+  private:
+    int numNodes_;
+    int ports_;   //!< next power of two >= numNodes_
+    int stages_;  //!< log2(ports_)
+};
+
+} // namespace ggpu::noc
+
+#endif // GGPU_NOC_TOPOLOGY_HH

@@ -1,0 +1,49 @@
+#include "runtime/device.hh"
+
+namespace ggpu::rt
+{
+
+Device::Device(const SystemConfig &cfg)
+    : cfg_(cfg), gpu_(std::make_unique<sim::Gpu>(cfg)), pci_(cfg.pci)
+{
+}
+
+void
+Device::copyIn(Addr dst, const void *src, std::size_t bytes)
+{
+    gpu_->mem().write(dst, src, bytes);
+    const Cycles cost = pci_.transfer(bytes, mem::PciDirection::HostToDevice,
+                                      cfg_.gpu.coreClockGhz);
+    gpu_->advance(cost);
+    profiler_.recordPci(bytes, cost);
+    // Kernel-to-kernel cache locality is lost across host transfers
+    // (the effect the paper blames for cache-size insensitivity).
+    gpu_->flushCaches();
+}
+
+void
+Device::copyOut(void *dst, Addr src, std::size_t bytes)
+{
+    gpu_->mem().read(src, dst, bytes);
+    const Cycles cost = pci_.transfer(bytes, mem::PciDirection::DeviceToHost,
+                                      cfg_.gpu.coreClockGhz);
+    gpu_->advance(cost);
+    profiler_.recordPci(bytes, cost);
+    gpu_->flushCaches();
+}
+
+sim::LaunchResult
+Device::launch(const sim::LaunchSpec &spec)
+{
+    const sim::LaunchResult result = gpu_->launch(spec);
+    profiler_.recordKernel(spec.name, result.cycles);
+    return result;
+}
+
+double
+Device::seconds(Cycles cycles) const
+{
+    return double(cycles) / (cfg_.gpu.coreClockGhz * 1e9);
+}
+
+} // namespace ggpu::rt

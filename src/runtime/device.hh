@@ -1,0 +1,99 @@
+/**
+ * @file
+ * CUDA-runtime-like host API over the simulated GPU: device-memory
+ * allocation, host<->device copies over the PCIe model (each copy is a
+ * profiled "PCI" transaction), and synchronous kernel launches.
+ */
+
+#ifndef GGPU_RUNTIME_DEVICE_HH
+#define GGPU_RUNTIME_DEVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/pci.hh"
+#include "runtime/profiler.hh"
+#include "sim/gpu.hh"
+
+namespace ggpu::rt
+{
+
+/** Typed device allocation handle. */
+template <typename T>
+struct DeviceBuffer
+{
+    Addr addr = 0;
+    std::size_t count = 0;
+
+    std::uint64_t bytes() const { return count * sizeof(T); }
+};
+
+/** One simulated device plus its host-side runtime state. */
+class Device
+{
+  public:
+    explicit Device(const SystemConfig &cfg = SystemConfig{});
+
+    Device(const Device &) = delete;
+    Device &operator=(const Device &) = delete;
+
+    /** cudaMalloc equivalent. */
+    template <typename T>
+    DeviceBuffer<T>
+    alloc(std::size_t count)
+    {
+        DeviceBuffer<T> buffer;
+        buffer.addr = gpu_->mem().alloc(count * sizeof(T));
+        buffer.count = count;
+        return buffer;
+    }
+
+    /** cudaMemcpy host-to-device: one profiled PCI transaction. */
+    template <typename T>
+    void
+    upload(const DeviceBuffer<T> &dst, const std::vector<T> &src)
+    {
+        copyIn(dst.addr, src.data(),
+               std::min(src.size(), dst.count) * sizeof(T));
+    }
+
+    /** cudaMemcpy device-to-host. */
+    template <typename T>
+    std::vector<T>
+    download(const DeviceBuffer<T> &src)
+    {
+        std::vector<T> out(src.count);
+        copyOut(out.data(), src.addr, src.bytes());
+        return out;
+    }
+
+    /** Raw-byte H2D copy (counts one PCI transaction). */
+    void copyIn(Addr dst, const void *src, std::size_t bytes);
+    /** Raw-byte D2H copy (counts one PCI transaction). */
+    void copyOut(void *dst, Addr src, std::size_t bytes);
+
+    /** Synchronous kernel launch (default-stream semantics). */
+    sim::LaunchResult launch(const sim::LaunchSpec &spec);
+
+    sim::Gpu &gpu() { return *gpu_; }
+    Profiler &profiler() { return profiler_; }
+    const SystemConfig &config() const { return cfg_; }
+
+    /** Convert device cycles to seconds at the configured core clock. */
+    double seconds(Cycles cycles) const;
+
+    /** Total device time (kernels + transfers) in seconds. */
+    double elapsedSeconds() const { return seconds(gpu_->now()); }
+
+  private:
+    SystemConfig cfg_;
+    std::unique_ptr<sim::Gpu> gpu_;
+    mem::PciModel pci_;
+    Profiler profiler_;
+};
+
+} // namespace ggpu::rt
+
+#endif // GGPU_RUNTIME_DEVICE_HH

@@ -1,0 +1,33 @@
+#include "runtime/profiler.hh"
+
+namespace ggpu::rt
+{
+
+void
+Profiler::recordKernel(const std::string &name, Cycles cycles)
+{
+    kernelCount_.inc();
+    kernelCycles_.inc(cycles);
+    ++byKernel_[name];
+}
+
+void
+Profiler::recordPci(std::uint64_t bytes, Cycles cycles)
+{
+    pciCount_.inc();
+    pciCycles_.inc(cycles);
+    pciBytes_.inc(bytes);
+}
+
+void
+Profiler::reset()
+{
+    kernelCount_.reset();
+    pciCount_.reset();
+    kernelCycles_.reset();
+    pciCycles_.reset();
+    pciBytes_.reset();
+    byKernel_.clear();
+}
+
+} // namespace ggpu::rt

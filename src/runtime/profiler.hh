@@ -1,0 +1,62 @@
+/**
+ * @file
+ * nvprof/Nsight substitute: counts kernel launches and PCI (memcpy)
+ * transactions and accumulates their durations — the exact quantities
+ * plotted in Fig 4 of the paper.
+ */
+
+#ifndef GGPU_RUNTIME_PROFILER_HH
+#define GGPU_RUNTIME_PROFILER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ggpu::rt
+{
+
+/** Per-application launch/transfer profile. */
+class Profiler
+{
+  public:
+    void recordKernel(const std::string &name, Cycles cycles);
+    void recordPci(std::uint64_t bytes, Cycles cycles);
+
+    std::uint64_t kernelInvocations() const { return kernelCount_.value(); }
+    std::uint64_t pciTransactions() const { return pciCount_.value(); }
+    Cycles kernelCycles() const { return kernelCycles_.value(); }
+    Cycles pciCycles() const { return pciCycles_.value(); }
+    std::uint64_t pciBytes() const { return pciBytes_.value(); }
+
+    double avgKernelCycles() const
+    {
+        return ratio(kernelCycles(), kernelInvocations());
+    }
+    double avgPciCycles() const
+    {
+        return ratio(pciCycles(), pciTransactions());
+    }
+
+    /** Per-kernel-name invocation counts (diagnostics). */
+    const std::map<std::string, std::uint64_t> &byKernel() const
+    {
+        return byKernel_;
+    }
+
+    void reset();
+
+  private:
+    Counter kernelCount_;
+    Counter pciCount_;
+    Counter kernelCycles_;
+    Counter pciCycles_;
+    Counter pciBytes_;
+    std::map<std::string, std::uint64_t> byKernel_;
+};
+
+} // namespace ggpu::rt
+
+#endif // GGPU_RUNTIME_PROFILER_HH

@@ -1,0 +1,48 @@
+#include "sim/coalescer.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+
+namespace ggpu::sim
+{
+
+Coalescer::Coalescer(std::uint32_t line_bytes) : lineBytes_(line_bytes)
+{
+    if (line_bytes == 0 || !std::has_single_bit(line_bytes))
+        fatal("Coalescer: line size must be a power of two");
+}
+
+std::uint32_t
+Coalescer::coalesce(const std::array<Addr, warpSize> &addrs, LaneMask mask,
+                    std::uint32_t bytes_per_lane,
+                    std::vector<Addr> &out) const
+{
+    if (bytes_per_lane == 0)
+        panic("Coalescer: zero-byte access");
+
+    const std::size_t before = out.size();
+    const Addr line_mask = ~Addr(lineBytes_ - 1);
+
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(mask & (LaneMask(1) << lane)))
+            continue;
+        const Addr first = addrs[std::size_t(lane)] & line_mask;
+        const Addr last =
+            (addrs[std::size_t(lane)] + bytes_per_lane - 1) & line_mask;
+        for (Addr line = first; line <= last; line += lineBytes_) {
+            bool seen = false;
+            for (std::size_t i = before; i < out.size(); ++i) {
+                if (out[i] == line) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen)
+                out.push_back(line);
+        }
+    }
+    return std::uint32_t(out.size() - before);
+}
+
+} // namespace ggpu::sim

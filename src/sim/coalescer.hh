@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memory-access coalescer: collapses the per-lane byte addresses of a
+ * warp memory instruction into the minimal set of cache-line
+ * transactions, exactly as the hardware LSU does. The transaction
+ * count is what the timing model charges L1/NoC/DRAM for.
+ */
+
+#ifndef GGPU_SIM_COALESCER_HH
+#define GGPU_SIM_COALESCER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ggpu::sim
+{
+
+/** Stateless coalescing helper parameterized by cache-line size. */
+class Coalescer
+{
+  public:
+    explicit Coalescer(std::uint32_t line_bytes);
+
+    /**
+     * Compute the unique line transactions touched by one warp access.
+     *
+     * @param addrs Per-lane starting byte address.
+     * @param mask Active lanes.
+     * @param bytes_per_lane Access width per lane (may straddle lines).
+     * @param out Line-aligned transaction addresses, order preserved by
+     *            first touching lane; appended to.
+     * @return Number of transactions appended.
+     */
+    std::uint32_t coalesce(const std::array<Addr, warpSize> &addrs,
+                           LaneMask mask, std::uint32_t bytes_per_lane,
+                           std::vector<Addr> &out) const;
+
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+  private:
+    std::uint32_t lineBytes_;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_COALESCER_HH

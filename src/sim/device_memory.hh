@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Functional backing store for the simulated device's global address
+ * space. A bump allocator hands out buffer base addresses; typed
+ * helpers let the emission phase and the runtime read/write real data
+ * so every kernel is functionally checkable against its CPU reference.
+ */
+
+#ifndef GGPU_SIM_DEVICE_MEMORY_HH
+#define GGPU_SIM_DEVICE_MEMORY_HH
+
+#include <cstring>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace ggpu::sim
+{
+
+/** Flat functional device memory with bump allocation. */
+class DeviceMemory
+{
+  public:
+    /** Base of the per-thread local-memory window (not backed). */
+    static constexpr Addr localRegionBase = Addr(1) << 40;
+
+    explicit DeviceMemory(std::size_t capacity_bytes = 256u << 20)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    /** Allocate @p bytes, aligned to @p align (power of two). */
+    Addr
+    alloc(std::size_t bytes, std::size_t align = 256)
+    {
+        Addr base = (next_ + align - 1) & ~Addr(align - 1);
+        if (base + bytes > capacity_)
+            fatal("DeviceMemory: out of device memory (",
+                  base + bytes, " > ", capacity_, " bytes)");
+        next_ = base + bytes;
+        if (data_.size() < next_)
+            data_.resize(next_);
+        return base;
+    }
+
+    /** Release everything (bump allocator reset between app runs). */
+    void
+    reset()
+    {
+        next_ = 4096;
+        data_.clear();
+    }
+
+    std::size_t allocated() const { return next_; }
+
+    void
+    write(Addr addr, const void *src, std::size_t bytes)
+    {
+        check(addr, bytes);
+        std::memcpy(data_.data() + addr, src, bytes);
+    }
+
+    void
+    read(Addr addr, void *dst, std::size_t bytes) const
+    {
+        check(addr, bytes);
+        std::memcpy(dst, data_.data() + addr, bytes);
+    }
+
+    template <typename T>
+    T
+    load(Addr addr) const
+    {
+        T value;
+        read(addr, &value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    void
+    store(Addr addr, const T &value)
+    {
+        write(addr, &value, sizeof(T));
+    }
+
+  private:
+    void
+    check(Addr addr, std::size_t bytes) const
+    {
+        if (addr < 4096)
+            panic("DeviceMemory: null-page access at ", addr);
+        if (addr + bytes > data_.size())
+            panic("DeviceMemory: out-of-bounds access at ", addr,
+                  " + ", bytes, " (allocated ", next_, ")");
+    }
+
+    std::size_t capacity_;
+    Addr next_ = 4096;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_DEVICE_MEMORY_HH

@@ -1,0 +1,507 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/occupancy.hh"
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::sim
+{
+
+std::uint64_t
+SimStats::totalInsns() const
+{
+    std::uint64_t total = 0;
+    for (auto count : insnByKind)
+        total += count;
+    return total;
+}
+
+double
+SimStats::ipc() const
+{
+    return ratio(totalInsns(), gpuCycles);
+}
+
+void
+SimStats::merge(const SimStats &other)
+{
+    gpuCycles += other.gpuCycles;
+    launches += other.launches;
+    for (std::size_t i = 0; i < insnByKind.size(); ++i)
+        insnByKind[i] += other.insnByKind[i];
+    for (std::size_t i = 0; i < memBySpace.size(); ++i)
+        memBySpace[i] += other.memBySpace[i];
+    warpOcc.merge(other.warpOcc);
+    stalls.merge(other.stalls);
+    issueCycles += other.issueCycles;
+    smCycles += other.smCycles;
+    l1Accesses += other.l1Accesses;
+    l1Misses += other.l1Misses;
+    l2Accesses += other.l2Accesses;
+    l2Misses += other.l2Misses;
+    dramServed += other.dramServed;
+    dramRowHits += other.dramRowHits;
+    dramPinBusy += other.dramPinBusy;
+    dramActive += other.dramActive;
+    nocPackets += other.nocPackets;
+    nocFlits += other.nocFlits;
+    nocLatencySum += other.nocLatencySum;
+}
+
+Gpu::Partition::Partition(const GpuConfig &cfg, int id)
+    : l2(cfg.l2SizeBytes / std::uint32_t(cfg.numMemPartitions),
+         cfg.l2Assoc, cfg.lineBytes, "l2-slice" + std::to_string(id)),
+      dram(cfg, id)
+{
+}
+
+Gpu::Gpu(const SystemConfig &cfg)
+    : cfg_(cfg),
+      noc_(cfg.noc, cfg.gpu.numCores + cfg.gpu.numMemPartitions)
+{
+    cfg_.validate();
+    sms_.reserve(std::size_t(cfg_.gpu.numCores));
+    for (int i = 0; i < cfg_.gpu.numCores; ++i)
+        sms_.push_back(std::make_unique<SmCore>(cfg_.gpu, i, this));
+    partitions_.reserve(std::size_t(cfg_.gpu.numMemPartitions));
+    for (int i = 0; i < cfg_.gpu.numMemPartitions; ++i)
+        partitions_.push_back(std::make_unique<Partition>(cfg_.gpu, i));
+}
+
+Gpu::~Gpu() = default;
+
+int
+Gpu::partitionOf(Addr line) const
+{
+    return int((line / cfg_.gpu.lineBytes) %
+               std::uint64_t(cfg_.gpu.numMemPartitions));
+}
+
+std::uint64_t
+Gpu::encodeReq(int core, bool write, Addr line) const
+{
+    // Line number in the high bits; bit 7 is the write flag and bits
+    // 0..6 identify the requesting core.
+    return ((line / cfg_.gpu.lineBytes) << 8) | (write ? 0x80u : 0u) |
+           std::uint64_t(core);
+}
+
+void
+Gpu::decodeReq(std::uint64_t req_id, int &core, bool &write,
+               Addr &line) const
+{
+    core = int(req_id & 0x7f);
+    write = (req_id & 0x80) != 0;
+    line = (req_id >> 8) * cfg_.gpu.lineBytes;
+}
+
+void
+Gpu::schedule(Event event)
+{
+    event.seq = eventSeq_++;
+    events_.push(event);
+}
+
+void
+Gpu::sendReadRequest(int core, Addr line, Cycles now)
+{
+    const int partition = partitionOf(line);
+    const Cycles arrive =
+        noc_.send(core, nodeOfPartition(partition), 8, now);
+    schedule({arrive, 0, Event::Kind::ReqAtPartition, partition, core,
+              line, false});
+}
+
+void
+Gpu::sendWriteRequest(int core, Addr line, Cycles now)
+{
+    const int partition = partitionOf(line);
+    const Cycles arrive = noc_.send(core, nodeOfPartition(partition),
+                                    cfg_.gpu.lineBytes, now);
+    schedule({arrive, 0, Event::Kind::ReqAtPartition, partition, core,
+              line, true});
+}
+
+GridState *
+Gpu::enqueueChildGrid(ChildGrid &child, int parent_core,
+                      int parent_cta_slot, Cycles now)
+{
+    auto grid = std::make_unique<GridState>();
+    grid->spec = child.spec;
+    grid->childSrc = &child;
+    grid->totalCtas = child.spec.grid.count();
+    grid->remaining = grid->totalCtas;
+    grid->depth = 1;
+    grid->parentCore = parent_core;
+    grid->parentCtaSlot = parent_cta_slot;
+    grid->salt = ++gridSeq_;
+
+    Cycles overhead = cfg_.gpu.cdpLaunchOverhead;
+    if (!cdpRuntimeInitialized_) {
+        overhead += cfg_.gpu.cdpRuntimeSetup;
+        cdpRuntimeInitialized_ = true;
+    }
+    grid->readyAt = now + overhead;
+
+    GridState *raw = grid.get();
+    activeGrids_.push_back(std::move(grid));
+    // Children jump the queue so parents waiting on deviceSync make
+    // progress as soon as possible.
+    dispatchQueue_.push_front(raw);
+    ++liveGrids_;
+    ++childGridsThisLaunch_;
+    return raw;
+}
+
+void
+Gpu::onGridCtaComplete(GridState &grid, Cycles now)
+{
+    if (grid.remaining == 0)
+        panic("Gpu: CTA completed on a drained grid");
+    --grid.remaining;
+    if (grid.remaining > 0)
+        return;
+    grid.done = true;
+    --liveGrids_;
+    if (grid.parentCore >= 0) {
+        sms_[std::size_t(grid.parentCore)]->onChildGridDone(
+            grid.parentCtaSlot, now);
+    }
+}
+
+bool
+Gpu::launchPending(Cycles now) const
+{
+    if (now < launchReadyAt_)
+        return true;
+    for (const GridState *grid : dispatchQueue_)
+        if (now < grid->readyAt)
+            return true;
+    return false;
+}
+
+bool
+Gpu::processEvents()
+{
+    bool progress = false;
+    while (!events_.empty() && events_.top().time <= now_) {
+        const Event event = events_.top();
+        events_.pop();
+        progress = true;
+        switch (event.kind) {
+          case Event::Kind::ReqAtPartition:
+            handlePartitionRequest(event.node, event.core, event.line,
+                                   event.write, now_);
+            break;
+          case Event::Kind::ReplyAtCore:
+            sms_[std::size_t(event.node)]->onLineFill(event.line, now_);
+            break;
+          case Event::Kind::WriteRetire:
+            sms_[std::size_t(event.node)]->onWriteRetired();
+            break;
+        }
+    }
+    return progress;
+}
+
+void
+Gpu::handleDramCompletions(
+    int partition, const std::vector<mem::DramCompletion> &completed)
+{
+    for (const auto &done : completed) {
+        int core;
+        bool write;
+        Addr line;
+        decodeReq(done.reqId, core, write, line);
+        if (write) {
+            schedule({std::max(now_, done.doneAt), 0,
+                      Event::Kind::WriteRetire, core, core, line, true});
+        } else {
+            const Cycles arrive = noc_.send(
+                nodeOfPartition(partition), core, cfg_.gpu.lineBytes,
+                std::max(now_, done.doneAt));
+            schedule({arrive, 0, Event::Kind::ReplyAtCore, core, core,
+                      line, false});
+        }
+    }
+}
+
+void
+Gpu::handlePartitionRequest(int partition, int core, Addr line,
+                            bool write, Cycles now)
+{
+    Partition &part = *partitions_[std::size_t(partition)];
+    // Close out the DRAM active-time window before changing its queue.
+    std::vector<mem::DramCompletion> completed;
+    part.dram.tick(now, completed);
+    handleDramCompletions(partition, completed);
+
+    const mem::CacheResult result = part.l2.access(line, write);
+    if (result == mem::CacheResult::Hit) {
+        if (write) {
+            schedule({now + cfg_.gpu.l2HitLatency, 0,
+                      Event::Kind::WriteRetire, core, core, line, true});
+        } else {
+            const Cycles arrive =
+                noc_.send(nodeOfPartition(partition), core,
+                          cfg_.gpu.lineBytes, now + cfg_.gpu.l2HitLatency);
+            schedule({arrive, 0, Event::Kind::ReplyAtCore, core, core,
+                      line, false});
+        }
+        return;
+    }
+
+    mem::DramRequest request;
+    request.lineAddr = line;
+    request.write = write;
+    request.arrival = now;
+    request.reqId = encodeReq(core, write, line);
+    if (part.dram.canAccept())
+        part.dram.push(request);
+    else
+        part.overflow.push_back(request);
+}
+
+void
+Gpu::drainOverflow(Partition &part, Cycles now)
+{
+    while (!part.overflow.empty() && part.dram.canAccept()) {
+        part.dram.push(part.overflow.front());
+        part.overflow.pop_front();
+    }
+    (void)now;
+}
+
+bool
+Gpu::tickDram()
+{
+    bool progress = false;
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+        Partition &part = *partitions_[p];
+        std::vector<mem::DramCompletion> completed;
+        part.dram.tick(now_, completed);
+        drainOverflow(part, now_);
+        if (!completed.empty()) {
+            progress = true;
+            handleDramCompletions(int(p), completed);
+        }
+    }
+    return progress;
+}
+
+bool
+Gpu::dispatchCtas()
+{
+    constexpr int maxDispatchPerCycle = 8;
+    int dispatched = 0;
+
+    for (auto it = dispatchQueue_.begin();
+         it != dispatchQueue_.end() && dispatched < maxDispatchPerCycle;) {
+        GridState *grid = *it;
+        if (now_ < grid->readyAt || grid->nextCta >= grid->totalCtas) {
+            ++it;
+            continue;
+        }
+
+        bool placed_any = false;
+        for (int attempt = 0;
+             attempt < cfg_.gpu.numCores &&
+             grid->nextCta < grid->totalCtas &&
+             dispatched < maxDispatchPerCycle;
+             ++attempt) {
+            SmCore &sm = *sms_[std::size_t(dispatchCursor_)];
+            dispatchCursor_ = (dispatchCursor_ + 1) % cfg_.gpu.numCores;
+            if (!sm.canFit(grid->spec))
+                continue;
+
+            CtaTrace trace;
+            if (grid->childSrc) {
+                trace = std::move(
+                    grid->childSrc->ctas[std::size_t(grid->nextCta)]);
+            } else {
+                trace = emitCta(grid->spec, grid->nextCta, mem_,
+                                cfg_.gpu.lineBytes, grid->depth,
+                                grid->salt);
+            }
+            sm.dispatchCta(*grid, std::move(trace), now_);
+            ++grid->nextCta;
+            ++dispatched;
+            placed_any = true;
+        }
+
+        if (grid->nextCta >= grid->totalCtas) {
+            it = dispatchQueue_.erase(it);
+        } else if (!placed_any) {
+            ++it;  // no SM had room; try again later
+        }
+    }
+    return dispatched > 0;
+}
+
+Cycles
+Gpu::nextWakeup() const
+{
+    Cycles next = ~Cycles(0);
+    if (!events_.empty())
+        next = std::min(next, events_.top().time);
+    for (const GridState *grid : dispatchQueue_) {
+        if (grid->nextCta < grid->totalCtas)
+            next = std::min(next, std::max(grid->readyAt, now_ + 1));
+    }
+    for (const auto &part : partitions_) {
+        if (!part->overflow.empty())
+            next = std::min(next, now_ + 1);
+        next = std::min(next, part->dram.nextEventAt(now_));
+    }
+    for (const auto &sm : sms_)
+        next = std::min(next, sm->nextReadyTime(now_));
+    return next;
+}
+
+bool
+Gpu::drained() const
+{
+    if (liveGrids_ != 0 || !events_.empty())
+        return false;
+    for (const auto &part : partitions_)
+        if (!part->dram.idle() || !part->overflow.empty())
+            return false;
+    for (const auto &sm : sms_)
+        if (sm->hasWork())
+            return false;
+    return true;
+}
+
+void
+Gpu::runUntilDrained()
+{
+    std::uint64_t idle_iterations = 0;
+    while (!drained()) {
+        bool progress = false;
+        progress |= processEvents();
+        progress |= tickDram();
+        progress |= dispatchCtas();
+
+        bool any_issue = false;
+        for (auto &sm : sms_)
+            any_issue |= sm->tick(now_);
+        progress |= any_issue;
+
+        if (progress) {
+            idle_iterations = 0;
+            ++now_;
+            continue;
+        }
+
+        const Cycles wake = nextWakeup();
+        if (wake == ~Cycles(0)) {
+            if (drained())
+                break;
+            panic("Gpu: deadlock — no wakeup but work remains (cycle ",
+                  now_, ", liveGrids ", liveGrids_, ")");
+        }
+        const Cycles target = std::max(wake, now_ + 1);
+        const Cycles skip = target - (now_ + 1);
+        if (skip > 0) {
+            for (auto &sm : sms_)
+                sm->accountSkip(skip);
+        }
+        now_ = target;
+        if (++idle_iterations > 100000000ull)
+            panic("Gpu: livelock detected at cycle ", now_);
+    }
+}
+
+void
+Gpu::harvestStats()
+{
+    for (auto &sm : sms_) {
+        stats_.stalls.merge(sm->stallHist());
+        stats_.warpOcc.merge(sm->occupancyHist());
+        const auto &kinds = sm->insnByKind();
+        for (std::size_t i = 0; i < kinds.size(); ++i)
+            stats_.insnByKind[i] += kinds[i];
+        const auto &spaces = sm->memBySpace();
+        for (std::size_t i = 0; i < spaces.size(); ++i)
+            stats_.memBySpace[i] += spaces[i];
+        stats_.issueCycles += sm->issueCycles();
+        stats_.smCycles += sm->activeCycles();
+        stats_.l1Accesses += sm->l1().accesses();
+        stats_.l1Misses += sm->l1().misses();
+        sm->resetStats();
+    }
+    for (auto &part : partitions_) {
+        stats_.l2Accesses += part->l2.accesses();
+        stats_.l2Misses += part->l2.misses();
+        stats_.dramServed += part->dram.served();
+        stats_.dramRowHits += part->dram.rowHits();
+        stats_.dramPinBusy += part->dram.pinBusyCycles();
+        stats_.dramActive += part->dram.activeCycles();
+        part->l2.resetStats();
+        part->dram.resetStats();
+    }
+    stats_.nocPackets += noc_.packets();
+    stats_.nocFlits += noc_.flits();
+    stats_.nocLatencySum +=
+        std::uint64_t(noc_.avgLatency() * double(noc_.packets()));
+    noc_.resetStats();
+}
+
+LaunchResult
+Gpu::launch(const LaunchSpec &spec)
+{
+    if (!spec.body)
+        fatal("Gpu::launch: kernel '", spec.name, "' has no body");
+    if (spec.grid.count() == 0)
+        fatal("Gpu::launch: kernel '", spec.name, "' has an empty grid");
+    computeOccupancy(cfg_.gpu, spec);  // fatal when a CTA cannot fit
+
+    const Cycles started = now_;
+    launchReadyAt_ = now_ + cfg_.gpu.kernelLaunchOverhead;
+    childGridsThisLaunch_ = 0;
+
+    auto grid = std::make_unique<GridState>();
+    grid->spec = spec;
+    grid->totalCtas = spec.grid.count();
+    grid->remaining = grid->totalCtas;
+    grid->readyAt = launchReadyAt_;
+    grid->salt = ++gridSeq_;
+    GridState *raw = grid.get();
+    activeGrids_.push_back(std::move(grid));
+    dispatchQueue_.push_back(raw);
+    ++liveGrids_;
+
+    runUntilDrained();
+
+    LaunchResult result;
+    result.cycles = now_ - started;
+    result.ctas = raw->totalCtas;
+    result.childGrids = childGridsThisLaunch_;
+
+    stats_.gpuCycles += result.cycles;
+    stats_.launches += 1;
+    harvestStats();
+
+    activeGrids_.clear();
+    noc_.resetState();
+    return result;
+}
+
+void
+Gpu::flushCaches()
+{
+    for (auto &sm : sms_)
+        sm->l1().flush();
+    for (auto &part : partitions_)
+        part->l2.flush();
+}
+
+void
+Gpu::resetStats()
+{
+    stats_ = SimStats{};
+}
+
+} // namespace ggpu::sim

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Whole-GPU timing model: the SM array, the SM<->memory-partition
+ * interconnect, sliced L2, DRAM channels, the CTA dispatcher, and the
+ * CDP child-grid queue. One Gpu instance simulates one device; the
+ * runtime layer (ggpu::rt) drives it with launches and memcpys.
+ */
+
+#ifndef GGPU_SIM_GPU_HH
+#define GGPU_SIM_GPU_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "noc/network.hh"
+#include "sim/device_memory.hh"
+#include "sim/grid.hh"
+#include "sim/sm_core.hh"
+#include "sim/stall.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+/** Aggregated timing statistics (accumulated across launches). */
+struct SimStats
+{
+    Cycles gpuCycles = 0;  //!< Kernel-active cycles
+    std::uint64_t launches = 0;
+
+    std::array<std::uint64_t, std::size_t(OpKind::NumKinds)> insnByKind{};
+    std::array<std::uint64_t, std::size_t(MemSpace::NumSpaces)>
+        memBySpace{};
+    Histogram warpOcc{warpSize};
+    Histogram stalls{std::size_t(StallReason::NumReasons)};
+    std::uint64_t issueCycles = 0;
+    std::uint64_t smCycles = 0;  //!< Total per-SM cycles simulated
+
+    std::uint64_t l1Accesses = 0, l1Misses = 0;
+    std::uint64_t l2Accesses = 0, l2Misses = 0;
+    std::uint64_t dramServed = 0, dramRowHits = 0;
+    std::uint64_t dramPinBusy = 0, dramActive = 0;
+    std::uint64_t nocPackets = 0, nocFlits = 0, nocLatencySum = 0;
+
+    std::uint64_t totalInsns() const;
+    double ipc() const;
+    double l1MissRate() const { return ratio(l1Misses, l1Accesses); }
+    double l2MissRate() const { return ratio(l2Misses, l2Accesses); }
+    double dramEfficiency() const { return ratio(dramPinBusy, dramActive); }
+    double dramUtilization() const { return ratio(dramPinBusy, gpuCycles); }
+
+    void merge(const SimStats &other);
+};
+
+/** Result of one kernel launch. */
+struct LaunchResult
+{
+    Cycles cycles = 0;   //!< Wall cycles from launch call to completion
+    std::uint64_t ctas = 0;
+    std::uint64_t childGrids = 0;
+};
+
+/** The simulated device. */
+class Gpu
+{
+  public:
+    explicit Gpu(const SystemConfig &cfg);
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Synchronously run @p spec to completion. */
+    LaunchResult launch(const LaunchSpec &spec);
+
+    DeviceMemory &mem() { return mem_; }
+    const SystemConfig &config() const { return cfg_; }
+    Cycles now() const { return now_; }
+
+    /** Advance device time (PCI transfers, host compute). */
+    void advance(Cycles cycles) { now_ += cycles; }
+
+    /** Drop cache contents (locality loss across cudaMemcpy). */
+    void flushCaches();
+
+    const SimStats &stats() const { return stats_; }
+    void resetStats();
+
+    // ---- Interface used by SmCore (not for end users) -------------
+    void sendReadRequest(int core, Addr line, Cycles now);
+    void sendWriteRequest(int core, Addr line, Cycles now);
+    GridState *enqueueChildGrid(ChildGrid &child, int parent_core,
+                                int parent_cta_slot, Cycles now);
+    void onGridCtaComplete(GridState &grid, Cycles now);
+    bool launchPending(Cycles now) const;
+
+  private:
+    struct Event
+    {
+        Cycles time = 0;
+        std::uint64_t seq = 0;
+        enum class Kind : std::uint8_t
+        {
+            ReqAtPartition,
+            ReplyAtCore,
+            WriteRetire
+        } kind = Kind::ReqAtPartition;
+        int node = 0;   //!< Destination (partition or core index)
+        int core = 0;   //!< Requesting core (ReqAtPartition only)
+        Addr line = 0;
+        bool write = false;
+
+        bool operator>(const Event &other) const
+        {
+            return time != other.time ? time > other.time
+                                      : seq > other.seq;
+        }
+    };
+
+    struct Partition
+    {
+        mem::Cache l2;
+        mem::DramChannel dram;
+        std::deque<mem::DramRequest> overflow;
+
+        Partition(const GpuConfig &cfg, int id);
+    };
+
+    int partitionOf(Addr line) const;
+    int nodeOfPartition(int partition) const
+    {
+        return cfg_.gpu.numCores + partition;
+    }
+    std::uint64_t encodeReq(int core, bool write, Addr line) const;
+    void decodeReq(std::uint64_t req_id, int &core, bool &write,
+                   Addr &line) const;
+
+    void schedule(Event event);
+    void runUntilDrained();
+    bool processEvents();
+    bool tickDram();
+    bool dispatchCtas();
+    void handlePartitionRequest(int partition, int core, Addr line,
+                                bool write, Cycles now);
+    void handleDramCompletions(int partition,
+                               const std::vector<mem::DramCompletion> &
+                                   completed);
+    void drainOverflow(Partition &part, Cycles now);
+    void harvestStats();
+    Cycles nextWakeup() const;
+    bool drained() const;
+
+    SystemConfig cfg_;
+    DeviceMemory mem_;
+    noc::Network noc_;
+    std::vector<std::unique_ptr<SmCore>> sms_;
+    std::vector<std::unique_ptr<Partition>> partitions_;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    std::uint64_t eventSeq_ = 0;
+
+    std::vector<std::unique_ptr<GridState>> activeGrids_;
+    std::deque<GridState *> dispatchQueue_;
+    std::uint64_t gridSeq_ = 0;
+    std::uint64_t liveGrids_ = 0;
+    std::uint64_t childGridsThisLaunch_ = 0;
+    bool cdpRuntimeInitialized_ = false;
+
+    Cycles now_ = 0;
+    Cycles launchReadyAt_ = 0;
+    int dispatchCursor_ = 0;
+
+    SimStats stats_;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_GPU_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Runtime state of one grid (host-launched kernel or CDP child) as it
+ * is dispatched CTA-by-CTA onto the SM array.
+ */
+
+#ifndef GGPU_SIM_GRID_HH
+#define GGPU_SIM_GRID_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+/** Dispatch/completion bookkeeping for an in-flight grid. */
+struct GridState
+{
+    LaunchSpec spec;
+    /** Pre-emitted CTA traces for CDP grids; null for host launches
+     *  (whose CTAs are emitted lazily at dispatch). */
+    ChildGrid *childSrc = nullptr;
+
+    std::uint64_t totalCtas = 0;
+    std::uint64_t nextCta = 0;    //!< Next CTA linear index to dispatch
+    std::uint64_t remaining = 0;  //!< CTAs not yet completed
+    Cycles readyAt = 0;           //!< Dispatchable once now >= readyAt
+    bool done = false;
+    int depth = 0;                //!< CDP nesting depth (0 = host)
+
+    /** Parent CTA holding this child grid (resource-release ordering). */
+    int parentCore = -1;
+    int parentCtaSlot = -1;
+
+    std::uint64_t salt = 0;       //!< Local-memory address salt
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_GRID_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Trace instruction-set definitions for the Genomics-GPU simulator.
+ * The emission phase turns each warp's execution into a sequence of
+ * TraceOps; the timing phase replays them through the SM pipeline
+ * model. Op kinds and memory spaces match the categories the paper
+ * reports in its instruction-mix (Fig 8) and memory-mix (Fig 9)
+ * breakdowns.
+ */
+
+#ifndef GGPU_SIM_ISA_HH
+#define GGPU_SIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ggpu::sim
+{
+
+/** Dynamic instruction classes (Fig 8 categories). */
+enum class OpKind : std::uint8_t
+{
+    IntAlu,       //!< Integer arithmetic/logic
+    FpAlu,        //!< Floating-point arithmetic
+    Sfu,          //!< Special-function unit (exp, log, rcp, ...)
+    Load,         //!< Memory read (space in TraceOp::space)
+    Store,        //!< Memory write
+    Branch,       //!< Control-flow instruction (divergence point)
+    Barrier,      //!< CTA-wide __syncthreads()
+    ChildLaunch,  //!< CDP device-side kernel launch
+    DeviceSync,   //!< CDP cudaDeviceSynchronize (wait for children)
+    Exit,         //!< Warp termination
+    NumKinds
+};
+
+/** Memory spaces (Fig 9 categories). */
+enum class MemSpace : std::uint8_t
+{
+    Global,
+    Shared,
+    Local,
+    Const,
+    Tex,
+    Param,
+    NumSpaces
+};
+
+/** Whether ops of @p space travel off-core (through L1/NoC/L2/DRAM). */
+constexpr bool
+isOffCore(MemSpace space)
+{
+    return space == MemSpace::Global || space == MemSpace::Local ||
+           space == MemSpace::Tex;
+}
+
+std::string toString(OpKind kind);
+std::string toString(MemSpace space);
+
+/**
+ * One warp-level trace instruction.
+ *
+ * @c repeat folds runs of identical back-to-back ALU ops into one entry;
+ * the timing model charges one issue cycle per repeat and the stat
+ * layer counts repeat dynamic instructions.
+ */
+struct TraceOp
+{
+    OpKind kind = OpKind::IntAlu;
+    MemSpace space = MemSpace::Global;
+    std::uint16_t repeat = 1;
+    LaneMask mask = fullMask;
+    /** Trace index of the newest load this op consumes, or -1. The warp
+     *  may not issue this op while any load at index <= dep is
+     *  outstanding (in-order scoreboard approximation). */
+    std::int32_t dep = -1;
+    /** [txBegin, txBegin+txCount) indexes WarpTrace::transactions. */
+    std::uint32_t txBegin = 0;
+    std::uint16_t txCount = 0;
+    /** Bytes accessed per active lane (memory ops). */
+    std::uint16_t bytesPerLane = 0;
+    /** ChildLaunch: index into CtaTrace::children. */
+    std::uint32_t child = 0;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_ISA_HH

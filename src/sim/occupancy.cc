@@ -1,0 +1,86 @@
+#include "sim/occupancy.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace ggpu::sim
+{
+
+Occupancy
+computeOccupancy(const GpuConfig &cfg, const LaunchSpec &spec)
+{
+    const std::uint32_t threads_per_cta = std::uint32_t(spec.cta.count());
+    if (threads_per_cta == 0)
+        fatal("occupancy: kernel '", spec.name, "' has an empty CTA");
+
+    const std::uint32_t regs_per_cta =
+        spec.res.regsPerThread * threads_per_cta;
+
+    Occupancy occ;
+    occ.ctasPerCore = cfg.maxCtasPerCore;
+    occ.limiter = Occupancy::Limit::CtaSlots;
+
+    const std::uint32_t by_threads = cfg.maxThreadsPerCore / threads_per_cta;
+    if (by_threads < occ.ctasPerCore) {
+        occ.ctasPerCore = by_threads;
+        occ.limiter = Occupancy::Limit::Threads;
+    }
+
+    if (regs_per_cta > 0) {
+        const std::uint32_t by_regs = cfg.registersPerCore / regs_per_cta;
+        if (by_regs < occ.ctasPerCore) {
+            occ.ctasPerCore = by_regs;
+            occ.limiter = Occupancy::Limit::Registers;
+        }
+    }
+
+    if (spec.res.smemPerCtaBytes > 0) {
+        const std::uint32_t by_smem =
+            cfg.sharedMemPerCoreBytes / spec.res.smemPerCtaBytes;
+        if (by_smem < occ.ctasPerCore) {
+            occ.ctasPerCore = by_smem;
+            occ.limiter = Occupancy::Limit::SharedMem;
+        }
+    }
+
+    // The warp-slot ceiling is part of the thread limit in hardware.
+    const std::uint32_t warps_per_cta = spec.warpsPerCta();
+    const std::uint32_t by_warps =
+        std::uint32_t(cfg.maxWarpsPerCore) / warps_per_cta;
+    if (by_warps < occ.ctasPerCore) {
+        occ.ctasPerCore = by_warps;
+        occ.limiter = Occupancy::Limit::Threads;
+    }
+
+    if (occ.ctasPerCore == 0)
+        fatal("occupancy: kernel '", spec.name,
+              "' cannot fit a single CTA per core (",
+              threads_per_cta, " threads, ", spec.res.regsPerThread,
+              " regs/thread, ", spec.res.smemPerCtaBytes, "B smem)");
+
+    const double n = occ.ctasPerCore;
+    occ.registerUtilization =
+        std::min(1.0, n * regs_per_cta / double(cfg.registersPerCore));
+    occ.sharedMemUtilization = cfg.sharedMemPerCoreBytes == 0 ? 0.0
+        : std::min(1.0, n * spec.res.smemPerCtaBytes /
+                            double(cfg.sharedMemPerCoreBytes));
+    occ.constMemUtilization = cfg.constMemBytes == 0 ? 0.0
+        : std::min(1.0, double(spec.res.constBytes) /
+                            double(cfg.constMemBytes));
+    return occ;
+}
+
+std::string
+toString(Occupancy::Limit limit)
+{
+    switch (limit) {
+      case Occupancy::Limit::CtaSlots: return "cta-slots";
+      case Occupancy::Limit::Threads: return "threads";
+      case Occupancy::Limit::Registers: return "registers";
+      case Occupancy::Limit::SharedMem: return "shared-memory";
+    }
+    return "unknown";
+}
+
+} // namespace ggpu::sim

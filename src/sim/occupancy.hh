@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CTA occupancy calculator: how many CTAs of a kernel fit on one SM
+ * given the Table I per-core resource limits (registers, threads,
+ * CTA slots, shared memory). Also reports per-resource SRAM
+ * utilization for Fig 6.
+ */
+
+#ifndef GGPU_SIM_OCCUPANCY_HH
+#define GGPU_SIM_OCCUPANCY_HH
+
+#include "common/config.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+/** Result of an occupancy computation. */
+struct Occupancy
+{
+    std::uint32_t ctasPerCore = 0;
+    /** Which resource capped the result. */
+    enum class Limit { CtaSlots, Threads, Registers, SharedMem } limiter =
+        Limit::CtaSlots;
+
+    // Fractions of each SRAM structure used at full occupancy (Fig 6).
+    double registerUtilization = 0.0;
+    double sharedMemUtilization = 0.0;
+    double constMemUtilization = 0.0;
+};
+
+/**
+ * Compute how many CTAs of @p spec run concurrently per SM.
+ * Throws FatalError when even a single CTA does not fit.
+ */
+Occupancy computeOccupancy(const GpuConfig &cfg, const LaunchSpec &spec);
+
+/** Human-readable limiter name. */
+std::string toString(Occupancy::Limit limit);
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_OCCUPANCY_HH

@@ -1,0 +1,124 @@
+#include "sim/scheduler.hh"
+
+#include <bit>
+
+#include "common/log.hh"
+#include "sim/stall.hh"
+
+namespace ggpu::sim
+{
+
+std::string
+toString(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::None: return "issued";
+      case StallReason::MemLatency: return "mem-latency";
+      case StallReason::ControlHazard: return "control-hazard";
+      case StallReason::Sync: return "synchronization";
+      case StallReason::DataHazard: return "data-hazard";
+      case StallReason::Structural: return "structural";
+      case StallReason::FunctionalDone: return "functional-done";
+      case StallReason::Idle: return "idle";
+      case StallReason::NumReasons: break;
+    }
+    return "unknown";
+}
+
+WarpScheduler::WarpScheduler(WarpSchedPolicy policy, int num_slots)
+    : policy_(policy), numSlots_(num_slots)
+{
+    if (num_slots <= 0 || num_slots > 64)
+        fatal("WarpScheduler: slot count must be in [1, 64], got ",
+              num_slots);
+}
+
+int
+WarpScheduler::pickLrr(std::uint64_t issuable)
+{
+    if (!issuable)
+        return -1;
+    // Rotate: first set bit at or after rrNext_, wrapping.
+    const std::uint64_t hi = issuable >> rrNext_ << rrNext_;
+    const int slot = hi ? std::countr_zero(hi) : std::countr_zero(issuable);
+    rrNext_ = (slot + 1) % numSlots_;
+    return slot;
+}
+
+int
+WarpScheduler::pickOldest(std::uint64_t issuable,
+                          const std::vector<std::uint64_t> &age) const
+{
+    int best = -1;
+    std::uint64_t best_age = UINT64_MAX;
+    std::uint64_t bits = issuable;
+    while (bits) {
+        const int slot = std::countr_zero(bits);
+        bits &= bits - 1;
+        if (age[std::size_t(slot)] < best_age) {
+            best_age = age[std::size_t(slot)];
+            best = slot;
+        }
+    }
+    return best;
+}
+
+int
+WarpScheduler::pick(std::uint64_t issuable,
+                    const std::vector<std::uint64_t> &age)
+{
+    if (!issuable)
+        return -1;
+
+    switch (policy_) {
+      case WarpSchedPolicy::Lrr:
+        return pickLrr(issuable);
+
+      case WarpSchedPolicy::Gto:
+        if (greedy_ >= 0 && (issuable >> greedy_) & 1)
+            return greedy_;
+        greedy_ = pickOldest(issuable, age);
+        return greedy_;
+
+      case WarpSchedPolicy::Oldest:
+        return pickOldest(issuable, age);
+
+      case WarpSchedPolicy::TwoLevel: {
+        // Issue LRR among the active set; when no active warp can
+        // issue, promote the oldest issuable pending warp.
+        const std::uint64_t active_issuable = issuable & activeSet_;
+        if (active_issuable)
+            return pickLrr(active_issuable);
+        const int promoted = pickOldest(issuable, age);
+        if (promoted >= 0) {
+            if (std::popcount(activeSet_) >= activeSetSize) {
+                // Demote the least-recently considered active warp.
+                const int victim = std::countr_zero(activeSet_);
+                activeSet_ &= ~(std::uint64_t(1) << victim);
+            }
+            activeSet_ |= std::uint64_t(1) << promoted;
+        }
+        return promoted;
+      }
+    }
+    panic("WarpScheduler: unknown policy");
+}
+
+void
+WarpScheduler::onStall(int slot)
+{
+    if (policy_ == WarpSchedPolicy::Gto && greedy_ == slot)
+        greedy_ = -1;
+    if (policy_ == WarpSchedPolicy::TwoLevel)
+        activeSet_ &= ~(std::uint64_t(1) << slot);
+}
+
+void
+WarpScheduler::onRelease(int slot)
+{
+    if (greedy_ == slot)
+        greedy_ = -1;
+    activeSet_ &= ~(std::uint64_t(1) << slot);
+}
+
+} // namespace ggpu::sim

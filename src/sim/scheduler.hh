@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Warp schedulers evaluated in Fig 19: loose round robin (LRR, the
+ * Accel-Sim default), greedy-then-oldest (GTO), oldest-first (OLD),
+ * and the two-level active/pending scheduler (2LV).
+ */
+
+#ifndef GGPU_SIM_SCHEDULER_HH
+#define GGPU_SIM_SCHEDULER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace ggpu::sim
+{
+
+/**
+ * Picks which issuable warp slot issues next. The SM computes the set
+ * of issuable slots each cycle; the scheduler only encodes policy.
+ */
+class WarpScheduler
+{
+  public:
+    WarpScheduler(WarpSchedPolicy policy, int num_slots);
+
+    /**
+     * Choose a slot from @p issuable (bitmask over slots; bit i set =
+     * slot i can issue now). @p age maps slot -> dispatch stamp
+     * (smaller = older). Returns the chosen slot or -1.
+     */
+    int pick(std::uint64_t issuable, const std::vector<std::uint64_t> &age);
+
+    /** Tell the scheduler its current greedy warp stalled (GTO/2LV). */
+    void onStall(int slot);
+    /** Slot freed (warp finished / CTA completed). */
+    void onRelease(int slot);
+
+    WarpSchedPolicy policy() const { return policy_; }
+
+  private:
+    int pickLrr(std::uint64_t issuable);
+    int pickOldest(std::uint64_t issuable,
+                   const std::vector<std::uint64_t> &age) const;
+
+    static constexpr int activeSetSize = 8;
+
+    WarpSchedPolicy policy_;
+    int numSlots_;
+    int rrNext_ = 0;
+    int greedy_ = -1;             //!< GTO sticky warp
+    std::uint64_t activeSet_ = 0; //!< 2LV active-warp bitmask
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_SCHEDULER_HH

@@ -1,0 +1,549 @@
+#include "sim/sm_core.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.hh"
+#include "sim/gpu.hh"
+
+namespace ggpu::sim
+{
+
+SmCore::SmCore(const GpuConfig &cfg, int core_id, Gpu *gpu)
+    : cfg_(cfg), coreId_(core_id), gpu_(gpu),
+      l1_(cfg.l1SizeBytes, cfg.l1Assoc, cfg.lineBytes,
+          "l1-core" + std::to_string(core_id)),
+      scheduler_(cfg.warpSched, cfg.maxWarpsPerCore),
+      warps_(std::size_t(cfg.maxWarpsPerCore)),
+      ctas_(std::size_t(cfg.maxCtasPerCore)),
+      warpAge_(std::size_t(cfg.maxWarpsPerCore), 0),
+      freeRegs_(cfg.registersPerCore),
+      freeThreads_(cfg.maxThreadsPerCore),
+      freeSmem_(cfg.sharedMemPerCoreBytes),
+      freeCtaSlots_(cfg.maxCtasPerCore),
+      freeWarpSlots_(std::uint32_t(cfg.maxWarpsPerCore)),
+      mshrEntries_(64), storeQueueDepth_(64),
+      stallHist_(std::size_t(StallReason::NumReasons)),
+      occHist_(warpSize)
+{
+}
+
+bool
+SmCore::canFit(const LaunchSpec &spec) const
+{
+    const std::uint32_t threads = std::uint32_t(spec.cta.count());
+    const std::uint32_t warps = spec.warpsPerCta();
+    return freeCtaSlots_ >= 1 && freeThreads_ >= threads &&
+           freeWarpSlots_ >= warps &&
+           freeRegs_ >= spec.res.regsPerThread * threads &&
+           freeSmem_ >= spec.res.smemPerCtaBytes;
+}
+
+void
+SmCore::dispatchCta(GridState &grid, CtaTrace &&trace, Cycles now)
+{
+    if (!canFit(grid.spec))
+        panic("SmCore ", coreId_, ": dispatchCta without room");
+
+    int cta_slot = -1;
+    for (std::size_t i = 0; i < ctas_.size(); ++i) {
+        if (!ctas_[i].valid) {
+            cta_slot = int(i);
+            break;
+        }
+    }
+    if (cta_slot < 0)
+        panic("SmCore ", coreId_, ": no free CTA slot despite canFit");
+
+    CtaSlot &cta = ctas_[std::size_t(cta_slot)];
+    cta.valid = true;
+    cta.trace = std::move(trace);
+    cta.grid = &grid;
+    cta.activeWarps = std::uint32_t(cta.trace.warps.size());
+    cta.barrierArrived = 0;
+    cta.pendingChildGrids = 0;
+    cta.warpSlots.clear();
+
+    const std::uint32_t threads = std::uint32_t(grid.spec.cta.count());
+    cta.regs = grid.spec.res.regsPerThread * threads;
+    cta.threads = threads;
+    cta.smem = grid.spec.res.smemPerCtaBytes;
+
+    freeRegs_ -= cta.regs;
+    freeThreads_ -= cta.threads;
+    freeSmem_ -= cta.smem;
+    freeCtaSlots_ -= 1;
+    freeWarpSlots_ -= cta.activeWarps;
+
+    for (auto &warp_trace : cta.trace.warps) {
+        int slot = -1;
+        for (std::size_t i = 0; i < warps_.size(); ++i) {
+            if (!warps_[i].valid) {
+                slot = int(i);
+                break;
+            }
+        }
+        if (slot < 0)
+            panic("SmCore ", coreId_, ": no free warp slot despite canFit");
+        WarpSlot &warp = warps_[std::size_t(slot)];
+        warp.valid = true;
+        warp.finished = false;
+        warp.atBarrier = false;
+        warp.trace = &warp_trace;
+        warp.pc = 0;
+        warp.readyAt = now + 1;
+        warp.busyReason = StallReason::None;
+        warp.ctaSlot = cta_slot;
+        warp.outstanding.clear();
+        warp.children.clear();
+        warpAge_[std::size_t(slot)] = ageStamp_++;
+        cta.warpSlots.push_back(slot);
+    }
+
+    ++residentCtas_;
+}
+
+bool
+SmCore::depSatisfied(const WarpSlot &slot, std::int32_t dep,
+                     Cycles now) const
+{
+    if (dep < 0)
+        return true;
+    for (const auto &load : slot.outstanding) {
+        if (load.opIdx > dep)
+            continue;
+        if (load.remaining > 0 || load.doneAt > now)
+            return false;
+    }
+    return true;
+}
+
+bool
+SmCore::issuable(const WarpSlot &slot, Cycles now,
+                 StallReason &reason) const
+{
+    if (slot.atBarrier) {
+        reason = StallReason::Sync;
+        return false;
+    }
+    if (slot.readyAt > now) {
+        reason = slot.busyReason == StallReason::None
+            ? StallReason::DataHazard : slot.busyReason;
+        return false;
+    }
+
+    const TraceOp &op = slot.trace->ops[slot.pc];
+    if (!depSatisfied(slot, op.dep, now)) {
+        reason = StallReason::MemLatency;
+        return false;
+    }
+
+    if (op.kind == OpKind::DeviceSync) {
+        for (const GridState *child : slot.children) {
+            if (!child->done) {
+                reason = StallReason::Sync;
+                return false;
+            }
+        }
+    }
+
+    if ((op.kind == OpKind::Load || op.kind == OpKind::Store) &&
+        isOffCore(op.space) && !cfg_.perfectMemory) {
+        if (op.kind == OpKind::Load &&
+            mshr_.size() + op.txCount > mshrEntries_) {
+            reason = StallReason::Structural;
+            return false;
+        }
+        if (op.kind == OpKind::Store &&
+            outstandingWrites_ + op.txCount > storeQueueDepth_) {
+            reason = StallReason::Structural;
+            return false;
+        }
+    }
+
+    reason = StallReason::None;
+    return true;
+}
+
+void
+SmCore::issueMemOp(WarpSlot &slot, const TraceOp &op, Cycles now)
+{
+    const std::int32_t op_idx = std::int32_t(slot.pc);
+
+    if (!isOffCore(op.space)) {
+        // On-chip spaces: fixed-latency pipelines, no traffic.
+        if (op.kind == OpKind::Load) {
+            Cycles latency = 1;
+            switch (op.space) {
+              case MemSpace::Shared:
+                latency = cfg_.sharedMemLatency;
+                break;
+              case MemSpace::Const:
+                latency = cfg_.constMemLatency;
+                break;
+              case MemSpace::Param:
+                latency = cfg_.constMemLatency;
+                break;
+              default:
+                break;
+            }
+            slot.outstanding.push_back({op_idx, 0, now + latency});
+        }
+        return;
+    }
+
+    if (cfg_.perfectMemory) {
+        if (op.kind == OpKind::Load)
+            slot.outstanding.push_back({op_idx, 0, now + 1});
+        return;
+    }
+
+    const WarpTrace &trace = *slot.trace;
+    const int warp_slot_idx = int(&slot - warps_.data());
+    std::uint16_t miss_count = 0;
+
+    for (std::uint32_t t = 0; t < op.txCount; ++t) {
+        const Addr line = trace.transactions[op.txBegin + t];
+
+        if (op.kind == OpKind::Store) {
+            // Global/tex stores are write-through no-write-allocate
+            // (NVIDIA L1 policy): they always travel to the L2 slice.
+            // Local-memory stores are write-back cached in L1.
+            if (op.space == MemSpace::Local) {
+                l1_.access(line, true);  // write-back: allocate, no
+                continue;                // immediate traffic
+            }
+            l1_.invalidate(line);  // write-through write-invalidate
+            ++outstandingWrites_;
+            gpu_->sendWriteRequest(coreId_, line, now);
+            continue;
+        }
+
+        const mem::CacheResult result = l1_.access(line, false);
+
+        if (result == mem::CacheResult::Hit)
+            continue;
+        auto &waiters = mshr_[line];
+        if (waiters.empty())
+            gpu_->sendReadRequest(coreId_, line, now);
+        waiters.push_back({warp_slot_idx, op_idx});
+        ++miss_count;
+    }
+
+    if (op.kind == OpKind::Load) {
+        slot.outstanding.push_back(
+            {op_idx, miss_count, now + cfg_.l1HitLatency});
+    }
+}
+
+void
+SmCore::issue(int slot_idx, Cycles now)
+{
+    WarpSlot &slot = warps_[std::size_t(slot_idx)];
+    const TraceOp &op = slot.trace->ops[slot.pc];
+
+    insnByKind_[std::size_t(op.kind)] += op.repeat;
+    occHist_.add(std::size_t(std::popcount(op.mask) > 0
+                                 ? std::popcount(op.mask) - 1 : 0),
+                 op.repeat);
+
+    slot.busyReason = StallReason::None;
+    slot.readyAt = now + op.repeat;
+
+    switch (op.kind) {
+      case OpKind::IntAlu:
+      case OpKind::FpAlu:
+        break;
+      case OpKind::Sfu:
+        // Quarter-rate unit: each SFU op occupies four issue slots.
+        slot.readyAt = now + Cycles(op.repeat) * 4;
+        slot.busyReason = StallReason::Structural;
+        break;
+      case OpKind::Branch:
+        slot.readyAt = now + cfg_.branchPenalty;
+        slot.busyReason = StallReason::ControlHazard;
+        break;
+      case OpKind::Load:
+      case OpKind::Store:
+        memBySpace_[std::size_t(op.space)] += op.repeat;
+        issueMemOp(slot, op, now);
+        break;
+      case OpKind::Barrier: {
+        CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
+        slot.atBarrier = true;
+        ++cta.barrierArrived;
+        if (cta.barrierArrived >= cta.activeWarps)
+            releaseBarrier(cta, now);
+        break;
+      }
+      case OpKind::ChildLaunch: {
+        CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
+        ChildGrid *child = cta.trace.children[op.child].get();
+        GridState *grid =
+            gpu_->enqueueChildGrid(*child, coreId_, slot.ctaSlot, now);
+        ++cta.pendingChildGrids;
+        slot.children.push_back(grid);
+        slot.readyAt = now + 4;  // launch-instruction occupancy
+        break;
+      }
+      case OpKind::DeviceSync:
+        // Children verified complete in issuable(); forget them so a
+        // later sync only waits on newer launches.
+        slot.children.clear();
+        break;
+      case OpKind::Exit:
+        finishWarp(slot_idx, now);
+        return;  // pc must not advance past the trace end
+      case OpKind::NumKinds:
+        panic("SmCore: corrupt trace op");
+    }
+
+    ++slot.pc;
+    if (slot.pc >= slot.trace->ops.size())
+        panic("SmCore: warp ran past the end of its trace (missing Exit)");
+
+    // Garbage-collect satisfied loads occasionally.
+    if (slot.outstanding.size() > 8) {
+        std::erase_if(slot.outstanding, [now](const OutstandingLoad &l) {
+            return l.remaining == 0 && l.doneAt <= now;
+        });
+    }
+}
+
+void
+SmCore::finishWarp(int slot_idx, Cycles now)
+{
+    WarpSlot &slot = warps_[std::size_t(slot_idx)];
+    slot.finished = true;
+    scheduler_.onRelease(slot_idx);
+
+    CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
+    if (cta.activeWarps == 0)
+        panic("SmCore: warp finished in an empty CTA");
+    --cta.activeWarps;
+    if (cta.activeWarps == 0)
+        maybeFreeCta(slot.ctaSlot, now);
+}
+
+void
+SmCore::maybeFreeCta(int cta_slot, Cycles now)
+{
+    CtaSlot &cta = ctas_[std::size_t(cta_slot)];
+    if (!cta.valid || cta.activeWarps > 0 || cta.pendingChildGrids > 0)
+        return;
+
+    for (int warp_slot : cta.warpSlots) {
+        WarpSlot &warp = warps_[std::size_t(warp_slot)];
+        warp.valid = false;
+        warp.trace = nullptr;
+        ++freeWarpSlots_;
+    }
+
+    freeRegs_ += cta.regs;
+    freeThreads_ += cta.threads;
+    freeSmem_ += cta.smem;
+    freeCtaSlots_ += 1;
+    --residentCtas_;
+
+    GridState *grid = cta.grid;
+    cta.valid = false;
+    cta.grid = nullptr;
+    cta.trace = CtaTrace{};
+
+    gpu_->onGridCtaComplete(*grid, now);
+}
+
+void
+SmCore::releaseBarrier(CtaSlot &cta, Cycles now)
+{
+    for (int warp_slot : cta.warpSlots) {
+        WarpSlot &warp = warps_[std::size_t(warp_slot)];
+        if (warp.valid && !warp.finished && warp.atBarrier) {
+            warp.atBarrier = false;
+            warp.readyAt = now + 2;
+            warp.busyReason = StallReason::Sync;
+        }
+    }
+    cta.barrierArrived = 0;
+}
+
+StallReason
+SmCore::classify(Cycles now) const
+{
+    if (residentCtas_ == 0) {
+        return gpu_->launchPending(now) ? StallReason::FunctionalDone
+                                        : StallReason::Idle;
+    }
+
+    std::array<std::uint32_t, std::size_t(StallReason::NumReasons)>
+        votes{};
+    bool any = false;
+    for (const WarpSlot &slot : warps_) {
+        if (!slot.valid || slot.finished)
+            continue;
+        StallReason reason = StallReason::None;
+        if (!issuable(slot, now, reason)) {
+            ++votes[std::size_t(reason)];
+            any = true;
+        }
+    }
+    if (!any)
+        return StallReason::Idle;  // only drained warps remain
+
+    // Majority vote; ties break toward the more fundamental cause.
+    static constexpr StallReason priority[] = {
+        StallReason::MemLatency, StallReason::Sync,
+        StallReason::ControlHazard, StallReason::Structural,
+        StallReason::DataHazard, StallReason::FunctionalDone,
+        StallReason::Idle,
+    };
+    StallReason best = StallReason::Idle;
+    std::uint32_t best_votes = 0;
+    for (StallReason candidate : priority) {
+        const std::uint32_t v = votes[std::size_t(candidate)];
+        if (v > best_votes) {
+            best_votes = v;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+bool
+SmCore::tick(Cycles now)
+{
+    if (residentCtas_ == 0) {
+        // A core with no resident work is only sampled while a kernel
+        // launch is being set up ("functional done"); fully idle cores
+        // do not contribute stall samples, matching how Accel-Sim
+        // attributes cycles to active shaders.
+        if (gpu_->launchPending(now)) {
+            activeCycles_.inc();
+            lastStall_ = StallReason::FunctionalDone;
+            stallHist_.add(std::size_t(lastStall_));
+        } else {
+            lastStall_ = StallReason::None;  // not sampled
+        }
+        return false;
+    }
+
+    activeCycles_.inc();
+    std::uint64_t issuable_mask = 0;
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        const WarpSlot &slot = warps_[i];
+        if (!slot.valid || slot.finished)
+            continue;
+        StallReason reason = StallReason::None;
+        if (issuable(slot, now, reason))
+            issuable_mask |= std::uint64_t(1) << i;
+    }
+
+    int issued = 0;
+    for (int port = 0; port < cfg_.issueWidth && issuable_mask; ++port) {
+        const int pick = scheduler_.pick(issuable_mask, warpAge_);
+        if (pick < 0)
+            break;
+        issuable_mask &= ~(std::uint64_t(1) << pick);
+        issue(pick, now);
+        ++issued;
+    }
+
+    if (issued > 0) {
+        issueCycles_.inc();
+        lastStall_ = StallReason::None;
+        return true;
+    }
+
+    lastStall_ = classify(now);
+    stallHist_.add(std::size_t(lastStall_));
+    return false;
+}
+
+void
+SmCore::accountSkip(Cycles n)
+{
+    // Unsampled cores (no resident work, no pending launch) skip
+    // silently; everything else repeats its last classification.
+    if (lastStall_ == StallReason::None)
+        return;
+    activeCycles_.inc(n);
+    stallHist_.add(std::size_t(lastStall_), n);
+}
+
+Cycles
+SmCore::nextReadyTime(Cycles now) const
+{
+    Cycles next = ~Cycles(0);
+    for (const WarpSlot &slot : warps_) {
+        if (!slot.valid || slot.finished || slot.atBarrier)
+            continue;
+        if (slot.readyAt > now) {
+            next = std::min(next, slot.readyAt);
+            continue;
+        }
+        // Ready by timer; may still be gated by an on-chip fixed-latency
+        // load whose completion is not an event.
+        const TraceOp &op = slot.trace->ops[slot.pc];
+        if (op.dep >= 0) {
+            for (const auto &load : slot.outstanding) {
+                if (load.opIdx <= op.dep && load.remaining == 0 &&
+                    load.doneAt > now)
+                    next = std::min(next, load.doneAt);
+            }
+        }
+    }
+    return next;
+}
+
+void
+SmCore::onLineFill(Addr line, Cycles now)
+{
+    auto it = mshr_.find(line);
+    if (it == mshr_.end())
+        return;  // e.g. a write-retire raced with a flush
+    for (const auto &[warp_slot, op_idx] : it->second) {
+        WarpSlot &slot = warps_[std::size_t(warp_slot)];
+        if (!slot.valid)
+            continue;
+        for (auto &load : slot.outstanding) {
+            if (load.opIdx == op_idx && load.remaining > 0) {
+                if (--load.remaining == 0)
+                    load.doneAt = std::max(load.doneAt, now);
+                break;
+            }
+        }
+    }
+    mshr_.erase(it);
+}
+
+void
+SmCore::onWriteRetired()
+{
+    if (outstandingWrites_ == 0)
+        panic("SmCore ", coreId_, ": write retired with none outstanding");
+    --outstandingWrites_;
+}
+
+void
+SmCore::onChildGridDone(int cta_slot, Cycles now)
+{
+    CtaSlot &cta = ctas_[std::size_t(cta_slot)];
+    if (!cta.valid || cta.pendingChildGrids == 0)
+        panic("SmCore ", coreId_, ": spurious child-grid completion");
+    --cta.pendingChildGrids;
+    maybeFreeCta(cta_slot, now);
+}
+
+void
+SmCore::resetStats()
+{
+    stallHist_.reset();
+    occHist_.reset();
+    insnByKind_.fill(0);
+    memBySpace_.fill(0);
+    issueCycles_.reset();
+    activeCycles_.reset();
+    l1_.resetStats();
+}
+
+} // namespace ggpu::sim

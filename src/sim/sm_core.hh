@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Streaming-multiprocessor timing model: warp slots, per-cycle issue
+ * through a pluggable warp scheduler, an L1 cache with MSHR-style miss
+ * merging, CTA resource accounting, barrier and CDP synchronization,
+ * and the Fig 5 stall-reason classifier.
+ */
+
+#ifndef GGPU_SIM_SM_CORE_HH
+#define GGPU_SIM_SM_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "mem/cache.hh"
+#include "sim/grid.hh"
+#include "sim/scheduler.hh"
+#include "sim/stall.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+class Gpu;
+
+/** One SM core. */
+class SmCore
+{
+  public:
+    SmCore(const GpuConfig &cfg, int core_id, Gpu *gpu);
+
+    /** Whether a CTA of @p spec fits in the currently free resources. */
+    bool canFit(const LaunchSpec &spec) const;
+
+    /** Place one CTA of @p grid (trace already emitted). */
+    void dispatchCta(GridState &grid, CtaTrace &&trace, Cycles now);
+
+    /** Advance one cycle; returns true when any warp issued. */
+    bool tick(Cycles now);
+
+    /** Re-apply the last cycle's stall classification for @p n skipped
+     *  cycles (used by the time-jump fast path). */
+    void accountSkip(Cycles n);
+
+    bool hasWork() const { return residentCtas_ > 0; }
+
+    /** Earliest future cycle a warp becomes ready by timer alone
+     *  (UINT64_MAX when all waits are event-driven). */
+    Cycles nextReadyTime(Cycles now) const;
+
+    /** A missed line returned from L2/DRAM. */
+    void onLineFill(Addr line, Cycles now);
+    /** An off-core store fully retired. */
+    void onWriteRetired();
+    /** A child grid launched from CTA @p cta_slot completed. */
+    void onChildGridDone(int cta_slot, Cycles now);
+
+    int coreId() const { return coreId_; }
+    mem::Cache &l1() { return l1_; }
+
+    // ------------------------------------------------------- stats
+    const Histogram &stallHist() const { return stallHist_; }
+    const Histogram &occupancyHist() const { return occHist_; }
+    const std::array<std::uint64_t,
+                     std::size_t(OpKind::NumKinds)> &insnByKind() const
+    {
+        return insnByKind_;
+    }
+    const std::array<std::uint64_t,
+                     std::size_t(MemSpace::NumSpaces)> &memBySpace() const
+    {
+        return memBySpace_;
+    }
+    std::uint64_t issueCycles() const { return issueCycles_.value(); }
+    std::uint64_t activeCycles() const { return activeCycles_.value(); }
+
+    void resetStats();
+
+  private:
+    struct OutstandingLoad
+    {
+        std::int32_t opIdx = -1;
+        std::uint16_t remaining = 0;  //!< Pending line fills
+        Cycles doneAt = 0;            //!< Valid once remaining == 0
+    };
+
+    struct WarpSlot
+    {
+        bool valid = false;
+        bool finished = false;
+        bool atBarrier = false;
+        const WarpTrace *trace = nullptr;
+        std::uint32_t pc = 0;
+        Cycles readyAt = 0;
+        StallReason busyReason = StallReason::None;
+        int ctaSlot = -1;
+        std::vector<OutstandingLoad> outstanding;
+        std::vector<GridState *> children;
+    };
+
+    struct CtaSlot
+    {
+        bool valid = false;
+        CtaTrace trace;
+        GridState *grid = nullptr;
+        std::uint32_t activeWarps = 0;   //!< Unfinished warps
+        std::uint32_t barrierArrived = 0;
+        std::uint32_t pendingChildGrids = 0;
+        std::vector<int> warpSlots;
+        // Resources held (released at completion).
+        std::uint32_t regs = 0;
+        std::uint32_t threads = 0;
+        std::uint32_t smem = 0;
+    };
+
+    /** Whether @p slot can issue at @p now; sets @p reason otherwise. */
+    bool issuable(const WarpSlot &slot, Cycles now,
+                  StallReason &reason) const;
+    /** True when no load with index <= dep is still outstanding. */
+    bool depSatisfied(const WarpSlot &slot, std::int32_t dep,
+                      Cycles now) const;
+    void issue(int slot_idx, Cycles now);
+    void issueMemOp(WarpSlot &slot, const TraceOp &op, Cycles now);
+    void finishWarp(int slot_idx, Cycles now);
+    void maybeFreeCta(int cta_slot, Cycles now);
+    void releaseBarrier(CtaSlot &cta, Cycles now);
+    StallReason classify(Cycles now) const;
+
+    const GpuConfig &cfg_;
+    int coreId_;
+    Gpu *gpu_;
+
+    mem::Cache l1_;
+    WarpScheduler scheduler_;
+
+    std::vector<WarpSlot> warps_;
+    std::vector<CtaSlot> ctas_;
+    std::vector<std::uint64_t> warpAge_;
+    std::uint64_t ageStamp_ = 0;
+    int residentCtas_ = 0;
+
+    // Free resources.
+    std::uint32_t freeRegs_;
+    std::uint32_t freeThreads_;
+    std::uint32_t freeSmem_;
+    std::uint32_t freeCtaSlots_;
+    std::uint32_t freeWarpSlots_;
+
+    // Miss handling.
+    std::unordered_map<Addr, std::vector<std::pair<int, std::int32_t>>>
+        mshr_;  //!< line -> (warp slot, load op idx) waiters
+    std::uint32_t mshrEntries_;
+    std::uint32_t outstandingWrites_ = 0;
+    std::uint32_t storeQueueDepth_;
+
+    // Stats.
+    Histogram stallHist_;
+    Histogram occHist_;
+    std::array<std::uint64_t, std::size_t(OpKind::NumKinds)> insnByKind_{};
+    std::array<std::uint64_t, std::size_t(MemSpace::NumSpaces)>
+        memBySpace_{};
+    Counter issueCycles_;
+    Counter activeCycles_;
+    StallReason lastStall_ = StallReason::Idle;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_SM_CORE_HH

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Pipeline-stall taxonomy matching the paper's Fig 5 breakdown: long
+ * memory latency, control hazards, pipeline idle, synchronization,
+ * data hazards, structural hazards, and "functional done" (cores
+ * waiting for the next kernel to be set up).
+ */
+
+#ifndef GGPU_SIM_STALL_HH
+#define GGPU_SIM_STALL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ggpu::sim
+{
+
+enum class StallReason : std::uint8_t
+{
+    None,            //!< Issued this cycle (not a stall)
+    MemLatency,      //!< All candidate warps waiting on memory data
+    ControlHazard,   //!< Branch-resolution bubbles
+    Sync,            //!< Barrier or CDP device-sync waits
+    DataHazard,      //!< In-pipeline result not ready (non-memory)
+    Structural,      //!< MSHR/store-queue full, exec unit busy
+    FunctionalDone,  //!< Core idle while a kernel launch is being set up
+    Idle,            //!< No work assigned to the core
+    NumReasons
+};
+
+std::string toString(StallReason reason);
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_STALL_HH

@@ -1,0 +1,67 @@
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+std::string
+toString(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::IntAlu: return "int";
+      case OpKind::FpAlu: return "fp";
+      case OpKind::Sfu: return "sfu";
+      case OpKind::Load: return "load";
+      case OpKind::Store: return "store";
+      case OpKind::Branch: return "branch";
+      case OpKind::Barrier: return "barrier";
+      case OpKind::ChildLaunch: return "child-launch";
+      case OpKind::DeviceSync: return "device-sync";
+      case OpKind::Exit: return "exit";
+      case OpKind::NumKinds: break;
+    }
+    return "unknown";
+}
+
+std::string
+toString(MemSpace space)
+{
+    switch (space) {
+      case MemSpace::Global: return "global";
+      case MemSpace::Shared: return "shared";
+      case MemSpace::Local: return "local";
+      case MemSpace::Const: return "const";
+      case MemSpace::Tex: return "tex";
+      case MemSpace::Param: return "param";
+      case MemSpace::NumSpaces: break;
+    }
+    return "unknown";
+}
+
+int
+KernelBody::numPhases(Dim3 cta_coord, Dim3 cta_dim) const
+{
+    (void)cta_coord;
+    (void)cta_dim;
+    return 1;
+}
+
+void
+WarpTrace::append(const TraceOp &op)
+{
+    if (!ops.empty()) {
+        TraceOp &last = ops.back();
+        const bool mergeable =
+            last.kind == op.kind && last.mask == op.mask &&
+            last.dep == op.dep && last.txCount == 0 && op.txCount == 0 &&
+            (op.kind == OpKind::IntAlu || op.kind == OpKind::FpAlu ||
+             op.kind == OpKind::Sfu) &&
+            std::uint32_t(last.repeat) + op.repeat <= 0xffff;
+        if (mergeable) {
+            last.repeat = std::uint16_t(last.repeat + op.repeat);
+            return;
+        }
+    }
+    ops.push_back(op);
+}
+
+} // namespace ggpu::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Trace containers and kernel-launch descriptors. A kernel launch is a
+ * LaunchSpec (grid/CTA dims, resource usage, kernel body); emission
+ * lowers each CTA into a CtaTrace of per-warp instruction streams,
+ * including eagerly emitted CDP child grids.
+ */
+
+#ifndef GGPU_SIM_TRACE_HH
+#define GGPU_SIM_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/isa.hh"
+
+namespace ggpu::sim
+{
+
+class WarpCtx;
+
+/** Static per-kernel resource declaration (drives occupancy, Fig 6). */
+struct ResourceUsage
+{
+    std::uint32_t regsPerThread = 32;
+    std::uint32_t smemPerCtaBytes = 0;
+    std::uint32_t constBytes = 256;   //!< Constant-memory footprint
+    bool usesShared() const { return smemPerCtaBytes != 0; }
+};
+
+/**
+ * A kernel body. Emission calls runPhase() once per warp per phase;
+ * phases are separated by implicit CTA-wide barriers, which is how
+ * barrier-synchronized algorithms (wavefront DP) express themselves.
+ */
+class KernelBody
+{
+  public:
+    virtual ~KernelBody() = default;
+
+    /** Barrier-separated phase count for one CTA (default: no barriers). */
+    virtual int numPhases(Dim3 cta_coord, Dim3 cta_dim) const;
+
+    /** Emit (and functionally execute) one warp's slice of @p phase. */
+    virtual void runPhase(WarpCtx &warp, int phase) = 0;
+};
+
+/** Everything needed to launch a kernel. */
+struct LaunchSpec
+{
+    std::string name = "kernel";
+    Dim3 grid;
+    Dim3 cta;
+    std::shared_ptr<KernelBody> body;
+    ResourceUsage res;
+    std::uint32_t numParams = 4;  //!< Parameter words read at warp start
+
+    std::uint32_t warpsPerCta() const
+    {
+        return std::uint32_t((cta.count() + warpSize - 1) / warpSize);
+    }
+};
+
+/** Instruction stream of one warp plus its memory transactions. */
+struct WarpTrace
+{
+    std::vector<TraceOp> ops;
+    std::vector<Addr> transactions;  //!< Coalesced line addresses
+
+    /** Append @p op, merging with the previous op when identical
+     *  (ALU-run compression). */
+    void append(const TraceOp &op);
+};
+
+struct ChildGrid;
+
+/** Emitted trace of one CTA: its warps and any CDP child grids. */
+struct CtaTrace
+{
+    std::vector<WarpTrace> warps;
+    std::vector<std::unique_ptr<ChildGrid>> children;
+};
+
+/**
+ * A device-launched (CDP) grid. Children are emitted eagerly during
+ * parent emission (functional order) but only become schedulable when
+ * the parent's ChildLaunch op issues in the timing phase.
+ */
+struct ChildGrid
+{
+    LaunchSpec spec;
+    std::vector<CtaTrace> ctas;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_TRACE_HH

@@ -1,0 +1,356 @@
+#include "sim/warp_ctx.hh"
+
+#include <algorithm>
+
+namespace ggpu::sim
+{
+
+namespace
+{
+
+/** Maximum CDP nesting depth before emission refuses to recurse. */
+constexpr int maxNestDepth = 8;
+
+/** Per-warp local-memory window (synthetic addressing). */
+constexpr Addr localWindowBytes = 64 * 1024;
+
+} // namespace
+
+LaneArray<std::uint32_t>
+WarpCtx::laneId()
+{
+    return make<std::uint32_t>([](int lane) {
+        return std::uint32_t(lane);
+    });
+}
+
+LaneArray<std::uint32_t>
+WarpCtx::tid()
+{
+    const std::uint32_t base = std::uint32_t(warpInCta_) * warpSize;
+    return make<std::uint32_t>([base](int lane) {
+        return base + std::uint32_t(lane);
+    });
+}
+
+LaneArray<std::uint32_t>
+WarpCtx::globalTid()
+{
+    const std::uint32_t base =
+        std::uint32_t(ctaLinear_ * spec_->cta.count()) +
+        std::uint32_t(warpInCta_) * warpSize;
+    return make<std::uint32_t>([base](int lane) {
+        return base + std::uint32_t(lane);
+    });
+}
+
+LaneArray<std::uint32_t>
+WarpCtx::iota(std::uint32_t start, std::uint32_t step)
+{
+    return make<std::uint32_t>([start, step](int lane) {
+        return start + std::uint32_t(lane) * step;
+    });
+}
+
+std::int32_t
+WarpCtx::emitOp(TraceOp op)
+{
+    op.mask = activeMask();
+    trace_->append(op);
+    return std::int32_t(trace_->ops.size()) - 1;
+}
+
+void
+WarpCtx::emitInt(std::uint32_t n, std::int32_t dep)
+{
+    TraceOp op;
+    op.kind = OpKind::IntAlu;
+    op.dep = dep;
+    for (std::uint32_t i = 0; i < n; ++i)
+        emitOp(op);
+}
+
+void
+WarpCtx::emitFp(std::uint32_t n, std::int32_t dep)
+{
+    TraceOp op;
+    op.kind = OpKind::FpAlu;
+    op.dep = dep;
+    for (std::uint32_t i = 0; i < n; ++i)
+        emitOp(op);
+}
+
+void
+WarpCtx::emitSfu(std::uint32_t n, std::int32_t dep)
+{
+    TraceOp op;
+    op.kind = OpKind::Sfu;
+    op.dep = dep;
+    for (std::uint32_t i = 0; i < n; ++i)
+        emitOp(op);
+}
+
+std::int32_t
+WarpCtx::emitMemOp(OpKind kind, MemSpace space,
+                   const std::array<Addr, warpSize> &addrs,
+                   std::uint16_t bytes_per_lane, std::int32_t dep)
+{
+    TraceOp op;
+    op.kind = kind;
+    op.space = space;
+    op.bytesPerLane = bytes_per_lane;
+    op.dep = dep;
+    op.mask = activeMask();
+    if (isOffCore(space) && op.mask != 0) {
+        Coalescer coal(lineBytes_);
+        op.txBegin = std::uint32_t(trace_->transactions.size());
+        op.txCount = std::uint16_t(coal.coalesce(
+            addrs, op.mask, bytes_per_lane, trace_->transactions));
+    }
+    trace_->append(op);
+    return std::int32_t(trace_->ops.size()) - 1;
+}
+
+std::int32_t
+WarpCtx::constRead(std::uint32_t count, std::uint16_t bytes_per_lane)
+{
+    TraceOp op;
+    op.kind = OpKind::Load;
+    op.space = MemSpace::Const;
+    op.bytesPerLane = bytes_per_lane;
+    std::int32_t last = -1;
+    for (std::uint32_t i = 0; i < count; ++i)
+        last = emitOp(op);
+    return last;
+}
+
+std::int32_t
+WarpCtx::localAccess(bool write, std::uint32_t slot,
+                     std::uint16_t bytes_per_lane, std::int32_t dep)
+{
+    // Local memory is interleaved per lane so that simultaneous
+    // accesses by a warp coalesce, exactly as CUDA lays out .local.
+    const std::uint64_t warp_unique =
+        gridSalt_ * 0x10000 + ctaLinear_ * spec_->warpsPerCta() +
+        std::uint64_t(warpInCta_);
+    const Addr window =
+        DeviceMemory::localRegionBase + warp_unique * localWindowBytes;
+    const Addr stride = Addr(bytes_per_lane) * warpSize;
+    const Addr slot_base =
+        window + (Addr(slot) * stride) % localWindowBytes;
+
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane)
+        addrs[std::size_t(lane)] =
+            slot_base + Addr(lane) * bytes_per_lane;
+
+    return emitMemOp(write ? OpKind::Store : OpKind::Load,
+                     MemSpace::Local, addrs, bytes_per_lane, dep);
+}
+
+std::int32_t
+WarpCtx::sharedNote(bool write, std::uint16_t bytes_per_lane,
+                    std::int32_t dep)
+{
+    TraceOp op;
+    op.kind = write ? OpKind::Store : OpKind::Load;
+    op.space = MemSpace::Shared;
+    op.bytesPerLane = bytes_per_lane;
+    op.dep = dep;
+    return emitOp(op);
+}
+
+std::int32_t
+WarpCtx::memNote(bool write, MemSpace space, Addr base,
+                 const LaneArray<std::uint32_t> &idx,
+                 std::uint16_t bytes_per_lane, std::int32_t dep)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (laneActive(lane))
+            addrs[std::size_t(lane)] =
+                base + Addr(idx[lane]) * bytes_per_lane;
+    }
+    return emitMemOp(write ? OpKind::Store : OpKind::Load, space, addrs,
+                     bytes_per_lane, detail::mergeDep(dep, idx.dep));
+}
+
+LaneMask
+WarpCtx::ballot(const LaneArray<bool> &pred)
+{
+    emitInt(1, pred.dep);  // warp-vote instruction
+    LaneMask mask = 0;
+    for (int lane = 0; lane < warpSize; ++lane)
+        if (laneActive(lane) && pred[lane])
+            mask |= LaneMask(1) << lane;
+    return mask;
+}
+
+void
+WarpCtx::branchPoint(std::int32_t dep)
+{
+    TraceOp op;
+    op.kind = OpKind::Branch;
+    op.dep = dep;
+    emitOp(op);
+}
+
+void
+WarpCtx::pushMask(LaneMask mask)
+{
+    maskStack_.push_back(mask & activeMask());
+}
+
+void
+WarpCtx::popMask()
+{
+    if (maskStack_.size() <= 1)
+        panic("WarpCtx::popMask: mask stack underflow");
+    maskStack_.pop_back();
+}
+
+LaneArray<std::int32_t>
+WarpCtx::reduceMax(const LaneArray<std::int32_t> &value)
+{
+    emitInt(5, value.dep);  // 5 butterfly shuffle+max steps
+    std::int32_t best = INT32_MIN;
+    for (int lane = 0; lane < warpSize; ++lane)
+        if (laneActive(lane))
+            best = std::max(best, value[lane]);
+    return broadcast<std::int32_t>(best);
+}
+
+LaneArray<float>
+WarpCtx::reduceSum(const LaneArray<float> &value)
+{
+    emitFp(5, value.dep);
+    float sum = 0.0f;
+    for (int lane = 0; lane < warpSize; ++lane)
+        if (laneActive(lane))
+            sum += value[lane];
+    return broadcast<float>(sum);
+}
+
+void
+WarpCtx::launchChild(const LaunchSpec &child)
+{
+    if (nestDepth_ + 1 > maxNestDepth)
+        fatal("CDP nesting deeper than ", maxNestDepth, " levels");
+    if (!child.body)
+        panic("launchChild: child kernel has no body");
+
+    auto grid = std::make_unique<ChildGrid>();
+    grid->spec = child;
+
+    // Eager functional emission of the whole child grid, preserving
+    // program order: the parent may consume child results after its
+    // deviceSync().
+    const std::uint64_t ctas = child.grid.count();
+    const std::uint64_t salt =
+        gridSalt_ * 131 + ctaLinear_ * 31 + std::uint64_t(warpInCta_) + 1;
+    grid->ctas.reserve(ctas);
+    for (std::uint64_t c = 0; c < ctas; ++c) {
+        grid->ctas.push_back(emitCta(child, c, *mem_, lineBytes_,
+                                     nestDepth_ + 1, salt + c));
+    }
+
+    TraceOp op;
+    op.kind = OpKind::ChildLaunch;
+    op.child = std::uint32_t(children_->size());
+    children_->push_back(std::move(grid));
+    emitOp(op);
+}
+
+void
+WarpCtx::deviceSync()
+{
+    TraceOp op;
+    op.kind = OpKind::DeviceSync;
+    emitOp(op);
+}
+
+CtaTrace
+emitCta(const LaunchSpec &spec, std::uint64_t cta_linear,
+        DeviceMemory &mem, std::uint32_t line_bytes, int nest_depth,
+        std::uint64_t grid_salt)
+{
+    if (!spec.body)
+        panic("emitCta: kernel '", spec.name, "' has no body");
+
+    const std::uint32_t threads = std::uint32_t(spec.cta.count());
+    const std::uint32_t warps = spec.warpsPerCta();
+    if (threads == 0)
+        fatal("emitCta: kernel '", spec.name, "' launches empty CTAs");
+
+    CtaTrace trace;
+    trace.warps.resize(warps);
+    std::vector<std::uint8_t> shared(spec.res.smemPerCtaBytes, 0);
+    std::vector<std::shared_ptr<void>> states(warps);
+
+    // Linear CTA index -> coordinate (x fastest) for numPhases().
+    Dim3 coord;
+    coord.x = std::uint32_t(cta_linear % spec.grid.x);
+    coord.y = std::uint32_t((cta_linear / spec.grid.x) % spec.grid.y);
+    coord.z = std::uint32_t(cta_linear / (std::uint64_t(spec.grid.x) *
+                                          spec.grid.y));
+
+    const int phases = spec.body->numPhases(coord, spec.cta);
+    if (phases <= 0)
+        panic("emitCta: kernel '", spec.name, "' declares ", phases,
+              " phases");
+
+    std::vector<WarpCtx> ctxs(warps);
+    for (std::uint32_t w = 0; w < warps; ++w) {
+        WarpCtx &ctx = ctxs[w];
+        ctx.spec_ = &spec;
+        ctx.ctaLinear_ = cta_linear;
+        ctx.warpInCta_ = int(w);
+        ctx.gridSalt_ = grid_salt;
+        ctx.nestDepth_ = nest_depth;
+        ctx.lineBytes_ = line_bytes;
+        ctx.trace_ = &trace.warps[w];
+        ctx.shared_ = &shared;
+        ctx.mem_ = &mem;
+        ctx.children_ = &trace.children;
+        ctx.statePtr_ = &states[w];
+
+        const std::uint32_t lanes =
+            std::min<std::uint32_t>(warpSize, threads - w * warpSize);
+        ctx.baseMask_ = lanes == warpSize
+            ? fullMask : ((LaneMask(1) << lanes) - 1);
+        ctx.maskStack_ = {ctx.baseMask_};
+
+        // Kernel-parameter reads at warp start (Fig 9 "Param").
+        TraceOp param;
+        param.kind = OpKind::Load;
+        param.space = MemSpace::Param;
+        param.bytesPerLane = 4;
+        for (std::uint32_t p = 0; p < spec.numParams; ++p)
+            ctx.emitOp(param);
+    }
+
+    for (int phase = 0; phase < phases; ++phase) {
+        for (std::uint32_t w = 0; w < warps; ++w) {
+            WarpCtx &ctx = ctxs[w];
+            spec.body->runPhase(ctx, phase);
+            if (ctx.maskStack_.size() != 1)
+                panic("kernel '", spec.name,
+                      "': unbalanced mask stack at end of phase ", phase);
+            if (phase + 1 < phases) {
+                TraceOp barrier;
+                barrier.kind = OpKind::Barrier;
+                ctx.emitOp(barrier);
+            }
+        }
+    }
+
+    for (std::uint32_t w = 0; w < warps; ++w) {
+        TraceOp exit_op;
+        exit_op.kind = OpKind::Exit;
+        ctxs[w].emitOp(exit_op);
+    }
+
+    return trace;
+}
+
+} // namespace ggpu::sim

@@ -1,0 +1,521 @@
+/**
+ * @file
+ * Warp-synchronous emission API. Kernel bodies execute real C++ code
+ * over 32-lane LaneArray values; every arithmetic operation, memory
+ * access, vote, and CDP launch simultaneously (a) computes the
+ * functional result and (b) appends a TraceOp to the warp's trace with
+ * the current SIMT active mask. This mirrors how Accel-Sim couples a
+ * functional front end to a timing back end.
+ */
+
+#ifndef GGPU_SIM_WARP_CTX_HH
+#define GGPU_SIM_WARP_CTX_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "sim/coalescer.hh"
+#include "sim/device_memory.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+class WarpCtx;
+
+/** 32-lane SIMD register value carried through kernel code. */
+template <typename T>
+struct LaneArray
+{
+    std::array<T, warpSize> v{};
+    WarpCtx *ctx = nullptr;
+    /** Trace index of the load that produced this value, or -1. */
+    std::int32_t dep = -1;
+
+    T &operator[](int lane) { return v[std::size_t(lane)]; }
+    const T &operator[](int lane) const { return v[std::size_t(lane)]; }
+};
+
+namespace detail
+{
+
+inline std::int32_t
+mergeDep(std::int32_t a, std::int32_t b)
+{
+    return a > b ? a : b;
+}
+
+} // namespace detail
+
+/**
+ * Per-warp emission context handed to KernelBody::runPhase. One
+ * instance exists per (CTA, warp) and persists across phases so that
+ * kernels can keep per-warp state via state<T>().
+ */
+class WarpCtx
+{
+  public:
+    // ------------------------------------------------------ identity
+    const LaunchSpec &spec() const { return *spec_; }
+    Dim3 ctaDim() const { return spec_->cta; }
+    Dim3 gridDim() const { return spec_->grid; }
+    std::uint64_t ctaLinear() const { return ctaLinear_; }
+    int warpInCta() const { return warpInCta_; }
+    /** Threads in this CTA (linearized). */
+    std::uint32_t ctaThreads() const
+    {
+        return std::uint32_t(spec_->cta.count());
+    }
+    /** Active lanes of this warp before any divergence. */
+    LaneMask baseMask() const { return baseMask_; }
+    LaneMask activeMask() const { return maskStack_.back(); }
+    bool laneActive(int lane) const
+    {
+        return (activeMask() >> lane) & 1u;
+    }
+
+    /** Lane index 0..31 (free; no instruction emitted). */
+    LaneArray<std::uint32_t> laneId();
+    /** Linear thread index within the CTA (free). */
+    LaneArray<std::uint32_t> tid();
+    /** Linear thread index within the grid (free). */
+    LaneArray<std::uint32_t> globalTid();
+    /** Broadcast a scalar to all lanes (free). */
+    template <typename T> LaneArray<T> broadcast(T value);
+    /** Per-lane values start + laneId * step (free). */
+    LaneArray<std::uint32_t> iota(std::uint32_t start = 0,
+                                  std::uint32_t step = 1);
+    /** Build a LaneArray from a per-lane generator (free). */
+    template <typename T, typename Fn> LaneArray<T> make(Fn &&fn);
+
+    // ----------------------------------------------- compute emission
+    /** Emit @p n integer-ALU instructions. */
+    void emitInt(std::uint32_t n = 1, std::int32_t dep = -1);
+    /** Emit @p n floating-point instructions. */
+    void emitFp(std::uint32_t n = 1, std::int32_t dep = -1);
+    /** Emit @p n special-function-unit instructions. */
+    void emitSfu(std::uint32_t n = 1, std::int32_t dep = -1);
+
+    // --------------------------------------------------- memory: typed
+    /** Gather from global memory: base + index * sizeof(T). */
+    template <typename T>
+    LaneArray<T> loadGlobal(Addr base, const LaneArray<std::uint32_t> &idx);
+    /** Warp-uniform global load (single transaction). */
+    template <typename T> LaneArray<T> loadGlobalUniform(Addr addr);
+    /** Scatter to global memory. */
+    template <typename T>
+    void storeGlobal(Addr base, const LaneArray<std::uint32_t> &idx,
+                     const LaneArray<T> &value);
+    /** Gather through the texture path (read-only). */
+    template <typename T>
+    LaneArray<T> loadTex(Addr base, const LaneArray<std::uint32_t> &idx);
+
+    /** Shared-memory gather; offsets are byte offsets of element 0. */
+    template <typename T>
+    LaneArray<T> loadShared(std::uint32_t base_offset,
+                            const LaneArray<std::uint32_t> &idx);
+    template <typename T>
+    void storeShared(std::uint32_t base_offset,
+                     const LaneArray<std::uint32_t> &idx,
+                     const LaneArray<T> &value);
+
+    // ----------------------------------------- memory: emission-only
+    /** Constant-cache read (value supplied by kernel code). */
+    std::int32_t constRead(std::uint32_t count = 1,
+                           std::uint16_t bytes_per_lane = 4);
+    /** Per-thread local-memory access at logical slot @p slot. */
+    std::int32_t localAccess(bool write, std::uint32_t slot,
+                             std::uint16_t bytes_per_lane = 4,
+                             std::int32_t dep = -1);
+
+    /** Emit-only shared-memory access (kernel manages the values). */
+    std::int32_t sharedNote(bool write, std::uint16_t bytes_per_lane = 4,
+                            std::int32_t dep = -1);
+
+    /**
+     * Emit-only off-core access with real per-lane addresses (base +
+     * idx * bytes_per_lane), coalesced into line transactions. Use for
+     * scratch traffic whose values the kernel tracks itself.
+     */
+    std::int32_t memNote(bool write, MemSpace space, Addr base,
+                         const LaneArray<std::uint32_t> &idx,
+                         std::uint16_t bytes_per_lane,
+                         std::int32_t dep = -1);
+
+    /** Attach a load-dependency token to a kernel-managed value. */
+    template <typename T>
+    void
+    attachDep(LaneArray<T> &value, std::int32_t token)
+    {
+        value.dep = detail::mergeDep(value.dep, token);
+    }
+
+    // ------------------------------------------------- control flow
+    /** Warp vote: mask of active lanes whose predicate is true. */
+    LaneMask ballot(const LaneArray<bool> &pred);
+    /** Emit a branch and run @p fn with the mask narrowed to @p mask. */
+    template <typename Fn> void ifMask(LaneMask mask, Fn &&fn);
+    /** Emit a branch op only (hand-managed divergence loops). */
+    void branchPoint(std::int32_t dep = -1);
+    void pushMask(LaneMask mask);
+    void popMask();
+
+    /** Butterfly-shuffle max-reduction (5 ops); result in all lanes. */
+    LaneArray<std::int32_t> reduceMax(const LaneArray<std::int32_t> &value);
+    LaneArray<float> reduceSum(const LaneArray<float> &value);
+
+    // ------------------------------------------------------ CDP
+    /** Launch a child grid (CUDA Dynamic Parallelism). */
+    void launchChild(const LaunchSpec &child);
+    /** Wait for all children launched by this warp (device sync). */
+    void deviceSync();
+
+    // --------------------------------------------------- warp state
+    /** Per-warp state persisting across phases of one CTA. */
+    template <typename T>
+    T &
+    state()
+    {
+        if (!*statePtr_)
+            *statePtr_ = std::make_shared<T>();
+        return *std::static_pointer_cast<T>(*statePtr_);
+    }
+
+    DeviceMemory &mem() { return *mem_; }
+
+    /** Raw op append (used by operators; kernels rarely need it). */
+    std::int32_t emitOp(TraceOp op);
+
+  private:
+    friend CtaTrace emitCta(const LaunchSpec &, std::uint64_t,
+                            DeviceMemory &, std::uint32_t, int,
+                            std::uint64_t);
+
+    template <typename T>
+    LaneArray<T> gatherOffCore(MemSpace space, Addr base,
+                               const LaneArray<std::uint32_t> &idx);
+
+    std::int32_t emitMemOp(OpKind kind, MemSpace space,
+                           const std::array<Addr, warpSize> &addrs,
+                           std::uint16_t bytes_per_lane, std::int32_t dep);
+
+    const LaunchSpec *spec_ = nullptr;
+    std::uint64_t ctaLinear_ = 0;
+    int warpInCta_ = 0;
+    std::uint64_t gridSalt_ = 0;
+    int nestDepth_ = 0;
+    std::uint32_t lineBytes_ = 128;
+
+    WarpTrace *trace_ = nullptr;
+    std::vector<std::uint8_t> *shared_ = nullptr;
+    DeviceMemory *mem_ = nullptr;
+    std::vector<std::unique_ptr<ChildGrid>> *children_ = nullptr;
+    std::shared_ptr<void> *statePtr_ = nullptr;
+
+    LaneMask baseMask_ = fullMask;
+    std::vector<LaneMask> maskStack_{fullMask};
+};
+
+/**
+ * Emit one CTA of @p spec: runs every warp through every phase with
+ * implicit inter-phase barriers, parameter reads at entry, and Exit
+ * ops at the end. CDP children are emitted eagerly into the trace.
+ *
+ * @param cta_linear Linearized CTA index within the grid.
+ * @param line_bytes Coalescing granularity (cache line size).
+ * @param nest_depth CDP nesting depth of this grid (0 = host launch).
+ * @param grid_salt Unique id for local-memory address disambiguation.
+ */
+CtaTrace emitCta(const LaunchSpec &spec, std::uint64_t cta_linear,
+                 DeviceMemory &mem, std::uint32_t line_bytes = 128,
+                 int nest_depth = 0, std::uint64_t grid_salt = 0);
+
+// ===================================================================
+// LaneArray operator/templating implementation
+// ===================================================================
+
+namespace detail
+{
+
+template <typename T>
+constexpr OpKind
+aluKind()
+{
+    return std::is_floating_point_v<T> ? OpKind::FpAlu : OpKind::IntAlu;
+}
+
+} // namespace detail
+
+template <typename T>
+LaneArray<T>
+WarpCtx::broadcast(T value)
+{
+    LaneArray<T> out;
+    out.ctx = this;
+    out.v.fill(value);
+    return out;
+}
+
+template <typename T, typename Fn>
+LaneArray<T>
+WarpCtx::make(Fn &&fn)
+{
+    LaneArray<T> out;
+    out.ctx = this;
+    for (int lane = 0; lane < warpSize; ++lane)
+        out.v[std::size_t(lane)] = fn(lane);
+    return out;
+}
+
+template <typename Fn>
+void
+WarpCtx::ifMask(LaneMask mask, Fn &&fn)
+{
+    branchPoint();
+    const LaneMask narrowed = mask & activeMask();
+    if (narrowed == 0)
+        return;
+    pushMask(narrowed);
+    fn();
+    popMask();
+}
+
+template <typename T>
+LaneArray<T>
+WarpCtx::gatherOffCore(MemSpace space, Addr base,
+                       const LaneArray<std::uint32_t> &idx)
+{
+    std::array<Addr, warpSize> addrs{};
+    LaneArray<T> out;
+    out.ctx = this;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!laneActive(lane))
+            continue;
+        const Addr addr = base + Addr(idx[lane]) * sizeof(T);
+        addrs[std::size_t(lane)] = addr;
+        out.v[std::size_t(lane)] = mem_->load<T>(addr);
+    }
+    out.dep = emitMemOp(OpKind::Load, space, addrs, sizeof(T), idx.dep);
+    return out;
+}
+
+template <typename T>
+LaneArray<T>
+WarpCtx::loadGlobal(Addr base, const LaneArray<std::uint32_t> &idx)
+{
+    return gatherOffCore<T>(MemSpace::Global, base, idx);
+}
+
+template <typename T>
+LaneArray<T>
+WarpCtx::loadTex(Addr base, const LaneArray<std::uint32_t> &idx)
+{
+    return gatherOffCore<T>(MemSpace::Tex, base, idx);
+}
+
+template <typename T>
+LaneArray<T>
+WarpCtx::loadGlobalUniform(Addr addr)
+{
+    std::array<Addr, warpSize> addrs{};
+    LaneArray<T> out;
+    out.ctx = this;
+    const T value = mem_->load<T>(addr);
+    for (int lane = 0; lane < warpSize; ++lane) {
+        addrs[std::size_t(lane)] = addr;
+        out.v[std::size_t(lane)] = value;
+    }
+    out.dep = emitMemOp(OpKind::Load, MemSpace::Global, addrs,
+                        sizeof(T), -1);
+    return out;
+}
+
+template <typename T>
+void
+WarpCtx::storeGlobal(Addr base, const LaneArray<std::uint32_t> &idx,
+                     const LaneArray<T> &value)
+{
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!laneActive(lane))
+            continue;
+        const Addr addr = base + Addr(idx[lane]) * sizeof(T);
+        addrs[std::size_t(lane)] = addr;
+        mem_->store<T>(addr, value[lane]);
+    }
+    emitMemOp(OpKind::Store, MemSpace::Global, addrs, sizeof(T),
+              detail::mergeDep(idx.dep, value.dep));
+}
+
+template <typename T>
+LaneArray<T>
+WarpCtx::loadShared(std::uint32_t base_offset,
+                    const LaneArray<std::uint32_t> &idx)
+{
+    LaneArray<T> out;
+    out.ctx = this;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!laneActive(lane))
+            continue;
+        const std::size_t off =
+            base_offset + std::size_t(idx[lane]) * sizeof(T);
+        if (off + sizeof(T) > shared_->size())
+            panic("loadShared: offset ", off, " beyond CTA shared memory (",
+                  shared_->size(), " bytes declared)");
+        T value;
+        std::memcpy(&value, shared_->data() + off, sizeof(T));
+        out.v[std::size_t(lane)] = value;
+    }
+    TraceOp op;
+    op.kind = OpKind::Load;
+    op.space = MemSpace::Shared;
+    op.bytesPerLane = sizeof(T);
+    op.dep = idx.dep;
+    out.dep = emitOp(op);
+    return out;
+}
+
+template <typename T>
+void
+WarpCtx::storeShared(std::uint32_t base_offset,
+                     const LaneArray<std::uint32_t> &idx,
+                     const LaneArray<T> &value)
+{
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!laneActive(lane))
+            continue;
+        const std::size_t off =
+            base_offset + std::size_t(idx[lane]) * sizeof(T);
+        if (off + sizeof(T) > shared_->size())
+            panic("storeShared: offset ", off,
+                  " beyond CTA shared memory (", shared_->size(),
+                  " bytes declared)");
+        std::memcpy(shared_->data() + off, &value[lane], sizeof(T));
+    }
+    TraceOp op;
+    op.kind = OpKind::Store;
+    op.space = MemSpace::Shared;
+    op.bytesPerLane = sizeof(T);
+    op.dep = detail::mergeDep(idx.dep, value.dep);
+    emitOp(op);
+}
+
+// --------------------------------------------------------- operators
+
+namespace detail
+{
+
+template <typename T, typename Fn>
+LaneArray<T>
+zip(const LaneArray<T> &a, const LaneArray<T> &b, Fn &&fn)
+{
+    WarpCtx *ctx = a.ctx ? a.ctx : b.ctx;
+    if (!ctx)
+        panic("LaneArray operation without a WarpCtx");
+    LaneArray<T> out;
+    out.ctx = ctx;
+    for (int lane = 0; lane < warpSize; ++lane)
+        out.v[std::size_t(lane)] = fn(a[lane], b[lane]);
+    if constexpr (std::is_floating_point_v<T>)
+        ctx->emitFp(1, mergeDep(a.dep, b.dep));
+    else
+        ctx->emitInt(1, mergeDep(a.dep, b.dep));
+    return out;
+}
+
+template <typename T, typename Fn>
+LaneArray<bool>
+zipCmp(const LaneArray<T> &a, const LaneArray<T> &b, Fn &&fn)
+{
+    WarpCtx *ctx = a.ctx ? a.ctx : b.ctx;
+    if (!ctx)
+        panic("LaneArray comparison without a WarpCtx");
+    LaneArray<bool> out;
+    out.ctx = ctx;
+    for (int lane = 0; lane < warpSize; ++lane)
+        out.v[std::size_t(lane)] = fn(a[lane], b[lane]);
+    ctx->emitInt(1, mergeDep(a.dep, b.dep));
+    return out;
+}
+
+} // namespace detail
+
+template <typename T>
+LaneArray<T>
+operator+(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zip(a, b, [](T x, T y) { return T(x + y); });
+}
+
+template <typename T>
+LaneArray<T>
+operator-(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zip(a, b, [](T x, T y) { return T(x - y); });
+}
+
+template <typename T>
+LaneArray<T>
+operator*(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zip(a, b, [](T x, T y) { return T(x * y); });
+}
+
+template <typename T>
+LaneArray<bool>
+operator<(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zipCmp(a, b, [](T x, T y) { return x < y; });
+}
+
+template <typename T>
+LaneArray<bool>
+operator>(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zipCmp(a, b, [](T x, T y) { return x > y; });
+}
+
+template <typename T>
+LaneArray<bool>
+operator==(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zipCmp(a, b, [](T x, T y) { return x == y; });
+}
+
+/** Per-lane maximum (one ALU op, like SASS IMNMX/FMNMX). */
+template <typename T>
+LaneArray<T>
+laneMax(const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    return detail::zip(a, b, [](T x, T y) { return x > y ? x : y; });
+}
+
+/** Per-lane select: lane set in @p mask -> a, else b (one ALU op). */
+template <typename T>
+LaneArray<T>
+laneSelect(LaneMask mask, const LaneArray<T> &a, const LaneArray<T> &b)
+{
+    WarpCtx *ctx = a.ctx ? a.ctx : b.ctx;
+    if (!ctx)
+        panic("laneSelect without a WarpCtx");
+    LaneArray<T> out;
+    out.ctx = ctx;
+    for (int lane = 0; lane < warpSize; ++lane) {
+        out.v[std::size_t(lane)] =
+            (mask >> lane) & 1u ? a[lane] : b[lane];
+    }
+    if constexpr (std::is_floating_point_v<T>)
+        ctx->emitFp(1, detail::mergeDep(a.dep, b.dep));
+    else
+        ctx->emitInt(1, detail::mergeDep(a.dep, b.dep));
+    return out;
+}
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_WARP_CTX_HH

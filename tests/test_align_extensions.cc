@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the aligner extensions: Myers bit-parallel edit distance
+ * (vs the DP reference, across word-boundary lengths) and Hirschberg
+ * linear-space alignment (vs nwScore/nwAlign).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "genomics/align/edit_distance.hh"
+#include "genomics/align/hirschberg.hh"
+#include "genomics/datagen.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::genomics;
+
+// ----------------------------------------------------- edit distance
+
+TEST(EditDistance, KnownSmallCases)
+{
+    EXPECT_EQ(editDistanceDp("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistanceMyers("kitten", "sitting"), 3u);
+    EXPECT_EQ(editDistanceMyers("", "abc"), 3u);
+    EXPECT_EQ(editDistanceMyers("abc", ""), 3u);
+    EXPECT_EQ(editDistanceMyers("ACGT", "ACGT"), 0u);
+    EXPECT_EQ(editDistanceMyers("A", "T"), 1u);
+}
+
+class MyersLengthSweep
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(MyersLengthSweep, MatchesDpReference)
+{
+    // Lengths chosen around the 64-bit word boundaries where blocked
+    // implementations typically break.
+    Rng rng(GetParam() * 7919 + 1);
+    const std::size_t n = GetParam();
+    for (int iter = 0; iter < 8; ++iter) {
+        const std::string a = randomDna(rng, n);
+        const std::string b =
+            randomDna(rng, 1 + rng.below(n + 16));
+        EXPECT_EQ(editDistanceMyers(a, b), editDistanceDp(a, b))
+            << "n=" << n << " m=" << b.size();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, MyersLengthSweep,
+                         ::testing::Values(1u, 3u, 31u, 63u, 64u, 65u,
+                                           100u, 127u, 128u, 129u,
+                                           200u));
+
+TEST(EditDistance, MyersMatchesDpOnMutatedPairs)
+{
+    Rng rng(42);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 50 + rng.below(150));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        EXPECT_EQ(editDistanceMyers(a, b), editDistanceDp(a, b));
+    }
+}
+
+TEST(EditDistance, BoundedIsExactUnderLimit)
+{
+    Rng rng(43);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 40 + rng.below(40));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        const std::size_t exact = editDistanceDp(a, b);
+        EXPECT_EQ(editDistanceBounded(a, b, exact), exact);
+        EXPECT_EQ(editDistanceBounded(a, b, exact + 5), exact);
+        if (exact > 0) {
+            // Distance exceeds limit exact-1 -> contract returns
+            // limit + 1, which equals the exact distance here.
+            EXPECT_EQ(editDistanceBounded(a, b, exact - 1), exact);
+        }
+    }
+}
+
+TEST(EditDistance, BoundedCutsOffOverLimit)
+{
+    Rng rng(44);
+    const std::string a = randomDna(rng, 200);
+    const std::string b = randomDna(rng, 200);
+    const std::size_t exact = editDistanceDp(a, b);
+    ASSERT_GT(exact, 10u);
+    EXPECT_EQ(editDistanceBounded(a, b, 10), 11u);
+    // Length-gap shortcut.
+    EXPECT_EQ(editDistanceBounded(a, a.substr(0, 50), 20), 21u);
+}
+
+TEST(EditDistance, TriangleInequalityHolds)
+{
+    Rng rng(45);
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string a = randomDna(rng, 20 + rng.below(40));
+        const std::string b = randomDna(rng, 20 + rng.below(40));
+        const std::string c = randomDna(rng, 20 + rng.below(40));
+        EXPECT_LE(editDistanceMyers(a, c),
+                  editDistanceMyers(a, b) + editDistanceMyers(b, c));
+    }
+}
+
+// -------------------------------------------------------- Hirschberg
+
+TEST(Hirschberg, ScoreMatchesFullMatrixNw)
+{
+    Rng rng(46);
+    const Scoring scoring;
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 1 + rng.below(120));
+        const std::string b = randomDna(rng, 1 + rng.below(120));
+        const NwAlignment h = hirschbergAlign(a, b, scoring);
+        EXPECT_EQ(h.score, nwScore(a, b, scoring))
+            << "a=" << a << "\nb=" << b;
+    }
+}
+
+TEST(Hirschberg, RowsSpellTheInputs)
+{
+    Rng rng(47);
+    const Scoring scoring;
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string a = randomDna(rng, 30 + rng.below(60));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        const NwAlignment h = hirschbergAlign(a, b, scoring);
+        std::string ra, rb;
+        for (char c : h.alignedA)
+            if (c != '-')
+                ra.push_back(c);
+        for (char c : h.alignedB)
+            if (c != '-')
+                rb.push_back(c);
+        EXPECT_EQ(ra, a);
+        EXPECT_EQ(rb, b);
+    }
+}
+
+TEST(Hirschberg, HandlesEmptyAndDegenerate)
+{
+    const Scoring scoring;
+    const NwAlignment empty_a = hirschbergAlign("", "ACG", scoring);
+    EXPECT_EQ(empty_a.alignedA, "---");
+    EXPECT_EQ(empty_a.alignedB, "ACG");
+    const NwAlignment empty_b = hirschbergAlign("ACG", "", scoring);
+    EXPECT_EQ(empty_b.alignedB, "---");
+    const NwAlignment single = hirschbergAlign("A", "A", scoring);
+    EXPECT_EQ(single.score, scoring.match);
+}
+
+TEST(Hirschberg, LongSequencesStayLinearSpace)
+{
+    // 4K x 4K would need 64MB of traceback matrix in nwAlign; the
+    // linear-space version handles it comfortably.
+    Rng rng(48);
+    const Scoring scoring;
+    const std::string a = randomDna(rng, 4096);
+    const std::string b = mutate(rng, a, MutationProfile{});
+    const NwAlignment h = hirschbergAlign(a, b, scoring);
+    EXPECT_EQ(h.score, nwScore(a, b, scoring));
+}
+
+} // namespace

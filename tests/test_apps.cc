@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Integration tests over the ten benchmark applications: every app is
+ * run at Tiny scale in non-CDP and CDP form; its device results must
+ * match the CPU reference, and the simulator's conservation
+ * invariants must hold on the collected statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "core/suite.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+struct AppCase
+{
+    std::string app;
+    bool cdp;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<AppCase> &info)
+{
+    return info.param.app + (info.param.cdp ? "_CDP" : "");
+}
+
+class AppTest : public ::testing::TestWithParam<AppCase>
+{
+  protected:
+    core::RunRecord
+    runTiny()
+    {
+        core::RunConfig config;
+        config.options.scale = kernels::InputScale::Tiny;
+        config.options.cdp = GetParam().cdp;
+        return core::runApp(GetParam().app, config);
+    }
+};
+
+TEST_P(AppTest, DeviceResultsMatchCpuReference)
+{
+    const core::RunRecord record = runTiny();
+    EXPECT_TRUE(record.verified) << record.detail;
+}
+
+TEST_P(AppTest, ConservationInvariantsHold)
+{
+    const core::RunRecord record = runTiny();
+    const auto &stats = record.stats;
+
+    // Every SM cycle is either an issue cycle or a classified stall.
+    EXPECT_EQ(stats.issueCycles + stats.stalls.total(),
+              stats.smCycles);
+
+    // Work happened and is accounted.
+    EXPECT_GT(stats.totalInsns(), 0u);
+    EXPECT_GT(stats.gpuCycles, 0u);
+    EXPECT_GT(stats.warpOcc.total(), 0u);
+    EXPECT_GT(stats.ipc(), 0.0);
+
+    // Miss counts can never exceed accesses.
+    EXPECT_LE(stats.l1Misses, stats.l1Accesses);
+    EXPECT_LE(stats.l2Misses, stats.l2Accesses);
+
+    // Each L2 access was caused by an L1 miss or an off-core store.
+    const std::uint64_t stores =
+        stats.insnByKind[std::size_t(sim::OpKind::Store)];
+    EXPECT_LE(stats.l2Accesses, stats.l1Misses + stores * warpSize);
+
+    // DRAM pins cannot be busier than the controller was active.
+    EXPECT_LE(stats.dramPinBusy, stats.dramActive);
+}
+
+TEST_P(AppTest, ProfilerSeesLaunchesAndTransfers)
+{
+    const core::RunRecord record = runTiny();
+    EXPECT_GT(record.kernelInvocations, 0u);
+    EXPECT_GT(record.pciTransactions, 0u);
+    EXPECT_GT(record.kernelCycles, 0u);
+    EXPECT_GE(record.totalCycles, record.kernelCycles);
+}
+
+TEST_P(AppTest, CdpVariantsLaunchChildGrids)
+{
+    const core::RunRecord record = runTiny();
+    const std::uint64_t children =
+        record.stats.insnByKind[std::size_t(sim::OpKind::ChildLaunch)];
+    if (GetParam().cdp)
+        EXPECT_GT(children, 0u);
+    else
+        EXPECT_EQ(children, 0u);
+}
+
+std::vector<AppCase>
+allCases()
+{
+    std::vector<AppCase> cases;
+    for (const auto &app : core::appNames()) {
+        cases.push_back({app, false});
+        cases.push_back({app, true});
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AppTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+// ---- cross-app behaviour properties -----------------------------
+
+TEST(AppBehaviour, SuiteOrderAndFactories)
+{
+    EXPECT_EQ(core::appNames().size(), 10u);
+    for (const auto &name : core::appNames()) {
+        auto app = core::makeApp(name);
+        ASSERT_NE(app, nullptr);
+        EXPECT_EQ(app->name(), name);
+    }
+    EXPECT_THROW(core::makeApp("BOGUS"), FatalError);
+}
+
+TEST(AppBehaviour, DeterministicAcrossRuns)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const auto a = core::runApp("SW", config);
+    const auto b = core::runApp("SW", config);
+    EXPECT_EQ(a.kernelCycles, b.kernelCycles);
+    EXPECT_EQ(a.stats.totalInsns(), b.stats.totalInsns());
+    EXPECT_EQ(a.stats.l1Misses, b.stats.l1Misses);
+}
+
+TEST(AppBehaviour, SeedChangesDataNotValidity)
+{
+    // CLUSTER has data-dependent control flow, so a different seed
+    // must change the timing; any seed must still verify.
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    config.options.seed = 123;
+    const auto a = core::runApp("CLUSTER", config);
+    config.options.seed = 456;
+    const auto b = core::runApp("CLUSTER", config);
+    EXPECT_TRUE(a.verified);
+    EXPECT_TRUE(b.verified);
+    EXPECT_NE(a.kernelCycles, b.kernelCycles);
+}
+
+TEST(AppBehaviour, PerfectMemoryNeverSlower)
+{
+    for (const std::string app : {"GKSW", "NvB"}) {
+        core::RunConfig base;
+        base.options.scale = kernels::InputScale::Tiny;
+        core::RunConfig perfect = base;
+        perfect.system.gpu.perfectMemory = true;
+        const auto slow = core::runApp(app, base);
+        const auto fast = core::runApp(app, perfect);
+        EXPECT_LE(fast.kernelCycles, slow.kernelCycles) << app;
+    }
+}
+
+TEST(AppBehaviour, SharedMemoryVariantIsFaster)
+{
+    for (const std::string app : {"NW", "PairHMM"}) {
+        core::RunConfig with;
+        with.options.scale = kernels::InputScale::Tiny;
+        core::RunConfig without = with;
+        without.options.sharedMem = false;
+        const auto shared = core::runApp(app, with);
+        const auto global = core::runApp(app, without);
+        EXPECT_TRUE(global.verified) << app;
+        EXPECT_LT(shared.kernelCycles, global.kernelCycles) << app;
+    }
+}
+
+TEST(AppBehaviour, SwAndNwAreComputeDominatedByLaunchCounts)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    // NW launches a kernel per diagonal block; SW a kernel per chunk.
+    const auto nw = core::runApp("NW", config);
+    EXPECT_GT(nw.kernelInvocations, nw.pciTransactions);
+    const auto gasal = core::runApp("GL", config);
+    EXPECT_GT(gasal.pciTransactions, gasal.kernelInvocations);
+}
+
+TEST(AppBehaviour, GasalKernelsAreLocalMemoryDominant)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    for (const std::string app : {"GG", "GL", "GSG"}) {
+        const auto record = core::runApp(app, config);
+        const double local =
+            core::memFraction(record, sim::MemSpace::Local);
+        EXPECT_GT(local, core::memFraction(record,
+                                           sim::MemSpace::Shared))
+            << app;
+        EXPECT_GT(local, 0.3) << app;
+    }
+}
+
+TEST(AppBehaviour, NwAndPairHmmAreSharedMemoryDominant)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    for (const std::string app : {"NW", "PairHMM"}) {
+        const auto record = core::runApp(app, config);
+        EXPECT_GT(core::memFraction(record, sim::MemSpace::Shared),
+                  0.5)
+            << app;
+    }
+}
+
+TEST(AppBehaviour, PairHmmIsFloatingPointHeavy)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const auto hmm = core::runApp("PairHMM", config);
+    const auto sw = core::runApp("SW", config);
+    EXPECT_GT(core::insnFraction(hmm, sim::OpKind::FpAlu),
+              core::insnFraction(sw, sim::OpKind::FpAlu));
+}
+
+TEST(AppBehaviour, ClusterIsDivergenceBound)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const auto record = core::runApp("CLUSTER", config);
+    // Fig 10: CLUSTER's issued warps are mostly nearly-empty (W1-8),
+    // unlike e.g. GG whose warps run nearly full.
+    const double sparse = core::occupancyFraction(record, 1, 8);
+    EXPECT_GT(sparse, core::occupancyFraction(record, 29, 32));
+    const auto gg = core::runApp("GG", config);
+    EXPECT_GT(core::occupancyFraction(gg, 29, 32), sparse);
+}
+
+TEST(AppBehaviour, NvbStallsOnKernelSetup)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const auto record = core::runApp("NvB", config);
+    // Fig 5: functional-done dominates NvB far more than a
+    // compute-bound app like SW.
+    const double fd =
+        core::stallFraction(record, sim::StallReason::FunctionalDone);
+    EXPECT_GT(fd, 0.3);
+    const auto sw = core::runApp("SW", config);
+    EXPECT_GT(fd, core::stallFraction(
+                      sw, sim::StallReason::FunctionalDone));
+}
+
+} // namespace

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Tests of the SIMT emission layer: trace contents produced by
+ * emitCta for hand-built kernels — masks, coalesced transactions,
+ * parameter reads, dependency tokens, divergence, CDP child grids,
+ * and the phase/barrier protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+#include "sim/warp_ctx.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::sim;
+
+/** Wrap a lambda as a kernel body. */
+template <typename Fn>
+class LambdaKernel : public KernelBody
+{
+  public:
+    LambdaKernel(Fn fn, int phases = 1)
+        : fn_(std::move(fn)), phases_(phases)
+    {
+    }
+
+    int numPhases(Dim3, Dim3) const override { return phases_; }
+
+    void
+    runPhase(WarpCtx &w, int phase) override
+    {
+        fn_(w, phase);
+    }
+
+  private:
+    Fn fn_;
+    int phases_;
+};
+
+template <typename Fn>
+LaunchSpec
+makeSpec(Fn fn, std::uint32_t threads = 32, int phases = 1)
+{
+    LaunchSpec spec;
+    spec.name = "probe";
+    spec.grid = {1, 1, 1};
+    spec.cta = {threads, 1, 1};
+    spec.body =
+        std::make_shared<LambdaKernel<Fn>>(std::move(fn), phases);
+    return spec;
+}
+
+std::uint64_t
+countKind(const WarpTrace &trace, OpKind kind)
+{
+    std::uint64_t n = 0;
+    for (const auto &op : trace.ops)
+        if (op.kind == kind)
+            n += op.repeat;
+    return n;
+}
+
+TEST(Emission, ParamReadsAndExitAlwaysEmitted)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &, int) {});
+    spec.numParams = 6;
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    ASSERT_EQ(trace.warps.size(), 1u);
+    const WarpTrace &warp = trace.warps[0];
+    std::uint64_t params = 0;
+    for (const auto &op : warp.ops)
+        if (op.kind == OpKind::Load && op.space == MemSpace::Param)
+            params += op.repeat;
+    EXPECT_EQ(params, 6u);
+    EXPECT_EQ(warp.ops.back().kind, OpKind::Exit);
+}
+
+TEST(Emission, PartialLastWarpGetsPartialBaseMask)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) { w.emitInt(1); }, 40);
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    ASSERT_EQ(trace.warps.size(), 2u);
+    EXPECT_EQ(trace.warps[0].ops.back().mask, fullMask);
+    // Second warp has 8 active lanes.
+    EXPECT_EQ(trace.warps[1].ops.back().mask, 0xffu);
+}
+
+TEST(Emission, CoalescedLoadProducesOneTransaction)
+{
+    DeviceMemory mem;
+    const Addr buf = mem.alloc(4096);
+    for (std::uint32_t i = 0; i < 32; ++i)
+        mem.store<std::int32_t>(buf + i * 4, std::int32_t(i * 3));
+
+    auto spec = makeSpec([buf](WarpCtx &w, int) {
+        auto values = w.loadGlobal<std::int32_t>(buf, w.laneId());
+        for (int lane = 0; lane < warpSize; ++lane)
+            EXPECT_EQ(values[lane], lane * 3);
+    });
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    const WarpTrace &warp = trace.warps[0];
+    for (const auto &op : warp.ops) {
+        if (op.kind == OpKind::Load &&
+            op.space == MemSpace::Global) {
+            EXPECT_EQ(op.txCount, 1);
+        }
+    }
+}
+
+TEST(Emission, StridedLoadProducesManyTransactions)
+{
+    DeviceMemory mem;
+    const Addr buf = mem.alloc(32 * 512 + 64);
+    auto spec = makeSpec([buf](WarpCtx &w, int) {
+        auto idx = w.make<std::uint32_t>(
+            [](int lane) { return std::uint32_t(lane) * 128; });
+        (void)w.loadGlobal<std::int32_t>(buf, idx);
+    });
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    bool found = false;
+    for (const auto &op : trace.warps[0].ops) {
+        if (op.kind == OpKind::Load && op.space == MemSpace::Global) {
+            EXPECT_EQ(op.txCount, 32);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Emission, LoadProducesDepTokenConsumedByAlu)
+{
+    DeviceMemory mem;
+    const Addr buf = mem.alloc(256);
+    auto spec = makeSpec([buf](WarpCtx &w, int) {
+        auto v = w.loadGlobal<std::int32_t>(buf, w.laneId());
+        auto one = w.broadcast<std::int32_t>(1);
+        auto sum = v + one;  // must carry the load dependency
+        (void)sum;
+    });
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    const auto &ops = trace.warps[0].ops;
+    std::int32_t load_idx = -1;
+    bool dependent_alu = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].kind == OpKind::Load &&
+            ops[i].space == MemSpace::Global)
+            load_idx = std::int32_t(i);
+        if (ops[i].kind == OpKind::IntAlu && ops[i].dep == load_idx &&
+            load_idx >= 0)
+            dependent_alu = true;
+    }
+    EXPECT_TRUE(dependent_alu);
+}
+
+TEST(Emission, IfMaskNarrowsAndRestores)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        w.ifMask(0x0f, [&] {
+            w.emitInt(1);
+            EXPECT_EQ(w.activeMask(), 0x0fu);
+        });
+        EXPECT_EQ(w.activeMask(), fullMask);
+        w.emitInt(1);
+    });
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    const auto &ops = trace.warps[0].ops;
+    bool narrow = false, wide = false;
+    for (const auto &op : ops) {
+        if (op.kind == OpKind::IntAlu && op.mask == 0x0f)
+            narrow = true;
+        if (op.kind == OpKind::IntAlu && op.mask == fullMask)
+            wide = true;
+    }
+    EXPECT_TRUE(narrow);
+    EXPECT_TRUE(wide);
+    // The divergence point emitted a branch.
+    EXPECT_GT(countKind(trace.warps[0], OpKind::Branch), 0u);
+}
+
+TEST(Emission, UnbalancedMaskStackPanics)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) { w.pushMask(0x1); });
+    EXPECT_THROW(emitCta(spec, 0, mem), PanicError);
+}
+
+TEST(Emission, BallotRespectsActiveMask)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        LaneArray<bool> pred = w.make<bool>(
+            [](int lane) { return lane % 2 == 0; });
+        w.pushMask(0x00ff);
+        EXPECT_EQ(w.ballot(pred), 0x0055u);
+        w.popMask();
+    });
+    emitCta(spec, 0, mem);
+}
+
+TEST(Emission, SharedRoundTripThroughBacking)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        auto lane = w.laneId();
+        LaneArray<std::uint32_t> doubled = w.make<std::uint32_t>(
+            [](int l) { return std::uint32_t(l) * 2; });
+        w.storeShared<std::uint32_t>(0, lane, doubled);
+        auto back = w.loadShared<std::uint32_t>(0, lane);
+        for (int l = 0; l < warpSize; ++l)
+            EXPECT_EQ(back[l], std::uint32_t(l) * 2);
+    });
+    spec.res.smemPerCtaBytes = 1024;
+    emitCta(spec, 0, mem);
+}
+
+TEST(Emission, SharedOutOfBoundsPanics)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        (void)w.loadShared<std::uint32_t>(0, w.laneId());
+    });
+    spec.res.smemPerCtaBytes = 16;  // too small for 32 lanes
+    EXPECT_THROW(emitCta(spec, 0, mem), PanicError);
+}
+
+TEST(Emission, PhasesSeparatedByBarriers)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) { w.emitInt(1); }, 64, 3);
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    for (const auto &warp : trace.warps)
+        EXPECT_EQ(countKind(warp, OpKind::Barrier), 2u);  // phases - 1
+}
+
+TEST(Emission, ChildLaunchEmitsGridEagerly)
+{
+    DeviceMemory mem;
+    const Addr buf = mem.alloc(256);
+    mem.store<std::int32_t>(buf, 0);
+
+    auto child_fn = [buf](WarpCtx &w, int) {
+        LaneArray<std::uint32_t> zero = w.broadcast<std::uint32_t>(0);
+        w.ifMask(0x1, [&] {
+            auto v = w.loadGlobal<std::int32_t>(buf, zero);
+            auto one = w.broadcast<std::int32_t>(1);
+            w.storeGlobal<std::int32_t>(buf, zero, v + one);
+        });
+    };
+    auto parent_fn = [buf, child_fn](WarpCtx &w, int) {
+        LaunchSpec child = makeSpec(child_fn);
+        child.name = "child";
+        w.launchChild(child);
+        w.deviceSync();
+        // Functional order: the child already ran during emission.
+        EXPECT_EQ(w.mem().load<std::int32_t>(buf), 1);
+    };
+    auto spec = makeSpec(parent_fn);
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    ASSERT_EQ(trace.children.size(), 1u);
+    EXPECT_EQ(trace.children[0]->spec.name, "child");
+    EXPECT_EQ(trace.children[0]->ctas.size(), 1u);
+    EXPECT_EQ(countKind(trace.warps[0], OpKind::ChildLaunch), 1u);
+    EXPECT_EQ(countKind(trace.warps[0], OpKind::DeviceSync), 1u);
+}
+
+TEST(Emission, NestingDepthIsBounded)
+{
+    DeviceMemory mem;
+
+    // A self-recursive kernel must trip the depth guard.
+    struct Recursive : KernelBody
+    {
+        void
+        runPhase(WarpCtx &w, int) override
+        {
+            LaunchSpec child;
+            child.name = "deeper";
+            child.grid = {1, 1, 1};
+            child.cta = {32, 1, 1};
+            child.body = std::make_shared<Recursive>();
+            w.launchChild(child);
+        }
+    };
+    LaunchSpec spec;
+    spec.name = "root";
+    spec.grid = {1, 1, 1};
+    spec.cta = {32, 1, 1};
+    spec.body = std::make_shared<Recursive>();
+    EXPECT_THROW(emitCta(spec, 0, mem), FatalError);
+}
+
+TEST(Emission, LocalAccessCoalescesPerLaneInterleaved)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        w.localAccess(false, 3, 4);
+        w.localAccess(true, 7, 4);
+    });
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    for (const auto &op : trace.warps[0].ops) {
+        if (op.space == MemSpace::Local) {
+            EXPECT_EQ(op.txCount, 1);  // 32 lanes x 4B = one line
+        }
+    }
+}
+
+TEST(Emission, ReduceMaxBroadcastsWarpMaximum)
+{
+    DeviceMemory mem;
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        LaneArray<std::int32_t> v = w.make<std::int32_t>(
+            [](int lane) { return lane == 13 ? 99 : lane; });
+        auto m = w.reduceMax(v);
+        for (int lane = 0; lane < warpSize; ++lane)
+            EXPECT_EQ(m[lane], 99);
+    });
+    emitCta(spec, 0, mem);
+}
+
+TEST(Emission, MemNoteEmitsWithoutTouchingMemory)
+{
+    DeviceMemory mem;
+    const std::size_t before = mem.allocated();
+    auto spec = makeSpec([](WarpCtx &w, int) {
+        // Addresses far outside any allocation: emit-only must not
+        // read or write backing storage.
+        w.memNote(false, MemSpace::Global, Addr(1) << 35, w.laneId(),
+                  4);
+        w.memNote(true, MemSpace::Tex, Addr(1) << 35, w.laneId(), 4);
+    });
+    const CtaTrace trace = emitCta(spec, 0, mem);
+    EXPECT_EQ(mem.allocated(), before);
+    EXPECT_EQ(countKind(trace.warps[0], OpKind::Load), 1u + 4u);
+}
+
+} // namespace

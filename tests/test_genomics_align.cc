@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit and property tests for the pairwise alignment engines (NW, SW,
+ * affine/banded) — the CPU references every GPU kernel is checked
+ * against.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "genomics/align/banded.hh"
+#include "genomics/align/nw.hh"
+#include "genomics/align/sw.hh"
+#include "genomics/datagen.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::genomics;
+
+const Scoring kScore{};  // match 2, mismatch -3, open -5, extend -1
+
+TEST(Nw, IdenticalSequencesScoreAllMatches)
+{
+    EXPECT_EQ(nwScore("ACGTACGT", "ACGTACGT", kScore), 16);
+}
+
+TEST(Nw, EmptyVsSequenceIsAllGaps)
+{
+    EXPECT_EQ(nwScore("", "ACGT", kScore), 4 * kScore.gapExtend);
+    EXPECT_EQ(nwScore("ACGT", "", kScore), 4 * kScore.gapExtend);
+    EXPECT_EQ(nwScore("", "", kScore), 0);
+}
+
+TEST(Nw, KnownSmallCase)
+{
+    // GATTACA vs GCATGCT, classic textbook pair with match=1,
+    // mismatch=-1, gap=-1.
+    Scoring unit;
+    unit.match = 1;
+    unit.mismatch = -1;
+    unit.gapExtend = -1;
+    unit.gapOpen = -1;
+    EXPECT_EQ(nwScore("GATTACA", "GCATGCT", unit), 0);
+}
+
+TEST(Nw, AlignTracebackReconstructsScore)
+{
+    Rng rng(11);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 20 + rng.below(40));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        const NwAlignment aln = nwAlign(a, b, kScore);
+        ASSERT_EQ(aln.alignedA.size(), aln.alignedB.size());
+
+        // Re-score the traceback column by column.
+        int rescore = 0;
+        std::string ra, rb;
+        for (std::size_t i = 0; i < aln.alignedA.size(); ++i) {
+            const char ca = aln.alignedA[i];
+            const char cb = aln.alignedB[i];
+            ASSERT_FALSE(ca == '-' && cb == '-');
+            if (ca == '-' || cb == '-')
+                rescore += kScore.gapExtend;
+            else
+                rescore += kScore.subst(ca, cb);
+            if (ca != '-')
+                ra.push_back(ca);
+            if (cb != '-')
+                rb.push_back(cb);
+        }
+        EXPECT_EQ(rescore, aln.score);
+        EXPECT_EQ(ra, a);  // gapped rows spell the inputs
+        EXPECT_EQ(rb, b);
+        EXPECT_EQ(aln.score, nwScore(a, b, kScore));
+    }
+}
+
+TEST(Nw, WavefrontMatchesRowMajor)
+{
+    Rng rng(7);
+    for (int iter = 0; iter < 30; ++iter) {
+        const std::string a = randomDna(rng, 1 + rng.below(64));
+        const std::string b = randomDna(rng, 1 + rng.below(64));
+        EXPECT_EQ(nwScoreWavefront(a, b, kScore), nwScore(a, b, kScore))
+            << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(Sw, FindsEmbeddedMotif)
+{
+    Rng rng(3);
+    const std::string motif = "ACGTGTCAACGTTGCA";
+    const std::string hay =
+        randomDna(rng, 50) + motif + randomDna(rng, 50);
+    const SwResult result = swScore(motif, hay, kScore);
+    EXPECT_EQ(result.score, int(motif.size()) * kScore.match);
+}
+
+TEST(Sw, NeverNegativeAndZeroForDisjointAlphabets)
+{
+    // All-A vs all-C: best local alignment is empty.
+    const SwResult result = swScore("AAAA", "CCCC", kScore);
+    EXPECT_EQ(result.score, 0);
+}
+
+TEST(Sw, TracebackScoreConsistent)
+{
+    Rng rng(19);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 30 + rng.below(30));
+        const std::string b = randomDna(rng, 30 + rng.below(30));
+        const SwAlignment aln = swAlign(a, b, kScore);
+        const SwResult score_only = swScore(a, b, kScore);
+        EXPECT_EQ(aln.score, score_only.score);
+
+        int rescore = 0;
+        for (std::size_t i = 0; i < aln.alignedA.size(); ++i) {
+            const char ca = aln.alignedA[i];
+            const char cb = aln.alignedB[i];
+            if (ca == '-' || cb == '-')
+                rescore += kScore.gapExtend;
+            else
+                rescore += kScore.subst(ca, cb);
+        }
+        EXPECT_EQ(rescore, aln.score);
+    }
+}
+
+TEST(Sw, LocalAtLeastGlobal)
+{
+    Rng rng(23);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 10 + rng.below(50));
+        const std::string b = randomDna(rng, 10 + rng.below(50));
+        EXPECT_GE(swScore(a, b, kScore).score, nwScore(a, b, kScore));
+    }
+}
+
+TEST(Affine, GlobalIdenticalIsAllMatch)
+{
+    const AffineResult r =
+        alignAffine("ACGTACGTAC", "ACGTACGTAC", kScore,
+                    AlignMode::Global);
+    EXPECT_EQ(r.score, 20);
+    EXPECT_EQ(r.endQ, 10u);
+    EXPECT_EQ(r.endT, 10u);
+}
+
+TEST(Affine, OneGapChargedOpenPlusExtend)
+{
+    // Query ACGT vs target ACGGT: one 1-base gap in the query.
+    const AffineResult r =
+        alignAffine("ACGT", "ACGGT", kScore, AlignMode::Global);
+    EXPECT_EQ(r.score,
+              4 * kScore.match + kScore.gapOpen + kScore.gapExtend);
+}
+
+TEST(Affine, LongGapPrefersSingleOpen)
+{
+    // With affine gaps, a 3-gap costs open + 3*extend, not 3*open.
+    const AffineResult r =
+        alignAffine("AAAA", "AAATTTA", kScore, AlignMode::Global);
+    EXPECT_EQ(r.score,
+              4 * kScore.match + kScore.gapOpen + 3 * kScore.gapExtend);
+}
+
+TEST(Affine, LocalMatchesSwWhenGapsLinear)
+{
+    // With gapOpen == 0 the affine recurrence degenerates to linear
+    // gaps, so Local mode must agree with the SW reference.
+    Scoring linear = kScore;
+    linear.gapOpen = 0;
+    Rng rng(31);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 10 + rng.below(40));
+        const std::string b = randomDna(rng, 10 + rng.below(40));
+        EXPECT_EQ(alignAffine(a, b, linear, AlignMode::Local).score,
+                  swScore(a, b, linear).score)
+            << "a=" << a << " b=" << b;
+    }
+}
+
+TEST(Affine, SemiGlobalFindsReadInReference)
+{
+    Rng rng(5);
+    const std::string read = randomDna(rng, 24);
+    const std::string ref = randomDna(rng, 40) + read + randomDna(rng, 40);
+    const AffineResult r =
+        alignAffine(read, ref, kScore, AlignMode::SemiGlobal);
+    EXPECT_EQ(r.score, int(read.size()) * kScore.match);
+    EXPECT_EQ(r.endQ, read.size());
+}
+
+TEST(Affine, SemiGlobalAtLeastGlobal)
+{
+    Rng rng(41);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string q = randomDna(rng, 8 + rng.below(24));
+        const std::string t = randomDna(rng, 8 + rng.below(48));
+        const int semi =
+            alignAffine(q, t, kScore, AlignMode::SemiGlobal).score;
+        const int global =
+            alignAffine(q, t, kScore, AlignMode::Global).score;
+        EXPECT_GE(semi, global);
+    }
+}
+
+TEST(Affine, BandedEqualsUnbandedWithWideBand)
+{
+    Rng rng(43);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 10 + rng.below(30));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        const int wide = alignAffine(a, b, kScore,
+                                     AlignMode::KswBanded, 1000).score;
+        const int unbanded =
+            alignAffine(a, b, kScore, AlignMode::Local).score;
+        EXPECT_EQ(wide, unbanded);
+    }
+}
+
+TEST(Affine, NarrowBandNeverBeatsWideBand)
+{
+    Rng rng(47);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::string a = randomDna(rng, 20 + rng.below(30));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        const int narrow =
+            alignAffine(a, b, kScore, AlignMode::KswBanded, 4).score;
+        const int wide =
+            alignAffine(a, b, kScore, AlignMode::KswBanded, 64).score;
+        EXPECT_LE(narrow, wide);
+    }
+}
+
+TEST(Affine, IdentityOfIdenticalIsOne)
+{
+    EXPECT_DOUBLE_EQ(globalIdentity("ACGTACGT", "ACGTACGT", kScore), 1.0);
+}
+
+TEST(Affine, IdentityDropsWithMutation)
+{
+    Rng rng(53);
+    const std::string a = randomDna(rng, 200);
+    MutationProfile heavy;
+    heavy.substitutionRate = 0.3;
+    const std::string b = mutate(rng, a, heavy);
+    const double identity = globalIdentity(a, b, kScore);
+    EXPECT_LT(identity, 0.95);
+    EXPECT_GT(identity, 0.3);
+}
+
+} // namespace

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for sequences, FASTA/FASTQ I/O, data generators, center-star
+ * MSA, greedy clustering, PairHMM, the FM-index, and the read mapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/random.hh"
+#include "genomics/cluster/greedy_cluster.hh"
+#include "genomics/datagen.hh"
+#include "genomics/fasta.hh"
+#include "genomics/hmm/pairhmm.hh"
+#include "genomics/index/fm_index.hh"
+#include "genomics/map/read_mapper.hh"
+#include "genomics/msa/center_star.hh"
+#include "genomics/sequence.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::genomics;
+
+// ------------------------------------------------------- sequences
+
+TEST(Sequence, PackUnpackRoundTrip)
+{
+    Rng rng(1);
+    const std::string dna = randomDna(rng, 77);
+    const auto packed = packDna2bit(dna);
+    for (std::size_t i = 0; i < dna.size(); ++i)
+        ASSERT_EQ(codeToBase(packedBaseAt(packed, i)), dna[i]);
+}
+
+TEST(Sequence, ReverseComplementInvolution)
+{
+    Rng rng(2);
+    const std::string dna = randomDna(rng, 64);
+    EXPECT_EQ(reverseComplement(reverseComplement(dna)), dna);
+}
+
+TEST(Sequence, CanonicalizeMapsAmbiguityAndCase)
+{
+    EXPECT_EQ(canonicalize("acgtN", Alphabet::Dna), "ACGTA");
+    EXPECT_EQ(canonicalize("ACGU", Alphabet::Dna), "ACGT");
+    EXPECT_THROW(canonicalize("ACGX", Alphabet::Dna), FatalError);
+}
+
+TEST(Sequence, ValidationPerAlphabet)
+{
+    EXPECT_TRUE(isValid("ACGT", Alphabet::Dna));
+    EXPECT_FALSE(isValid("ACGU", Alphabet::Dna));
+    EXPECT_TRUE(isValid("ACDEFGHIKLMNPQRSTVWY", Alphabet::Protein));
+    EXPECT_FALSE(isValid("ACGB", Alphabet::Protein));
+}
+
+// ------------------------------------------------------------ FASTA
+
+TEST(Fasta, RoundTrip)
+{
+    std::vector<Sequence> seqs(3);
+    Rng rng(4);
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        seqs[i].name = "seq" + std::to_string(i);
+        seqs[i].data = randomDna(rng, 150 + i * 37);
+    }
+    const auto parsed = parseFasta(writeFasta(seqs, 60));
+    ASSERT_EQ(parsed.size(), seqs.size());
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, seqs[i].name);
+        EXPECT_EQ(parsed[i].data, seqs[i].data);
+    }
+}
+
+TEST(Fasta, RejectsHeaderlessData)
+{
+    EXPECT_THROW(parseFasta("ACGT\n"), FatalError);
+}
+
+TEST(Fastq, RoundTripWithQualities)
+{
+    Rng rng(5);
+    ReadSet set = makeReadSet(rng, 500, 5, 50);
+    const auto parsed = parseFastq(writeFastq(set.reads));
+    ASSERT_EQ(parsed.size(), set.reads.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].data, set.reads[i].data);
+        EXPECT_EQ(parsed[i].qual, set.reads[i].qual);
+    }
+}
+
+TEST(Fastq, RejectsTruncatedRecord)
+{
+    EXPECT_THROW(parseFastq("@r1\nACGT\n+\n"), FatalError);
+    EXPECT_THROW(parseFastq("@r1\nACGT\n+\nII\n"), FatalError);
+}
+
+// ---------------------------------------------------------- datagen
+
+TEST(Datagen, Deterministic)
+{
+    Rng a(99), b(99);
+    EXPECT_EQ(randomDna(a, 100), randomDna(b, 100));
+}
+
+TEST(Datagen, ReadsComeFromReference)
+{
+    Rng rng(6);
+    ReadSet set = makeReadSet(rng, 2000, 20, 64, /*error_rate=*/0.0);
+    for (std::size_t i = 0; i < set.reads.size(); ++i) {
+        EXPECT_EQ(set.reads[i].data,
+                  set.reference.substr(set.truePos[i], 64));
+    }
+}
+
+TEST(Datagen, MutationRateRoughlyRespected)
+{
+    Rng rng(7);
+    const std::string base = randomDna(rng, 5000);
+    MutationProfile profile;
+    profile.substitutionRate = 0.1;
+    profile.insertionRate = 0.0;
+    profile.deletionRate = 0.0;
+    const std::string mutated = mutate(rng, base, profile);
+    ASSERT_EQ(mutated.size(), base.size());
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        diffs += base[i] != mutated[i];
+    EXPECT_NEAR(double(diffs) / double(base.size()), 0.1, 0.03);
+}
+
+// ------------------------------------------------------ center star
+
+TEST(CenterStar, RowsSpellInputs)
+{
+    Rng rng(8);
+    std::vector<std::string> seqs;
+    const std::string ancestor = randomDna(rng, 60);
+    MutationProfile profile;
+    for (int i = 0; i < 6; ++i)
+        seqs.push_back(i == 0 ? ancestor : mutate(rng, ancestor, profile));
+
+    const MsaResult msa = centerStarAlign(seqs, Scoring{});
+    ASSERT_EQ(msa.rows.size(), seqs.size());
+    const std::size_t width = msa.rows[0].size();
+    for (std::size_t i = 0; i < seqs.size(); ++i) {
+        EXPECT_EQ(msa.rows[i].size(), width);
+        std::string stripped;
+        for (char c : msa.rows[i])
+            if (c != '-')
+                stripped.push_back(c);
+        EXPECT_EQ(stripped, seqs[i]);
+    }
+}
+
+TEST(CenterStar, IdenticalSequencesNeedNoGaps)
+{
+    std::vector<std::string> seqs(4, "ACGTACGTAA");
+    const MsaResult msa = centerStarAlign(seqs, Scoring{});
+    for (const auto &row : msa.rows)
+        EXPECT_EQ(row, "ACGTACGTAA");
+}
+
+TEST(CenterStar, CenterMaximizesSummedScore)
+{
+    Rng rng(9);
+    std::vector<std::string> seqs;
+    for (int i = 0; i < 5; ++i)
+        seqs.push_back(randomDna(rng, 40));
+    const std::size_t center = pickCenter(seqs, Scoring{});
+    const long long best = centerScore(seqs, center, Scoring{});
+    for (std::size_t i = 0; i < seqs.size(); ++i)
+        EXPECT_LE(centerScore(seqs, i, Scoring{}), best);
+}
+
+// ------------------------------------------------------- clustering
+
+TEST(Cluster, FamiliesClusterTogether)
+{
+    Rng rng(10);
+    // Members diverge ~1.5% from the ancestor, so member-to-member
+    // identity is >= ~97%; an 0.8 threshold leaves comfortable margin
+    // while still separating unrelated families (identity ~25%).
+    const auto seqs = makeFamilies(rng, 4, 6, 120, /*divergence=*/0.015,
+                                   /*length_jitter=*/0.0);
+    ClusterParams params;
+    params.identityThreshold = 0.8;
+    const ClusterResult result =
+        greedyCluster(seqs, params, Scoring{});
+
+    // Members of one family must share a cluster.
+    for (std::size_t f = 0; f < 4; ++f) {
+        const int cluster = result.assignment[f * 6];
+        for (std::size_t m = 1; m < 6; ++m)
+            EXPECT_EQ(result.assignment[f * 6 + m], cluster)
+                << "family " << f << " member " << m;
+    }
+    EXPECT_EQ(result.representatives.size(), 4u);
+}
+
+TEST(Cluster, IdenticalSequencesOneCluster)
+{
+    std::vector<Sequence> seqs(5);
+    Rng rng(11);
+    const std::string data = randomDna(rng, 100);
+    for (auto &seq : seqs)
+        seq.data = data;
+    const ClusterResult result =
+        greedyCluster(seqs, ClusterParams{}, Scoring{});
+    EXPECT_EQ(result.representatives.size(), 1u);
+}
+
+TEST(Cluster, WordFilterRejectsUnrelated)
+{
+    Rng rng(12);
+    std::vector<Sequence> seqs(20);
+    for (auto &seq : seqs)
+        seq.data = randomDna(rng, 150);
+    ClusterParams params;
+    const ClusterResult result = greedyCluster(seqs, params, Scoring{});
+    // Random 150-mers share few 5-mers at >45% threshold: most pairs
+    // must be rejected before alignment.
+    EXPECT_GT(result.filteredOut, result.alignmentsPerformed);
+    EXPECT_EQ(result.representatives.size(), 20u);
+}
+
+TEST(Cluster, KmerProfileFindsOwnWords)
+{
+    Rng rng(13);
+    const std::string seq = randomDna(rng, 100);
+    const auto profile = kmerProfile(seq, 5);
+    EXPECT_DOUBLE_EQ(sharedWordFraction(profile, seq, 5), 1.0);
+}
+
+// ---------------------------------------------------------- PairHMM
+
+TEST(PairHmm, PerfectMatchMostLikely)
+{
+    Rng rng(14);
+    const std::string hap = randomDna(rng, 80);
+    const std::string read = hap.substr(10, 40);
+    std::string worse = read;
+    worse[5] = worse[5] == 'A' ? 'C' : 'A';
+    worse[20] = worse[20] == 'G' ? 'T' : 'G';
+
+    const double good = pairHmmForward(read, "", hap);
+    const double bad = pairHmmForward(worse, "", hap);
+    EXPECT_GT(good, bad);
+}
+
+TEST(PairHmm, LikelihoodIsLogProbability)
+{
+    Rng rng(15);
+    const std::string hap = randomDna(rng, 60);
+    const std::string read = hap.substr(5, 30);
+    const double ll = pairHmmForward(read, "", hap);
+    EXPECT_LT(ll, 0.0);      // probabilities < 1
+    EXPECT_GT(ll, -400.0);   // and not the underflow floor
+}
+
+TEST(PairHmm, QualityAwareDownweightsErrors)
+{
+    Rng rng(16);
+    const std::string hap = randomDna(rng, 80);
+    std::string read = hap.substr(10, 40);
+    read[7] = read[7] == 'A' ? 'C' : 'A';  // one mismatch
+
+    // Low quality at the mismatch: the error is expected -> higher
+    // likelihood than claiming the base was confident.
+    std::string qual_low(read.size(), 'I');
+    qual_low[7] = '#';
+    const std::string qual_high(read.size(), 'I');
+
+    EXPECT_GT(pairHmmForward(read, qual_low, hap),
+              pairHmmForward(read, qual_high, hap));
+}
+
+TEST(PairHmm, WavefrontMatchesRowMajor)
+{
+    Rng rng(17);
+    for (int iter = 0; iter < 15; ++iter) {
+        const std::string hap = randomDna(rng, 20 + rng.below(60));
+        const std::string read = randomDna(rng, 10 + rng.below(30));
+        const double row = pairHmmForward(read, "", hap);
+        const double wave = pairHmmForwardWavefront(read, "", hap);
+        EXPECT_NEAR(row, wave, 1e-9);
+    }
+}
+
+// --------------------------------------------------------- FM-index
+
+TEST(FmIndex, SuffixArrayIsSorted)
+{
+    Rng rng(18);
+    const std::string text = randomDna(rng, 300);
+    std::vector<std::uint8_t> codes;
+    for (char c : text)
+        codes.push_back(baseToCode(c));
+    codes.push_back(4);
+    const auto sa = buildSuffixArray(codes);
+    ASSERT_EQ(sa.size(), codes.size());
+    for (std::size_t i = 1; i < sa.size(); ++i) {
+        const auto suffix = [&codes](std::uint32_t s) {
+            return std::vector<std::uint8_t>(codes.begin() + s,
+                                             codes.end());
+        };
+        EXPECT_LT(suffix(sa[i - 1]), suffix(sa[i]));
+    }
+}
+
+TEST(FmIndex, FindsAllOccurrences)
+{
+    Rng rng(19);
+    const std::string text = randomDna(rng, 2000);
+    const FmIndex index(text);
+
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::size_t pos = rng.below(text.size() - 12);
+        const std::string pattern = text.substr(pos, 12);
+
+        // Ground truth by brute force.
+        std::vector<std::uint32_t> expected;
+        for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i)
+            if (text.compare(i, pattern.size(), pattern) == 0)
+                expected.push_back(std::uint32_t(i));
+
+        const auto range = index.search(pattern);
+        EXPECT_EQ(range.count(), expected.size());
+        const auto hits = index.locate(range, 1000);
+        EXPECT_EQ(hits, expected);
+    }
+}
+
+TEST(FmIndex, AbsentPatternYieldsEmptyRange)
+{
+    const FmIndex index("ACGTACGTACGTAAAA");
+    EXPECT_TRUE(index.search("GGGGGG").empty());
+}
+
+TEST(FmIndex, FlatOccTableMatchesOcc)
+{
+    Rng rng(20);
+    const std::string text = randomDna(rng, 500);
+    const FmIndex index(text);
+    const auto flat = index.flatOccTable();
+    const std::size_t stride = index.bwt().size() + 1;
+    for (std::uint8_t c = 0; c < 4; ++c) {
+        for (std::uint32_t pos = 0; pos < stride; pos += 17)
+            EXPECT_EQ(flat[c * stride + pos], index.occ(c, pos));
+    }
+}
+
+// ------------------------------------------------------ read mapper
+
+TEST(Mapper, MapsExactReadsToTruePositions)
+{
+    Rng rng(21);
+    ReadSet set = makeReadSet(rng, 4000, 25, 64, /*error_rate=*/0.0);
+    const FmIndex index(set.reference);
+    const auto results = mapReads(index, set.reference, set.reads);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].mapped) << "read " << i;
+        EXPECT_EQ(results[i].position, set.truePos[i]);
+        EXPECT_EQ(results[i].score, 64 * 2);  // all-match semi-global
+    }
+}
+
+TEST(Mapper, ToleratesSequencingErrors)
+{
+    Rng rng(22);
+    ReadSet set = makeReadSet(rng, 4000, 30, 80, /*error_rate=*/0.02);
+    const FmIndex index(set.reference);
+    const auto results = mapReads(index, set.reference, set.reads);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < results.size(); ++i)
+        correct += results[i].mapped &&
+                   results[i].position == set.truePos[i];
+    EXPECT_GE(correct, std::size_t(0.8 * double(set.reads.size())));
+}
+
+TEST(Mapper, RandomReadDoesNotMap)
+{
+    Rng rng(23);
+    ReadSet set = makeReadSet(rng, 3000, 1, 64);
+    const FmIndex index(set.reference);
+    // A fresh random read almost surely has no 20-mer seed hit.
+    const MapResult result =
+        mapRead(index, set.reference, randomDna(rng, 64));
+    EXPECT_FALSE(result.mapped);
+}
+
+} // namespace

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Interconnect tests: routing correctness for all four Table II
+ * topologies (hop counts, reachability, no self-routes), link
+ * contention serialization, flit-size sensitivity, router-delay
+ * sensitivity, and fat-tree link fattening.
+ */
+
+#include <gtest/gtest.h>
+
+#include "noc/network.hh"
+#include "noc/topology.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::noc;
+
+constexpr int kNodes = 86;  // 78 SMs + 8 partitions
+
+class TopologyTest
+    : public ::testing::TestWithParam<NocTopology>
+{
+};
+
+TEST_P(TopologyTest, AllPairsRoutable)
+{
+    auto topo = Topology::create(GetParam(), kNodes);
+    for (int s = 0; s < kNodes; s += 5) {
+        for (int d = 0; d < kNodes; d += 7) {
+            if (s == d)
+                continue;
+            std::vector<int> links;
+            topo->route(s, d, links);
+            EXPECT_FALSE(links.empty()) << s << "->" << d;
+            for (int link : links) {
+                EXPECT_GE(link, 0);
+                EXPECT_LT(link, topo->numLinks());
+            }
+        }
+    }
+}
+
+TEST_P(TopologyTest, SelfRouteIsShort)
+{
+    auto topo = Topology::create(GetParam(), kNodes);
+    std::vector<int> links;
+    topo->route(13, 13, links);
+    // Xbar uses its in/out ports; a butterfly always crosses all of
+    // its stages; mesh and fat tree stay put.
+    if (GetParam() == NocTopology::Butterfly)
+        EXPECT_EQ(links.size(), 7u);  // ceil(log2(86)) stages
+    else
+        EXPECT_LE(links.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyTest,
+                         ::testing::Values(NocTopology::Xbar,
+                                           NocTopology::Mesh,
+                                           NocTopology::FatTree,
+                                           NocTopology::Butterfly));
+
+TEST(Topology, XbarAlwaysTwoHops)
+{
+    XbarTopology xbar(kNodes);
+    EXPECT_EQ(xbar.hops(0, 85), 2);
+    EXPECT_EQ(xbar.hops(42, 1), 2);
+}
+
+TEST(Topology, MeshHopsAreManhattanDistance)
+{
+    MeshTopology mesh(kNodes);
+    const int cols = mesh.cols();
+    // (0,0) -> (3,2): 3 + 2 hops.
+    const int src = 0;
+    const int dst = 2 * cols + 3;
+    EXPECT_EQ(mesh.hops(src, dst), 5);
+    // Dimension order: X moves come first.
+    std::vector<int> links;
+    mesh.route(src, dst, links);
+    ASSERT_EQ(links.size(), 5u);
+    EXPECT_EQ(links[0] % 4, 0);  // east
+    EXPECT_EQ(links[4] % 4, 2);  // south
+}
+
+TEST(Topology, MeshHasMoreHopsThanXbar)
+{
+    MeshTopology mesh(kNodes);
+    XbarTopology xbar(kNodes);
+    double mesh_total = 0, xbar_total = 0;
+    for (int s = 0; s < kNodes; s += 3) {
+        for (int d = 0; d < kNodes; d += 3) {
+            if (s == d)
+                continue;
+            mesh_total += mesh.hops(s, d);
+            xbar_total += xbar.hops(s, d);
+        }
+    }
+    EXPECT_GT(mesh_total, xbar_total);
+}
+
+TEST(Topology, FatTreeClimbsToNca)
+{
+    FatTreeTopology tree(16);
+    // Adjacent leaves share a parent: 1 up + 1 down.
+    EXPECT_EQ(tree.hops(0, 1), 2);
+    // Opposite halves traverse the root.
+    EXPECT_EQ(tree.hops(0, 15), 2 * tree.levels());
+}
+
+TEST(Topology, FatTreeLinksFattenTowardRoot)
+{
+    FatTreeTopology tree(16);
+    std::vector<int> leaf_links, root_links;
+    tree.route(0, 1, leaf_links);   // bottom level only
+    tree.route(0, 15, root_links);  // reaches the top
+    EXPECT_EQ(tree.linkWidthFactor(leaf_links.front()), 1.0);
+    double max_width = 0;
+    for (int link : root_links)
+        max_width = std::max(max_width, tree.linkWidthFactor(link));
+    EXPECT_GT(max_width, 1.0);
+}
+
+TEST(Topology, ButterflyTraversesLogStages)
+{
+    ButterflyTopology fly(64);
+    EXPECT_EQ(fly.stages(), 6);
+    EXPECT_EQ(fly.hops(0, 63), 6);
+    EXPECT_EQ(fly.hops(5, 6), 6);  // always n stages
+}
+
+TEST(Topology, ButterflyForwardAndReverseUseDisjointLinks)
+{
+    ButterflyTopology fly(16);
+    std::vector<int> fwd, rev;
+    fly.route(1, 9, fwd);
+    fly.route(9, 1, rev);
+    for (int f : fwd)
+        for (int r : rev)
+            EXPECT_NE(f, r);
+}
+
+// ----------------------------------------------------------- network
+
+TEST(Network, ZeroLoadLatencyGrowsWithHops)
+{
+    NocConfig cfg;
+    cfg.topology = NocTopology::Mesh;
+    Network net(cfg, kNodes);
+    MeshTopology mesh(kNodes);
+    const Cycles near = net.zeroLoadLatency(0, 1, 32);
+    const Cycles far = net.zeroLoadLatency(0, kNodes - 1, 32);
+    EXPECT_LT(near, far);
+}
+
+TEST(Network, RouterDelayAddsPerHop)
+{
+    NocConfig base;
+    base.topology = NocTopology::Mesh;
+    NocConfig slow = base;
+    slow.routerDelay = 8;
+    Network fast_net(base, kNodes);
+    Network slow_net(slow, kNodes);
+    MeshTopology mesh(kNodes);
+    const int hops = mesh.hops(0, kNodes - 1);
+    const Cycles fast = fast_net.zeroLoadLatency(0, kNodes - 1, 32);
+    const Cycles slow_lat = slow_net.zeroLoadLatency(0, kNodes - 1, 32);
+    EXPECT_EQ(slow_lat - fast, Cycles(8) * Cycles(hops));
+}
+
+TEST(Network, NarrowFlitsSerializeLonger)
+{
+    NocConfig wide;
+    wide.flitBytes = 40;
+    NocConfig narrow = wide;
+    narrow.flitBytes = 8;
+    Network wide_net(wide, kNodes);
+    Network narrow_net(narrow, kNodes);
+    EXPECT_LT(wide_net.zeroLoadLatency(0, 80, 128),
+              narrow_net.zeroLoadLatency(0, 80, 128));
+}
+
+TEST(Network, ContentionSerializesSharedLinks)
+{
+    NocConfig cfg;
+    Network net(cfg, kNodes);
+    // Many packets to the same destination contend on its output port.
+    const Cycles first = net.send(0, 80, 128, 0);
+    Cycles last = first;
+    for (int s = 1; s < 20; ++s)
+        last = net.send(s, 80, 128, 0);
+    EXPECT_GT(last, first);
+    EXPECT_EQ(net.packets(), 20u);
+    EXPECT_GT(net.avgLatency(), 0.0);
+}
+
+TEST(Network, ResetStateClearsContention)
+{
+    NocConfig cfg;
+    Network net(cfg, kNodes);
+    for (int s = 0; s < 20; ++s)
+        net.send(s, 80, 128, 0);
+    net.resetState();
+    const Cycles after = net.send(0, 80, 128, 0);
+    EXPECT_EQ(after, net.zeroLoadLatency(0, 80, 128));
+}
+
+TEST(Network, FlitAccountingMatchesPayload)
+{
+    NocConfig cfg;  // 40B flits, 8B header
+    Network net(cfg, kNodes);
+    net.send(0, 80, 128, 0);  // 136B -> 4 flits
+    EXPECT_EQ(net.flits(), 4u);
+}
+
+} // namespace

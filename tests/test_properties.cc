@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Parameterized property sweeps: algebraic properties of the aligners
+ * across scoring schemes, monotonicity of the cache/NoC models across
+ * their Table I/II sweep ranges, and randomized cross-checks between
+ * independent implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "genomics/align/banded.hh"
+#include "genomics/align/nw.hh"
+#include "genomics/align/sw.hh"
+#include "genomics/datagen.hh"
+#include "genomics/hmm/pairhmm.hh"
+#include "genomics/index/fm_index.hh"
+#include "mem/cache.hh"
+#include "noc/network.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::genomics;
+
+// ------------------------------------------------ scoring sweeps
+
+struct ScoringCase
+{
+    int match, mismatch, gap_open, gap_extend;
+};
+
+class ScoringSweep : public ::testing::TestWithParam<ScoringCase>
+{
+  protected:
+    Scoring
+    scoring() const
+    {
+        Scoring s;
+        s.match = GetParam().match;
+        s.mismatch = GetParam().mismatch;
+        s.gapOpen = GetParam().gap_open;
+        s.gapExtend = GetParam().gap_extend;
+        return s;
+    }
+};
+
+TEST_P(ScoringSweep, NwIsSymmetric)
+{
+    Rng rng(101);
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string a = randomDna(rng, 5 + rng.below(40));
+        const std::string b = randomDna(rng, 5 + rng.below(40));
+        EXPECT_EQ(nwScore(a, b, scoring()), nwScore(b, a, scoring()));
+    }
+}
+
+TEST_P(ScoringSweep, SwIsSymmetricInScore)
+{
+    Rng rng(103);
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string a = randomDna(rng, 5 + rng.below(40));
+        const std::string b = randomDna(rng, 5 + rng.below(40));
+        EXPECT_EQ(swScore(a, b, scoring()).score,
+                  swScore(b, a, scoring()).score);
+    }
+}
+
+TEST_P(ScoringSweep, IdenticalSequencesScorePerfectly)
+{
+    Rng rng(105);
+    const std::string a = randomDna(rng, 30);
+    const Scoring s = scoring();
+    EXPECT_EQ(nwScore(a, a, s), int(a.size()) * s.match);
+    EXPECT_EQ(swScore(a, a, s).score, int(a.size()) * s.match);
+    EXPECT_EQ(alignAffine(a, a, s, AlignMode::Global).score,
+              int(a.size()) * s.match);
+}
+
+TEST_P(ScoringSweep, AffineGlobalNeverBeatsLocal)
+{
+    Rng rng(107);
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string a = randomDna(rng, 10 + rng.below(30));
+        const std::string b = randomDna(rng, 10 + rng.below(30));
+        const Scoring s = scoring();
+        EXPECT_LE(alignAffine(a, b, s, AlignMode::Global).score,
+                  alignAffine(a, b, s, AlignMode::Local).score);
+        EXPECT_LE(alignAffine(a, b, s, AlignMode::Global).score,
+                  alignAffine(a, b, s, AlignMode::SemiGlobal).score);
+    }
+}
+
+TEST_P(ScoringSweep, MutationNeverImprovesGlobalSelfScore)
+{
+    Rng rng(109);
+    const std::string a = randomDna(rng, 60);
+    MutationProfile profile;
+    profile.substitutionRate = 0.1;
+    const std::string b = mutate(rng, a, profile);
+    EXPECT_LE(nwScore(a, b, scoring()), nwScore(a, a, scoring()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ScoringSweep,
+    ::testing::Values(ScoringCase{2, -3, -5, -1},   // GASAL2 default
+                      ScoringCase{1, -1, -1, -1},   // unit
+                      ScoringCase{5, -4, -10, -2},  // BLAST-like
+                      ScoringCase{3, -2, -4, -2}),
+    [](const ::testing::TestParamInfo<ScoringCase> &info) {
+        const auto &p = info.param;
+        return "m" + std::to_string(p.match) + "_x" +
+               std::to_string(-p.mismatch) + "_o" +
+               std::to_string(-p.gap_open) + "_e" +
+               std::to_string(-p.gap_extend);
+    });
+
+// ------------------------------------------------ cache monotonicity
+
+class CacheSizeSweep
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(CacheSizeSweep, LargerCachesNeverMissMoreOnLoopingTrace)
+{
+    const std::uint32_t size = GetParam();
+    mem::Cache small(size, 8, 128, "small");
+    mem::Cache large(size * 4, 8, 128, "large");
+    Rng rng(7);
+    // Loop over a working set larger than the small cache.
+    const std::uint32_t lines = size / 128 * 2 + 16;
+    for (int pass = 0; pass < 4; ++pass) {
+        for (std::uint32_t i = 0; i < lines; ++i) {
+            const Addr addr = Addr(i) * 128;
+            small.access(addr, false);
+            large.access(addr, false);
+        }
+    }
+    EXPECT_LE(large.misses(), small.misses());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheSizeSweep,
+                         ::testing::Values(4096u, 16384u, 65536u,
+                                           262144u));
+
+// ------------------------------------------------ NoC monotonicity
+
+class FlitSweep : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FlitSweep, WiderChannelsNeverSlower)
+{
+    NocConfig narrow;
+    narrow.topology = NocTopology::Mesh;
+    narrow.flitBytes = GetParam();
+    NocConfig wide = narrow;
+    wide.flitBytes = GetParam() * 2;
+    noc::Network nnet(narrow, 86);
+    noc::Network wnet(wide, 86);
+    for (int s = 0; s < 80; s += 9) {
+        EXPECT_GE(nnet.zeroLoadLatency(s, 85, 128),
+                  wnet.zeroLoadLatency(s, 85, 128));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FlitSweep,
+                         ::testing::Values(8u, 16u, 32u));
+
+// ----------------------------------------- randomized cross-checks
+
+TEST(CrossCheck, BandedLocalConvergesToFullLocal)
+{
+    Rng rng(211);
+    const Scoring s;
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string a = randomDna(rng, 20 + rng.below(20));
+        const std::string b = mutate(rng, a, MutationProfile{});
+        const int full = alignAffine(a, b, s, AlignMode::Local).score;
+        int prev = -1;
+        for (int band : {2, 4, 8, 16, 64}) {
+            const int banded =
+                alignAffine(a, b, s, AlignMode::KswBanded, band).score;
+            EXPECT_GE(banded, prev);  // widening never hurts
+            EXPECT_LE(banded, full);
+            prev = banded;
+        }
+        EXPECT_EQ(prev, full);  // band 64 >> |len diff|
+    }
+}
+
+TEST(CrossCheck, FmIndexCountsMatchBruteForceAcrossLengths)
+{
+    Rng rng(223);
+    const std::string text = randomDna(rng, 800);
+    const FmIndex index(text);
+    for (std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+        for (int iter = 0; iter < 5; ++iter) {
+            const std::string pattern = randomDna(rng, k);
+            std::uint32_t expected = 0;
+            for (std::size_t i = 0; i + k <= text.size(); ++i)
+                expected += text.compare(i, k, pattern) == 0;
+            EXPECT_EQ(index.search(pattern).count(), expected)
+                << "k=" << k << " pattern=" << pattern;
+        }
+    }
+}
+
+TEST(CrossCheck, PairHmmSumsToOneOverAllReads)
+{
+    // For a fixed haplotype, summing P(read | hap) over every possible
+    // 2-base read must be <= 1 (the HMM emits a distribution over
+    // reads of that length, minus paths that end early).
+    const std::string hap = "ACGTACG";
+    PairHmmParams params;
+    double total = 0.0;
+    const char bases[] = {'A', 'C', 'G', 'T'};
+    for (char b1 : bases) {
+        for (char b2 : bases) {
+            const std::string read{b1, b2};
+            total += std::pow(10.0, pairHmmForward(read, "", hap,
+                                                   params));
+        }
+    }
+    EXPECT_LE(total, 1.0 + 1e-9);
+    EXPECT_GT(total, 0.5);  // most mass is on length-2 emissions
+}
+
+TEST(CrossCheck, PairHmmPrefersTrueHaplotype)
+{
+    Rng rng(227);
+    for (int iter = 0; iter < 10; ++iter) {
+        const std::string hap_a = randomDna(rng, 60);
+        std::string hap_b = hap_a;
+        // Introduce a small variant into hap_b.
+        hap_b[30] = hap_b[30] == 'A' ? 'C' : 'A';
+        const std::string read = hap_a.substr(20, 20);
+        EXPECT_GT(pairHmmForward(read, "", hap_a),
+                  pairHmmForward(read, "", hap_b));
+    }
+}
+
+TEST(CrossCheck, SuffixArrayAgreesWithStdSort)
+{
+    Rng rng(229);
+    const std::string text = randomDna(rng, 200);
+    std::vector<std::uint8_t> codes;
+    for (char c : text)
+        codes.push_back(baseToCode(c));
+    codes.push_back(4);
+
+    auto sa = buildSuffixArray(codes);
+    std::vector<std::uint32_t> expected(codes.size());
+    for (std::size_t i = 0; i < codes.size(); ++i)
+        expected[i] = std::uint32_t(i);
+    std::sort(expected.begin(), expected.end(),
+              [&codes](std::uint32_t a, std::uint32_t b) {
+                  return std::lexicographical_compare(
+                      codes.begin() + a, codes.end(),
+                      codes.begin() + b, codes.end());
+              });
+    EXPECT_EQ(sa, expected);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the reporting layer: table formatting/CSV, figure
+ * extractors over synthetic records, and the suite orchestration
+ * helpers the bench binaries rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hh"
+#include "core/report.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::core;
+
+TEST(Table, AlignsColumnsAndEmitsCsv)
+{
+    Table table({"Name", "Value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22222"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("-----"), std::string::npos);
+
+    EXPECT_EQ(table.toCsv(), "Name,Value\nalpha,1\nb,22222\n");
+}
+
+TEST(Table, RowArityIsChecked)
+{
+    Table table({"A", "B"});
+    EXPECT_THROW(table.addRow({"only-one"}), FatalError);
+    EXPECT_THROW(Table({}), FatalError);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::percent(0.1234), "12.3%");
+    EXPECT_EQ(Table::percent(1.0, 0), "100%");
+}
+
+RunRecord
+syntheticRecord()
+{
+    RunRecord record;
+    record.app = "X";
+    record.kernelCycles = 1000;
+    record.stats.insnByKind[std::size_t(sim::OpKind::IntAlu)] = 60;
+    record.stats.insnByKind[std::size_t(sim::OpKind::FpAlu)] = 20;
+    record.stats.insnByKind[std::size_t(sim::OpKind::Load)] = 20;
+    record.stats.memBySpace[std::size_t(sim::MemSpace::Shared)] = 30;
+    record.stats.memBySpace[std::size_t(sim::MemSpace::Global)] = 10;
+    record.stats.stalls.add(std::size_t(sim::StallReason::MemLatency),
+                            75);
+    record.stats.stalls.add(std::size_t(sim::StallReason::Idle), 25);
+    record.stats.warpOcc.add(31, 90);  // W32
+    record.stats.warpOcc.add(0, 10);   // W1
+    return record;
+}
+
+TEST(Extractors, FractionsComputedFromRecord)
+{
+    const RunRecord record = syntheticRecord();
+    EXPECT_DOUBLE_EQ(insnFraction(record, sim::OpKind::IntAlu), 0.6);
+    EXPECT_DOUBLE_EQ(insnFraction(record, sim::OpKind::FpAlu), 0.2);
+    EXPECT_DOUBLE_EQ(memFraction(record, sim::MemSpace::Shared), 0.75);
+    EXPECT_DOUBLE_EQ(
+        stallFraction(record, sim::StallReason::MemLatency), 0.75);
+    EXPECT_DOUBLE_EQ(occupancyFraction(record, 29, 32), 0.9);
+    EXPECT_DOUBLE_EQ(occupancyFraction(record, 1, 4), 0.1);
+}
+
+TEST(Extractors, SpeedupAndGeomean)
+{
+    RunRecord base = syntheticRecord();
+    RunRecord fast = syntheticRecord();
+    fast.kernelCycles = 500;
+    EXPECT_DOUBLE_EQ(speedupVs(base, fast), 2.0);
+    EXPECT_DOUBLE_EQ(geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_DOUBLE_EQ(geomean({1.0, 0.0}), 0.0);  // guards non-positive
+}
+
+TEST(Suite, LabelsIncludeCdpSuffix)
+{
+    RunRecord record = syntheticRecord();
+    EXPECT_EQ(record.label(), "X");
+    record.cdp = true;
+    EXPECT_EQ(record.label(), "X-CDP");
+}
+
+TEST(Suite, ScaleFromEnvParses)
+{
+    setenv("GGPU_SCALE", "tiny", 1);
+    EXPECT_EQ(scaleFromEnv(), kernels::InputScale::Tiny);
+    setenv("GGPU_SCALE", "medium", 1);
+    EXPECT_EQ(scaleFromEnv(), kernels::InputScale::Medium);
+    setenv("GGPU_SCALE", "bogus", 1);
+    EXPECT_THROW(scaleFromEnv(), FatalError);
+    unsetenv("GGPU_SCALE");
+    EXPECT_EQ(scaleFromEnv(), kernels::InputScale::Small);
+}
+
+} // namespace

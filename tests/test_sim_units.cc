@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Unit tests for the GPU-core building blocks: coalescer, trace
+ * compression, occupancy calculator, warp schedulers, configuration
+ * validation, and the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "common/log.hh"
+#include "common/stats.hh"
+#include "sim/coalescer.hh"
+#include "sim/occupancy.hh"
+#include "sim/scheduler.hh"
+#include "sim/trace.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::sim;
+
+// -------------------------------------------------------- coalescer
+
+TEST(Coalescer, UnitStrideWarpIsOneTransaction)
+{
+    Coalescer coal(128);
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane)
+        addrs[std::size_t(lane)] = 0x1000 + Addr(lane) * 4;
+    std::vector<Addr> out;
+    EXPECT_EQ(coal.coalesce(addrs, fullMask, 4, out), 1u);
+    EXPECT_EQ(out[0], 0x1000u);
+}
+
+TEST(Coalescer, StridedAccessSplitsPerLine)
+{
+    Coalescer coal(128);
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane)
+        addrs[std::size_t(lane)] = Addr(lane) * 128;  // line stride
+    std::vector<Addr> out;
+    EXPECT_EQ(coal.coalesce(addrs, fullMask, 4, out), 32u);
+}
+
+TEST(Coalescer, MaskedLanesDoNotContribute)
+{
+    Coalescer coal(128);
+    std::array<Addr, warpSize> addrs{};
+    for (int lane = 0; lane < warpSize; ++lane)
+        addrs[std::size_t(lane)] = Addr(lane) * 512;
+    std::vector<Addr> out;
+    EXPECT_EQ(coal.coalesce(addrs, 0x3, 4, out), 2u);
+}
+
+TEST(Coalescer, StraddlingAccessTouchesTwoLines)
+{
+    Coalescer coal(128);
+    std::array<Addr, warpSize> addrs{};
+    addrs[0] = 126;  // 8-byte access crosses the 128B boundary
+    std::vector<Addr> out;
+    EXPECT_EQ(coal.coalesce(addrs, 0x1, 8, out), 2u);
+    EXPECT_EQ(out[0], 0u);
+    EXPECT_EQ(out[1], 128u);
+}
+
+TEST(Coalescer, BroadcastIsOneTransaction)
+{
+    Coalescer coal(128);
+    std::array<Addr, warpSize> addrs{};
+    addrs.fill(0x4000);
+    std::vector<Addr> out;
+    EXPECT_EQ(coal.coalesce(addrs, fullMask, 4, out), 1u);
+}
+
+// ------------------------------------------------------------ trace
+
+TEST(Trace, BackToBackAluOpsMerge)
+{
+    WarpTrace trace;
+    TraceOp op;
+    op.kind = OpKind::IntAlu;
+    for (int i = 0; i < 10; ++i)
+        trace.append(op);
+    ASSERT_EQ(trace.ops.size(), 1u);
+    EXPECT_EQ(trace.ops[0].repeat, 10);
+}
+
+TEST(Trace, DifferentMasksDoNotMerge)
+{
+    WarpTrace trace;
+    TraceOp op;
+    op.kind = OpKind::IntAlu;
+    trace.append(op);
+    op.mask = 0xffff;
+    trace.append(op);
+    EXPECT_EQ(trace.ops.size(), 2u);
+}
+
+TEST(Trace, MemoryOpsNeverMerge)
+{
+    WarpTrace trace;
+    TraceOp op;
+    op.kind = OpKind::Load;
+    op.space = MemSpace::Shared;
+    trace.append(op);
+    trace.append(op);
+    EXPECT_EQ(trace.ops.size(), 2u);
+}
+
+// -------------------------------------------------------- occupancy
+
+LaunchSpec
+specWith(std::uint32_t threads, std::uint32_t regs, std::uint32_t smem)
+{
+    LaunchSpec spec;
+    spec.name = "probe";
+    spec.grid = {1, 1, 1};
+    spec.cta = {threads, 1, 1};
+    spec.res.regsPerThread = regs;
+    spec.res.smemPerCtaBytes = smem;
+    return spec;
+}
+
+TEST(Occupancy, ThreadLimited)
+{
+    GpuConfig cfg;
+    const Occupancy occ = computeOccupancy(cfg, specWith(256, 16, 0));
+    EXPECT_EQ(occ.ctasPerCore, 1536u / 256u);
+    EXPECT_EQ(occ.limiter, Occupancy::Limit::Threads);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    GpuConfig cfg;
+    // 128 threads x 128 regs = 16384 regs/CTA -> 4 CTAs in 64K regs.
+    const Occupancy occ = computeOccupancy(cfg, specWith(128, 128, 0));
+    EXPECT_EQ(occ.ctasPerCore, 4u);
+    EXPECT_EQ(occ.limiter, Occupancy::Limit::Registers);
+}
+
+TEST(Occupancy, SharedMemLimited)
+{
+    GpuConfig cfg;
+    // 16KB smem per CTA in a 100KB core -> 6 CTAs (the NW shape).
+    const Occupancy occ =
+        computeOccupancy(cfg, specWith(128, 28, 16 * 1024));
+    EXPECT_EQ(occ.ctasPerCore, 6u);
+    EXPECT_EQ(occ.limiter, Occupancy::Limit::SharedMem);
+}
+
+TEST(Occupancy, PairHmmShapeMatchesTableIII)
+{
+    GpuConfig cfg;
+    // PairHMM: 10KB smem -> 10 CTAs/core, as in Table III.
+    const Occupancy occ =
+        computeOccupancy(cfg, specWith(128, 48, 10 * 1024));
+    EXPECT_EQ(occ.ctasPerCore, 10u);
+}
+
+TEST(Occupancy, ImpossibleCtaIsFatal)
+{
+    GpuConfig cfg;
+    EXPECT_THROW(computeOccupancy(cfg, specWith(128, 28, 512 * 1024)),
+                 FatalError);
+    EXPECT_THROW(computeOccupancy(cfg, specWith(4096, 28, 0)),
+                 FatalError);
+}
+
+TEST(Occupancy, UtilizationFractionsBounded)
+{
+    GpuConfig cfg;
+    const Occupancy occ =
+        computeOccupancy(cfg, specWith(128, 64, 8 * 1024));
+    EXPECT_GT(occ.registerUtilization, 0.0);
+    EXPECT_LE(occ.registerUtilization, 1.0);
+    EXPECT_GT(occ.sharedMemUtilization, 0.0);
+    EXPECT_LE(occ.sharedMemUtilization, 1.0);
+}
+
+// -------------------------------------------------------- scheduler
+
+TEST(Scheduler, LrrRotatesFairly)
+{
+    WarpScheduler sched(WarpSchedPolicy::Lrr, 8);
+    std::vector<std::uint64_t> age(8, 0);
+    const std::uint64_t issuable = 0b10101010;
+    EXPECT_EQ(sched.pick(issuable, age), 1);
+    EXPECT_EQ(sched.pick(issuable, age), 3);
+    EXPECT_EQ(sched.pick(issuable, age), 5);
+    EXPECT_EQ(sched.pick(issuable, age), 7);
+    EXPECT_EQ(sched.pick(issuable, age), 1);  // wraps
+}
+
+TEST(Scheduler, GtoSticksToOneWarpUntilStall)
+{
+    WarpScheduler sched(WarpSchedPolicy::Gto, 8);
+    std::vector<std::uint64_t> age{5, 1, 3, 7, 0, 2, 4, 6};
+    // Oldest issuable is slot 4 (age 0); GTO should stick with it.
+    EXPECT_EQ(sched.pick(0xff, age), 4);
+    EXPECT_EQ(sched.pick(0xff, age), 4);
+    // Slot 4 stalls: fall back to the next oldest (slot 1, age 1).
+    EXPECT_EQ(sched.pick(0xff & ~(1u << 4), age), 1);
+}
+
+TEST(Scheduler, OldestAlwaysPicksMinimumAge)
+{
+    WarpScheduler sched(WarpSchedPolicy::Oldest, 8);
+    std::vector<std::uint64_t> age{5, 1, 3, 7, 0, 2, 4, 6};
+    EXPECT_EQ(sched.pick(0xff, age), 4);
+    EXPECT_EQ(sched.pick(0b11, age), 1);
+    EXPECT_EQ(sched.pick(0b1001, age), 0);
+}
+
+TEST(Scheduler, TwoLevelPromotesWhenActiveSetStalls)
+{
+    WarpScheduler sched(WarpSchedPolicy::TwoLevel, 16);
+    std::vector<std::uint64_t> age(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        age[i] = i;
+    // First pick promotes the oldest into the active set.
+    EXPECT_EQ(sched.pick(0xffff, age), 0);
+    // Slot 0 remains active: LRR within the active set returns it.
+    EXPECT_EQ(sched.pick(0x0001, age), 0);
+    // Slot 0 stalls; a new warp is promoted.
+    EXPECT_EQ(sched.pick(0xfffe, age), 1);
+}
+
+TEST(Scheduler, NoIssuableWarpsReturnsMinusOne)
+{
+    for (auto policy : {WarpSchedPolicy::Lrr, WarpSchedPolicy::Gto,
+                        WarpSchedPolicy::Oldest,
+                        WarpSchedPolicy::TwoLevel}) {
+        WarpScheduler sched(policy, 8);
+        std::vector<std::uint64_t> age(8, 0);
+        EXPECT_EQ(sched.pick(0, age), -1);
+    }
+}
+
+// ------------------------------------------------------- config/stats
+
+TEST(Config, ValidationCatchesBadGeometry)
+{
+    GpuConfig cfg;
+    cfg.lineBytes = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    GpuConfig cfg2;
+    cfg2.numCores = 0;
+    EXPECT_THROW(cfg2.validate(), FatalError);
+
+    GpuConfig cfg3;
+    cfg3.maxThreadsPerCore = 1000;  // not a warp multiple
+    EXPECT_THROW(cfg3.validate(), FatalError);
+}
+
+TEST(Config, DefaultsAreValid)
+{
+    SystemConfig cfg;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, ScaleCtaResourcesScalesTogether)
+{
+    GpuConfig cfg;
+    cfg.scaleCtaResources(0.5);
+    EXPECT_EQ(cfg.maxCtasPerCore, 16u);
+    EXPECT_EQ(cfg.maxThreadsPerCore, 768u);
+    EXPECT_EQ(cfg.registersPerCore, 32768u);
+    EXPECT_EQ(cfg.sharedMemPerCoreBytes, 51200u);
+    EXPECT_THROW(cfg.scaleCtaResources(0.0), FatalError);
+}
+
+TEST(Config, SweepListsMatchTableI)
+{
+    EXPECT_EQ(GpuConfig::ctaSweep().size(), 5u);
+    EXPECT_EQ(GpuConfig::cacheSweep().size(), 6u);
+    EXPECT_EQ(NocConfig::flitSweep().size(), 4u);
+}
+
+TEST(Stats, HistogramClampsAndMerges)
+{
+    Histogram hist(4);
+    hist.add(0);
+    hist.add(99, 3);  // clamped into the last bucket
+    EXPECT_EQ(hist.count(3), 3u);
+    EXPECT_EQ(hist.total(), 4u);
+    EXPECT_DOUBLE_EQ(hist.fraction(0), 0.25);
+
+    Histogram other(4);
+    other.add(1, 4);
+    hist.merge(other);
+    EXPECT_EQ(hist.total(), 8u);
+    Histogram bad(3);
+    EXPECT_THROW(hist.merge(bad), PanicError);
+}
+
+TEST(Stats, StatSetAccess)
+{
+    StatSet set;
+    set.set("ipc", 1.5);
+    set.add("ipc", 0.5);
+    EXPECT_DOUBLE_EQ(set.get("ipc"), 2.0);
+    EXPECT_DOUBLE_EQ(set.getOr("missing", 7.0), 7.0);
+    EXPECT_THROW(set.get("missing"), PanicError);
+}
+
+TEST(Stats, RatioHandlesZeroDenominator)
+{
+    EXPECT_DOUBLE_EQ(ratio(5, 0), 0.0);
+    EXPECT_DOUBLE_EQ(ratio(1, 2), 0.5);
+}
+
+} // namespace

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table III contract tests: every application's primary kernel must
+ * reproduce the paper's benchmark-property table — CTA dimensions,
+ * shared/constant-memory usage, and the CTAs-per-core occupancy the
+ * RTX 3070 configuration yields.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/suite.hh"
+#include "sim/occupancy.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+struct TableRow
+{
+    std::string app;
+    std::uint32_t ctaThreads;       //!< Table III CTA x-dim
+    bool usesShared;
+    std::uint32_t ctasPerCore;      //!< Expected occupancy
+};
+
+/**
+ * Expected values from Table III. SW is 24 rather than the paper's 30
+ * because 30 CTAs x 64 threads = 1920 exceeds the paper's own
+ * 1536-thread/core (bold) limit; 24 is the consistent value.
+ */
+const std::vector<TableRow> &
+expectedRows()
+{
+    static const std::vector<TableRow> rows{
+        {"SW", 64, false, 24},
+        {"NW", 128, true, 6},
+        {"STAR", 256, false, 4},
+        {"GG", 128, false, 12},
+        {"GL", 128, false, 12},
+        {"GKSW", 128, false, 12},
+        {"GSG", 128, false, 12},
+        {"CLUSTER", 128, true, 12},
+        {"PairHMM", 128, true, 10},
+        {"NvB", 256, false, 6},
+    };
+    return rows;
+}
+
+class Table3Test : public ::testing::TestWithParam<TableRow>
+{
+};
+
+TEST_P(Table3Test, PropertiesMatchPaper)
+{
+    const TableRow &row = GetParam();
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const core::RunRecord record = core::runApp(row.app, config);
+
+    const auto &spec = record.primarySpec;
+    EXPECT_EQ(spec.cta.x, row.ctaThreads) << row.app;
+    EXPECT_EQ(spec.res.usesShared(), row.usesShared) << row.app;
+    EXPECT_GT(spec.res.constBytes, 0u) << row.app;  // all use const
+
+    const sim::Occupancy occ =
+        sim::computeOccupancy(GpuConfig{}, spec);
+    EXPECT_EQ(occ.ctasPerCore, row.ctasPerCore) << row.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTable, Table3Test, ::testing::ValuesIn(expectedRows()),
+    [](const ::testing::TestParamInfo<TableRow> &info) {
+        return info.param.app;
+    });
+
+} // namespace
