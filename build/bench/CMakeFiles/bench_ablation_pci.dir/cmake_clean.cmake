@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pci.dir/bench_ablation_pci.cc.o"
+  "CMakeFiles/bench_ablation_pci.dir/bench_ablation_pci.cc.o.d"
+  "bench_ablation_pci"
+  "bench_ablation_pci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_cdp.dir/bench_fig03_cdp.cc.o"
+  "CMakeFiles/bench_fig03_cdp.dir/bench_fig03_cdp.cc.o.d"
+  "bench_fig03_cdp"
+  "bench_fig03_cdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_cdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

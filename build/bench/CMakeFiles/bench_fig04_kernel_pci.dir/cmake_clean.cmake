@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_kernel_pci.dir/bench_fig04_kernel_pci.cc.o"
+  "CMakeFiles/bench_fig04_kernel_pci.dir/bench_fig04_kernel_pci.cc.o.d"
+  "bench_fig04_kernel_pci"
+  "bench_fig04_kernel_pci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_kernel_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

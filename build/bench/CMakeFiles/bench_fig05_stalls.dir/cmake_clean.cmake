@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_stalls.dir/bench_fig05_stalls.cc.o"
+  "CMakeFiles/bench_fig05_stalls.dir/bench_fig05_stalls.cc.o.d"
+  "bench_fig05_stalls"
+  "bench_fig05_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_sram.cc" "bench/CMakeFiles/bench_fig06_sram.dir/bench_fig06_sram.cc.o" "gcc" "bench/CMakeFiles/bench_fig06_sram.dir/bench_fig06_sram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ggpu_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

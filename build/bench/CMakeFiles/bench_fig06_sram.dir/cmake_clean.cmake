@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_sram.dir/bench_fig06_sram.cc.o"
+  "CMakeFiles/bench_fig06_sram.dir/bench_fig06_sram.cc.o.d"
+  "bench_fig06_sram"
+  "bench_fig06_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

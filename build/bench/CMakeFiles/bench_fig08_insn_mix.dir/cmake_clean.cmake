@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_insn_mix.dir/bench_fig08_insn_mix.cc.o"
+  "CMakeFiles/bench_fig08_insn_mix.dir/bench_fig08_insn_mix.cc.o.d"
+  "bench_fig08_insn_mix"
+  "bench_fig08_insn_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_insn_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

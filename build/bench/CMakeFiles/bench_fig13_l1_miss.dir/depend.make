@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_l1_miss.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_l2_miss.dir/bench_fig14_l2_miss.cc.o"
+  "CMakeFiles/bench_fig14_l2_miss.dir/bench_fig14_l2_miss.cc.o.d"
+  "bench_fig14_l2_miss"
+  "bench_fig14_l2_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_l2_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

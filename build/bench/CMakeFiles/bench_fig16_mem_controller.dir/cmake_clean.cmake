@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_mem_controller.dir/bench_fig16_mem_controller.cc.o"
+  "CMakeFiles/bench_fig16_mem_controller.dir/bench_fig16_mem_controller.cc.o.d"
+  "bench_fig16_mem_controller"
+  "bench_fig16_mem_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_mem_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

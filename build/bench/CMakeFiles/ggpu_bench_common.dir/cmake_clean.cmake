@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_bench_common.dir/common.cc.o"
+  "CMakeFiles/ggpu_bench_common.dir/common.cc.o.d"
+  "libggpu_bench_common.a"
+  "libggpu_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

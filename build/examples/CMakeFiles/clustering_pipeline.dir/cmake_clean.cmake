@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_pipeline.dir/clustering_pipeline.cpp.o"
+  "CMakeFiles/clustering_pipeline.dir/clustering_pipeline.cpp.o.d"
+  "clustering_pipeline"
+  "clustering_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

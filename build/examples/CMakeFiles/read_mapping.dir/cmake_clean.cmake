@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/read_mapping.dir/read_mapping.cpp.o"
+  "CMakeFiles/read_mapping.dir/read_mapping.cpp.o.d"
+  "read_mapping"
+  "read_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/read_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_common.dir/common/config.cc.o"
+  "CMakeFiles/ggpu_common.dir/common/config.cc.o.d"
+  "CMakeFiles/ggpu_common.dir/common/log.cc.o"
+  "CMakeFiles/ggpu_common.dir/common/log.cc.o.d"
+  "CMakeFiles/ggpu_common.dir/common/stats.cc.o"
+  "CMakeFiles/ggpu_common.dir/common/stats.cc.o.d"
+  "libggpu_common.a"
+  "libggpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

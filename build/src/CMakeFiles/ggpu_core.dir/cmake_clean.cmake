@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_core.dir/core/report.cc.o"
+  "CMakeFiles/ggpu_core.dir/core/report.cc.o.d"
+  "CMakeFiles/ggpu_core.dir/core/suite.cc.o"
+  "CMakeFiles/ggpu_core.dir/core/suite.cc.o.d"
+  "libggpu_core.a"
+  "libggpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/genomics/align/banded.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/banded.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/banded.cc.o.d"
+  "/root/repo/src/genomics/align/edit_distance.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/edit_distance.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/edit_distance.cc.o.d"
+  "/root/repo/src/genomics/align/hirschberg.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/hirschberg.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/hirschberg.cc.o.d"
+  "/root/repo/src/genomics/align/nw.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/nw.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/nw.cc.o.d"
+  "/root/repo/src/genomics/align/sw.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/sw.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/align/sw.cc.o.d"
+  "/root/repo/src/genomics/cluster/greedy_cluster.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/cluster/greedy_cluster.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/cluster/greedy_cluster.cc.o.d"
+  "/root/repo/src/genomics/datagen.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/datagen.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/datagen.cc.o.d"
+  "/root/repo/src/genomics/fasta.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/fasta.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/fasta.cc.o.d"
+  "/root/repo/src/genomics/hmm/pairhmm.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/hmm/pairhmm.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/hmm/pairhmm.cc.o.d"
+  "/root/repo/src/genomics/index/fm_index.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/index/fm_index.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/index/fm_index.cc.o.d"
+  "/root/repo/src/genomics/map/read_mapper.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/map/read_mapper.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/map/read_mapper.cc.o.d"
+  "/root/repo/src/genomics/msa/center_star.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/msa/center_star.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/msa/center_star.cc.o.d"
+  "/root/repo/src/genomics/sequence.cc" "src/CMakeFiles/ggpu_genomics.dir/genomics/sequence.cc.o" "gcc" "src/CMakeFiles/ggpu_genomics.dir/genomics/sequence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ggpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/banded.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/banded.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/edit_distance.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/edit_distance.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/hirschberg.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/hirschberg.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/nw.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/nw.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/sw.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/align/sw.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/cluster/greedy_cluster.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/cluster/greedy_cluster.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/datagen.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/datagen.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/fasta.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/fasta.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/hmm/pairhmm.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/hmm/pairhmm.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/index/fm_index.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/index/fm_index.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/map/read_mapper.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/map/read_mapper.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/msa/center_star.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/msa/center_star.cc.o.d"
+  "CMakeFiles/ggpu_genomics.dir/genomics/sequence.cc.o"
+  "CMakeFiles/ggpu_genomics.dir/genomics/sequence.cc.o.d"
+  "libggpu_genomics.a"
+  "libggpu_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/cluster_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/cluster_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/cluster_kernel.cc.o.d"
+  "/root/repo/src/kernels/gasal_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/gasal_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/gasal_kernel.cc.o.d"
+  "/root/repo/src/kernels/nvb_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/nvb_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/nvb_kernel.cc.o.d"
+  "/root/repo/src/kernels/nw_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/nw_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/nw_kernel.cc.o.d"
+  "/root/repo/src/kernels/pairhmm_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/pairhmm_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/pairhmm_kernel.cc.o.d"
+  "/root/repo/src/kernels/star_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/star_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/star_kernel.cc.o.d"
+  "/root/repo/src/kernels/sw_kernel.cc" "src/CMakeFiles/ggpu_kernels.dir/kernels/sw_kernel.cc.o" "gcc" "src/CMakeFiles/ggpu_kernels.dir/kernels/sw_kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ggpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_kernels.dir/kernels/cluster_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/cluster_kernel.cc.o.d"
+  "CMakeFiles/ggpu_kernels.dir/kernels/gasal_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/gasal_kernel.cc.o.d"
+  "CMakeFiles/ggpu_kernels.dir/kernels/nvb_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/nvb_kernel.cc.o.d"
+  "CMakeFiles/ggpu_kernels.dir/kernels/nw_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/nw_kernel.cc.o.d"
+  "CMakeFiles/ggpu_kernels.dir/kernels/pairhmm_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/pairhmm_kernel.cc.o.d"
+  "CMakeFiles/ggpu_kernels.dir/kernels/star_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/star_kernel.cc.o.d"
+  "CMakeFiles/ggpu_kernels.dir/kernels/sw_kernel.cc.o"
+  "CMakeFiles/ggpu_kernels.dir/kernels/sw_kernel.cc.o.d"
+  "libggpu_kernels.a"
+  "libggpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

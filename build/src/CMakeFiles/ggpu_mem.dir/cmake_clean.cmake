@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_mem.dir/mem/cache.cc.o"
+  "CMakeFiles/ggpu_mem.dir/mem/cache.cc.o.d"
+  "CMakeFiles/ggpu_mem.dir/mem/dram.cc.o"
+  "CMakeFiles/ggpu_mem.dir/mem/dram.cc.o.d"
+  "CMakeFiles/ggpu_mem.dir/mem/pci.cc.o"
+  "CMakeFiles/ggpu_mem.dir/mem/pci.cc.o.d"
+  "libggpu_mem.a"
+  "libggpu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

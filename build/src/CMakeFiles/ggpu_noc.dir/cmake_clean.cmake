@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_noc.dir/noc/network.cc.o"
+  "CMakeFiles/ggpu_noc.dir/noc/network.cc.o.d"
+  "CMakeFiles/ggpu_noc.dir/noc/topology.cc.o"
+  "CMakeFiles/ggpu_noc.dir/noc/topology.cc.o.d"
+  "libggpu_noc.a"
+  "libggpu_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

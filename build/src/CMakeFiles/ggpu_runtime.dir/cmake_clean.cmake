@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_runtime.dir/runtime/device.cc.o"
+  "CMakeFiles/ggpu_runtime.dir/runtime/device.cc.o.d"
+  "CMakeFiles/ggpu_runtime.dir/runtime/profiler.cc.o"
+  "CMakeFiles/ggpu_runtime.dir/runtime/profiler.cc.o.d"
+  "libggpu_runtime.a"
+  "libggpu_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

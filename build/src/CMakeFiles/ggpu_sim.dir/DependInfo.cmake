@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/coalescer.cc" "src/CMakeFiles/ggpu_sim.dir/sim/coalescer.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/coalescer.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/CMakeFiles/ggpu_sim.dir/sim/gpu.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/gpu.cc.o.d"
+  "/root/repo/src/sim/occupancy.cc" "src/CMakeFiles/ggpu_sim.dir/sim/occupancy.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/occupancy.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/CMakeFiles/ggpu_sim.dir/sim/scheduler.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/scheduler.cc.o.d"
+  "/root/repo/src/sim/sm_core.cc" "src/CMakeFiles/ggpu_sim.dir/sim/sm_core.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/sm_core.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/ggpu_sim.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/warp_ctx.cc" "src/CMakeFiles/ggpu_sim.dir/sim/warp_ctx.cc.o" "gcc" "src/CMakeFiles/ggpu_sim.dir/sim/warp_ctx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ggpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

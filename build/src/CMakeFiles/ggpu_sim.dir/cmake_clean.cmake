@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_sim.dir/sim/coalescer.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/coalescer.cc.o.d"
+  "CMakeFiles/ggpu_sim.dir/sim/gpu.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/gpu.cc.o.d"
+  "CMakeFiles/ggpu_sim.dir/sim/occupancy.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/occupancy.cc.o.d"
+  "CMakeFiles/ggpu_sim.dir/sim/scheduler.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/scheduler.cc.o.d"
+  "CMakeFiles/ggpu_sim.dir/sim/sm_core.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/sm_core.cc.o.d"
+  "CMakeFiles/ggpu_sim.dir/sim/trace.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/trace.cc.o.d"
+  "CMakeFiles/ggpu_sim.dir/sim/warp_ctx.cc.o"
+  "CMakeFiles/ggpu_sim.dir/sim/warp_ctx.cc.o.d"
+  "libggpu_sim.a"
+  "libggpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

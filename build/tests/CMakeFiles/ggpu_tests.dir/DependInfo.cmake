@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_align_extensions.cc" "tests/CMakeFiles/ggpu_tests.dir/test_align_extensions.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_align_extensions.cc.o.d"
+  "/root/repo/tests/test_apps.cc" "tests/CMakeFiles/ggpu_tests.dir/test_apps.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_apps.cc.o.d"
+  "/root/repo/tests/test_emission.cc" "tests/CMakeFiles/ggpu_tests.dir/test_emission.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_emission.cc.o.d"
+  "/root/repo/tests/test_genomics_align.cc" "tests/CMakeFiles/ggpu_tests.dir/test_genomics_align.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_genomics_align.cc.o.d"
+  "/root/repo/tests/test_genomics_misc.cc" "tests/CMakeFiles/ggpu_tests.dir/test_genomics_misc.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_genomics_misc.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/ggpu_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_noc.cc" "tests/CMakeFiles/ggpu_tests.dir/test_noc.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_noc.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/ggpu_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/ggpu_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/ggpu_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_sim_units.cc" "tests/CMakeFiles/ggpu_tests.dir/test_sim_units.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_sim_units.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/ggpu_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_table3_contract.cc" "tests/CMakeFiles/ggpu_tests.dir/test_table3_contract.cc.o" "gcc" "tests/CMakeFiles/ggpu_tests.dir/test_table3_contract.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ggpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_genomics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ggpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

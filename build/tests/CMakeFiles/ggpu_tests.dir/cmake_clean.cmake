@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ggpu_tests.dir/test_align_extensions.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_align_extensions.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_apps.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_apps.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_emission.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_emission.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_genomics_align.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_genomics_align.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_genomics_misc.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_genomics_misc.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_mem.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_mem.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_noc.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_noc.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_properties.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_properties.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_report.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_report.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_runtime.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_runtime.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_sim_units.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_sim_units.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_smoke.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_smoke.cc.o.d"
+  "CMakeFiles/ggpu_tests.dir/test_table3_contract.cc.o"
+  "CMakeFiles/ggpu_tests.dir/test_table3_contract.cc.o.d"
+  "ggpu_tests"
+  "ggpu_tests.pdb"
+  "ggpu_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ggpu_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
