@@ -13,6 +13,7 @@ baseConfig()
 {
     core::RunConfig config;
     config.options.scale = core::scaleFromEnv();
+    config.system.sim.threads = core::threadsFromEnv();
     return config;
 }
 

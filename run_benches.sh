@@ -1,7 +1,36 @@
 #!/bin/sh
 # Run every benchmark binary, teeing per-figure output.
+#
+# Usage: run_benches.sh [--threads N] [output-file]
+#
+#   --threads N   tick SM cores on N host threads (0 = all hardware
+#                 threads). Simulated results are unchanged — see
+#                 docs/PARALLEL_ENGINE.md. When N > 1 the script also
+#                 times bench_fig05_stalls serially vs threaded and
+#                 prints the wall-clock speedup.
 set -u
-out="${1:-/root/repo/bench_output.txt}"
+
+threads=1
+out=/root/repo/bench_output.txt
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --threads)
+            [ $# -ge 2 ] || { echo "--threads needs a value" >&2; exit 2; }
+            threads="$2"
+            shift 2
+            ;;
+        --threads=*)
+            threads="${1#--threads=}"
+            shift
+            ;;
+        *)
+            out="$1"
+            shift
+            ;;
+    esac
+done
+
+export GGPU_THREADS="$threads"
 : > "$out"
 for b in build/bench/bench_*; do
     [ -x "$b" ] || continue
@@ -9,4 +38,21 @@ for b in build/bench/bench_*; do
     "$b" --benchmark_min_warmup_time=0 >> "$out" 2>&1
     echo >> "$out"
 done
+
+# Wall-clock sanity check: the same workload serially vs threaded.
+# Cycle counts are identical by construction; only the wall clock moves.
+if [ "$threads" != 1 ] && [ -x build/bench/bench_fig05_stalls ]; then
+    t0=$(date +%s%N)
+    GGPU_THREADS=1 build/bench/bench_fig05_stalls \
+        --benchmark_min_warmup_time=0 > /dev/null 2>&1
+    t1=$(date +%s%N)
+    GGPU_THREADS="$threads" build/bench/bench_fig05_stalls \
+        --benchmark_min_warmup_time=0 > /dev/null 2>&1
+    t2=$(date +%s%N)
+    awk -v s=$((t1 - t0)) -v p=$((t2 - t1)) -v n="$threads" 'BEGIN {
+        printf "bench_fig05_stalls: serial %.2fs, %s threads %.2fs, speedup %.2fx\n",
+               s / 1e9, n, p / 1e9, (p > 0) ? s / p : 0
+    }' | tee -a "$out"
+fi
+
 echo "ALL_BENCHES_DONE" >> "$out"

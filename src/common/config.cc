@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <thread>
 
 #include "common/log.hh"
 
@@ -117,11 +118,29 @@ NocConfig::flitSweep()
     return values;
 }
 
+int
+SimConfig::resolvedThreads() const
+{
+    if (threads != 0)
+        return threads;
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : int(hc);
+}
+
+void
+SimConfig::validate() const
+{
+    if (threads < 0 || threads > 1024)
+        fatal("SimConfig: threads must be in [0, 1024] (0 = hardware "
+              "concurrency), got ", threads);
+}
+
 void
 SystemConfig::validate() const
 {
     gpu.validate();
     noc.validate();
+    sim.validate();
     if (pci.bandwidthGBs <= 0.0 || pci.latencyUs < 0.0)
         fatal("PciConfig: invalid bandwidth/latency");
 }

@@ -138,12 +138,31 @@ struct PciConfig
     double latencyUs = 8.0;      //!< Per-transaction fixed overhead
 };
 
+/**
+ * Simulation-engine execution parameters. These control how the host
+ * runs the timing model and never change simulated results: the
+ * parallel engine is bit-deterministic for any thread count (see
+ * docs/PARALLEL_ENGINE.md).
+ */
+struct SimConfig
+{
+    /** Worker lanes ticking SM cores each cycle: 1 = serial (default),
+     *  0 = one lane per hardware thread, N = exactly N lanes. */
+    int threads = 1;
+
+    /** The effective lane count (resolves 0 to hardware concurrency). */
+    int resolvedThreads() const;
+
+    void validate() const;
+};
+
 /** Full simulated-system configuration. */
 struct SystemConfig
 {
     GpuConfig gpu;
     NocConfig noc;
     PciConfig pci;
+    SimConfig sim;
 
     void validate() const;
 };

@@ -53,6 +53,9 @@ class Histogram
     /** Merge another histogram of the same shape into this one. */
     void merge(const Histogram &other);
 
+    /** Exact bucket-wise equality (differential determinism tests). */
+    bool operator==(const Histogram &other) const = default;
+
   private:
     std::vector<std::uint64_t> counts_;
 };

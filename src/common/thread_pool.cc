@@ -1,0 +1,170 @@
+#include "common/thread_pool.hh"
+
+#include "common/log.hh"
+
+namespace ggpu
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Spin budget before a waiter yields the CPU, and yield budget before a
+// worker falls back to the condition variable. The sim dispatches one
+// job per cycle, so the inter-job gap is usually far shorter than the
+// spin window; the sleep path only triggers between kernel launches and
+// on oversubscribed machines.
+constexpr int spinIterations = 256;
+constexpr int yieldIterations = 64;
+
+} // namespace
+
+int
+ThreadPool::hardwareLanes()
+{
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : int(hc);
+}
+
+ThreadPool::ThreadPool(int lanes)
+{
+    if (lanes == 0)
+        lanes = hardwareLanes();
+    if (lanes < 0)
+        fatal("ThreadPool: lane count must be >= 0, got ", lanes);
+    workers_.reserve(std::size_t(lanes - 1));
+    for (int i = 0; i < lanes - 1; ++i) {
+        // Worker i always runs chunk i + 1; the caller runs chunk 0.
+        workers_.emplace_back(
+            [this, i] { workerLoop(std::size_t(i) + 1); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    stop_.store(true, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    wakeCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::runChunk(std::size_t chunk)
+{
+    // Contiguous block partition: depends only on (jobSize_, lanes), so
+    // the index->lane mapping is stable for a given configuration.
+    const std::size_t lane_count = workers_.size() + 1;
+    const std::size_t begin = jobSize_ * chunk / lane_count;
+    const std::size_t end = jobSize_ * (chunk + 1) / lane_count;
+    if (begin >= end)
+        return;
+    try {
+        (*body_)(begin, end);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(excMutex_);
+        if (!firstExc_)
+            firstExc_ = std::current_exception();
+    }
+}
+
+void
+ThreadPool::workerLoop(std::size_t chunk)
+{
+    // Baseline is the construction-time epoch (0), NOT a fresh load: a
+    // worker whose thread starts after the owner already dispatched a
+    // job must still see that epoch as new, or the barrier never fills.
+    // Jobs are synchronous, so the epoch is never more than one ahead.
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Wait for the next epoch: spin, yield, then sleep.
+        int spins = 0;
+        int yields = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen) {
+            if (spins < spinIterations) {
+                ++spins;
+                cpuRelax();
+                continue;
+            }
+            if (yields < yieldIterations) {
+                ++yields;
+                std::this_thread::yield();
+                continue;
+            }
+            std::unique_lock<std::mutex> lock(wakeMutex_);
+            ++sleepers_;
+            wakeCv_.wait(lock, [&] {
+                return epoch_.load(std::memory_order_acquire) != seen;
+            });
+            --sleepers_;
+        }
+        seen = epoch_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        runChunk(chunk);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n, const RangeFn &body)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty()) {
+        body(0, n);
+        return;
+    }
+
+    body_ = &body;
+    jobSize_ = n;
+    done_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(wakeMutex_);
+        epoch_.fetch_add(1, std::memory_order_release);
+        if (sleepers_ == 0) {
+            // Every worker is inside its spin/yield window; skip the
+            // notification syscall on the per-cycle fast path.
+        } else {
+            wakeCv_.notify_all();
+        }
+    }
+
+    runChunk(0);
+
+    int spins = 0;
+    while (done_.load(std::memory_order_acquire) != workers_.size()) {
+        if (spins < spinIterations) {
+            ++spins;
+            cpuRelax();
+        } else {
+            std::this_thread::yield();
+        }
+    }
+
+    body_ = nullptr;
+    jobSize_ = 0;
+    if (firstExc_) {
+        std::exception_ptr exc;
+        {
+            std::lock_guard<std::mutex> lock(excMutex_);
+            exc = firstExc_;
+            firstExc_ = nullptr;
+        }
+        std::rethrow_exception(exc);
+    }
+}
+
+} // namespace ggpu

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reusable barrier-phased worker pool for the deterministic parallel
+ * simulation engine. One pool is created per Gpu and re-dispatched every
+ * simulated cycle, so the dispatch/join path must cost well under a
+ * microsecond: workers spin briefly on an epoch counter before falling
+ * back to a condition variable, and the caller participates as lane 0.
+ */
+
+#ifndef GGPU_COMMON_THREAD_POOL_HH
+#define GGPU_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ggpu
+{
+
+/**
+ * Fixed-size pool executing fork/join parallel-for jobs.
+ *
+ * parallelFor(n, body) splits [0, n) into one contiguous chunk per lane
+ * (workers plus the calling thread) and returns once every chunk has
+ * completed, rethrowing the first exception any chunk raised. The chunk
+ * partition depends only on n and the lane count, never on scheduling,
+ * so callers that keep per-index state disjoint get deterministic
+ * results for any lane count.
+ *
+ * The pool is reusable across an arbitrary number of jobs (the sim
+ * dispatches one per cycle). parallelFor must only be called from the
+ * thread that owns the pool; jobs never overlap.
+ */
+class ThreadPool
+{
+  public:
+    /** body(begin, end) processes the half-open index range [begin, end). */
+    using RangeFn = std::function<void(std::size_t, std::size_t)>;
+
+    /** @param lanes Total parallel lanes including the caller (>= 1);
+     *               0 selects one lane per hardware thread. */
+    explicit ThreadPool(int lanes);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total lanes: worker threads + the calling thread. */
+    int lanes() const { return int(workers_.size()) + 1; }
+
+    /** Run @p body over [0, n); synchronous, rethrows chunk exceptions. */
+    void parallelFor(std::size_t n, const RangeFn &body);
+
+    /** Hardware thread count (>= 1 even when the OS reports unknown). */
+    static int hardwareLanes();
+
+  private:
+    void workerLoop(std::size_t chunk);
+    void runChunk(std::size_t chunk);
+
+    // Job state: written by the caller before the epoch bump (release),
+    // read by workers after observing the new epoch (acquire).
+    const RangeFn *body_ = nullptr;
+    std::size_t jobSize_ = 0;
+
+    std::atomic<std::uint64_t> epoch_{0};
+    std::atomic<std::size_t> done_{0};
+    std::atomic<bool> stop_{false};
+
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+    std::size_t sleepers_ = 0;  //!< Guarded by wakeMutex_
+
+    std::mutex excMutex_;
+    std::exception_ptr firstExc_;  //!< Guarded by excMutex_
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace ggpu
+
+#endif // GGPU_COMMON_THREAD_POOL_HH

@@ -89,6 +89,20 @@ runSuite(const RunConfig &config, bool include_cdp)
     return records;
 }
 
+int
+threadsFromEnv()
+{
+    const char *env = std::getenv("GGPU_THREADS");
+    if (!env)
+        return 1;
+    char *end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (env == end || *end != '\0' || value < 0 || value > 1024)
+        fatal("GGPU_THREADS must be an integer in [0, 1024] "
+              "(0 = hardware concurrency), got '", env, "'");
+    return int(value);
+}
+
 kernels::InputScale
 scaleFromEnv()
 {

@@ -72,6 +72,13 @@ std::vector<RunRecord> runSuite(const RunConfig &config,
 /** The scale tier named by the GGPU_SCALE env var (default Small). */
 kernels::InputScale scaleFromEnv();
 
+/**
+ * Simulation-engine lane count named by the GGPU_THREADS env var
+ * (default 1 = serial; 0 = one lane per hardware thread). Feeds
+ * SystemConfig::sim.threads; never changes simulated results.
+ */
+int threadsFromEnv();
+
 } // namespace ggpu::core
 
 #endif // GGPU_CORE_SUITE_HH

@@ -67,6 +67,12 @@ class DramChannel
     /** True when no request is queued or in flight. */
     bool idle() const { return queue_.empty() && inFlight_.empty(); }
 
+    /** Requests waiting in the scheduler queue (deadlock forensics). */
+    std::size_t queueDepth() const { return queue_.size(); }
+
+    /** Issued requests whose data transfer has not completed yet. */
+    std::size_t inFlightCount() const { return inFlight_.size(); }
+
     /**
      * Earliest future cycle (> @p now) at which this channel could make
      * progress (issue a queued request or complete a transfer); ~0 when

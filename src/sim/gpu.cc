@@ -1,6 +1,7 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/log.hh"
 #include "sim/occupancy.hh"
@@ -68,6 +69,12 @@ Gpu::Gpu(const SystemConfig &cfg)
     partitions_.reserve(std::size_t(cfg_.gpu.numMemPartitions));
     for (int i = 0; i < cfg_.gpu.numMemPartitions; ++i)
         partitions_.push_back(std::make_unique<Partition>(cfg_.gpu, i));
+
+    outboxes_ = std::vector<SmOutbox>(sms_.size());
+    smIssued_.assign(sms_.size(), 0);
+    const int lanes = cfg_.sim.resolvedThreads();
+    if (lanes > 1)
+        pool_ = std::make_unique<ThreadPool>(lanes);
 }
 
 Gpu::~Gpu() = default;
@@ -105,7 +112,7 @@ Gpu::schedule(Event event)
 }
 
 void
-Gpu::sendReadRequest(int core, Addr line, Cycles now)
+Gpu::applyRead(int core, Addr line, Cycles now)
 {
     const int partition = partitionOf(line);
     const Cycles arrive =
@@ -115,13 +122,69 @@ Gpu::sendReadRequest(int core, Addr line, Cycles now)
 }
 
 void
-Gpu::sendWriteRequest(int core, Addr line, Cycles now)
+Gpu::applyWrite(int core, Addr line, Cycles now)
 {
     const int partition = partitionOf(line);
     const Cycles arrive = noc_.send(core, nodeOfPartition(partition),
                                     cfg_.gpu.lineBytes, now);
     schedule({arrive, 0, Event::Kind::ReqAtPartition, partition, core,
               line, true});
+}
+
+void
+Gpu::sendReadRequest(int core, Addr line, Cycles now)
+{
+    if (inSmPhase_) {
+        SmOp op;
+        op.kind = SmOp::Kind::Read;
+        op.line = line;
+        outboxes_[std::size_t(core)].ops.push_back(op);
+        return;
+    }
+    applyRead(core, line, now);
+}
+
+void
+Gpu::sendWriteRequest(int core, Addr line, Cycles now)
+{
+    if (inSmPhase_) {
+        SmOp op;
+        op.kind = SmOp::Kind::Write;
+        op.line = line;
+        outboxes_[std::size_t(core)].ops.push_back(op);
+        return;
+    }
+    applyWrite(core, line, now);
+}
+
+void
+Gpu::postChildLaunch(int core, ChildGrid &child, int warp_slot,
+                     int cta_slot, Cycles now)
+{
+    if (inSmPhase_) {
+        SmOp op;
+        op.kind = SmOp::Kind::ChildLaunch;
+        op.child = &child;
+        op.warpSlot = warp_slot;
+        op.ctaSlot = cta_slot;
+        outboxes_[std::size_t(core)].ops.push_back(op);
+        return;
+    }
+    GridState *grid = enqueueChildGrid(child, core, cta_slot, now);
+    sms_[std::size_t(core)]->onChildGridEnqueued(warp_slot, grid);
+}
+
+void
+Gpu::postCtaComplete(int core, GridState &grid, Cycles now)
+{
+    if (inSmPhase_) {
+        SmOp op;
+        op.kind = SmOp::Kind::CtaComplete;
+        op.grid = &grid;
+        outboxes_[std::size_t(core)].ops.push_back(op);
+        return;
+    }
+    onGridCtaComplete(grid, now);
 }
 
 GridState *
@@ -375,6 +438,46 @@ Gpu::drained() const
 }
 
 void
+Gpu::tickSmRange(std::size_t begin, std::size_t end)
+{
+    for (std::size_t i = begin; i < end; ++i)
+        smIssued_[i] = sms_[i]->tick(now_) ? 1 : 0;
+}
+
+void
+Gpu::drainSmOutboxes()
+{
+    // SM-index order, issue order within an SM: the exact order a
+    // serial cycle loop would have touched the NoC, the grid queue,
+    // and the event calendar. Cascades triggered here (a completing
+    // child grid freeing its parent CTA, which may complete another
+    // grid) run inline because inSmPhase_ is already false.
+    for (std::size_t core = 0; core < outboxes_.size(); ++core) {
+        auto &ops = outboxes_[core].ops;
+        for (const SmOp &op : ops) {
+            switch (op.kind) {
+              case SmOp::Kind::Read:
+                applyRead(int(core), op.line, now_);
+                break;
+              case SmOp::Kind::Write:
+                applyWrite(int(core), op.line, now_);
+                break;
+              case SmOp::Kind::ChildLaunch: {
+                GridState *grid = enqueueChildGrid(
+                    *op.child, int(core), op.ctaSlot, now_);
+                sms_[core]->onChildGridEnqueued(op.warpSlot, grid);
+                break;
+              }
+              case SmOp::Kind::CtaComplete:
+                onGridCtaComplete(*op.grid, now_);
+                break;
+            }
+        }
+        ops.clear();
+    }
+}
+
+void
 Gpu::runUntilDrained()
 {
     std::uint64_t idle_iterations = 0;
@@ -384,9 +487,31 @@ Gpu::runUntilDrained()
         progress |= tickDram();
         progress |= dispatchCtas();
 
+        // SM phase: cores only read shared state frozen for the cycle
+        // and write their own outboxes, so they may tick concurrently.
+        inSmPhase_ = true;
+        try {
+            if (pool_) {
+                pool_->parallelFor(
+                    sms_.size(), [this](std::size_t begin,
+                                        std::size_t end) {
+                        tickSmRange(begin, end);
+                    });
+            } else {
+                tickSmRange(0, sms_.size());
+            }
+        } catch (...) {
+            inSmPhase_ = false;
+            throw;
+        }
+        inSmPhase_ = false;
+
+        // Cycle barrier: replay buffered SM->device traffic serially.
+        drainSmOutboxes();
+
         bool any_issue = false;
-        for (auto &sm : sms_)
-            any_issue |= sm->tick(now_);
+        for (std::uint8_t issued : smIssued_)
+            any_issue |= issued != 0;
         progress |= any_issue;
 
         if (progress) {
@@ -399,8 +524,8 @@ Gpu::runUntilDrained()
         if (wake == ~Cycles(0)) {
             if (drained())
                 break;
-            panic("Gpu: deadlock — no wakeup but work remains (cycle ",
-                  now_, ", liveGrids ", liveGrids_, ")");
+            panic("Gpu: deadlock — no wakeup but work remains\n",
+                  pendingWorkReport());
         }
         const Cycles target = std::max(wake, now_ + 1);
         const Cycles skip = target - (now_ + 1);
@@ -410,8 +535,46 @@ Gpu::runUntilDrained()
         }
         now_ = target;
         if (++idle_iterations > 100000000ull)
-            panic("Gpu: livelock detected at cycle ", now_);
+            panic("Gpu: livelock — 100000000 wakeups without progress\n",
+                  pendingWorkReport());
     }
+}
+
+std::string
+Gpu::pendingWorkReport() const
+{
+    std::ostringstream os;
+    os << "  cycle " << now_ << ": live grids " << liveGrids_
+       << ", queued events " << events_.size() << ", dispatch queue "
+       << dispatchQueue_.size() << " grid(s)\n";
+    for (const GridState *grid : dispatchQueue_) {
+        os << "    grid '" << grid->spec.name << "': dispatched "
+           << grid->nextCta << "/" << grid->totalCtas << " CTAs, "
+           << grid->remaining << " remaining, readyAt " << grid->readyAt;
+        if (grid->totalCtas == 0)
+            os << " [zero-CTA grid: will never complete]";
+        os << "\n";
+    }
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+        const Partition &part = *partitions_[p];
+        const std::size_t queued = part.dram.queueDepth();
+        const std::size_t in_flight = part.dram.inFlightCount();
+        if (queued == 0 && in_flight == 0 && part.overflow.empty())
+            continue;
+        os << "    partition " << p << ": dram queued " << queued
+           << ", in flight " << in_flight << ", overflow "
+           << part.overflow.size() << "\n";
+    }
+    bool any_sm = false;
+    for (const auto &sm : sms_) {
+        if (!sm->hasWork())
+            continue;
+        any_sm = true;
+        os << sm->pendingWorkReport(now_);
+    }
+    if (!any_sm)
+        os << "    no SM holds resident work (no stalled warps)\n";
+    return os.str();
 }
 
 void

@@ -14,10 +14,12 @@
 #include <deque>
 #include <memory>
 #include <queue>
+#include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "common/stats.hh"
+#include "common/thread_pool.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "noc/network.hh"
@@ -58,6 +60,9 @@ struct SimStats
     double dramUtilization() const { return ratio(dramPinBusy, gpuCycles); }
 
     void merge(const SimStats &other);
+
+    /** Exact field-wise equality (differential determinism tests). */
+    bool operator==(const SimStats &other) const = default;
 };
 
 /** Result of one kernel launch. */
@@ -94,13 +99,28 @@ class Gpu
     const SimStats &stats() const { return stats_; }
     void resetStats();
 
+    /**
+     * Multi-line forensic dump of all pending work: queued grids, in
+     * flight events, per-partition DRAM state, and every stalled warp
+     * with its stall reason. Attached to deadlock/livelock panics.
+     */
+    std::string pendingWorkReport() const;
+
     // ---- Interface used by SmCore (not for end users) -------------
+    // During the parallel SM phase these buffer into the calling
+    // core's outbox; the buffers drain in SM-index order at the cycle
+    // barrier so shared-structure arbitration is deterministic.
     void sendReadRequest(int core, Addr line, Cycles now);
     void sendWriteRequest(int core, Addr line, Cycles now);
+    void postChildLaunch(int core, ChildGrid &child, int warp_slot,
+                         int cta_slot, Cycles now);
+    void postCtaComplete(int core, GridState &grid, Cycles now);
+    bool launchPending(Cycles now) const;
+
+    /** Directly queue a CDP grid (drain path; also used by deadlock
+     *  regression tests to inject never-completing grids). */
     GridState *enqueueChildGrid(ChildGrid &child, int parent_core,
                                 int parent_cta_slot, Cycles now);
-    void onGridCtaComplete(GridState &grid, Cycles now);
-    bool launchPending(Cycles now) const;
 
   private:
     struct Event
@@ -134,6 +154,40 @@ class Gpu
         Partition(const GpuConfig &cfg, int id);
     };
 
+    /**
+     * One outbound SM->device operation recorded during the parallel
+     * SM phase. Replayed at the cycle barrier in SM-index order (and,
+     * within one SM, in issue order), reproducing the arbitration
+     * order of a fully serial cycle loop.
+     */
+    struct SmOp
+    {
+        enum class Kind : std::uint8_t
+        {
+            Read,         //!< L1 miss -> NoC request to an L2 slice
+            Write,        //!< Write-through store -> L2 slice
+            ChildLaunch,  //!< CDP child-grid enqueue
+            CtaComplete   //!< CTA drained; notify its grid
+        } kind = Kind::Read;
+        Addr line = 0;
+        ChildGrid *child = nullptr;
+        GridState *grid = nullptr;
+        int warpSlot = -1;
+        int ctaSlot = -1;
+    };
+
+    /** Per-SM buffer; cache-line aligned so worker lanes never share. */
+    struct alignas(64) SmOutbox
+    {
+        std::vector<SmOp> ops;
+    };
+
+    void onGridCtaComplete(GridState &grid, Cycles now);
+    void applyRead(int core, Addr line, Cycles now);
+    void applyWrite(int core, Addr line, Cycles now);
+    void tickSmRange(std::size_t begin, std::size_t end);
+    void drainSmOutboxes();
+
     int partitionOf(Addr line) const;
     int nodeOfPartition(int partition) const
     {
@@ -163,6 +217,12 @@ class Gpu
     noc::Network noc_;
     std::vector<std::unique_ptr<SmCore>> sms_;
     std::vector<std::unique_ptr<Partition>> partitions_;
+
+    // Parallel cycle engine (null pool when sim.threads resolves to 1).
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<SmOutbox> outboxes_;
+    std::vector<std::uint8_t> smIssued_;
+    bool inSmPhase_ = false;
 
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events_;

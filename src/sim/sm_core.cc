@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <sstream>
 
 #include "common/log.hh"
 #include "sim/gpu.hh"
@@ -279,10 +280,12 @@ SmCore::issue(int slot_idx, Cycles now)
       case OpKind::ChildLaunch: {
         CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
         ChildGrid *child = cta.trace.children[op.child].get();
-        GridState *grid =
-            gpu_->enqueueChildGrid(*child, coreId_, slot.ctaSlot, now);
+        // The CTA's pending-child count rises immediately (it gates
+        // CTA teardown this same cycle); the device-side enqueue is
+        // posted and lands at the cycle barrier.
         ++cta.pendingChildGrids;
-        slot.children.push_back(grid);
+        gpu_->postChildLaunch(coreId_, *child, slot_idx, slot.ctaSlot,
+                              now);
         slot.readyAt = now + 4;  // launch-instruction occupancy
         break;
       }
@@ -350,7 +353,7 @@ SmCore::maybeFreeCta(int cta_slot, Cycles now)
     cta.grid = nullptr;
     cta.trace = CtaTrace{};
 
-    gpu_->onGridCtaComplete(*grid, now);
+    gpu_->postCtaComplete(coreId_, *grid, now);
 }
 
 void
@@ -522,6 +525,45 @@ SmCore::onWriteRetired()
     if (outstandingWrites_ == 0)
         panic("SmCore ", coreId_, ": write retired with none outstanding");
     --outstandingWrites_;
+}
+
+void
+SmCore::onChildGridEnqueued(int warp_slot, GridState *grid)
+{
+    // Safe even when the launching warp already ran its Exit op: the
+    // slot cannot be recycled while the CTA's pendingChildGrids (raised
+    // at issue time) is nonzero.
+    warps_[std::size_t(warp_slot)].children.push_back(grid);
+}
+
+std::string
+SmCore::pendingWorkReport(Cycles now) const
+{
+    std::ostringstream os;
+    os << "    sm " << coreId_ << ": residentCtas " << residentCtas_
+       << ", mshr lines " << mshr_.size() << ", outstanding writes "
+       << outstandingWrites_ << "\n";
+    for (std::size_t i = 0; i < warps_.size(); ++i) {
+        const WarpSlot &slot = warps_[i];
+        if (!slot.valid || slot.finished)
+            continue;
+        StallReason reason = StallReason::None;
+        const bool ready = issuable(slot, now, reason);
+        std::size_t pending_loads = 0;
+        for (const auto &load : slot.outstanding)
+            if (load.remaining > 0)
+                ++pending_loads;
+        std::size_t pending_children = 0;
+        for (const GridState *child : slot.children)
+            if (child != nullptr && !child->done)
+                ++pending_children;
+        os << "      warp " << i << " (cta " << slot.ctaSlot << "): pc "
+           << slot.pc << ", readyAt " << slot.readyAt << ", "
+           << (ready ? "issuable" : "stalled on " + toString(reason))
+           << ", pending loads " << pending_loads
+           << ", pending child grids " << pending_children << "\n";
+    }
+    return os.str();
 }
 
 void

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -58,6 +59,12 @@ class SmCore
     void onWriteRetired();
     /** A child grid launched from CTA @p cta_slot completed. */
     void onChildGridDone(int cta_slot, Cycles now);
+    /** The child grid posted by warp @p warp_slot is now queued (cycle
+     *  barrier callback; the warp tracks it for deviceSync). */
+    void onChildGridEnqueued(int warp_slot, GridState *grid);
+
+    /** Per-warp stall forensics appended to deadlock/livelock panics. */
+    std::string pendingWorkReport(Cycles now) const;
 
     int coreId() const { return coreId_; }
     mem::Cache &l1() { return l1_; }

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Serial-vs-parallel differential harness: every registered benchmark
+ * application (and its CDP variant) must produce byte-identical
+ * statistics and cycle counts at sim.threads = 1, 2, and 8. This is
+ * the executable proof that the parallel cycle engine's fixed-order
+ * outbox drain makes thread count invisible to simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/suite.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+struct DetCase
+{
+    std::string app;
+    bool cdp;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<DetCase> &info)
+{
+    return info.param.app + (info.param.cdp ? "_CDP" : "");
+}
+
+std::vector<DetCase>
+allCases()
+{
+    std::vector<DetCase> cases;
+    for (const std::string &app : core::appNames()) {
+        cases.push_back({app, false});
+        cases.push_back({app, true});
+    }
+    return cases;
+}
+
+/** Human-readable first-differences between two stats snapshots. */
+std::string
+describeDiff(const sim::SimStats &a, const sim::SimStats &b)
+{
+    std::ostringstream os;
+    auto field = [&os](const char *name, std::uint64_t x,
+                       std::uint64_t y) {
+        if (x != y)
+            os << "  " << name << ": " << x << " vs " << y << "\n";
+    };
+    field("gpuCycles", a.gpuCycles, b.gpuCycles);
+    field("launches", a.launches, b.launches);
+    field("totalInsns", a.totalInsns(), b.totalInsns());
+    field("issueCycles", a.issueCycles, b.issueCycles);
+    field("smCycles", a.smCycles, b.smCycles);
+    field("l1Accesses", a.l1Accesses, b.l1Accesses);
+    field("l1Misses", a.l1Misses, b.l1Misses);
+    field("l2Accesses", a.l2Accesses, b.l2Accesses);
+    field("l2Misses", a.l2Misses, b.l2Misses);
+    field("dramServed", a.dramServed, b.dramServed);
+    field("dramRowHits", a.dramRowHits, b.dramRowHits);
+    field("dramPinBusy", a.dramPinBusy, b.dramPinBusy);
+    field("dramActive", a.dramActive, b.dramActive);
+    field("nocPackets", a.nocPackets, b.nocPackets);
+    field("nocFlits", a.nocFlits, b.nocFlits);
+    field("nocLatencySum", a.nocLatencySum, b.nocLatencySum);
+    for (std::size_t i = 0; i < a.insnByKind.size(); ++i)
+        field("insnByKind", a.insnByKind[i], b.insnByKind[i]);
+    for (std::size_t i = 0; i < a.memBySpace.size(); ++i)
+        field("memBySpace", a.memBySpace[i], b.memBySpace[i]);
+    if (!(a.warpOcc == b.warpOcc))
+        os << "  warpOcc histogram differs\n";
+    if (!(a.stalls == b.stalls))
+        os << "  stall histogram differs\n";
+    const std::string diff = os.str();
+    return diff.empty() ? "  (no scalar field differs)\n" : diff;
+}
+
+class DeterminismTest : public ::testing::TestWithParam<DetCase>
+{
+  protected:
+    core::RunRecord
+    runWithThreads(int threads)
+    {
+        core::RunConfig config;
+        config.options.scale = kernels::InputScale::Tiny;
+        config.options.cdp = GetParam().cdp;
+        config.system.sim.threads = threads;
+        return core::runApp(GetParam().app, config);
+    }
+};
+
+TEST_P(DeterminismTest, ParallelRunsAreByteIdenticalToSerial)
+{
+    const core::RunRecord serial = runWithThreads(1);
+    ASSERT_TRUE(serial.verified) << serial.detail;
+
+    for (const int threads : {2, 8}) {
+        const core::RunRecord parallel = runWithThreads(threads);
+        SCOPED_TRACE("sim.threads=" + std::to_string(threads));
+
+        EXPECT_EQ(parallel.verified, serial.verified);
+        EXPECT_EQ(parallel.kernelCycles, serial.kernelCycles);
+        EXPECT_EQ(parallel.totalCycles, serial.totalCycles);
+        EXPECT_EQ(parallel.kernelInvocations, serial.kernelInvocations);
+        EXPECT_EQ(parallel.pciTransactions, serial.pciTransactions);
+        EXPECT_EQ(parallel.profiledKernelCycles,
+                  serial.profiledKernelCycles);
+        EXPECT_EQ(parallel.profiledPciCycles, serial.profiledPciCycles);
+        EXPECT_TRUE(parallel.stats == serial.stats)
+            << "stats diverge from the serial run:\n"
+            << describeDiff(serial.stats, parallel.stats);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, DeterminismTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+} // namespace
