@@ -1,12 +1,53 @@
 #include "bench/common.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
+#include <utility>
 
 #include "common/log.hh"
+#include "core/metrics.hh"
 
 namespace ggpu::bench
 {
+
+namespace
+{
+
+std::vector<Collector *> &
+collectorRegistry()
+{
+    static std::vector<Collector *> registry;
+    return registry;
+}
+
+/** Series captured by emitTable, in emission order. */
+std::vector<std::pair<std::string, core::Table>> &
+emittedSeries()
+{
+    static std::vector<std::pair<std::string, core::Table>> series;
+    return series;
+}
+
+} // namespace
+
+Collector::Collector()
+{
+    collectorRegistry().push_back(this);
+}
+
+Collector::~Collector()
+{
+    auto &registry = collectorRegistry();
+    registry.erase(std::remove(registry.begin(), registry.end(), this),
+                   registry.end());
+}
+
+const std::vector<Collector *> &
+Collector::instances()
+{
+    return collectorRegistry();
+}
 
 core::RunConfig
 baseConfig()
@@ -65,6 +106,41 @@ emitTable(const std::string &title, const core::Table &table)
     if (std::getenv("GGPU_CSV"))
         std::cout << "[csv]\n" << table.toCsv();
     std::cout.flush();
+    emittedSeries().emplace_back(title, table);
+}
+
+std::string
+figureIdFromArgv0(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "";
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (name.rfind("bench_", 0) == 0)
+        name = name.substr(6);
+    return name.empty() ? "unknown" : name;
+}
+
+void
+emitJson(const std::string &figure, const std::string &dir)
+{
+    core::MetricsSink sink(figure,
+                           core::scaleName(core::scaleFromEnv()),
+                           core::threadsFromEnv());
+    for (const Collector *collector : Collector::instances())
+        for (const auto &[config, records] : collector->all())
+            for (const auto &record : records)
+                sink.addRun(config, record);
+    for (const auto &[title, table] : emittedSeries())
+        sink.addSeries(title, table);
+
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += "BENCH_" + figure + ".json";
+    sink.writeFile(path);
+    std::cout << "[json] wrote " << path << "\n";
+    std::cout.flush();
 }
 
 std::vector<std::string>
@@ -84,11 +160,15 @@ benchMain(int argc, char **argv,
           const std::function<void()> &register_runs,
           const std::function<void()> &print_figure)
 {
+    const std::string figure =
+        figureIdFromArgv0(argc > 0 ? argv[0] : nullptr);
     benchmark::Initialize(&argc, argv);
     register_runs();
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     print_figure();
+    if (const char *dir = std::getenv("GGPU_JSON"))
+        emitJson(figure, dir);
     return 0;
 }
 

@@ -23,10 +23,23 @@
 namespace ggpu::bench
 {
 
-/** All records one binary produced, keyed by (config label, run label). */
+/**
+ * All records one binary produced, keyed by (config label, run label).
+ * Every live Collector self-registers so the JSON export path can
+ * gather a binary's runs without threading the instance through
+ * benchMain (each bench defines exactly one, at namespace scope).
+ */
 class Collector
 {
   public:
+    Collector();
+    ~Collector();
+    Collector(const Collector &) = delete;
+    Collector &operator=(const Collector &) = delete;
+
+    /** All live collectors, in construction order. */
+    static const std::vector<Collector *> &instances();
+
     void
     add(const std::string &config, core::RunRecord record)
     {
@@ -88,8 +101,23 @@ void addRun(Collector &collector, const std::string &config_label,
 void addSuite(Collector &collector, const std::string &config_label,
               const core::RunConfig &config, bool include_cdp = true);
 
-/** Print @p table, plus CSV when GGPU_CSV is set. */
+/**
+ * Print @p table, plus CSV when GGPU_CSV is set. The (title, table)
+ * pair is also retained as a named series for the JSON artifact, so
+ * the figure extractors feeding the text output are the single source
+ * for both renderings.
+ */
 void emitTable(const std::string &title, const core::Table &table);
+
+/**
+ * Write BENCH_<figure>.json into @p dir: every registered collector's
+ * runs plus every emitTable'd series. benchMain calls this when the
+ * GGPU_JSON env var names a directory; exposed for tests.
+ */
+void emitJson(const std::string &figure, const std::string &dir);
+
+/** Figure id for the artifact name: basename(argv0) minus "bench_". */
+std::string figureIdFromArgv0(const char *argv0);
 
 /**
  * Shared main: registers runs, executes them through the benchmark

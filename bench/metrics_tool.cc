@@ -1,0 +1,182 @@
+/**
+ * @file
+ * CLI companion to the metrics export layer:
+ *
+ *   ggpu_metrics_tool validate <artifact.json>
+ *       Parse one BENCH_<figure>.json and check the schema contract
+ *       (schema tag, series/runs arrays, every required per-run key).
+ *       Exit 0 on success, 1 with a diagnostic otherwise.
+ *
+ *   ggpu_metrics_tool merge <dir> <out.json> [--status <file>]
+ *       Merge every BENCH_*.json in <dir> into one summary document
+ *       keyed by figure id. --status embeds run_benches.sh's
+ *       per-binary exit codes ("<name> <code>" lines).
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/json.hh"
+#include "core/metrics.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using ggpu::core::json::Value;
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        ggpu::fatal("cannot open '", path, "'");
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Check one parsed artifact; throws FatalError with the defect. */
+void
+checkArtifact(const std::string &path, const Value &doc)
+{
+    if (!doc.isObject())
+        ggpu::fatal(path, ": top-level value is not an object");
+    if (doc.at("schema").asString() != ggpu::core::metricsSchema)
+        ggpu::fatal(path, ": schema is '", doc.at("schema").asString(),
+                    "', expected '", ggpu::core::metricsSchema, "'");
+    if (doc.at("figure").asString().empty())
+        ggpu::fatal(path, ": empty figure id");
+
+    const Value &provenance = doc.at("provenance");
+    provenance.at("scale").asString();
+    provenance.at("threads").asNumber();
+
+    const Value &series = doc.at("series");
+    if (!series.isArray())
+        ggpu::fatal(path, ": 'series' is not an array");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Value &s = series.at(i);
+        s.at("title").asString();
+        const std::size_t columns = s.at("headers").size();
+        const Value &rows = s.at("rows");
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            if (rows.at(r).size() != columns)
+                ggpu::fatal(path, ": series ", i, " row ", r, " has ",
+                            rows.at(r).size(), " cells, expected ",
+                            columns);
+    }
+
+    const Value &runs = doc.at("runs");
+    if (!runs.isArray())
+        ggpu::fatal(path, ": 'runs' is not an array");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Value &run = runs.at(i);
+        for (const auto &key :
+             ggpu::core::MetricsSink::requiredRunKeys())
+            if (!run.has(key))
+                ggpu::fatal(path, ": run ", i, " is missing key '",
+                            key, "'");
+    }
+}
+
+int
+cmdValidate(const std::string &path)
+{
+    const Value doc = ggpu::core::json::parse(readFile(path));
+    checkArtifact(path, doc);
+    std::cout << path << ": ok (" << doc.at("runs").size()
+              << " runs, " << doc.at("series").size() << " series)\n";
+    return 0;
+}
+
+int
+cmdMerge(const std::string &dir, const std::string &out_path,
+         const std::string &status_path)
+{
+    std::vector<std::string> files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json" &&
+            name != "BENCH_SUMMARY.json")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    Value summary = Value::object();
+    summary.set("schema", "ggpu.bench.summary.v1");
+    Value figures = Value::object();
+    for (const auto &file : files) {
+        Value doc = ggpu::core::json::parse(readFile(file));
+        checkArtifact(file, doc);
+        const std::string figure = doc.at("figure").asString();
+        figures.set(figure, std::move(doc));
+    }
+    summary.set("figures", std::move(figures));
+
+    if (!status_path.empty()) {
+        Value benches = Value::array();
+        std::ifstream is(status_path);
+        if (!is)
+            ggpu::fatal("cannot open status file '", status_path, "'");
+        std::string name;
+        int code = 0;
+        while (is >> name >> code) {
+            Value b = Value::object();
+            b.set("name", name);
+            b.set("exit_status", code);
+            benches.push(std::move(b));
+        }
+        summary.set("benches", std::move(benches));
+    }
+
+    std::ofstream os(out_path);
+    if (!os)
+        ggpu::fatal("cannot open '", out_path, "' for writing");
+    os << summary.dump();
+    if (!os.flush())
+        ggpu::fatal("short write to '", out_path, "'");
+    std::cout << out_path << ": merged " << files.size()
+              << " artifact(s)\n";
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: ggpu_metrics_tool validate <artifact.json>\n"
+              << "       ggpu_metrics_tool merge <dir> <out.json> "
+                 "[--status <file>]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.size() == 2 && args[0] == "validate")
+            return cmdValidate(args[1]);
+        if (args.size() >= 3 && args[0] == "merge") {
+            std::string status;
+            if (args.size() == 5 && args[3] == "--status")
+                status = args[4];
+            else if (args.size() != 3)
+                return usage();
+            return cmdMerge(args[1], args[2], status);
+        }
+        return usage();
+    } catch (const std::exception &e) {
+        std::cerr << "ggpu_metrics_tool: " << e.what() << "\n";
+        return 1;
+    }
+}

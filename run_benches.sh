@@ -1,17 +1,31 @@
 #!/bin/sh
 # Run every benchmark binary, teeing per-figure output.
 #
-# Usage: run_benches.sh [--threads N] [output-file]
+# Usage: run_benches.sh [--threads N] [--json DIR] [output-file]
 #
 #   --threads N   tick SM cores on N host threads (0 = all hardware
 #                 threads). Simulated results are unchanged — see
 #                 docs/PARALLEL_ENGINE.md. When N > 1 the script also
 #                 times bench_fig05_stalls serially vs threaded and
 #                 prints the wall-clock speedup.
+#   --json DIR    have every binary drop a machine-readable
+#                 BENCH_<figure>.json artifact into DIR (see README
+#                 "Machine-readable results"), then merge them into
+#                 DIR/BENCH_SUMMARY.json with per-binary exit codes.
+#
+# A binary that exits non-zero gets a "FAILED <name>" line (stderr and
+# the output file) and the script itself exits 1 after finishing the
+# remaining binaries. Paths are derived from the script's location, so
+# it works from any cwd; GGPU_BENCH_DIR overrides the binary directory
+# (used by the harness self-test).
 set -u
 
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+bench_dir="${GGPU_BENCH_DIR:-$script_dir/build/bench}"
+
 threads=1
-out=/root/repo/bench_output.txt
+json_dir=""
+out="$script_dir/bench_output.txt"
 while [ $# -gt 0 ]; do
     case "$1" in
         --threads)
@@ -23,6 +37,15 @@ while [ $# -gt 0 ]; do
             threads="${1#--threads=}"
             shift
             ;;
+        --json)
+            [ $# -ge 2 ] || { echo "--json needs a directory" >&2; exit 2; }
+            json_dir="$2"
+            shift 2
+            ;;
+        --json=*)
+            json_dir="${1#--json=}"
+            shift
+            ;;
         *)
             out="$1"
             shift
@@ -30,23 +53,47 @@ while [ $# -gt 0 ]; do
     esac
 done
 
+[ -d "$bench_dir" ] || {
+    echo "bench directory '$bench_dir' not found (build first)" >&2
+    exit 2
+}
+
 export GGPU_THREADS="$threads"
+status_file=""
+if [ -n "$json_dir" ]; then
+    mkdir -p "$json_dir" || exit 2
+    # Absolute path: the binaries may run from any cwd.
+    json_dir=$(CDPATH= cd -- "$json_dir" && pwd)
+    export GGPU_JSON="$json_dir"
+    status_file="$json_dir/bench_status.txt"
+    : > "$status_file"
+fi
+
 : > "$out"
-for b in build/bench/bench_*; do
+failed=""
+for b in "$bench_dir"/bench_*; do
     [ -x "$b" ] || continue
-    echo "==== $(basename "$b") ====" >> "$out"
-    "$b" --benchmark_min_warmup_time=0 >> "$out" 2>&1
+    name=$(basename "$b")
+    echo "==== $name ====" >> "$out"
+    if "$b" --benchmark_min_warmup_time=0 >> "$out" 2>&1; then
+        status=0
+    else
+        status=$?
+        echo "FAILED $name (exit $status)" | tee -a "$out" >&2
+        failed="$failed $name"
+    fi
+    [ -n "$status_file" ] && echo "$name $status" >> "$status_file"
     echo >> "$out"
 done
 
 # Wall-clock sanity check: the same workload serially vs threaded.
 # Cycle counts are identical by construction; only the wall clock moves.
-if [ "$threads" != 1 ] && [ -x build/bench/bench_fig05_stalls ]; then
+if [ "$threads" != 1 ] && [ -x "$bench_dir/bench_fig05_stalls" ]; then
     t0=$(date +%s%N)
-    GGPU_THREADS=1 build/bench/bench_fig05_stalls \
+    GGPU_THREADS=1 "$bench_dir/bench_fig05_stalls" \
         --benchmark_min_warmup_time=0 > /dev/null 2>&1
     t1=$(date +%s%N)
-    GGPU_THREADS="$threads" build/bench/bench_fig05_stalls \
+    GGPU_THREADS="$threads" "$bench_dir/bench_fig05_stalls" \
         --benchmark_min_warmup_time=0 > /dev/null 2>&1
     t2=$(date +%s%N)
     awk -v s=$((t1 - t0)) -v p=$((t2 - t1)) -v n="$threads" 'BEGIN {
@@ -55,4 +102,21 @@ if [ "$threads" != 1 ] && [ -x build/bench/bench_fig05_stalls ]; then
     }' | tee -a "$out"
 fi
 
+if [ -n "$json_dir" ]; then
+    if [ -x "$bench_dir/ggpu_metrics_tool" ]; then
+        if ! "$bench_dir/ggpu_metrics_tool" merge "$json_dir" \
+                "$json_dir/BENCH_SUMMARY.json" \
+                --status "$status_file"; then
+            echo "FAILED BENCH_SUMMARY.json merge" >&2
+            failed="$failed BENCH_SUMMARY"
+        fi
+    else
+        echo "warning: ggpu_metrics_tool not built; skipping BENCH_SUMMARY.json" >&2
+    fi
+fi
+
+if [ -n "$failed" ]; then
+    echo "FAILED:$failed" | tee -a "$out" >&2
+    exit 1
+fi
 echo "ALL_BENCHES_DONE" >> "$out"

@@ -16,8 +16,15 @@ Histogram::add(std::size_t key, std::uint64_t n)
 {
     if (counts_.empty())
         panic("Histogram::add on a zero-bucket histogram");
-    if (key >= counts_.size())
-        key = counts_.size() - 1;
+    if (key >= counts_.size()) {
+#ifndef NDEBUG
+        panic("Histogram::add: key ", key, " out of range [0, ",
+              counts_.size(), ")");
+#else
+        overflow_ += n;
+        return;
+#endif
+    }
     counts_[key] += n;
 }
 
@@ -26,6 +33,7 @@ Histogram::reset()
 {
     for (auto &c : counts_)
         c = 0;
+    overflow_ = 0;
 }
 
 std::uint64_t
@@ -56,6 +64,7 @@ Histogram::merge(const Histogram &other)
         panic("Histogram::merge with mismatched bucket counts");
     for (std::size_t i = 0; i < counts_.size(); ++i)
         counts_[i] += other.counts_[i];
+    overflow_ += other.overflow_;
 }
 
 void

@@ -38,14 +38,23 @@ double ratio(std::uint64_t num, std::uint64_t den);
 class Histogram
 {
   public:
-    /** @param buckets Number of buckets; keys are clamped into range. */
+    /** @param buckets Number of buckets (keys 0..buckets-1). */
     explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
 
+    /**
+     * Add @p n samples to bucket @p key. Out-of-range keys indicate a
+     * producer bug (e.g. an enum grew past the bucket count): they
+     * panic in debug builds and land in overflow() in release builds
+     * instead of silently corrupting the last bucket.
+     */
     void add(std::size_t key, std::uint64_t n = 1);
     void reset();
 
     std::uint64_t count(std::size_t key) const;
+    /** Sum of in-range buckets (overflow() samples excluded). */
     std::uint64_t total() const;
+    /** Samples whose key was >= buckets(). */
+    std::uint64_t overflow() const { return overflow_; }
     /** Fraction of all samples in bucket @p key (0 when empty). */
     double fraction(std::size_t key) const;
     std::size_t buckets() const { return counts_.size(); }
@@ -58,6 +67,7 @@ class Histogram
 
   private:
     std::vector<std::uint64_t> counts_;
+    std::uint64_t overflow_ = 0;
 };
 
 /**

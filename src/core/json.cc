@@ -1,0 +1,560 @@
+#include "core/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ggpu::core::json
+{
+
+std::string
+escapeJson(const std::string &raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (unsigned char c : raw) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+escapeCsv(const std::string &raw)
+{
+    const bool needs_quoting =
+        raw.find_first_of(",\"\r\n") != std::string::npos;
+    if (!needs_quoting)
+        return raw;
+    std::string out = "\"";
+    for (char c : raw) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+Value
+Value::object()
+{
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+Value
+Value::array()
+{
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+Value &
+Value::set(const std::string &key, Value value)
+{
+    if (kind_ != Kind::Object)
+        fatal("json: set('", key, "') on a non-object value");
+    for (auto &[k, v] : members_) {
+        if (k == key) {
+            v = std::move(value);
+            return *this;
+        }
+    }
+    members_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+const Value *
+Value::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: find('", key, "') on a non-object value");
+    for (const auto &[k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Value *v = find(key);
+    if (!v)
+        fatal("json: missing object member '", key, "'");
+    return *v;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (kind_ != Kind::Object)
+        fatal("json: members() on a non-object value");
+    return members_;
+}
+
+Value &
+Value::push(Value value)
+{
+    if (kind_ != Kind::Array)
+        fatal("json: push() on a non-array value");
+    elems_.push_back(std::move(value));
+    return *this;
+}
+
+const Value &
+Value::at(std::size_t index) const
+{
+    if (kind_ != Kind::Array)
+        fatal("json: at(", index, ") on a non-array value");
+    if (index >= elems_.size())
+        fatal("json: index ", index, " out of range (size ",
+              elems_.size(), ")");
+    return elems_[index];
+}
+
+std::size_t
+Value::size() const
+{
+    if (kind_ == Kind::Array)
+        return elems_.size();
+    if (kind_ == Kind::Object)
+        return members_.size();
+    fatal("json: size() on a scalar value");
+}
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        fatal("json: asBool() on a non-bool value");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        fatal("json: asNumber() on a non-number value");
+    return num_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        fatal("json: asString() on a non-string value");
+    return str_;
+}
+
+bool
+Value::operator==(const Value &other) const
+{
+    if (kind_ != other.kind_)
+        return false;
+    switch (kind_) {
+      case Kind::Null:
+        return true;
+      case Kind::Bool:
+        return bool_ == other.bool_;
+      case Kind::Number:
+        return num_ == other.num_;
+      case Kind::String:
+        return str_ == other.str_;
+      case Kind::Array:
+        return elems_ == other.elems_;
+      case Kind::Object:
+        return members_ == other.members_;
+    }
+    return false;
+}
+
+namespace
+{
+
+/** Integral doubles print as integers so counters survive round
+ *  trips textually; everything else keeps full precision. */
+std::string
+numberToString(double n)
+{
+    if (std::isfinite(n) && n == std::floor(n) &&
+        std::abs(n) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%lld", (long long)(n));
+        return buf;
+    }
+    if (!std::isfinite(n))
+        // JSON has no Infinity/NaN; null is the conventional stand-in.
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", n);
+    return buf;
+}
+
+void
+dumpTo(const Value &value, std::string &out, int indent, int depth)
+{
+    const std::string pad =
+        indent > 0 ? std::string(std::size_t(indent) * (depth + 1), ' ')
+                   : "";
+    const std::string close_pad =
+        indent > 0 ? std::string(std::size_t(indent) * depth, ' ') : "";
+    const char *nl = indent > 0 ? "\n" : "";
+    const char *kv_sep = indent > 0 ? ": " : ":";
+
+    switch (value.kind()) {
+      case Value::Kind::Null:
+        out += "null";
+        break;
+      case Value::Kind::Bool:
+        out += value.asBool() ? "true" : "false";
+        break;
+      case Value::Kind::Number:
+        out += numberToString(value.asNumber());
+        break;
+      case Value::Kind::String:
+        out += '"';
+        out += escapeJson(value.asString());
+        out += '"';
+        break;
+      case Value::Kind::Array: {
+        if (value.size() == 0) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        out += nl;
+        for (std::size_t i = 0; i < value.size(); ++i) {
+            out += pad;
+            dumpTo(value.at(i), out, indent, depth + 1);
+            if (i + 1 < value.size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += ']';
+        break;
+      }
+      case Value::Kind::Object: {
+        if (value.members().empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        out += nl;
+        std::size_t i = 0;
+        for (const auto &[key, member] : value.members()) {
+            out += pad;
+            out += '"';
+            out += escapeJson(key);
+            out += '"';
+            out += kv_sep;
+            dumpTo(member, out, indent, depth + 1);
+            if (++i < value.members().size())
+                out += ',';
+            out += nl;
+        }
+        out += close_pad;
+        out += '}';
+        break;
+      }
+    }
+}
+
+/** Recursive-descent parser over the whole input. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    run()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        fatal("json parse error at byte ", pos_, ": ", why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Value(parseString());
+          case 't':
+            parseLiteral("true");
+            return Value(true);
+          case 'f':
+            parseLiteral("false");
+            return Value(false);
+          case 'n':
+            parseLiteral("null");
+            return Value();
+          default:
+            return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *word)
+    {
+        for (const char *p = word; *p; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal, expected '") + word +
+                     "'");
+            ++pos_;
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value obj = Value::object();
+        skipWs();
+        if (consume('}'))
+            return obj;
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect('}');
+            return obj;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value arr = Value::array();
+        skipWs();
+        if (consume(']'))
+            return arr;
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            if (consume(','))
+                continue;
+            expect(']');
+            return arr;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= unsigned(h - 'A' + 10);
+                    else
+                        fail("bad hex digit in \\u escape");
+                }
+                // The writer only emits \u00xx; decode the Latin-1
+                // range as UTF-8 and pass larger code points through
+                // as-is (the metrics layer never produces them).
+                if (code < 0x80) {
+                    out += char(code);
+                } else if (code < 0x800) {
+                    out += char(0xc0 | (code >> 6));
+                    out += char(0x80 | (code & 0x3f));
+                } else {
+                    out += char(0xe0 | (code >> 12));
+                    out += char(0x80 | ((code >> 6) & 0x3f));
+                    out += char(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                fail("unknown escape sequence");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token = text_.substr(start, pos_ - start);
+        try {
+            std::size_t used = 0;
+            const double n = std::stod(token, &used);
+            if (used != token.size())
+                fail("malformed number '" + token + "'");
+            return Value(n);
+        } catch (const std::exception &) {
+            fail("malformed number '" + token + "'");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+Value::dump(int indent) const
+{
+    std::string out;
+    dumpTo(*this, out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).run();
+}
+
+} // namespace ggpu::core::json

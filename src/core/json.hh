@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Minimal dependency-free JSON document model used by the metrics
+ * export layer: an ordered Value builder, a writer whose output is
+ * stable across runs (insertion-ordered object members, integral
+ * numbers printed without exponents), and a strict parser so
+ * artifacts can be contract-tested by round-trip. Also the single
+ * home of the string escapers shared by the JSON writer and the
+ * report layer's RFC-4180 CSV export.
+ */
+
+#ifndef GGPU_CORE_JSON_HH
+#define GGPU_CORE_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ggpu::core::json
+{
+
+/**
+ * Escape @p raw for embedding inside a JSON string literal (without
+ * the surrounding quotes): control characters, quotes and backslashes
+ * become their \-sequences.
+ */
+std::string escapeJson(const std::string &raw);
+
+/**
+ * RFC-4180 CSV cell quoting: returns @p raw unchanged unless it
+ * contains a comma, double quote, CR or LF, in which case the cell is
+ * wrapped in double quotes with embedded quotes doubled.
+ */
+std::string escapeCsv(const std::string &raw);
+
+/** One JSON value; objects keep member insertion order. */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Value() = default;
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), num_(n) {}
+    Value(int n) : kind_(Kind::Number), num_(n) {}
+    Value(std::uint64_t n) : kind_(Kind::Number), num_(double(n)) {}
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+    static Value object();
+    static Value array();
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+
+    // ---- Object interface ----------------------------------------
+    /** Append (or overwrite) member @p key. Fatal on non-objects. */
+    Value &set(const std::string &key, Value value);
+    /** Member lookup; nullptr when absent. Fatal on non-objects. */
+    const Value *find(const std::string &key) const;
+    bool has(const std::string &key) const { return find(key); }
+    /** Member lookup; fatal when absent. */
+    const Value &at(const std::string &key) const;
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    // ---- Array interface -----------------------------------------
+    /** Append an element. Fatal on non-arrays. */
+    Value &push(Value value);
+    /** Element lookup; fatal when out of range or not an array. */
+    const Value &at(std::size_t index) const;
+    /** Element/member count (arrays and objects). */
+    std::size_t size() const;
+
+    // ---- Scalar accessors (fatal on kind mismatch) ---------------
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Structural equality (round-trip tests). */
+    bool operator==(const Value &other) const;
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces
+     * per level; 0 emits a compact single line.
+     */
+    std::string dump(int indent = 2) const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<Value> elems_;
+    std::vector<std::pair<std::string, Value>> members_;
+};
+
+/**
+ * Strict parser for the subset of JSON the writer emits (which is all
+ * of JSON except exotic \u surrogate pairs, kept as-is). Throws
+ * FatalError with a byte offset on malformed input.
+ */
+Value parse(const std::string &text);
+
+} // namespace ggpu::core::json
+
+#endif // GGPU_CORE_JSON_HH

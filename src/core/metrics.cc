@@ -1,0 +1,240 @@
+#include "core/metrics.hh"
+
+#include <fstream>
+
+#include "common/log.hh"
+#include "sim/isa.hh"
+#include "sim/stall.hh"
+
+namespace ggpu::core
+{
+
+MetricsSink::MetricsSink(std::string figure, std::string scale,
+                         int threads)
+    : figure_(std::move(figure)), scale_(std::move(scale)),
+      threads_(threads)
+{
+    if (figure_.empty())
+        fatal("MetricsSink: figure id must not be empty");
+}
+
+void
+MetricsSink::addRun(const std::string &config, const RunRecord &record)
+{
+    runs_.emplace_back(config, record);
+}
+
+void
+MetricsSink::addSeries(const std::string &title, const Table &table)
+{
+    series_.emplace_back(title, table);
+}
+
+namespace
+{
+
+json::Value
+dim3ToJson(const Dim3 &d)
+{
+    json::Value arr = json::Value::array();
+    arr.push(std::uint64_t(d.x));
+    arr.push(std::uint64_t(d.y));
+    arr.push(std::uint64_t(d.z));
+    return arr;
+}
+
+json::Value
+histogramToJson(const Histogram &hist)
+{
+    json::Value obj = json::Value::object();
+    json::Value counts = json::Value::array();
+    for (std::size_t i = 0; i < hist.buckets(); ++i)
+        counts.push(hist.count(i));
+    obj.set("counts", std::move(counts));
+    obj.set("total", hist.total());
+    obj.set("overflow", hist.overflow());
+    return obj;
+}
+
+json::Value
+tableToJson(const std::string &title, const Table &table)
+{
+    json::Value obj = json::Value::object();
+    obj.set("title", title);
+    json::Value headers = json::Value::array();
+    for (const auto &h : table.headers())
+        headers.push(h);
+    obj.set("headers", std::move(headers));
+    json::Value rows = json::Value::array();
+    for (const auto &row : table.rows()) {
+        json::Value cells = json::Value::array();
+        for (const auto &cell : row)
+            cells.push(cell);
+        rows.push(std::move(cells));
+    }
+    obj.set("rows", std::move(rows));
+    return obj;
+}
+
+} // namespace
+
+json::Value
+MetricsSink::runToJson(const std::string &config,
+                       const RunRecord &record)
+{
+    const sim::SimStats &stats = record.stats;
+
+    json::Value run = json::Value::object();
+    run.set("config", config);
+    run.set("app", record.app);
+    run.set("cdp", record.cdp);
+    run.set("label", record.label());
+    run.set("verified", record.verified);
+    if (!record.detail.empty())
+        run.set("detail", record.detail);
+
+    run.set("kernel_cycles", record.kernelCycles);
+    run.set("total_cycles", record.totalCycles);
+    run.set("gpu_seconds", record.gpuSeconds);
+    run.set("cpu_seconds", record.cpuSeconds);
+
+    run.set("instructions", stats.totalInsns());
+    run.set("ipc", stats.ipc());
+    run.set("launches", stats.launches);
+    run.set("issue_cycles", stats.issueCycles);
+    run.set("sm_cycles", stats.smCycles);
+
+    // nvprof-substitute profile (Fig 4): host-visible launch and
+    // transfer counts/durations.
+    run.set("kernel_invocations", record.kernelInvocations);
+    run.set("pci_transactions", record.pciTransactions);
+    run.set("profiled_kernel_cycles", record.profiledKernelCycles);
+    run.set("profiled_pci_cycles", record.profiledPciCycles);
+    run.set("pci_bytes", record.pciBytes);
+    json::Value by_kernel = json::Value::object();
+    for (const auto &[name, count] : record.kernelsByName)
+        by_kernel.set(name, count);
+    run.set("kernels_by_name", std::move(by_kernel));
+
+    run.set("l1_accesses", stats.l1Accesses);
+    run.set("l1_misses", stats.l1Misses);
+    run.set("l1_miss_rate", stats.l1MissRate());
+    run.set("l2_accesses", stats.l2Accesses);
+    run.set("l2_misses", stats.l2Misses);
+    run.set("l2_miss_rate", stats.l2MissRate());
+
+    run.set("dram_served", stats.dramServed);
+    run.set("dram_row_hits", stats.dramRowHits);
+    run.set("dram_efficiency", stats.dramEfficiency());
+    run.set("dram_utilization", stats.dramUtilization());
+
+    run.set("noc_packets", stats.nocPackets);
+    run.set("noc_flits", stats.nocFlits);
+    run.set("noc_avg_latency",
+            ratio(stats.nocLatencySum, stats.nocPackets));
+
+    // Fractions go through the same figure extractors the text tables
+    // use, so the artifact can never drift from what is printed.
+    json::Value stalls = json::Value::object();
+    for (std::size_t r = 0; r < std::size_t(sim::StallReason::NumReasons);
+         ++r)
+        stalls.set(sim::toString(sim::StallReason(r)),
+                   stallFraction(record, sim::StallReason(r)));
+    run.set("stalls", std::move(stalls));
+
+    json::Value insn_mix = json::Value::object();
+    for (std::size_t k = 0; k < std::size_t(sim::OpKind::NumKinds); ++k)
+        insn_mix.set(sim::toString(sim::OpKind(k)),
+                     insnFraction(record, sim::OpKind(k)));
+    run.set("insn_mix", std::move(insn_mix));
+
+    json::Value mem_mix = json::Value::object();
+    for (std::size_t s = 0; s < std::size_t(sim::MemSpace::NumSpaces);
+         ++s)
+        mem_mix.set(sim::toString(sim::MemSpace(s)),
+                    memFraction(record, sim::MemSpace(s)));
+    run.set("mem_mix", std::move(mem_mix));
+
+    run.set("occupancy", histogramToJson(stats.warpOcc));
+    run.set("stall_samples", histogramToJson(stats.stalls));
+
+    json::Value launch = json::Value::object();
+    launch.set("kernel", record.primarySpec.name);
+    launch.set("grid", dim3ToJson(record.primarySpec.grid));
+    launch.set("cta", dim3ToJson(record.primarySpec.cta));
+    run.set("launch", std::move(launch));
+
+    return run;
+}
+
+const std::vector<std::string> &
+MetricsSink::requiredRunKeys()
+{
+    static const std::vector<std::string> keys{
+        "config",         "app",
+        "cdp",            "label",
+        "verified",       "kernel_cycles",
+        "total_cycles",   "gpu_seconds",
+        "instructions",   "ipc",
+        "kernel_invocations", "pci_transactions",
+        "l1_miss_rate",   "l2_miss_rate",
+        "dram_efficiency", "dram_utilization",
+        "noc_avg_latency", "stalls",
+        "insn_mix",       "mem_mix",
+        "occupancy",      "launch",
+    };
+    return keys;
+}
+
+json::Value
+MetricsSink::toJson() const
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema", metricsSchema);
+    doc.set("figure", figure_);
+
+    json::Value provenance = json::Value::object();
+    provenance.set("suite", "genomics-gpu");
+    provenance.set("scale", scale_);
+    provenance.set("threads", threads_);
+    json::Value configs = json::Value::array();
+    std::vector<std::string> seen;
+    for (const auto &[config, record] : runs_) {
+        (void)record;
+        bool dup = false;
+        for (const auto &s : seen)
+            dup = dup || s == config;
+        if (!dup) {
+            seen.push_back(config);
+            configs.push(config);
+        }
+    }
+    provenance.set("configs", std::move(configs));
+    doc.set("provenance", std::move(provenance));
+
+    json::Value series = json::Value::array();
+    for (const auto &[title, table] : series_)
+        series.push(tableToJson(title, table));
+    doc.set("series", std::move(series));
+
+    json::Value runs = json::Value::array();
+    for (const auto &[config, record] : runs_)
+        runs.push(runToJson(config, record));
+    doc.set("runs", std::move(runs));
+
+    return doc;
+}
+
+void
+MetricsSink::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("MetricsSink: cannot open '", path, "' for writing");
+    os << toJson().dump();
+    os.flush();
+    if (!os)
+        fatal("MetricsSink: short write to '", path, "'");
+}
+
+} // namespace ggpu::core

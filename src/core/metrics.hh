@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structured metrics export: a MetricsSink gathers everything one
+ * bench binary produced — the figure's plotted series (the same
+ * tables the text printer shows) and the full per-run counter set —
+ * and writes it as a BENCH_<figure>.json artifact. The schema is
+ * contract-tested (tests/test_json_export.cc) and validated in CI
+ * (ctest -L json), so downstream perf tracking can rely on it.
+ */
+
+#ifndef GGPU_CORE_METRICS_HH
+#define GGPU_CORE_METRICS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/json.hh"
+#include "core/report.hh"
+#include "core/suite.hh"
+
+namespace ggpu::core
+{
+
+/** Schema identifier stamped into every artifact. */
+inline constexpr const char *metricsSchema = "ggpu.bench.v1";
+
+/** Collects one binary's runs + series and renders the artifact. */
+class MetricsSink
+{
+  public:
+    /**
+     * @param figure Figure id (artifact is BENCH_<figure>.json).
+     * @param scale  Input-scale name ("tiny"/"small"/"medium").
+     * @param threads Host-thread knob the runs executed with.
+     */
+    MetricsSink(std::string figure, std::string scale, int threads);
+
+    /** Record one completed run under its sweep-configuration label. */
+    void addRun(const std::string &config, const RunRecord &record);
+
+    /** Record one printed table as a named series. */
+    void addSeries(const std::string &title, const Table &table);
+
+    /** Render the whole artifact. */
+    json::Value toJson() const;
+
+    /** Serialize to @p path (fatal on I/O failure). */
+    void writeFile(const std::string &path) const;
+
+    /**
+     * Flatten one run into its JSON object. Exposed so tests can
+     * check the schema against a hand-built RunRecord.
+     */
+    static json::Value runToJson(const std::string &config,
+                                 const RunRecord &record);
+
+    /** Keys every element of "runs" must carry (validator contract). */
+    static const std::vector<std::string> &requiredRunKeys();
+
+  private:
+    std::string figure_;
+    std::string scale_;
+    int threads_;
+    std::vector<std::pair<std::string, RunRecord>> runs_;
+    std::vector<std::pair<std::string, Table>> series_;
+};
+
+} // namespace ggpu::core
+
+#endif // GGPU_CORE_METRICS_HH

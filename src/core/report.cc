@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "core/json.hh"
 
 namespace ggpu::core
 {
@@ -61,7 +62,7 @@ Table::toCsv() const
         for (std::size_t c = 0; c < cells.size(); ++c) {
             if (c)
                 os << ',';
-            os << cells[c];
+            os << json::escapeCsv(cells[c]);
         }
         os << '\n';
     };

@@ -26,7 +26,14 @@ class Table
     void addRow(std::vector<std::string> cells);
     /** Render with aligned columns. */
     void print(std::ostream &os) const;
+    /** RFC-4180 CSV: cells with commas/quotes/newlines are quoted. */
     std::string toCsv() const;
+
+    const std::vector<std::string> &headers() const { return headers_; }
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
 
     static std::string num(double value, int precision = 3);
     static std::string percent(double fraction, int precision = 1);

@@ -65,6 +65,8 @@ runApp(const std::string &name, const RunConfig &config)
     record.pciTransactions = device.profiler().pciTransactions();
     record.profiledKernelCycles = device.profiler().kernelCycles();
     record.profiledPciCycles = device.profiler().pciCycles();
+    record.pciBytes = device.profiler().pciBytes();
+    record.kernelsByName = device.profiler().byKernel();
     record.primarySpec = result.primarySpec;
 
     if (!record.verified)
@@ -117,6 +119,20 @@ scaleFromEnv()
     if (value == "medium")
         return kernels::InputScale::Medium;
     fatal("GGPU_SCALE must be tiny|small|medium, got '", value, "'");
+}
+
+const char *
+scaleName(kernels::InputScale scale)
+{
+    switch (scale) {
+      case kernels::InputScale::Tiny:
+        return "tiny";
+      case kernels::InputScale::Small:
+        return "small";
+      case kernels::InputScale::Medium:
+        return "medium";
+    }
+    return "unknown";
 }
 
 } // namespace ggpu::core

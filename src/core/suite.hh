@@ -9,6 +9,7 @@
 #ifndef GGPU_CORE_SUITE_HH
 #define GGPU_CORE_SUITE_HH
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -49,6 +50,9 @@ struct RunRecord
     std::uint64_t pciTransactions = 0;
     Cycles profiledKernelCycles = 0;
     Cycles profiledPciCycles = 0;
+    std::uint64_t pciBytes = 0;
+    /** Profiler's per-kernel-name invocation counts. */
+    std::map<std::string, std::uint64_t> kernelsByName;
 
     sim::LaunchSpec primarySpec;
 
@@ -71,6 +75,9 @@ std::vector<RunRecord> runSuite(const RunConfig &config,
 
 /** The scale tier named by the GGPU_SCALE env var (default Small). */
 kernels::InputScale scaleFromEnv();
+
+/** GGPU_SCALE-style name of @p scale ("tiny"/"small"/"medium"). */
+const char *scaleName(kernels::InputScale scale);
 
 /**
  * Simulation-engine lane count named by the GGPU_THREADS env var

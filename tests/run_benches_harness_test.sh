@@ -1,0 +1,62 @@
+#!/bin/sh
+# Harness self-test: run_benches.sh must surface a crashing bench
+# binary (FAILED <name> line, non-zero exit) instead of silently
+# leaving an empty section, while still running the remaining
+# binaries. Exercised through the GGPU_BENCH_DIR override with a fake
+# bench directory containing one passing and one failing "binary".
+#
+# Usage: run_benches_harness_test.sh <path-to-run_benches.sh>
+set -u
+
+script=${1:?usage: run_benches_harness_test.sh <run_benches.sh>}
+tmp=$(mktemp -d) || exit 1
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- harness log ---" >&2
+    cat "$tmp/log" >&2 2>/dev/null
+    echo "--- bench output ---" >&2
+    cat "$tmp/out.txt" >&2 2>/dev/null
+    exit 1
+}
+
+mkdir -p "$tmp/bin"
+cat > "$tmp/bin/bench_aa_ok" <<'EOF'
+#!/bin/sh
+echo fake table output
+EOF
+cat > "$tmp/bin/bench_bb_boom" <<'EOF'
+#!/bin/sh
+echo about to crash
+exit 3
+EOF
+cat > "$tmp/bin/bench_cc_after" <<'EOF'
+#!/bin/sh
+echo still runs after the crash
+EOF
+chmod +x "$tmp/bin"/bench_*
+
+if GGPU_BENCH_DIR="$tmp/bin" "$script" "$tmp/out.txt" \
+        > "$tmp/log" 2>&1; then
+    fail "expected non-zero exit when a bench binary fails"
+fi
+
+grep -q "FAILED bench_bb_boom" "$tmp/log" ||
+    fail "missing 'FAILED bench_bb_boom' diagnostic"
+grep -q "fake table output" "$tmp/out.txt" ||
+    fail "passing bench output missing from the output file"
+grep -q "still runs after the crash" "$tmp/out.txt" ||
+    fail "benches after the failing one were not run"
+grep -q "ALL_BENCHES_DONE" "$tmp/out.txt" &&
+    fail "ALL_BENCHES_DONE must not be stamped on a failed sweep"
+
+# The all-pass path still exits 0 and stamps the completion marker.
+rm "$tmp/bin/bench_bb_boom"
+GGPU_BENCH_DIR="$tmp/bin" "$script" "$tmp/out.txt" \
+        > "$tmp/log" 2>&1 ||
+    fail "expected exit 0 when every bench binary passes"
+grep -q "ALL_BENCHES_DONE" "$tmp/out.txt" ||
+    fail "missing ALL_BENCHES_DONE on a clean sweep"
+
+echo "PASS"

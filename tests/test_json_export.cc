@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Contract tests for the structured metrics export layer: the JSON
+ * writer/parser round-trips, the BENCH_<figure>.json schema keys are
+ * stable, and the per-run values in the artifact match the RunRecord
+ * counters they were derived from.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+#include "core/json.hh"
+#include "core/metrics.hh"
+#include "core/report.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using namespace ggpu::core;
+using json::Value;
+
+TEST(Json, ScalarsAndEscaping)
+{
+    EXPECT_EQ(Value("plain").dump(0), "\"plain\"");
+    EXPECT_EQ(Value("a\"b\\c\n\t").dump(0), "\"a\\\"b\\\\c\\n\\t\"");
+    EXPECT_EQ(Value(std::string(1, '\x01')).dump(0), "\"\\u0001\"");
+    EXPECT_EQ(Value(true).dump(0), "true");
+    EXPECT_EQ(Value().dump(0), "null");
+    EXPECT_EQ(Value(3.5).dump(0), "3.5");
+    // Integral numbers print without a decimal point or exponent.
+    EXPECT_EQ(Value(std::uint64_t(123456789012345ull)).dump(0),
+              "123456789012345");
+}
+
+TEST(Json, BuildDumpParseRoundTrip)
+{
+    Value doc = Value::object();
+    doc.set("name", "fig, \"five\"\nseries");
+    doc.set("count", std::uint64_t(42));
+    doc.set("rate", 0.3333333333333333);
+    doc.set("flag", false);
+    doc.set("nothing", Value());
+    Value arr = Value::array();
+    arr.push(1.0);
+    arr.push("two");
+    Value inner = Value::object();
+    inner.set("deep", Value::array());
+    arr.push(std::move(inner));
+    doc.set("items", std::move(arr));
+
+    for (int indent : {0, 2, 4}) {
+        const Value reparsed = json::parse(doc.dump(indent));
+        EXPECT_TRUE(reparsed == doc) << "indent=" << indent;
+    }
+    EXPECT_EQ(json::parse(doc.dump()).at("name").asString(),
+              "fig, \"five\"\nseries");
+}
+
+TEST(Json, ParserRejectsMalformedInput)
+{
+    EXPECT_THROW(json::parse(""), FatalError);
+    EXPECT_THROW(json::parse("{\"a\":1,}"), FatalError);
+    EXPECT_THROW(json::parse("{\"a\" 1}"), FatalError);
+    EXPECT_THROW(json::parse("[1, 2] trailing"), FatalError);
+    EXPECT_THROW(json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(json::parse("tru"), FatalError);
+    EXPECT_THROW(json::parse("1.2.3"), FatalError);
+}
+
+TEST(Json, AccessorsCheckKinds)
+{
+    Value obj = Value::object();
+    obj.set("x", 1.0);
+    EXPECT_TRUE(obj.has("x"));
+    EXPECT_FALSE(obj.has("y"));
+    EXPECT_THROW(obj.at("y"), FatalError);
+    EXPECT_THROW(obj.asNumber(), FatalError);
+    EXPECT_THROW(obj.at(std::size_t(0)), FatalError);
+    Value arr = Value::array();
+    EXPECT_THROW(arr.at(std::size_t(0)), FatalError);
+    EXPECT_THROW(arr.set("k", 1.0), FatalError);
+}
+
+/** A RunRecord with every counter the artifact flattens. */
+RunRecord
+syntheticRecord()
+{
+    RunRecord record;
+    record.app = "SW";
+    record.cdp = true;
+    record.verified = true;
+    record.detail = "synthetic";
+    record.kernelCycles = 1000;
+    record.totalCycles = 1500;
+    record.gpuSeconds = 0.002;
+    record.cpuSeconds = 0.1;
+    record.kernelInvocations = 7;
+    record.pciTransactions = 3;
+    record.profiledKernelCycles = 900;
+    record.profiledPciCycles = 400;
+    record.pciBytes = 4096;
+    record.kernelsByName["sw_kernel"] = 7;
+
+    auto &stats = record.stats;
+    stats.gpuCycles = 1000;
+    stats.launches = 7;
+    stats.issueCycles = 600;
+    stats.smCycles = 46000;
+    stats.insnByKind[std::size_t(sim::OpKind::IntAlu)] = 3000;
+    stats.insnByKind[std::size_t(sim::OpKind::Load)] = 1000;
+    stats.memBySpace[std::size_t(sim::MemSpace::Global)] = 800;
+    stats.memBySpace[std::size_t(sim::MemSpace::Shared)] = 200;
+    stats.warpOcc.add(31, 64);
+    stats.warpOcc.add(15, 64);
+    stats.stalls.add(std::size_t(sim::StallReason::MemLatency), 300);
+    stats.stalls.add(std::size_t(sim::StallReason::Idle), 100);
+    stats.l1Accesses = 1000;
+    stats.l1Misses = 250;
+    stats.l2Accesses = 250;
+    stats.l2Misses = 50;
+    stats.dramServed = 50;
+    stats.dramRowHits = 40;
+    stats.dramPinBusy = 400;
+    stats.dramActive = 500;
+    stats.nocPackets = 100;
+    stats.nocFlits = 400;
+    stats.nocLatencySum = 2500;
+
+    record.primarySpec.name = "sw_kernel";
+    record.primarySpec.grid = {128, 1, 1};
+    record.primarySpec.cta = {64, 1, 1};
+    return record;
+}
+
+TEST(MetricsSink, ArtifactRoundTripMatchesRecord)
+{
+    const RunRecord record = syntheticRecord();
+    MetricsSink sink("fig05_stalls", "tiny", 2);
+    sink.addRun("fig5", record);
+    Table table({"App", "MemLatency"});
+    table.addRow({"SW-CDP", "75.0%"});
+    sink.addSeries("Figure 5: pipeline stall breakdown", table);
+
+    const Value doc = json::parse(sink.toJson().dump());
+
+    EXPECT_EQ(doc.at("schema").asString(), "ggpu.bench.v1");
+    EXPECT_EQ(doc.at("figure").asString(), "fig05_stalls");
+    EXPECT_EQ(doc.at("provenance").at("scale").asString(), "tiny");
+    EXPECT_EQ(doc.at("provenance").at("threads").asNumber(), 2.0);
+    EXPECT_EQ(doc.at("provenance").at("configs").at(std::size_t(0))
+                  .asString(),
+              "fig5");
+
+    ASSERT_EQ(doc.at("series").size(), 1u);
+    const Value &series = doc.at("series").at(std::size_t(0));
+    EXPECT_EQ(series.at("title").asString(),
+              "Figure 5: pipeline stall breakdown");
+    EXPECT_EQ(series.at("rows").at(std::size_t(0))
+                  .at(std::size_t(0)).asString(),
+              "SW-CDP");
+
+    ASSERT_EQ(doc.at("runs").size(), 1u);
+    const Value &run = doc.at("runs").at(std::size_t(0));
+    EXPECT_EQ(run.at("config").asString(), "fig5");
+    EXPECT_EQ(run.at("app").asString(), "SW");
+    EXPECT_TRUE(run.at("cdp").asBool());
+    EXPECT_EQ(run.at("label").asString(), "SW-CDP");
+    EXPECT_TRUE(run.at("verified").asBool());
+    EXPECT_EQ(run.at("kernel_cycles").asNumber(),
+              double(record.kernelCycles));
+    EXPECT_EQ(run.at("total_cycles").asNumber(),
+              double(record.totalCycles));
+    EXPECT_DOUBLE_EQ(run.at("ipc").asNumber(), record.stats.ipc());
+    EXPECT_EQ(run.at("instructions").asNumber(),
+              double(record.stats.totalInsns()));
+    EXPECT_EQ(run.at("kernel_invocations").asNumber(), 7.0);
+    EXPECT_EQ(run.at("pci_transactions").asNumber(), 3.0);
+    EXPECT_EQ(run.at("pci_bytes").asNumber(), 4096.0);
+    EXPECT_EQ(run.at("kernels_by_name").at("sw_kernel").asNumber(),
+              7.0);
+    EXPECT_DOUBLE_EQ(run.at("l1_miss_rate").asNumber(), 0.25);
+    EXPECT_DOUBLE_EQ(run.at("l2_miss_rate").asNumber(), 0.2);
+    EXPECT_DOUBLE_EQ(run.at("dram_efficiency").asNumber(), 0.8);
+    EXPECT_DOUBLE_EQ(run.at("dram_utilization").asNumber(),
+                     record.stats.dramUtilization());
+    EXPECT_DOUBLE_EQ(run.at("noc_avg_latency").asNumber(), 25.0);
+
+    // Breakdown keys are the simulator's canonical enum names
+    // (sim::toString), matching every other textual surface.
+    EXPECT_DOUBLE_EQ(run.at("stalls").at("mem-latency").asNumber(),
+                     0.75);
+    EXPECT_DOUBLE_EQ(run.at("stalls").at("idle").asNumber(), 0.25);
+    EXPECT_DOUBLE_EQ(run.at("insn_mix").at("int").asNumber(), 0.75);
+    EXPECT_DOUBLE_EQ(run.at("mem_mix").at("shared").asNumber(), 0.2);
+
+    const Value &occ = run.at("occupancy");
+    EXPECT_EQ(occ.at("counts").size(), 32u);
+    EXPECT_EQ(occ.at("counts").at(std::size_t(31)).asNumber(), 64.0);
+    EXPECT_EQ(occ.at("total").asNumber(), 128.0);
+    EXPECT_EQ(occ.at("overflow").asNumber(), 0.0);
+
+    const Value &launch = run.at("launch");
+    EXPECT_EQ(launch.at("kernel").asString(), "sw_kernel");
+    EXPECT_EQ(launch.at("grid").at(std::size_t(0)).asNumber(), 128.0);
+    EXPECT_EQ(launch.at("cta").at(std::size_t(0)).asNumber(), 64.0);
+}
+
+TEST(MetricsSink, EveryRequiredKeyIsPresentAndContractIsStable)
+{
+    MetricsSink sink("fig99_contract", "small", 1);
+    sink.addRun("base", syntheticRecord());
+    const Value doc = json::parse(sink.toJson().dump());
+    const Value &run = doc.at("runs").at(std::size_t(0));
+    for (const auto &key : MetricsSink::requiredRunKeys())
+        EXPECT_TRUE(run.has(key)) << "missing required key " << key;
+    // The schema tag is a published contract: bump deliberately.
+    EXPECT_STREQ(metricsSchema, "ggpu.bench.v1");
+}
+
+TEST(MetricsSink, WriteFileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "/BENCH_test_artifact.json";
+    MetricsSink sink("test_artifact", "tiny", 1);
+    sink.addRun("base", syntheticRecord());
+    sink.writeFile(path);
+
+    std::ifstream is(path);
+    ASSERT_TRUE(is.good());
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const Value doc = json::parse(buffer.str());
+    EXPECT_TRUE(doc == sink.toJson());
+    std::remove(path.c_str());
+
+    EXPECT_THROW(sink.writeFile("/nonexistent-dir/x.json"),
+                 FatalError);
+}
+
+} // namespace

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "core/json.hh"
 #include "core/report.hh"
 
 namespace
@@ -31,6 +32,28 @@ TEST(Table, AlignsColumnsAndEmitsCsv)
     EXPECT_NE(text.find("-----"), std::string::npos);
 
     EXPECT_EQ(table.toCsv(), "Name,Value\nalpha,1\nb,22222\n");
+}
+
+TEST(Table, CsvQuotesCellsPerRfc4180)
+{
+    Table table({"App", "Note, with \"quotes\""});
+    table.addRow({"a,b", "line\nbreak"});
+    table.addRow({"plain", "say \"hi\""});
+    table.addRow({"cr\rcell", "unchanged"});
+    EXPECT_EQ(table.toCsv(),
+              "App,\"Note, with \"\"quotes\"\"\"\n"
+              "\"a,b\",\"line\nbreak\"\n"
+              "plain,\"say \"\"hi\"\"\"\n"
+              "\"cr\rcell\",unchanged\n");
+}
+
+TEST(Table, CsvEscaperLeavesPlainCellsAlone)
+{
+    EXPECT_EQ(json::escapeCsv("plain cell"), "plain cell");
+    EXPECT_EQ(json::escapeCsv(""), "");
+    EXPECT_EQ(json::escapeCsv("with space 1.5%"), "with space 1.5%");
+    EXPECT_EQ(json::escapeCsv("a,b"), "\"a,b\"");
+    EXPECT_EQ(json::escapeCsv("\""), "\"\"\"\"");
 }
 
 TEST(Table, RowArityIsChecked)

@@ -279,14 +279,15 @@ TEST(Config, SweepListsMatchTableI)
     EXPECT_EQ(NocConfig::flitSweep().size(), 4u);
 }
 
-TEST(Stats, HistogramClampsAndMerges)
+TEST(Stats, HistogramCountsAndMerges)
 {
     Histogram hist(4);
     hist.add(0);
-    hist.add(99, 3);  // clamped into the last bucket
+    hist.add(3, 3);
     EXPECT_EQ(hist.count(3), 3u);
     EXPECT_EQ(hist.total(), 4u);
     EXPECT_DOUBLE_EQ(hist.fraction(0), 0.25);
+    EXPECT_EQ(hist.overflow(), 0u);
 
     Histogram other(4);
     other.add(1, 4);
@@ -294,6 +295,37 @@ TEST(Stats, HistogramClampsAndMerges)
     EXPECT_EQ(hist.total(), 8u);
     Histogram bad(3);
     EXPECT_THROW(hist.merge(bad), PanicError);
+}
+
+TEST(Stats, HistogramOutOfRangeKeysDoNotCorruptTheLastBucket)
+{
+    // Out-of-range keys mean a producer enum grew past the bucket
+    // count. Debug builds panic at the broken call site; release
+    // builds divert the samples to overflow() so the top bucket's
+    // counts (and every fraction) stay trustworthy.
+    Histogram hist(4);
+    hist.add(3, 2);
+#ifdef NDEBUG
+    hist.add(4, 5);
+    hist.add(99);
+    EXPECT_EQ(hist.overflow(), 6u);
+    EXPECT_EQ(hist.count(3), 2u);   // top bucket untouched
+    EXPECT_EQ(hist.total(), 2u);    // overflow excluded from total
+    EXPECT_DOUBLE_EQ(hist.fraction(3), 1.0);
+
+    Histogram other(4);
+    other.add(42, 4);
+    hist.merge(other);
+    EXPECT_EQ(hist.overflow(), 10u);
+
+    hist.reset();
+    EXPECT_EQ(hist.overflow(), 0u);
+    EXPECT_EQ(hist.total(), 0u);
+#else
+    EXPECT_THROW(hist.add(4, 5), PanicError);
+    EXPECT_EQ(hist.count(3), 2u);
+    EXPECT_EQ(hist.overflow(), 0u);
+#endif
 }
 
 TEST(Stats, StatSetAccess)
