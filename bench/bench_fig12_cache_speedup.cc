@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "common/log.hh"
 
 namespace
 {
@@ -47,13 +48,15 @@ printFigure()
 
     for (const auto &label : bench::suiteLabels(true)) {
         const auto *base = collector.find(base_label, label);
-        if (!base)
-            continue;
+        if (!base) {
+            warn("fig12: no baseline (", base_label, ") record for ",
+                 label, "; emitting placeholder row");
+        }
         std::vector<std::string> row{label};
         for (auto [l1, l2] : GpuConfig::cacheSweep()) {
             const auto *record =
                 collector.find(cacheLabel(l1, l2), label);
-            row.push_back(record
+            row.push_back(base && record
                               ? core::Table::num(
                                     core::speedupVs(*base, *record), 3)
                               : "-");

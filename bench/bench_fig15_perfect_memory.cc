@@ -5,6 +5,7 @@
  */
 
 #include "bench/common.hh"
+#include "common/log.hh"
 
 namespace
 {
@@ -31,8 +32,15 @@ printFigure()
     for (const auto &label : bench::suiteLabels(true)) {
         const auto *base = collector.find("baseline", label);
         const auto *perfect = collector.find("perfect", label);
-        if (!base || !perfect)
+        if (!base || !perfect) {
+            warn("fig15: missing ", base ? "perfect" : "baseline",
+                 " record for ", label, "; emitting placeholder row");
+            table.addRow(
+                {label, base ? std::to_string(base->kernelCycles) : "-",
+                 perfect ? std::to_string(perfect->kernelCycles) : "-",
+                 "-"});
             continue;
+        }
         const double speedup = core::speedupVs(*base, *perfect);
         speedups.push_back(speedup);
         table.addRow({label, std::to_string(base->kernelCycles),

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "common/log.hh"
 
 namespace
 {
@@ -43,12 +44,14 @@ printFigure()
     core::Table table(headers);
     for (const auto &label : bench::suiteLabels(true)) {
         const auto *base = collector.find("FR-FCFS", label);
-        if (!base)
-            continue;
+        if (!base) {
+            warn("fig16: no baseline (FR-FCFS) record for ", label,
+                 "; emitting placeholder row");
+        }
         std::vector<std::string> row{label};
         for (const auto &[cfg_label, policy] : policies()) {
             const auto *record = collector.find(cfg_label, label);
-            row.push_back(record
+            row.push_back(base && record
                               ? core::Table::num(
                                     core::speedupVs(*base, *record), 3)
                               : "-");

@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "common/log.hh"
 
 namespace
 {
@@ -44,12 +45,14 @@ printFigure()
     core::Table table(headers);
     for (const auto &label : bench::suiteLabels(true)) {
         const auto *base = collector.find("xbar", label);
-        if (!base)
-            continue;
+        if (!base) {
+            warn("fig20: no baseline (xbar) record for ", label,
+                 "; emitting placeholder row");
+        }
         std::vector<std::string> row{label};
         for (const auto &[cfg_label, topo] : topologies()) {
             const auto *record = collector.find(cfg_label, label);
-            row.push_back(record
+            row.push_back(base && record
                               ? core::Table::num(
                                     core::speedupVs(*base, *record), 3)
                               : "-");

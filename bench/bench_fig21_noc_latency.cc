@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "common/log.hh"
 
 namespace
 {
@@ -43,13 +44,15 @@ printFigure()
     std::vector<std::vector<double>> degradations(delays().size());
     for (const auto &label : bench::suiteLabels(true)) {
         const auto *base = collector.find("+0", label);
-        if (!base)
-            continue;
+        if (!base) {
+            warn("fig21: no baseline (+0) record for ", label,
+                 "; emitting placeholder row");
+        }
         std::vector<std::string> row{label};
         std::size_t col = 0;
         for (const auto &[cfg_label, delay] : delays()) {
             const auto *record = collector.find(cfg_label, label);
-            if (record) {
+            if (base && record) {
                 const double speedup = core::speedupVs(*base, *record);
                 row.push_back(core::Table::num(speedup, 3));
                 degradations[col].push_back(1.0 - speedup);

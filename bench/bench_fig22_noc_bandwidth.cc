@@ -6,6 +6,7 @@
  */
 
 #include "bench/common.hh"
+#include "common/log.hh"
 
 namespace
 {
@@ -45,13 +46,15 @@ printFigure()
     std::vector<std::vector<double>> degradations(flits.size());
     for (const auto &label : bench::suiteLabels(true)) {
         const auto *base = collector.find("40B", label);
-        if (!base)
-            continue;
+        if (!base) {
+            warn("fig22: no baseline (40B) record for ", label,
+                 "; emitting placeholder row");
+        }
         std::vector<std::string> row{label};
         for (std::size_t col = 0; col < flits.size(); ++col) {
             const auto *record =
                 collector.find(flitLabel(flits[col]), label);
-            if (record) {
+            if (base && record) {
                 const double speedup = core::speedupVs(*base, *record);
                 row.push_back(core::Table::num(speedup, 3));
                 degradations[col].push_back(1.0 - speedup);

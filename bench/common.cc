@@ -7,12 +7,25 @@
 
 #include "common/log.hh"
 #include "core/metrics.hh"
+#include "core/trace_store.hh"
 
 namespace ggpu::bench
 {
 
 namespace
 {
+
+/**
+ * One store per bench binary: every sweep point whose (app, options,
+ * lineBytes) key matches reuses the same emission + CPU verification.
+ * GGPU_NO_TRACE_CACHE=1 restores fresh per-point emission.
+ */
+core::TraceStore &
+traceStore()
+{
+    static core::TraceStore store;
+    return store;
+}
 
 std::vector<Collector *> &
 collectorRegistry()
@@ -72,7 +85,8 @@ addRun(Collector &collector, const std::string &config_label,
             cfg.options.cdp = cdp;
             for (auto _ : state) {
                 (void)_;
-                core::RunRecord record = core::runApp(app, cfg);
+                core::RunRecord record =
+                    core::runAppCached(traceStore(), app, cfg);
                 state.SetIterationTime(record.gpuSeconds);
                 state.counters["sim_cycles"] =
                     double(record.kernelCycles);

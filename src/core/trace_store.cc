@@ -1,0 +1,117 @@
+#include "core/trace_store.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/log.hh"
+#include "runtime/device.hh"
+
+namespace ggpu::core
+{
+
+namespace
+{
+
+std::string
+storeKey(const std::string &app, const kernels::AppOptions &options,
+         std::uint32_t line_bytes)
+{
+    std::ostringstream os;
+    os << app << "|cdp=" << options.cdp
+       << "|smem=" << options.sharedMem
+       << "|scale=" << int(options.scale)
+       << "|seed=" << options.seed
+       << "|line=" << line_bytes;
+    return os.str();
+}
+
+} // namespace
+
+sim::TraceBundle
+emitTrace(const std::string &app, const kernels::AppOptions &options,
+          std::uint32_t line_bytes)
+{
+    sim::TraceBundle bundle;
+    bundle.app = app;
+    bundle.cdp = options.cdp;
+
+    // Only lineBytes is trace-affecting; every other SystemConfig knob
+    // is timing-only, so emission runs under the defaults.
+    SystemConfig cfg;
+    cfg.gpu.lineBytes = line_bytes;
+    rt::Device device(cfg, &bundle);
+    auto application = makeApp(app);
+    const kernels::AppRunResult result = application->run(device, options);
+
+    bundle.verified = result.verified;
+    bundle.detail = result.detail;
+    bundle.cpuReferenceSeconds = result.cpuReferenceSeconds;
+    bundle.primarySpec = result.primarySpec;
+    if (!bundle.verified)
+        warn("trace-store: ", app, options.cdp ? "-CDP" : "",
+             " failed functional verification at emission");
+    return bundle;
+}
+
+RunRecord
+timeTrace(const sim::TraceBundle &bundle, const SystemConfig &system)
+{
+    rt::Device device(system);
+    const rt::ReplayResult replayed = device.replay(bundle);
+
+    RunRecord record;
+    record.app = bundle.app;
+    record.cdp = bundle.cdp;
+    record.verified = bundle.verified;
+    record.detail = bundle.detail;
+    record.kernelCycles = replayed.kernelCycles;
+    record.totalCycles = replayed.totalCycles;
+    record.gpuSeconds = device.seconds(replayed.kernelCycles);
+    record.cpuSeconds = bundle.cpuReferenceSeconds;
+    record.stats = device.gpu().stats();
+    record.kernelInvocations = device.profiler().kernelInvocations();
+    record.pciTransactions = device.profiler().pciTransactions();
+    record.profiledKernelCycles = device.profiler().kernelCycles();
+    record.profiledPciCycles = device.profiler().pciCycles();
+    record.pciBytes = device.profiler().pciBytes();
+    record.kernelsByName = device.profiler().byKernel();
+    record.primarySpec = bundle.primarySpec;
+    return record;
+}
+
+const sim::TraceBundle &
+TraceStore::get(const std::string &app,
+                const kernels::AppOptions &options,
+                std::uint32_t line_bytes)
+{
+    const std::string key = storeKey(app, options, line_bytes);
+    auto it = bundles_.find(key);
+    if (it != bundles_.end()) {
+        ++hits_;
+        return *it->second;
+    }
+    ++emissions_;
+    auto bundle = std::make_unique<sim::TraceBundle>(
+        emitTrace(app, options, line_bytes));
+    return *bundles_.emplace(key, std::move(bundle)).first->second;
+}
+
+bool
+traceCacheDisabled()
+{
+    const char *env = std::getenv("GGPU_NO_TRACE_CACHE");
+    return env != nullptr && std::string(env) == "1";
+}
+
+RunRecord
+runAppCached(TraceStore &store, const std::string &name,
+             const RunConfig &config)
+{
+    if (traceCacheDisabled())
+        return runApp(name, config);
+    const sim::TraceBundle &bundle =
+        store.get(name, config.options, config.system.gpu.lineBytes);
+    return timeTrace(bundle, config.system);
+}
+
+} // namespace ggpu::core

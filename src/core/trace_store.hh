@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Emit-once/time-many run orchestration. A config sweep replays one
+ * immutable ggpu::sim::TraceBundle under many timing configurations
+ * instead of re-running functional emission and the CPU reference
+ * verification at every sweep point. The TraceStore caches bundles
+ * keyed by every input emission actually depends on; timing-only
+ * knobs (cache sizes, DRAM scheduler, warp scheduler, NoC shape) are
+ * deliberately absent from the key.
+ */
+
+#ifndef GGPU_CORE_TRACE_STORE_HH
+#define GGPU_CORE_TRACE_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/suite.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::core
+{
+
+/**
+ * Run @p app's host workflow on a capture-mode device: kernels are
+ * functionally emitted (and verified against the CPU reference) once,
+ * producing an immutable bundle that timeTrace() can replay under any
+ * timing configuration sharing @p line_bytes.
+ */
+sim::TraceBundle emitTrace(const std::string &app,
+                           const kernels::AppOptions &options,
+                           std::uint32_t line_bytes);
+
+/**
+ * Replay @p bundle on a fresh device built from @p system, producing
+ * the same RunRecord a fresh runApp() under @p system would (modulo
+ * cpuSeconds, which is the bundle's one-time reference wall clock).
+ */
+RunRecord timeTrace(const sim::TraceBundle &bundle,
+                    const SystemConfig &system);
+
+/**
+ * Bundle cache keyed by (app, AppOptions, lineBytes) — the complete
+ * set of inputs emission depends on. `lineBytes` is in the key because
+ * coalesced WarpTrace::transactions are line-granular: a line-size
+ * sweep must re-emit, a cache/scheduler/NoC sweep must not.
+ */
+class TraceStore
+{
+  public:
+    /** The bundle for this key, emitting it on first use. */
+    const sim::TraceBundle &get(const std::string &app,
+                                const kernels::AppOptions &options,
+                                std::uint32_t line_bytes);
+
+    std::uint64_t emissions() const { return emissions_; }
+    std::uint64_t hits() const { return hits_; }
+    void clear() { bundles_.clear(); }
+
+  private:
+    std::map<std::string, std::unique_ptr<sim::TraceBundle>> bundles_;
+    std::uint64_t emissions_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+/** Whether GGPU_NO_TRACE_CACHE=1 forces fresh per-run emission. */
+bool traceCacheDisabled();
+
+/**
+ * runApp() through @p store: emit (or reuse) the trace bundle for
+ * @p config's options, then time it under @p config's system. Falls
+ * back to the fresh runApp() path when GGPU_NO_TRACE_CACHE=1.
+ */
+RunRecord runAppCached(TraceStore &store, const std::string &name,
+                       const RunConfig &config);
+
+} // namespace ggpu::core
+
+#endif // GGPU_CORE_TRACE_STORE_HH

@@ -85,7 +85,10 @@ DramChannel::tick(Cycles now, std::vector<DramCompletion> &completed)
         lastTick_ = now;
     }
 
-    // Retire finished transfers.
+    // Retire finished transfers. The swap-with-back removal scrambles
+    // vector order, so sort the batch by completion age before handing
+    // it downstream — arbitration must see age-ordered retirement.
+    const std::size_t first_retired = completed.size();
     for (std::size_t i = 0; i < inFlight_.size();) {
         if (inFlight_[i].doneAt <= now) {
             completed.push_back(inFlight_[i]);
@@ -95,6 +98,12 @@ DramChannel::tick(Cycles now, std::vector<DramCompletion> &completed)
             ++i;
         }
     }
+    std::sort(completed.begin() + std::ptrdiff_t(first_retired),
+              completed.end(),
+              [](const DramCompletion &a, const DramCompletion &b) {
+                  return a.doneAt != b.doneAt ? a.doneAt < b.doneAt
+                                              : a.reqId < b.reqId;
+              });
 
     // Issue at most one request per cycle.
     const int pick = pickRequest(now);

@@ -1,5 +1,7 @@
 #include "runtime/device.hh"
 
+#include "common/log.hh"
+
 namespace ggpu::rt
 {
 
@@ -8,10 +10,23 @@ Device::Device(const SystemConfig &cfg)
 {
 }
 
+Device::Device(const SystemConfig &cfg, sim::TraceBundle *capture)
+    : Device(cfg)
+{
+    capture_ = capture;
+    if (capture_)
+        capture_->lineBytes = cfg_.gpu.lineBytes;
+}
+
 void
 Device::copyIn(Addr dst, const void *src, std::size_t bytes)
 {
     gpu_->mem().write(dst, src, bytes);
+    if (capture_) {
+        capture_->commands.push_back(
+            {sim::TraceCommand::Kind::H2D, bytes, 0});
+        return;
+    }
     const Cycles cost = pci_.transfer(bytes, mem::PciDirection::HostToDevice,
                                       cfg_.gpu.coreClockGhz);
     gpu_->advance(cost);
@@ -25,6 +40,11 @@ void
 Device::copyOut(void *dst, Addr src, std::size_t bytes)
 {
     gpu_->mem().read(src, dst, bytes);
+    if (capture_) {
+        capture_->commands.push_back(
+            {sim::TraceCommand::Kind::D2H, bytes, 0});
+        return;
+    }
     const Cycles cost = pci_.transfer(bytes, mem::PciDirection::DeviceToHost,
                                       cfg_.gpu.coreClockGhz);
     gpu_->advance(cost);
@@ -35,8 +55,66 @@ Device::copyOut(void *dst, Addr src, std::size_t bytes)
 sim::LaunchResult
 Device::launch(const sim::LaunchSpec &spec)
 {
+    if (capture_) {
+        sim::KernelTrace kernel = gpu_->emitGrid(spec);
+        sim::LaunchResult result;
+        result.ctas = spec.grid.count();
+        result.childGrids = 0;
+        for (const sim::CtaTrace &cta : kernel.ctas)
+            result.childGrids += sim::countChildGrids(cta);
+        capture_->commands.push_back({sim::TraceCommand::Kind::Kernel, 0,
+                                      capture_->kernels.size()});
+        capture_->kernels.push_back(std::move(kernel));
+        return result;
+    }
     const sim::LaunchResult result = gpu_->launch(spec);
     profiler_.recordKernel(spec.name, result.cycles);
+    return result;
+}
+
+ReplayResult
+Device::replay(const sim::TraceBundle &bundle)
+{
+    if (capture_)
+        fatal("Device::replay: capture-mode devices cannot replay");
+    if (bundle.lineBytes != cfg_.gpu.lineBytes)
+        fatal("Device::replay: bundle for app '", bundle.app,
+              "' was emitted with lineBytes=", bundle.lineBytes,
+              " but this device uses lineBytes=", cfg_.gpu.lineBytes,
+              " (re-emit the trace for this line size)");
+
+    const Cycles started = gpu_->now();
+    ReplayResult result;
+    for (const sim::TraceCommand &cmd : bundle.commands) {
+        switch (cmd.kind) {
+          case sim::TraceCommand::Kind::H2D: {
+            const Cycles cost =
+                pci_.transfer(cmd.bytes, mem::PciDirection::HostToDevice,
+                              cfg_.gpu.coreClockGhz);
+            gpu_->advance(cost);
+            profiler_.recordPci(cmd.bytes, cost);
+            gpu_->flushCaches();
+            break;
+          }
+          case sim::TraceCommand::Kind::D2H: {
+            const Cycles cost =
+                pci_.transfer(cmd.bytes, mem::PciDirection::DeviceToHost,
+                              cfg_.gpu.coreClockGhz);
+            gpu_->advance(cost);
+            profiler_.recordPci(cmd.bytes, cost);
+            gpu_->flushCaches();
+            break;
+          }
+          case sim::TraceCommand::Kind::Kernel: {
+            const sim::KernelTrace &kernel = bundle.kernels[cmd.kernel];
+            const sim::LaunchResult launched = gpu_->launchTraced(kernel);
+            profiler_.recordKernel(kernel.spec.name, launched.cycles);
+            result.kernelCycles += launched.cycles;
+            break;
+          }
+        }
+    }
+    result.totalCycles = gpu_->now() - started;
     return result;
 }
 

@@ -30,11 +30,27 @@ struct DeviceBuffer
     std::uint64_t bytes() const { return count * sizeof(T); }
 };
 
+/** Timing outcome of replaying a pre-emitted TraceBundle. */
+struct ReplayResult
+{
+    Cycles kernelCycles = 0;  //!< Sum of kernel durations
+    Cycles totalCycles = 0;   //!< Kernels + PCI transfers
+};
+
 /** One simulated device plus its host-side runtime state. */
 class Device
 {
   public:
     explicit Device(const SystemConfig &cfg = SystemConfig{});
+
+    /**
+     * Capture-mode device: application host code runs normally, but
+     * copies and launches only execute functionally — each operation
+     * is recorded into @p capture (commands + emitted kernel traces)
+     * instead of advancing the timing model. Launch results report
+     * zero cycles; replay() on a fresh device supplies the timing.
+     */
+    Device(const SystemConfig &cfg, sim::TraceBundle *capture);
 
     Device(const Device &) = delete;
     Device &operator=(const Device &) = delete;
@@ -77,6 +93,15 @@ class Device
     /** Synchronous kernel launch (default-stream semantics). */
     sim::LaunchResult launch(const sim::LaunchSpec &spec);
 
+    /**
+     * Replay a pre-emitted bundle's command stream against this
+     * device's timing model: transfers advance the PCI model, kernels
+     * replay their traces. The bundle is read-only and may be replayed
+     * concurrently by other devices. Fatal when the bundle was emitted
+     * under a different coalescing line size.
+     */
+    ReplayResult replay(const sim::TraceBundle &bundle);
+
     sim::Gpu &gpu() { return *gpu_; }
     Profiler &profiler() { return profiler_; }
     const SystemConfig &config() const { return cfg_; }
@@ -92,6 +117,7 @@ class Device
     std::unique_ptr<sim::Gpu> gpu_;
     mem::PciModel pci_;
     Profiler profiler_;
+    sim::TraceBundle *capture_ = nullptr;  //!< Non-null in capture mode
 };
 
 } // namespace ggpu::rt

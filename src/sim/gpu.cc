@@ -158,7 +158,7 @@ Gpu::sendWriteRequest(int core, Addr line, Cycles now)
 }
 
 void
-Gpu::postChildLaunch(int core, ChildGrid &child, int warp_slot,
+Gpu::postChildLaunch(int core, const ChildGrid &child, int warp_slot,
                      int cta_slot, Cycles now)
 {
     if (inSmPhase_) {
@@ -188,18 +188,17 @@ Gpu::postCtaComplete(int core, GridState &grid, Cycles now)
 }
 
 GridState *
-Gpu::enqueueChildGrid(ChildGrid &child, int parent_core,
+Gpu::enqueueChildGrid(const ChildGrid &child, int parent_core,
                       int parent_cta_slot, Cycles now)
 {
     auto grid = std::make_unique<GridState>();
     grid->spec = child.spec;
-    grid->childSrc = &child;
+    grid->ctaSrc = &child.ctas;
     grid->totalCtas = child.spec.grid.count();
     grid->remaining = grid->totalCtas;
     grid->depth = 1;
     grid->parentCore = parent_core;
     grid->parentCtaSlot = parent_cta_slot;
-    grid->salt = ++gridSeq_;
 
     Cycles overhead = cfg_.gpu.cdpLaunchOverhead;
     if (!cdpRuntimeInitialized_) {
@@ -379,16 +378,9 @@ Gpu::dispatchCtas()
             if (!sm.canFit(grid->spec))
                 continue;
 
-            CtaTrace trace;
-            if (grid->childSrc) {
-                trace = std::move(
-                    grid->childSrc->ctas[std::size_t(grid->nextCta)]);
-            } else {
-                trace = emitCta(grid->spec, grid->nextCta, mem_,
-                                cfg_.gpu.lineBytes, grid->depth,
-                                grid->salt);
-            }
-            sm.dispatchCta(*grid, std::move(trace), now_);
+            const CtaTrace &trace =
+                (*grid->ctaSrc)[std::size_t(grid->nextCta)];
+            sm.dispatchCta(*grid, trace, now_);
             ++grid->nextCta;
             ++dispatched;
             placed_any = true;
@@ -615,10 +607,43 @@ Gpu::harvestStats()
 LaunchResult
 Gpu::launch(const LaunchSpec &spec)
 {
+    const KernelTrace kernel = emitGrid(spec);
+    return launchTraced(kernel);
+}
+
+KernelTrace
+Gpu::emitGrid(const LaunchSpec &spec)
+{
     if (!spec.body)
-        fatal("Gpu::launch: kernel '", spec.name, "' has no body");
+        fatal("Gpu::emitGrid: kernel '", spec.name, "' has no body");
     if (spec.grid.count() == 0)
-        fatal("Gpu::launch: kernel '", spec.name, "' has an empty grid");
+        fatal("Gpu::emitGrid: kernel '", spec.name,
+              "' has an empty grid");
+    computeOccupancy(cfg_.gpu, spec);  // fatal when a CTA cannot fit
+
+    KernelTrace kernel;
+    kernel.spec = spec;
+    const std::uint64_t salt = ++gridSeq_;
+    kernel.ctas.reserve(std::size_t(spec.grid.count()));
+    for (std::uint64_t c = 0; c < spec.grid.count(); ++c) {
+        kernel.ctas.push_back(
+            emitCta(spec, c, mem_, cfg_.gpu.lineBytes, 0, salt));
+    }
+    // Each CDP child the timed replay enqueues used to consume one
+    // gridSeq_ increment; skip past them so the salt sequence seen by
+    // later launches is independent of when this trace gets timed.
+    gridSeq_ += countChildGrids(kernel);
+    return kernel;
+}
+
+LaunchResult
+Gpu::launchTraced(const KernelTrace &kernel)
+{
+    const LaunchSpec &spec = kernel.spec;
+    if (kernel.ctas.size() != spec.grid.count())
+        fatal("Gpu::launchTraced: kernel '", spec.name, "' trace has ",
+              kernel.ctas.size(), " CTAs for a grid of ",
+              spec.grid.count());
     computeOccupancy(cfg_.gpu, spec);  // fatal when a CTA cannot fit
 
     const Cycles started = now_;
@@ -627,10 +652,10 @@ Gpu::launch(const LaunchSpec &spec)
 
     auto grid = std::make_unique<GridState>();
     grid->spec = spec;
+    grid->ctaSrc = &kernel.ctas;
     grid->totalCtas = spec.grid.count();
     grid->remaining = grid->totalCtas;
     grid->readyAt = launchReadyAt_;
-    grid->salt = ++gridSeq_;
     GridState *raw = grid.get();
     activeGrids_.push_back(std::move(grid));
     dispatchQueue_.push_back(raw);

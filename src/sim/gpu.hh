@@ -83,8 +83,25 @@ class Gpu
     Gpu(const Gpu &) = delete;
     Gpu &operator=(const Gpu &) = delete;
 
-    /** Synchronously run @p spec to completion. */
+    /** Synchronously run @p spec to completion (emits the grid's
+     *  trace, then times it — equivalent to emitGrid + launchTraced). */
     LaunchResult launch(const LaunchSpec &spec);
+
+    /**
+     * Functional emission only: run every CTA of @p spec through the
+     * emission front end (mutating functional device memory exactly as
+     * a timed launch would) without advancing the timing model. The
+     * grid-salt counter advances as a timed launch would, so a later
+     * launch emits identical traces either way.
+     */
+    KernelTrace emitGrid(const LaunchSpec &spec);
+
+    /**
+     * Timing only: synchronously replay a pre-emitted kernel trace to
+     * completion. @p kernel is not mutated and may outlive any number
+     * of replays on any device with the same lineBytes.
+     */
+    LaunchResult launchTraced(const KernelTrace &kernel);
 
     DeviceMemory &mem() { return mem_; }
     const SystemConfig &config() const { return cfg_; }
@@ -112,14 +129,14 @@ class Gpu
     // barrier so shared-structure arbitration is deterministic.
     void sendReadRequest(int core, Addr line, Cycles now);
     void sendWriteRequest(int core, Addr line, Cycles now);
-    void postChildLaunch(int core, ChildGrid &child, int warp_slot,
+    void postChildLaunch(int core, const ChildGrid &child, int warp_slot,
                          int cta_slot, Cycles now);
     void postCtaComplete(int core, GridState &grid, Cycles now);
     bool launchPending(Cycles now) const;
 
     /** Directly queue a CDP grid (drain path; also used by deadlock
      *  regression tests to inject never-completing grids). */
-    GridState *enqueueChildGrid(ChildGrid &child, int parent_core,
+    GridState *enqueueChildGrid(const ChildGrid &child, int parent_core,
                                 int parent_cta_slot, Cycles now);
 
   private:
@@ -170,7 +187,7 @@ class Gpu
             CtaComplete   //!< CTA drained; notify its grid
         } kind = Kind::Read;
         Addr line = 0;
-        ChildGrid *child = nullptr;
+        const ChildGrid *child = nullptr;
         GridState *grid = nullptr;
         int warpSlot = -1;
         int ctaSlot = -1;
@@ -230,6 +247,8 @@ class Gpu
 
     std::vector<std::unique_ptr<GridState>> activeGrids_;
     std::deque<GridState *> dispatchQueue_;
+    /** Emission-salt counter: advanced only by emitGrid, by one per
+     *  grid (host or CDP child) the emitted trace will enqueue. */
     std::uint64_t gridSeq_ = 0;
     std::uint64_t liveGrids_ = 0;
     std::uint64_t childGridsThisLaunch_ = 0;

@@ -19,9 +19,13 @@ namespace ggpu::sim
 struct GridState
 {
     LaunchSpec spec;
-    /** Pre-emitted CTA traces for CDP grids; null for host launches
-     *  (whose CTAs are emitted lazily at dispatch). */
-    ChildGrid *childSrc = nullptr;
+    /**
+     * Pre-emitted CTA traces this grid dispatches from (a KernelTrace
+     * for host launches, the parent trace's ChildGrid for CDP grids).
+     * The timing phase never mutates them, so the same source can be
+     * replayed by any number of runs.
+     */
+    const std::vector<CtaTrace> *ctaSrc = nullptr;
 
     std::uint64_t totalCtas = 0;
     std::uint64_t nextCta = 0;    //!< Next CTA linear index to dispatch
@@ -33,8 +37,6 @@ struct GridState
     /** Parent CTA holding this child grid (resource-release ordering). */
     int parentCore = -1;
     int parentCtaSlot = -1;
-
-    std::uint64_t salt = 0;       //!< Local-memory address salt
 };
 
 } // namespace ggpu::sim

@@ -26,7 +26,8 @@ toString(StallReason reason)
 }
 
 WarpScheduler::WarpScheduler(WarpSchedPolicy policy, int num_slots)
-    : policy_(policy), numSlots_(num_slots)
+    : policy_(policy), numSlots_(num_slots),
+      promotedAt_(std::size_t(num_slots > 0 ? num_slots : 0), 0)
 {
     if (num_slots <= 0 || num_slots > 64)
         fatal("WarpScheduler: slot count must be in [1, 64], got ",
@@ -92,11 +93,22 @@ WarpScheduler::pick(std::uint64_t issuable,
         const int promoted = pickOldest(issuable, age);
         if (promoted >= 0) {
             if (std::popcount(activeSet_) >= activeSetSize) {
-                // Demote the least-recently considered active warp.
-                const int victim = std::countr_zero(activeSet_);
+                // Demote the least-recently promoted active warp.
+                int victim = -1;
+                std::uint64_t victim_stamp = UINT64_MAX;
+                std::uint64_t bits = activeSet_;
+                while (bits) {
+                    const int slot = std::countr_zero(bits);
+                    bits &= bits - 1;
+                    if (promotedAt_[std::size_t(slot)] < victim_stamp) {
+                        victim_stamp = promotedAt_[std::size_t(slot)];
+                        victim = slot;
+                    }
+                }
                 activeSet_ &= ~(std::uint64_t(1) << victim);
             }
             activeSet_ |= std::uint64_t(1) << promoted;
+            promotedAt_[std::size_t(promoted)] = promoStamp_++;
         }
         return promoted;
       }

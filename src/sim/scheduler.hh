@@ -52,6 +52,8 @@ class WarpScheduler
     int rrNext_ = 0;
     int greedy_ = -1;             //!< GTO sticky warp
     std::uint64_t activeSet_ = 0; //!< 2LV active-warp bitmask
+    std::vector<std::uint64_t> promotedAt_;  //!< 2LV promotion stamps
+    std::uint64_t promoStamp_ = 0;
 };
 
 } // namespace ggpu::sim

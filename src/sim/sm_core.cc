@@ -41,7 +41,7 @@ SmCore::canFit(const LaunchSpec &spec) const
 }
 
 void
-SmCore::dispatchCta(GridState &grid, CtaTrace &&trace, Cycles now)
+SmCore::dispatchCta(GridState &grid, const CtaTrace &trace, Cycles now)
 {
     if (!canFit(grid.spec))
         panic("SmCore ", coreId_, ": dispatchCta without room");
@@ -58,9 +58,9 @@ SmCore::dispatchCta(GridState &grid, CtaTrace &&trace, Cycles now)
 
     CtaSlot &cta = ctas_[std::size_t(cta_slot)];
     cta.valid = true;
-    cta.trace = std::move(trace);
+    cta.trace = &trace;
     cta.grid = &grid;
-    cta.activeWarps = std::uint32_t(cta.trace.warps.size());
+    cta.activeWarps = std::uint32_t(trace.warps.size());
     cta.barrierArrived = 0;
     cta.pendingChildGrids = 0;
     cta.warpSlots.clear();
@@ -76,7 +76,7 @@ SmCore::dispatchCta(GridState &grid, CtaTrace &&trace, Cycles now)
     freeCtaSlots_ -= 1;
     freeWarpSlots_ -= cta.activeWarps;
 
-    for (auto &warp_trace : cta.trace.warps) {
+    for (const auto &warp_trace : cta.trace->warps) {
         int slot = -1;
         for (std::size_t i = 0; i < warps_.size(); ++i) {
             if (!warps_[i].valid) {
@@ -279,7 +279,7 @@ SmCore::issue(int slot_idx, Cycles now)
       }
       case OpKind::ChildLaunch: {
         CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
-        ChildGrid *child = cta.trace.children[op.child].get();
+        const ChildGrid *child = cta.trace->children[op.child].get();
         // The CTA's pending-child count rises immediately (it gates
         // CTA teardown this same cycle); the device-side enqueue is
         // posted and lands at the cycle barrier.
@@ -351,7 +351,7 @@ SmCore::maybeFreeCta(int cta_slot, Cycles now)
     GridState *grid = cta.grid;
     cta.valid = false;
     cta.grid = nullptr;
-    cta.trace = CtaTrace{};
+    cta.trace = nullptr;
 
     gpu_->postCtaComplete(coreId_, *grid, now);
 }

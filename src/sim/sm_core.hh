@@ -37,8 +37,9 @@ class SmCore
     /** Whether a CTA of @p spec fits in the currently free resources. */
     bool canFit(const LaunchSpec &spec) const;
 
-    /** Place one CTA of @p grid (trace already emitted). */
-    void dispatchCta(GridState &grid, CtaTrace &&trace, Cycles now);
+    /** Place one CTA of @p grid. @p trace is a pre-emitted trace the
+     *  core only reads (it may be shared with concurrent replays). */
+    void dispatchCta(GridState &grid, const CtaTrace &trace, Cycles now);
 
     /** Advance one cycle; returns true when any warp issued. */
     bool tick(Cycles now);
@@ -112,7 +113,7 @@ class SmCore
     struct CtaSlot
     {
         bool valid = false;
-        CtaTrace trace;
+        const CtaTrace *trace = nullptr;
         GridState *grid = nullptr;
         std::uint32_t activeWarps = 0;   //!< Unfinished warps
         std::uint32_t barrierArrived = 0;

@@ -45,6 +45,25 @@ KernelBody::numPhases(Dim3 cta_coord, Dim3 cta_dim) const
     return 1;
 }
 
+std::uint64_t
+countChildGrids(const CtaTrace &trace)
+{
+    std::uint64_t count = trace.children.size();
+    for (const auto &child : trace.children)
+        for (const CtaTrace &cta : child->ctas)
+            count += countChildGrids(cta);
+    return count;
+}
+
+std::uint64_t
+countChildGrids(const KernelTrace &kernel)
+{
+    std::uint64_t count = 0;
+    for (const CtaTrace &cta : kernel.ctas)
+        count += countChildGrids(cta);
+    return count;
+}
+
 void
 WarpTrace::append(const TraceOp &op)
 {

@@ -95,6 +95,65 @@ struct ChildGrid
     std::vector<CtaTrace> ctas;
 };
 
+/**
+ * Pre-emitted trace of one host kernel launch: every CTA of the grid
+ * in linear order, each carrying its eagerly emitted CDP children.
+ * The timing phase only reads it, so one KernelTrace can be replayed
+ * under any number of timing configurations.
+ */
+struct KernelTrace
+{
+    LaunchSpec spec;
+    std::vector<CtaTrace> ctas;
+};
+
+/** ChildGrid count of @p trace, recursing into nested CDP children. */
+std::uint64_t countChildGrids(const CtaTrace &trace);
+std::uint64_t countChildGrids(const KernelTrace &kernel);
+
+/**
+ * One recorded host-side device operation. The emission phase records
+ * the command stream an application issued; the timing phase replays
+ * it (transfers advance the PCI model, kernels replay their traces).
+ */
+struct TraceCommand
+{
+    enum class Kind : std::uint8_t
+    {
+        H2D,    //!< cudaMemcpy host-to-device (bytes)
+        D2H,    //!< cudaMemcpy device-to-host (bytes)
+        Kernel  //!< Kernel launch (index into TraceBundle::kernels)
+    };
+    Kind kind = Kind::Kernel;
+    std::uint64_t bytes = 0;    //!< Transfer size (H2D/D2H)
+    std::size_t kernel = 0;     //!< Index into kernels (Kernel)
+};
+
+/**
+ * Immutable emit-once artifact of one application run: the recorded
+ * host command stream, every launch's pre-emitted trace, and the
+ * functional outcome (CPU-reference verdict) of the single emission
+ * pass. A bundle never changes after emission; `timeTrace`-style
+ * replay may consume it repeatedly, concurrently across sim.threads
+ * lanes, and under any timing configuration that shares the bundle's
+ * coalescing line size (WarpTrace::transactions are line-granular).
+ */
+struct TraceBundle
+{
+    std::string app;            //!< Table III abbreviation
+    bool cdp = false;
+    std::uint32_t lineBytes = 128;  //!< Coalescing granularity baked in
+
+    std::vector<TraceCommand> commands;
+    std::vector<KernelTrace> kernels;
+
+    // Functional outcome of the emission pass.
+    bool verified = false;
+    std::string detail;
+    double cpuReferenceSeconds = 0.0;
+    LaunchSpec primarySpec;
+};
+
 } // namespace ggpu::sim
 
 #endif // GGPU_SIM_TRACE_HH

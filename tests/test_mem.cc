@@ -227,6 +227,33 @@ TEST(Dram, BankParallelismOverlapsActivations)
     EXPECT_LT(diff_banks, same_bank_diff_row);
 }
 
+TEST(Dram, RetirementBatchIsAgeOrdered)
+{
+    const GpuConfig cfg = dramConfig(MemSchedPolicy::FrFcfs);
+    DramChannel channel(cfg, 0);
+    // Three reads to three different banks so each can issue on a
+    // successive tick; the shared data pins serialize their doneAt
+    // times in issue order (1 before 2 before 3).
+    channel.push({0x0, false, 0, 1});
+    channel.push({Addr(cfg.dramRowBytes), false, 0, 2});
+    channel.push({Addr(cfg.dramRowBytes) * 2, false, 0, 3});
+    std::vector<DramCompletion> done;
+    channel.tick(1, done);
+    channel.tick(2, done);
+    channel.tick(3, done);
+    ASSERT_TRUE(done.empty());
+    // Jump past all three completions in one tick, as the event-driven
+    // GPU loop does. The swap-with-back removal scrambles the internal
+    // in-flight vector, so an unsorted batch would retire 1, 3, 2.
+    channel.tick(1000000, done);
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_EQ(done[0].reqId, 1u);
+    EXPECT_EQ(done[1].reqId, 2u);
+    EXPECT_EQ(done[2].reqId, 3u);
+    EXPECT_LE(done[0].doneAt, done[1].doneAt);
+    EXPECT_LE(done[1].doneAt, done[2].doneAt);
+}
+
 TEST(Dram, NextEventAtBoundsProgress)
 {
     const GpuConfig cfg = dramConfig(MemSchedPolicy::FrFcfs);

@@ -227,6 +227,29 @@ TEST(Scheduler, TwoLevelPromotesWhenActiveSetStalls)
     EXPECT_EQ(sched.pick(0xfffe, age), 1);
 }
 
+TEST(Scheduler, TwoLevelEvictsLeastRecentlyPromoted)
+{
+    WarpScheduler sched(WarpSchedPolicy::TwoLevel, 16);
+    std::vector<std::uint64_t> age(16);
+    for (std::size_t i = 0; i < 16; ++i)
+        age[i] = i;
+    // Fill the 8-entry active set in a promotion order that differs
+    // from slot order (single-bit masks force each promotion).
+    for (int slot : {5, 4, 3, 2, 1, 0, 6, 7})
+        EXPECT_EQ(sched.pick(std::uint64_t(1) << slot, age), slot);
+    // Promoting a ninth warp overflows the active set. The demotion
+    // victim must be slot 5 — the least recently *promoted* member —
+    // not slot 0, the lowest set bit.
+    EXPECT_EQ(sched.pick(std::uint64_t(1) << 8, age), 8);
+    // Slot 0 must still be active (LRR within the active set picks it
+    // over promoting slot 5 afresh); the old countr_zero demotion
+    // evicted slot 0 and would return 5 here.
+    EXPECT_EQ(sched.pick((std::uint64_t(1) << 0) |
+                             (std::uint64_t(1) << 5),
+                         age),
+              0);
+}
+
 TEST(Scheduler, NoIssuableWarpsReturnsMinusOne)
 {
     for (auto policy : {WarpSchedPolicy::Lrr, WarpSchedPolicy::Gto,

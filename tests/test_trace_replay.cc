@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Emit-once/time-many differential harness: for every registered
+ * benchmark application (and its CDP variant), a RunRecord produced by
+ * replaying a cached TraceBundle at multiple sweep points must be
+ * byte-identical to one produced by fresh per-point emission — at 1
+ * and 8 simulation threads — while the TraceStore performs exactly one
+ * emission (and thus one CPU-reference verification) per trace key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/suite.hh"
+#include "core/trace_store.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+struct ReplayCase
+{
+    std::string app;
+    bool cdp;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<ReplayCase> &info)
+{
+    return info.param.app + (info.param.cdp ? "_CDP" : "");
+}
+
+std::vector<ReplayCase>
+allCases()
+{
+    std::vector<ReplayCase> cases;
+    for (const std::string &app : core::appNames()) {
+        cases.push_back({app, false});
+        cases.push_back({app, true});
+    }
+    return cases;
+}
+
+/**
+ * Two sweep points that change only timing-model knobs, mimicking a
+ * fig12-style cache sweep: the baseline and a small-cache variant.
+ * Neither changes lineBytes, so both share one trace key.
+ */
+std::vector<SystemConfig>
+sweepPoints()
+{
+    SystemConfig base;
+    SystemConfig small_caches;
+    small_caches.gpu.l1SizeBytes = 32u << 10;
+    small_caches.gpu.l2SizeBytes = 1u << 20;
+    return {base, small_caches};
+}
+
+/** Human-readable first-differences between two stats snapshots. */
+std::string
+describeDiff(const sim::SimStats &a, const sim::SimStats &b)
+{
+    std::ostringstream os;
+    auto field = [&os](const char *name, std::uint64_t x,
+                       std::uint64_t y) {
+        if (x != y)
+            os << "  " << name << ": " << x << " vs " << y << "\n";
+    };
+    field("gpuCycles", a.gpuCycles, b.gpuCycles);
+    field("launches", a.launches, b.launches);
+    field("totalInsns", a.totalInsns(), b.totalInsns());
+    field("issueCycles", a.issueCycles, b.issueCycles);
+    field("smCycles", a.smCycles, b.smCycles);
+    field("l1Accesses", a.l1Accesses, b.l1Accesses);
+    field("l1Misses", a.l1Misses, b.l1Misses);
+    field("l2Accesses", a.l2Accesses, b.l2Accesses);
+    field("l2Misses", a.l2Misses, b.l2Misses);
+    field("dramServed", a.dramServed, b.dramServed);
+    field("dramRowHits", a.dramRowHits, b.dramRowHits);
+    field("dramPinBusy", a.dramPinBusy, b.dramPinBusy);
+    field("dramActive", a.dramActive, b.dramActive);
+    field("nocPackets", a.nocPackets, b.nocPackets);
+    field("nocFlits", a.nocFlits, b.nocFlits);
+    field("nocLatencySum", a.nocLatencySum, b.nocLatencySum);
+    const std::string diff = os.str();
+    return diff.empty() ? "  (only histograms differ)\n" : diff;
+}
+
+class TraceReplayTest : public ::testing::TestWithParam<ReplayCase>
+{
+};
+
+TEST_P(TraceReplayTest, ReplayedRecordsMatchFreshEmission)
+{
+    core::TraceStore store;
+    for (const int threads : {1, 8}) {
+        std::size_t point_idx = 0;
+        for (const SystemConfig &point : sweepPoints()) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " point=" + std::to_string(point_idx++));
+            core::RunConfig config;
+            config.options.scale = kernels::InputScale::Tiny;
+            config.options.cdp = GetParam().cdp;
+            config.system = point;
+            config.system.sim.threads = threads;
+
+            const core::RunRecord fresh =
+                core::runApp(GetParam().app, config);
+            const core::RunRecord replayed =
+                core::runAppCached(store, GetParam().app, config);
+
+            ASSERT_TRUE(fresh.verified) << fresh.detail;
+            EXPECT_EQ(replayed.verified, fresh.verified);
+            EXPECT_EQ(replayed.detail, fresh.detail);
+            EXPECT_EQ(replayed.kernelCycles, fresh.kernelCycles);
+            EXPECT_EQ(replayed.totalCycles, fresh.totalCycles);
+            EXPECT_EQ(replayed.kernelInvocations,
+                      fresh.kernelInvocations);
+            EXPECT_EQ(replayed.pciTransactions, fresh.pciTransactions);
+            EXPECT_EQ(replayed.profiledKernelCycles,
+                      fresh.profiledKernelCycles);
+            EXPECT_EQ(replayed.profiledPciCycles,
+                      fresh.profiledPciCycles);
+            EXPECT_EQ(replayed.pciBytes, fresh.pciBytes);
+            EXPECT_EQ(replayed.kernelsByName, fresh.kernelsByName);
+            EXPECT_TRUE(replayed.stats == fresh.stats)
+                << "replayed stats diverge from fresh emission:\n"
+                << describeDiff(fresh.stats, replayed.stats);
+        }
+    }
+    // 2 thread counts x 2 sweep points share one trace key: exactly
+    // one emission (and one CPU verification), three cache hits.
+    EXPECT_EQ(store.emissions(), 1u);
+    EXPECT_EQ(store.hits(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, TraceReplayTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+TEST(TraceStore, LineBytesIsPartOfTheKey)
+{
+    core::TraceStore store;
+    kernels::AppOptions options;
+    options.scale = kernels::InputScale::Tiny;
+    (void)store.get("SW", options, 128);
+    (void)store.get("SW", options, 128);
+    EXPECT_EQ(store.emissions(), 1u);
+    EXPECT_EQ(store.hits(), 1u);
+    // A different coalescing granularity emits different transactions
+    // and must not reuse the 128B bundle.
+    (void)store.get("SW", options, 64);
+    EXPECT_EQ(store.emissions(), 2u);
+}
+
+TEST(TraceStore, EscapeHatchDisablesCaching)
+{
+    ASSERT_EQ(setenv("GGPU_NO_TRACE_CACHE", "1", 1), 0);
+    EXPECT_TRUE(core::traceCacheDisabled());
+
+    core::TraceStore store;
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    const core::RunRecord record =
+        core::runAppCached(store, "SW", config);
+    EXPECT_TRUE(record.verified) << record.detail;
+    EXPECT_EQ(store.emissions(), 0u);  // fresh path, store untouched
+
+    ASSERT_EQ(unsetenv("GGPU_NO_TRACE_CACHE"), 0);
+    EXPECT_FALSE(core::traceCacheDisabled());
+}
+
+} // namespace
