@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "check/diagnostic.hh"
 #include "common/log.hh"
 #include "core/json.hh"
 #include "core/metrics.hh"
@@ -40,6 +41,38 @@ readFile(const std::string &path)
     std::ostringstream os;
     os << is.rdbuf();
     return os.str();
+}
+
+/** Check one ggpu.check.v1 checker artifact (ggpu_check --json). */
+void
+checkCheckerArtifact(const std::string &path, const Value &doc)
+{
+    doc.at("scale").asString();
+    const Value &runs = doc.at("runs");
+    if (!runs.isArray())
+        ggpu::fatal(path, ": 'runs' is not an array");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Value &run = runs.at(i);
+        for (const auto &key : ggpu::check::requiredCheckRunKeys())
+            if (!run.has(key))
+                ggpu::fatal(path, ": run ", i, " is missing key '",
+                            key, "'");
+        const Value &diags = run.at("diagnostics");
+        if (!diags.isArray())
+            ggpu::fatal(path, ": run ", i,
+                        ": 'diagnostics' is not an array");
+        if (run.at("diagnostic_count").asNumber() !=
+            double(diags.size()))
+            ggpu::fatal(path, ": run ", i,
+                        ": diagnostic_count disagrees with the "
+                        "diagnostics array");
+        for (std::size_t d = 0; d < diags.size(); ++d)
+            for (const auto &key :
+                 ggpu::check::requiredDiagnosticKeys())
+                if (!diags.at(d).has(key))
+                    ggpu::fatal(path, ": run ", i, " diagnostic ", d,
+                                " is missing key '", key, "'");
+    }
 }
 
 /** Check one parsed artifact; throws FatalError with the defect. */
@@ -90,6 +123,14 @@ int
 cmdValidate(const std::string &path)
 {
     const Value doc = ggpu::core::json::parse(readFile(path));
+    if (!doc.isObject())
+        ggpu::fatal(path, ": top-level value is not an object");
+    if (doc.at("schema").asString() == ggpu::check::checkerSchema) {
+        checkCheckerArtifact(path, doc);
+        std::cout << path << ": ok (" << doc.at("runs").size()
+                  << " checker runs)\n";
+        return 0;
+    }
     checkArtifact(path, doc);
     std::cout << path << ": ok (" << doc.at("runs").size()
               << " runs, " << doc.at("series").size() << " series)\n";

@@ -1,0 +1,346 @@
+#include "check/checker.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.hh"
+#include "sim/device_memory.hh"
+
+namespace ggpu::check
+{
+
+namespace
+{
+
+/** Canonical dedup key; -1 fields are simply folded in as "-1". */
+std::string
+key(DiagKind kind, const std::string &kernel, int a, int b = -1)
+{
+    std::ostringstream os;
+    os << int(kind) << '|' << kernel << '|' << a << '|' << b;
+    return os.str();
+}
+
+} // namespace
+
+Checker::Checker(CheckMode mode) : mode_(mode) {}
+
+void
+Checker::onCtaBegin(const sim::LaunchSpec &spec, std::uint64_t cta_linear,
+                    int nest_depth)
+{
+    CtaFrame frame;
+    frame.spec = &spec;
+    frame.ctaLinear = cta_linear;
+    frame.nestDepth = nest_depth;
+    frames_.push_back(std::move(frame));
+}
+
+void
+Checker::onCtaEnd()
+{
+    if (frames_.empty())
+        panic("Checker: onCtaEnd without a matching onCtaBegin");
+    frames_.pop_back();
+}
+
+void
+Checker::onMemAccess(const sim::MemAccess &access)
+{
+    ++accesses_;
+    if (access.space == sim::MemSpace::Shared) {
+        // Shared accesses arrive only while a CTA is being emitted; the
+        // innermost frame is that CTA (CDP children nest in stack order).
+        if (frames_.empty())
+            panic("Checker: shared access outside any CTA frame");
+        raceCheckShared(access, frames_.back());
+    } else if (mode_.mem && sim::isOffCore(access.space) &&
+               access.space != sim::MemSpace::Local) {
+        // Local is a synthetic per-thread window with no allocation
+        // backing it; Param/Const loads carry no addresses at all.
+        memCheckOffCore(access);
+    }
+}
+
+void
+Checker::raceCheckShared(const sim::MemAccess &access, CtaFrame &frame)
+{
+    const std::uint32_t smem_bytes = frame.spec->res.smemPerCtaBytes;
+    if (frame.shadow.empty() && smem_bytes != 0 && mode_.race)
+        frame.shadow.resize(smem_bytes);
+
+    const auto warp = std::int16_t(access.warpInCta);
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(access.mask & (LaneMask(1) << lane)))
+            continue;
+        const Addr off = (*access.addrs)[std::size_t(lane)];
+        if (mode_.mem && off + access.bytesPerLane > smem_bytes) {
+            Diagnostic diag;
+            diag.kind = DiagKind::SharedOutOfBounds;
+            diag.kernel = frame.spec->name;
+            diag.cta = frame.ctaLinear;
+            diag.warp = access.warpInCta;
+            diag.lane = lane;
+            diag.phase = access.phase;
+            diag.nestDepth = access.nestDepth;
+            diag.addr = off;
+            diag.bytes = access.bytesPerLane;
+            std::ostringstream os;
+            os << (access.write ? "store" : "load") << " at shared offset "
+               << off << " exceeds the CTA's " << smem_bytes
+               << "-byte shared allocation";
+            diag.message = os.str();
+            std::string dedup =
+                key(diag.kind, frame.spec->name, access.phase);
+            report(std::move(diag), dedup);
+            continue;
+        }
+        if (!mode_.race || frame.shadow.empty())
+            continue;
+        for (std::uint32_t i = 0; i < access.bytesPerLane; ++i) {
+            ByteState &state = frame.shadow[std::size_t(off) + i];
+            if (state.phase != access.phase)
+                state = {access.phase, -1, -1, -1};
+
+            std::int16_t conflict = -1;
+            DiagKind kind = DiagKind::SharedReadWrite;
+            if (access.write) {
+                if (state.writerWarp >= 0 && state.writerWarp != warp) {
+                    conflict = state.writerWarp;
+                    kind = DiagKind::SharedWriteWrite;
+                } else if (state.readerWarpA >= 0 &&
+                           state.readerWarpA != warp) {
+                    conflict = state.readerWarpA;
+                } else if (state.readerWarpB >= 0 &&
+                           state.readerWarpB != warp) {
+                    conflict = state.readerWarpB;
+                }
+                if (state.writerWarp < 0)
+                    state.writerWarp = warp;
+            } else {
+                if (state.writerWarp >= 0 && state.writerWarp != warp)
+                    conflict = state.writerWarp;
+                if (state.readerWarpA < 0 || state.readerWarpA == warp)
+                    state.readerWarpA = warp;
+                else if (state.readerWarpB < 0)
+                    state.readerWarpB = warp;
+            }
+            if (conflict < 0)
+                continue;
+
+            Diagnostic diag;
+            diag.kind = kind;
+            diag.kernel = frame.spec->name;
+            diag.cta = frame.ctaLinear;
+            diag.warp = access.warpInCta;
+            diag.lane = lane;
+            diag.phase = access.phase;
+            diag.otherWarp = conflict;
+            diag.nestDepth = access.nestDepth;
+            diag.addr = off + i;
+            diag.bytes = 1;
+            std::ostringstream os;
+            os << "shared byte " << off + i << " "
+               << (kind == DiagKind::SharedWriteWrite
+                       ? "written by both warps"
+                       : "written by one warp and read by the other")
+               << " inside barrier interval " << access.phase;
+            diag.message = os.str();
+            const int wlo = std::min(access.warpInCta, int(conflict));
+            const int whi = std::max(access.warpInCta, int(conflict));
+            report(std::move(diag),
+                   key(kind, frame.spec->name, access.phase,
+                       wlo * 1024 + whi));
+        }
+    }
+}
+
+void
+Checker::memCheckOffCore(const sim::MemAccess &access)
+{
+    /** Accesses this far past an allocation's end are still attributed
+     *  to it (alignment-padding overruns); farther means wild. */
+    constexpr Addr allocSlack = 256;
+
+    if (access.mem == nullptr)
+        return;
+    const auto &allocs = access.mem->allocations();
+
+    for (int lane = 0; lane < warpSize; ++lane) {
+        if (!(access.mask & (LaneMask(1) << lane)))
+            continue;
+        const Addr addr = (*access.addrs)[std::size_t(lane)];
+        const Addr end = addr + access.bytesPerLane;
+
+        // Last allocation whose base is <= addr (table is in ascending
+        // base order: the bump allocator never reuses address space).
+        auto it = std::upper_bound(
+            allocs.begin(), allocs.end(), addr,
+            [](Addr a, const sim::DeviceMemory::Allocation &alloc) {
+                return a < alloc.base;
+            });
+
+        DiagKind kind;
+        std::ostringstream os;
+        if (it == allocs.begin()) {
+            kind = DiagKind::UnallocatedAccess;
+            os << (access.write ? "store" : "load") << " at " << addr
+               << " precedes every allocation";
+        } else {
+            const auto &alloc = *std::prev(it);
+            const Addr alloc_end = alloc.base + alloc.bytes;
+            if (addr < alloc_end && !alloc.live) {
+                kind = DiagKind::UseAfterFree;
+                os << (access.write ? "store" : "load") << " at " << addr
+                   << " hits freed allocation #" << alloc.serial
+                   << " (base " << alloc.base << ", " << alloc.bytes
+                   << " bytes)";
+            } else if (addr < alloc_end && end > alloc_end) {
+                kind = DiagKind::GlobalOutOfBounds;
+                os << (access.write ? "store" : "load") << " at " << addr
+                   << " straddles the end of allocation #" << alloc.serial
+                   << " (base " << alloc.base << ", " << alloc.bytes
+                   << " bytes)";
+            } else if (addr >= alloc_end && addr < alloc_end + allocSlack) {
+                kind = DiagKind::GlobalOutOfBounds;
+                os << (access.write ? "store" : "load") << " at " << addr
+                   << " is " << addr - alloc_end
+                   << " bytes past the end of allocation #" << alloc.serial
+                   << " (base " << alloc.base << ", " << alloc.bytes
+                   << " bytes)";
+            } else if (addr >= alloc_end) {
+                kind = DiagKind::UnallocatedAccess;
+                os << (access.write ? "store" : "load") << " at " << addr
+                   << " matches no allocation";
+            } else {
+                continue;  // Inside a live allocation: fine.
+            }
+        }
+
+        Diagnostic diag;
+        diag.kind = kind;
+        diag.kernel = access.spec->name;
+        diag.cta = access.ctaLinear;
+        diag.warp = access.warpInCta;
+        diag.lane = lane;
+        diag.phase = access.phase;
+        diag.nestDepth = access.nestDepth;
+        diag.addr = addr;
+        diag.bytes = access.bytesPerLane;
+        diag.message = os.str();
+        report(std::move(diag),
+               key(kind, access.spec->name, access.phase));
+    }
+}
+
+void
+Checker::checkBundle(const sim::TraceBundle &bundle)
+{
+    if (!mode_.sync) {
+        for (const auto &kernel : bundle.kernels)
+            kernels_ += 1 + countChildGrids(kernel);
+        return;
+    }
+    for (const auto &kernel : bundle.kernels)
+        syncCheckCtas(kernel.spec, kernel.ctas, 0);
+}
+
+void
+Checker::syncCheckCtas(const sim::LaunchSpec &spec,
+                       const std::vector<sim::CtaTrace> &ctas,
+                       int nest_depth)
+{
+    ++kernels_;
+    for (std::size_t cta = 0; cta < ctas.size(); ++cta) {
+        const auto &warps = ctas[cta].warps;
+        std::vector<int> barrier_counts(warps.size(), 0);
+        for (std::size_t w = 0; w < warps.size(); ++w) {
+            const auto &ops = warps[w].ops;
+            if (ops.empty())
+                continue;
+            // Every warp stream ends with an Exit at the warp's
+            // full-participation mask; that is the reference mask every
+            // barrier and device-sync must match.
+            const LaneMask base_mask = ops.back().mask;
+            int phase = 0;
+            for (const auto &op : ops) {
+                if (op.kind == sim::OpKind::Barrier) {
+                    if (op.mask != base_mask) {
+                        Diagnostic diag;
+                        diag.kind = DiagKind::DivergentBarrier;
+                        diag.kernel = spec.name;
+                        diag.cta = cta;
+                        diag.warp = int(w);
+                        diag.phase = phase;
+                        diag.nestDepth = nest_depth;
+                        std::ostringstream os;
+                        os << "barrier ending phase " << phase
+                           << " issued under partial mask " << op.mask
+                           << " (warp participates as " << base_mask
+                           << ")";
+                        diag.message = os.str();
+                        std::string dedup =
+                            key(diag.kind, spec.name, int(w));
+                        report(std::move(diag), dedup);
+                    }
+                    phase += op.repeat;
+                } else if (op.kind == sim::OpKind::DeviceSync &&
+                           op.mask != base_mask) {
+                    Diagnostic diag;
+                    diag.kind = DiagKind::DivergentDeviceSync;
+                    diag.kernel = spec.name;
+                    diag.cta = cta;
+                    diag.warp = int(w);
+                    diag.phase = phase;
+                    diag.nestDepth = nest_depth;
+                    std::ostringstream os;
+                    os << "deviceSync in phase " << phase
+                       << " reachable under partial mask " << op.mask
+                       << " (warp participates as " << base_mask << ")";
+                    diag.message = os.str();
+                    std::string dedup = key(diag.kind, spec.name, int(w));
+                    report(std::move(diag), dedup);
+                }
+            }
+            barrier_counts[w] = phase;
+        }
+        for (std::size_t w = 1; w < warps.size(); ++w) {
+            if (barrier_counts[w] == barrier_counts[0])
+                continue;
+            Diagnostic diag;
+            diag.kind = DiagKind::PhaseCountMismatch;
+            diag.kernel = spec.name;
+            diag.cta = cta;
+            diag.warp = int(w);
+            diag.otherWarp = 0;
+            diag.nestDepth = nest_depth;
+            std::ostringstream os;
+            os << "warp " << w << " reaches " << barrier_counts[w]
+               << " barriers but warp 0 reaches " << barrier_counts[0]
+               << " (deadlock on hardware)";
+            diag.message = os.str();
+            std::string dedup = key(diag.kind, spec.name, int(w));
+            report(std::move(diag), dedup);
+        }
+        for (const auto &child : ctas[cta].children)
+            syncCheckCtas(child->spec, child->ctas, nest_depth + 1);
+    }
+}
+
+void
+Checker::report(Diagnostic diag, const std::string &dedup_key)
+{
+    auto it = dedup_.find(dedup_key);
+    if (it != dedup_.end()) {
+        ++diags_[it->second].occurrences;
+        return;
+    }
+    if (diags_.size() >= mode_.maxDiagnostics) {
+        ++dropped_;
+        return;
+    }
+    dedup_.emplace(dedup_key, diags_.size());
+    diags_.push_back(std::move(diag));
+}
+
+} // namespace ggpu::check

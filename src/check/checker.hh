@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The compute-sanitizer-style kernel checker. A Checker is installed
+ * as the emission observer (sim::ScopedEmissionObserver) while an
+ * application's traces are emitted; its three detectors mirror the
+ * NVIDIA tools the CUDA originals of this suite are validated with:
+ *
+ *  - racecheck: per-CTA shadow memory over the shared bytes. Two
+ *    accesses to overlapping bytes by *different warps* inside the
+ *    same barrier interval (KernelBody phase), at least one a write,
+ *    are a hazard — the intervals are structural, so no happens-before
+ *    approximation is needed.
+ *  - synccheck: a purely structural pass over the finished trace
+ *    bundle. Flags CTAs whose warps disagree on barrier counts,
+ *    barriers issued under a partial active mask, and CDP deviceSync
+ *    ops reachable under a partial mask.
+ *  - memcheck: validates every global/tex access against the
+ *    DeviceMemory allocation table (out-of-bounds, use-after-free,
+ *    unallocated) and shared offsets against smemPerCtaBytes.
+ *
+ * Diagnostics are deduplicated by structural key (kind + kernel +
+ * phase/warp) with an occurrence count, and capped at
+ * CheckMode::maxDiagnostics (overflow counted, never silent).
+ */
+
+#ifndef GGPU_CHECK_CHECKER_HH
+#define GGPU_CHECK_CHECKER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/diagnostic.hh"
+#include "sim/check_hooks.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::check
+{
+
+/** Which detectors run (all by default) and the diagnostic cap. */
+struct CheckMode
+{
+    bool race = true;
+    bool sync = true;
+    bool mem = true;
+    /** Distinct diagnostics kept; extras bump droppedDiagnostics(). */
+    std::size_t maxDiagnostics = 256;
+};
+
+/** Emission-time collector plus post-emission structural passes. */
+class Checker : public sim::EmissionObserver
+{
+  public:
+    explicit Checker(CheckMode mode = {});
+
+    // ---- sim::EmissionObserver ------------------------------------
+    void onCtaBegin(const sim::LaunchSpec &spec,
+                    std::uint64_t cta_linear, int nest_depth) override;
+    void onCtaEnd() override;
+    void onMemAccess(const sim::MemAccess &access) override;
+
+    /** Structural synccheck over a finished bundle (host kernels and
+     *  every CDP child grid, recursively). */
+    void checkBundle(const sim::TraceBundle &bundle);
+
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diags_;
+    }
+    /** Memory instructions observed during emission. */
+    std::uint64_t accessesChecked() const { return accesses_; }
+    /** Kernel traces (host + CDP) covered by checkBundle(). */
+    std::uint64_t kernelsChecked() const { return kernels_; }
+    /** Distinct diagnostics discarded past maxDiagnostics. */
+    std::uint64_t droppedDiagnostics() const { return dropped_; }
+
+  private:
+    /** Shadow state of one shared-memory byte within one phase. */
+    struct ByteState
+    {
+        std::int32_t phase = -1;   //!< Epoch; stale entries are reset
+        std::int16_t writerWarp = -1;
+        std::int16_t readerWarpA = -1;
+        std::int16_t readerWarpB = -1;
+    };
+
+    /** Live racecheck state of one CTA being emitted (stacked: CDP
+     *  children are emitted inside their parent's frame). */
+    struct CtaFrame
+    {
+        const sim::LaunchSpec *spec = nullptr;
+        std::uint64_t ctaLinear = 0;
+        int nestDepth = 0;
+        std::vector<ByteState> shadow;  //!< smemPerCtaBytes entries
+    };
+
+    void report(Diagnostic diag, const std::string &dedup_key);
+    void raceCheckShared(const sim::MemAccess &access, CtaFrame &frame);
+    void memCheckOffCore(const sim::MemAccess &access);
+    void syncCheckCtas(const sim::LaunchSpec &spec,
+                       const std::vector<sim::CtaTrace> &ctas,
+                       int nest_depth);
+
+    CheckMode mode_;
+    std::vector<CtaFrame> frames_;
+    std::vector<Diagnostic> diags_;
+    std::map<std::string, std::size_t> dedup_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t kernels_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace ggpu::check
+
+#endif // GGPU_CHECK_CHECKER_HH

@@ -1,0 +1,123 @@
+#include "check/diagnostic.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ggpu::check
+{
+
+Detector
+detectorOf(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::SharedWriteWrite:
+      case DiagKind::SharedReadWrite:
+        return Detector::Race;
+      case DiagKind::PhaseCountMismatch:
+      case DiagKind::DivergentBarrier:
+      case DiagKind::DivergentDeviceSync:
+        return Detector::Sync;
+      case DiagKind::GlobalOutOfBounds:
+      case DiagKind::UseAfterFree:
+      case DiagKind::UnallocatedAccess:
+      case DiagKind::SharedOutOfBounds:
+        return Detector::Mem;
+    }
+    panic("detectorOf: unknown DiagKind ", int(kind));
+}
+
+std::string
+toString(Detector detector)
+{
+    switch (detector) {
+      case Detector::Race: return "racecheck";
+      case Detector::Sync: return "synccheck";
+      case Detector::Mem: return "memcheck";
+    }
+    return "unknown";
+}
+
+std::string
+toString(DiagKind kind)
+{
+    switch (kind) {
+      case DiagKind::SharedWriteWrite: return "shared-write-write";
+      case DiagKind::SharedReadWrite: return "shared-read-write";
+      case DiagKind::PhaseCountMismatch: return "phase-count-mismatch";
+      case DiagKind::DivergentBarrier: return "divergent-barrier";
+      case DiagKind::DivergentDeviceSync: return "divergent-device-sync";
+      case DiagKind::GlobalOutOfBounds: return "global-out-of-bounds";
+      case DiagKind::UseAfterFree: return "use-after-free";
+      case DiagKind::UnallocatedAccess: return "unallocated-access";
+      case DiagKind::SharedOutOfBounds: return "shared-out-of-bounds";
+    }
+    return "unknown";
+}
+
+std::string
+toString(const Diagnostic &diag)
+{
+    std::ostringstream os;
+    os << toString(diag.detector()) << ": " << toString(diag.kind)
+       << " in kernel '" << diag.kernel << "'";
+    if (diag.nestDepth > 0)
+        os << " (CDP depth " << diag.nestDepth << ")";
+    os << " cta " << diag.cta;
+    if (diag.warp >= 0)
+        os << " warp " << diag.warp;
+    if (diag.lane >= 0)
+        os << " lane " << diag.lane;
+    if (diag.phase >= 0)
+        os << " phase " << diag.phase;
+    if (diag.otherWarp >= 0)
+        os << " vs warp " << diag.otherWarp;
+    if (diag.bytes > 0)
+        os << " @ " << diag.addr << " (" << diag.bytes << " B)";
+    if (!diag.message.empty())
+        os << ": " << diag.message;
+    if (diag.occurrences > 1)
+        os << " [x" << diag.occurrences << "]";
+    return os.str();
+}
+
+core::json::Value
+toJson(const Diagnostic &diag)
+{
+    core::json::Value value = core::json::Value::object();
+    value.set("detector", toString(diag.detector()));
+    value.set("kind", toString(diag.kind));
+    value.set("kernel", diag.kernel);
+    value.set("cta", std::uint64_t(diag.cta));
+    value.set("warp", diag.warp);
+    value.set("lane", diag.lane);
+    value.set("phase", diag.phase);
+    value.set("other_warp", diag.otherWarp);
+    value.set("nest_depth", diag.nestDepth);
+    value.set("addr", std::uint64_t(diag.addr));
+    value.set("bytes", std::uint64_t(diag.bytes));
+    value.set("occurrences", std::uint64_t(diag.occurrences));
+    value.set("message", diag.message);
+    return value;
+}
+
+const std::vector<std::string> &
+requiredDiagnosticKeys()
+{
+    static const std::vector<std::string> keys{
+        "detector", "kind", "kernel", "cta", "warp", "lane", "phase",
+        "other_warp", "nest_depth", "addr", "bytes", "occurrences",
+        "message"};
+    return keys;
+}
+
+const std::vector<std::string> &
+requiredCheckRunKeys()
+{
+    static const std::vector<std::string> keys{
+        "app", "cdp", "verified", "kernels", "accesses_checked",
+        "diagnostic_count", "dropped_diagnostics", "diagnostics"};
+    return keys;
+}
+
+} // namespace ggpu::check

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Diagnostic records produced by the ggpu::check kernel checker: the
+ * detector taxonomy (racecheck / synccheck / memcheck, mirroring
+ * NVIDIA compute-sanitizer's tool names), the per-finding provenance
+ * (kernel, CTA, warp, lane, phase), and the JSON projection that lets
+ * checker artifacts ride the machine-readable-results pipeline.
+ */
+
+#ifndef GGPU_CHECK_DIAGNOSTIC_HH
+#define GGPU_CHECK_DIAGNOSTIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/json.hh"
+
+namespace ggpu::check
+{
+
+/** Which detector produced a finding (compute-sanitizer tool names). */
+enum class Detector : std::uint8_t
+{
+    Race,  //!< Shared-memory hazards between warps (racecheck)
+    Sync,  //!< Barrier/CDP-sync discipline violations (synccheck)
+    Mem    //!< Allocation-granular address violations (memcheck)
+};
+
+/** Specific defect classes, grouped by detector. */
+enum class DiagKind : std::uint8_t
+{
+    // Racecheck: conflicting shared-memory accesses by different warps
+    // inside one barrier interval (KernelBody phase).
+    SharedWriteWrite,
+    SharedReadWrite,
+
+    // Synccheck.
+    PhaseCountMismatch,   //!< Warps of one CTA emit unequal barrier counts
+    DivergentBarrier,     //!< Barrier issued under a partial active mask
+    DivergentDeviceSync,  //!< CDP deviceSync reachable under partial mask
+
+    // Memcheck.
+    GlobalOutOfBounds,    //!< Access past the end of a live allocation
+    UseAfterFree,         //!< Access inside a freed allocation
+    UnallocatedAccess,    //!< Access matching no allocation at all
+    SharedOutOfBounds     //!< Shared offset beyond smemPerCtaBytes
+};
+
+Detector detectorOf(DiagKind kind);
+std::string toString(Detector detector);
+std::string toString(DiagKind kind);
+
+/** One checker finding with full emission provenance. */
+struct Diagnostic
+{
+    DiagKind kind = DiagKind::SharedWriteWrite;
+    std::string kernel;       //!< LaunchSpec::name
+    std::uint64_t cta = 0;    //!< Linear CTA index within its grid
+    int warp = -1;            //!< Warp within the CTA (-1: whole CTA)
+    int lane = -1;            //!< Lane within the warp (-1: whole warp)
+    int phase = -1;           //!< Barrier interval (-1: not phase-local)
+    int otherWarp = -1;       //!< Conflicting warp (racecheck)
+    int nestDepth = 0;        //!< CDP nesting depth (0 = host launch)
+    Addr addr = 0;            //!< Device address / shared byte offset
+    std::uint32_t bytes = 0;  //!< Bytes of the offending access
+    std::string message;      //!< Human-readable elaboration
+    std::uint64_t occurrences = 1;  //!< Deduplicated repeat count
+
+    Detector detector() const { return detectorOf(kind); }
+};
+
+/** One-line human-readable rendering (CLI output). */
+std::string toString(const Diagnostic &diag);
+
+/** JSON projection carrying every requiredDiagnosticKeys() member. */
+core::json::Value toJson(const Diagnostic &diag);
+
+/** Schema tag of ggpu_check JSON artifacts. */
+inline constexpr const char *checkerSchema = "ggpu.check.v1";
+
+/** Keys every exported diagnostic object must carry (contract). */
+const std::vector<std::string> &requiredDiagnosticKeys();
+
+/** Keys every exported per-run object must carry (contract). */
+const std::vector<std::string> &requiredCheckRunKeys();
+
+} // namespace ggpu::check
+
+#endif // GGPU_CHECK_DIAGNOSTIC_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * ggpu_check — compute-sanitizer-style checker CLI. Replays the
+ * emission of one application (or the whole suite) under the
+ * racecheck/synccheck/memcheck detectors and reports every diagnostic
+ * with full kernel/CTA/warp/lane/phase provenance.
+ *
+ *   ggpu_check [--app NAME] [--base|--cdp] [--scale TIER] [--seed N]
+ *              [--no-race] [--no-sync] [--no-mem] [--max-diags N]
+ *              [--json FILE]
+ *
+ * Default: every suite app, base and CDP variants, GGPU_SCALE tier.
+ * Exit 0 when clean, 1 when any diagnostic fired, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/run_check.hh"
+#include "common/log.hh"
+#include "core/suite.hh"
+
+namespace
+{
+
+using ggpu::check::CheckMode;
+using ggpu::check::CheckResult;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ggpu_check [options]\n"
+        << "  --app NAME      check one app (default: whole suite)\n"
+        << "  --base          only the non-CDP variant\n"
+        << "  --cdp           only the CDP variant\n"
+        << "  --scale TIER    tiny|small|medium (default: GGPU_SCALE)\n"
+        << "  --seed N        input-generation seed\n"
+        << "  --no-race       disable racecheck\n"
+        << "  --no-sync       disable synccheck\n"
+        << "  --no-mem        disable memcheck\n"
+        << "  --max-diags N   distinct-diagnostic cap (default 256)\n"
+        << "  --json FILE     also write a ggpu.check.v1 artifact\n";
+    return 2;
+}
+
+std::optional<ggpu::kernels::InputScale>
+parseScale(const std::string &name)
+{
+    if (name == "tiny")
+        return ggpu::kernels::InputScale::Tiny;
+    if (name == "small")
+        return ggpu::kernels::InputScale::Small;
+    if (name == "medium")
+        return ggpu::kernels::InputScale::Medium;
+    return std::nullopt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string app;
+    std::string json_path;
+    bool base_only = false;
+    bool cdp_only = false;
+    CheckMode mode;
+    ggpu::kernels::AppOptions options;
+    options.scale = ggpu::core::scaleFromEnv();
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const bool has_value = i + 1 < args.size();
+        if (arg == "--app" && has_value) {
+            app = args[++i];
+        } else if (arg == "--base") {
+            base_only = true;
+        } else if (arg == "--cdp") {
+            cdp_only = true;
+        } else if (arg == "--scale" && has_value) {
+            auto scale = parseScale(args[++i]);
+            if (!scale) {
+                std::cerr << "ggpu_check: unknown scale '" << args[i]
+                          << "'\n";
+                return 2;
+            }
+            options.scale = *scale;
+        } else if (arg == "--seed" && has_value) {
+            options.seed = std::stoull(args[++i]);
+        } else if (arg == "--no-race") {
+            mode.race = false;
+        } else if (arg == "--no-sync") {
+            mode.sync = false;
+        } else if (arg == "--no-mem") {
+            mode.mem = false;
+        } else if (arg == "--max-diags" && has_value) {
+            mode.maxDiagnostics = std::stoull(args[++i]);
+        } else if (arg == "--json" && has_value) {
+            json_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (base_only && cdp_only)
+        return usage();
+
+    std::vector<std::string> apps;
+    if (app.empty()) {
+        apps = ggpu::core::appNames();
+    } else {
+        const auto &known = ggpu::core::appNames();
+        if (std::find(known.begin(), known.end(), app) == known.end()) {
+            std::cerr << "ggpu_check: unknown app '" << app << "'\n";
+            return 2;
+        }
+        apps.push_back(app);
+    }
+
+    std::vector<CheckResult> results;
+    std::uint64_t total_diags = 0;
+    try {
+        for (const auto &name : apps) {
+            for (const bool cdp : {false, true}) {
+                if ((cdp && base_only) || (!cdp && cdp_only))
+                    continue;
+                ggpu::kernels::AppOptions run_options = options;
+                run_options.cdp = cdp;
+                CheckResult result =
+                    ggpu::check::checkApp(name, run_options, mode);
+                std::cout << (cdp ? name + "-CDP" : name) << ": "
+                          << (result.clean() ? "clean" : "FAILED")
+                          << " (" << result.kernels << " kernels, "
+                          << result.accessesChecked
+                          << " accesses checked";
+                if (!result.verified)
+                    std::cout << "; NOT FUNCTIONALLY VERIFIED";
+                std::cout << ")\n";
+                for (const auto &diag : result.diagnostics)
+                    std::cout << "  " << toString(diag) << "\n";
+                if (result.droppedDiagnostics > 0)
+                    std::cout << "  ... and "
+                              << result.droppedDiagnostics
+                              << " further distinct diagnostics "
+                                 "dropped (--max-diags)\n";
+                total_diags += result.diagnostics.size();
+                results.push_back(std::move(result));
+            }
+        }
+
+        if (!json_path.empty()) {
+            const auto artifact = ggpu::check::checkArtifact(
+                results,
+                ggpu::core::scaleName(options.scale));
+            std::ofstream os(json_path);
+            if (!os)
+                ggpu::fatal("cannot open '", json_path,
+                            "' for writing");
+            os << artifact.dump();
+            if (!os.flush())
+                ggpu::fatal("short write to '", json_path, "'");
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "ggpu_check: " << e.what() << "\n";
+        return 1;
+    }
+
+    std::cout << (total_diags == 0 ? "ggpu_check: clean"
+                                   : "ggpu_check: diagnostics found")
+              << " (" << results.size() << " run(s), " << total_diags
+              << " diagnostic(s))\n";
+    return total_diags == 0 ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+#include "check/run_check.hh"
+
+#include "common/config.hh"
+#include "core/trace_store.hh"
+
+namespace ggpu::check
+{
+
+namespace
+{
+
+CheckResult
+packageResult(std::string label, bool cdp, const sim::TraceBundle &bundle,
+              const Checker &checker)
+{
+    CheckResult result;
+    result.app = std::move(label);
+    result.cdp = cdp;
+    result.verified = bundle.verified;
+    result.detail = bundle.detail;
+    result.kernels = checker.kernelsChecked();
+    result.accessesChecked = checker.accessesChecked();
+    result.droppedDiagnostics = checker.droppedDiagnostics();
+    result.diagnostics = checker.diagnostics();
+    return result;
+}
+
+} // namespace
+
+CheckResult
+checkApp(const std::string &app, const kernels::AppOptions &options,
+         CheckMode mode)
+{
+    Checker checker(mode);
+    sim::TraceBundle bundle;
+    {
+        sim::ScopedEmissionObserver scope(&checker);
+        bundle = core::emitTrace(app, options, GpuConfig{}.lineBytes);
+    }
+    checker.checkBundle(bundle);
+    return packageResult(app, options.cdp, bundle, checker);
+}
+
+CheckResult
+checkProgram(const std::string &label,
+             const std::function<void(rt::Device &)> &program,
+             CheckMode mode)
+{
+    Checker checker(mode);
+    sim::TraceBundle bundle;
+    {
+        rt::Device dev(SystemConfig{}, &bundle);
+        sim::ScopedEmissionObserver scope(&checker);
+        program(dev);
+    }
+    checker.checkBundle(bundle);
+    // Programs carry no CPU reference; "verified" records only that the
+    // functional emission itself completed.
+    bundle.verified = true;
+    CheckResult result = packageResult(label, false, bundle, checker);
+    result.verified = true;
+    return result;
+}
+
+core::json::Value
+toJson(const CheckResult &result)
+{
+    core::json::Value value = core::json::Value::object();
+    value.set("app", result.app);
+    value.set("cdp", result.cdp);
+    value.set("verified", result.verified);
+    value.set("kernels", result.kernels);
+    value.set("accesses_checked", result.accessesChecked);
+    value.set("diagnostic_count", std::uint64_t(result.diagnostics.size()));
+    value.set("dropped_diagnostics", result.droppedDiagnostics);
+    core::json::Value diags = core::json::Value::array();
+    for (const auto &diag : result.diagnostics)
+        diags.push(toJson(diag));
+    value.set("diagnostics", std::move(diags));
+    value.set("detail", result.detail);
+    return value;
+}
+
+core::json::Value
+checkArtifact(const std::vector<CheckResult> &results,
+              const std::string &scale)
+{
+    core::json::Value value = core::json::Value::object();
+    value.set("schema", checkerSchema);
+    value.set("scale", scale);
+    core::json::Value runs = core::json::Value::array();
+    for (const auto &result : results)
+        runs.push(toJson(result));
+    value.set("runs", std::move(runs));
+    return value;
+}
+
+} // namespace ggpu::check

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Checker orchestration: run one suite application (or an arbitrary
+ * host program) on a capture-mode device with a Checker installed as
+ * the emission observer, then run the structural bundle passes and
+ * package the findings. Also the JSON artifact ("ggpu.check.v1")
+ * writer the ggpu_check CLI and the contract tests share.
+ */
+
+#ifndef GGPU_CHECK_RUN_CHECK_HH
+#define GGPU_CHECK_RUN_CHECK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "check/checker.hh"
+#include "core/json.hh"
+#include "kernels/app.hh"
+#include "runtime/device.hh"
+
+namespace ggpu::check
+{
+
+/** Outcome of checking one application (or program) end to end. */
+struct CheckResult
+{
+    std::string app;       //!< Abbreviation or program label
+    bool cdp = false;
+    bool verified = false; //!< Functional CPU-reference verdict
+    std::string detail;    //!< Free-form functional summary
+    std::uint64_t kernels = 0;          //!< Kernel traces covered
+    std::uint64_t accessesChecked = 0;  //!< Memory instructions seen
+    std::uint64_t droppedDiagnostics = 0;
+    std::vector<Diagnostic> diagnostics;
+
+    bool clean() const { return diagnostics.empty(); }
+};
+
+/**
+ * Emit @p app's traces (same path as core::emitTrace, so functional
+ * verification runs too) under a Checker, then run the bundle passes.
+ */
+CheckResult checkApp(const std::string &app,
+                     const kernels::AppOptions &options,
+                     CheckMode mode = {});
+
+/**
+ * Run @p program — arbitrary host code issuing allocations, copies and
+ * launches — on a capture-mode device under a Checker. This is how the
+ * seeded-defect tests drive single kernels through the checker.
+ */
+CheckResult checkProgram(
+    const std::string &label,
+    const std::function<void(rt::Device &)> &program,
+    CheckMode mode = {});
+
+/** One run's JSON object (carries every requiredCheckRunKeys() key). */
+core::json::Value toJson(const CheckResult &result);
+
+/** Whole-artifact wrapper: schema tag, scale name, runs array. */
+core::json::Value checkArtifact(const std::vector<CheckResult> &results,
+                                const std::string &scale);
+
+} // namespace ggpu::check
+
+#endif // GGPU_CHECK_RUN_CHECK_HH

@@ -85,6 +85,20 @@ class Device
         return out;
     }
 
+    /**
+     * cudaFree equivalent: retire @p buffer's allocation. The address
+     * space is never reused (bump allocator), so later access through
+     * a stale handle is a checker-reportable use-after-free rather
+     * than silent corruption.
+     */
+    template <typename T>
+    void
+    free(DeviceBuffer<T> &buffer)
+    {
+        gpu_->mem().free(buffer.addr);
+        buffer = DeviceBuffer<T>{};
+    }
+
     /** Raw-byte H2D copy (counts one PCI transaction). */
     void copyIn(Addr dst, const void *src, std::size_t bytes);
     /** Raw-byte D2H copy (counts one PCI transaction). */

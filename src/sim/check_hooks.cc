@@ -1,0 +1,30 @@
+#include "sim/check_hooks.hh"
+
+namespace ggpu::sim
+{
+
+namespace
+{
+
+thread_local EmissionObserver *currentObserver = nullptr;
+
+} // namespace
+
+EmissionObserver *
+emissionObserver()
+{
+    return currentObserver;
+}
+
+ScopedEmissionObserver::ScopedEmissionObserver(EmissionObserver *observer)
+    : previous_(currentObserver)
+{
+    currentObserver = observer;
+}
+
+ScopedEmissionObserver::~ScopedEmissionObserver()
+{
+    currentObserver = previous_;
+}
+
+} // namespace ggpu::sim

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Emission-observer seam for the kernel checker (ggpu::check). When an
+ * observer is installed (thread-local; emission runs on one thread),
+ * the WarpCtx load/store paths report every memory instruction with
+ * full per-lane byte addresses and provenance, and emitCta brackets
+ * each CTA so per-CTA analyses (racecheck) can run the moment a CTA's
+ * emission completes — including nested CDP child CTAs, which arrive
+ * between their parent's begin/end pair in stack order. With no
+ * observer installed every hook reduces to one thread-local null
+ * check, and the emitted trace is byte-identical to an unchecked run.
+ */
+
+#ifndef GGPU_SIM_CHECK_HOOKS_HH
+#define GGPU_SIM_CHECK_HOOKS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/isa.hh"
+
+namespace ggpu::sim
+{
+
+class DeviceMemory;
+struct LaunchSpec;
+
+/** One observed warp memory instruction with per-lane addresses. */
+struct MemAccess
+{
+    const LaunchSpec *spec = nullptr;   //!< Kernel being emitted
+    const DeviceMemory *mem = nullptr;  //!< Allocation table (memcheck)
+    std::uint64_t ctaLinear = 0;
+    int warpInCta = 0;
+    int phase = 0;          //!< Barrier-interval index within the CTA
+    int nestDepth = 0;      //!< CDP nesting depth (0 = host launch)
+    bool write = false;
+    MemSpace space = MemSpace::Global;
+    LaneMask mask = 0;      //!< Active lanes; addrs valid only there
+    LaneMask baseMask = 0;  //!< Warp's full-participation mask
+    std::uint16_t bytesPerLane = 0;
+    std::int32_t opIndex = -1;  //!< Index into the warp's op stream
+    /** Per-lane starting byte. Shared space: CTA-local byte offset;
+     *  off-core spaces: device address. */
+    const std::array<Addr, warpSize> *addrs = nullptr;
+};
+
+/** Interface the checker implements; default callbacks do nothing. */
+class EmissionObserver
+{
+  public:
+    virtual ~EmissionObserver() = default;
+
+    /** A CTA's emission is starting (CDP children re-enter). */
+    virtual void
+    onCtaBegin(const LaunchSpec &spec, std::uint64_t cta_linear,
+               int nest_depth)
+    {
+        (void)spec;
+        (void)cta_linear;
+        (void)nest_depth;
+    }
+
+    /** The most recently begun CTA is fully emitted (stack order). */
+    virtual void onCtaEnd() {}
+
+    /** One warp memory instruction with per-lane addresses. */
+    virtual void onMemAccess(const MemAccess &access) { (void)access; }
+};
+
+/** The observer installed on this thread, or nullptr (the default). */
+EmissionObserver *emissionObserver();
+
+/** Install @p observer on this thread for the current scope. */
+class ScopedEmissionObserver
+{
+  public:
+    explicit ScopedEmissionObserver(EmissionObserver *observer);
+    ~ScopedEmissionObserver();
+
+    ScopedEmissionObserver(const ScopedEmissionObserver &) = delete;
+    ScopedEmissionObserver &
+    operator=(const ScopedEmissionObserver &) = delete;
+
+  private:
+    EmissionObserver *previous_;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_CHECK_HOOKS_HH

@@ -25,6 +25,25 @@ class DeviceMemory
     /** Base of the per-thread local-memory window (not backed). */
     static constexpr Addr localRegionBase = Addr(1) << 40;
 
+    /**
+     * One recorded buffer. The bump allocator never reuses address
+     * space, so freed allocations stay in the table (live = false) and
+     * the checker can attribute a use-after-free to the exact buffer.
+     */
+    struct Allocation
+    {
+        Addr base = 0;
+        std::uint64_t bytes = 0;
+        std::uint64_t serial = 0;  //!< Allocation order (0-based)
+        bool live = true;
+
+        bool
+        contains(Addr addr) const
+        {
+            return addr >= base && addr < base + bytes;
+        }
+    };
+
     explicit DeviceMemory(std::size_t capacity_bytes = 256u << 20)
         : capacity_(capacity_bytes)
     {
@@ -41,7 +60,36 @@ class DeviceMemory
         next_ = base + bytes;
         if (data_.size() < next_)
             data_.resize(next_);
+        allocs_.push_back({base, bytes, allocs_.size(), true});
         return base;
+    }
+
+    /**
+     * cudaFree equivalent: mark the allocation starting at @p base
+     * dead. The backing bytes stay mapped (the bump allocator never
+     * reuses them), so stray functional accesses still read stale data
+     * rather than crashing — the checker reports them instead.
+     */
+    void
+    free(Addr base)
+    {
+        for (auto it = allocs_.rbegin(); it != allocs_.rend(); ++it) {
+            if (it->base != base)
+                continue;
+            if (!it->live)
+                panic("DeviceMemory: double free of allocation #",
+                      it->serial, " at ", base);
+            it->live = false;
+            return;
+        }
+        panic("DeviceMemory: free(", base,
+              ") does not match any allocation base");
+    }
+
+    /** Every allocation ever made, in ascending base order. */
+    const std::vector<Allocation> &allocations() const
+    {
+        return allocs_;
     }
 
     /** Release everything (bump allocator reset between app runs). */
@@ -50,6 +98,7 @@ class DeviceMemory
     {
         next_ = 4096;
         data_.clear();
+        allocs_.clear();
     }
 
     std::size_t allocated() const { return next_; }
@@ -98,6 +147,7 @@ class DeviceMemory
     std::size_t capacity_;
     Addr next_ = 4096;
     std::vector<std::uint8_t> data_;
+    std::vector<Allocation> allocs_;
 };
 
 } // namespace ggpu::sim

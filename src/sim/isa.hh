@@ -82,6 +82,9 @@ struct TraceOp
     std::uint16_t bytesPerLane = 0;
     /** ChildLaunch: index into CtaTrace::children. */
     std::uint32_t child = 0;
+
+    /** Exact equality (checker zero-perturbation differential test). */
+    bool operator==(const TraceOp &other) const = default;
 };
 
 } // namespace ggpu::sim

@@ -108,7 +108,36 @@ WarpCtx::emitMemOp(OpKind kind, MemSpace space,
             addrs, op.mask, bytes_per_lane, trace_->transactions));
     }
     trace_->append(op);
-    return std::int32_t(trace_->ops.size()) - 1;
+    const std::int32_t index = std::int32_t(trace_->ops.size()) - 1;
+    if (emissionObserver())
+        noteAccess(kind == OpKind::Store, space, addrs, bytes_per_lane,
+                   index);
+    return index;
+}
+
+void
+WarpCtx::noteAccess(bool write, MemSpace space,
+                    const std::array<Addr, warpSize> &addrs,
+                    std::uint16_t bytes_per_lane, std::int32_t op_index)
+{
+    EmissionObserver *observer = emissionObserver();
+    if (!observer)
+        return;
+    MemAccess access;
+    access.spec = spec_;
+    access.mem = mem_;
+    access.ctaLinear = ctaLinear_;
+    access.warpInCta = warpInCta_;
+    access.phase = phase_;
+    access.nestDepth = nestDepth_;
+    access.write = write;
+    access.space = space;
+    access.mask = activeMask();
+    access.baseMask = baseMask_;
+    access.bytesPerLane = bytes_per_lane;
+    access.opIndex = op_index;
+    access.addrs = &addrs;
+    observer->onMemAccess(access);
 }
 
 std::int32_t
@@ -329,9 +358,14 @@ emitCta(const LaunchSpec &spec, std::uint64_t cta_linear,
             ctx.emitOp(param);
     }
 
+    EmissionObserver *observer = emissionObserver();
+    if (observer)
+        observer->onCtaBegin(spec, cta_linear, nest_depth);
+
     for (int phase = 0; phase < phases; ++phase) {
         for (std::uint32_t w = 0; w < warps; ++w) {
             WarpCtx &ctx = ctxs[w];
+            ctx.phase_ = phase;
             spec.body->runPhase(ctx, phase);
             if (ctx.maskStack_.size() != 1)
                 panic("kernel '", spec.name,
@@ -349,6 +383,11 @@ emitCta(const LaunchSpec &spec, std::uint64_t cta_linear,
         exit_op.kind = OpKind::Exit;
         ctxs[w].emitOp(exit_op);
     }
+
+    // Re-read the thread-local: a defect-seeking observer could in
+    // principle uninstall itself mid-CTA, and begin/end must pair.
+    if (observer && observer == emissionObserver())
+        observer->onCtaEnd();
 
     return trace;
 }

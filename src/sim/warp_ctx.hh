@@ -19,6 +19,7 @@
 
 #include "common/log.hh"
 #include "common/types.hh"
+#include "sim/check_hooks.hh"
 #include "sim/coalescer.hh"
 #include "sim/device_memory.hh"
 #include "sim/trace.hh"
@@ -66,6 +67,8 @@ class WarpCtx
     Dim3 gridDim() const { return spec_->grid; }
     std::uint64_t ctaLinear() const { return ctaLinear_; }
     int warpInCta() const { return warpInCta_; }
+    /** Barrier-interval (phase) currently being emitted. */
+    int phase() const { return phase_; }
     /** Threads in this CTA (linearized). */
     std::uint32_t ctaThreads() const
     {
@@ -204,9 +207,15 @@ class WarpCtx
                            const std::array<Addr, warpSize> &addrs,
                            std::uint16_t bytes_per_lane, std::int32_t dep);
 
+    /** Report a memory instruction to the installed checker. */
+    void noteAccess(bool write, MemSpace space,
+                    const std::array<Addr, warpSize> &addrs,
+                    std::uint16_t bytes_per_lane, std::int32_t op_index);
+
     const LaunchSpec *spec_ = nullptr;
     std::uint64_t ctaLinear_ = 0;
     int warpInCta_ = 0;
+    int phase_ = 0;
     std::uint64_t gridSalt_ = 0;
     int nestDepth_ = 0;
     std::uint32_t lineBytes_ = 128;
@@ -377,6 +386,14 @@ WarpCtx::loadShared(std::uint32_t base_offset,
     op.bytesPerLane = sizeof(T);
     op.dep = idx.dep;
     out.dep = emitOp(op);
+    if (emissionObserver()) {
+        std::array<Addr, warpSize> offs{};
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (laneActive(lane))
+                offs[std::size_t(lane)] =
+                    base_offset + Addr(idx[lane]) * sizeof(T);
+        noteAccess(false, MemSpace::Shared, offs, sizeof(T), out.dep);
+    }
     return out;
 }
 
@@ -402,7 +419,15 @@ WarpCtx::storeShared(std::uint32_t base_offset,
     op.space = MemSpace::Shared;
     op.bytesPerLane = sizeof(T);
     op.dep = detail::mergeDep(idx.dep, value.dep);
-    emitOp(op);
+    const std::int32_t index = emitOp(op);
+    if (emissionObserver()) {
+        std::array<Addr, warpSize> offs{};
+        for (int lane = 0; lane < warpSize; ++lane)
+            if (laneActive(lane))
+                offs[std::size_t(lane)] =
+                    base_offset + Addr(idx[lane]) * sizeof(T);
+        noteAccess(true, MemSpace::Shared, offs, sizeof(T), index);
+    }
 }
 
 // --------------------------------------------------------- operators

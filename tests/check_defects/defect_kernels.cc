@@ -1,0 +1,210 @@
+#include "check_defects/defect_kernels.hh"
+
+#include <memory>
+
+#include "sim/warp_ctx.hh"
+
+namespace ggpu::tests
+{
+
+namespace
+{
+
+/** Both warps scatter to shared bytes 0..127 in the same phase. */
+class SmemRaceBody : public sim::KernelBody
+{
+  public:
+    void
+    runPhase(sim::WarpCtx &warp, int) override
+    {
+        const auto idx = warp.laneId();
+        const auto value = warp.broadcast(std::uint32_t(1));
+        warp.storeShared<std::uint32_t>(0, idx, value);
+    }
+};
+
+/** Warp 0 writes the tile warp 1 reads, with no barrier between. */
+class SmemReadWriteBody : public sim::KernelBody
+{
+  public:
+    void
+    runPhase(sim::WarpCtx &warp, int) override
+    {
+        const auto idx = warp.laneId();
+        if (warp.warpInCta() == 0) {
+            const auto value = warp.broadcast(std::uint32_t(2));
+            warp.storeShared<std::uint32_t>(0, idx, value);
+        } else {
+            (void)warp.loadShared<std::uint32_t>(0, idx);
+        }
+    }
+};
+
+/** Conditional extra __syncthreads in warp 0 only. */
+class PhaseMismatchBody : public sim::KernelBody
+{
+  public:
+    int numPhases(Dim3, Dim3) const override { return 2; }
+
+    void
+    runPhase(sim::WarpCtx &warp, int phase) override
+    {
+        warp.emitInt(1);
+        if (phase == 0 && warp.warpInCta() == 0) {
+            sim::TraceOp barrier;
+            barrier.kind = sim::OpKind::Barrier;
+            warp.emitOp(barrier);
+        }
+    }
+};
+
+/** Every lane reads element 10 of a 10-element buffer. */
+class GlobalOobBody : public sim::KernelBody
+{
+  public:
+    explicit GlobalOobBody(Addr base) : base_(base) {}
+
+    void
+    runPhase(sim::WarpCtx &warp, int) override
+    {
+        const auto idx = warp.broadcast(std::uint32_t(10));
+        (void)warp.loadGlobal<std::int32_t>(base_, idx);
+    }
+
+  private:
+    Addr base_;
+};
+
+/** Scatter into a buffer the host already freed. */
+class UseAfterFreeBody : public sim::KernelBody
+{
+  public:
+    explicit UseAfterFreeBody(Addr base) : base_(base) {}
+
+    void
+    runPhase(sim::WarpCtx &warp, int) override
+    {
+        const auto idx = warp.laneId();
+        const auto value = warp.broadcast(std::int32_t(7));
+        warp.storeGlobal<std::int32_t>(base_, idx, value);
+    }
+
+  private:
+    Addr base_;
+};
+
+/** __syncthreads reachable only by lane 0. */
+class DivergentBarrierBody : public sim::KernelBody
+{
+  public:
+    void
+    runPhase(sim::WarpCtx &warp, int) override
+    {
+        warp.ifMask(0x1, [&] {
+            sim::TraceOp barrier;
+            barrier.kind = sim::OpKind::Barrier;
+            warp.emitOp(barrier);
+        });
+    }
+};
+
+/** cudaDeviceSynchronize reachable only by lanes 0..1. */
+class DivergentDeviceSyncBody : public sim::KernelBody
+{
+  public:
+    void
+    runPhase(sim::WarpCtx &warp, int) override
+    {
+        warp.ifMask(0x3, [&] { warp.deviceSync(); });
+    }
+};
+
+sim::LaunchSpec
+makeSpec(const std::string &name, std::uint32_t threads,
+         std::uint32_t smem_bytes, std::shared_ptr<sim::KernelBody> body)
+{
+    sim::LaunchSpec spec;
+    spec.name = name;
+    spec.grid = {1, 1, 1};
+    spec.cta = {threads, 1, 1};
+    spec.res.smemPerCtaBytes = smem_bytes;
+    spec.body = std::move(body);
+    return spec;
+}
+
+} // namespace
+
+HostProgram
+defectSmemRace()
+{
+    return [](rt::Device &dev) {
+        dev.launch(makeSpec("defect_smem_race", 64, 128,
+                            std::make_shared<SmemRaceBody>()));
+    };
+}
+
+HostProgram
+defectSmemReadWrite()
+{
+    return [](rt::Device &dev) {
+        dev.launch(makeSpec("defect_smem_read_write", 64, 128,
+                            std::make_shared<SmemReadWriteBody>()));
+    };
+}
+
+HostProgram
+defectPhaseMismatch()
+{
+    return [](rt::Device &dev) {
+        dev.launch(makeSpec("defect_phase_mismatch", 64, 0,
+                            std::make_shared<PhaseMismatchBody>()));
+    };
+}
+
+HostProgram
+defectGlobalOob()
+{
+    return [](rt::Device &dev) {
+        auto buffer = dev.alloc<std::int32_t>(10);
+        // A second allocation keeps the functional heap mapped past the
+        // first buffer's end, so the overrun lands in alignment padding
+        // (silent functionally — exactly the bug class memcheck exists
+        // for) instead of tripping the simulator's own bounds panic.
+        auto guard = dev.alloc<std::int32_t>(64);
+        (void)guard;
+        dev.launch(makeSpec("defect_global_oob", 32, 0,
+                            std::make_shared<GlobalOobBody>(buffer.addr)));
+    };
+}
+
+HostProgram
+defectUseAfterFree()
+{
+    return [](rt::Device &dev) {
+        auto buffer = dev.alloc<std::int32_t>(64);
+        const Addr stale = buffer.addr;
+        dev.free(buffer);
+        dev.launch(makeSpec("defect_use_after_free", 32, 0,
+                            std::make_shared<UseAfterFreeBody>(stale)));
+    };
+}
+
+HostProgram
+defectDivergentBarrier()
+{
+    return [](rt::Device &dev) {
+        dev.launch(makeSpec("defect_divergent_barrier", 32, 0,
+                            std::make_shared<DivergentBarrierBody>()));
+    };
+}
+
+HostProgram
+defectDivergentDeviceSync()
+{
+    return [](rt::Device &dev) {
+        dev.launch(makeSpec("defect_divergent_device_sync", 32, 0,
+                            std::make_shared<DivergentDeviceSyncBody>()));
+    };
+}
+
+} // namespace ggpu::tests

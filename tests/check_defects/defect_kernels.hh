@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Seeded-defect kernels for the ggpu::check detector tests. Each
+ * factory returns a host program (to run under check::checkProgram)
+ * containing exactly one planted bug; the tests assert that the
+ * checker reports exactly the intended diagnostic kind with the right
+ * provenance and nothing else. The defects mirror the classic CUDA
+ * bug classes the compute-sanitizer tools exist for.
+ */
+
+#ifndef GGPU_TESTS_CHECK_DEFECTS_DEFECT_KERNELS_HH
+#define GGPU_TESTS_CHECK_DEFECTS_DEFECT_KERNELS_HH
+
+#include <functional>
+
+#include "runtime/device.hh"
+
+namespace ggpu::tests
+{
+
+using HostProgram = std::function<void(rt::Device &)>;
+
+/** Two warps store to the same shared bytes inside one phase
+ *  (missing __syncthreads before reuse): SharedWriteWrite. */
+HostProgram defectSmemRace();
+
+/** One warp writes shared bytes another warp reads in the same phase:
+ *  SharedReadWrite. */
+HostProgram defectSmemReadWrite();
+
+/** Warp 0 executes a conditional extra __syncthreads (barrier-count
+ *  divergence across warps; hardware deadlock): PhaseCountMismatch. */
+HostProgram defectPhaseMismatch();
+
+/** Off-by-one read of element N of an N-element buffer:
+ *  GlobalOutOfBounds. */
+HostProgram defectGlobalOob();
+
+/** Store through a stale handle after cudaFree: UseAfterFree. */
+HostProgram defectUseAfterFree();
+
+/** __syncthreads inside a divergent single-lane branch:
+ *  DivergentBarrier. */
+HostProgram defectDivergentBarrier();
+
+/** CDP cudaDeviceSynchronize under a partial mask:
+ *  DivergentDeviceSync. */
+HostProgram defectDivergentDeviceSync();
+
+} // namespace ggpu::tests
+
+#endif // GGPU_TESTS_CHECK_DEFECTS_DEFECT_KERNELS_HH

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Detector-precision tests: each seeded-defect kernel must trigger
+ * exactly its intended diagnostic kind — with correct kernel, CTA,
+ * warp, phase and conflicting-warp provenance — and nothing else.
+ * Also covers the checker's synthetic-access corners (shared bounds,
+ * wild addresses, the diagnostic cap) and the ggpu.check.v1 JSON
+ * contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/run_check.hh"
+#include "check_defects/defect_kernels.hh"
+#include "core/json.hh"
+#include "sim/device_memory.hh"
+
+namespace
+{
+
+using ggpu::check::CheckResult;
+using ggpu::check::DiagKind;
+using ggpu::check::Diagnostic;
+using ggpu::tests::HostProgram;
+
+CheckResult
+runDefect(const std::string &label, const HostProgram &program)
+{
+    return ggpu::check::checkProgram(label, program);
+}
+
+/** The run produced exactly one diagnostic; return it. */
+const Diagnostic &
+single(const CheckResult &result)
+{
+    EXPECT_EQ(result.diagnostics.size(), 1u) << [&] {
+        std::string all;
+        for (const auto &diag : result.diagnostics)
+            all += "  " + toString(diag) + "\n";
+        return all;
+    }();
+    if (result.diagnostics.empty()) {
+        static const Diagnostic none;
+        return none;
+    }
+    return result.diagnostics.front();
+}
+
+TEST(CheckDefects, SmemRaceIsExactlyOneWriteWrite)
+{
+    const CheckResult result =
+        runDefect("smem_race", ggpu::tests::defectSmemRace());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::SharedWriteWrite);
+    EXPECT_EQ(diag.kernel, "defect_smem_race");
+    EXPECT_EQ(diag.cta, 0u);
+    EXPECT_EQ(diag.warp, 1);
+    EXPECT_EQ(diag.otherWarp, 0);
+    EXPECT_EQ(diag.phase, 0);
+    EXPECT_EQ(diag.nestDepth, 0);
+    // Both warps scatter 32 lanes x 4 bytes onto the same 128 bytes.
+    EXPECT_EQ(diag.occurrences, 128u);
+}
+
+TEST(CheckDefects, SmemReadWriteIsExactlyOneReadWrite)
+{
+    const CheckResult result =
+        runDefect("smem_rw", ggpu::tests::defectSmemReadWrite());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::SharedReadWrite);
+    EXPECT_EQ(diag.kernel, "defect_smem_read_write");
+    EXPECT_EQ(diag.warp, 1);
+    EXPECT_EQ(diag.otherWarp, 0);
+    EXPECT_EQ(diag.phase, 0);
+}
+
+TEST(CheckDefects, ConditionalBarrierIsExactlyOnePhaseMismatch)
+{
+    const CheckResult result =
+        runDefect("phase_mismatch", ggpu::tests::defectPhaseMismatch());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::PhaseCountMismatch);
+    EXPECT_EQ(diag.kernel, "defect_phase_mismatch");
+    EXPECT_EQ(diag.cta, 0u);
+    EXPECT_EQ(diag.warp, 1);
+    EXPECT_EQ(diag.otherWarp, 0);
+}
+
+TEST(CheckDefects, OffByOneReadIsExactlyOneGlobalOob)
+{
+    const CheckResult result =
+        runDefect("global_oob", ggpu::tests::defectGlobalOob());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::GlobalOutOfBounds);
+    EXPECT_EQ(diag.kernel, "defect_global_oob");
+    EXPECT_EQ(diag.warp, 0);
+    EXPECT_EQ(diag.phase, 0);
+    EXPECT_EQ(diag.bytes, 4u);
+    // Every lane reads element 10 of the 10-element buffer.
+    EXPECT_EQ(diag.occurrences, 32u);
+    EXPECT_NE(diag.message.find("past the end"), std::string::npos)
+        << diag.message;
+}
+
+TEST(CheckDefects, StoreToFreedBufferIsExactlyOneUseAfterFree)
+{
+    const CheckResult result =
+        runDefect("use_after_free", ggpu::tests::defectUseAfterFree());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::UseAfterFree);
+    EXPECT_EQ(diag.kernel, "defect_use_after_free");
+    EXPECT_EQ(diag.warp, 0);
+    EXPECT_EQ(diag.occurrences, 32u);
+    EXPECT_NE(diag.message.find("freed allocation"), std::string::npos)
+        << diag.message;
+}
+
+TEST(CheckDefects, PartialMaskBarrierIsExactlyOneDivergentBarrier)
+{
+    const CheckResult result = runDefect(
+        "divergent_barrier", ggpu::tests::defectDivergentBarrier());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::DivergentBarrier);
+    EXPECT_EQ(diag.kernel, "defect_divergent_barrier");
+    EXPECT_EQ(diag.warp, 0);
+    EXPECT_EQ(diag.phase, 0);
+}
+
+TEST(CheckDefects, PartialMaskDeviceSyncIsExactlyOneDivergentSync)
+{
+    const CheckResult result = runDefect(
+        "divergent_device_sync",
+        ggpu::tests::defectDivergentDeviceSync());
+    const Diagnostic &diag = single(result);
+    EXPECT_EQ(diag.kind, DiagKind::DivergentDeviceSync);
+    EXPECT_EQ(diag.kernel, "defect_divergent_device_sync");
+    EXPECT_EQ(diag.warp, 0);
+}
+
+TEST(CheckDefects, DisabledDetectorStaysSilent)
+{
+    ggpu::check::CheckMode mode;
+    mode.race = false;
+    const CheckResult result = ggpu::check::checkProgram(
+        "smem_race_off", ggpu::tests::defectSmemRace(), mode);
+    EXPECT_TRUE(result.clean());
+
+    mode = {};
+    mode.mem = false;
+    const CheckResult uaf = ggpu::check::checkProgram(
+        "uaf_off", ggpu::tests::defectUseAfterFree(), mode);
+    EXPECT_TRUE(uaf.clean());
+
+    mode = {};
+    mode.sync = false;
+    const CheckResult sync = ggpu::check::checkProgram(
+        "sync_off", ggpu::tests::defectPhaseMismatch(), mode);
+    EXPECT_TRUE(sync.clean());
+}
+
+// ------------------------------------------------------------------
+// Synthetic-access corners driven straight through the observer API.
+// ------------------------------------------------------------------
+
+struct SyntheticAccess
+{
+    ggpu::sim::LaunchSpec spec;
+    ggpu::sim::DeviceMemory mem;
+    std::array<ggpu::Addr, ggpu::warpSize> addrs{};
+
+    SyntheticAccess()
+    {
+        spec.name = "synthetic";
+        spec.res.smemPerCtaBytes = 64;
+    }
+
+    ggpu::sim::MemAccess
+    access(bool write, ggpu::sim::MemSpace space, ggpu::Addr addr)
+    {
+        addrs[0] = addr;
+        ggpu::sim::MemAccess out;
+        out.spec = &spec;
+        out.mem = &mem;
+        out.write = write;
+        out.space = space;
+        out.mask = 0x1;
+        out.baseMask = ggpu::fullMask;
+        out.bytesPerLane = 4;
+        out.addrs = &addrs;
+        return out;
+    }
+};
+
+TEST(CheckerUnits, WildAddressIsUnallocatedAccess)
+{
+    SyntheticAccess fix;
+    const ggpu::Addr base = fix.mem.alloc(40);
+    ggpu::check::Checker checker;
+    checker.onCtaBegin(fix.spec, 0, 0);
+    checker.onMemAccess(fix.access(false, ggpu::sim::MemSpace::Global,
+                                   base + 40 + 4096));
+    checker.onCtaEnd();
+    ASSERT_EQ(checker.diagnostics().size(), 1u);
+    EXPECT_EQ(checker.diagnostics().front().kind,
+              DiagKind::UnallocatedAccess);
+}
+
+TEST(CheckerUnits, NullPageIsUnallocatedAccess)
+{
+    SyntheticAccess fix;
+    ggpu::check::Checker checker;
+    checker.onCtaBegin(fix.spec, 0, 0);
+    checker.onMemAccess(fix.access(true, ggpu::sim::MemSpace::Global, 8));
+    checker.onCtaEnd();
+    ASSERT_EQ(checker.diagnostics().size(), 1u);
+    EXPECT_EQ(checker.diagnostics().front().kind,
+              DiagKind::UnallocatedAccess);
+}
+
+TEST(CheckerUnits, SharedOffsetBeyondDeclaredSizeIsSharedOob)
+{
+    SyntheticAccess fix;
+    ggpu::check::Checker checker;
+    checker.onCtaBegin(fix.spec, 0, 0);
+    // Offset 62 + 4 bytes crosses the declared 64-byte boundary.
+    checker.onMemAccess(fix.access(true, ggpu::sim::MemSpace::Shared, 62));
+    checker.onCtaEnd();
+    ASSERT_EQ(checker.diagnostics().size(), 1u);
+    EXPECT_EQ(checker.diagnostics().front().kind,
+              DiagKind::SharedOutOfBounds);
+}
+
+TEST(CheckerUnits, DiagnosticCapCountsDrops)
+{
+    SyntheticAccess fix;
+    ggpu::check::CheckMode mode;
+    mode.maxDiagnostics = 1;
+    ggpu::check::Checker checker(mode);
+    checker.onCtaBegin(fix.spec, 0, 0);
+    checker.onMemAccess(fix.access(true, ggpu::sim::MemSpace::Global, 8));
+    checker.onMemAccess(fix.access(true, ggpu::sim::MemSpace::Shared, 62));
+    checker.onCtaEnd();
+    EXPECT_EQ(checker.diagnostics().size(), 1u);
+    EXPECT_EQ(checker.droppedDiagnostics(), 1u);
+}
+
+// ------------------------------------------------------------------
+// ggpu.check.v1 JSON contract.
+// ------------------------------------------------------------------
+
+TEST(CheckJson, RunObjectCarriesEveryRequiredKey)
+{
+    const CheckResult result =
+        runDefect("smem_race", ggpu::tests::defectSmemRace());
+    const auto value = ggpu::check::toJson(result);
+    for (const auto &key : ggpu::check::requiredCheckRunKeys())
+        EXPECT_TRUE(value.has(key)) << "missing run key: " << key;
+    const auto &diags = value.at("diagnostics");
+    ASSERT_EQ(diags.size(), 1u);
+    for (const auto &key : ggpu::check::requiredDiagnosticKeys())
+        EXPECT_TRUE(diags.at(0).has(key))
+            << "missing diagnostic key: " << key;
+    EXPECT_EQ(std::uint64_t(value.at("diagnostic_count").asNumber()),
+              1u);
+}
+
+TEST(CheckJson, ArtifactRoundTripsThroughParser)
+{
+    std::vector<CheckResult> results;
+    results.push_back(
+        runDefect("smem_race", ggpu::tests::defectSmemRace()));
+    results.push_back(
+        runDefect("uaf", ggpu::tests::defectUseAfterFree()));
+    const auto artifact = ggpu::check::checkArtifact(results, "tiny");
+    EXPECT_EQ(artifact.at("schema").asString(),
+              ggpu::check::checkerSchema);
+    const auto parsed = ggpu::core::json::parse(artifact.dump());
+    EXPECT_EQ(parsed, artifact);
+    EXPECT_EQ(parsed.at("runs").size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Suite-wide checker gate: every one of the paper's ten applications,
+ * in both the base and CDP variants, must emit at tiny scale with zero
+ * racecheck/synccheck/memcheck diagnostics (and still verify against
+ * its CPU reference). Also the zero-perturbation contract: installing
+ * the checker must not change a single emitted trace op, transaction,
+ * or recorded command.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/run_check.hh"
+#include "core/suite.hh"
+#include "core/trace_store.hh"
+
+namespace
+{
+
+using ggpu::check::CheckResult;
+
+class CheckCleanTest
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(CheckCleanTest, EmitsWithZeroDiagnostics)
+{
+    const auto &[app, cdp] = GetParam();
+    ggpu::kernels::AppOptions options;
+    options.scale = ggpu::kernels::InputScale::Tiny;
+    options.cdp = cdp;
+
+    const CheckResult result = ggpu::check::checkApp(app, options);
+    EXPECT_TRUE(result.verified) << result.detail;
+    EXPECT_GT(result.kernels, 0u);
+    EXPECT_GT(result.accessesChecked, 0u);
+    EXPECT_EQ(result.droppedDiagnostics, 0u);
+    EXPECT_TRUE(result.clean()) << [&] {
+        std::string all;
+        for (const auto &diag : result.diagnostics)
+            all += "  " + toString(diag) + "\n";
+        return all;
+    }();
+}
+
+std::vector<std::tuple<std::string, bool>>
+allRuns()
+{
+    std::vector<std::tuple<std::string, bool>> runs;
+    for (const auto &app : ggpu::core::appNames())
+        for (const bool cdp : {false, true})
+            runs.emplace_back(app, cdp);
+    return runs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, CheckCleanTest, ::testing::ValuesIn(allRuns()),
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) +
+               (std::get<1>(param_info.param) ? "_cdp" : "_base");
+    });
+
+// ------------------------------------------------------------------
+// Zero perturbation: checking must not change what is emitted.
+// ------------------------------------------------------------------
+
+void
+expectIdenticalCtas(const ggpu::sim::CtaTrace &a,
+                    const ggpu::sim::CtaTrace &b)
+{
+    ASSERT_EQ(a.warps.size(), b.warps.size());
+    for (std::size_t w = 0; w < a.warps.size(); ++w) {
+        EXPECT_EQ(a.warps[w].ops, b.warps[w].ops);
+        EXPECT_EQ(a.warps[w].transactions, b.warps[w].transactions);
+    }
+    ASSERT_EQ(a.children.size(), b.children.size());
+    for (std::size_t c = 0; c < a.children.size(); ++c) {
+        EXPECT_EQ(a.children[c]->spec.name, b.children[c]->spec.name);
+        ASSERT_EQ(a.children[c]->ctas.size(), b.children[c]->ctas.size());
+        for (std::size_t i = 0; i < a.children[c]->ctas.size(); ++i)
+            expectIdenticalCtas(a.children[c]->ctas[i],
+                                b.children[c]->ctas[i]);
+    }
+}
+
+TEST(CheckZeroPerturbation, TraceIsByteIdenticalUnderChecker)
+{
+    // NW-CDP exercises shared memory, global traffic, barriers and
+    // child grids in one bundle.
+    ggpu::kernels::AppOptions options;
+    options.scale = ggpu::kernels::InputScale::Tiny;
+    options.cdp = true;
+
+    const auto plain = ggpu::core::emitTrace("NW", options, 128);
+
+    ggpu::check::Checker checker;
+    ggpu::sim::TraceBundle checked;
+    {
+        ggpu::sim::ScopedEmissionObserver scope(&checker);
+        checked = ggpu::core::emitTrace("NW", options, 128);
+    }
+
+    EXPECT_TRUE(plain.verified);
+    EXPECT_TRUE(checked.verified);
+    ASSERT_EQ(plain.commands.size(), checked.commands.size());
+    ASSERT_EQ(plain.kernels.size(), checked.kernels.size());
+    for (std::size_t k = 0; k < plain.kernels.size(); ++k) {
+        const auto &ka = plain.kernels[k];
+        const auto &kb = checked.kernels[k];
+        EXPECT_EQ(ka.spec.name, kb.spec.name);
+        ASSERT_EQ(ka.ctas.size(), kb.ctas.size());
+        for (std::size_t c = 0; c < ka.ctas.size(); ++c)
+            expectIdenticalCtas(ka.ctas[c], kb.ctas[c]);
+    }
+}
+
+} // namespace

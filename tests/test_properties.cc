@@ -110,8 +110,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ScoringCase{1, -1, -1, -1},   // unit
                       ScoringCase{5, -4, -10, -2},  // BLAST-like
                       ScoringCase{3, -2, -4, -2}),
-    [](const ::testing::TestParamInfo<ScoringCase> &info) {
-        const auto &p = info.param;
+    [](const ::testing::TestParamInfo<ScoringCase> &param_info) {
+        const auto &p = param_info.param;
         return "m" + std::to_string(p.match) + "_x" +
                std::to_string(-p.mismatch) + "_o" +
                std::to_string(-p.gap_open) + "_e" +

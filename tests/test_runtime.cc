@@ -158,7 +158,7 @@ TEST(Runtime, DeviceMemoryBoundsAreEnforced)
     rt::Device dev;
     auto buf = dev.alloc<std::int32_t>(16);
     std::int32_t value = 0;
-    EXPECT_THROW(dev.gpu().mem().read(buf.addr + 1 << 20, &value, 4),
+    EXPECT_THROW(dev.gpu().mem().read(buf.addr + (1 << 20), &value, 4),
                  PanicError);
     EXPECT_THROW(dev.gpu().mem().read(0, &value, 4), PanicError);
 }

@@ -70,8 +70,8 @@ TEST_P(Table3Test, PropertiesMatchPaper)
 
 INSTANTIATE_TEST_SUITE_P(
     PaperTable, Table3Test, ::testing::ValuesIn(expectedRows()),
-    [](const ::testing::TestParamInfo<TableRow> &info) {
-        return info.param.app;
+    [](const ::testing::TestParamInfo<TableRow> &param_info) {
+        return param_info.param.app;
     });
 
 } // namespace
