@@ -8,6 +8,8 @@
 #include "common/log.hh"
 #include "core/metrics.hh"
 #include "core/trace_store.hh"
+#include "profile/run_profile.hh"
+#include "sim/profile_hooks.hh"
 
 namespace ggpu::bench
 {
@@ -40,6 +42,40 @@ emittedSeries()
 {
     static std::vector<std::pair<std::string, core::Table>> series;
     return series;
+}
+
+/**
+ * GGPU_TIMELINE hook: when the env var names a directory, wrap the
+ * run in a TimelineRecorder and write a ggpu.timeline.v1 artifact
+ * per (config, app) point. Detached (the common case) this costs
+ * nothing — the observer seam is never installed.
+ */
+core::RunRecord
+runPoint(const std::string &config_label, const std::string &app,
+         const core::RunConfig &cfg)
+{
+    const char *dir = std::getenv("GGPU_TIMELINE");
+    if (!dir)
+        return core::runAppCached(traceStore(), app, cfg);
+
+    profile::TimelineRecorder recorder(
+        profile::timelineOptionsFromEnv());
+    core::RunRecord record;
+    {
+        sim::ScopedTimingObserver scope(&recorder);
+        record = core::runAppCached(traceStore(), app, cfg);
+    }
+    profile::Timeline timeline = std::move(recorder.timeline());
+    profile::fillTimelineContext(timeline, app, cfg,
+                                 recorder.options());
+    timeline.cdp = cfg.options.cdp;
+    std::string path = dir;
+    if (!path.empty() && path.back() != '/')
+        path += '/';
+    path += profile::timelineFileName(config_label + "_" +
+                                      record.label());
+    profile::writeJsonFile(path, profile::toJson(timeline));
+    return record;
 }
 
 } // namespace
@@ -86,7 +122,7 @@ addRun(Collector &collector, const std::string &config_label,
             for (auto _ : state) {
                 (void)_;
                 core::RunRecord record =
-                    core::runAppCached(traceStore(), app, cfg);
+                    runPoint(config_label, app, cfg);
                 state.SetIterationTime(record.gpuSeconds);
                 state.counters["sim_cycles"] =
                     double(record.kernelCycles);

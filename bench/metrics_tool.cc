@@ -25,6 +25,7 @@
 #include "common/log.hh"
 #include "core/json.hh"
 #include "core/metrics.hh"
+#include "profile/timeline.hh"
 
 namespace
 {
@@ -129,6 +130,13 @@ cmdValidate(const std::string &path)
         checkCheckerArtifact(path, doc);
         std::cout << path << ": ok (" << doc.at("runs").size()
                   << " checker runs)\n";
+        return 0;
+    }
+    if (doc.at("schema").asString() == ggpu::profile::timelineSchema) {
+        ggpu::profile::validateTimeline(path, doc);
+        std::cout << path << ": ok (" << doc.at("kernels").size()
+                  << " kernels, " << doc.at("intervals").size()
+                  << " intervals)\n";
         return 0;
     }
     checkArtifact(path, doc);

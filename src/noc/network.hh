@@ -51,6 +51,8 @@ class Network
 
     std::uint64_t packets() const { return packets_.value(); }
     std::uint64_t flits() const { return flits_.value(); }
+    /** Sum of end-to-end packet latencies in cycles. */
+    std::uint64_t latencySum() const { return latencySum_.value(); }
     /** Mean end-to-end packet latency in cycles. */
     double avgLatency() const
     {

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * ggpu_profile — time-resolved profiler CLI. Runs one application (or
+ * the whole suite) with the timing-observer seam attached and writes
+ * per-run artifacts:
+ *
+ *   ggpu.timeline.v1 JSON  (TIMELINE_<label>.json; validated by
+ *                           ggpu_metrics_tool validate)
+ *   Chrome/Perfetto trace  (trace.json for a single run, otherwise
+ *                           TRACE_<label>.json; open in
+ *                           ui.perfetto.dev or chrome://tracing)
+ *
+ *   ggpu_profile [--app NAME] [--base|--cdp] [--scale TIER]
+ *                [--seed N] [--threads N] [--interval CYCLES]
+ *                [--ctas] [--format timeline|perfetto|both]
+ *                [--out DIR]
+ *
+ * Default: every suite app, base and CDP variants, GGPU_SCALE tier,
+ * both formats, current directory. App names match case-insensitively
+ * ("--app sw" selects SW). Exit 0 on success, 1 when any run fails
+ * functional verification, 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/suite.hh"
+#include "profile/perfetto.hh"
+#include "profile/run_profile.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ggpu_profile [options]\n"
+        << "  --app NAME      profile one app, case-insensitive\n"
+        << "                  (default: whole suite)\n"
+        << "  --base          only the non-CDP variant\n"
+        << "  --cdp           only the CDP variant\n"
+        << "  --scale TIER    tiny|small|medium (default: GGPU_SCALE)\n"
+        << "  --seed N        input-generation seed\n"
+        << "  --threads N     simulation-engine lanes "
+           "(default: GGPU_THREADS)\n"
+        << "  --interval N    cycles per counter sample "
+           "(default 1000)\n"
+        << "  --ctas          record per-CTA dispatch/retire events\n"
+        << "  --format F      timeline|perfetto|both (default both)\n"
+        << "  --out DIR       output directory (default .)\n";
+    return 2;
+}
+
+std::optional<ggpu::kernels::InputScale>
+parseScale(const std::string &name)
+{
+    if (name == "tiny")
+        return ggpu::kernels::InputScale::Tiny;
+    if (name == "small")
+        return ggpu::kernels::InputScale::Small;
+    if (name == "medium")
+        return ggpu::kernels::InputScale::Medium;
+    return std::nullopt;
+}
+
+std::string
+lowered(const std::string &s)
+{
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return char(std::tolower(c)); });
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    std::string app;
+    std::string out_dir = ".";
+    std::string format = "both";
+    bool base_only = false;
+    bool cdp_only = false;
+    ggpu::profile::TimelineOptions topts =
+        ggpu::profile::timelineOptionsFromEnv();
+    ggpu::core::RunConfig config;
+    config.options.scale = ggpu::core::scaleFromEnv();
+    config.system.sim.threads = ggpu::core::threadsFromEnv();
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        const bool has_value = i + 1 < args.size();
+        if (arg == "--app" && has_value) {
+            app = args[++i];
+        } else if (arg == "--base") {
+            base_only = true;
+        } else if (arg == "--cdp") {
+            cdp_only = true;
+        } else if (arg == "--scale" && has_value) {
+            auto scale = parseScale(args[++i]);
+            if (!scale) {
+                std::cerr << "ggpu_profile: unknown scale '" << args[i]
+                          << "'\n";
+                return 2;
+            }
+            config.options.scale = *scale;
+        } else if (arg == "--seed" && has_value) {
+            config.options.seed = std::stoull(args[++i]);
+        } else if (arg == "--threads" && has_value) {
+            config.system.sim.threads = std::stoi(args[++i]);
+        } else if (arg == "--interval" && has_value) {
+            const long value = std::stol(args[++i]);
+            if (value < 1) {
+                std::cerr << "ggpu_profile: --interval must be >= 1\n";
+                return 2;
+            }
+            topts.intervalCycles = ggpu::Cycles(value);
+        } else if (arg == "--ctas") {
+            topts.recordCtas = true;
+        } else if (arg == "--format" && has_value) {
+            format = args[++i];
+            if (format != "timeline" && format != "perfetto" &&
+                format != "both") {
+                std::cerr << "ggpu_profile: unknown format '" << format
+                          << "'\n";
+                return 2;
+            }
+        } else if (arg == "--out" && has_value) {
+            out_dir = args[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (base_only && cdp_only)
+        return usage();
+
+    std::vector<std::string> apps;
+    if (app.empty()) {
+        apps = ggpu::core::appNames();
+    } else {
+        const auto &known = ggpu::core::appNames();
+        const std::string wanted = lowered(app);
+        for (const auto &name : known)
+            if (lowered(name) == wanted)
+                apps.push_back(name);
+        if (apps.empty()) {
+            std::cerr << "ggpu_profile: unknown app '" << app << "'\n";
+            return 2;
+        }
+    }
+
+    std::string dir = out_dir;
+    if (!dir.empty() && dir.back() != '/')
+        dir += '/';
+
+    std::size_t runs = 0;
+    for (const auto &name : apps)
+        for (const bool cdp : {false, true})
+            runs += std::size_t(!((cdp && base_only) ||
+                                  (!cdp && cdp_only)));
+    const bool single_run = runs == 1;
+
+    bool all_verified = true;
+    try {
+        for (const auto &name : apps) {
+            for (const bool cdp : {false, true}) {
+                if ((cdp && base_only) || (!cdp && cdp_only))
+                    continue;
+                ggpu::core::RunConfig run_config = config;
+                run_config.options.cdp = cdp;
+                const ggpu::profile::ProfileRun run =
+                    ggpu::profile::profileApp(name, run_config, topts);
+                all_verified &= run.record.verified;
+
+                const std::string label = run.record.label();
+                std::vector<std::string> written;
+                if (format != "perfetto") {
+                    const std::string path =
+                        dir +
+                        ggpu::profile::timelineFileName(label);
+                    ggpu::profile::writeJsonFile(
+                        path, ggpu::profile::toJson(run.timeline));
+                    written.push_back(path);
+                }
+                if (format != "timeline") {
+                    const std::string path =
+                        single_run ? dir + "trace.json"
+                                   : dir + "TRACE_" + label + ".json";
+                    ggpu::profile::writeJsonFile(
+                        path,
+                        ggpu::profile::toPerfettoTrace(run.timeline));
+                    written.push_back(path);
+                }
+
+                std::cout << label << ": "
+                          << run.timeline.kernels.size()
+                          << " kernels, "
+                          << run.timeline.children.size()
+                          << " CDP children, "
+                          << run.timeline.transfers.size()
+                          << " transfers, "
+                          << run.timeline.intervals.size()
+                          << " intervals over " << run.timeline.endCycle
+                          << " cycles";
+                if (!run.record.verified)
+                    std::cout << "; NOT FUNCTIONALLY VERIFIED";
+                std::cout << "\n";
+                for (const auto &path : written)
+                    std::cout << "  wrote " << path << "\n";
+            }
+        }
+    } catch (const std::exception &e) {
+        std::cerr << "ggpu_profile: " << e.what() << "\n";
+        return 1;
+    }
+    std::cout.flush();
+    return all_verified ? 0 : 1;
+}

@@ -1,0 +1,253 @@
+#include "profile/perfetto.hh"
+
+#include <string>
+
+#include "common/log.hh"
+
+namespace ggpu::profile
+{
+
+namespace
+{
+
+using core::json::Value;
+
+constexpr int pidDevice = 1;   //!< Kernel/transfer/CDP slices
+constexpr int pidSm = 2;       //!< Per-SM counter tracks
+constexpr int pidMemory = 3;   //!< Aggregate memory/NoC counters
+
+constexpr int tidKernels = 1;
+constexpr int tidPci = 2;
+constexpr int tidCdp = 3;
+constexpr int tidCtas = 4;
+
+/** Device cycles -> trace microseconds at the core clock. */
+double
+usOf(Cycles cycles, double ghz)
+{
+    return double(cycles) / (ghz * 1e3);
+}
+
+Value
+metadataEvent(const char *name, int pid, int tid, const std::string &value)
+{
+    Value event = Value::object();
+    event.set("name", name);
+    event.set("ph", "M");
+    event.set("pid", pid);
+    event.set("tid", tid);
+    Value args = Value::object();
+    args.set("name", value);
+    event.set("args", std::move(args));
+    return event;
+}
+
+Value
+counterEvent(const std::string &name, int pid, double ts, Value args)
+{
+    Value event = Value::object();
+    event.set("name", name);
+    event.set("ph", "C");
+    event.set("pid", pid);
+    event.set("tid", 0);
+    event.set("ts", ts);
+    event.set("args", std::move(args));
+    return event;
+}
+
+std::string
+smTrackName(std::size_t index)
+{
+    std::string digits = std::to_string(index);
+    while (digits.size() < 2)
+        digits.insert(digits.begin(), '0');
+    return "SM" + digits;
+}
+
+} // namespace
+
+core::json::Value
+toPerfettoTrace(const Timeline &timeline)
+{
+    if (timeline.coreClockGhz <= 0)
+        fatal("toPerfettoTrace: timeline has no core clock (context "
+              "fields not filled in)");
+    const double ghz = timeline.coreClockGhz;
+
+    Value events = Value::array();
+    const std::string run_label =
+        timeline.app + (timeline.cdp ? "-CDP" : "") +
+        (timeline.scale.empty() ? "" : " (" + timeline.scale + ")");
+    events.push(metadataEvent("process_name", pidDevice, 0,
+                              "Device: " + run_label));
+    events.push(metadataEvent("process_name", pidSm, 0, "SM counters"));
+    events.push(
+        metadataEvent("process_name", pidMemory, 0, "Memory & NoC"));
+    events.push(
+        metadataEvent("thread_name", pidDevice, tidKernels, "Kernels"));
+    events.push(metadataEvent("thread_name", pidDevice, tidPci,
+                              "PCIe transfers"));
+    events.push(metadataEvent("thread_name", pidDevice, tidCdp,
+                              "CDP child grids"));
+    if (!timeline.ctas.empty())
+        events.push(metadataEvent("thread_name", pidDevice, tidCtas,
+                                  "CTA events"));
+
+    for (const KernelSlice &k : timeline.kernels) {
+        Value event = Value::object();
+        event.set("name", k.name);
+        event.set("cat", "kernel");
+        event.set("ph", "X");
+        event.set("pid", pidDevice);
+        event.set("tid", tidKernels);
+        event.set("ts", usOf(k.start, ghz));
+        event.set("dur", usOf(k.end - k.start, ghz));
+        Value args = Value::object();
+        args.set("cycles", k.end - k.start);
+        args.set("ctas", k.ctas);
+        args.set("child_grids", k.childGrids);
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+    }
+
+    for (const TransferSlice &t : timeline.transfers) {
+        Value event = Value::object();
+        event.set("name", std::string(t.h2d ? "H2D " : "D2H ") +
+                              std::to_string(t.bytes) + " B");
+        event.set("cat", "pci");
+        event.set("ph", "X");
+        event.set("pid", pidDevice);
+        event.set("tid", tidPci);
+        event.set("ts", usOf(t.start, ghz));
+        event.set("dur", usOf(t.end - t.start, ghz));
+        Value args = Value::object();
+        args.set("bytes", t.bytes);
+        args.set("cycles", t.end - t.start);
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+    }
+
+    // CDP children overlap freely, so they go on an async track keyed
+    // by grid id: "b" at enqueue, "e" at completion.
+    for (const ChildSlice &c : timeline.children) {
+        Value begin = Value::object();
+        begin.set("name", c.name);
+        begin.set("cat", "cdp");
+        begin.set("ph", "b");
+        begin.set("id", std::to_string(c.gridId));
+        begin.set("pid", pidDevice);
+        begin.set("tid", tidCdp);
+        begin.set("ts", usOf(c.enqueuedAt, ghz));
+        Value args = Value::object();
+        args.set("grid", c.gridId);
+        args.set("parent_core", c.parentCore);
+        args.set("launch_overhead_cycles", c.readyAt - c.enqueuedAt);
+        begin.set("args", std::move(args));
+        events.push(std::move(begin));
+
+        Value end = Value::object();
+        end.set("name", c.name);
+        end.set("cat", "cdp");
+        end.set("ph", "e");
+        end.set("id", std::to_string(c.gridId));
+        end.set("pid", pidDevice);
+        end.set("tid", tidCdp);
+        end.set("ts",
+                usOf(c.completed ? c.doneAt : c.readyAt, ghz));
+        events.push(std::move(end));
+    }
+
+    for (const CtaEvent &e : timeline.ctas) {
+        Value event = Value::object();
+        event.set("name", std::string(e.dispatch ? "cta-dispatch"
+                                                 : "cta-retire"));
+        event.set("cat", "cta");
+        event.set("ph", "i");
+        event.set("s", "t");
+        event.set("pid", pidDevice);
+        event.set("tid", tidCtas);
+        event.set("ts", usOf(e.at, ghz));
+        Value args = Value::object();
+        args.set("grid", e.gridId);
+        args.set("core", e.core);
+        if (e.dispatch)
+            args.set("index", e.ctaIndex);
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+    }
+
+    // Counter tracks. A counter event's value holds from its ts until
+    // the next event on the same (pid, name), so one event per row at
+    // the row's start renders the interval's value across its window.
+    for (const IntervalRow &row : timeline.intervals) {
+        const double ts = usOf(row.start, ghz);
+        std::uint64_t l1_misses = 0;
+        for (std::size_t s = 0; s < row.sm.size(); ++s) {
+            const auto &cells = row.sm[s];
+            // Columns (see smColumns()): 1 resident_warps,
+            // 2 stalled_warps, 3 issue_cycles, 7 l1_misses.
+            Value warps = Value::object();
+            warps.set("active", cells[1] - cells[2]);
+            warps.set("stalled", cells[2]);
+            events.push(counterEvent(smTrackName(s) + " warps", pidSm,
+                                     ts, std::move(warps)));
+            Value issue = Value::object();
+            issue.set("issued", cells[3]);
+            events.push(counterEvent(smTrackName(s) + " issue", pidSm,
+                                     ts, std::move(issue)));
+            l1_misses += cells[7];
+        }
+        std::uint64_t l2_misses = 0, dram_served = 0, dram_busy = 0;
+        for (const auto &cells : row.partitions) {
+            // Columns (see partitionColumns()): 1 l2_misses,
+            // 2 dram_served, 4 dram_pin_busy.
+            l2_misses += cells[1];
+            dram_served += cells[2];
+            dram_busy += cells[4];
+        }
+        Value l1 = Value::object();
+        l1.set("misses", l1_misses);
+        events.push(counterEvent("L1 misses", pidMemory, ts,
+                                 std::move(l1)));
+        Value l2 = Value::object();
+        l2.set("misses", l2_misses);
+        events.push(counterEvent("L2 misses", pidMemory, ts,
+                                 std::move(l2)));
+        Value dram = Value::object();
+        dram.set("served_lines", dram_served);
+        dram.set("pin_busy_cycles", dram_busy);
+        events.push(counterEvent("DRAM", pidMemory, ts,
+                                 std::move(dram)));
+        Value noc = Value::object();
+        noc.set("flits", row.noc[1]);
+        events.push(
+            counterEvent("NoC flits", pidMemory, ts, std::move(noc)));
+    }
+    // Zero the counters after the last interval of each run so the
+    // final value doesn't bleed to the end of the viewport.
+    if (!timeline.intervals.empty()) {
+        const double ts = usOf(timeline.endCycle, ghz);
+        for (std::size_t s = 0; s < timeline.intervals.back().sm.size();
+             ++s) {
+            Value warps = Value::object();
+            warps.set("active", 0);
+            warps.set("stalled", 0);
+            events.push(counterEvent(smTrackName(s) + " warps", pidSm,
+                                     ts, std::move(warps)));
+        }
+    }
+
+    Value doc = Value::object();
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    Value other = Value::object();
+    other.set("schema", timelineSchema);
+    other.set("app", timeline.app);
+    other.set("cdp", timeline.cdp);
+    other.set("scale", timeline.scale);
+    other.set("clock_ghz", timeline.coreClockGhz);
+    doc.set("otherData", std::move(other));
+    return doc;
+}
+
+} // namespace ggpu::profile

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Chrome Trace Event export of a profiling Timeline, loadable by
+ * Perfetto (ui.perfetto.dev) and chrome://tracing: complete slices
+ * for kernels and PCIe transfers, async begin/end pairs for CDP child
+ * grids (they overlap freely), instants for CTA events, per-SM warp
+ * and issue counter tracks, and aggregate memory/NoC counters.
+ */
+
+#ifndef GGPU_PROFILE_PERFETTO_HH
+#define GGPU_PROFILE_PERFETTO_HH
+
+#include "core/json.hh"
+#include "profile/timeline.hh"
+
+namespace ggpu::profile
+{
+
+/** Render @p timeline as a Chrome Trace Event document. Timestamps
+ *  are microseconds of device time at the timeline's core clock. */
+core::json::Value toPerfettoTrace(const Timeline &timeline);
+
+} // namespace ggpu::profile
+
+#endif // GGPU_PROFILE_PERFETTO_HH

@@ -1,0 +1,88 @@
+#include "profile/run_profile.hh"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "common/log.hh"
+#include "core/trace_store.hh"
+
+namespace ggpu::profile
+{
+
+TimelineOptions
+timelineOptionsFromEnv()
+{
+    TimelineOptions options;
+    if (const char *raw = std::getenv("GGPU_TIMELINE_INTERVAL")) {
+        const long value = std::atol(raw);
+        if (value < 1)
+            fatal("GGPU_TIMELINE_INTERVAL must be a positive cycle "
+                  "count, got '", raw, "'");
+        options.intervalCycles = Cycles(value);
+    }
+    if (const char *raw = std::getenv("GGPU_TIMELINE_CTAS"))
+        options.recordCtas = std::string(raw) == "1";
+    return options;
+}
+
+void
+fillTimelineContext(Timeline &timeline, const std::string &app,
+                    const core::RunConfig &config,
+                    const TimelineOptions &options)
+{
+    timeline.app = app;
+    timeline.cdp = config.options.cdp;
+    timeline.scale = core::scaleName(config.options.scale);
+    timeline.seed = config.options.seed;
+    timeline.intervalCycles = std::max<Cycles>(1, options.intervalCycles);
+    timeline.numCores = config.system.gpu.numCores;
+    timeline.numPartitions = config.system.gpu.numMemPartitions;
+    timeline.lineBytes = config.system.gpu.lineBytes;
+    timeline.coreClockGhz = config.system.gpu.coreClockGhz;
+}
+
+ProfileRun
+profileApp(const std::string &app, const core::RunConfig &config,
+           const TimelineOptions &options)
+{
+    const sim::TraceBundle bundle = core::emitTrace(
+        app, config.options, config.system.gpu.lineBytes);
+
+    TimelineRecorder recorder(options);
+    ProfileRun run;
+    {
+        sim::ScopedTimingObserver scope(&recorder);
+        run.record = core::timeTrace(bundle, config.system);
+    }
+    run.timeline = std::move(recorder.timeline());
+    fillTimelineContext(run.timeline, app, config, options);
+    return run;
+}
+
+std::string
+timelineFileName(const std::string &tag)
+{
+    std::string safe = tag;
+    for (char &c : safe) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' ||
+                        c == '.' || c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return "TIMELINE_" + safe + ".json";
+}
+
+void
+writeJsonFile(const std::string &path, const core::json::Value &doc)
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("cannot open '", path, "' for writing");
+    os << doc.dump();
+    if (!os.flush())
+        fatal("short write to '", path, "'");
+}
+
+} // namespace ggpu::profile

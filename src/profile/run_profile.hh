@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Profiled-run orchestration: run one application through the
+ * emit-once/time-many pipeline with a TimelineRecorder attached to
+ * the timing replay, fill the timeline's context fields, and write
+ * the artifacts. Used by the ggpu_profile CLI and by the bench
+ * harness's GGPU_TIMELINE hook.
+ */
+
+#ifndef GGPU_PROFILE_RUN_PROFILE_HH
+#define GGPU_PROFILE_RUN_PROFILE_HH
+
+#include <string>
+
+#include "core/suite.hh"
+#include "profile/timeline.hh"
+
+namespace ggpu::profile
+{
+
+/** One profiled run: the timeline plus the ordinary RunRecord the
+ *  same replay produced (identical to an unprofiled run's record). */
+struct ProfileRun
+{
+    Timeline timeline;
+    core::RunRecord record;
+};
+
+/** Recorder knobs from the environment: GGPU_TIMELINE_INTERVAL
+ *  (cycles per sampling window, default 1000) and GGPU_TIMELINE_CTAS
+ *  (=1 records per-CTA dispatch/retire events). */
+TimelineOptions timelineOptionsFromEnv();
+
+/**
+ * Emit (and CPU-verify) @p app's trace, then time it under
+ * @p config.system with a TimelineRecorder attached. The returned
+ * timeline has all context fields filled.
+ */
+ProfileRun profileApp(const std::string &app,
+                      const core::RunConfig &config,
+                      const TimelineOptions &options);
+
+/** Copy run context (app/scale/geometry/clock) into @p timeline. */
+void fillTimelineContext(Timeline &timeline, const std::string &app,
+                         const core::RunConfig &config,
+                         const TimelineOptions &options);
+
+/** "TIMELINE_<tag>.json" with non-filename characters sanitized. */
+std::string timelineFileName(const std::string &tag);
+
+/** Serialize @p doc to @p path (fatal on IO failure). */
+void writeJsonFile(const std::string &path,
+                   const core::json::Value &doc);
+
+} // namespace ggpu::profile
+
+#endif // GGPU_PROFILE_RUN_PROFILE_HH

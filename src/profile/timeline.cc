@@ -1,0 +1,499 @@
+#include "profile/timeline.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+#include "sim/trace.hh"
+
+namespace ggpu::profile
+{
+
+namespace
+{
+
+using core::json::Value;
+
+std::vector<std::string>
+buildSmColumns()
+{
+    std::vector<std::string> columns = {
+        "resident_ctas", "resident_warps", "stalled_warps",
+        "issue_cycles",  "active_cycles",  "insns",
+        "l1_accesses",   "l1_misses",
+    };
+    for (std::size_t r = 0;
+         r < std::size_t(sim::StallReason::NumReasons); ++r)
+        columns.push_back("stall:" +
+                          sim::toString(sim::StallReason(r)));
+    return columns;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+smColumns()
+{
+    static const std::vector<std::string> columns = buildSmColumns();
+    return columns;
+}
+
+const std::vector<std::string> &
+partitionColumns()
+{
+    static const std::vector<std::string> columns = {
+        "l2_accesses", "l2_misses",    "dram_served",
+        "dram_row_hits", "dram_pin_busy", "dram_active",
+    };
+    return columns;
+}
+
+const std::vector<std::string> &
+nocColumns()
+{
+    static const std::vector<std::string> columns = {
+        "packets",
+        "flits",
+        "latency_sum",
+    };
+    return columns;
+}
+
+// ------------------------------------------------------ recorder
+
+TimelineRecorder::TimelineRecorder(TimelineOptions options)
+    : options_(options)
+{
+    options_.intervalCycles = std::max<Cycles>(1, options_.intervalCycles);
+    timeline_.intervalCycles = options_.intervalCycles;
+}
+
+Cycles
+TimelineRecorder::sampleInterval() const
+{
+    return options_.intervalCycles;
+}
+
+void
+TimelineRecorder::noteCycle(Cycles at)
+{
+    timeline_.endCycle = std::max(timeline_.endCycle, at);
+}
+
+void
+TimelineRecorder::onKernelBegin(const sim::LaunchSpec &spec,
+                                std::uint64_t grid_id, Cycles now)
+{
+    KernelSlice slice;
+    slice.name = spec.name;
+    slice.gridId = grid_id;
+    slice.start = now;
+    slice.end = now;
+    kernelIndex_[grid_id] = timeline_.kernels.size();
+    timeline_.kernels.push_back(std::move(slice));
+    // Counters were harvested (reset) after the previous launch; the
+    // baseline sample that follows restarts delta tracking from it.
+    havePrev_ = false;
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onKernelEnd(std::uint64_t grid_id, Cycles now,
+                              std::uint64_t ctas,
+                              std::uint64_t child_grids)
+{
+    auto it = kernelIndex_.find(grid_id);
+    if (it == kernelIndex_.end())
+        panic("TimelineRecorder: kernel end for unknown grid ",
+              grid_id);
+    KernelSlice &slice = timeline_.kernels[it->second];
+    slice.end = now;
+    slice.ctas = ctas;
+    slice.childGrids = child_grids;
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onSample(const sim::IntervalSample &sample)
+{
+    noteCycle(sample.at);
+    if (!havePrev_) {
+        prev_ = sample;
+        havePrev_ = true;
+        return;
+    }
+    if (sample.at == prev_.at) {  // forced sample on a boundary
+        prev_ = sample;
+        return;
+    }
+
+    IntervalRow row;
+    row.start = prev_.at;
+    row.end = sample.at;
+    row.sm.reserve(sample.sms.size());
+    for (std::size_t i = 0; i < sample.sms.size(); ++i) {
+        const sim::SmSample &cur = sample.sms[i];
+        const sim::SmSample &old = prev_.sms[i];
+        std::vector<std::uint64_t> cells;
+        cells.reserve(smColumns().size());
+        cells.push_back(cur.residentCtas);   // instantaneous
+        cells.push_back(cur.residentWarps);  // instantaneous
+        cells.push_back(cur.stalledWarps);   // instantaneous
+        cells.push_back(cur.issueCycles - old.issueCycles);
+        cells.push_back(cur.activeCycles - old.activeCycles);
+        cells.push_back(cur.insns - old.insns);
+        cells.push_back(cur.l1Accesses - old.l1Accesses);
+        cells.push_back(cur.l1Misses - old.l1Misses);
+        for (std::size_t r = 0; r < cur.stalls.size(); ++r)
+            cells.push_back(cur.stalls[r] - old.stalls[r]);
+        row.sm.push_back(std::move(cells));
+    }
+    row.partitions.reserve(sample.partitions.size());
+    for (std::size_t p = 0; p < sample.partitions.size(); ++p) {
+        const sim::PartitionSample &cur = sample.partitions[p];
+        const sim::PartitionSample &old = prev_.partitions[p];
+        row.partitions.push_back({
+            cur.l2Accesses - old.l2Accesses,
+            cur.l2Misses - old.l2Misses,
+            cur.dramServed - old.dramServed,
+            cur.dramRowHits - old.dramRowHits,
+            cur.dramPinBusy - old.dramPinBusy,
+            cur.dramActive - old.dramActive,
+        });
+    }
+    row.noc = {
+        sample.nocPackets - prev_.nocPackets,
+        sample.nocFlits - prev_.nocFlits,
+        sample.nocLatencySum - prev_.nocLatencySum,
+    };
+    timeline_.intervals.push_back(std::move(row));
+    prev_ = sample;
+}
+
+void
+TimelineRecorder::onChildEnqueued(const sim::LaunchSpec &spec,
+                                  std::uint64_t grid_id,
+                                  int parent_core, Cycles now,
+                                  Cycles ready_at)
+{
+    ChildSlice child;
+    child.name = spec.name;
+    child.gridId = grid_id;
+    child.parentCore = parent_core;
+    child.enqueuedAt = now;
+    child.readyAt = ready_at;
+    childIndex_[grid_id] = timeline_.children.size();
+    timeline_.children.push_back(std::move(child));
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onChildDispatchBegin(std::uint64_t grid_id,
+                                       Cycles now)
+{
+    auto it = childIndex_.find(grid_id);
+    if (it == childIndex_.end())
+        panic("TimelineRecorder: dispatch for unknown child grid ",
+              grid_id);
+    ChildSlice &child = timeline_.children[it->second];
+    child.firstDispatchAt = now;
+    child.dispatched = true;
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onChildDone(std::uint64_t grid_id, Cycles now)
+{
+    auto it = childIndex_.find(grid_id);
+    if (it == childIndex_.end())
+        panic("TimelineRecorder: completion of unknown child grid ",
+              grid_id);
+    ChildSlice &child = timeline_.children[it->second];
+    child.doneAt = now;
+    child.completed = true;
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onCtaDispatch(std::uint64_t grid_id,
+                                std::uint64_t cta_index, int core,
+                                Cycles now)
+{
+    if (!options_.recordCtas)
+        return;
+    timeline_.ctas.push_back({grid_id, cta_index, core, now, true});
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onCtaRetire(std::uint64_t grid_id, int core,
+                              Cycles now)
+{
+    if (!options_.recordCtas)
+        return;
+    timeline_.ctas.push_back({grid_id, 0, core, now, false});
+    noteCycle(now);
+}
+
+void
+TimelineRecorder::onTransfer(bool h2d, std::uint64_t bytes,
+                             Cycles start, Cycles end)
+{
+    timeline_.transfers.push_back({h2d, bytes, start, end});
+    noteCycle(end);
+}
+
+// ------------------------------------------------------ export
+
+core::json::Value
+toJson(const Timeline &timeline)
+{
+    Value doc = Value::object();
+    doc.set("schema", timelineSchema);
+    doc.set("app", timeline.app);
+    doc.set("cdp", timeline.cdp);
+    doc.set("scale", timeline.scale);
+    doc.set("seed", timeline.seed);
+    doc.set("interval_cycles", timeline.intervalCycles);
+    doc.set("clock_ghz", timeline.coreClockGhz);
+
+    Value geometry = Value::object();
+    geometry.set("num_cores", timeline.numCores);
+    geometry.set("num_partitions", timeline.numPartitions);
+    geometry.set("line_bytes", std::uint64_t(timeline.lineBytes));
+    doc.set("geometry", std::move(geometry));
+    doc.set("end_cycle", timeline.endCycle);
+
+    Value sm_cols = Value::array();
+    for (const auto &name : smColumns())
+        sm_cols.push(name);
+    doc.set("sm_columns", std::move(sm_cols));
+    Value part_cols = Value::array();
+    for (const auto &name : partitionColumns())
+        part_cols.push(name);
+    doc.set("partition_columns", std::move(part_cols));
+    Value noc_cols = Value::array();
+    for (const auto &name : nocColumns())
+        noc_cols.push(name);
+    doc.set("noc_columns", std::move(noc_cols));
+
+    Value kernels = Value::array();
+    for (const KernelSlice &k : timeline.kernels) {
+        Value v = Value::object();
+        v.set("name", k.name);
+        v.set("grid", k.gridId);
+        v.set("start", k.start);
+        v.set("end", k.end);
+        v.set("ctas", k.ctas);
+        v.set("child_grids", k.childGrids);
+        kernels.push(std::move(v));
+    }
+    doc.set("kernels", std::move(kernels));
+
+    Value transfers = Value::array();
+    for (const TransferSlice &t : timeline.transfers) {
+        Value v = Value::object();
+        v.set("dir", t.h2d ? "h2d" : "d2h");
+        v.set("bytes", t.bytes);
+        v.set("start", t.start);
+        v.set("end", t.end);
+        transfers.push(std::move(v));
+    }
+    doc.set("transfers", std::move(transfers));
+
+    Value children = Value::array();
+    for (const ChildSlice &c : timeline.children) {
+        Value v = Value::object();
+        v.set("name", c.name);
+        v.set("grid", c.gridId);
+        v.set("parent_core", c.parentCore);
+        v.set("enqueued", c.enqueuedAt);
+        v.set("ready", c.readyAt);
+        v.set("begin", c.dispatched ? c.firstDispatchAt : c.readyAt);
+        v.set("end", c.completed ? c.doneAt : c.readyAt);
+        children.push(std::move(v));
+    }
+    doc.set("children", std::move(children));
+
+    Value ctas = Value::array();
+    for (const CtaEvent &e : timeline.ctas) {
+        Value v = Value::object();
+        v.set("kind", e.dispatch ? "dispatch" : "retire");
+        v.set("grid", e.gridId);
+        v.set("core", e.core);
+        v.set("at", e.at);
+        if (e.dispatch)
+            v.set("index", e.ctaIndex);
+        ctas.push(std::move(v));
+    }
+    doc.set("cta_events", std::move(ctas));
+
+    Value intervals = Value::array();
+    for (const IntervalRow &row : timeline.intervals) {
+        Value v = Value::object();
+        v.set("start", row.start);
+        v.set("end", row.end);
+        Value sm = Value::array();
+        for (const auto &cells : row.sm) {
+            Value one = Value::array();
+            for (std::uint64_t cell : cells)
+                one.push(cell);
+            sm.push(std::move(one));
+        }
+        v.set("sm", std::move(sm));
+        Value partitions = Value::array();
+        for (const auto &cells : row.partitions) {
+            Value one = Value::array();
+            for (std::uint64_t cell : cells)
+                one.push(cell);
+            partitions.push(std::move(one));
+        }
+        v.set("partitions", std::move(partitions));
+        Value noc = Value::array();
+        for (std::uint64_t cell : row.noc)
+            noc.push(cell);
+        v.set("noc", std::move(noc));
+        intervals.push(std::move(v));
+    }
+    doc.set("intervals", std::move(intervals));
+    return doc;
+}
+
+// ------------------------------------------------------ validation
+
+namespace
+{
+
+void
+requireNumberRow(const std::string &label, const Value &row,
+                 std::size_t width, const char *what, std::size_t index)
+{
+    if (!row.isArray() || row.size() != width)
+        fatal(label, ": interval ", index, ": ", what, " row has ",
+              row.size(), " cells, expected ", width);
+    for (std::size_t c = 0; c < row.size(); ++c)
+        row.at(c).asNumber();
+}
+
+} // namespace
+
+void
+validateTimeline(const std::string &label, const Value &doc)
+{
+    if (!doc.isObject())
+        fatal(label, ": top-level value is not an object");
+    if (doc.at("schema").asString() != timelineSchema)
+        fatal(label, ": schema is '", doc.at("schema").asString(),
+              "', expected '", timelineSchema, "'");
+    doc.at("app").asString();
+    doc.at("cdp").asBool();
+    doc.at("scale").asString();
+    if (doc.at("interval_cycles").asNumber() < 1)
+        fatal(label, ": interval_cycles must be >= 1");
+    if (doc.at("clock_ghz").asNumber() <= 0)
+        fatal(label, ": clock_ghz must be positive");
+
+    const Value &geometry = doc.at("geometry");
+    const std::size_t num_cores =
+        std::size_t(geometry.at("num_cores").asNumber());
+    const std::size_t num_partitions =
+        std::size_t(geometry.at("num_partitions").asNumber());
+    if (num_cores == 0 || num_partitions == 0 ||
+        geometry.at("line_bytes").asNumber() <= 0)
+        fatal(label, ": geometry fields must be positive");
+
+    const std::size_t sm_width = doc.at("sm_columns").size();
+    const std::size_t part_width = doc.at("partition_columns").size();
+    const std::size_t noc_width = doc.at("noc_columns").size();
+    if (sm_width == 0 || part_width == 0 || noc_width == 0)
+        fatal(label, ": empty column legend");
+
+    const Value &kernels = doc.at("kernels");
+    if (!kernels.isArray())
+        fatal(label, ": 'kernels' is not an array");
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+        const Value &k = kernels.at(i);
+        k.at("name").asString();
+        k.at("grid").asNumber();
+        k.at("ctas").asNumber();
+        k.at("child_grids").asNumber();
+        if (k.at("end").asNumber() < k.at("start").asNumber())
+            fatal(label, ": kernel ", i, " ends before it starts");
+    }
+
+    const Value &transfers = doc.at("transfers");
+    if (!transfers.isArray())
+        fatal(label, ": 'transfers' is not an array");
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+        const Value &t = transfers.at(i);
+        const std::string &dir = t.at("dir").asString();
+        if (dir != "h2d" && dir != "d2h")
+            fatal(label, ": transfer ", i, " has direction '", dir,
+                  "'");
+        t.at("bytes").asNumber();
+        if (t.at("end").asNumber() < t.at("start").asNumber())
+            fatal(label, ": transfer ", i, " ends before it starts");
+    }
+
+    const Value &children = doc.at("children");
+    if (!children.isArray())
+        fatal(label, ": 'children' is not an array");
+    for (std::size_t i = 0; i < children.size(); ++i) {
+        const Value &c = children.at(i);
+        c.at("name").asString();
+        c.at("grid").asNumber();
+        c.at("parent_core").asNumber();
+        const double enq = c.at("enqueued").asNumber();
+        const double ready = c.at("ready").asNumber();
+        const double begin = c.at("begin").asNumber();
+        const double end = c.at("end").asNumber();
+        if (!(enq <= ready && ready <= begin && begin <= end))
+            fatal(label, ": child ", i,
+                  " violates enqueued <= ready <= begin <= end");
+    }
+
+    const Value &cta_events = doc.at("cta_events");
+    if (!cta_events.isArray())
+        fatal(label, ": 'cta_events' is not an array");
+    for (std::size_t i = 0; i < cta_events.size(); ++i) {
+        const Value &e = cta_events.at(i);
+        const std::string &kind = e.at("kind").asString();
+        if (kind != "dispatch" && kind != "retire")
+            fatal(label, ": cta_event ", i, " has kind '", kind, "'");
+        e.at("grid").asNumber();
+        e.at("core").asNumber();
+        e.at("at").asNumber();
+    }
+
+    const Value &intervals = doc.at("intervals");
+    if (!intervals.isArray())
+        fatal(label, ": 'intervals' is not an array");
+    double prev_end = 0;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const Value &row = intervals.at(i);
+        const double start = row.at("start").asNumber();
+        const double end = row.at("end").asNumber();
+        if (end <= start)
+            fatal(label, ": interval ", i, " is empty or reversed");
+        if (start < prev_end)
+            fatal(label, ": interval ", i,
+                  " overlaps the previous interval");
+        prev_end = end;
+        const Value &sm = row.at("sm");
+        if (!sm.isArray() || sm.size() != num_cores)
+            fatal(label, ": interval ", i, " has ", sm.size(),
+                  " SM rows, expected ", num_cores);
+        for (std::size_t s = 0; s < sm.size(); ++s)
+            requireNumberRow(label, sm.at(s), sm_width, "SM", i);
+        const Value &partitions = row.at("partitions");
+        if (!partitions.isArray() ||
+            partitions.size() != num_partitions)
+            fatal(label, ": interval ", i, " has ", partitions.size(),
+                  " partition rows, expected ", num_partitions);
+        for (std::size_t p = 0; p < partitions.size(); ++p)
+            requireNumberRow(label, partitions.at(p), part_width,
+                             "partition", i);
+        requireNumberRow(label, row.at("noc"), noc_width, "NoC", i);
+    }
+}
+
+} // namespace ggpu::profile

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Time-resolved profiling timeline: the data model filled by a
+ * TimelineRecorder attached to the sim's timing-observer seam
+ * (sim/profile_hooks), its `ggpu.timeline.v1` JSON rendering, and the
+ * schema validator shared by ggpu_metrics_tool and the tests.
+ *
+ * A timeline holds two kinds of data:
+ *  - discrete slices/events: kernel launches, PCIe transfers, CDP
+ *    child grids (enqueue -> ready -> first dispatch -> completion)
+ *    and, optionally, per-CTA dispatch/retire points;
+ *  - interval rows: per-SM / per-partition / NoC counter *deltas*
+ *    over [start, end) windows of a configurable cycle width, plus
+ *    instantaneous warp-occupancy numbers sampled at the row's end.
+ * Rows tile each kernel exactly: a baseline sample at launch and a
+ * forced sample at retire bound the first and last windows.
+ */
+
+#ifndef GGPU_PROFILE_TIMELINE_HH
+#define GGPU_PROFILE_TIMELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/json.hh"
+#include "sim/profile_hooks.hh"
+
+namespace ggpu::profile
+{
+
+/** Schema tag of the timeline artifact (bumped deliberately). */
+inline constexpr const char *timelineSchema = "ggpu.timeline.v1";
+
+/** Recorder knobs. */
+struct TimelineOptions
+{
+    Cycles intervalCycles = 1000;  //!< Counter-sampling window
+    bool recordCtas = false;       //!< Per-CTA dispatch/retire events
+};
+
+/** One traced kernel launch, start to drain. */
+struct KernelSlice
+{
+    std::string name;
+    std::uint64_t gridId = 0;
+    Cycles start = 0;
+    Cycles end = 0;
+    std::uint64_t ctas = 0;
+    std::uint64_t childGrids = 0;
+};
+
+/** One H2D/D2H transfer occupying device time [start, end). */
+struct TransferSlice
+{
+    bool h2d = true;
+    std::uint64_t bytes = 0;
+    Cycles start = 0;
+    Cycles end = 0;
+};
+
+/** One CDP child grid's lifetime. */
+struct ChildSlice
+{
+    std::string name;
+    std::uint64_t gridId = 0;
+    int parentCore = -1;
+    Cycles enqueuedAt = 0;       //!< postChildLaunch reached the queue
+    Cycles readyAt = 0;          //!< Dispatchable (launch overhead paid)
+    Cycles firstDispatchAt = 0;  //!< First CTA placed on an SM
+    Cycles doneAt = 0;           //!< Last CTA completed
+    bool dispatched = false;
+    bool completed = false;
+};
+
+/** One CTA dispatch or retire point (recorded when recordCtas). */
+struct CtaEvent
+{
+    std::uint64_t gridId = 0;
+    std::uint64_t ctaIndex = 0;  //!< Meaningful for dispatch only
+    int core = -1;
+    Cycles at = 0;
+    bool dispatch = true;        //!< false = retire
+};
+
+/** Per-interval counter deltas; row layouts follow the column lists. */
+struct IntervalRow
+{
+    Cycles start = 0;
+    Cycles end = 0;
+    /** One row per SM, columns as smColumns(). */
+    std::vector<std::vector<std::uint64_t>> sm;
+    /** One row per memory partition, columns as partitionColumns(). */
+    std::vector<std::vector<std::uint64_t>> partitions;
+    /** Columns as nocColumns(). */
+    std::vector<std::uint64_t> noc;
+};
+
+/** A fully recorded run, ready for export. */
+struct Timeline
+{
+    // Context (filled by the run driver, not the recorder).
+    std::string app;
+    bool cdp = false;
+    std::string scale;
+    std::uint64_t seed = 0;
+    Cycles intervalCycles = 0;
+    int numCores = 0;
+    int numPartitions = 0;
+    std::uint32_t lineBytes = 0;
+    double coreClockGhz = 0.0;
+
+    Cycles endCycle = 0;  //!< Last recorded device cycle
+    std::vector<KernelSlice> kernels;
+    std::vector<TransferSlice> transfers;
+    std::vector<ChildSlice> children;
+    std::vector<CtaEvent> ctas;
+    std::vector<IntervalRow> intervals;
+};
+
+/** Column legends of the interval matrices. The first three SM
+ *  columns are instantaneous values at the row's end; every other
+ *  column is the counter's delta over the row's window. */
+const std::vector<std::string> &smColumns();
+const std::vector<std::string> &partitionColumns();
+const std::vector<std::string> &nocColumns();
+
+/** Render @p timeline as a ggpu.timeline.v1 document. */
+core::json::Value toJson(const Timeline &timeline);
+
+/** Check a parsed artifact against the ggpu.timeline.v1 contract;
+ *  throws FatalError naming @p label and the defect. */
+void validateTimeline(const std::string &label,
+                      const core::json::Value &doc);
+
+/**
+ * The TimingObserver that fills a Timeline. Attach around a timed run
+ * with sim::ScopedTimingObserver; afterwards fill the context fields
+ * and export. The recorder converts cumulative counter samples into
+ * per-interval deltas and drops zero-length windows.
+ */
+class TimelineRecorder : public sim::TimingObserver
+{
+  public:
+    explicit TimelineRecorder(TimelineOptions options = {});
+
+    Timeline &timeline() { return timeline_; }
+    const Timeline &timeline() const { return timeline_; }
+    const TimelineOptions &options() const { return options_; }
+
+    // ---- sim::TimingObserver -------------------------------------
+    Cycles sampleInterval() const override;
+    void onKernelBegin(const sim::LaunchSpec &spec,
+                       std::uint64_t grid_id, Cycles now) override;
+    void onKernelEnd(std::uint64_t grid_id, Cycles now,
+                     std::uint64_t ctas,
+                     std::uint64_t child_grids) override;
+    void onSample(const sim::IntervalSample &sample) override;
+    void onChildEnqueued(const sim::LaunchSpec &spec,
+                         std::uint64_t grid_id, int parent_core,
+                         Cycles now, Cycles ready_at) override;
+    void onChildDispatchBegin(std::uint64_t grid_id,
+                              Cycles now) override;
+    void onChildDone(std::uint64_t grid_id, Cycles now) override;
+    void onCtaDispatch(std::uint64_t grid_id, std::uint64_t cta_index,
+                       int core, Cycles now) override;
+    void onCtaRetire(std::uint64_t grid_id, int core,
+                     Cycles now) override;
+    void onTransfer(bool h2d, std::uint64_t bytes, Cycles start,
+                    Cycles end) override;
+
+  private:
+    void noteCycle(Cycles at);
+
+    TimelineOptions options_;
+    Timeline timeline_;
+    sim::IntervalSample prev_;
+    bool havePrev_ = false;
+    std::unordered_map<std::uint64_t, std::size_t> kernelIndex_;
+    std::unordered_map<std::uint64_t, std::size_t> childIndex_;
+};
+
+} // namespace ggpu::profile
+
+#endif // GGPU_PROFILE_TIMELINE_HH

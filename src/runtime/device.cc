@@ -1,6 +1,7 @@
 #include "runtime/device.hh"
 
 #include "common/log.hh"
+#include "sim/profile_hooks.hh"
 
 namespace ggpu::rt
 {
@@ -27,10 +28,13 @@ Device::copyIn(Addr dst, const void *src, std::size_t bytes)
             {sim::TraceCommand::Kind::H2D, bytes, 0});
         return;
     }
+    const Cycles start = gpu_->now();
     const Cycles cost = pci_.transfer(bytes, mem::PciDirection::HostToDevice,
                                       cfg_.gpu.coreClockGhz);
     gpu_->advance(cost);
     profiler_.recordPci(bytes, cost);
+    if (auto *obs = sim::timingObserver())
+        obs->onTransfer(true, bytes, start, gpu_->now());
     // Kernel-to-kernel cache locality is lost across host transfers
     // (the effect the paper blames for cache-size insensitivity).
     gpu_->flushCaches();
@@ -45,10 +49,13 @@ Device::copyOut(void *dst, Addr src, std::size_t bytes)
             {sim::TraceCommand::Kind::D2H, bytes, 0});
         return;
     }
+    const Cycles start = gpu_->now();
     const Cycles cost = pci_.transfer(bytes, mem::PciDirection::DeviceToHost,
                                       cfg_.gpu.coreClockGhz);
     gpu_->advance(cost);
     profiler_.recordPci(bytes, cost);
+    if (auto *obs = sim::timingObserver())
+        obs->onTransfer(false, bytes, start, gpu_->now());
     gpu_->flushCaches();
 }
 
@@ -88,20 +95,26 @@ Device::replay(const sim::TraceBundle &bundle)
     for (const sim::TraceCommand &cmd : bundle.commands) {
         switch (cmd.kind) {
           case sim::TraceCommand::Kind::H2D: {
+            const Cycles start = gpu_->now();
             const Cycles cost =
                 pci_.transfer(cmd.bytes, mem::PciDirection::HostToDevice,
                               cfg_.gpu.coreClockGhz);
             gpu_->advance(cost);
             profiler_.recordPci(cmd.bytes, cost);
+            if (auto *obs = sim::timingObserver())
+                obs->onTransfer(true, cmd.bytes, start, gpu_->now());
             gpu_->flushCaches();
             break;
           }
           case sim::TraceCommand::Kind::D2H: {
+            const Cycles start = gpu_->now();
             const Cycles cost =
                 pci_.transfer(cmd.bytes, mem::PciDirection::DeviceToHost,
                               cfg_.gpu.coreClockGhz);
             gpu_->advance(cost);
             profiler_.recordPci(cmd.bytes, cost);
+            if (auto *obs = sim::timingObserver())
+                obs->onTransfer(false, cmd.bytes, start, gpu_->now());
             gpu_->flushCaches();
             break;
           }

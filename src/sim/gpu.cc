@@ -184,7 +184,7 @@ Gpu::postCtaComplete(int core, GridState &grid, Cycles now)
         outboxes_[std::size_t(core)].ops.push_back(op);
         return;
     }
-    onGridCtaComplete(grid, now);
+    onGridCtaComplete(grid, core, now);
 }
 
 GridState *
@@ -196,6 +196,7 @@ Gpu::enqueueChildGrid(const ChildGrid &child, int parent_core,
     grid->ctaSrc = &child.ctas;
     grid->totalCtas = child.spec.grid.count();
     grid->remaining = grid->totalCtas;
+    grid->profileId = ++profileGridSeq_;
     grid->depth = 1;
     grid->parentCore = parent_core;
     grid->parentCtaSlot = parent_cta_slot;
@@ -214,19 +215,28 @@ Gpu::enqueueChildGrid(const ChildGrid &child, int parent_core,
     dispatchQueue_.push_front(raw);
     ++liveGrids_;
     ++childGridsThisLaunch_;
+    if (TimingObserver *obs = timingObserver()) {
+        obs->onChildEnqueued(raw->spec, raw->profileId, parent_core,
+                             now, raw->readyAt);
+    }
     return raw;
 }
 
 void
-Gpu::onGridCtaComplete(GridState &grid, Cycles now)
+Gpu::onGridCtaComplete(GridState &grid, int core, Cycles now)
 {
     if (grid.remaining == 0)
         panic("Gpu: CTA completed on a drained grid");
     --grid.remaining;
+    TimingObserver *obs = timingObserver();
+    if (obs)
+        obs->onCtaRetire(grid.profileId, core, now);
     if (grid.remaining > 0)
         return;
     grid.done = true;
     --liveGrids_;
+    if (obs && grid.depth > 0)
+        obs->onChildDone(grid.profileId, now);
     if (grid.parentCore >= 0) {
         sms_[std::size_t(grid.parentCore)]->onChildGridDone(
             grid.parentCtaSlot, now);
@@ -358,6 +368,7 @@ Gpu::dispatchCtas()
 {
     constexpr int maxDispatchPerCycle = 8;
     int dispatched = 0;
+    TimingObserver *obs = timingObserver();
 
     for (auto it = dispatchQueue_.begin();
          it != dispatchQueue_.end() && dispatched < maxDispatchPerCycle;) {
@@ -381,6 +392,12 @@ Gpu::dispatchCtas()
             const CtaTrace &trace =
                 (*grid->ctaSrc)[std::size_t(grid->nextCta)];
             sm.dispatchCta(*grid, trace, now_);
+            if (obs) {
+                if (grid->depth > 0 && grid->nextCta == 0)
+                    obs->onChildDispatchBegin(grid->profileId, now_);
+                obs->onCtaDispatch(grid->profileId, grid->nextCta,
+                                   sm.coreId(), now_);
+            }
             ++grid->nextCta;
             ++dispatched;
             placed_any = true;
@@ -461,7 +478,7 @@ Gpu::drainSmOutboxes()
                 break;
               }
               case SmOp::Kind::CtaComplete:
-                onGridCtaComplete(*op.grid, now_);
+                onGridCtaComplete(*op.grid, int(core), now_);
                 break;
             }
         }
@@ -509,6 +526,8 @@ Gpu::runUntilDrained()
         if (progress) {
             idle_iterations = 0;
             ++now_;
+            if (TimingObserver *obs = timingObserver())
+                profileMaybeSample(*obs);
             continue;
         }
 
@@ -526,6 +545,8 @@ Gpu::runUntilDrained()
                 sm->accountSkip(skip);
         }
         now_ = target;
+        if (TimingObserver *obs = timingObserver())
+            profileMaybeSample(*obs);
         if (++idle_iterations > 100000000ull)
             panic("Gpu: livelock — 100000000 wakeups without progress\n",
                   pendingWorkReport());
@@ -567,6 +588,58 @@ Gpu::pendingWorkReport() const
     if (!any_sm)
         os << "    no SM holds resident work (no stalled warps)\n";
     return os.str();
+}
+
+void
+Gpu::profileMaybeSample(TimingObserver &obs)
+{
+    if (now_ < profileNextSampleAt_)
+        return;
+    profileEmitSample(obs);
+    // Snap the next boundary to the first interval multiple past now_
+    // (time jumps can leap several boundaries at once).
+    const Cycles interval = std::max<Cycles>(1, obs.sampleInterval());
+    profileNextSampleAt_ = now_ - (now_ % interval) + interval;
+}
+
+void
+Gpu::profileEmitSample(TimingObserver &obs)
+{
+    IntervalSample &sample = profileSample_;
+    sample.at = now_;
+    sample.sms.resize(sms_.size());
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        SmCore &sm = *sms_[i];
+        SmSample &out = sample.sms[i];
+        out.residentCtas = sm.residentCtaCount();
+        out.residentWarps = sm.residentWarpCount();
+        out.stalledWarps = sm.stalledWarpCount(now_);
+        out.issueCycles = sm.issueCycles();
+        out.activeCycles = sm.activeCycles();
+        out.insns = 0;
+        for (std::uint64_t count : sm.insnByKind())
+            out.insns += count;
+        out.l1Accesses = sm.l1().accesses();
+        out.l1Misses = sm.l1().misses();
+        const Histogram &stalls = sm.stallHist();
+        for (std::size_t r = 0; r < out.stalls.size(); ++r)
+            out.stalls[r] = stalls.count(r);
+    }
+    sample.partitions.resize(partitions_.size());
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+        const Partition &part = *partitions_[p];
+        PartitionSample &out = sample.partitions[p];
+        out.l2Accesses = part.l2.accesses();
+        out.l2Misses = part.l2.misses();
+        out.dramServed = part.dram.served();
+        out.dramRowHits = part.dram.rowHits();
+        out.dramPinBusy = part.dram.pinBusyCycles();
+        out.dramActive = part.dram.activeCycles();
+    }
+    sample.nocPackets = noc_.packets();
+    sample.nocFlits = noc_.flits();
+    sample.nocLatencySum = noc_.latencySum();
+    obs.onSample(sample);
 }
 
 void
@@ -655,11 +728,22 @@ Gpu::launchTraced(const KernelTrace &kernel)
     grid->ctaSrc = &kernel.ctas;
     grid->totalCtas = spec.grid.count();
     grid->remaining = grid->totalCtas;
+    grid->profileId = ++profileGridSeq_;
     grid->readyAt = launchReadyAt_;
     GridState *raw = grid.get();
     activeGrids_.push_back(std::move(grid));
     dispatchQueue_.push_back(raw);
     ++liveGrids_;
+
+    TimingObserver *obs = timingObserver();
+    const std::uint64_t launch_id = raw->profileId;
+    if (obs) {
+        const Cycles interval =
+            std::max<Cycles>(1, obs->sampleInterval());
+        profileNextSampleAt_ = now_ - (now_ % interval) + interval;
+        obs->onKernelBegin(spec, launch_id, now_);
+        profileEmitSample(*obs);  // baseline: first deltas start at 0
+    }
 
     runUntilDrained();
 
@@ -667,6 +751,12 @@ Gpu::launchTraced(const KernelTrace &kernel)
     result.cycles = now_ - started;
     result.ctas = raw->totalCtas;
     result.childGrids = childGridsThisLaunch_;
+
+    if (obs) {
+        profileEmitSample(*obs);  // final: intervals tile the kernel
+        obs->onKernelEnd(launch_id, now_, result.ctas,
+                         result.childGrids);
+    }
 
     stats_.gpuCycles += result.cycles;
     stats_.launches += 1;

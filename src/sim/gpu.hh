@@ -25,6 +25,7 @@
 #include "noc/network.hh"
 #include "sim/device_memory.hh"
 #include "sim/grid.hh"
+#include "sim/profile_hooks.hh"
 #include "sim/sm_core.hh"
 #include "sim/stall.hh"
 #include "sim/trace.hh"
@@ -199,7 +200,7 @@ class Gpu
         std::vector<SmOp> ops;
     };
 
-    void onGridCtaComplete(GridState &grid, Cycles now);
+    void onGridCtaComplete(GridState &grid, int core, Cycles now);
     void applyRead(int core, Addr line, Cycles now);
     void applyWrite(int core, Addr line, Cycles now);
     void tickSmRange(std::size_t begin, std::size_t end);
@@ -229,6 +230,12 @@ class Gpu
     Cycles nextWakeup() const;
     bool drained() const;
 
+    // Timing-profiler support (sim/profile_hooks). Only touched when
+    // an observer is installed; detached runs pay one thread-local
+    // null check per cycle-loop iteration.
+    void profileMaybeSample(TimingObserver &obs);
+    void profileEmitSample(TimingObserver &obs);
+
     SystemConfig cfg_;
     DeviceMemory mem_;
     noc::Network noc_;
@@ -257,6 +264,11 @@ class Gpu
     Cycles now_ = 0;
     Cycles launchReadyAt_ = 0;
     int dispatchCursor_ = 0;
+
+    /** Monotonic GridState::profileId source (host + CDP grids). */
+    std::uint64_t profileGridSeq_ = 0;
+    Cycles profileNextSampleAt_ = 0;
+    IntervalSample profileSample_;  //!< Reused snapshot buffer
 
     SimStats stats_;
 };

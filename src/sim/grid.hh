@@ -29,6 +29,9 @@ struct GridState
 
     std::uint64_t totalCtas = 0;
     std::uint64_t nextCta = 0;    //!< Next CTA linear index to dispatch
+    /** Device-unique id assigned at enqueue; identifies this grid in
+     *  timing-observer events (sim/profile_hooks). */
+    std::uint64_t profileId = 0;
     std::uint64_t remaining = 0;  //!< CTAs not yet completed
     Cycles readyAt = 0;           //!< Dispatchable once now >= readyAt
     bool done = false;

@@ -1,0 +1,30 @@
+#include "sim/profile_hooks.hh"
+
+namespace ggpu::sim
+{
+
+namespace
+{
+
+thread_local TimingObserver *currentTimingObserver = nullptr;
+
+} // namespace
+
+TimingObserver *
+timingObserver()
+{
+    return currentTimingObserver;
+}
+
+ScopedTimingObserver::ScopedTimingObserver(TimingObserver *observer)
+    : previous_(currentTimingObserver)
+{
+    currentTimingObserver = observer;
+}
+
+ScopedTimingObserver::~ScopedTimingObserver()
+{
+    currentTimingObserver = previous_;
+}
+
+} // namespace ggpu::sim

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Timing-observer seam for the time-resolved profiler (ggpu::profile).
+ * The kernel checker observes the *emission* path (sim/check_hooks);
+ * this seam is its twin on the *timing* path: when an observer is
+ * installed (thread-local; the cycle loop runs on one thread — SM
+ * ticks on worker lanes never touch these hooks), the Gpu reports
+ * discrete timing events (kernel launch/retire, CDP child enqueue /
+ * first dispatch / completion, CTA dispatch/retire, PCIe transfers)
+ * and periodic counter samples at a configurable cycle interval. With
+ * no observer installed every hook reduces to one thread-local null
+ * check, and timing results are byte-identical to an unprofiled run
+ * (enforced by a differential test).
+ */
+
+#ifndef GGPU_SIM_PROFILE_HOOKS_HH
+#define GGPU_SIM_PROFILE_HOOKS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/stall.hh"
+
+namespace ggpu::sim
+{
+
+struct LaunchSpec;
+
+/** One SM's counters at a sample point. Cycle/access counters are
+ *  cumulative since the launch began (the Gpu resets per-SM stats at
+ *  every harvest); warp/CTA counts are instantaneous. */
+struct SmSample
+{
+    std::uint32_t residentCtas = 0;
+    std::uint32_t residentWarps = 0;  //!< Valid, unfinished warp slots
+    std::uint32_t stalledWarps = 0;   //!< Resident but not issuable now
+    std::uint64_t issueCycles = 0;
+    std::uint64_t activeCycles = 0;
+    std::uint64_t insns = 0;
+    std::uint64_t l1Accesses = 0;
+    std::uint64_t l1Misses = 0;
+    std::array<std::uint64_t, std::size_t(StallReason::NumReasons)>
+        stalls{};
+};
+
+/** One memory partition's counters at a sample point (cumulative
+ *  since the launch began). */
+struct PartitionSample
+{
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t dramServed = 0;
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramPinBusy = 0;
+    std::uint64_t dramActive = 0;
+};
+
+/** Whole-device counter snapshot taken at cycle @ref at. */
+struct IntervalSample
+{
+    Cycles at = 0;
+    std::vector<SmSample> sms;
+    std::vector<PartitionSample> partitions;
+    std::uint64_t nocPackets = 0;
+    std::uint64_t nocFlits = 0;
+    std::uint64_t nocLatencySum = 0;
+};
+
+/** Interface the profiler implements; default callbacks do nothing. */
+class TimingObserver
+{
+  public:
+    virtual ~TimingObserver() = default;
+
+    /** Cycles between counter samples (clamped to >= 1 by the Gpu). */
+    virtual Cycles sampleInterval() const { return 1000; }
+
+    /** A traced kernel launch is starting. A baseline sample follows
+     *  immediately so the first interval's deltas start from zero. */
+    virtual void
+    onKernelBegin(const LaunchSpec &spec, std::uint64_t grid_id,
+                  Cycles now)
+    {
+        (void)spec;
+        (void)grid_id;
+        (void)now;
+    }
+
+    /** The launch begun with @p grid_id drained (a final sample was
+     *  just delivered, so intervals tile the kernel exactly). */
+    virtual void
+    onKernelEnd(std::uint64_t grid_id, Cycles now, std::uint64_t ctas,
+                std::uint64_t child_grids)
+    {
+        (void)grid_id;
+        (void)now;
+        (void)ctas;
+        (void)child_grids;
+    }
+
+    /** Periodic counter snapshot (also at kernel begin/end). */
+    virtual void onSample(const IntervalSample &sample) { (void)sample; }
+
+    /** A CDP child grid was queued; dispatchable from @p ready_at. */
+    virtual void
+    onChildEnqueued(const LaunchSpec &spec, std::uint64_t grid_id,
+                    int parent_core, Cycles now, Cycles ready_at)
+    {
+        (void)spec;
+        (void)grid_id;
+        (void)parent_core;
+        (void)now;
+        (void)ready_at;
+    }
+
+    /** A CDP child grid placed its first CTA on an SM. */
+    virtual void
+    onChildDispatchBegin(std::uint64_t grid_id, Cycles now)
+    {
+        (void)grid_id;
+        (void)now;
+    }
+
+    /** A CDP child grid's last CTA completed. */
+    virtual void onChildDone(std::uint64_t grid_id, Cycles now)
+    {
+        (void)grid_id;
+        (void)now;
+    }
+
+    /** CTA @p cta_index of grid @p grid_id was placed on @p core. */
+    virtual void
+    onCtaDispatch(std::uint64_t grid_id, std::uint64_t cta_index,
+                  int core, Cycles now)
+    {
+        (void)grid_id;
+        (void)cta_index;
+        (void)core;
+        (void)now;
+    }
+
+    /** A CTA of grid @p grid_id drained from @p core. */
+    virtual void
+    onCtaRetire(std::uint64_t grid_id, int core, Cycles now)
+    {
+        (void)grid_id;
+        (void)core;
+        (void)now;
+    }
+
+    /** A PCIe transfer occupied device time [@p start, @p end). */
+    virtual void
+    onTransfer(bool h2d, std::uint64_t bytes, Cycles start, Cycles end)
+    {
+        (void)h2d;
+        (void)bytes;
+        (void)start;
+        (void)end;
+    }
+};
+
+/** The observer installed on this thread, or nullptr (the default). */
+TimingObserver *timingObserver();
+
+/** Install @p observer on this thread for the current scope. */
+class ScopedTimingObserver
+{
+  public:
+    explicit ScopedTimingObserver(TimingObserver *observer);
+    ~ScopedTimingObserver();
+
+    ScopedTimingObserver(const ScopedTimingObserver &) = delete;
+    ScopedTimingObserver &operator=(const ScopedTimingObserver &) = delete;
+
+  private:
+    TimingObserver *previous_;
+};
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_PROFILE_HOOKS_HH

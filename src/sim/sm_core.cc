@@ -576,6 +576,27 @@ SmCore::onChildGridDone(int cta_slot, Cycles now)
     maybeFreeCta(cta_slot, now);
 }
 
+std::uint32_t
+SmCore::residentWarpCount() const
+{
+    std::uint32_t count = 0;
+    for (const WarpSlot &slot : warps_)
+        if (slot.valid && !slot.finished)
+            ++count;
+    return count;
+}
+
+std::uint32_t
+SmCore::stalledWarpCount(Cycles now) const
+{
+    std::uint32_t count = 0;
+    StallReason reason = StallReason::None;
+    for (const WarpSlot &slot : warps_)
+        if (slot.valid && !slot.finished && !issuable(slot, now, reason))
+            ++count;
+    return count;
+}
+
 void
 SmCore::resetStats()
 {

@@ -86,6 +86,16 @@ class SmCore
     std::uint64_t issueCycles() const { return issueCycles_.value(); }
     std::uint64_t activeCycles() const { return activeCycles_.value(); }
 
+    // Instantaneous occupancy snapshots for the timing profiler.
+    std::uint32_t residentCtaCount() const
+    {
+        return std::uint32_t(residentCtas_);
+    }
+    /** Valid, unfinished warp slots. */
+    std::uint32_t residentWarpCount() const;
+    /** Resident warps that cannot issue at @p now. */
+    std::uint32_t stalledWarpCount(Cycles now) const;
+
     void resetStats();
 
   private:

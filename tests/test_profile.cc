@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Time-resolved profiler validation (ctest -L json):
+ *
+ *  - Zero perturbation: attaching a TimelineRecorder must not change
+ *    the timed run's RunRecord at all (same pattern and guarantee as
+ *    the kernel checker's CheckZeroPerturbation).
+ *  - Conservation: summing every interval's counter deltas must
+ *    reproduce the run's aggregate SimStats exactly — the timeline is
+ *    a decomposition of the totals, not an approximation.
+ *  - Slice bookkeeping: kernel/transfer/child slice counts must match
+ *    the runtime profiler's own counts.
+ *  - Artifact contract: toJson round-trips through the parser,
+ *    validates, and the validator rejects corrupted documents.
+ *  - Perfetto export: structural checks on the Chrome trace document.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/json.hh"
+#include "core/suite.hh"
+#include "profile/perfetto.hh"
+#include "profile/run_profile.hh"
+#include "profile/timeline.hh"
+
+namespace
+{
+
+using namespace ggpu;
+using core::json::Value;
+
+core::RunConfig
+tinyConfig(bool cdp)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    config.options.cdp = cdp;
+    return config;
+}
+
+profile::ProfileRun
+profiledRun(const std::string &app, bool cdp,
+            profile::TimelineOptions topts = {})
+{
+    return profile::profileApp(app, tinyConfig(cdp), topts);
+}
+
+/** Sum one SM column across every interval row. */
+std::uint64_t
+sumSmColumn(const profile::Timeline &tl, std::size_t column)
+{
+    std::uint64_t total = 0;
+    for (const auto &row : tl.intervals)
+        for (const auto &cells : row.sm)
+            total += cells[column];
+    return total;
+}
+
+std::uint64_t
+sumPartitionColumn(const profile::Timeline &tl, std::size_t column)
+{
+    std::uint64_t total = 0;
+    for (const auto &row : tl.intervals)
+        for (const auto &cells : row.partitions)
+            total += cells[column];
+    return total;
+}
+
+std::uint64_t
+sumNocColumn(const profile::Timeline &tl, std::size_t column)
+{
+    std::uint64_t total = 0;
+    for (const auto &row : tl.intervals)
+        total += row.noc[column];
+    return total;
+}
+
+std::size_t
+smColumnIndex(const std::string &name)
+{
+    const auto &columns = profile::smColumns();
+    for (std::size_t i = 0; i < columns.size(); ++i)
+        if (columns[i] == name)
+            return i;
+    ADD_FAILURE() << "unknown SM column " << name;
+    return 0;
+}
+
+} // namespace
+
+// Attaching the profiler must not perturb the simulation: the record
+// produced under an attached TimelineRecorder equals a detached run's
+// record field for field, including the full SimStats.
+TEST(ProfileDifferential, AttachedRunIsByteIdentical)
+{
+    for (const bool cdp : {false, true}) {
+        const profile::ProfileRun run = profiledRun("NW", cdp);
+        const core::RunRecord plain =
+            core::runApp("NW", tinyConfig(cdp));
+
+        EXPECT_TRUE(run.record.stats == plain.stats)
+            << "SimStats diverge with the profiler attached (cdp="
+            << cdp << ")";
+        EXPECT_EQ(run.record.kernelCycles, plain.kernelCycles);
+        EXPECT_EQ(run.record.totalCycles, plain.totalCycles);
+        EXPECT_EQ(run.record.kernelInvocations,
+                  plain.kernelInvocations);
+        EXPECT_EQ(run.record.pciTransactions, plain.pciTransactions);
+        EXPECT_EQ(run.record.pciBytes, plain.pciBytes);
+        EXPECT_TRUE(run.record.verified);
+    }
+}
+
+// The interval rows are an exact decomposition of the aggregate
+// counters: summing the deltas over all windows reproduces SimStats.
+TEST(ProfileTimeline, IntervalDeltasSumToAggregates)
+{
+    const profile::ProfileRun run = profiledRun("SW", true);
+    const sim::SimStats &stats = run.record.stats;
+    const profile::Timeline &tl = run.timeline;
+    ASSERT_FALSE(tl.intervals.empty());
+
+    EXPECT_EQ(sumSmColumn(tl, smColumnIndex("issue_cycles")),
+              stats.issueCycles);
+    EXPECT_EQ(sumSmColumn(tl, smColumnIndex("active_cycles")),
+              stats.smCycles);
+    EXPECT_EQ(sumSmColumn(tl, smColumnIndex("insns")),
+              stats.totalInsns());
+    EXPECT_EQ(sumSmColumn(tl, smColumnIndex("l1_accesses")),
+              stats.l1Accesses);
+    EXPECT_EQ(sumSmColumn(tl, smColumnIndex("l1_misses")),
+              stats.l1Misses);
+
+    EXPECT_EQ(sumPartitionColumn(tl, 0), stats.l2Accesses);
+    EXPECT_EQ(sumPartitionColumn(tl, 1), stats.l2Misses);
+    EXPECT_EQ(sumPartitionColumn(tl, 2), stats.dramServed);
+    EXPECT_EQ(sumPartitionColumn(tl, 3), stats.dramRowHits);
+
+    EXPECT_EQ(sumNocColumn(tl, 0), stats.nocPackets);
+    EXPECT_EQ(sumNocColumn(tl, 1), stats.nocFlits);
+
+    // Every per-SM stall-reason column must sum to its histogram
+    // bucket.
+    const auto &columns = profile::smColumns();
+    for (std::size_t r = 0;
+         r < std::size_t(sim::StallReason::NumReasons); ++r) {
+        const std::string name =
+            "stall:" + std::string(sim::toString(sim::StallReason(r)));
+        const std::size_t col = smColumnIndex(name);
+        ASSERT_LT(col, columns.size());
+        EXPECT_EQ(sumSmColumn(tl, col), stats.stalls.count(r))
+            << "stall column " << name;
+    }
+}
+
+// Interval windows tile each kernel: ascending, non-overlapping, and
+// bounded by the kernel slices they sample.
+TEST(ProfileTimeline, IntervalsAreOrderedAndBounded)
+{
+    const profile::ProfileRun run = profiledRun("SW", true);
+    const profile::Timeline &tl = run.timeline;
+    Cycles prev_end = 0;
+    for (const auto &row : tl.intervals) {
+        EXPECT_LT(row.start, row.end);
+        EXPECT_GE(row.start, prev_end);
+        prev_end = row.end;
+        EXPECT_EQ(row.sm.size(), std::size_t(tl.numCores));
+        EXPECT_EQ(row.partitions.size(),
+                  std::size_t(tl.numPartitions));
+    }
+    EXPECT_LE(prev_end, tl.endCycle);
+}
+
+// Discrete slices must agree with the runtime profiler's own counts.
+TEST(ProfileTimeline, SlicesMatchProfilerCounts)
+{
+    const profile::ProfileRun run = profiledRun("SW", true);
+    const profile::Timeline &tl = run.timeline;
+
+    EXPECT_EQ(tl.kernels.size(), run.record.kernelInvocations);
+    EXPECT_EQ(tl.transfers.size(), run.record.pciTransactions);
+    std::uint64_t bytes = 0;
+    for (const auto &t : tl.transfers)
+        bytes += t.bytes;
+    EXPECT_EQ(bytes, run.record.pciBytes);
+
+    // CDP SW launches child grids; each must have a full lifecycle.
+    ASSERT_FALSE(tl.children.empty());
+    std::uint64_t spawned = 0;
+    for (const auto &k : tl.kernels)
+        spawned += k.childGrids;
+    EXPECT_EQ(tl.children.size(), spawned);
+    for (const auto &c : tl.children) {
+        EXPECT_TRUE(c.dispatched);
+        EXPECT_TRUE(c.completed);
+        EXPECT_LE(c.enqueuedAt, c.readyAt);
+        EXPECT_LE(c.readyAt, c.firstDispatchAt);
+        EXPECT_LE(c.firstDispatchAt, c.doneAt);
+    }
+}
+
+// CTA events are off by default and balanced when enabled.
+TEST(ProfileTimeline, CtaEventsAreGatedAndBalanced)
+{
+    EXPECT_TRUE(profiledRun("NW", false).timeline.ctas.empty());
+
+    profile::TimelineOptions topts;
+    topts.recordCtas = true;
+    const profile::ProfileRun run = profiledRun("NW", false, topts);
+    const profile::Timeline &tl = run.timeline;
+    ASSERT_FALSE(tl.ctas.empty());
+    std::uint64_t dispatched = 0, retired = 0;
+    for (const auto &e : tl.ctas)
+        (e.dispatch ? dispatched : retired) += 1;
+    EXPECT_EQ(dispatched, retired);
+    std::uint64_t ctas = 0;
+    for (const auto &k : tl.kernels)
+        ctas += k.ctas;
+    EXPECT_EQ(dispatched, ctas);
+}
+
+// The artifact round-trips through the strict parser unchanged and
+// satisfies the shared validator.
+TEST(ProfileArtifact, JsonRoundTripValidates)
+{
+    const profile::ProfileRun run = profiledRun("SW", true);
+    const Value doc = profile::toJson(run.timeline);
+    ASSERT_NO_THROW(profile::validateTimeline("timeline", doc));
+
+    const Value reparsed = core::json::parse(doc.dump());
+    EXPECT_TRUE(reparsed == doc);
+    ASSERT_NO_THROW(profile::validateTimeline("timeline", reparsed));
+    EXPECT_EQ(doc.at("schema").asString(), profile::timelineSchema);
+}
+
+// The validator must reject documents that violate the contract.
+TEST(ProfileArtifact, ValidatorRejectsCorruptDocuments)
+{
+    const profile::ProfileRun run = profiledRun("NW", false);
+    const Value good = profile::toJson(run.timeline);
+
+    Value bad_schema = good;
+    bad_schema.set("schema", "ggpu.bogus.v9");
+    EXPECT_THROW(profile::validateTimeline("t", bad_schema),
+                 FatalError);
+
+    Value bad_clock = good;
+    bad_clock.set("clock_ghz", 0.0);
+    EXPECT_THROW(profile::validateTimeline("t", bad_clock),
+                 FatalError);
+
+    Value bad_geometry = good;
+    Value geometry = Value::object();
+    geometry.set("num_cores", 0);
+    geometry.set("num_partitions", 8);
+    geometry.set("line_bytes", 128);
+    bad_geometry.set("geometry", std::move(geometry));
+    EXPECT_THROW(profile::validateTimeline("t", bad_geometry),
+                 FatalError);
+
+    Value bad_legend = good;
+    bad_legend.set("sm_columns", Value::array());
+    EXPECT_THROW(profile::validateTimeline("t", bad_legend),
+                 FatalError);
+
+    // An interval whose SM matrix is the wrong shape.
+    Value bad_interval = good;
+    Value row = Value::object();
+    row.set("start", std::uint64_t(0));
+    row.set("end", std::uint64_t(1));
+    row.set("sm", Value::array());
+    row.set("partitions", Value::array());
+    row.set("noc", Value::array());
+    Value intervals = Value::array();
+    intervals.push(std::move(row));
+    bad_interval.set("intervals", std::move(intervals));
+    EXPECT_THROW(profile::validateTimeline("t", bad_interval),
+                 FatalError);
+}
+
+// Structural checks on the Perfetto/Chrome trace: metadata, complete
+// slices for kernels and transfers, async pairs for CDP children, and
+// counter events.
+TEST(ProfileArtifact, PerfettoTraceStructure)
+{
+    const profile::ProfileRun run = profiledRun("SW", true);
+    const Value doc = profile::toPerfettoTrace(run.timeline);
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_EQ(doc.at("displayTimeUnit").asString(), "ms");
+
+    const Value &events = doc.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    std::size_t meta = 0, complete = 0, async_begin = 0,
+                async_end = 0, counters = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const std::string &ph = events.at(i).at("ph").asString();
+        if (ph == "M")
+            ++meta;
+        else if (ph == "X")
+            ++complete;
+        else if (ph == "b")
+            ++async_begin;
+        else if (ph == "e")
+            ++async_end;
+        else if (ph == "C")
+            ++counters;
+    }
+    EXPECT_GT(meta, 0u);
+    EXPECT_EQ(complete, run.timeline.kernels.size() +
+                            run.timeline.transfers.size());
+    EXPECT_EQ(async_begin, run.timeline.children.size());
+    EXPECT_EQ(async_end, run.timeline.children.size());
+    EXPECT_GT(counters, 0u);
+
+    // A zero clock must be rejected rather than divide.
+    profile::Timeline broken = run.timeline;
+    broken.coreClockGhz = 0.0;
+    EXPECT_THROW(profile::toPerfettoTrace(broken), FatalError);
+}

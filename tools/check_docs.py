@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Documentation link/reference checker (stdlib only).
+
+Walks every git-tracked Markdown file and fails (exit 1) on:
+
+  * relative Markdown links whose target file does not exist
+    (fragments are stripped; http(s)/mailto links are skipped);
+  * inline-code repo paths (`src/...`, `docs/...`, `tests/...`,
+    `bench/...`, `examples/...`, `tools/...`) that name a missing
+    file or directory — an extensionless reference like
+    `src/sim/check_hooks` is accepted when files with that stem
+    exist;
+  * inline-code build-target tokens (`ggpu_*` / `bench_*`, no dots)
+    that are not declared by any add_executable/add_library in the
+    repo's CMakeLists.txt files.
+
+Fenced code blocks are ignored entirely; only prose and inline code
+are checked. Run from anywhere inside the repo:
+
+    python3 tools/check_docs.py
+"""
+
+import glob
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_RE = re.compile(r"`([^`\n]+)`")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+TARGET_RE = re.compile(r"^(ggpu|bench)_[a-z0-9_]+$")
+CMAKE_DECL_RE = re.compile(
+    r"add_(?:executable|library)\s*\(\s*([A-Za-z0-9_]+)")
+# Targets declared by iterating a list variable, e.g.
+#   set(GGPU_BENCHES bench_fig02_cpu_gpu ...)
+#   foreach(bench ${GGPU_BENCHES}) add_executable(${bench} ...)
+CMAKE_SET_RE = re.compile(r"set\s*\(\s*[A-Za-z0-9_]+([^)]*)\)",
+                          re.DOTALL)
+PATH_PREFIXES = ("src/", "docs/", "tests/", "bench/", "examples/",
+                 "tools/")
+
+
+def repo_root():
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def tracked_markdown(root):
+    out = subprocess.run(["git", "ls-files", "*.md", "**/*.md"],
+                         cwd=root, capture_output=True, text=True,
+                         check=True)
+    return sorted(set(p for p in out.stdout.splitlines() if p))
+
+
+def cmake_targets(root):
+    targets = set()
+    for path in glob.glob(os.path.join(root, "**", "CMakeLists.txt"),
+                          recursive=True):
+        rel = os.path.relpath(path, root)
+        if rel.startswith(("build", ".git")):
+            continue
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        targets.update(CMAKE_DECL_RE.findall(text))
+        for body in CMAKE_SET_RE.findall(text):
+            targets.update(t for t in body.split()
+                           if TARGET_RE.match(t))
+    return targets
+
+
+def prose_lines(text):
+    """Yield (line_number, line) outside fenced code blocks."""
+    fenced = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if FENCE_RE.match(line):
+            fenced = not fenced
+            continue
+        if not fenced:
+            yield number, line
+
+
+def path_exists(root, rel):
+    """The reference resolves to a file, a directory, or (for
+    extensionless module references) any file with that stem."""
+    full = os.path.join(root, rel.rstrip("/"))
+    if os.path.exists(full):
+        return True
+    if not os.path.splitext(full)[1]:
+        return bool(glob.glob(full + ".*"))
+    return False
+
+
+def check_file(root, md, targets, errors):
+    directory = os.path.dirname(os.path.join(root, md))
+    with open(os.path.join(root, md), encoding="utf-8") as f:
+        text = f.read()
+
+    for number, line in prose_lines(text):
+        for link in LINK_RE.findall(line):
+            if link.startswith(("http://", "https://", "mailto:")):
+                continue
+            rel = link.split("#", 1)[0]
+            if not rel:  # pure fragment: same-file anchor
+                continue
+            if not os.path.exists(os.path.join(directory, rel)):
+                errors.append(f"{md}:{number}: broken link '{link}'")
+
+        for code in CODE_RE.findall(line):
+            token = code.strip()
+            if any(ch in token for ch in "<>*{}$ "):
+                continue  # placeholder or command, not a reference
+            if token.startswith(PATH_PREFIXES) and "/" in token:
+                if not path_exists(root, token):
+                    errors.append(
+                        f"{md}:{number}: path '{token}' not in repo")
+            elif TARGET_RE.match(token):
+                if token not in targets:
+                    errors.append(
+                        f"{md}:{number}: unknown build target "
+                        f"'{token}'")
+
+
+def main():
+    root = repo_root()
+    targets = cmake_targets(root)
+    if not targets:
+        print("check_docs: no CMake targets found", file=sys.stderr)
+        return 1
+    files = tracked_markdown(root)
+    if not files:
+        print("check_docs: no tracked Markdown files", file=sys.stderr)
+        return 1
+
+    errors = []
+    for md in files:
+        check_file(root, md, targets, errors)
+
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"check_docs: {len(errors)} error(s) across "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs: {len(files)} Markdown file(s) OK "
+          f"({len(targets)} known build targets)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
