@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Engine-speed gate: wall-clock time of the timing replay under the
+ * event-driven fast-forward engine versus the reference per-cycle
+ * loop, on identical simulated work (one shared emission per app via
+ * the trace store). Reported times are host wall seconds of the
+ * replay alone — the simulated results are byte-identical by
+ * construction (see tests/test_engine_equivalence.cc), so the only
+ * thing this binary measures is execution strategy. The artifact is
+ * BENCH_ENGINE.json.
+ */
+
+#include "bench/common.hh"
+
+#include <map>
+
+namespace
+{
+
+using namespace ggpu;
+
+bench::Collector collector;
+
+/** (config label)/(run label) -> replay telemetry of the last run. */
+std::map<std::string, core::ReplayTelemetry> telemetryByRun;
+
+void
+addSide(const std::string &config_label, bool fast_forward)
+{
+    core::RunConfig config = bench::baseConfig();
+    config.system.sim.fastForward = fast_forward;
+    for (const auto &app : core::appNames())
+        for (const bool cdp : {false, true})
+            bench::addWallRun(
+                collector, config_label, app, cdp, config,
+                [config_label](const core::RunRecord &record,
+                               const core::ReplayTelemetry &telemetry) {
+                    telemetryByRun[config_label + "/" +
+                                   record.label()] = telemetry;
+                });
+}
+
+void
+registerRuns()
+{
+    addSide("per-cycle", false);
+    addSide("fast-forward", true);
+}
+
+void
+printFigure()
+{
+    core::Table table({"App", "per-cycle ms", "fast-forward ms",
+                       "speedup", "skipped SM slots"});
+    double sum = 0.0, best = 0.0;
+    int counted = 0, atLeast2x = 0;
+    for (const std::string &label : bench::suiteLabels()) {
+        const auto off = telemetryByRun.find("per-cycle/" + label);
+        const auto on = telemetryByRun.find("fast-forward/" + label);
+        if (off == telemetryByRun.end() || on == telemetryByRun.end())
+            continue;
+        const double speedup = on->second.wallSeconds > 0.0
+            ? off->second.wallSeconds / on->second.wallSeconds
+            : 0.0;
+        const int cores = bench::baseConfig().system.gpu.numCores;
+        const double skipped =
+            on->second.engine.skippedSmTickFraction(cores);
+        table.addRow({label,
+                      core::Table::num(off->second.wallSeconds * 1e3),
+                      core::Table::num(on->second.wallSeconds * 1e3),
+                      core::Table::num(speedup, 2),
+                      core::Table::percent(skipped)});
+        sum += speedup;
+        best = std::max(best, speedup);
+        ++counted;
+        if (speedup >= 2.0)
+            ++atLeast2x;
+    }
+    table.addRow({"average", "", "",
+                  core::Table::num(counted ? sum / counted : 0.0, 2),
+                  ""});
+    table.addRow({"max", "", "", core::Table::num(best, 2), ""});
+    table.addRow({">=2x runs", "", "", std::to_string(atLeast2x), ""});
+    bench::emitTable(
+        "Engine: fast-forward vs per-cycle replay wall time", table);
+}
+
+} // namespace
+
+GGPU_BENCH_MAIN_FIGURE("ENGINE", registerRuns, printFigure)

@@ -149,6 +149,49 @@ addSuite(Collector &collector, const std::string &config_label,
 }
 
 void
+addWallRun(Collector &collector, const std::string &config_label,
+           const std::string &app, bool cdp,
+           const core::RunConfig &config,
+           const std::function<void(const core::RunRecord &,
+                                    const core::ReplayTelemetry &)>
+               &on_result)
+{
+    const std::string bench_name =
+        config_label + "/" + app + (cdp ? "-CDP" : "");
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [&collector, config_label, app, cdp, config,
+         on_result](benchmark::State &state) {
+            core::RunConfig cfg = config;
+            cfg.options.cdp = cdp;
+            const sim::TraceBundle &bundle = traceStore().get(
+                app, cfg.options, cfg.system.gpu.lineBytes);
+            for (auto _ : state) {
+                (void)_;
+                core::ReplayTelemetry telemetry;
+                core::RunRecord record =
+                    core::timeTrace(bundle, cfg.system, &telemetry);
+                state.SetIterationTime(telemetry.wallSeconds);
+                state.counters["sim_cycles"] =
+                    double(record.kernelCycles);
+                state.counters["iterations"] =
+                    double(telemetry.engine.iterations);
+                state.counters["skipped_sm_frac"] =
+                    telemetry.engine.skippedSmTickFraction(
+                        cfg.system.gpu.numCores);
+                state.counters["verified"] =
+                    record.verified ? 1.0 : 0.0;
+                if (on_result)
+                    on_result(record, telemetry);
+                collector.add(config_label, std::move(record));
+            }
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+}
+
+void
 emitTable(const std::string &title, const core::Table &table)
 {
     std::cout << "\n== " << title << " ==\n";
@@ -210,8 +253,15 @@ benchMain(int argc, char **argv,
           const std::function<void()> &register_runs,
           const std::function<void()> &print_figure)
 {
-    const std::string figure =
-        figureIdFromArgv0(argc > 0 ? argv[0] : nullptr);
+    return benchMain(figureIdFromArgv0(argc > 0 ? argv[0] : nullptr),
+                     argc, argv, register_runs, print_figure);
+}
+
+int
+benchMain(const std::string &figure, int argc, char **argv,
+          const std::function<void()> &register_runs,
+          const std::function<void()> &print_figure)
+{
     benchmark::Initialize(&argc, argv);
     register_runs();
     benchmark::RunSpecifiedBenchmarks();

@@ -19,6 +19,7 @@
 
 #include "core/report.hh"
 #include "core/suite.hh"
+#include "core/trace_store.hh"
 
 namespace ggpu::bench
 {
@@ -102,6 +103,23 @@ void addSuite(Collector &collector, const std::string &config_label,
               const core::RunConfig &config, bool include_cdp = true);
 
 /**
+ * Like addRun, but the reported manual time is the *host wall time*
+ * of the timing replay alone: the app's trace is emitted once through
+ * the shared store, then replayed under @p config's system with a
+ * steady clock around the replay. This is the engine-speed metric —
+ * total process time would fold constant emission/verification work
+ * into both sides of an engine comparison and mask the difference.
+ * Counters carry the engine's tick telemetry (wall_ms, iterations,
+ * skipped SM-slot fraction).
+ */
+void addWallRun(Collector &collector, const std::string &config_label,
+                const std::string &app, bool cdp,
+                const core::RunConfig &config,
+                const std::function<void(const core::RunRecord &,
+                                         const core::ReplayTelemetry &)>
+                    &on_result = {});
+
+/**
  * Print @p table, plus CSV when GGPU_CSV is set. The (title, table)
  * pair is also retained as a named series for the JSON artifact, so
  * the figure extractors feeding the text output are the single source
@@ -127,6 +145,12 @@ int benchMain(int argc, char **argv,
               const std::function<void()> &register_runs,
               const std::function<void()> &print_figure);
 
+/** benchMain with an explicit artifact figure id (BENCH_<figure>.json)
+ *  instead of the argv0-derived one. */
+int benchMain(const std::string &figure, int argc, char **argv,
+              const std::function<void()> &register_runs,
+              const std::function<void()> &print_figure);
+
 /** Standard labels for the 20 suite runs (Table III order x CDP). */
 std::vector<std::string> suiteLabels(bool include_cdp = true);
 
@@ -137,6 +161,15 @@ std::vector<std::string> suiteLabels(bool include_cdp = true);
     main(int argc, char **argv)                                         \
     {                                                                   \
         return ggpu::bench::benchMain(argc, argv, (register_runs),      \
+                                      (print_figure));                  \
+    }
+
+#define GGPU_BENCH_MAIN_FIGURE(figure, register_runs, print_figure)     \
+    int                                                                 \
+    main(int argc, char **argv)                                         \
+    {                                                                   \
+        return ggpu::bench::benchMain((figure), argc, argv,             \
+                                      (register_runs),                  \
                                       (print_figure));                  \
     }
 

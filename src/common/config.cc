@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <thread>
 
 #include "common/log.hh"
@@ -125,6 +126,17 @@ SimConfig::resolvedThreads() const
         return threads;
     const unsigned hc = std::thread::hardware_concurrency();
     return hc == 0 ? 1 : int(hc);
+}
+
+bool
+SimConfig::resolvedFastForward() const
+{
+    // Not cached: the equivalence harness toggles the variable between
+    // runs inside one process.
+    const char *env = std::getenv("GGPU_NO_FAST_FORWARD");
+    if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0'))
+        return false;
+    return fastForward;
 }
 
 void

@@ -150,8 +150,20 @@ struct SimConfig
      *  0 = one lane per hardware thread, N = exactly N lanes. */
     int threads = 1;
 
+    /**
+     * Event-driven fast-forward: sleep fully stalled SMs and jump the
+     * global clock over provably idle stretches instead of ticking
+     * every cycle (see docs/PARALLEL_ENGINE.md). Bit-equivalent to
+     * per-cycle stepping; disable to run the reference cycle loop.
+     */
+    bool fastForward = true;
+
     /** The effective lane count (resolves 0 to hardware concurrency). */
     int resolvedThreads() const;
+
+    /** The effective fast-forward switch: the GGPU_NO_FAST_FORWARD
+     *  environment escape hatch overrides the config field. */
+    bool resolvedFastForward() const;
 
     void validate() const;
 };

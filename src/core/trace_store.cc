@@ -1,5 +1,6 @@
 #include "core/trace_store.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
 
@@ -54,10 +55,19 @@ emitTrace(const std::string &app, const kernels::AppOptions &options,
 }
 
 RunRecord
-timeTrace(const sim::TraceBundle &bundle, const SystemConfig &system)
+timeTrace(const sim::TraceBundle &bundle, const SystemConfig &system,
+          ReplayTelemetry *telemetry)
 {
     rt::Device device(system);
+    const auto start = std::chrono::steady_clock::now();
     const rt::ReplayResult replayed = device.replay(bundle);
+    if (telemetry) {
+        telemetry->wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        telemetry->engine = device.engineStats();
+    }
 
     RunRecord record;
     record.app = bundle.app;

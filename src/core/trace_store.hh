@@ -34,12 +34,27 @@ sim::TraceBundle emitTrace(const std::string &app,
                            std::uint32_t line_bytes);
 
 /**
+ * Host-side telemetry of one timing replay: how the engine executed,
+ * never what it simulated. Used by the engine-speed benchmark to
+ * compare the fast-forward and per-cycle execution strategies on
+ * identical simulated work.
+ */
+struct ReplayTelemetry
+{
+    double wallSeconds = 0.0;  //!< Replay wall time (no emission)
+    sim::EngineStats engine;   //!< Tick/iteration counters
+};
+
+/**
  * Replay @p bundle on a fresh device built from @p system, producing
  * the same RunRecord a fresh runApp() under @p system would (modulo
  * cpuSeconds, which is the bundle's one-time reference wall clock).
+ * When @p telemetry is non-null it receives the replay's wall time
+ * and engine counters.
  */
 RunRecord timeTrace(const sim::TraceBundle &bundle,
-                    const SystemConfig &system);
+                    const SystemConfig &system,
+                    ReplayTelemetry *telemetry = nullptr);
 
 /**
  * Bundle cache keyed by (app, AppOptions, lineBytes) — the complete

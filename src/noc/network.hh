@@ -27,6 +27,14 @@ namespace ggpu::noc
  * Link-contention network. Each unidirectional link transfers one flit
  * per cycle (scaled by the topology's width factor); a packet holds
  * each link on its route for its serialization time, wormhole style.
+ *
+ * Fast-forward contract (docs/PARALLEL_ENGINE.md): the network is not
+ * ticked. send() resolves a packet's full delivery cycle eagerly and
+ * the Gpu schedules that as an event, so in-flight traffic surfaces in
+ * nextComponentEventAt() through the event queue — the network needs
+ * no nextEventAt() of its own. Link reservations (linkFreeAt_) are
+ * cycle-stamped rather than decremented, so jumping the global clock
+ * over idle stretches cannot change any routing or contention outcome.
  */
 class Network
 {

@@ -120,6 +120,10 @@ class Device
     Profiler &profiler() { return profiler_; }
     const SystemConfig &config() const { return cfg_; }
 
+    /** Host-side engine counters for the work run so far (how the
+     *  simulation executed, not what it simulated — see EngineStats). */
+    sim::EngineStats engineStats() const { return gpu_->engineStats(); }
+
     /** Convert device cycles to seconds at the configured core clock. */
     double seconds(Cycles cycles) const;
 

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "sim/check_hooks.hh"
 #include "sim/occupancy.hh"
 #include "sim/warp_ctx.hh"
 
@@ -72,6 +73,8 @@ Gpu::Gpu(const SystemConfig &cfg)
 
     outboxes_ = std::vector<SmOutbox>(sms_.size());
     smIssued_.assign(sms_.size(), 0);
+    smWakeAt_.assign(sms_.size(), 0);
+    dramNextAt_.assign(partitions_.size(), 0);
     const int lanes = cfg_.sim.resolvedThreads();
     if (lanes > 1)
         pool_ = std::make_unique<ThreadPool>(lanes);
@@ -215,6 +218,8 @@ Gpu::enqueueChildGrid(const ChildGrid &child, int parent_core,
     dispatchQueue_.push_front(raw);
     ++liveGrids_;
     ++childGridsThisLaunch_;
+    if (ffActive_ && dispatchNextAt_ > raw->readyAt)
+        dispatchNextAt_ = raw->readyAt;
     if (TimingObserver *obs = timingObserver()) {
         obs->onChildEnqueued(raw->spec, raw->profileId, parent_core,
                              now, raw->readyAt);
@@ -228,6 +233,17 @@ Gpu::onGridCtaComplete(GridState &grid, int core, Cycles now)
     if (grid.remaining == 0)
         panic("Gpu: CTA completed on a drained grid");
     --grid.remaining;
+    if (ffActive_ && dispatchNextAt_ > now + 1) {
+        // CTA resources were just freed; a grid the dispatcher parked
+        // for lack of room can try again next cycle. CTA completion is
+        // the only way room comes back, so this is the only retry seam.
+        for (const GridState *queued : dispatchQueue_) {
+            if (queued->nextCta < queued->totalCtas) {
+                dispatchNextAt_ = now + 1;
+                break;
+            }
+        }
+    }
     TimingObserver *obs = timingObserver();
     if (obs)
         obs->onCtaRetire(grid.profileId, core, now);
@@ -238,6 +254,10 @@ Gpu::onGridCtaComplete(GridState &grid, int core, Cycles now)
     if (obs && grid.depth > 0)
         obs->onChildDone(grid.profileId, now);
     if (grid.parentCore >= 0) {
+        // CTA completion only surfaces at the cycle barrier, so the
+        // parent core ticks again from the next cycle.
+        if (ffActive_)
+            wakeSmAt(std::size_t(grid.parentCore), now + 1);
         sms_[std::size_t(grid.parentCore)]->onChildGridDone(
             grid.parentCtaSlot, now);
     }
@@ -268,9 +288,13 @@ Gpu::processEvents()
                                    event.write, now_);
             break;
           case Event::Kind::ReplyAtCore:
+            if (ffActive_)
+                wakeSmAt(std::size_t(event.node), now_);
             sms_[std::size_t(event.node)]->onLineFill(event.line, now_);
             break;
           case Event::Kind::WriteRetire:
+            if (ffActive_)
+                wakeSmAt(std::size_t(event.node), now_);
             sms_[std::size_t(event.node)]->onWriteRetired();
             break;
         }
@@ -304,6 +328,12 @@ void
 Gpu::handlePartitionRequest(int partition, int core, Addr line,
                             bool write, Cycles now)
 {
+    // The tick below changes the channel's schedule, and a pushed
+    // request may issue on this very cycle's regular DRAM tick (the
+    // per-cycle loop always ticks after processing events). Force the
+    // fast path to tick this partition again this cycle too.
+    if (ffActive_)
+        dramNextAt_[std::size_t(partition)] = now;
     Partition &part = *partitions_[std::size_t(partition)];
     // Close out the DRAM active-time window before changing its queue.
     std::vector<mem::DramCompletion> completed;
@@ -384,11 +414,14 @@ Gpu::dispatchCtas()
              grid->nextCta < grid->totalCtas &&
              dispatched < maxDispatchPerCycle;
              ++attempt) {
-            SmCore &sm = *sms_[std::size_t(dispatchCursor_)];
+            const std::size_t core = std::size_t(dispatchCursor_);
+            SmCore &sm = *sms_[core];
             dispatchCursor_ = (dispatchCursor_ + 1) % cfg_.gpu.numCores;
             if (!sm.canFit(grid->spec))
                 continue;
 
+            if (ffActive_)
+                wakeSmAt(core, now_);  // catch up before mutating
             const CtaTrace &trace =
                 (*grid->ctaSrc)[std::size_t(grid->nextCta)];
             sm.dispatchCta(*grid, trace, now_);
@@ -408,6 +441,24 @@ Gpu::dispatchCtas()
         } else if (!placed_any) {
             ++it;  // no SM had room; try again later
         }
+    }
+
+    if (ffActive_) {
+        // Next cycle this call can do anything: immediately when the
+        // per-cycle cap was hit, else the earliest future readyAt. A
+        // ready grid that found no room waits for a CTA completion
+        // (onGridCtaComplete re-arms the retry).
+        Cycles next = ~Cycles(0);
+        if (dispatched >= maxDispatchPerCycle) {
+            next = now_ + 1;
+        } else {
+            for (const GridState *grid : dispatchQueue_) {
+                if (grid->nextCta < grid->totalCtas &&
+                    now_ < grid->readyAt)
+                    next = std::min(next, grid->readyAt);
+            }
+        }
+        dispatchNextAt_ = next;
     }
     return dispatched > 0;
 }
@@ -449,6 +500,23 @@ Gpu::drained() const
 void
 Gpu::tickSmRange(std::size_t begin, std::size_t end)
 {
+    if (ffActive_) {
+        // Fast path: only cores that are due tick. A core woken by its
+        // own timer (rather than by wakeSmAt) is still marked skipping
+        // here; settle the bulk accounting for the stretch it slept
+        // through before the tick overwrites its frozen classification.
+        // Safe under the pool: each lane owns its cores outright and
+        // pendingCycles_ is frozen for the cycle.
+        for (std::size_t i = begin; i < end; ++i) {
+            if (smWakeAt_[i] > now_)
+                continue;
+            SmCore &sm = *sms_[i];
+            if (sm.skipping())
+                sm.exitSkip(now_, pendingCycles_);
+            smIssued_[i] = sm.tick(now_) ? 1 : 0;
+        }
+        return;
+    }
     for (std::size_t i = begin; i < end; ++i)
         smIssued_[i] = sms_[i]->tick(now_) ? 1 : 0;
 }
@@ -489,8 +557,184 @@ Gpu::drainSmOutboxes()
 void
 Gpu::runUntilDrained()
 {
+    // Observers (timing profiler, emission checker) are promised one
+    // callback-consistent step per cycle, so their presence — like the
+    // GGPU_NO_FAST_FORWARD escape hatch — forces the reference loop.
+    const bool ff = cfg_.sim.resolvedFastForward() &&
+                    timingObserver() == nullptr &&
+                    emissionObserver() == nullptr;
+    lastRunFastForward_ = ff;
+    if (!ff) {
+        runPerCycle();
+        return;
+    }
+    ffActive_ = true;
+    try {
+        runEventDriven();
+    } catch (...) {
+        ffActive_ = false;
+        throw;
+    }
+    ffActive_ = false;
+}
+
+void
+Gpu::wakeSmAt(std::size_t core, Cycles resume_at)
+{
+    SmCore &sm = *sms_[core];
+    if (sm.skipping())
+        sm.exitSkip(resume_at, pendingCycles_);
+    if (smWakeAt_[core] > resume_at)
+        smWakeAt_[core] = resume_at;
+}
+
+Cycles
+Gpu::dramNextEvent(std::size_t partition) const
+{
+    const Partition &part = *partitions_[partition];
+    Cycles next = part.dram.nextEventAt(now_);
+    if (!part.overflow.empty())
+        next = std::min(next, now_ + 1);
+    return next;
+}
+
+void
+Gpu::tickDramDue()
+{
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+        if (dramNextAt_[p] > now_)
+            continue;
+        Partition &part = *partitions_[p];
+        std::vector<mem::DramCompletion> completed;
+        part.dram.tick(now_, completed);
+        drainOverflow(part, now_);
+        if (!completed.empty())
+            handleDramCompletions(int(p), completed);
+        dramNextAt_[p] = dramNextEvent(p);
+    }
+}
+
+Cycles
+Gpu::launchPendingUntil() const
+{
+    Cycles until = launchReadyAt_;
+    for (const GridState *grid : dispatchQueue_)
+        until = std::max(until, grid->readyAt);
+    return until;
+}
+
+Cycles
+Gpu::nextComponentEventAt() const
+{
+    Cycles next = ~Cycles(0);
+    if (!events_.empty())
+        next = std::min(next, events_.top().time);
+    next = std::min(next, dispatchNextAt_);
+    for (Cycles at : dramNextAt_)
+        next = std::min(next, at);
+    for (Cycles at : smWakeAt_)
+        next = std::min(next, at);
+    return next;
+}
+
+void
+Gpu::runEventDriven()
+{
+    // Every core starts asleep; dispatches, line fills, write retires,
+    // and child-grid completions wake exactly the cores that can act.
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        smWakeAt_[i] = ~Cycles(0);
+        sms_[i]->enterSkip(now_, pendingCycles_);
+    }
+    for (std::size_t p = 0; p < partitions_.size(); ++p)
+        dramNextAt_[p] = dramNextEvent(p);
+    dispatchNextAt_ = ~Cycles(0);
+    for (const GridState *grid : dispatchQueue_) {
+        if (grid->nextCta < grid->totalCtas)
+            dispatchNextAt_ = std::min(dispatchNextAt_,
+                                       std::max(grid->readyAt, now_));
+    }
+
+    while (true) {
+        ++engineIterations_;
+        processEvents();
+        tickDramDue();
+        if (dispatchNextAt_ <= now_)
+            dispatchCtas();
+        if (launchPending(now_))
+            ++pendingCycles_;
+
+        // SM phase over awake cores only (same barrier discipline as
+        // the reference loop: shared state is frozen for the cycle).
+        inSmPhase_ = true;
+        try {
+            if (pool_) {
+                pool_->parallelFor(
+                    sms_.size(), [this](std::size_t begin,
+                                        std::size_t end) {
+                        tickSmRange(begin, end);
+                    });
+            } else {
+                tickSmRange(0, sms_.size());
+            }
+        } catch (...) {
+            inSmPhase_ = false;
+            throw;
+        }
+        inSmPhase_ = false;
+
+        // Sleep decisions must precede the cycle barrier: a core the
+        // barrier wakes for the next cycle must not be put back to
+        // sleep past that wake.
+        for (std::size_t i = 0; i < sms_.size(); ++i) {
+            if (smWakeAt_[i] > now_)
+                continue;
+            if (smIssued_[i]) {
+                smWakeAt_[i] = now_ + 1;
+            } else {
+                smWakeAt_[i] = sms_[i]->nextReadyTime(now_);
+                sms_[i]->enterSkip(now_ + 1, pendingCycles_);
+            }
+        }
+
+        // Cycle barrier: replay buffered SM->device traffic serially.
+        drainSmOutboxes();
+
+        if (drained()) {
+            ++now_;
+            break;
+        }
+
+        const Cycles next = nextComponentEventAt();
+        if (next == ~Cycles(0))
+            panic("Gpu: deadlock — no wakeup but work remains\n",
+                  pendingWorkReport());
+        const Cycles target = std::max(next, now_ + 1);
+        if (target > now_ + 1) {
+            // Count launch-pending cycles inside the jump; sleeping
+            // empty cores sample FunctionalDone off this counter. The
+            // dispatch queue is frozen between serial phases, so the
+            // pending window's edge is exact.
+            const Cycles until = launchPendingUntil();
+            if (until > now_ + 1)
+                pendingCycles_ += std::min(target, until) - (now_ + 1);
+        }
+        now_ = target;
+    }
+
+    // Catch up cores that slept through the tail of the run.
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        sms_[i]->exitSkip(now_, pendingCycles_);
+        smWakeAt_[i] = ~Cycles(0);
+    }
+}
+
+void
+Gpu::runPerCycle()
+{
     std::uint64_t idle_iterations = 0;
     while (!drained()) {
+        ++engineIterations_;
         bool progress = false;
         progress |= processEvents();
         progress |= tickDram();
@@ -698,6 +942,9 @@ Gpu::emitGrid(const LaunchSpec &spec)
     kernel.spec = spec;
     const std::uint64_t salt = ++gridSeq_;
     kernel.ctas.reserve(std::size_t(spec.grid.count()));
+    // Pool duplicate warp op streams across the whole grid (and its
+    // eagerly emitted CDP children) while this emission pass runs.
+    ScopedOpStreamInterner internScope(interner_);
     for (std::uint64_t c = 0; c < spec.grid.count(); ++c) {
         kernel.ctas.push_back(
             emitCta(spec, c, mem_, cfg_.gpu.lineBytes, 0, salt));
@@ -751,6 +998,7 @@ Gpu::launchTraced(const KernelTrace &kernel)
     result.cycles = now_ - started;
     result.ctas = raw->totalCtas;
     result.childGrids = childGridsThisLaunch_;
+    engineCycles_ += result.cycles;
 
     if (obs) {
         profileEmitSample(*obs);  // final: intervals tile the kernel
@@ -780,6 +1028,18 @@ void
 Gpu::resetStats()
 {
     stats_ = SimStats{};
+}
+
+EngineStats
+Gpu::engineStats() const
+{
+    EngineStats engine;
+    engine.cycles = engineCycles_;
+    engine.iterations = engineIterations_;
+    for (const auto &sm : sms_)
+        engine.smTicks += sm->tickCount();
+    engine.fastForward = lastRunFastForward_;
+    return engine;
 }
 
 } // namespace ggpu::sim

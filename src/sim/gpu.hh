@@ -74,6 +74,30 @@ struct LaunchResult
     std::uint64_t childGrids = 0;
 };
 
+/**
+ * Host-side engine execution counters (accumulated across launches).
+ * These describe how the host simulated — not what was simulated — so
+ * they live outside SimStats and never enter RunRecords: fast-forward
+ * ON and OFF must stay byte-identical there.
+ */
+struct EngineStats
+{
+    std::uint64_t cycles = 0;      //!< Simulated kernel-active cycles
+    std::uint64_t iterations = 0;  //!< Cycle-loop iterations executed
+    std::uint64_t smTicks = 0;     //!< SmCore::tick calls served
+    bool fastForward = false;      //!< Last launch used the fast path
+
+    /** Fraction of per-SM cycle slots the engine never ticked. */
+    double skippedSmTickFraction(int num_cores) const
+    {
+        const double slots = double(cycles) * double(num_cores);
+        if (slots <= 0.0)
+            return 0.0;
+        const double skipped = slots - double(smTicks);
+        return skipped < 0.0 ? 0.0 : skipped / slots;
+    }
+};
+
 /** The simulated device. */
 class Gpu
 {
@@ -116,6 +140,12 @@ class Gpu
 
     const SimStats &stats() const { return stats_; }
     void resetStats();
+
+    /** Engine execution counters (tick/skip bookkeeping). */
+    EngineStats engineStats() const;
+
+    /** Op-stream pool shared by every emitGrid on this device. */
+    const OpStreamInterner &opInterner() const { return interner_; }
 
     /**
      * Multi-line forensic dump of all pending work: queued grids, in
@@ -217,9 +247,24 @@ class Gpu
 
     void schedule(Event event);
     void runUntilDrained();
+    void runPerCycle();
+    void runEventDriven();
     bool processEvents();
     bool tickDram();
     bool dispatchCtas();
+    // ---- Event-driven fast-forward helpers (docs/PARALLEL_ENGINE.md)
+    /** Wake a skipping core so it ticks from @p resume_at onward,
+     *  catching up its bulk accounting first. */
+    void wakeSmAt(std::size_t core, Cycles resume_at);
+    /** Tick only memory partitions whose cached nextEventAt() is due. */
+    void tickDramDue();
+    Cycles dramNextEvent(std::size_t partition) const;
+    /** Earliest cycle at which any component can act (lower bound). */
+    Cycles nextComponentEventAt() const;
+    /** First cycle from which launchPending() stays false (the queue
+     *  frozen as of now; exact during a jump: grids only leave the
+     *  queue in the serial dispatch phase). */
+    Cycles launchPendingUntil() const;
     void handlePartitionRequest(int partition, int core, Addr line,
                                 bool write, Cycles now);
     void handleDramCompletions(int partition,
@@ -248,9 +293,29 @@ class Gpu
     std::vector<std::uint8_t> smIssued_;
     bool inSmPhase_ = false;
 
+    // Event-driven fast-forward state (valid while ffActive_). A core
+    // with smWakeAt_[i] > now_ is asleep: its accounting is caught up
+    // in bulk by wakeSmAt()/exitSkip() before it is touched again.
+    bool ffActive_ = false;
+    std::vector<Cycles> smWakeAt_;
+    std::vector<Cycles> dramNextAt_;   //!< Cached per-partition bound
+    Cycles dispatchNextAt_ = 0;        //!< Next useful dispatchCtas()
+    /** Cumulative count of simulated cycles with launchPending() true
+     *  (drives empty-core FunctionalDone accounting across skips). */
+    std::uint64_t pendingCycles_ = 0;
+
+    // Engine instrumentation (outside SimStats; see EngineStats).
+    std::uint64_t engineCycles_ = 0;
+    std::uint64_t engineIterations_ = 0;
+    bool lastRunFastForward_ = false;
+
     std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
         events_;
     std::uint64_t eventSeq_ = 0;
+
+    /** Canonical op-stream pool; installed thread-locally during
+     *  emitGrid so every CTA of every launch dedups against it. */
+    OpStreamInterner interner_;
 
     std::vector<std::unique_ptr<GridState>> activeGrids_;
     std::deque<GridState *> dispatchQueue_;

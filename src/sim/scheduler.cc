@@ -26,8 +26,7 @@ toString(StallReason reason)
 }
 
 WarpScheduler::WarpScheduler(WarpSchedPolicy policy, int num_slots)
-    : policy_(policy), numSlots_(num_slots),
-      promotedAt_(std::size_t(num_slots > 0 ? num_slots : 0), 0)
+    : policy_(policy), numSlots_(num_slots)
 {
     if (num_slots <= 0 || num_slots > 64)
         fatal("WarpScheduler: slot count must be in [1, 64], got ",

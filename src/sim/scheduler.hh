@@ -8,6 +8,7 @@
 #ifndef GGPU_SIM_SCHEDULER_HH
 #define GGPU_SIM_SCHEDULER_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -52,7 +53,9 @@ class WarpScheduler
     int rrNext_ = 0;
     int greedy_ = -1;             //!< GTO sticky warp
     std::uint64_t activeSet_ = 0; //!< 2LV active-warp bitmask
-    std::vector<std::uint64_t> promotedAt_;  //!< 2LV promotion stamps
+    /** 2LV promotion stamps, inline (slots are capped at 64) so the
+     *  eviction scan never chases a heap pointer per pick. */
+    std::array<std::uint64_t, 64> promotedAt_{};
     std::uint64_t promoStamp_ = 0;
 };
 

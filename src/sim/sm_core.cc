@@ -18,6 +18,9 @@ SmCore::SmCore(const GpuConfig &cfg, int core_id, Gpu *gpu)
       warps_(std::size_t(cfg.maxWarpsPerCore)),
       ctas_(std::size_t(cfg.maxCtasPerCore)),
       warpAge_(std::size_t(cfg.maxWarpsPerCore), 0),
+      warpReadyAt_(std::size_t(cfg.maxWarpsPerCore), 0),
+      warpBusyReason_(std::size_t(cfg.maxWarpsPerCore),
+                      StallReason::None),
       freeRegs_(cfg.registersPerCore),
       freeThreads_(cfg.maxThreadsPerCore),
       freeSmem_(cfg.sharedMemPerCoreBytes),
@@ -79,21 +82,22 @@ SmCore::dispatchCta(GridState &grid, const CtaTrace &trace, Cycles now)
     for (const auto &warp_trace : cta.trace->warps) {
         int slot = -1;
         for (std::size_t i = 0; i < warps_.size(); ++i) {
-            if (!warps_[i].valid) {
+            if (!(validMask_ >> i & 1)) {
                 slot = int(i);
                 break;
             }
         }
         if (slot < 0)
             panic("SmCore ", coreId_, ": no free warp slot despite canFit");
+        const std::uint64_t bit = std::uint64_t(1) << slot;
         WarpSlot &warp = warps_[std::size_t(slot)];
-        warp.valid = true;
-        warp.finished = false;
-        warp.atBarrier = false;
+        validMask_ |= bit;
+        finishedMask_ &= ~bit;
+        barrierMask_ &= ~bit;
         warp.trace = &warp_trace;
         warp.pc = 0;
-        warp.readyAt = now + 1;
-        warp.busyReason = StallReason::None;
+        warpReadyAt_[std::size_t(slot)] = now + 1;
+        warpBusyReason_[std::size_t(slot)] = StallReason::None;
         warp.ctaSlot = cta_slot;
         warp.outstanding.clear();
         warp.children.clear();
@@ -120,19 +124,19 @@ SmCore::depSatisfied(const WarpSlot &slot, std::int32_t dep,
 }
 
 bool
-SmCore::issuable(const WarpSlot &slot, Cycles now,
-                 StallReason &reason) const
+SmCore::issuable(std::size_t idx, Cycles now, StallReason &reason) const
 {
-    if (slot.atBarrier) {
+    if (barrierMask_ >> idx & 1) {
         reason = StallReason::Sync;
         return false;
     }
-    if (slot.readyAt > now) {
-        reason = slot.busyReason == StallReason::None
-            ? StallReason::DataHazard : slot.busyReason;
+    if (warpReadyAt_[idx] > now) {
+        reason = warpBusyReason_[idx] == StallReason::None
+            ? StallReason::DataHazard : warpBusyReason_[idx];
         return false;
     }
 
+    const WarpSlot &slot = warps_[idx];
     const TraceOp &op = slot.trace->ops[slot.pc];
     if (!depSatisfied(slot, op.dep, now)) {
         reason = StallReason::MemLatency;
@@ -167,8 +171,9 @@ SmCore::issuable(const WarpSlot &slot, Cycles now,
 }
 
 void
-SmCore::issueMemOp(WarpSlot &slot, const TraceOp &op, Cycles now)
+SmCore::issueMemOp(int slot_idx, const TraceOp &op, Cycles now)
 {
+    WarpSlot &slot = warps_[std::size_t(slot_idx)];
     const std::int32_t op_idx = std::int32_t(slot.pc);
 
     if (!isOffCore(op.space)) {
@@ -200,7 +205,6 @@ SmCore::issueMemOp(WarpSlot &slot, const TraceOp &op, Cycles now)
     }
 
     const WarpTrace &trace = *slot.trace;
-    const int warp_slot_idx = int(&slot - warps_.data());
     std::uint16_t miss_count = 0;
 
     for (std::uint32_t t = 0; t < op.txCount; ++t) {
@@ -227,7 +231,7 @@ SmCore::issueMemOp(WarpSlot &slot, const TraceOp &op, Cycles now)
         auto &waiters = mshr_[line];
         if (waiters.empty())
             gpu_->sendReadRequest(coreId_, line, now);
-        waiters.push_back({warp_slot_idx, op_idx});
+        waiters.push_back({slot_idx, op_idx});
         ++miss_count;
     }
 
@@ -248,8 +252,8 @@ SmCore::issue(int slot_idx, Cycles now)
                                  ? std::popcount(op.mask) - 1 : 0),
                  op.repeat);
 
-    slot.busyReason = StallReason::None;
-    slot.readyAt = now + op.repeat;
+    warpBusyReason_[std::size_t(slot_idx)] = StallReason::None;
+    warpReadyAt_[std::size_t(slot_idx)] = now + op.repeat;
 
     switch (op.kind) {
       case OpKind::IntAlu:
@@ -257,21 +261,23 @@ SmCore::issue(int slot_idx, Cycles now)
         break;
       case OpKind::Sfu:
         // Quarter-rate unit: each SFU op occupies four issue slots.
-        slot.readyAt = now + Cycles(op.repeat) * 4;
-        slot.busyReason = StallReason::Structural;
+        warpReadyAt_[std::size_t(slot_idx)] =
+            now + Cycles(op.repeat) * 4;
+        warpBusyReason_[std::size_t(slot_idx)] = StallReason::Structural;
         break;
       case OpKind::Branch:
-        slot.readyAt = now + cfg_.branchPenalty;
-        slot.busyReason = StallReason::ControlHazard;
+        warpReadyAt_[std::size_t(slot_idx)] = now + cfg_.branchPenalty;
+        warpBusyReason_[std::size_t(slot_idx)] =
+            StallReason::ControlHazard;
         break;
       case OpKind::Load:
       case OpKind::Store:
         memBySpace_[std::size_t(op.space)] += op.repeat;
-        issueMemOp(slot, op, now);
+        issueMemOp(slot_idx, op, now);
         break;
       case OpKind::Barrier: {
         CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
-        slot.atBarrier = true;
+        barrierMask_ |= std::uint64_t(1) << slot_idx;
         ++cta.barrierArrived;
         if (cta.barrierArrived >= cta.activeWarps)
             releaseBarrier(cta, now);
@@ -286,7 +292,8 @@ SmCore::issue(int slot_idx, Cycles now)
         ++cta.pendingChildGrids;
         gpu_->postChildLaunch(coreId_, *child, slot_idx, slot.ctaSlot,
                               now);
-        slot.readyAt = now + 4;  // launch-instruction occupancy
+        warpReadyAt_[std::size_t(slot_idx)] =
+            now + 4;  // launch-instruction occupancy
         break;
       }
       case OpKind::DeviceSync:
@@ -317,7 +324,7 @@ void
 SmCore::finishWarp(int slot_idx, Cycles now)
 {
     WarpSlot &slot = warps_[std::size_t(slot_idx)];
-    slot.finished = true;
+    finishedMask_ |= std::uint64_t(1) << slot_idx;
     scheduler_.onRelease(slot_idx);
 
     CtaSlot &cta = ctas_[std::size_t(slot.ctaSlot)];
@@ -337,7 +344,7 @@ SmCore::maybeFreeCta(int cta_slot, Cycles now)
 
     for (int warp_slot : cta.warpSlots) {
         WarpSlot &warp = warps_[std::size_t(warp_slot)];
-        warp.valid = false;
+        validMask_ &= ~(std::uint64_t(1) << warp_slot);
         warp.trace = nullptr;
         ++freeWarpSlots_;
     }
@@ -360,11 +367,12 @@ void
 SmCore::releaseBarrier(CtaSlot &cta, Cycles now)
 {
     for (int warp_slot : cta.warpSlots) {
-        WarpSlot &warp = warps_[std::size_t(warp_slot)];
-        if (warp.valid && !warp.finished && warp.atBarrier) {
-            warp.atBarrier = false;
-            warp.readyAt = now + 2;
-            warp.busyReason = StallReason::Sync;
+        const std::uint64_t bit = std::uint64_t(1) << warp_slot;
+        if ((validMask_ & bit) && !(finishedMask_ & bit) &&
+            (barrierMask_ & bit)) {
+            barrierMask_ &= ~bit;
+            warpReadyAt_[std::size_t(warp_slot)] = now + 2;
+            warpBusyReason_[std::size_t(warp_slot)] = StallReason::Sync;
         }
     }
     cta.barrierArrived = 0;
@@ -381,11 +389,11 @@ SmCore::classify(Cycles now) const
     std::array<std::uint32_t, std::size_t(StallReason::NumReasons)>
         votes{};
     bool any = false;
-    for (const WarpSlot &slot : warps_) {
-        if (!slot.valid || slot.finished)
-            continue;
+    for (std::uint64_t live = validMask_ & ~finishedMask_; live != 0;
+         live &= live - 1) {
+        const std::size_t i = std::size_t(std::countr_zero(live));
         StallReason reason = StallReason::None;
-        if (!issuable(slot, now, reason)) {
+        if (!issuable(i, now, reason)) {
             ++votes[std::size_t(reason)];
             any = true;
         }
@@ -415,6 +423,7 @@ SmCore::classify(Cycles now) const
 bool
 SmCore::tick(Cycles now)
 {
+    ++tickCount_;
     if (residentCtas_ == 0) {
         // A core with no resident work is only sampled while a kernel
         // launch is being set up ("functional done"); fully idle cores
@@ -432,12 +441,11 @@ SmCore::tick(Cycles now)
 
     activeCycles_.inc();
     std::uint64_t issuable_mask = 0;
-    for (std::size_t i = 0; i < warps_.size(); ++i) {
-        const WarpSlot &slot = warps_[i];
-        if (!slot.valid || slot.finished)
-            continue;
+    for (std::uint64_t live = validMask_ & ~finishedMask_; live != 0;
+         live &= live - 1) {
+        const std::size_t i = std::size_t(std::countr_zero(live));
         StallReason reason = StallReason::None;
-        if (issuable(slot, now, reason))
+        if (issuable(i, now, reason))
             issuable_mask |= std::uint64_t(1) << i;
     }
 
@@ -473,19 +481,54 @@ SmCore::accountSkip(Cycles n)
     stallHist_.add(std::size_t(lastStall_), n);
 }
 
+void
+SmCore::enterSkip(Cycles first_skipped, std::uint64_t pending_cycles)
+{
+    skipping_ = true;
+    skipFirst_ = first_skipped;
+    skipPendingBase_ = pending_cycles;
+}
+
+void
+SmCore::exitSkip(Cycles resume_at, std::uint64_t pending_cycles)
+{
+    if (!skipping_)
+        return;
+    skipping_ = false;
+    if (residentCtas_ > 0) {
+        // The classification is provably constant over the skipped
+        // stretch: no warp crossed a readyAt/doneAt boundary (those
+        // bound the wake time) and external state changes wake first.
+        const Cycles n = resume_at - skipFirst_;
+        if (n > 0) {
+            activeCycles_.inc(n);
+            stallHist_.add(std::size_t(lastStall_), n);
+        }
+        return;
+    }
+    // Empty core: a per-cycle loop samples FunctionalDone exactly on
+    // launch-pending cycles; replay the engine's cumulative count.
+    const std::uint64_t n = pending_cycles - skipPendingBase_;
+    if (n > 0) {
+        activeCycles_.inc(n);
+        stallHist_.add(std::size_t(StallReason::FunctionalDone), n);
+    }
+}
+
 Cycles
 SmCore::nextReadyTime(Cycles now) const
 {
     Cycles next = ~Cycles(0);
-    for (const WarpSlot &slot : warps_) {
-        if (!slot.valid || slot.finished || slot.atBarrier)
-            continue;
-        if (slot.readyAt > now) {
-            next = std::min(next, slot.readyAt);
+    for (std::uint64_t bits = validMask_ & ~finishedMask_ & ~barrierMask_;
+         bits != 0; bits &= bits - 1) {
+        const std::size_t i = std::size_t(std::countr_zero(bits));
+        if (warpReadyAt_[i] > now) {
+            next = std::min(next, warpReadyAt_[i]);
             continue;
         }
         // Ready by timer; may still be gated by an on-chip fixed-latency
         // load whose completion is not an event.
+        const WarpSlot &slot = warps_[i];
         const TraceOp &op = slot.trace->ops[slot.pc];
         if (op.dep >= 0) {
             for (const auto &load : slot.outstanding) {
@@ -506,7 +549,7 @@ SmCore::onLineFill(Addr line, Cycles now)
         return;  // e.g. a write-retire raced with a flush
     for (const auto &[warp_slot, op_idx] : it->second) {
         WarpSlot &slot = warps_[std::size_t(warp_slot)];
-        if (!slot.valid)
+        if (!(validMask_ >> warp_slot & 1))
             continue;
         for (auto &load : slot.outstanding) {
             if (load.opIdx == op_idx && load.remaining > 0) {
@@ -544,11 +587,11 @@ SmCore::pendingWorkReport(Cycles now) const
        << ", mshr lines " << mshr_.size() << ", outstanding writes "
        << outstandingWrites_ << "\n";
     for (std::size_t i = 0; i < warps_.size(); ++i) {
-        const WarpSlot &slot = warps_[i];
-        if (!slot.valid || slot.finished)
+        if (!(validMask_ >> i & 1) || (finishedMask_ >> i & 1))
             continue;
+        const WarpSlot &slot = warps_[i];
         StallReason reason = StallReason::None;
-        const bool ready = issuable(slot, now, reason);
+        const bool ready = issuable(i, now, reason);
         std::size_t pending_loads = 0;
         for (const auto &load : slot.outstanding)
             if (load.remaining > 0)
@@ -558,7 +601,7 @@ SmCore::pendingWorkReport(Cycles now) const
             if (child != nullptr && !child->done)
                 ++pending_children;
         os << "      warp " << i << " (cta " << slot.ctaSlot << "): pc "
-           << slot.pc << ", readyAt " << slot.readyAt << ", "
+           << slot.pc << ", readyAt " << warpReadyAt_[i] << ", "
            << (ready ? "issuable" : "stalled on " + toString(reason))
            << ", pending loads " << pending_loads
            << ", pending child grids " << pending_children << "\n";
@@ -579,11 +622,7 @@ SmCore::onChildGridDone(int cta_slot, Cycles now)
 std::uint32_t
 SmCore::residentWarpCount() const
 {
-    std::uint32_t count = 0;
-    for (const WarpSlot &slot : warps_)
-        if (slot.valid && !slot.finished)
-            ++count;
-    return count;
+    return std::uint32_t(std::popcount(validMask_ & ~finishedMask_));
 }
 
 std::uint32_t
@@ -591,9 +630,12 @@ SmCore::stalledWarpCount(Cycles now) const
 {
     std::uint32_t count = 0;
     StallReason reason = StallReason::None;
-    for (const WarpSlot &slot : warps_)
-        if (slot.valid && !slot.finished && !issuable(slot, now, reason))
+    for (std::uint64_t live = validMask_ & ~finishedMask_; live != 0;
+         live &= live - 1) {
+        const std::size_t i = std::size_t(std::countr_zero(live));
+        if (!issuable(i, now, reason))
             ++count;
+    }
     return count;
 }
 

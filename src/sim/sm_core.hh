@@ -54,6 +54,29 @@ class SmCore
      *  (UINT64_MAX when all waits are event-driven). */
     Cycles nextReadyTime(Cycles now) const;
 
+    // ---- Event-driven fast-forward (docs/PARALLEL_ENGINE.md) ------
+    // The engine stops ticking a core that cannot issue and replays
+    // the skipped stretch in bulk on wake. While skipping, the core's
+    // state is frozen: the engine must exitSkip() before any
+    // state-mutating callback (onLineFill, dispatchCta, ...) or tick.
+
+    /** Stop per-cycle ticking: cycles from @p first_skipped onward are
+     *  accounted in bulk at exitSkip(). @p pending_cycles is the
+     *  engine's cumulative launch-pending cycle count (empty cores
+     *  sample FunctionalDone exactly on launch-pending cycles). */
+    void enterSkip(Cycles first_skipped, std::uint64_t pending_cycles);
+
+    /** Catch up accounting for [first_skipped, resume_at): resident
+     *  cores repeat the frozen stall classification, empty cores add
+     *  the launch-pending delta as FunctionalDone samples. No-op when
+     *  the core is not skipping. */
+    void exitSkip(Cycles resume_at, std::uint64_t pending_cycles);
+
+    bool skipping() const { return skipping_; }
+
+    /** tick() calls served by this core (engine instrumentation). */
+    std::uint64_t tickCount() const { return tickCount_; }
+
     /** A missed line returned from L2/DRAM. */
     void onLineFill(Addr line, Cycles now);
     /** An off-core store fully retired. */
@@ -106,15 +129,17 @@ class SmCore
         Cycles doneAt = 0;            //!< Valid once remaining == 0
     };
 
+    /**
+     * Cold per-warp state. The fields the per-cycle issue scan reads
+     * every cycle (valid/finished/atBarrier flags, readyAt timer,
+     * busy reason) live in packed structure-of-arrays form — bitmasks
+     * and parallel arrays — so the scan touches a handful of cache
+     * lines instead of one ~100-byte slot per warp.
+     */
     struct WarpSlot
     {
-        bool valid = false;
-        bool finished = false;
-        bool atBarrier = false;
         const WarpTrace *trace = nullptr;
         std::uint32_t pc = 0;
-        Cycles readyAt = 0;
-        StallReason busyReason = StallReason::None;
         int ctaSlot = -1;
         std::vector<OutstandingLoad> outstanding;
         std::vector<GridState *> children;
@@ -135,14 +160,14 @@ class SmCore
         std::uint32_t smem = 0;
     };
 
-    /** Whether @p slot can issue at @p now; sets @p reason otherwise. */
-    bool issuable(const WarpSlot &slot, Cycles now,
-                  StallReason &reason) const;
+    /** Whether warp slot @p idx can issue at @p now; sets @p reason
+     *  otherwise. */
+    bool issuable(std::size_t idx, Cycles now, StallReason &reason) const;
     /** True when no load with index <= dep is still outstanding. */
     bool depSatisfied(const WarpSlot &slot, std::int32_t dep,
                       Cycles now) const;
     void issue(int slot_idx, Cycles now);
-    void issueMemOp(WarpSlot &slot, const TraceOp &op, Cycles now);
+    void issueMemOp(int slot_idx, const TraceOp &op, Cycles now);
     void finishWarp(int slot_idx, Cycles now);
     void maybeFreeCta(int cta_slot, Cycles now);
     void releaseBarrier(CtaSlot &cta, Cycles now);
@@ -160,6 +185,15 @@ class SmCore
     std::vector<std::uint64_t> warpAge_;
     std::uint64_t ageStamp_ = 0;
     int residentCtas_ = 0;
+
+    // Hot per-warp scheduler/scoreboard state, SoA-packed (bit i of a
+    // mask / element i of an array belongs to warp slot i; the
+    // 64-entry scoreboard bound is enforced by WarpScheduler).
+    std::uint64_t validMask_ = 0;
+    std::uint64_t finishedMask_ = 0;
+    std::uint64_t barrierMask_ = 0;
+    std::vector<Cycles> warpReadyAt_;
+    std::vector<StallReason> warpBusyReason_;
 
     // Free resources.
     std::uint32_t freeRegs_;
@@ -184,6 +218,12 @@ class SmCore
     Counter issueCycles_;
     Counter activeCycles_;
     StallReason lastStall_ = StallReason::Idle;
+
+    // Fast-forward bookkeeping (see enterSkip/exitSkip).
+    bool skipping_ = false;
+    Cycles skipFirst_ = 0;          //!< First cycle not ticked
+    std::uint64_t skipPendingBase_ = 0;
+    std::uint64_t tickCount_ = 0;
 };
 
 } // namespace ggpu::sim

@@ -64,11 +64,131 @@ countChildGrids(const KernelTrace &kernel)
     return count;
 }
 
+// ---- OpStream ------------------------------------------------------
+
+const std::vector<TraceOp> &
+OpStream::storage() const
+{
+    static const std::vector<TraceOp> kEmpty;
+    return ops_ ? *ops_ : kEmpty;
+}
+
+void
+OpStream::ensureUnique()
+{
+    if (!ops_)
+        ops_ = std::make_shared<std::vector<TraceOp>>();
+    else if (ops_.use_count() > 1)
+        ops_ = std::make_shared<std::vector<TraceOp>>(*ops_);
+}
+
+void
+OpStream::push_back(const TraceOp &op)
+{
+    ensureUnique();
+    ops_->push_back(op);
+}
+
+TraceOp &
+OpStream::mutableBack()
+{
+    ensureUnique();
+    return ops_->back();
+}
+
+bool
+OpStream::operator==(const OpStream &other) const
+{
+    if (ops_ == other.ops_)
+        return true;
+    return storage() == other.storage();
+}
+
+void
+OpStream::intern()
+{
+    OpStreamInterner *interner = opStreamInterner();
+    if (interner == nullptr || !ops_ || ops_->empty())
+        return;
+    ops_ = interner->canonical(ops_);
+}
+
+// ---- OpStreamInterner ----------------------------------------------
+
+namespace
+{
+
+/** FNV-1a over the semantic fields of each op. TraceOp has padding,
+ *  so hashing its raw bytes would mix indeterminate values. */
+std::uint64_t
+hashStream(const std::vector<TraceOp> &ops)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 0x100000001b3ull;
+    };
+    mix(ops.size());
+    for (const TraceOp &op : ops) {
+        mix(std::uint64_t(op.kind));
+        mix(std::uint64_t(op.space));
+        mix(op.repeat);
+        mix(std::uint64_t(op.mask));
+        mix(std::uint64_t(std::uint32_t(op.dep)));
+        mix(op.txBegin);
+        mix(op.txCount);
+        mix(op.bytesPerLane);
+        mix(op.child);
+    }
+    return h;
+}
+
+thread_local OpStreamInterner *tlsInterner = nullptr;
+
+} // namespace
+
+std::shared_ptr<std::vector<TraceOp>>
+OpStreamInterner::canonical(const std::shared_ptr<std::vector<TraceOp>> &ops)
+{
+    ++seen_;
+    auto &bucket = pool_[hashStream(*ops)];
+    for (const auto &candidate : bucket) {
+        if (candidate == ops)
+            return ops;  // Already the canonical copy.
+        if (*candidate == *ops) {
+            ++shared_;
+            opsDeduped_ += ops->size();
+            return candidate;
+        }
+    }
+    bucket.push_back(ops);
+    return ops;
+}
+
+OpStreamInterner *
+opStreamInterner()
+{
+    return tlsInterner;
+}
+
+ScopedOpStreamInterner::ScopedOpStreamInterner(OpStreamInterner &interner)
+    : previous_(tlsInterner)
+{
+    tlsInterner = &interner;
+}
+
+ScopedOpStreamInterner::~ScopedOpStreamInterner()
+{
+    tlsInterner = previous_;
+}
+
+// ---- WarpTrace -----------------------------------------------------
+
 void
 WarpTrace::append(const TraceOp &op)
 {
     if (!ops.empty()) {
-        TraceOp &last = ops.back();
+        const TraceOp &last = ops.back();
         const bool mergeable =
             last.kind == op.kind && last.mask == op.mask &&
             last.dep == op.dep && last.txCount == 0 && op.txCount == 0 &&
@@ -76,7 +196,8 @@ WarpTrace::append(const TraceOp &op)
              op.kind == OpKind::Sfu) &&
             std::uint32_t(last.repeat) + op.repeat <= 0xffff;
         if (mergeable) {
-            last.repeat = std::uint16_t(last.repeat + op.repeat);
+            TraceOp &tail = ops.mutableBack();
+            tail.repeat = std::uint16_t(tail.repeat + op.repeat);
             return;
         }
     }

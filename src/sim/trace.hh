@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -64,10 +65,112 @@ struct LaunchSpec
     }
 };
 
+/**
+ * Copy-on-write handle to one warp's instruction stream.
+ *
+ * Regular kernels emit byte-identical op streams for most of their
+ * warps (the per-warp data differences live in WarpTrace::transactions
+ * and in the functional memory image, not in the op sequence), so
+ * TraceBundles used to hold thousands of duplicate TraceOp vectors.
+ * An OpStream instead shares one canonical vector between identical
+ * streams once intern() has run against the installed interner; the
+ * read API mirrors the const surface of std::vector so replay and
+ * test code is agnostic to the sharing.
+ *
+ * Mutation (push_back / mutableBack) copies a shared stream first, so
+ * interned streams stay frozen. The use-count check is not atomic with
+ * respect to concurrent writers; streams must only be built on one
+ * thread, which matches emission (replay never mutates).
+ */
+class OpStream
+{
+  public:
+    using const_iterator = std::vector<TraceOp>::const_iterator;
+
+    std::size_t size() const { return ops_ ? ops_->size() : 0; }
+    bool empty() const { return size() == 0; }
+    const TraceOp &operator[](std::size_t i) const { return (*ops_)[i]; }
+    const TraceOp &back() const { return ops_->back(); }
+    const_iterator begin() const { return storage().begin(); }
+    const_iterator end() const { return storage().end(); }
+
+    void push_back(const TraceOp &op);
+    /** Mutable tail op (run-length merge); stream must be non-empty. */
+    TraceOp &mutableBack();
+
+    /** Content equality, with an identity fast path for interned
+     *  streams. */
+    bool operator==(const OpStream &other) const;
+
+    /** Whether this stream and @p other share one canonical vector. */
+    bool sharedWith(const OpStream &other) const
+    {
+        return ops_ != nullptr && ops_ == other.ops_;
+    }
+
+    /** Replace the backing vector with the canonical copy held by the
+     *  installed OpStreamInterner (no-op when none is installed). */
+    void intern();
+
+  private:
+    const std::vector<TraceOp> &storage() const;
+    void ensureUnique();
+
+    std::shared_ptr<std::vector<TraceOp>> ops_;
+};
+
+/**
+ * Content-addressed pool of canonical op streams. One interner is
+ * installed (thread-locally, via ScopedOpStreamInterner) around an
+ * emission pass; OpStream::intern() folds duplicate streams onto the
+ * pooled vector. Collisions fall back to deep equality, so pooling is
+ * exact.
+ */
+class OpStreamInterner
+{
+  public:
+    /** Return the pooled vector equal to @p ops (registering it as
+     *  the canonical copy when it is the first of its content). */
+    std::shared_ptr<std::vector<TraceOp>>
+    canonical(const std::shared_ptr<std::vector<TraceOp>> &ops);
+
+    std::uint64_t streamsSeen() const { return seen_; }
+    std::uint64_t streamsShared() const { return shared_; }
+    /** TraceOp entries eliminated by sharing. */
+    std::uint64_t opsDeduped() const { return opsDeduped_; }
+
+  private:
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::shared_ptr<std::vector<TraceOp>>>>
+        pool_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t shared_ = 0;
+    std::uint64_t opsDeduped_ = 0;
+};
+
+/** The interner installed on this thread (null when none). */
+OpStreamInterner *opStreamInterner();
+
+/** RAII installer mirroring the observer seams: installs @p interner
+ *  as the thread's interner for the enclosing emission pass. */
+class ScopedOpStreamInterner
+{
+  public:
+    explicit ScopedOpStreamInterner(OpStreamInterner &interner);
+    ~ScopedOpStreamInterner();
+
+    ScopedOpStreamInterner(const ScopedOpStreamInterner &) = delete;
+    ScopedOpStreamInterner &
+    operator=(const ScopedOpStreamInterner &) = delete;
+
+  private:
+    OpStreamInterner *previous_;
+};
+
 /** Instruction stream of one warp plus its memory transactions. */
 struct WarpTrace
 {
-    std::vector<TraceOp> ops;
+    OpStream ops;
     std::vector<Addr> transactions;  //!< Coalesced line addresses
 
     /** Append @p op, merging with the previous op when identical

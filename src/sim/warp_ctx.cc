@@ -389,6 +389,12 @@ emitCta(const LaunchSpec &spec, std::uint64_t cta_linear,
     if (observer && observer == emissionObserver())
         observer->onCtaEnd();
 
+    // Fold duplicate per-warp op streams onto pooled canonical copies.
+    // Child grids interned their own warps inside launchChild's
+    // recursive emitCta, so this covers every stream exactly once.
+    for (WarpTrace &warp : trace.warps)
+        warp.ops.intern();
+
     return trace;
 }
 

@@ -85,12 +85,16 @@ class DeterminismTest : public ::testing::TestWithParam<DetCase>
 {
   protected:
     core::RunRecord
-    runWithThreads(int threads)
+    runWithThreads(int threads,
+                   WarpSchedPolicy sched = WarpSchedPolicy::Lrr,
+                   bool fast_forward = true)
     {
         core::RunConfig config;
         config.options.scale = kernels::InputScale::Tiny;
         config.options.cdp = GetParam().cdp;
         config.system.sim.threads = threads;
+        config.system.sim.fastForward = fast_forward;
+        config.system.gpu.warpSched = sched;
         return core::runApp(GetParam().app, config);
     }
 };
@@ -116,6 +120,35 @@ TEST_P(DeterminismTest, ParallelRunsAreByteIdenticalToSerial)
             << "stats diverge from the serial run:\n"
             << describeDiff(serial.stats, parallel.stats);
     }
+}
+
+// The two-level scheduler keeps per-slot promotion stamps that the
+// SM's SoA warp-state packing and the fast-forward skip path must
+// preserve exactly: a sleeping core's scheduler state may only change
+// through pick()/onStall()/onRelease() calls the per-cycle loop would
+// also have made. Serial vs parallel, fast-forward on vs off — all
+// four executions of the same workload must agree byte for byte.
+TEST_P(DeterminismTest, TwoLevelSchedulerSurvivesLayoutAndFastForward)
+{
+    const core::RunRecord serial =
+        runWithThreads(1, WarpSchedPolicy::TwoLevel);
+    ASSERT_TRUE(serial.verified) << serial.detail;
+
+    const core::RunRecord reference =
+        runWithThreads(1, WarpSchedPolicy::TwoLevel, false);
+    EXPECT_EQ(serial.kernelCycles, reference.kernelCycles);
+    EXPECT_EQ(serial.totalCycles, reference.totalCycles);
+    EXPECT_TRUE(serial.stats == reference.stats)
+        << "fast-forward diverges from the per-cycle loop:\n"
+        << describeDiff(reference.stats, serial.stats);
+
+    const core::RunRecord parallel =
+        runWithThreads(8, WarpSchedPolicy::TwoLevel);
+    EXPECT_EQ(parallel.kernelCycles, serial.kernelCycles);
+    EXPECT_EQ(parallel.totalCycles, serial.totalCycles);
+    EXPECT_TRUE(parallel.stats == serial.stats)
+        << "stats diverge from the serial run:\n"
+        << describeDiff(serial.stats, parallel.stats);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, DeterminismTest,

@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Event-driven fast-forward equivalence harness (ctest -L engine):
+ *
+ *  - Byte equivalence: for every application (base and CDP variant)
+ *    and for sim.threads in {1, 2, 8}, a fast-forwarded run must
+ *    produce a RunRecord identical to the reference per-cycle loop
+ *    (GGPU_NO_FAST_FORWARD=1) in every deterministic field, including
+ *    the full SimStats.
+ *  - Randomized-config fuzz: the same equivalence must hold under
+ *    randomly drawn timing configurations (warp scheduler, DRAM
+ *    scheduler, NoC topology, core/partition counts, issue width,
+ *    L1 on/off, perfect memory), two seeds per app x variant.
+ *  - Profiler seam: attaching a TimelineRecorder forces single-cycle
+ *    stepping, so an attached run under a fast-forward-enabled config
+ *    must match both a detached run's RunRecord and the interval rows
+ *    recorded with fast-forward disabled outright.
+ *  - Tick contract: the engine must never execute more cycle-loop
+ *    iterations than simulated cycles, and the per-SM tick count must
+ *    never exceed the cycles x cores slot budget (it equals it when
+ *    fast-forward is off). The skipped-slot fraction is reported.
+ *  - Op-stream interning: duplicate per-warp instruction streams of
+ *    one emission pass must collapse onto shared canonical vectors,
+ *    and copy-on-write must isolate later mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/suite.hh"
+#include "profile/run_profile.hh"
+#include "profile/timeline.hh"
+#include "sim/warp_ctx.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+/** Force the reference per-cycle loop for the guarded scope. */
+class ScopedNoFastForward
+{
+  public:
+    ScopedNoFastForward() { setenv("GGPU_NO_FAST_FORWARD", "1", 1); }
+    ~ScopedNoFastForward() { unsetenv("GGPU_NO_FAST_FORWARD"); }
+};
+
+std::string
+describeDiff(const sim::SimStats &a, const sim::SimStats &b)
+{
+    std::ostringstream os;
+    auto field = [&os](const char *name, std::uint64_t x,
+                       std::uint64_t y) {
+        if (x != y)
+            os << "  " << name << ": " << x << " vs " << y << "\n";
+    };
+    field("gpuCycles", a.gpuCycles, b.gpuCycles);
+    field("launches", a.launches, b.launches);
+    field("totalInsns", a.totalInsns(), b.totalInsns());
+    field("issueCycles", a.issueCycles, b.issueCycles);
+    field("smCycles", a.smCycles, b.smCycles);
+    field("l1Accesses", a.l1Accesses, b.l1Accesses);
+    field("l1Misses", a.l1Misses, b.l1Misses);
+    field("l2Accesses", a.l2Accesses, b.l2Accesses);
+    field("l2Misses", a.l2Misses, b.l2Misses);
+    field("dramServed", a.dramServed, b.dramServed);
+    field("dramRowHits", a.dramRowHits, b.dramRowHits);
+    field("dramPinBusy", a.dramPinBusy, b.dramPinBusy);
+    field("dramActive", a.dramActive, b.dramActive);
+    field("nocPackets", a.nocPackets, b.nocPackets);
+    field("nocFlits", a.nocFlits, b.nocFlits);
+    field("nocLatencySum", a.nocLatencySum, b.nocLatencySum);
+    for (std::size_t i = 0; i < a.insnByKind.size(); ++i)
+        field("insnByKind", a.insnByKind[i], b.insnByKind[i]);
+    for (std::size_t i = 0; i < a.memBySpace.size(); ++i)
+        field("memBySpace", a.memBySpace[i], b.memBySpace[i]);
+    if (!(a.warpOcc == b.warpOcc))
+        os << "  warpOcc histogram differs\n";
+    if (!(a.stalls == b.stalls)) {
+        os << "  stall histogram differs:\n";
+        for (std::size_t r = 0;
+             r < std::size_t(sim::StallReason::NumReasons); ++r) {
+            if (a.stalls.count(r) != b.stalls.count(r))
+                os << "    " << toString(sim::StallReason(r)) << ": "
+                   << a.stalls.count(r) << " vs " << b.stalls.count(r)
+                   << "\n";
+        }
+    }
+    const std::string diff = os.str();
+    return diff.empty() ? "  (no scalar field differs)\n" : diff;
+}
+
+/** Every deterministic RunRecord field (host wall times excluded). */
+void
+expectRecordsIdentical(const core::RunRecord &ref,
+                       const core::RunRecord &ff)
+{
+    EXPECT_EQ(ff.app, ref.app);
+    EXPECT_EQ(ff.cdp, ref.cdp);
+    EXPECT_EQ(ff.verified, ref.verified);
+    EXPECT_EQ(ff.kernelCycles, ref.kernelCycles);
+    EXPECT_EQ(ff.totalCycles, ref.totalCycles);
+    EXPECT_EQ(ff.gpuSeconds, ref.gpuSeconds);
+    EXPECT_EQ(ff.kernelInvocations, ref.kernelInvocations);
+    EXPECT_EQ(ff.pciTransactions, ref.pciTransactions);
+    EXPECT_EQ(ff.profiledKernelCycles, ref.profiledKernelCycles);
+    EXPECT_EQ(ff.profiledPciCycles, ref.profiledPciCycles);
+    EXPECT_EQ(ff.pciBytes, ref.pciBytes);
+    EXPECT_EQ(ff.kernelsByName, ref.kernelsByName);
+    EXPECT_TRUE(ff.stats == ref.stats)
+        << "SimStats diverge (reference vs fast-forward):\n"
+        << describeDiff(ref.stats, ff.stats);
+}
+
+struct EngineCase
+{
+    std::string app;
+    bool cdp;
+};
+
+std::string
+caseName(const ::testing::TestParamInfo<EngineCase> &info)
+{
+    return info.param.app + (info.param.cdp ? "_CDP" : "");
+}
+
+std::vector<EngineCase>
+allCases()
+{
+    std::vector<EngineCase> cases;
+    for (const std::string &app : core::appNames()) {
+        cases.push_back({app, false});
+        cases.push_back({app, true});
+    }
+    return cases;
+}
+
+core::RunConfig
+tinyConfig(bool cdp, int threads = 1)
+{
+    core::RunConfig config;
+    config.options.scale = kernels::InputScale::Tiny;
+    config.options.cdp = cdp;
+    config.system.sim.threads = threads;
+    return config;
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<EngineCase>
+{
+};
+
+// The load-bearing guarantee of docs/PARALLEL_ENGINE.md: fast-forward
+// is an execution strategy, not a model change. Every app, both
+// variants, serial and parallel lanes.
+TEST_P(EngineEquivalenceTest, FastForwardMatchesPerCycleLoop)
+{
+    for (const int threads : {1, 2, 8}) {
+        SCOPED_TRACE("sim.threads=" + std::to_string(threads));
+        const core::RunConfig config =
+            tinyConfig(GetParam().cdp, threads);
+
+        core::RunRecord reference;
+        {
+            ScopedNoFastForward off;
+            reference = core::runApp(GetParam().app, config);
+        }
+        ASSERT_TRUE(reference.verified) << reference.detail;
+
+        const core::RunRecord ff = core::runApp(GetParam().app, config);
+        expectRecordsIdentical(reference, ff);
+    }
+}
+
+// ---- Randomized-config fuzz ----------------------------------------
+
+/** Deterministic split-mix generator so failures name their seed. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t pick(std::uint64_t bound) { return next() % bound; }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** Draw a valid timing configuration that stresses every subsystem
+ *  the fast-forward path models (schedulers, DRAM, NoC, caches). */
+SystemConfig
+fuzzedSystem(Rng &rng)
+{
+    SystemConfig sys;
+    sys.gpu.warpSched = static_cast<WarpSchedPolicy>(rng.pick(4));
+    sys.gpu.memSched = static_cast<MemSchedPolicy>(rng.pick(3));
+    sys.noc.topology = static_cast<NocTopology>(rng.pick(4));
+
+    static const int cores[] = {4, 16, 30, 78};
+    static const int partitions[] = {2, 4, 8};
+    static const int issue[] = {1, 2, 4};
+    sys.gpu.numCores = cores[rng.pick(4)];
+    sys.gpu.numMemPartitions = partitions[rng.pick(3)];
+    sys.gpu.issueWidth = issue[rng.pick(3)];
+    if (rng.pick(4) == 0)
+        sys.gpu.l1SizeBytes = 0;  // L1 disabled
+    if (rng.pick(8) == 0)
+        sys.gpu.perfectMemory = true;
+    sys.sim.threads = rng.pick(2) ? 2 : 1;
+    sys.validate();
+    return sys;
+}
+
+TEST_P(EngineEquivalenceTest, FuzzedConfigsStayEquivalent)
+{
+    for (const std::uint64_t seed : {1u, 2u}) {
+        // Key the draw on the case so configurations differ per app.
+        Rng rng((std::uint64_t(std::hash<std::string>{}(GetParam().app))
+                 << 2) ^ (GetParam().cdp ? 2 : 0) ^ seed);
+        core::RunConfig config = tinyConfig(GetParam().cdp);
+        config.system = fuzzedSystem(rng);
+        SCOPED_TRACE("seed=" + std::to_string(seed) + " sched=" +
+                     toString(config.system.gpu.warpSched) + "/" +
+                     toString(config.system.gpu.memSched) + " noc=" +
+                     toString(config.system.noc.topology) + " cores=" +
+                     std::to_string(config.system.gpu.numCores) +
+                     " parts=" +
+                     std::to_string(config.system.gpu.numMemPartitions) +
+                     " threads=" +
+                     std::to_string(config.system.sim.threads));
+
+        core::RunRecord reference;
+        {
+            ScopedNoFastForward off;
+            reference = core::runApp(GetParam().app, config);
+        }
+        ASSERT_TRUE(reference.verified) << reference.detail;
+
+        const core::RunRecord ff = core::runApp(GetParam().app, config);
+        expectRecordsIdentical(reference, ff);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, EngineEquivalenceTest,
+                         ::testing::ValuesIn(allCases()), caseName);
+
+// ---- Profiler / checker seam ---------------------------------------
+
+// An attached timing observer forces single-cycle stepping, so a
+// profiled run under the default (fast-forward-enabled) configuration
+// must still reproduce a detached fast-forwarded run byte for byte.
+TEST(EngineObserverSeam, AttachedRunMatchesDetachedRecord)
+{
+    for (const bool cdp : {false, true}) {
+        SCOPED_TRACE(cdp ? "CDP" : "base");
+        const profile::ProfileRun attached =
+            profile::profileApp("NW", tinyConfig(cdp), {});
+        const core::RunRecord detached =
+            core::runApp("NW", tinyConfig(cdp));
+        expectRecordsIdentical(detached, attached.record);
+    }
+}
+
+// The interval rows a recorder observes must not depend on whether
+// the surrounding configuration would fast-forward when detached:
+// both runs below step per cycle, and their sampled deltas must agree
+// window for window.
+TEST(EngineObserverSeam, IntervalDeltasUnchangedByFastForwardConfig)
+{
+    for (const bool cdp : {false, true}) {
+        SCOPED_TRACE(cdp ? "CDP" : "base");
+        profile::ProfileRun reference;
+        {
+            ScopedNoFastForward off;
+            reference = profile::profileApp("SW", tinyConfig(cdp), {});
+        }
+        const profile::ProfileRun ff =
+            profile::profileApp("SW", tinyConfig(cdp), {});
+
+        const auto &a = reference.timeline.intervals;
+        const auto &b = ff.timeline.intervals;
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            SCOPED_TRACE("interval " + std::to_string(i));
+            EXPECT_EQ(a[i].start, b[i].start);
+            EXPECT_EQ(a[i].end, b[i].end);
+            EXPECT_EQ(a[i].sm, b[i].sm);
+            EXPECT_EQ(a[i].partitions, b[i].partitions);
+            EXPECT_EQ(a[i].noc, b[i].noc);
+        }
+        EXPECT_EQ(reference.timeline.endCycle, ff.timeline.endCycle);
+    }
+}
+
+// ---- Tick contract --------------------------------------------------
+
+// Fast-forward must only ever skip work: the cycle loop may not run
+// more iterations than simulated cycles, and the SM tick total may
+// not exceed the cycles x cores slot budget. The reference loop, by
+// construction, fills that budget exactly.
+TEST(EngineTickContract, FastForwardNeverSimulatesMoreThanCycles)
+{
+    const core::RunConfig config = tinyConfig(true);
+    const int cores = config.system.gpu.numCores;
+
+    rt::Device device(config.system);
+    auto app = core::makeApp("SW");
+    const kernels::AppRunResult result =
+        app->run(device, config.options);
+    ASSERT_TRUE(result.verified) << result.detail;
+
+    const sim::EngineStats stats = device.engineStats();
+    EXPECT_TRUE(stats.fastForward);
+    EXPECT_GT(stats.cycles, 0u);
+    EXPECT_LE(stats.iterations, stats.cycles);
+    EXPECT_LE(stats.smTicks,
+              stats.cycles * std::uint64_t(cores));
+    const double skipped = stats.skippedSmTickFraction(cores);
+    EXPECT_GE(skipped, 0.0);
+    EXPECT_LE(skipped, 1.0);
+    ::testing::Test::RecordProperty("skipped_sm_tick_fraction",
+                                    std::to_string(skipped));
+
+    rt::Device reference(config.system);
+    {
+        ScopedNoFastForward off;
+        auto ref_app = core::makeApp("SW");
+        ASSERT_TRUE(ref_app->run(reference, config.options).verified);
+    }
+    const sim::EngineStats ref_stats = reference.engineStats();
+    EXPECT_FALSE(ref_stats.fastForward);
+    EXPECT_EQ(ref_stats.cycles, stats.cycles);
+    // Wall cycles include launch-overhead advances taken outside the
+    // cycle loop, so iterations <= cycles even for the reference loop;
+    // what the reference loop cannot do is skip an SM slot.
+    EXPECT_LE(ref_stats.iterations, ref_stats.cycles);
+    EXPECT_EQ(ref_stats.smTicks,
+              ref_stats.iterations * std::uint64_t(cores));
+    // The whole point: strictly fewer iterations on a stall-heavy app.
+    EXPECT_LT(stats.iterations, ref_stats.iterations);
+}
+
+// ---- Op-stream interning -------------------------------------------
+
+/** Wrap a lambda as a kernel body. */
+template <typename Fn>
+class LambdaKernel : public sim::KernelBody
+{
+  public:
+    explicit LambdaKernel(Fn fn) : fn_(std::move(fn)) {}
+
+    void
+    runPhase(sim::WarpCtx &w, int phase) override
+    {
+        fn_(w, phase);
+    }
+
+  private:
+    Fn fn_;
+};
+
+// Warps of a uniform grid emit identical op streams; one emission
+// pass must collapse them onto shared canonical vectors.
+TEST(OpStreamInterning, UniformGridSharesCanonicalStreams)
+{
+    rt::Device device;
+    sim::LaunchSpec spec;
+    spec.name = "uniform";
+    spec.grid = {8, 1, 1};
+    spec.cta = {64, 1, 1};
+    auto body = [](sim::WarpCtx &w, int) {
+        w.emitInt(5);
+        w.emitFp(3);
+    };
+    spec.body =
+        std::make_shared<LambdaKernel<decltype(body)>>(std::move(body));
+
+    const sim::KernelTrace trace = device.gpu().emitGrid(spec);
+    ASSERT_EQ(trace.ctas.size(), 8u);
+    ASSERT_EQ(trace.ctas[0].warps.size(), 2u);
+    const sim::OpStream &first = trace.ctas[0].warps[0].ops;
+    for (const sim::CtaTrace &cta : trace.ctas)
+        for (const sim::WarpTrace &warp : cta.warps) {
+            EXPECT_TRUE(warp.ops.sharedWith(first));
+            EXPECT_TRUE(warp.ops == first);
+        }
+
+    const sim::OpStreamInterner &interner = device.gpu().opInterner();
+    EXPECT_EQ(interner.streamsSeen(), 16u);
+    EXPECT_EQ(interner.streamsShared(), 15u);
+    EXPECT_EQ(interner.opsDeduped(), 15u * first.size());
+}
+
+// Copy-on-write: appending to one handle of a shared stream must not
+// disturb the canonical copy other handles still see.
+TEST(OpStreamInterning, MutationCopiesSharedStream)
+{
+    sim::OpStreamInterner interner;
+    sim::ScopedOpStreamInterner scope(interner);
+
+    sim::TraceOp op;
+    op.kind = sim::OpKind::IntAlu;
+
+    sim::WarpTrace a;
+    a.append(op);
+    a.ops.intern();
+    sim::WarpTrace b;
+    b.append(op);
+    b.ops.intern();
+    ASSERT_TRUE(a.ops.sharedWith(b.ops));
+
+    sim::TraceOp store;
+    store.kind = sim::OpKind::Store;
+    b.append(store);
+    EXPECT_FALSE(a.ops.sharedWith(b.ops));
+    EXPECT_EQ(a.ops.size(), 1u);
+    EXPECT_EQ(b.ops.size(), 2u);
+    EXPECT_EQ(a.ops.back().kind, sim::OpKind::IntAlu);
+    EXPECT_EQ(b.ops.back().kind, sim::OpKind::Store);
+}
+
+} // namespace
