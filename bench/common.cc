@@ -226,6 +226,9 @@ emitJson(const std::string &figure, const std::string &dir)
                 sink.addRun(config, record);
     for (const auto &[title, table] : emittedSeries())
         sink.addSeries(title, table);
+    // Cache economics of this binary's runs: a sweep merging many
+    // per-worker artifacts sums these to prove one-emission-per-key.
+    sink.setSection("trace_store", traceStore().countersToJson());
 
     std::string path = dir;
     if (!path.empty() && path.back() != '/')

@@ -13,8 +13,6 @@
  *       per-binary exit codes ("<name> <code>" lines).
  */
 
-#include <algorithm>
-#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,12 +23,12 @@
 #include "common/log.hh"
 #include "core/json.hh"
 #include "core/metrics.hh"
+#include "core/metrics_merge.hh"
 #include "profile/timeline.hh"
 
 namespace
 {
 
-namespace fs = std::filesystem;
 using ggpu::core::json::Value;
 
 std::string
@@ -76,50 +74,6 @@ checkCheckerArtifact(const std::string &path, const Value &doc)
     }
 }
 
-/** Check one parsed artifact; throws FatalError with the defect. */
-void
-checkArtifact(const std::string &path, const Value &doc)
-{
-    if (!doc.isObject())
-        ggpu::fatal(path, ": top-level value is not an object");
-    if (doc.at("schema").asString() != ggpu::core::metricsSchema)
-        ggpu::fatal(path, ": schema is '", doc.at("schema").asString(),
-                    "', expected '", ggpu::core::metricsSchema, "'");
-    if (doc.at("figure").asString().empty())
-        ggpu::fatal(path, ": empty figure id");
-
-    const Value &provenance = doc.at("provenance");
-    provenance.at("scale").asString();
-    provenance.at("threads").asNumber();
-
-    const Value &series = doc.at("series");
-    if (!series.isArray())
-        ggpu::fatal(path, ": 'series' is not an array");
-    for (std::size_t i = 0; i < series.size(); ++i) {
-        const Value &s = series.at(i);
-        s.at("title").asString();
-        const std::size_t columns = s.at("headers").size();
-        const Value &rows = s.at("rows");
-        for (std::size_t r = 0; r < rows.size(); ++r)
-            if (rows.at(r).size() != columns)
-                ggpu::fatal(path, ": series ", i, " row ", r, " has ",
-                            rows.at(r).size(), " cells, expected ",
-                            columns);
-    }
-
-    const Value &runs = doc.at("runs");
-    if (!runs.isArray())
-        ggpu::fatal(path, ": 'runs' is not an array");
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-        const Value &run = runs.at(i);
-        for (const auto &key :
-             ggpu::core::MetricsSink::requiredRunKeys())
-            if (!run.has(key))
-                ggpu::fatal(path, ": run ", i, " is missing key '",
-                            key, "'");
-    }
-}
-
 int
 cmdValidate(const std::string &path)
 {
@@ -139,7 +93,7 @@ cmdValidate(const std::string &path)
                   << " intervals)\n";
         return 0;
     }
-    checkArtifact(path, doc);
+    ggpu::core::validateBenchArtifact(path, doc);
     std::cout << path << ": ok (" << doc.at("runs").size()
               << " runs, " << doc.at("series").size() << " series)\n";
     return 0;
@@ -149,51 +103,11 @@ int
 cmdMerge(const std::string &dir, const std::string &out_path,
          const std::string &status_path)
 {
-    std::vector<std::string> files;
-    for (const auto &entry : fs::directory_iterator(dir)) {
-        const std::string name = entry.path().filename().string();
-        if (name.rfind("BENCH_", 0) == 0 &&
-            entry.path().extension() == ".json" &&
-            name != "BENCH_SUMMARY.json")
-            files.push_back(entry.path().string());
-    }
-    std::sort(files.begin(), files.end());
-
-    Value summary = Value::object();
-    summary.set("schema", "ggpu.bench.summary.v1");
-    Value figures = Value::object();
-    for (const auto &file : files) {
-        Value doc = ggpu::core::json::parse(readFile(file));
-        checkArtifact(file, doc);
-        const std::string figure = doc.at("figure").asString();
-        figures.set(figure, std::move(doc));
-    }
-    summary.set("figures", std::move(figures));
-
-    if (!status_path.empty()) {
-        Value benches = Value::array();
-        std::ifstream is(status_path);
-        if (!is)
-            ggpu::fatal("cannot open status file '", status_path, "'");
-        std::string name;
-        int code = 0;
-        while (is >> name >> code) {
-            Value b = Value::object();
-            b.set("name", name);
-            b.set("exit_status", code);
-            benches.push(std::move(b));
-        }
-        summary.set("benches", std::move(benches));
-    }
-
-    std::ofstream os(out_path);
-    if (!os)
-        ggpu::fatal("cannot open '", out_path, "' for writing");
-    os << summary.dump();
-    if (!os.flush())
-        ggpu::fatal("short write to '", out_path, "'");
-    std::cout << out_path << ": merged " << files.size()
-              << " artifact(s)\n";
+    const Value summary =
+        ggpu::core::mergeBenchArtifacts(dir, status_path);
+    ggpu::core::writeJsonFile(out_path, summary);
+    std::cout << out_path << ": merged "
+              << summary.at("figures").size() << " artifact(s)\n";
     return 0;
 }
 

@@ -30,6 +30,18 @@ MetricsSink::addSeries(const std::string &title, const Table &table)
     series_.emplace_back(title, table);
 }
 
+void
+MetricsSink::setSection(const std::string &key, json::Value value)
+{
+    for (auto &[name, existing] : sections_) {
+        if (name == key) {
+            existing = std::move(value);
+            return;
+        }
+    }
+    sections_.emplace_back(key, std::move(value));
+}
+
 namespace
 {
 
@@ -221,6 +233,9 @@ MetricsSink::toJson() const
     for (const auto &[config, record] : runs_)
         runs.push(runToJson(config, record));
     doc.set("runs", std::move(runs));
+
+    for (const auto &[key, value] : sections_)
+        doc.set(key, value);
 
     return doc;
 }

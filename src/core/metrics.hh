@@ -42,6 +42,13 @@ class MetricsSink
     /** Record one printed table as a named series. */
     void addSeries(const std::string &title, const Table &table);
 
+    /**
+     * Attach an extra top-level section (e.g. "trace_store" cache
+     * counters). The validator treats the schema as a floor, so extra
+     * sections never break the contract; later sets of one key win.
+     */
+    void setSection(const std::string &key, json::Value value);
+
     /** Render the whole artifact. */
     json::Value toJson() const;
 
@@ -64,6 +71,7 @@ class MetricsSink
     int threads_;
     std::vector<std::pair<std::string, RunRecord>> runs_;
     std::vector<std::pair<std::string, Table>> series_;
+    std::vector<std::pair<std::string, json::Value>> sections_;
 };
 
 } // namespace ggpu::core

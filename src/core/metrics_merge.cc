@@ -1,0 +1,137 @@
+#include "core/metrics_merge.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/metrics.hh"
+
+namespace ggpu::core
+{
+
+namespace fs = std::filesystem;
+using json::Value;
+
+Value
+readJsonFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        fatal("cannot open '", path, "'");
+    std::ostringstream os;
+    os << is.rdbuf();
+    return json::parse(os.str());
+}
+
+void
+writeJsonFile(const std::string &path, const Value &doc)
+{
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp);
+        if (!os)
+            fatal("cannot open '", tmp, "' for writing");
+        os << doc.dump();
+        os.flush();
+        if (!os) {
+            ::unlink(tmp.c_str());
+            fatal("short write to '", tmp, "'");
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ::unlink(tmp.c_str());
+        fatal("cannot rename '", tmp, "' to '", path, "'");
+    }
+}
+
+void
+validateBenchArtifact(const std::string &path, const Value &doc)
+{
+    if (!doc.isObject())
+        fatal(path, ": top-level value is not an object");
+    if (doc.at("schema").asString() != metricsSchema)
+        fatal(path, ": schema is '", doc.at("schema").asString(),
+              "', expected '", metricsSchema, "'");
+    if (doc.at("figure").asString().empty())
+        fatal(path, ": empty figure id");
+
+    const Value &provenance = doc.at("provenance");
+    provenance.at("scale").asString();
+    provenance.at("threads").asNumber();
+
+    const Value &series = doc.at("series");
+    if (!series.isArray())
+        fatal(path, ": 'series' is not an array");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const Value &s = series.at(i);
+        s.at("title").asString();
+        const std::size_t columns = s.at("headers").size();
+        const Value &rows = s.at("rows");
+        for (std::size_t r = 0; r < rows.size(); ++r)
+            if (rows.at(r).size() != columns)
+                fatal(path, ": series ", i, " row ", r, " has ",
+                      rows.at(r).size(), " cells, expected ", columns);
+    }
+
+    const Value &runs = doc.at("runs");
+    if (!runs.isArray())
+        fatal(path, ": 'runs' is not an array");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const Value &run = runs.at(i);
+        for (const auto &key : MetricsSink::requiredRunKeys())
+            if (!run.has(key))
+                fatal(path, ": run ", i, " is missing key '", key, "'");
+    }
+}
+
+Value
+mergeBenchArtifacts(const std::string &dir,
+                    const std::string &status_path)
+{
+    std::vector<std::string> files;
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 &&
+            entry.path().extension() == ".json" &&
+            name != "BENCH_SUMMARY.json")
+            files.push_back(entry.path().string());
+    }
+    std::sort(files.begin(), files.end());
+
+    Value summary = Value::object();
+    summary.set("schema", metricsSummarySchema);
+    Value figures = Value::object();
+    for (const auto &file : files) {
+        Value doc = readJsonFile(file);
+        validateBenchArtifact(file, doc);
+        const std::string figure = doc.at("figure").asString();
+        figures.set(figure, std::move(doc));
+    }
+    summary.set("figures", std::move(figures));
+
+    if (!status_path.empty()) {
+        Value benches = Value::array();
+        std::ifstream is(status_path);
+        if (!is)
+            fatal("cannot open status file '", status_path, "'");
+        std::string name;
+        int code = 0;
+        while (is >> name >> code) {
+            Value b = Value::object();
+            b.set("name", name);
+            b.set("exit_status", code);
+            benches.push(std::move(b));
+        }
+        summary.set("benches", std::move(benches));
+    }
+
+    return summary;
+}
+
+} // namespace ggpu::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bench-artifact validation and merging, shared by the
+ * `ggpu_metrics_tool` CLI and the `ggpu_sweep` orchestrator. One
+ * implementation of the `ggpu.bench.v1` contract check and of the
+ * BENCH_*.json -> BENCH_SUMMARY.json merge means a sweep's summary is
+ * validated by exactly the rules CI applies to single-binary runs.
+ */
+
+#ifndef GGPU_CORE_METRICS_MERGE_HH
+#define GGPU_CORE_METRICS_MERGE_HH
+
+#include <string>
+
+#include "core/json.hh"
+
+namespace ggpu::core
+{
+
+/** Schema identifier of the merged summary document. */
+inline constexpr const char *metricsSummarySchema =
+    "ggpu.bench.summary.v1";
+
+/** Read and parse one JSON file (fatal on I/O or parse failure);
+ *  @p path labels diagnostics. */
+json::Value readJsonFile(const std::string &path);
+
+/** Atomically (temp + rename) write @p doc to @p path (fatal on I/O
+ *  failure). */
+void writeJsonFile(const std::string &path, const json::Value &doc);
+
+/**
+ * Check one parsed `ggpu.bench.v1` artifact against the schema
+ * contract: schema tag, figure id, provenance, rectangular series,
+ * and every required per-run key. Throws FatalError naming @p path
+ * and the defect. Extra top-level sections (e.g. "trace_store") are
+ * allowed — the contract is a floor, not a ceiling.
+ */
+void validateBenchArtifact(const std::string &path,
+                           const json::Value &doc);
+
+/**
+ * Merge every BENCH_*.json in @p dir (except BENCH_SUMMARY.json, in
+ * sorted filename order, each validated first) into one
+ * `ggpu.bench.summary.v1` document keyed by figure id. When
+ * @p status_path is non-empty its "<name> <code>" lines become the
+ * summary's "benches" array.
+ */
+json::Value mergeBenchArtifacts(const std::string &dir,
+                                const std::string &status_path = {});
+
+} // namespace ggpu::core
+
+#endif // GGPU_CORE_METRICS_MERGE_HH

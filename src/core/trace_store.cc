@@ -1,11 +1,19 @@
 #include "core/trace_store.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/log.hh"
 #include "runtime/device.hh"
+#include "sim/trace_serialize.hh"
 
 namespace ggpu::core
 {
@@ -13,9 +21,85 @@ namespace ggpu::core
 namespace
 {
 
+bool
+envFlag(const char *name)
+{
+    const char *env = std::getenv(name);
+    return env != nullptr && std::string(env) == "1";
+}
+
+/** Key with every shell-hostile character folded to '_' — readable in
+ *  a directory listing; the appended key hash provides uniqueness. */
 std::string
-storeKey(const std::string &app, const kernels::AppOptions &options,
-         std::uint32_t line_bytes)
+sanitizeKey(const std::string &key)
+{
+    std::string out;
+    out.reserve(key.size());
+    for (char c : key) {
+        const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' || c == '-';
+        out.push_back(keep ? c : '_');
+    }
+    return out;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/**
+ * RAII exclusive flock on a sidecar lock file. Serializes emission of
+ * one cache key across processes; bundle files themselves are never
+ * locked (atomic rename makes plain reads safe).
+ */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+        : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        if (fd_ < 0) {
+            warn("trace-store: cannot open lock file ", path);
+            return;
+        }
+        while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {}
+    }
+
+    ~FileLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);  // Releases the flock.
+    }
+
+    FileLock(const FileLock &) = delete;
+    FileLock &operator=(const FileLock &) = delete;
+
+  private:
+    int fd_;
+};
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return in.good() || in.eof();
+}
+
+} // namespace
+
+std::string
+traceStoreKey(const std::string &app, const kernels::AppOptions &options,
+              std::uint32_t line_bytes)
 {
     std::ostringstream os;
     os << app << "|cdp=" << options.cdp
@@ -25,8 +109,6 @@ storeKey(const std::string &app, const kernels::AppOptions &options,
        << "|line=" << line_bytes;
     return os.str();
 }
-
-} // namespace
 
 sim::TraceBundle
 emitTrace(const std::string &app, const kernels::AppOptions &options,
@@ -89,28 +171,192 @@ timeTrace(const sim::TraceBundle &bundle, const SystemConfig &system,
     return record;
 }
 
+TraceStore::TraceStore()
+{
+    const char *env = std::getenv("GGPU_TRACE_CACHE");
+    if (env != nullptr && *env != '\0')
+        dir_ = env;
+    if (!dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        if (ec) {
+            warn("trace-store: cannot create cache dir ", dir_, ": ",
+                 ec.message(), "; disk layer disabled");
+            dir_.clear();
+        }
+    }
+}
+
+TraceStore::TraceStore(std::string cache_dir) : dir_(std::move(cache_dir))
+{
+    if (!dir_.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        if (ec)
+            fatal("trace-store: cannot create cache dir ", dir_, ": ",
+                  ec.message());
+    }
+}
+
+std::string
+TraceStore::filePath(const std::string &key) const
+{
+    if (dir_.empty())
+        return {};
+    // The wire version is part of the content address: a format bump
+    // makes every old entry unreachable instead of unreadable.
+    const std::string versioned =
+        key + "|v" + std::to_string(sim::traceWireVersion);
+    const std::uint64_t hash =
+        sim::fnv1a64(versioned.data(), versioned.size());
+    return dir_ + "/" + sanitizeKey(key) + "-" + hex16(hash) + ".ggputrace";
+}
+
+std::string
+TraceStore::cacheFilePath(const std::string &app,
+                          const kernels::AppOptions &options,
+                          std::uint32_t line_bytes) const
+{
+    return filePath(traceStoreKey(app, options, line_bytes));
+}
+
+std::unique_ptr<sim::TraceBundle>
+TraceStore::loadFromDisk(const std::string &key)
+{
+    const std::string path = filePath(key);
+    std::string image;
+    if (!readFile(path, image))
+        return nullptr;  // Plain miss.
+    auto bundle = std::make_unique<sim::TraceBundle>();
+    std::string error;
+    if (!sim::deserializeBundle(image, *bundle, &error)) {
+        ++corruptRejects_;
+        warn("trace-store: rejecting cache entry ", path, " (", error,
+             "); re-emitting");
+        ::unlink(path.c_str());
+        return nullptr;
+    }
+    if (!bundle->verified) {
+        // Should be unreachable (unverified bundles are never stored),
+        // but a foreign or hand-built file must not bypass the gate.
+        ++corruptRejects_;
+        warn("trace-store: cache entry ", path,
+             " holds an unverified bundle; re-emitting");
+        ::unlink(path.c_str());
+        return nullptr;
+    }
+    return bundle;
+}
+
+void
+TraceStore::storeToDisk(const std::string &key,
+                        const sim::TraceBundle &bundle)
+{
+    const std::string path = filePath(key);
+    const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+    const std::string image = sim::serializeBundle(bundle);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(image.data(), std::streamsize(image.size()));
+        if (!out) {
+            warn("trace-store: cannot write ", tmp, "; entry not cached");
+            ::unlink(tmp.c_str());
+            return;
+        }
+    }
+    // Publish atomically: readers see the old state or the complete
+    // file, never a torn write, even across a crash.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("trace-store: cannot publish ", path, "; entry not cached");
+        ::unlink(tmp.c_str());
+        return;
+    }
+    ++diskStores_;
+}
+
+const sim::TraceBundle &
+TraceStore::insert(const std::string &key, sim::TraceBundle bundle)
+{
+    auto owned = std::make_unique<sim::TraceBundle>(std::move(bundle));
+    auto &slot = bundles_[key];
+    slot = std::move(owned);
+    return *slot;
+}
+
 const sim::TraceBundle &
 TraceStore::get(const std::string &app,
                 const kernels::AppOptions &options,
                 std::uint32_t line_bytes)
 {
-    const std::string key = storeKey(app, options, line_bytes);
+    const std::string key = traceStoreKey(app, options, line_bytes);
+
     auto it = bundles_.find(key);
     if (it != bundles_.end()) {
-        ++hits_;
-        return *it->second;
+        if (it->second->verified) {
+            ++hits_;
+            return *it->second;
+        }
+        // Unverified bundles are never reused: fall through and
+        // re-emit (strict mode rejects them outright below).
     }
+
+    if (!dir_.empty()) {
+        // Optimistic lock-free load: rename-on-write means any file
+        // present is complete, so most warm hits never take the lock.
+        if (auto loaded = loadFromDisk(key)) {
+            ++diskHits_;
+            return insert(key, std::move(*loaded));
+        }
+        FileLock lock(filePath(key) + ".lock");
+        // Another process may have emitted while we waited.
+        if (auto loaded = loadFromDisk(key)) {
+            ++diskHits_;
+            return insert(key, std::move(*loaded));
+        }
+        ++emissions_;
+        sim::TraceBundle bundle = emitter_
+            ? emitter_(app, options, line_bytes)
+            : emitTrace(app, options, line_bytes);
+        if (bundle.verified)
+            storeToDisk(key, bundle);
+        else if (strictVerifyEnabled())
+            fatal("trace-store: ", key,
+                  " failed functional verification (GGPU_STRICT_VERIFY=1)");
+        return insert(key, std::move(bundle));
+    }
+
     ++emissions_;
-    auto bundle = std::make_unique<sim::TraceBundle>(
-        emitTrace(app, options, line_bytes));
-    return *bundles_.emplace(key, std::move(bundle)).first->second;
+    sim::TraceBundle bundle = emitter_
+        ? emitter_(app, options, line_bytes)
+        : emitTrace(app, options, line_bytes);
+    if (!bundle.verified && strictVerifyEnabled())
+        fatal("trace-store: ", key,
+              " failed functional verification (GGPU_STRICT_VERIFY=1)");
+    return insert(key, std::move(bundle));
+}
+
+json::Value
+TraceStore::countersToJson() const
+{
+    json::Value counters = json::Value::object();
+    counters.set("emissions", double(emissions_));
+    counters.set("hits", double(hits_));
+    counters.set("disk_hits", double(diskHits_));
+    counters.set("disk_stores", double(diskStores_));
+    counters.set("corrupt_rejects", double(corruptRejects_));
+    return counters;
 }
 
 bool
 traceCacheDisabled()
 {
-    const char *env = std::getenv("GGPU_NO_TRACE_CACHE");
-    return env != nullptr && std::string(env) == "1";
+    return envFlag("GGPU_NO_TRACE_CACHE");
+}
+
+bool
+strictVerifyEnabled()
+{
+    return envFlag("GGPU_STRICT_VERIFY");
 }
 
 RunRecord

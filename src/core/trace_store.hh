@@ -7,16 +7,25 @@
  * keyed by every input emission actually depends on; timing-only
  * knobs (cache sizes, DRAM scheduler, warp scheduler, NoC shape) are
  * deliberately absent from the key.
+ *
+ * With `GGPU_TRACE_CACHE=<dir>` the store extends across processes:
+ * bundles are serialized (src/sim/trace_serialize.hh) into
+ * content-addressed files under the directory, written atomically
+ * (temp file + rename) and validated by checksum on load, so a fleet
+ * of sweep workers pays emission exactly once per key and a corrupt
+ * or stale file degrades to a re-emission, never a wrong result.
  */
 
 #ifndef GGPU_CORE_TRACE_STORE_HH
 #define GGPU_CORE_TRACE_STORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 
+#include "core/json.hh"
 #include "core/suite.hh"
 #include "sim/trace.hh"
 
@@ -56,32 +65,97 @@ RunRecord timeTrace(const sim::TraceBundle &bundle,
                     const SystemConfig &system,
                     ReplayTelemetry *telemetry = nullptr);
 
+/** The cache key for one emission: app, every trace-affecting
+ *  AppOptions field, and the coalescing line size. */
+std::string traceStoreKey(const std::string &app,
+                          const kernels::AppOptions &options,
+                          std::uint32_t line_bytes);
+
 /**
  * Bundle cache keyed by (app, AppOptions, lineBytes) — the complete
  * set of inputs emission depends on. `lineBytes` is in the key because
  * coalesced WarpTrace::transactions are line-granular: a line-size
  * sweep must re-emit, a cache/scheduler/NoC sweep must not.
+ *
+ * Two independent layers:
+ *  - in-memory (always on): one bundle per key per store instance;
+ *  - on-disk (when a cache directory is configured): serialized
+ *    bundles shared across processes, guarded per key by a `flock`ed
+ *    lock file so concurrent workers elect one emitter per key.
+ *
+ * Bundles that failed functional verification are never persisted and
+ * never reused from memory: every get() of such a key re-emits (the
+ * result may be input-dependent), and under `GGPU_STRICT_VERIFY=1`
+ * the store raises a FatalError instead of returning one at all.
  */
 class TraceStore
 {
   public:
+    /** Store whose disk layer follows `GGPU_TRACE_CACHE` (disabled
+     *  when the variable is unset or empty). */
+    TraceStore();
+
+    /** Store with an explicit disk-cache directory (empty = memory
+     *  only), independent of the environment. */
+    explicit TraceStore(std::string cache_dir);
+
     /** The bundle for this key, emitting it on first use. */
     const sim::TraceBundle &get(const std::string &app,
                                 const kernels::AppOptions &options,
                                 std::uint32_t line_bytes);
 
+    /** Where the disk layer keeps this key's bundle (empty when the
+     *  disk layer is disabled). Exposed for tests and tooling. */
+    std::string cacheFilePath(const std::string &app,
+                              const kernels::AppOptions &options,
+                              std::uint32_t line_bytes) const;
+
+    const std::string &cacheDir() const { return dir_; }
+
     std::uint64_t emissions() const { return emissions_; }
     std::uint64_t hits() const { return hits_; }
+    std::uint64_t diskHits() const { return diskHits_; }
+    std::uint64_t diskStores() const { return diskStores_; }
+    std::uint64_t corruptRejects() const { return corruptRejects_; }
+
+    /** Counters as a JSON object (exported into bench artifacts so a
+     *  sweep can prove its one-emission-per-key economics). */
+    json::Value countersToJson() const;
+
+    /** Drop the in-memory layer (disk entries are untouched). */
     void clear() { bundles_.clear(); }
 
+    using Emitter = std::function<sim::TraceBundle(
+        const std::string &, const kernels::AppOptions &, std::uint32_t)>;
+
+    /** Replace the emission function (tests inject failing or
+     *  instrumented emitters); defaults to emitTrace(). */
+    void setEmitter(Emitter emitter) { emitter_ = std::move(emitter); }
+
   private:
+    const sim::TraceBundle &insert(const std::string &key,
+                                   sim::TraceBundle bundle);
+    std::unique_ptr<sim::TraceBundle> loadFromDisk(const std::string &key);
+    void storeToDisk(const std::string &key,
+                     const sim::TraceBundle &bundle);
+    std::string filePath(const std::string &key) const;
+
+    std::string dir_;  //!< Disk-cache directory ("" = memory only)
+    Emitter emitter_;
     std::map<std::string, std::unique_ptr<sim::TraceBundle>> bundles_;
     std::uint64_t emissions_ = 0;
     std::uint64_t hits_ = 0;
+    std::uint64_t diskHits_ = 0;
+    std::uint64_t diskStores_ = 0;
+    std::uint64_t corruptRejects_ = 0;
 };
 
 /** Whether GGPU_NO_TRACE_CACHE=1 forces fresh per-run emission. */
 bool traceCacheDisabled();
+
+/** Whether GGPU_STRICT_VERIFY=1 turns unverified emissions into
+ *  FatalErrors instead of warnings. */
+bool strictVerifyEnabled();
 
 /**
  * runApp() through @p store: emit (or reuse) the trace bundle for

@@ -210,6 +210,7 @@ Gpu::enqueueChildGrid(const ChildGrid &child, int parent_core,
         cdpRuntimeInitialized_ = true;
     }
     grid->readyAt = now + overhead;
+    launchPendingBound_ = std::max(launchPendingBound_, grid->readyAt);
 
     GridState *raw = grid.get();
     activeGrids_.push_back(std::move(grid));
@@ -336,9 +337,9 @@ Gpu::handlePartitionRequest(int partition, int core, Addr line,
         dramNextAt_[std::size_t(partition)] = now;
     Partition &part = *partitions_[std::size_t(partition)];
     // Close out the DRAM active-time window before changing its queue.
-    std::vector<mem::DramCompletion> completed;
-    part.dram.tick(now, completed);
-    handleDramCompletions(partition, completed);
+    dramCompleted_.clear();
+    part.dram.tick(now, dramCompleted_);
+    handleDramCompletions(partition, dramCompleted_);
 
     const mem::CacheResult result = part.l2.access(line, write);
     if (result == mem::CacheResult::Hit) {
@@ -382,12 +383,12 @@ Gpu::tickDram()
     bool progress = false;
     for (std::size_t p = 0; p < partitions_.size(); ++p) {
         Partition &part = *partitions_[p];
-        std::vector<mem::DramCompletion> completed;
-        part.dram.tick(now_, completed);
+        dramCompleted_.clear();
+        part.dram.tick(now_, dramCompleted_);
         drainOverflow(part, now_);
-        if (!completed.empty()) {
+        if (!dramCompleted_.empty()) {
             progress = true;
-            handleDramCompletions(int(p), completed);
+            handleDramCompletions(int(p), dramCompleted_);
         }
     }
     return progress;
@@ -517,8 +518,13 @@ Gpu::tickSmRange(std::size_t begin, std::size_t end)
         }
         return;
     }
+    // Reference path: nothing reads per-core flags, only whether any
+    // core issued, so fold the chunk locally and publish one bit.
+    bool any = false;
     for (std::size_t i = begin; i < end; ++i)
-        smIssued_[i] = sms_[i]->tick(now_) ? 1 : 0;
+        any |= sms_[i]->tick(now_);
+    if (any)
+        anySmIssued_.store(true, std::memory_order_relaxed);
 }
 
 void
@@ -605,11 +611,11 @@ Gpu::tickDramDue()
         if (dramNextAt_[p] > now_)
             continue;
         Partition &part = *partitions_[p];
-        std::vector<mem::DramCompletion> completed;
-        part.dram.tick(now_, completed);
+        dramCompleted_.clear();
+        part.dram.tick(now_, dramCompleted_);
         drainOverflow(part, now_);
-        if (!completed.empty())
-            handleDramCompletions(int(p), completed);
+        if (!dramCompleted_.empty())
+            handleDramCompletions(int(p), dramCompleted_);
         dramNextAt_[p] = dramNextEvent(p);
     }
 }
@@ -617,10 +623,11 @@ Gpu::tickDramDue()
 Cycles
 Gpu::launchPendingUntil() const
 {
-    Cycles until = launchReadyAt_;
-    for (const GridState *grid : dispatchQueue_)
-        until = std::max(until, grid->readyAt);
-    return until;
+    // launchPendingBound_ folds in every readyAt edge at enqueue time,
+    // so a fast-forward jump no longer rescans the dispatch queue.
+    // Dispatched grids left behind in the max are bounded by now_, and
+    // the jump only consumes bounds strictly above now_ + 1.
+    return std::max(launchReadyAt_, launchPendingBound_);
 }
 
 Cycles
@@ -739,6 +746,7 @@ Gpu::runPerCycle()
         progress |= processEvents();
         progress |= tickDram();
         progress |= dispatchCtas();
+        anySmIssued_.store(false, std::memory_order_relaxed);
 
         // SM phase: cores only read shared state frozen for the cycle
         // and write their own outboxes, so they may tick concurrently.
@@ -762,10 +770,7 @@ Gpu::runPerCycle()
         // Cycle barrier: replay buffered SM->device traffic serially.
         drainSmOutboxes();
 
-        bool any_issue = false;
-        for (std::uint8_t issued : smIssued_)
-            any_issue |= issued != 0;
-        progress |= any_issue;
+        progress |= anySmIssued_.load(std::memory_order_relaxed);
 
         if (progress) {
             idle_iterations = 0;
@@ -968,6 +973,7 @@ Gpu::launchTraced(const KernelTrace &kernel)
 
     const Cycles started = now_;
     launchReadyAt_ = now_ + cfg_.gpu.kernelLaunchOverhead;
+    launchPendingBound_ = std::max(launchPendingBound_, launchReadyAt_);
     childGridsThisLaunch_ = 0;
 
     auto grid = std::make_unique<GridState>();

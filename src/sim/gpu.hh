@@ -10,6 +10,7 @@
 #define GGPU_SIM_GPU_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -291,7 +292,16 @@ class Gpu
     std::unique_ptr<ThreadPool> pool_;
     std::vector<SmOutbox> outboxes_;
     std::vector<std::uint8_t> smIssued_;
+    /** Whether any SM issued this cycle (reference loop). Set once per
+     *  worker chunk instead of writing per-core flag bytes that the
+     *  serial phase would rescan. */
+    std::atomic<bool> anySmIssued_{false};
     bool inSmPhase_ = false;
+
+    /** Scratch for DramChannel::tick completions, reused across the
+     *  three (serial-phase, non-reentrant) tick sites so the hot loop
+     *  stops allocating a vector per partition per cycle. */
+    std::vector<mem::DramCompletion> dramCompleted_;
 
     // Event-driven fast-forward state (valid while ffActive_). A core
     // with smWakeAt_[i] > now_ is asleep: its accounting is caught up
@@ -328,6 +338,12 @@ class Gpu
 
     Cycles now_ = 0;
     Cycles launchReadyAt_ = 0;
+    /** Running max of every launch-pending edge (launchReadyAt_ and
+     *  each enqueued grid's readyAt) — the O(1) answer to
+     *  launchPendingUntil(). Stale entries (dispatched grids) are
+     *  harmless: a grid leaves the queue only once now_ passed its
+     *  readyAt, and callers ignore bounds at or below now_ + 1. */
+    Cycles launchPendingBound_ = 0;
     int dispatchCursor_ = 0;
 
     /** Monotonic GridState::profileId source (host + CDP grids). */

@@ -104,6 +104,15 @@ OpStream::operator==(const OpStream &other) const
     return storage() == other.storage();
 }
 
+OpStream
+OpStream::fromShared(std::shared_ptr<std::vector<TraceOp>> ops)
+{
+    OpStream stream;
+    if (ops && !ops->empty())
+        stream.ops_ = std::move(ops);
+    return stream;
+}
+
 void
 OpStream::intern()
 {

@@ -112,6 +112,17 @@ class OpStream
      *  installed OpStreamInterner (no-op when none is installed). */
     void intern();
 
+    /**
+     * Identity of the backing vector (nullptr for an empty stream).
+     * The trace serializer keys its stream table on this, so interned
+     * sharing survives a round trip through the on-disk cache.
+     */
+    const std::vector<TraceOp> *backing() const { return ops_.get(); }
+
+    /** Build a stream around an existing (possibly shared) vector —
+     *  the deserializer's path to reconstructing interned sharing. */
+    static OpStream fromShared(std::shared_ptr<std::vector<TraceOp>> ops);
+
   private:
     const std::vector<TraceOp> &storage() const;
     void ensureUnique();

@@ -1,0 +1,458 @@
+#include "sim/trace_serialize.hh"
+
+#include <bit>
+#include <cstring>
+#include <unordered_map>
+
+namespace ggpu::sim
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'G', 'G', 'P', 'U', 'T', 'R', 'B', '\0'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+// ---- Writer --------------------------------------------------------
+
+/** Appends little-endian fields to a byte buffer. Writing byte-wise
+ *  keeps the image independent of host struct layout and padding. */
+class Writer
+{
+  public:
+    explicit Writer(std::string &out) : out_(out) {}
+
+    void u8(std::uint8_t v) { out_.push_back(char(v)); }
+
+    void u16(std::uint16_t v)
+    {
+        u8(std::uint8_t(v));
+        u8(std::uint8_t(v >> 8));
+    }
+
+    void u32(std::uint32_t v)
+    {
+        u16(std::uint16_t(v));
+        u16(std::uint16_t(v >> 16));
+    }
+
+    void u64(std::uint64_t v)
+    {
+        u32(std::uint32_t(v));
+        u32(std::uint32_t(v >> 32));
+    }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        out_.append(s);
+    }
+
+  private:
+    std::string &out_;
+};
+
+// ---- Reader --------------------------------------------------------
+
+/** Bounds-checked little-endian reader. Every accessor reports failure
+ *  through ok() instead of reading past the end, so corrupt or
+ *  truncated images degrade to a clean reject. */
+class Reader
+{
+  public:
+    Reader(const char *data, std::size_t size) : data_(data), size_(size) {}
+
+    bool ok() const { return ok_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+    std::uint8_t u8()
+    {
+        if (!need(1))
+            return 0;
+        return std::uint8_t(data_[pos_++]);
+    }
+
+    std::uint16_t u16()
+    {
+        std::uint16_t lo = u8();
+        return std::uint16_t(lo | (std::uint16_t(u8()) << 8));
+    }
+
+    std::uint32_t u32()
+    {
+        std::uint32_t lo = u16();
+        return lo | (std::uint32_t(u16()) << 16);
+    }
+
+    std::uint64_t u64()
+    {
+        std::uint64_t lo = u32();
+        return lo | (std::uint64_t(u32()) << 32);
+    }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string str()
+    {
+        std::uint64_t len = u64();
+        if (!need(len))
+            return {};
+        std::string s(data_ + pos_, std::size_t(len));
+        pos_ += std::size_t(len);
+        return s;
+    }
+
+    /** Element count for a sequence whose entries occupy at least
+     *  @p minBytesEach — rejects counts the remaining bytes cannot
+     *  possibly hold, so a corrupt length cannot trigger a huge
+     *  allocation. */
+    std::uint64_t count(std::size_t minBytesEach)
+    {
+        std::uint64_t n = u64();
+        if (ok_ && minBytesEach != 0 && n > remaining() / minBytesEach)
+            ok_ = false;
+        return ok_ ? n : 0;
+    }
+
+  private:
+    bool need(std::uint64_t bytes)
+    {
+        if (!ok_ || bytes > remaining())
+            ok_ = false;
+        return ok_;
+    }
+
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// ---- Payload encoding ----------------------------------------------
+
+/** Table of canonical op-stream vectors, keyed on backing identity so
+ *  streams interned together serialize as one table entry. */
+class StreamTable
+{
+  public:
+    explicit StreamTable(const TraceBundle &bundle)
+    {
+        for (const KernelTrace &kernel : bundle.kernels)
+            for (const CtaTrace &cta : kernel.ctas)
+                collect(cta);
+    }
+
+    /** 0 = empty stream; entry i is index i+1. */
+    std::uint64_t indexOf(const OpStream &ops) const
+    {
+        if (ops.empty())
+            return 0;
+        return index_.at(ops.backing());
+    }
+
+    const std::vector<const std::vector<TraceOp> *> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    void collect(const CtaTrace &cta)
+    {
+        for (const WarpTrace &warp : cta.warps) {
+            const std::vector<TraceOp> *backing = warp.ops.backing();
+            if (backing == nullptr || backing->empty())
+                continue;
+            if (index_.emplace(backing, entries_.size() + 1).second)
+                entries_.push_back(backing);
+        }
+        for (const auto &child : cta.children)
+            for (const CtaTrace &child_cta : child->ctas)
+                collect(child_cta);
+    }
+
+    std::unordered_map<const std::vector<TraceOp> *, std::uint64_t> index_;
+    std::vector<const std::vector<TraceOp> *> entries_;
+};
+
+void
+putOp(Writer &w, const TraceOp &op)
+{
+    w.u8(std::uint8_t(op.kind));
+    w.u8(std::uint8_t(op.space));
+    w.u16(op.repeat);
+    w.u32(op.mask);
+    w.u32(std::uint32_t(op.dep));
+    w.u32(op.txBegin);
+    w.u16(op.txCount);
+    w.u16(op.bytesPerLane);
+    w.u32(op.child);
+}
+
+void
+putSpec(Writer &w, const LaunchSpec &spec)
+{
+    w.str(spec.name);
+    w.u32(spec.grid.x);
+    w.u32(spec.grid.y);
+    w.u32(spec.grid.z);
+    w.u32(spec.cta.x);
+    w.u32(spec.cta.y);
+    w.u32(spec.cta.z);
+    w.u32(spec.res.regsPerThread);
+    w.u32(spec.res.smemPerCtaBytes);
+    w.u32(spec.res.constBytes);
+    w.u32(spec.numParams);
+    // spec.body intentionally omitted: replay never calls kernel code.
+}
+
+void putCta(Writer &w, const CtaTrace &cta, const StreamTable &streams);
+
+void
+putChild(Writer &w, const ChildGrid &child, const StreamTable &streams)
+{
+    putSpec(w, child.spec);
+    w.u64(child.ctas.size());
+    for (const CtaTrace &cta : child.ctas)
+        putCta(w, cta, streams);
+}
+
+void
+putCta(Writer &w, const CtaTrace &cta, const StreamTable &streams)
+{
+    w.u64(cta.warps.size());
+    for (const WarpTrace &warp : cta.warps) {
+        w.u64(streams.indexOf(warp.ops));
+        w.u64(warp.transactions.size());
+        for (Addr addr : warp.transactions)
+            w.u64(addr);
+    }
+    w.u64(cta.children.size());
+    for (const auto &child : cta.children)
+        putChild(w, *child, streams);
+}
+
+// ---- Payload decoding ----------------------------------------------
+
+using StreamPool = std::vector<std::shared_ptr<std::vector<TraceOp>>>;
+
+TraceOp
+getOp(Reader &r)
+{
+    TraceOp op;
+    op.kind = OpKind(r.u8());
+    op.space = MemSpace(r.u8());
+    op.repeat = r.u16();
+    op.mask = r.u32();
+    op.dep = std::int32_t(r.u32());
+    op.txBegin = r.u32();
+    op.txCount = r.u16();
+    op.bytesPerLane = r.u16();
+    op.child = r.u32();
+    return op;
+}
+
+LaunchSpec
+getSpec(Reader &r)
+{
+    LaunchSpec spec;
+    spec.name = r.str();
+    spec.grid.x = r.u32();
+    spec.grid.y = r.u32();
+    spec.grid.z = r.u32();
+    spec.cta.x = r.u32();
+    spec.cta.y = r.u32();
+    spec.cta.z = r.u32();
+    spec.res.regsPerThread = r.u32();
+    spec.res.smemPerCtaBytes = r.u32();
+    spec.res.constBytes = r.u32();
+    spec.numParams = r.u32();
+    return spec;
+}
+
+bool getCta(Reader &r, CtaTrace &cta, const StreamPool &pool);
+
+bool
+getChild(Reader &r, ChildGrid &child, const StreamPool &pool)
+{
+    child.spec = getSpec(r);
+    std::uint64_t ctas = r.count(8);
+    child.ctas.resize(std::size_t(ctas));
+    for (CtaTrace &cta : child.ctas)
+        if (!getCta(r, cta, pool))
+            return false;
+    return r.ok();
+}
+
+bool
+getCta(Reader &r, CtaTrace &cta, const StreamPool &pool)
+{
+    std::uint64_t warps = r.count(16);
+    cta.warps.resize(std::size_t(warps));
+    for (WarpTrace &warp : cta.warps) {
+        std::uint64_t stream = r.u64();
+        if (stream > pool.size()) {
+            return false;
+        } else if (stream != 0) {
+            warp.ops = OpStream::fromShared(pool[std::size_t(stream - 1)]);
+        }
+        std::uint64_t txs = r.count(8);
+        warp.transactions.resize(std::size_t(txs));
+        for (Addr &addr : warp.transactions)
+            addr = r.u64();
+    }
+    std::uint64_t children = r.count(8);
+    cta.children.resize(std::size_t(children));
+    for (auto &child : cta.children) {
+        child = std::make_unique<ChildGrid>();
+        if (!getChild(r, *child, pool))
+            return false;
+    }
+    return r.ok();
+}
+
+bool
+fail(std::string *error, const char *reason)
+{
+    if (error != nullptr)
+        *error = reason;
+    return false;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t bytes, std::uint64_t seed)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::string
+serializeBundle(const TraceBundle &bundle)
+{
+    std::string payload;
+    Writer w(payload);
+
+    w.str(bundle.app);
+    w.u8(bundle.cdp ? 1 : 0);
+    w.u32(bundle.lineBytes);
+    w.u8(bundle.verified ? 1 : 0);
+    w.str(bundle.detail);
+    w.f64(bundle.cpuReferenceSeconds);
+    putSpec(w, bundle.primarySpec);
+
+    w.u64(bundle.commands.size());
+    for (const TraceCommand &cmd : bundle.commands) {
+        w.u8(std::uint8_t(cmd.kind));
+        w.u64(cmd.bytes);
+        w.u64(cmd.kernel);
+    }
+
+    StreamTable streams(bundle);
+    w.u64(streams.entries().size());
+    for (const std::vector<TraceOp> *entry : streams.entries()) {
+        w.u64(entry->size());
+        for (const TraceOp &op : *entry)
+            putOp(w, op);
+    }
+
+    w.u64(bundle.kernels.size());
+    for (const KernelTrace &kernel : bundle.kernels) {
+        putSpec(w, kernel.spec);
+        w.u64(kernel.ctas.size());
+        for (const CtaTrace &cta : kernel.ctas)
+            putCta(w, cta, streams);
+    }
+
+    std::string image;
+    image.reserve(kHeaderBytes + payload.size());
+    image.append(kMagic, sizeof(kMagic));
+    Writer header(image);
+    header.u32(traceWireVersion);
+    header.u64(payload.size());
+    header.u64(fnv1a64(payload.data(), payload.size()));
+    image.append(payload);
+    return image;
+}
+
+bool
+deserializeBundle(const std::string &data, TraceBundle &out,
+                  std::string *error)
+{
+    if (data.size() < kHeaderBytes)
+        return fail(error, "truncated header");
+    if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0)
+        return fail(error, "bad magic");
+
+    Reader header(data.data() + sizeof(kMagic),
+                  kHeaderBytes - sizeof(kMagic));
+    std::uint32_t version = header.u32();
+    std::uint64_t payload_size = header.u64();
+    std::uint64_t checksum = header.u64();
+    if (version != traceWireVersion)
+        return fail(error, "wire version mismatch");
+    if (payload_size != data.size() - kHeaderBytes)
+        return fail(error, "payload size mismatch");
+
+    const char *payload = data.data() + kHeaderBytes;
+    if (fnv1a64(payload, std::size_t(payload_size)) != checksum)
+        return fail(error, "checksum mismatch");
+
+    Reader r(payload, std::size_t(payload_size));
+    TraceBundle bundle;
+    bundle.app = r.str();
+    bundle.cdp = r.u8() != 0;
+    bundle.lineBytes = r.u32();
+    bundle.verified = r.u8() != 0;
+    bundle.detail = r.str();
+    bundle.cpuReferenceSeconds = r.f64();
+    bundle.primarySpec = getSpec(r);
+
+    std::uint64_t commands = r.count(17);
+    bundle.commands.resize(std::size_t(commands));
+    for (TraceCommand &cmd : bundle.commands) {
+        cmd.kind = TraceCommand::Kind(r.u8());
+        cmd.bytes = r.u64();
+        cmd.kernel = std::size_t(r.u64());
+    }
+
+    StreamPool pool;
+    std::uint64_t stream_entries = r.count(8);
+    pool.reserve(std::size_t(stream_entries));
+    for (std::uint64_t i = 0; i < stream_entries && r.ok(); ++i) {
+        std::uint64_t ops = r.count(22);
+        auto vec = std::make_shared<std::vector<TraceOp>>();
+        vec->resize(std::size_t(ops));
+        for (TraceOp &op : *vec)
+            op = getOp(r);
+        pool.push_back(std::move(vec));
+    }
+
+    std::uint64_t kernels = r.count(8);
+    bundle.kernels.resize(std::size_t(kernels));
+    for (KernelTrace &kernel : bundle.kernels) {
+        kernel.spec = getSpec(r);
+        std::uint64_t ctas = r.count(8);
+        kernel.ctas.resize(std::size_t(ctas));
+        for (CtaTrace &cta : kernel.ctas)
+            if (!getCta(r, cta, pool))
+                return fail(error, "corrupt trace structure");
+    }
+
+    if (!r.ok())
+        return fail(error, "corrupt trace structure");
+    if (r.remaining() != 0)
+        return fail(error, "trailing bytes after payload");
+
+    out = std::move(bundle);
+    return true;
+}
+
+} // namespace ggpu::sim

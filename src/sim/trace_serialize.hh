@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary wire format for sim::TraceBundle — the unit the persistent
+ * trace cache (core::TraceStore with GGPU_TRACE_CACHE) stores on disk
+ * so emission and CPU verification happen once per cache key across
+ * any number of processes.
+ *
+ * Layout: an 8-byte magic, the format version, the payload size and an
+ * FNV-1a checksum of the payload, then the payload itself with every
+ * integer written little-endian byte-by-byte (no struct dumps, so the
+ * format is independent of compiler padding). Duplicate warp op
+ * streams are written once through a stream table keyed on the
+ * interner's canonical vectors, and loads reconstruct the same
+ * sharing, so a cached bundle costs the same memory as a fresh one.
+ *
+ * KernelBody pointers are deliberately NOT serialized: a bundle is a
+ * pre-emitted artifact and replay (`timeTrace`) never calls back into
+ * kernel code. Loaded LaunchSpecs carry a null body.
+ */
+
+#ifndef GGPU_SIM_TRACE_SERIALIZE_HH
+#define GGPU_SIM_TRACE_SERIALIZE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/trace.hh"
+
+namespace ggpu::sim
+{
+
+/**
+ * Version of the on-disk trace wire format. Bump on ANY change to the
+ * serialized layout or to trace semantics (TraceOp fields, emission
+ * ordering, ...): the cache key incorporates it, so old entries become
+ * unreachable instead of being misread.
+ */
+constexpr std::uint32_t traceWireVersion = 1;
+
+/** Serialize @p bundle to its on-disk byte image (header + payload). */
+std::string serializeBundle(const TraceBundle &bundle);
+
+/**
+ * Parse @p data into @p out. Returns false (leaving @p out
+ * unspecified) when the image is truncated, corrupt (checksum or
+ * structural mismatch), or carries a different wire version; @p error
+ * receives a one-line reason. Never throws on malformed input.
+ */
+bool deserializeBundle(const std::string &data, TraceBundle &out,
+                       std::string *error = nullptr);
+
+/** FNV-1a 64-bit hash (the checksum/key hash used by the cache). */
+std::uint64_t fnv1a64(const void *data, std::size_t bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+} // namespace ggpu::sim
+
+#endif // GGPU_SIM_TRACE_SERIALIZE_HH

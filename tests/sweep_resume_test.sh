@@ -1,0 +1,86 @@
+#!/bin/sh
+# End-to-end resume test for ggpu_sweep (ISSUE 7 acceptance):
+#
+#  A. one uninterrupted single-worker sweep -> reference artifact;
+#  B. a two-worker sweep killed after its first completed point, then
+#     resumed with the identical command -> json/BENCH_sweep.json must
+#     be byte-identical to A's (both runs share one trace cache, so
+#     even the recorded CPU-reference seconds agree), every point
+#     present exactly once, and the summary must validate;
+#  C. a two-worker sweep over a fresh cache -> the summed store
+#     counters must show exactly one emission per distinct trace key.
+#
+# Usage: sweep_resume_test.sh <ggpu_sweep> <ggpu_metrics_tool>
+set -eu
+
+SWEEP=$1
+TOOL=$2
+OUT=sweep_resume_out
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+# 2 apps x 2 variants x 2 line sizes x 2 L2 sizes = 16 points over
+# 8 trace keys (L2 is timing-only, so it shares emissions).
+GRID="--apps SW,NW --cdp both --scale tiny \
+      --axis-line-bytes 64,128 --axis-l2 1048576,4194304"
+GGPU_TRACE_CACHE="$OUT/cache"
+export GGPU_TRACE_CACHE
+
+# --- Run A: uninterrupted reference -------------------------------
+"$SWEEP" --dir "$OUT/a" --workers 1 $GRID > /dev/null
+
+# --- Run B: kill mid-sweep, then resume ---------------------------
+# setsid makes the orchestrator a process-group leader so one signal
+# takes down it and both workers, like a job-scheduler preemption.
+setsid "$SWEEP" --dir "$OUT/b" --workers 2 $GRID > /dev/null 2>&1 &
+PID=$!
+tries=0
+while ! grep -q "^done " "$OUT/b/journal.log" 2>/dev/null; do
+    kill -0 "$PID" 2>/dev/null || break   # finished before the kill
+    tries=$((tries + 1))
+    if [ "$tries" -gt 1200 ]; then
+        echo "FAIL: run B made no progress" >&2
+        kill -TERM -- "-$PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+kill -TERM -- "-$PID" 2>/dev/null || true
+wait "$PID" 2>/dev/null || true
+
+"$SWEEP" --dir "$OUT/b" --workers 2 $GRID > /dev/null
+
+# --- Byte-identity + exactly-once ---------------------------------
+cmp "$OUT/a/json/BENCH_sweep.json" "$OUT/b/json/BENCH_sweep.json" || {
+    echo "FAIL: resumed artifact differs from uninterrupted run" >&2
+    exit 1
+}
+"$TOOL" validate "$OUT/b/json/BENCH_sweep.json" > /dev/null
+runs=$(grep -c '"app"' "$OUT/b/json/BENCH_sweep.json")
+if [ "$runs" -ne 16 ]; then
+    echo "FAIL: expected 16 runs exactly once, got $runs" >&2
+    exit 1
+fi
+grep -q '"done": 16' "$OUT/b/SWEEP_STATS.json" || {
+    echo "FAIL: run B summary does not report 16 done points" >&2
+    exit 1
+}
+grep -q '"sweep"' "$OUT/b/BENCH_SUMMARY.json" || {
+    echo "FAIL: merged summary lacks the sweep counters section" >&2
+    exit 1
+}
+
+# --- Run C: one emission per key across two fresh workers ---------
+env GGPU_TRACE_CACHE="$OUT/cache_c" \
+    "$SWEEP" --dir "$OUT/c" --workers 2 $GRID > /dev/null
+grep -q '"distinct_trace_keys": 8' "$OUT/c/SWEEP_STATS.json" || {
+    echo "FAIL: expected 8 distinct trace keys" >&2
+    exit 1
+}
+grep -q '"emissions": 8' "$OUT/c/SWEEP_STATS.json" || {
+    echo "FAIL: expected exactly 8 emissions (one per key):" >&2
+    cat "$OUT/c/SWEEP_STATS.json" >&2
+    exit 1
+}
+
+echo "sweep resume test: ok"

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for ggpu_sweep's journaled work queue: claim/done flow,
+ * resume from the journal alone, stale-claim requeue via the liveness
+ * probe, the retry-once-then-exhausted policy, and tolerance of a torn
+ * final journal line (a writer killed mid-append).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "work_queue.hh"
+
+namespace fs = std::filesystem;
+using ggpu::tools::ClaimResult;
+using ggpu::tools::WorkQueue;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "sweep_queue_test/" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(SweepQueue, ClaimRunDoneDrainsInOrder)
+{
+    const std::string dir = freshDir("drain");
+    WorkQueue queue(dir, 3);
+    const pid_t self = ::getpid();
+    for (std::size_t expect = 0; expect < 3; ++expect) {
+        std::size_t index = 99;
+        int prior = -1;
+        ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+        EXPECT_EQ(index, expect);  // Deterministic point order
+        EXPECT_EQ(prior, 0);
+        queue.markDone(index, self);
+    }
+    std::size_t index = 0;
+    int prior = 0;
+    EXPECT_EQ(queue.claim(self, index, prior), ClaimResult::NothingLeft);
+    EXPECT_TRUE(queue.allDone());
+    EXPECT_TRUE(queue.exhaustedPoints().empty());
+}
+
+TEST(SweepQueue, FreshInstanceResumesFromJournal)
+{
+    const std::string dir = freshDir("resume");
+    const pid_t self = ::getpid();
+    {
+        WorkQueue queue(dir, 3);
+        std::size_t index = 0;
+        int prior = 0;
+        ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+        queue.markDone(index, self);
+    }
+    // A second orchestrator invocation sees point 0 done and hands out
+    // the remaining two.
+    WorkQueue queue(dir, 3);
+    queue.reload();
+    EXPECT_EQ(queue.doneCount(), 1u);
+    std::size_t index = 0;
+    int prior = 0;
+    ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+    EXPECT_EQ(index, 1u);
+}
+
+TEST(SweepQueue, StaleClaimFromDeadPidIsRequeued)
+{
+    const std::string dir = freshDir("stale");
+    WorkQueue queue(dir, 1);
+    std::size_t index = 0;
+    int prior = 0;
+    ASSERT_EQ(queue.claim(12345, index, prior), ClaimResult::Claimed);
+
+    // While the claimant "lives", the point is unavailable.
+    queue.setLiveProbe([](pid_t) { return true; });
+    EXPECT_EQ(queue.claim(::getpid(), index, prior),
+              ClaimResult::WaitAndRetry);
+
+    // Once it dies, the same point is claimable again and the caller
+    // learns it is a retry (prior attempt count > 0).
+    queue.setLiveProbe([](pid_t) { return false; });
+    ASSERT_EQ(queue.claim(::getpid(), index, prior),
+              ClaimResult::Claimed);
+    EXPECT_EQ(index, 0u);
+    EXPECT_EQ(prior, 1);
+}
+
+TEST(SweepQueue, FailedPointRetriesOnceThenExhausts)
+{
+    const std::string dir = freshDir("retry");
+    WorkQueue queue(dir, 1, 2);
+    const pid_t self = ::getpid();
+    std::size_t index = 0;
+    int prior = 0;
+
+    ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+    queue.markFailed(index, self, "simulated crash\nwith newline");
+    ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+    EXPECT_EQ(prior, 1);
+    queue.markFailed(index, self, "second failure");
+
+    EXPECT_EQ(queue.claim(self, index, prior), ClaimResult::NothingLeft);
+    queue.reload();
+    EXPECT_FALSE(queue.allDone());
+    ASSERT_EQ(queue.exhaustedPoints().size(), 1u);
+    EXPECT_EQ(queue.exhaustedPoints()[0], 0u);
+    EXPECT_EQ(queue.states()[0].failures, 2);
+}
+
+TEST(SweepQueue, TornFinalJournalLineIsIgnored)
+{
+    const std::string dir = freshDir("torn");
+    const pid_t self = ::getpid();
+    {
+        WorkQueue queue(dir, 2);
+        std::size_t index = 0;
+        int prior = 0;
+        ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+        queue.markDone(index, self);
+    }
+    // A writer killed mid-append leaves a partial record with no
+    // trailing newline; replay must skip it, not misparse it.
+    {
+        std::ofstream os(dir + "/journal.log",
+                         std::ios::app | std::ios::binary);
+        os << "done 1";
+    }
+    WorkQueue queue(dir, 2);
+    queue.reload();
+    EXPECT_EQ(queue.doneCount(), 1u);
+    std::size_t index = 0;
+    int prior = 0;
+    ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+    EXPECT_EQ(index, 1u);
+}

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Contract tests for the persistent trace cache (core::TraceStore's
+ * disk layer): a cold miss emits and persists, a warm hit in a fresh
+ * store loads a byte-identical bundle without re-emitting, damaged or
+ * stale-format files are rejected and re-emitted, and bundles that
+ * failed functional verification are never persisted or silently
+ * reused (FatalError under GGPU_STRICT_VERIFY=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/log.hh"
+#include "core/trace_store.hh"
+#include "sim/trace_serialize.hh"
+
+namespace fs = std::filesystem;
+using ggpu::core::TraceStore;
+using ggpu::kernels::AppOptions;
+using ggpu::sim::TraceBundle;
+
+namespace
+{
+
+AppOptions
+tinyOptions()
+{
+    AppOptions options;
+    options.scale = ggpu::kernels::InputScale::Tiny;
+    return options;
+}
+
+/** Fresh per-test cache directory under the build tree. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "trace_cache_test/" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(bool(in)) << path;
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), std::streamsize(bytes.size()));
+    ASSERT_TRUE(bool(out)) << path;
+}
+
+} // namespace
+
+TEST(TraceCache, ColdMissEmitsAndPersists)
+{
+    const std::string dir = freshDir("cold");
+    TraceStore store(dir);
+    const TraceBundle &bundle = store.get("SW", tinyOptions(), 128);
+    EXPECT_TRUE(bundle.verified) << bundle.detail;
+    EXPECT_EQ(store.emissions(), 1u);
+    EXPECT_EQ(store.diskHits(), 0u);
+    EXPECT_EQ(store.diskStores(), 1u);
+    const std::string path = store.cacheFilePath("SW", tinyOptions(), 128);
+    ASSERT_FALSE(path.empty());
+    EXPECT_TRUE(fs::exists(path));
+
+    // Second get() in the same store is an in-memory hit.
+    store.get("SW", tinyOptions(), 128);
+    EXPECT_EQ(store.emissions(), 1u);
+    EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(TraceCache, WarmHitAcrossProcessesIsByteIdentical)
+{
+    const std::string dir = freshDir("warm");
+    std::string first_bytes;
+    {
+        TraceStore store(dir);
+        first_bytes =
+            ggpu::sim::serializeBundle(store.get("SW", tinyOptions(), 128));
+        EXPECT_EQ(store.emissions(), 1u);
+    }
+    // A fresh store over the same directory models a second process:
+    // it must load, not re-emit, and see the exact same bundle.
+    TraceStore second(dir);
+    const TraceBundle &loaded = second.get("SW", tinyOptions(), 128);
+    EXPECT_EQ(second.emissions(), 0u);
+    EXPECT_EQ(second.diskHits(), 1u);
+    EXPECT_TRUE(loaded.verified);
+    EXPECT_EQ(ggpu::sim::serializeBundle(loaded), first_bytes);
+}
+
+TEST(TraceCache, TruncatedFileRejectedAndReemitted)
+{
+    const std::string dir = freshDir("truncated");
+    std::string path;
+    {
+        TraceStore store(dir);
+        store.get("SW", tinyOptions(), 128);
+        path = store.cacheFilePath("SW", tinyOptions(), 128);
+    }
+    const std::string bytes = readFile(path);
+    writeFile(path, bytes.substr(0, bytes.size() / 2));
+
+    TraceStore store(dir);
+    const TraceBundle &bundle = store.get("SW", tinyOptions(), 128);
+    EXPECT_TRUE(bundle.verified);
+    EXPECT_EQ(store.corruptRejects(), 1u);
+    EXPECT_EQ(store.diskHits(), 0u);
+    EXPECT_EQ(store.emissions(), 1u);
+    // The re-emission repaired the entry for the next process (the
+    // bytes may differ only in the recorded reference wall time).
+    EXPECT_EQ(store.diskStores(), 1u);
+    TraceBundle repaired;
+    std::string error;
+    ASSERT_TRUE(
+        ggpu::sim::deserializeBundle(readFile(path), repaired, &error))
+        << error;
+    EXPECT_TRUE(repaired.verified);
+}
+
+TEST(TraceCache, BitFlippedPayloadRejectedByChecksum)
+{
+    const std::string dir = freshDir("bitflip");
+    std::string path;
+    {
+        TraceStore store(dir);
+        store.get("SW", tinyOptions(), 128);
+        path = store.cacheFilePath("SW", tinyOptions(), 128);
+    }
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] = char(bytes[bytes.size() / 2] ^ 0x40);
+    writeFile(path, bytes);
+
+    TraceStore store(dir);
+    EXPECT_TRUE(store.get("SW", tinyOptions(), 128).verified);
+    EXPECT_EQ(store.corruptRejects(), 1u);
+    EXPECT_EQ(store.emissions(), 1u);
+}
+
+TEST(TraceCache, FormatVersionBumpInvalidatesOldEntries)
+{
+    const std::string dir = freshDir("version");
+    std::string path;
+    {
+        TraceStore store(dir);
+        store.get("SW", tinyOptions(), 128);
+        path = store.cacheFilePath("SW", tinyOptions(), 128);
+    }
+    // Pretend the file was written by a future format: the u32 wire
+    // version lives right after the 8-byte magic.
+    std::string bytes = readFile(path);
+    ASSERT_GT(bytes.size(), 12u);
+    bytes[8] = char(bytes[8] + 1);
+    writeFile(path, bytes);
+
+    TraceStore store(dir);
+    EXPECT_TRUE(store.get("SW", tinyOptions(), 128).verified);
+    EXPECT_EQ(store.corruptRejects(), 1u);
+    EXPECT_EQ(store.emissions(), 1u);
+}
+
+TEST(TraceCache, UnverifiedBundleNeverPersistedOrReused)
+{
+    const std::string dir = freshDir("unverified");
+    TraceStore store(dir);
+    int emitted = 0;
+    store.setEmitter([&emitted](const std::string &app,
+                                const AppOptions &options,
+                                std::uint32_t line_bytes) {
+        ++emitted;
+        TraceBundle bundle =
+            ggpu::core::emitTrace(app, options, line_bytes);
+        bundle.verified = false;
+        bundle.detail = "injected verification failure";
+        return bundle;
+    });
+
+    const TraceBundle &first = store.get("SW", tinyOptions(), 128);
+    EXPECT_FALSE(first.verified);
+    EXPECT_EQ(store.diskStores(), 0u);
+    EXPECT_FALSE(
+        fs::exists(store.cacheFilePath("SW", tinyOptions(), 128)));
+
+    // No silent reuse: the same key re-emits (the failure may be
+    // input-dependent and the caller must see a fresh attempt).
+    store.get("SW", tinyOptions(), 128);
+    EXPECT_EQ(emitted, 2);
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.diskStores(), 0u);
+}
+
+TEST(TraceCache, StrictVerifyTurnsUnverifiedIntoFatal)
+{
+    const std::string dir = freshDir("strict");
+    TraceStore store(dir);
+    store.setEmitter([](const std::string &app, const AppOptions &options,
+                        std::uint32_t line_bytes) {
+        TraceBundle bundle =
+            ggpu::core::emitTrace(app, options, line_bytes);
+        bundle.verified = false;
+        return bundle;
+    });
+
+    ::setenv("GGPU_STRICT_VERIFY", "1", 1);
+    EXPECT_THROW(store.get("SW", tinyOptions(), 128), ggpu::FatalError);
+    ::unsetenv("GGPU_STRICT_VERIFY");
+    EXPECT_EQ(store.diskStores(), 0u);
+}
+
+TEST(TraceCache, SerializeRoundTripPreservesReplay)
+{
+    // Byte-level round trip independent of the disk layer: serialize,
+    // deserialize, and re-serialize must be a fixed point.
+    const TraceBundle bundle =
+        ggpu::core::emitTrace("NW", tinyOptions(), 128);
+    const std::string bytes = ggpu::sim::serializeBundle(bundle);
+    TraceBundle decoded;
+    std::string error;
+    ASSERT_TRUE(ggpu::sim::deserializeBundle(bytes, decoded, &error))
+        << error;
+    EXPECT_EQ(decoded.app, bundle.app);
+    EXPECT_EQ(decoded.kernels.size(), bundle.kernels.size());
+    EXPECT_EQ(ggpu::sim::serializeBundle(decoded), bytes);
+}

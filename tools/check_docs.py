@@ -112,7 +112,9 @@ def check_file(root, md, targets, errors):
             if any(ch in token for ch in "<>*{}$ "):
                 continue  # placeholder or command, not a reference
             if token.startswith(PATH_PREFIXES) and "/" in token:
-                if not path_exists(root, token):
+                # Allow `path/file.cc:123` line references.
+                bare = re.sub(r":\d+$", "", token)
+                if not path_exists(root, bare):
                     errors.append(
                         f"{md}:{number}: path '{token}' not in repo")
             elif TARGET_RE.match(token):

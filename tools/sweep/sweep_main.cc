@@ -1,0 +1,487 @@
+/**
+ * @file
+ * `ggpu_sweep` — multi-process sweep orchestrator. One invocation
+ * expands a config grid (or the default full-suite sweep) into an
+ * ordered point list, fans the points across worker processes through
+ * the journaled work queue, and merges the per-point results into
+ * `json/BENCH_sweep.json` + `BENCH_SUMMARY.json` via the same
+ * validate/merge path `ggpu_metrics_tool merge` uses.
+ *
+ * The sweep directory is the whole state: `spec.json` (the expanded
+ * grid, checked on resume), `points.list`, `journal.log` +
+ * `queue.lock` (the work queue), `results/POINT_*.json` (one
+ * atomically written artifact per completed point), `workers/`
+ * (pid + per-worker store counters), `trace_cache/` (the default
+ * `GGPU_TRACE_CACHE` directory, so every worker of every invocation
+ * pays emission once per key). Killing any process and re-running the
+ * identical command resumes: completed points are never re-run, stale
+ * claims are requeued, failed points retry once with a backoff.
+ *
+ * Exit status: 0 all points done and merged; 3 incomplete (re-run to
+ * resume); 1 points exhausted their attempts or hard error.
+ */
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/metrics.hh"
+#include "core/metrics_merge.hh"
+#include "core/trace_store.hh"
+#include "sim/trace_serialize.hh"
+#include "sweep_points.hh"
+#include "work_queue.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+using ggpu::core::json::Value;
+using ggpu::tools::ClaimResult;
+using ggpu::tools::SweepPoint;
+using ggpu::tools::SweepSpec;
+using ggpu::tools::WorkQueue;
+
+struct Cli
+{
+    bool workerMode = false;
+    int workerId = 0;
+    std::string dir;
+    int workers = 1;
+    int backoffMs = 200;
+    int staggerMs = 0;  //!< Test hook: worker i sleeps i * stagger ms
+    SweepSpec spec;
+};
+
+std::vector<std::string>
+splitList(const std::string &arg)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream is(arg);
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+std::vector<std::uint32_t>
+splitU32List(const std::string &arg)
+{
+    std::vector<std::uint32_t> out;
+    for (const auto &item : splitList(arg))
+        out.push_back(std::uint32_t(std::stoull(item)));
+    return out;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: ggpu_sweep --dir <dir> [options]\n"
+        << "\n"
+        << "grid options (defaults: full suite, both variants, one\n"
+        << "baseline timing config):\n"
+        << "  --apps SW,NW,...          apps to sweep (Table III codes)\n"
+        << "  --cdp base|cdp|both       launch variants\n"
+        << "  --scale tiny|small|medium input scale\n"
+        << "  --seed N                  dataset seed\n"
+        << "  --threads N               engine lanes per point\n"
+        << "  --axis-line-bytes A,B     coalescing line sizes\n"
+        << "  --axis-l1 A,B             L1 sizes (bytes)\n"
+        << "  --axis-l2 A,B             L2 sizes (bytes)\n"
+        << "  --axis-warp-sched A,B     lrr/gto/oldest/twolevel\n"
+        << "  --axis-mem-sched A,B      frfcfs/fifo/ooo128\n"
+        << "  --axis-topology A,B       xbar/mesh/fattree/butterfly\n"
+        << "\n"
+        << "execution options:\n"
+        << "  --workers N               worker processes (default 1)\n"
+        << "  --backoff-ms N            retry backoff (default 200)\n"
+        << "  --stagger-ms N            delay worker i by i*N ms\n";
+    return 2;
+}
+
+bool
+parseCli(const std::vector<std::string> &args, Cli &cli)
+{
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        auto next = [&]() -> const std::string & {
+            if (i + 1 >= args.size())
+                ggpu::fatal("", arg, " needs a value");
+            return args[++i];
+        };
+        if (arg == "--worker")
+            cli.workerMode = true;
+        else if (arg == "--id")
+            cli.workerId = std::stoi(next());
+        else if (arg == "--dir")
+            cli.dir = next();
+        else if (arg == "--workers")
+            cli.workers = std::stoi(next());
+        else if (arg == "--backoff-ms")
+            cli.backoffMs = std::stoi(next());
+        else if (arg == "--stagger-ms")
+            cli.staggerMs = std::stoi(next());
+        else if (arg == "--apps")
+            cli.spec.apps = splitList(next());
+        else if (arg == "--cdp")
+            cli.spec.cdpMode = next();
+        else if (arg == "--scale")
+            cli.spec.scale = next();
+        else if (arg == "--seed")
+            cli.spec.seed = std::stoull(next());
+        else if (arg == "--threads")
+            cli.spec.threads = std::stoi(next());
+        else if (arg == "--axis-line-bytes")
+            cli.spec.lineBytes = splitU32List(next());
+        else if (arg == "--axis-l1")
+            cli.spec.l1SizeBytes = splitU32List(next());
+        else if (arg == "--axis-l2")
+            cli.spec.l2SizeBytes = splitU32List(next());
+        else if (arg == "--axis-warp-sched")
+            cli.spec.warpSched = splitList(next());
+        else if (arg == "--axis-mem-sched")
+            cli.spec.memSched = splitList(next());
+        else if (arg == "--axis-topology")
+            cli.spec.topology = splitList(next());
+        else
+            return false;
+    }
+    if (cli.dir.empty())
+        return false;
+    if (cli.workers < 1)
+        ggpu::fatal("--workers must be >= 1");
+    return true;
+}
+
+std::string
+resultPath(const std::string &dir, std::size_t index,
+           const SweepPoint &point)
+{
+    const std::string key = point.key();
+    const std::uint64_t hash = ggpu::sim::fnv1a64(key.data(), key.size());
+    char name[64];
+    std::snprintf(name, sizeof(name), "POINT_%05zu_%016llx.json", index,
+                  static_cast<unsigned long long>(hash));
+    return dir + "/results/" + name;
+}
+
+/** Default GGPU_TRACE_CACHE to the sweep's own cache directory so
+ *  every process of every invocation shares one emission store. */
+void
+defaultTraceCache(const std::string &dir)
+{
+    const char *env = std::getenv("GGPU_TRACE_CACHE");
+    if (env == nullptr || *env == '\0')
+        ::setenv("GGPU_TRACE_CACHE", (dir + "/trace_cache").c_str(), 1);
+}
+
+std::size_t
+distinctTraceKeys(const std::vector<SweepPoint> &points)
+{
+    std::set<std::string> keys;
+    for (const auto &point : points) {
+        const ggpu::core::RunConfig config = point.toRunConfig();
+        keys.insert(ggpu::core::traceStoreKey(
+            point.app, config.options, config.system.gpu.lineBytes));
+    }
+    return keys.size();
+}
+
+// ---- Worker --------------------------------------------------------
+
+int
+runWorker(const Cli &cli)
+{
+    if (cli.staggerMs > 0)
+        ::usleep(useconds_t(cli.workerId) * useconds_t(cli.staggerMs) *
+                 1000u);
+    defaultTraceCache(cli.dir);
+
+    const Value spec_doc =
+        ggpu::core::readJsonFile(cli.dir + "/spec.json");
+    const SweepSpec spec = SweepSpec::fromJson(spec_doc);
+    const std::vector<SweepPoint> points = ggpu::tools::expandPoints(spec);
+
+    ggpu::core::TraceStore store;  // Disk layer via GGPU_TRACE_CACHE.
+    WorkQueue queue(cli.dir, points.size());
+    const pid_t self = ::getpid();
+    std::uint64_t ran = 0;
+
+    while (true) {
+        std::size_t index = 0;
+        int prior_attempts = 0;
+        const ClaimResult claim = queue.claim(self, index, prior_attempts);
+        if (claim == ClaimResult::NothingLeft)
+            break;
+        if (claim == ClaimResult::WaitAndRetry) {
+            ::usleep(50 * 1000);
+            continue;
+        }
+        if (prior_attempts > 0)
+            ::usleep(useconds_t(cli.backoffMs) * 1000u);
+        const SweepPoint &point = points[index];
+        try {
+            const ggpu::core::RunConfig config = point.toRunConfig();
+            const ggpu::core::RunRecord record =
+                ggpu::core::runAppCached(store, point.app, config);
+            const Value run = ggpu::core::MetricsSink::runToJson(
+                point.label(), record);
+            // Result first, then the done record: a journaled point
+            // always has its artifact on disk.
+            ggpu::core::writeJsonFile(resultPath(cli.dir, index, point),
+                                      run);
+            queue.markDone(index, self);
+            ++ran;
+        } catch (const std::exception &e) {
+            queue.markFailed(index, self, e.what());
+        }
+    }
+
+    // Clean-exit stats: summed by the merge step to prove the sweep's
+    // one-emission-per-key economics. A killed worker never writes
+    // one, which only under-counts (never double-counts) emissions.
+    Value stats = Value::object();
+    stats.set("worker", cli.workerId);
+    stats.set("pid", std::uint64_t(self));
+    stats.set("points_run", ran);
+    stats.set("trace_store", store.countersToJson());
+    ggpu::core::writeJsonFile(cli.dir + "/workers/STATS_" +
+                                  std::to_string(self) + ".json",
+                              stats);
+    return 0;
+}
+
+// ---- Orchestrator --------------------------------------------------
+
+Value
+sweepStats(const Cli &cli, const std::vector<SweepPoint> &points,
+           WorkQueue &queue)
+{
+    queue.reload();
+    std::uint64_t attempts = 0;
+    for (const auto &state : queue.states())
+        attempts += std::uint64_t(state.attempts);
+
+    std::uint64_t emissions = 0, hits = 0, disk_hits = 0,
+                  disk_stores = 0, corrupt = 0, workers = 0;
+    for (const auto &entry :
+         fs::directory_iterator(cli.dir + "/workers")) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("STATS_", 0) != 0)
+            continue;
+        const Value doc = ggpu::core::readJsonFile(entry.path().string());
+        const Value &counters = doc.at("trace_store");
+        emissions += std::uint64_t(counters.at("emissions").asNumber());
+        hits += std::uint64_t(counters.at("hits").asNumber());
+        disk_hits += std::uint64_t(counters.at("disk_hits").asNumber());
+        disk_stores +=
+            std::uint64_t(counters.at("disk_stores").asNumber());
+        corrupt +=
+            std::uint64_t(counters.at("corrupt_rejects").asNumber());
+        ++workers;
+    }
+
+    Value counters = Value::object();
+    counters.set("emissions", emissions);
+    counters.set("hits", hits);
+    counters.set("disk_hits", disk_hits);
+    counters.set("disk_stores", disk_stores);
+    counters.set("corrupt_rejects", corrupt);
+
+    Value stats = Value::object();
+    stats.set("points", std::uint64_t(points.size()));
+    stats.set("done", std::uint64_t(queue.doneCount()));
+    stats.set("attempts", attempts);
+    stats.set("distinct_trace_keys",
+              std::uint64_t(distinctTraceKeys(points)));
+    stats.set("worker_stats_files", workers);
+    stats.set("trace_store", std::move(counters));
+    return stats;
+}
+
+void
+mergeResults(const Cli &cli, const SweepSpec &spec,
+             const std::vector<SweepPoint> &points, WorkQueue &queue)
+{
+    // The canonical artifact: every point's run in point order. Only
+    // deterministic data goes in, so a resumed sweep is byte-identical
+    // to an uninterrupted one over the same trace cache.
+    Value doc = Value::object();
+    doc.set("schema", ggpu::core::metricsSchema);
+    doc.set("figure", "sweep");
+
+    Value provenance = Value::object();
+    provenance.set("suite", "genomics-gpu");
+    provenance.set("scale", spec.scale);
+    provenance.set("threads", spec.threads);
+    Value configs = Value::array();
+    std::vector<std::string> seen;
+    for (const auto &point : points) {
+        const std::string label = point.label();
+        bool dup = false;
+        for (const auto &s : seen)
+            dup = dup || s == label;
+        if (!dup) {
+            seen.push_back(label);
+            configs.push(label);
+        }
+    }
+    provenance.set("configs", std::move(configs));
+    doc.set("provenance", std::move(provenance));
+    doc.set("series", Value::array());
+
+    Value runs = Value::array();
+    for (std::size_t i = 0; i < points.size(); ++i)
+        runs.push(
+            ggpu::core::readJsonFile(resultPath(cli.dir, i, points[i])));
+    doc.set("runs", std::move(runs));
+    ggpu::core::writeJsonFile(cli.dir + "/json/BENCH_sweep.json", doc);
+
+    // Summary through the shared metrics_tool merge path (validates
+    // every artifact), plus the sweep's own bookkeeping section.
+    Value summary = ggpu::core::mergeBenchArtifacts(cli.dir + "/json");
+    Value stats = sweepStats(cli, points, queue);
+    ggpu::core::writeJsonFile(cli.dir + "/SWEEP_STATS.json", stats);
+    summary.set("sweep", std::move(stats));
+    ggpu::core::writeJsonFile(cli.dir + "/BENCH_SUMMARY.json", summary);
+}
+
+int
+runOrchestrator(const Cli &cli)
+{
+    fs::create_directories(cli.dir);
+    fs::create_directories(cli.dir + "/results");
+    fs::create_directories(cli.dir + "/json");
+    fs::create_directories(cli.dir + "/workers");
+    defaultTraceCache(cli.dir);
+
+    std::vector<SweepPoint> points = ggpu::tools::expandPoints(cli.spec);
+    const std::string spec_path = cli.dir + "/spec.json";
+    if (fs::exists(spec_path)) {
+        // Resume: the journal indexes the original point list, so the
+        // grid must be identical — a silent re-expansion mismatch
+        // would attribute results to the wrong points.
+        const SweepSpec stored =
+            SweepSpec::fromJson(ggpu::core::readJsonFile(spec_path));
+        const std::vector<SweepPoint> stored_points =
+            ggpu::tools::expandPoints(stored);
+        if (stored_points != points)
+            ggpu::fatal("", cli.dir,
+                        " holds a different sweep (", stored_points.size(),
+                        " points); use a fresh --dir or repeat the "
+                        "original grid flags");
+    } else {
+        ggpu::core::writeJsonFile(spec_path, cli.spec.toJson());
+        std::ostringstream list;
+        for (std::size_t i = 0; i < points.size(); ++i)
+            list << i << " " << points[i].key() << "\n";
+        std::ofstream os(cli.dir + "/points.list");
+        os << list.str();
+        if (!os.flush())
+            ggpu::fatal("cannot write points.list");
+    }
+    std::cout << "[sweep] " << points.size() << " points, "
+              << distinctTraceKeys(points) << " trace keys, "
+              << cli.workers << " worker(s), dir " << cli.dir << "\n";
+
+    // Fan out: each worker is this binary re-exec'd in --worker mode,
+    // coordinating purely through the sweep directory.
+    char exe[4096];
+    const ssize_t len =
+        ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+    if (len <= 0)
+        ggpu::fatal("cannot resolve /proc/self/exe");
+    exe[len] = '\0';
+
+    std::vector<pid_t> children;
+    for (int w = 0; w < cli.workers; ++w) {
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            ggpu::fatal("fork failed");
+        if (pid == 0) {
+            const std::string id = std::to_string(w);
+            const std::string backoff = std::to_string(cli.backoffMs);
+            const std::string stagger = std::to_string(cli.staggerMs);
+            std::vector<char *> argv;
+            auto arg = [&argv](const char *s) {
+                argv.push_back(const_cast<char *>(s));
+            };
+            arg(exe);
+            arg("--worker");
+            arg("--dir");
+            arg(cli.dir.c_str());
+            arg("--id");
+            arg(id.c_str());
+            arg("--backoff-ms");
+            arg(backoff.c_str());
+            arg("--stagger-ms");
+            arg(stagger.c_str());
+            argv.push_back(nullptr);
+            ::execv(exe, argv.data());
+            std::cerr << "ggpu_sweep: execv failed\n";
+            ::_exit(127);
+        }
+        children.push_back(pid);
+        std::ofstream os(cli.dir + "/workers/worker_" +
+                         std::to_string(w) + ".pid");
+        os << pid << "\n";
+    }
+
+    for (pid_t pid : children) {
+        int status = 0;
+        while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {}
+    }
+
+    WorkQueue queue(cli.dir, points.size());
+    queue.reload();
+    const auto exhausted = queue.exhaustedPoints();
+    if (!exhausted.empty()) {
+        for (std::size_t index : exhausted)
+            std::cerr << "[sweep] point " << index << " ("
+                      << points[index].key()
+                      << ") failed every attempt\n";
+        return 1;
+    }
+    if (!queue.allDone()) {
+        std::cerr << "[sweep] incomplete: " << queue.doneCount() << "/"
+                  << points.size()
+                  << " points done; re-run the same command to resume\n";
+        return 3;
+    }
+
+    mergeResults(cli, cli.spec, points, queue);
+    std::cout << "[sweep] complete: " << points.size()
+              << " points merged into " << cli.dir
+              << "/BENCH_SUMMARY.json\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    Cli cli;
+    try {
+        if (!parseCli(args, cli))
+            return usage();
+        return cli.workerMode ? runWorker(cli) : runOrchestrator(cli);
+    } catch (const std::exception &e) {
+        std::cerr << "ggpu_sweep: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,273 @@
+#include "sweep_points.hh"
+
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ggpu::tools
+{
+
+using json::Value;
+
+namespace
+{
+
+WarpSchedPolicy
+warpSchedFromName(const std::string &name)
+{
+    if (name == "lrr")
+        return WarpSchedPolicy::Lrr;
+    if (name == "gto")
+        return WarpSchedPolicy::Gto;
+    if (name == "oldest")
+        return WarpSchedPolicy::Oldest;
+    if (name == "twolevel")
+        return WarpSchedPolicy::TwoLevel;
+    fatal("sweep: unknown warp scheduler '", name,
+          "' (lrr/gto/oldest/twolevel)");
+}
+
+MemSchedPolicy
+memSchedFromName(const std::string &name)
+{
+    if (name == "frfcfs")
+        return MemSchedPolicy::FrFcfs;
+    if (name == "fifo")
+        return MemSchedPolicy::Fifo;
+    if (name == "ooo128")
+        return MemSchedPolicy::OoO128;
+    fatal("sweep: unknown memory scheduler '", name,
+          "' (frfcfs/fifo/ooo128)");
+}
+
+NocTopology
+topologyFromName(const std::string &name)
+{
+    if (name == "xbar")
+        return NocTopology::Xbar;
+    if (name == "mesh")
+        return NocTopology::Mesh;
+    if (name == "fattree")
+        return NocTopology::FatTree;
+    if (name == "butterfly")
+        return NocTopology::Butterfly;
+    fatal("sweep: unknown topology '", name,
+          "' (xbar/mesh/fattree/butterfly)");
+}
+
+std::vector<std::string>
+stringList(const Value &arr)
+{
+    std::vector<std::string> out;
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        out.push_back(arr.at(i).asString());
+    return out;
+}
+
+std::vector<std::uint32_t>
+u32List(const Value &arr)
+{
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < arr.size(); ++i)
+        out.push_back(std::uint32_t(arr.at(i).asNumber()));
+    return out;
+}
+
+Value
+toArray(const std::vector<std::string> &list)
+{
+    Value arr = Value::array();
+    for (const auto &s : list)
+        arr.push(s);
+    return arr;
+}
+
+Value
+toArray(const std::vector<std::uint32_t> &list)
+{
+    Value arr = Value::array();
+    for (std::uint32_t v : list)
+        arr.push(std::uint64_t(v));
+    return arr;
+}
+
+} // namespace
+
+kernels::InputScale
+scaleFromName(const std::string &name)
+{
+    if (name == "tiny")
+        return kernels::InputScale::Tiny;
+    if (name == "small")
+        return kernels::InputScale::Small;
+    if (name == "medium")
+        return kernels::InputScale::Medium;
+    fatal("sweep: unknown scale '", name, "' (tiny/small/medium)");
+}
+
+std::string
+SweepPoint::label() const
+{
+    std::ostringstream os;
+    os << "line=" << lineBytes << ",l1=" << l1SizeBytes
+       << ",l2=" << l2SizeBytes << ",ws=" << warpSched
+       << ",ms=" << memSched << ",noc=" << topology;
+    return os.str();
+}
+
+std::string
+SweepPoint::key() const
+{
+    std::ostringstream os;
+    os << app << "|cdp=" << (cdp ? 1 : 0) << "|scale=" << scale
+       << "|seed=" << seed << "|" << label();
+    return os.str();
+}
+
+core::RunConfig
+SweepPoint::toRunConfig() const
+{
+    core::RunConfig config;
+    config.options.cdp = cdp;
+    config.options.scale = scaleFromName(scale);
+    config.options.seed = seed;
+    config.system.gpu.lineBytes = lineBytes;
+    config.system.gpu.l1SizeBytes = l1SizeBytes;
+    config.system.gpu.l2SizeBytes = l2SizeBytes;
+    config.system.gpu.warpSched = warpSchedFromName(warpSched);
+    config.system.gpu.memSched = memSchedFromName(memSched);
+    config.system.noc.topology = topologyFromName(topology);
+    config.system.sim.threads = threads;
+    config.system.validate();
+    return config;
+}
+
+Value
+SweepPoint::toJson() const
+{
+    Value obj = Value::object();
+    obj.set("app", app);
+    obj.set("cdp", cdp);
+    obj.set("scale", scale);
+    obj.set("seed", seed);
+    obj.set("line_bytes", std::uint64_t(lineBytes));
+    obj.set("l1_bytes", std::uint64_t(l1SizeBytes));
+    obj.set("l2_bytes", std::uint64_t(l2SizeBytes));
+    obj.set("warp_sched", warpSched);
+    obj.set("mem_sched", memSched);
+    obj.set("topology", topology);
+    obj.set("threads", threads);
+    return obj;
+}
+
+SweepPoint
+SweepPoint::fromJson(const Value &value)
+{
+    SweepPoint point;
+    point.app = value.at("app").asString();
+    point.cdp = value.at("cdp").asBool();
+    point.scale = value.at("scale").asString();
+    point.seed = std::uint64_t(value.at("seed").asNumber());
+    point.lineBytes = std::uint32_t(value.at("line_bytes").asNumber());
+    point.l1SizeBytes = std::uint32_t(value.at("l1_bytes").asNumber());
+    point.l2SizeBytes = std::uint32_t(value.at("l2_bytes").asNumber());
+    point.warpSched = value.at("warp_sched").asString();
+    point.memSched = value.at("mem_sched").asString();
+    point.topology = value.at("topology").asString();
+    point.threads = int(value.at("threads").asNumber());
+    return point;
+}
+
+Value
+SweepSpec::toJson() const
+{
+    Value obj = Value::object();
+    obj.set("apps", toArray(apps));
+    obj.set("cdp_mode", cdpMode);
+    obj.set("scale", scale);
+    obj.set("seed", seed);
+    obj.set("threads", threads);
+    obj.set("line_bytes", toArray(lineBytes));
+    obj.set("l1_bytes", toArray(l1SizeBytes));
+    obj.set("l2_bytes", toArray(l2SizeBytes));
+    obj.set("warp_sched", toArray(warpSched));
+    obj.set("mem_sched", toArray(memSched));
+    obj.set("topology", toArray(topology));
+    return obj;
+}
+
+SweepSpec
+SweepSpec::fromJson(const Value &value)
+{
+    SweepSpec spec;
+    spec.apps = stringList(value.at("apps"));
+    spec.cdpMode = value.at("cdp_mode").asString();
+    spec.scale = value.at("scale").asString();
+    spec.seed = std::uint64_t(value.at("seed").asNumber());
+    spec.threads = int(value.at("threads").asNumber());
+    spec.lineBytes = u32List(value.at("line_bytes"));
+    spec.l1SizeBytes = u32List(value.at("l1_bytes"));
+    spec.l2SizeBytes = u32List(value.at("l2_bytes"));
+    spec.warpSched = stringList(value.at("warp_sched"));
+    spec.memSched = stringList(value.at("mem_sched"));
+    spec.topology = stringList(value.at("topology"));
+    return spec;
+}
+
+std::vector<SweepPoint>
+expandPoints(const SweepSpec &spec)
+{
+    const std::vector<std::string> &apps =
+        spec.apps.empty() ? core::appNames() : spec.apps;
+    std::vector<bool> variants;
+    if (spec.cdpMode == "base")
+        variants = {false};
+    else if (spec.cdpMode == "cdp")
+        variants = {true};
+    else if (spec.cdpMode == "both")
+        variants = {false, true};
+    else
+        fatal("sweep: unknown cdp mode '", spec.cdpMode,
+              "' (base/cdp/both)");
+
+    // Validate every axis name once up front: a bad grid must die at
+    // expansion, not hours in on the first point that uses it.
+    (void)scaleFromName(spec.scale);
+    for (const auto &name : spec.warpSched)
+        (void)warpSchedFromName(name);
+    for (const auto &name : spec.memSched)
+        (void)memSchedFromName(name);
+    for (const auto &name : spec.topology)
+        (void)topologyFromName(name);
+    for (const auto &app : apps)
+        (void)core::makeApp(app);  // fatal on unknown abbreviation
+
+    std::vector<SweepPoint> points;
+    for (const auto &app : apps) {
+        for (bool cdp : variants) {
+            for (std::uint32_t line : spec.lineBytes)
+                for (std::uint32_t l1 : spec.l1SizeBytes)
+                    for (std::uint32_t l2 : spec.l2SizeBytes)
+                        for (const auto &ws : spec.warpSched)
+                            for (const auto &ms : spec.memSched)
+                                for (const auto &noc : spec.topology) {
+                                    SweepPoint point;
+                                    point.app = app;
+                                    point.cdp = cdp;
+                                    point.scale = spec.scale;
+                                    point.seed = spec.seed;
+                                    point.lineBytes = line;
+                                    point.l1SizeBytes = l1;
+                                    point.l2SizeBytes = l2;
+                                    point.warpSched = ws;
+                                    point.memSched = ms;
+                                    point.topology = noc;
+                                    point.threads = spec.threads;
+                                    points.push_back(std::move(point));
+                                }
+        }
+    }
+    return points;
+}
+
+} // namespace ggpu::tools

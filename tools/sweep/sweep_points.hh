@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sweep-grid model for `ggpu_sweep`: a SweepSpec names the axes (apps,
+ * CDP variants, timing-config values), expandPoints() flattens its
+ * cross product into an ordered point list, and every SweepPoint knows
+ * its RunConfig, its stable identity key, and its JSON form. The point
+ * order is deterministic, so a resumed sweep sees exactly the point
+ * list the original invocation journaled against.
+ */
+
+#ifndef GGPU_TOOLS_SWEEP_POINTS_HH
+#define GGPU_TOOLS_SWEEP_POINTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "core/suite.hh"
+
+namespace ggpu::tools
+{
+
+namespace json = core::json;
+
+/** One (app, variant, timing-config) cell of the sweep grid. */
+struct SweepPoint
+{
+    std::string app;
+    bool cdp = false;
+
+    // Emission-affecting inputs (part of the trace-cache key).
+    std::string scale = "tiny";  //!< tiny / small / medium
+    std::uint64_t seed = 0x5eedu;
+
+    // Timing-only axes.
+    std::uint32_t lineBytes = 128;
+    std::uint32_t l1SizeBytes = 128 * 1024;
+    std::uint32_t l2SizeBytes = 4 * 1024 * 1024;
+    std::string warpSched = "lrr";    //!< lrr / gto / oldest / twolevel
+    std::string memSched = "frfcfs";  //!< frfcfs / fifo / ooo128
+    std::string topology = "xbar";    //!< xbar / mesh / fattree / butterfly
+    int threads = 1;                  //!< Engine lanes (never changes results)
+
+    /** Sweep-config label ("line=128,l1=...,ws=lrr,..."), the
+     *  per-run "config" field in the merged artifact. */
+    std::string label() const;
+
+    /** Full identity ("<app>|cdp=..|" + label()): one line of
+     *  points.list, and the basis of result filenames. */
+    std::string key() const;
+
+    /** The RunConfig this point executes under (fatal on a name this
+     *  grid vocabulary does not know). */
+    core::RunConfig toRunConfig() const;
+
+    json::Value toJson() const;
+    static SweepPoint fromJson(const json::Value &value);
+
+    bool operator==(const SweepPoint &other) const = default;
+};
+
+/** The user-facing grid: every combination is one SweepPoint. */
+struct SweepSpec
+{
+    std::vector<std::string> apps;  //!< Empty = full Table III suite
+    std::string cdpMode = "both";   //!< base / cdp / both
+    std::string scale = "tiny";
+    std::uint64_t seed = 0x5eedu;
+    int threads = 1;
+    std::vector<std::uint32_t> lineBytes{128};
+    std::vector<std::uint32_t> l1SizeBytes{128 * 1024};
+    std::vector<std::uint32_t> l2SizeBytes{4 * 1024 * 1024};
+    std::vector<std::string> warpSched{"lrr"};
+    std::vector<std::string> memSched{"frfcfs"};
+    std::vector<std::string> topology{"xbar"};
+
+    json::Value toJson() const;
+    static SweepSpec fromJson(const json::Value &value);
+};
+
+/**
+ * Flatten @p spec into its ordered point list: apps outermost (suite
+ * order), then variant, then each timing axis — a stable order every
+ * invocation of the same spec reproduces.
+ */
+std::vector<SweepPoint> expandPoints(const SweepSpec &spec);
+
+/** InputScale named by @p name (fatal on unknown). */
+kernels::InputScale scaleFromName(const std::string &name);
+
+} // namespace ggpu::tools
+
+#endif // GGPU_TOOLS_SWEEP_POINTS_HH

@@ -1,0 +1,204 @@
+#include "work_queue.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hh"
+
+namespace ggpu::tools
+{
+
+namespace
+{
+
+/** RAII exclusive flock (same idiom as the trace store's per-key
+ *  lock); every queue operation runs entirely under it. */
+class QueueLock
+{
+  public:
+    explicit QueueLock(const std::string &path)
+        : fd_(::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644))
+    {
+        if (fd_ < 0)
+            fatal("sweep-queue: cannot open lock file ", path);
+        while (::flock(fd_, LOCK_EX) != 0 && errno == EINTR) {}
+    }
+
+    ~QueueLock()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    QueueLock(const QueueLock &) = delete;
+    QueueLock &operator=(const QueueLock &) = delete;
+
+  private:
+    int fd_;
+};
+
+} // namespace
+
+WorkQueue::WorkQueue(std::string dir, std::size_t num_points,
+                     int max_attempts)
+    : dir_(std::move(dir)),
+      journalPath_(dir_ + "/journal.log"),
+      lockPath_(dir_ + "/queue.lock"),
+      maxAttempts_(max_attempts),
+      states_(num_points),
+      liveProbe_([](pid_t pid) {
+          return ::kill(pid, 0) == 0 || errno == EPERM;
+      })
+{
+    if (max_attempts < 1)
+        fatal("sweep-queue: max_attempts must be >= 1");
+}
+
+void
+WorkQueue::setLiveProbe(std::function<bool(pid_t)> probe)
+{
+    liveProbe_ = std::move(probe);
+}
+
+void
+WorkQueue::reload()
+{
+    states_.assign(states_.size(), PointState{});
+    std::ifstream in(journalPath_);
+    if (!in)
+        return;  // No journal yet: everything pending.
+    std::string line;
+    while (std::getline(in, line)) {
+        // A writer that died mid-append leaves a torn final line; it
+        // (and any other malformed line) parses short and is skipped.
+        std::istringstream fields(line);
+        std::string verb;
+        std::size_t index = 0;
+        long long pid = 0;
+        if (!(fields >> verb >> index >> pid))
+            continue;
+        if (index >= states_.size())
+            continue;
+        PointState &state = states_[index];
+        if (verb == "claim") {
+            ++state.attempts;
+            state.claimedBy = pid_t(pid);
+        } else if (verb == "done") {
+            state.done = true;
+            state.claimedBy = 0;
+        } else if (verb == "fail") {
+            ++state.failures;
+            state.claimedBy = 0;
+        }
+    }
+}
+
+void
+WorkQueue::append(const std::string &line)
+{
+    const int fd = ::open(journalPath_.c_str(),
+                          O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC,
+                          0644);
+    if (fd < 0)
+        fatal("sweep-queue: cannot open journal ", journalPath_);
+    const std::string record = line + "\n";
+    const ssize_t wrote = ::write(fd, record.data(), record.size());
+    // One fsync per event: completion must be durable before the
+    // worker moves on, or a crash could re-run a finished point.
+    ::fsync(fd);
+    ::close(fd);
+    if (wrote != ssize_t(record.size()))
+        fatal("sweep-queue: short journal append to ", journalPath_);
+}
+
+bool
+WorkQueue::runnable(const PointState &state) const
+{
+    if (state.done || state.attempts >= maxAttempts_)
+        return false;
+    return state.claimedBy == 0 || !liveProbe_(state.claimedBy);
+}
+
+ClaimResult
+WorkQueue::claim(pid_t self, std::size_t &index, int &prior_attempts)
+{
+    QueueLock lock(lockPath_);
+    reload();
+    bool anyOpen = false;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const PointState &state = states_[i];
+        if (state.done)
+            continue;
+        if (runnable(state)) {
+            index = i;
+            prior_attempts = state.attempts;
+            std::ostringstream os;
+            os << "claim " << i << " " << self;
+            append(os.str());
+            states_[i].claimedBy = self;
+            ++states_[i].attempts;
+            return ClaimResult::Claimed;
+        }
+        // Not runnable but not done: either live-claimed (may yet
+        // fail back onto the queue) or out of attempts (dead).
+        if (state.attempts < maxAttempts_ || state.claimedBy != 0)
+            anyOpen = true;
+    }
+    return anyOpen ? ClaimResult::WaitAndRetry : ClaimResult::NothingLeft;
+}
+
+void
+WorkQueue::markDone(std::size_t index, pid_t self)
+{
+    QueueLock lock(lockPath_);
+    std::ostringstream os;
+    os << "done " << index << " " << self;
+    append(os.str());
+    reload();
+}
+
+void
+WorkQueue::markFailed(std::size_t index, pid_t self,
+                      const std::string &reason)
+{
+    QueueLock lock(lockPath_);
+    std::ostringstream os;
+    // Newlines would corrupt the one-event-per-line grammar.
+    std::string flat = reason;
+    for (char &c : flat)
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    os << "fail " << index << " " << self << " " << flat;
+    append(os.str());
+    reload();
+}
+
+std::size_t
+WorkQueue::doneCount() const
+{
+    std::size_t count = 0;
+    for (const PointState &state : states_)
+        count += state.done ? 1 : 0;
+    return count;
+}
+
+std::vector<std::size_t>
+WorkQueue::exhaustedPoints() const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        const PointState &state = states_[i];
+        if (!state.done && state.attempts >= maxAttempts_ &&
+            (state.claimedBy == 0 || !liveProbe_(state.claimedBy)))
+            out.push_back(i);
+    }
+    return out;
+}
+
+} // namespace ggpu::tools

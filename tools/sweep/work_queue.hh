@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cross-process work queue for `ggpu_sweep`, in the spirit of
+ * external-memory pipelines' atomic work queues: the shared state is a
+ * plain append-only journal (`journal.log`) guarded by a `flock`ed
+ * lock file, so any number of worker processes — across any number of
+ * orchestrator invocations — agree on which points are claimed, done,
+ * or failed. A killed worker leaves only a stale `claim` line; the
+ * next claimant probes the recorded pid and requeues the point.
+ *
+ * Journal grammar (one event per line, appended under the lock):
+ *
+ *     claim <point> <pid>
+ *     done <point> <pid>
+ *     fail <point> <pid> <reason...>
+ *
+ * A torn final line (the writer died mid-append) is ignored on
+ * replay. Every mutation re-reads the journal first, so the in-memory
+ * view is only a cache between operations.
+ */
+
+#ifndef GGPU_TOOLS_SWEEP_WORK_QUEUE_HH
+#define GGPU_TOOLS_SWEEP_WORK_QUEUE_HH
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ggpu::tools
+{
+
+/** Replayed state of one point. */
+struct PointState
+{
+    int attempts = 0;       //!< claim lines seen
+    int failures = 0;       //!< fail lines seen
+    pid_t claimedBy = 0;    //!< Pid of an open claim (0 = none)
+    bool done = false;
+};
+
+/** Outcome of one claim() call. */
+enum class ClaimResult
+{
+    Claimed,      //!< A point was claimed (index returned)
+    WaitAndRetry, //!< Runnable work exists but is claimed by live pids
+    NothingLeft   //!< Every point is done or out of attempts
+};
+
+class WorkQueue
+{
+  public:
+    /**
+     * @param dir         Sweep directory (journal.log / queue.lock live
+     *                    here; created by the orchestrator).
+     * @param num_points  Size of the point list the journal indexes.
+     * @param max_attempts Claims allowed per point (2 = retry once).
+     */
+    WorkQueue(std::string dir, std::size_t num_points,
+              int max_attempts = 2);
+
+    /**
+     * Atomically claim the first runnable point: not done, attempts
+     * left, and no claim held by a live process. @p index receives the
+     * claimed point and its prior attempt count (>0 means this is a
+     * retry and the caller should back off first).
+     */
+    ClaimResult claim(pid_t self, std::size_t &index,
+                      int &prior_attempts);
+
+    /** Journal successful completion of @p index. */
+    void markDone(std::size_t index, pid_t self);
+
+    /** Journal a failed attempt of @p index (releases the claim). */
+    void markFailed(std::size_t index, pid_t self,
+                    const std::string &reason);
+
+    /** Re-read the journal into the cached view. */
+    void reload();
+
+    // Views over the cached state (call reload() first for freshness).
+    const std::vector<PointState> &states() const { return states_; }
+    std::size_t doneCount() const;
+    bool allDone() const { return doneCount() == states_.size(); }
+    /** Points whose attempts are exhausted without success. */
+    std::vector<std::size_t> exhaustedPoints() const;
+
+    /** Replace the liveness probe (kill(pid, 0) by default); tests
+     *  inject "everything is dead" to exercise stale-claim requeue. */
+    void setLiveProbe(std::function<bool(pid_t)> probe);
+
+    const std::string &journalPath() const { return journalPath_; }
+
+  private:
+    void append(const std::string &line);
+    bool runnable(const PointState &state) const;
+
+    std::string dir_;
+    std::string journalPath_;
+    std::string lockPath_;
+    int maxAttempts_;
+    std::vector<PointState> states_;
+    std::function<bool(pid_t)> liveProbe_;
+};
+
+} // namespace ggpu::tools
+
+#endif // GGPU_TOOLS_SWEEP_WORK_QUEUE_HH
