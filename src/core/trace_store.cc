@@ -2,7 +2,10 @@
 
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/stat.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include <chrono>
 #include <cstdio>
@@ -229,6 +232,9 @@ TraceStore::loadFromDisk(const std::string &key)
         return nullptr;  // Plain miss.
     auto bundle = std::make_unique<sim::TraceBundle>();
     std::string error;
+    // Touch the entry so eviction order reflects use, not just
+    // creation: a null utimensat timespec means "now".
+    ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0);
     if (!sim::deserializeBundle(image, *bundle, &error)) {
         ++corruptRejects_;
         warn("trace-store: rejecting cache entry ", path, " (", error,
@@ -272,6 +278,12 @@ TraceStore::storeToDisk(const std::string &key,
         return;
     }
     ++diskStores_;
+
+    // Keep the cache bounded. The caller holds this key's flock, so
+    // the GC pass can never evict the entry just published.
+    const std::uint64_t budget = traceCacheMaxBytes();
+    if (budget > 0)
+        traceCacheGc(dir_, budget);
 }
 
 const sim::TraceBundle &
@@ -351,6 +363,85 @@ bool
 traceCacheDisabled()
 {
     return envFlag("GGPU_NO_TRACE_CACHE");
+}
+
+std::uint64_t
+traceCacheMaxBytes()
+{
+    const char *env = std::getenv("GGPU_TRACE_CACHE_MAX_BYTES");
+    if (env == nullptr || *env == '\0')
+        return 0;
+    try {
+        return std::stoull(env);
+    } catch (...) {
+        warn("trace-store: unparseable GGPU_TRACE_CACHE_MAX_BYTES '",
+             env, "'; cache unbounded");
+        return 0;
+    }
+}
+
+TraceCacheGcStats
+traceCacheGc(const std::string &dir, std::uint64_t max_bytes)
+{
+    TraceCacheGcStats stats;
+    if (dir.empty())
+        return stats;
+
+    struct Entry
+    {
+        std::string path;
+        std::filesystem::file_time_type mtime;
+        std::uint64_t size = 0;
+    };
+    std::vector<Entry> entries;
+    std::error_code ec;
+    for (const auto &item : std::filesystem::directory_iterator(dir, ec)) {
+        if (!item.is_regular_file(ec) ||
+            item.path().extension() != ".ggputrace")
+            continue;
+        Entry entry;
+        entry.path = item.path().string();
+        entry.mtime = std::filesystem::last_write_time(item.path(), ec);
+        entry.size = item.file_size(ec);
+        if (!ec)
+            entries.push_back(std::move(entry));
+    }
+
+    stats.scanned = entries.size();
+    for (const Entry &entry : entries)
+        stats.bytesBefore += entry.size;
+    stats.bytesAfter = stats.bytesBefore;
+    if (max_bytes == 0 || stats.bytesBefore <= max_bytes)
+        return stats;
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime
+                                            : a.path < b.path;
+              });
+    for (const Entry &entry : entries) {
+        if (stats.bytesAfter <= max_bytes)
+            break;
+        // An emission or load in progress holds the key's sidecar
+        // flock; a non-blocking probe keeps such entries alive. flock
+        // locks belong to the open file description, so this also
+        // protects a store made by this very process further up the
+        // call stack.
+        const int fd = ::open((entry.path + ".lock").c_str(),
+                              O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+        if (fd < 0 || ::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+            if (fd >= 0)
+                ::close(fd);
+            ++stats.lockSkipped;
+            continue;
+        }
+        if (::unlink(entry.path.c_str()) == 0) {
+            stats.bytesAfter -= entry.size;
+            ++stats.evicted;
+        }
+        ::close(fd);
+    }
+    return stats;
 }
 
 bool

@@ -153,6 +153,33 @@ class TraceStore
 /** Whether GGPU_NO_TRACE_CACHE=1 forces fresh per-run emission. */
 bool traceCacheDisabled();
 
+/** Byte budget for the disk cache from GGPU_TRACE_CACHE_MAX_BYTES
+ *  (0 = unlimited; unparseable values warn and mean unlimited). */
+std::uint64_t traceCacheMaxBytes();
+
+/** Outcome of one garbage-collection pass over a cache directory. */
+struct TraceCacheGcStats
+{
+    std::uint64_t bytesBefore = 0;  //!< Bundle bytes found
+    std::uint64_t bytesAfter = 0;   //!< Bundle bytes kept
+    std::size_t scanned = 0;        //!< Bundle files found
+    std::size_t evicted = 0;        //!< Bundle files removed
+    std::size_t lockSkipped = 0;    //!< Kept: per-key flock was held
+};
+
+/**
+ * Shrink the disk cache at @p dir below @p max_bytes by deleting
+ * bundles oldest-mtime first (loads touch mtime, so this is LRU).
+ * A bundle whose per-key flock is currently held — an emission or
+ * load in progress — is never evicted, even if that leaves the cache
+ * above budget. @p max_bytes == 0 only reports the current size.
+ * Safe to run concurrently with sweep workers: readers keep deleted
+ * files alive through their open descriptors, and a deleted entry
+ * degrades to a re-emission on next use.
+ */
+TraceCacheGcStats traceCacheGc(const std::string &dir,
+                               std::uint64_t max_bytes);
+
 /** Whether GGPU_STRICT_VERIFY=1 turns unverified emissions into
  *  FatalErrors instead of warnings. */
 bool strictVerifyEnabled();

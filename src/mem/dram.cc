@@ -16,6 +16,8 @@ DramChannel::DramChannel(const GpuConfig &cfg, int channel_id)
     const std::uint32_t bursts =
         (cfg.lineBytes + cfg.dramBurstBytes - 1) / cfg.dramBurstBytes;
     dataCyclesPerLine_ = Cycles(bursts) * cfg.dramBurstCycles;
+    minServiceLatency_ =
+        std::min(cfg.dramRowHitLatency, cfg.dramRowMissLatency);
 }
 
 std::uint32_t
@@ -75,19 +77,32 @@ DramChannel::pickRequest(Cycles now) const
     return oldest_ready;
 }
 
-void
-DramChannel::tick(Cycles now, std::vector<DramCompletion> &completed)
+Cycles
+DramChannel::nextIssuableAt(Cycles from) const
 {
-    // Account active cycles (work pending or in flight) since last tick.
-    if (now > lastTick_) {
-        if (!queue_.empty() || !inFlight_.empty())
-            active_.inc(now - lastTick_);
-        lastTick_ = now;
+    if (queue_.empty())
+        return ~Cycles(0);
+
+    if (cfg_.memSched == MemSchedPolicy::Fifo) {
+        // Strict in-order: only the head can ever issue.
+        const DramRequest &head = queue_.front();
+        return std::max(from, banks_[bankOf(head.lineAddr)].readyAt);
     }
 
-    // Retire finished transfers. The swap-with-back removal scrambles
-    // vector order, so sort the batch by completion age before handing
-    // it downstream — arbitration must see age-ordered retirement.
+    Cycles best = ~Cycles(0);
+    for (const auto &req : queue_) {
+        const Bank &bank = banks_[bankOf(req.lineAddr)];
+        best = std::min(best, std::max(from, bank.readyAt));
+    }
+    return best;
+}
+
+void
+DramChannel::retireDue(Cycles now, std::vector<DramCompletion> &completed)
+{
+    // The swap-with-back removal scrambles vector order, so sort the
+    // batch by completion age before handing it downstream —
+    // arbitration must see age-ordered retirement.
     const std::size_t first_retired = completed.size();
     for (std::size_t i = 0; i < inFlight_.size();) {
         if (inFlight_[i].doneAt <= now) {
@@ -104,8 +119,11 @@ DramChannel::tick(Cycles now, std::vector<DramCompletion> &completed)
                   return a.doneAt != b.doneAt ? a.doneAt < b.doneAt
                                               : a.reqId < b.reqId;
               });
+}
 
-    // Issue at most one request per cycle.
+void
+DramChannel::issueOne(Cycles now)
+{
     const int pick = pickRequest(now);
     if (pick < 0)
         return;
@@ -130,15 +148,84 @@ DramChannel::tick(Cycles now, std::vector<DramCompletion> &completed)
     inFlight_.push_back({req.reqId, req.write, done});
 }
 
+void
+DramChannel::advanceTo(Cycles now, std::vector<DramCompletion> &completed,
+                       std::deque<DramRequest> *overflow)
+{
+    if (now <= lastTick_) {
+        // Repeated call within the same cycle (the simulator ticks a
+        // partition once per arriving event plus once in its main
+        // loop): each call may issue at most one more request, the
+        // same contract per-cycle ticking had.
+        retireDue(now, completed);
+        issueOne(now);
+        return;
+    }
+
+    // Replay every cycle in (lastTick_, now] at which the channel
+    // state can change — a transfer retiring or a request becoming
+    // issuable — exactly as cycle-by-cycle ticking would have. The
+    // state is constant across the stretches in between, so bulk
+    // active-cycle accounting per stretch matches what per-cycle
+    // ticks would have recorded.
+    while (lastTick_ < now) {
+        Cycles next = now;
+        for (const auto &inflight : inFlight_)
+            next = std::min(next, inflight.doneAt);
+        next = std::min(next, nextIssuableAt(lastTick_ + 1));
+        next = std::max(std::min(next, now), lastTick_ + 1);
+
+        if (!queue_.empty() || !inFlight_.empty())
+            active_.inc(next - lastTick_);
+        lastTick_ = next;
+
+        retireDue(next, completed);
+        issueOne(next);
+
+        // Refill freed queue slots at interior cycles only. The
+        // boundary cycle's drain belongs to the caller so that
+        // requests arriving at `now` keep entering the queue ahead
+        // of older overflow entries, as the per-cycle loop's
+        // event-before-drain ordering did.
+        if (overflow && next < now) {
+            while (!overflow->empty() && canAccept()) {
+                queue_.push_back(overflow->front());
+                overflow->pop_front();
+            }
+        }
+    }
+}
+
 Cycles
 DramChannel::nextEventAt(Cycles now) const
+{
+    // nextIssuableAt respects the scheduler: under FIFO only the head
+    // can issue, so min-ing over every queued request's bank (as an
+    // earlier revision did) woke the caller at cycles where nothing
+    // could happen and then crept cycle-by-cycle to the real one.
+    Cycles next = nextIssuableAt(now + 1);
+    for (const auto &inflight : inFlight_)
+        next = std::min(next, inflight.doneAt);
+    return next <= now ? now + 1 : next;
+}
+
+Cycles
+DramChannel::nextCompletionAt(Cycles now) const
 {
     Cycles next = ~Cycles(0);
     for (const auto &inflight : inFlight_)
         next = std::min(next, inflight.doneAt);
-    for (const auto &req : queue_) {
-        const Bank &bank = banks_[bankOf(req.lineAddr)];
-        next = std::min(next, std::max(bank.readyAt, now + 1));
+    if (!queue_.empty()) {
+        // Earliest completion any queued request could produce: first
+        // issuable cycle plus the cheapest service latency, deferred
+        // by the data-pin backlog, plus the line transfer. Every later
+        // issue finishes no earlier (pinFreeAt_ is monotone and each
+        // transfer extends it), so this also bounds requests that
+        // refill from an overflow queue after interior issues.
+        const Cycles issue = nextIssuableAt(now + 1);
+        const Cycles start =
+            std::max(issue + minServiceLatency_, pinFreeAt_);
+        next = std::min(next, start + dataCyclesPerLine_);
     }
     return next <= now ? now + 1 : next;
 }

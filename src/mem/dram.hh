@@ -59,10 +59,21 @@ class DramChannel
     void push(const DramRequest &req);
 
     /**
-     * Advance to cycle @p now: issue at most one queued request and
-     * collect any transfers that completed at or before @p now.
+     * Advance to cycle @p now in one call, replaying every cycle in
+     * (lastTick, now) at which the channel could have changed state
+     * exactly as the per-cycle loop would have: transfers retire at
+     * their exact doneAt cycle (handed back in (doneAt, reqId) age
+     * order), at most one request issues per replayed cycle under the
+     * active scheduler, and — when @p overflow is given — the queue
+     * refills from it at interior cycles as slots free up. The
+     * boundary cycle @p now itself never refills from @p overflow:
+     * that drain belongs to the caller, after this cycle's arrivals
+     * have been pushed. A repeated call at the same @p now retires
+     * due transfers and issues at most one more request, preserving
+     * the old one-issue-per-tick contract within a cycle.
      */
-    void tick(Cycles now, std::vector<DramCompletion> &completed);
+    void advanceTo(Cycles now, std::vector<DramCompletion> &completed,
+                   std::deque<DramRequest> *overflow = nullptr);
 
     /** True when no request is queued or in flight. */
     bool idle() const { return queue_.empty() && inFlight_.empty(); }
@@ -76,9 +87,24 @@ class DramChannel
     /**
      * Earliest future cycle (> @p now) at which this channel could make
      * progress (issue a queued request or complete a transfer); ~0 when
-     * idle. Used by the simulator's time-jump fast path.
+     * idle. The reference loop's wake bound: it must never skip a cycle
+     * at which a request becomes issuable.
      */
     Cycles nextEventAt(Cycles now) const;
+
+    /**
+     * Lower bound (> @p now) on the next cycle a transfer completes;
+     * ~0 when idle. Coarser than nextEventAt(): advanceTo() replays
+     * issues and overflow refills internally, so a caller using it
+     * only needs to wake at completions — the only events with
+     * externally visible effects. Exact for in-flight transfers;
+     * for queued requests it bounds the earliest possible completion
+     * (first issuable cycle plus the cheapest service latency, or the
+     * data-pin backlog, plus the line transfer), which also bounds
+     * every later issue because service latencies and the pin
+     * reservation only push completions further out.
+     */
+    Cycles nextCompletionAt(Cycles now) const;
 
     void resetStats();
 
@@ -106,10 +132,20 @@ class DramChannel
     /** Index into queue_ of the request to issue now, or -1. */
     int pickRequest(Cycles now) const;
 
+    /** Earliest cycle >= @p from a queued request can issue; ~0 if none. */
+    Cycles nextIssuableAt(Cycles from) const;
+
+    /** Move transfers with doneAt <= @p now into @p completed, age-ordered. */
+    void retireDue(Cycles now, std::vector<DramCompletion> &completed);
+
+    /** Issue at most one queued request at cycle @p now. */
+    void issueOne(Cycles now);
+
     const GpuConfig &cfg_;
     int channelId_;
     std::size_t queueCapacity_;
     Cycles dataCyclesPerLine_;
+    Cycles minServiceLatency_;
 
     std::deque<DramRequest> queue_;
     std::vector<Bank> banks_;

@@ -337,8 +337,13 @@ Gpu::handlePartitionRequest(int partition, int core, Addr line,
         dramNextAt_[std::size_t(partition)] = now;
     Partition &part = *partitions_[std::size_t(partition)];
     // Close out the DRAM active-time window before changing its queue.
+    // Interior cycles replay inside advanceTo (issues and overflow
+    // refills); the boundary cycle deliberately does not drain the
+    // overflow queue, so this cycle's arrival below still enters the
+    // scheduler queue ahead of older overflow entries — the same order
+    // the per-cycle loop produces (events before tickDram's drain).
     dramCompleted_.clear();
-    part.dram.tick(now, dramCompleted_);
+    part.dram.advanceTo(now, dramCompleted_, &part.overflow);
     handleDramCompletions(partition, dramCompleted_);
 
     const mem::CacheResult result = part.l2.access(line, write);
@@ -384,7 +389,7 @@ Gpu::tickDram()
     for (std::size_t p = 0; p < partitions_.size(); ++p) {
         Partition &part = *partitions_[p];
         dramCompleted_.clear();
-        part.dram.tick(now_, dramCompleted_);
+        part.dram.advanceTo(now_, dramCompleted_, &part.overflow);
         drainOverflow(part, now_);
         if (!dramCompleted_.empty()) {
             progress = true;
@@ -501,23 +506,6 @@ Gpu::drained() const
 void
 Gpu::tickSmRange(std::size_t begin, std::size_t end)
 {
-    if (ffActive_) {
-        // Fast path: only cores that are due tick. A core woken by its
-        // own timer (rather than by wakeSmAt) is still marked skipping
-        // here; settle the bulk accounting for the stretch it slept
-        // through before the tick overwrites its frozen classification.
-        // Safe under the pool: each lane owns its cores outright and
-        // pendingCycles_ is frozen for the cycle.
-        for (std::size_t i = begin; i < end; ++i) {
-            if (smWakeAt_[i] > now_)
-                continue;
-            SmCore &sm = *sms_[i];
-            if (sm.skipping())
-                sm.exitSkip(now_, pendingCycles_);
-            smIssued_[i] = sm.tick(now_) ? 1 : 0;
-        }
-        return;
-    }
     // Reference path: nothing reads per-core flags, only whether any
     // core issued, so fold the chunk locally and publish one bit.
     bool any = false;
@@ -528,36 +516,68 @@ Gpu::tickSmRange(std::size_t begin, std::size_t end)
 }
 
 void
+Gpu::tickSmDueRange(std::size_t begin, std::size_t end)
+{
+    // Fast path: only cores that are due tick (collectDueSms built the
+    // list from the wake heap). A core woken by its own timer (rather
+    // than by wakeSmAt) is still marked skipping here; settle the bulk
+    // accounting for the stretch it slept through before the tick
+    // overwrites its frozen classification. Safe under the pool: each
+    // lane owns its slice of distinct cores outright and
+    // pendingCycles_ is frozen for the cycle.
+    for (std::size_t k = begin; k < end; ++k) {
+        const std::size_t i = smDue_[k];
+        SmCore &sm = *sms_[i];
+        if (sm.skipping())
+            sm.exitSkip(now_, pendingCycles_);
+        smIssued_[i] = sm.tick(now_) ? 1 : 0;
+    }
+}
+
+void
 Gpu::drainSmOutboxes()
 {
     // SM-index order, issue order within an SM: the exact order a
     // serial cycle loop would have touched the NoC, the grid queue,
     // and the event calendar. Cascades triggered here (a completing
     // child grid freeing its parent CTA, which may complete another
-    // grid) run inline because inSmPhase_ is already false.
-    for (std::size_t core = 0; core < outboxes_.size(); ++core) {
-        auto &ops = outboxes_[core].ops;
-        for (const SmOp &op : ops) {
-            switch (op.kind) {
-              case SmOp::Kind::Read:
-                applyRead(int(core), op.line, now_);
-                break;
-              case SmOp::Kind::Write:
-                applyWrite(int(core), op.line, now_);
-                break;
-              case SmOp::Kind::ChildLaunch: {
-                GridState *grid = enqueueChildGrid(
-                    *op.child, int(core), op.ctaSlot, now_);
-                sms_[core]->onChildGridEnqueued(op.warpSlot, grid);
-                break;
-              }
-              case SmOp::Kind::CtaComplete:
-                onGridCtaComplete(*op.grid, int(core), now_);
-                break;
-            }
-        }
-        ops.clear();
+    // grid) run inline because inSmPhase_ is already false. In the
+    // fast path only cores in smDue_ ticked this cycle — and outboxes
+    // are only written from inside the SM phase — so only those can
+    // hold ops; smDue_ is ascending, preserving the scan order.
+    if (ffActive_) {
+        for (const std::uint32_t core : smDue_)
+            drainOneOutbox(core);
+        return;
     }
+    for (std::size_t core = 0; core < outboxes_.size(); ++core)
+        drainOneOutbox(core);
+}
+
+void
+Gpu::drainOneOutbox(std::size_t core)
+{
+    auto &ops = outboxes_[core].ops;
+    for (const SmOp &op : ops) {
+        switch (op.kind) {
+          case SmOp::Kind::Read:
+            applyRead(int(core), op.line, now_);
+            break;
+          case SmOp::Kind::Write:
+            applyWrite(int(core), op.line, now_);
+            break;
+          case SmOp::Kind::ChildLaunch: {
+            GridState *grid = enqueueChildGrid(
+                *op.child, int(core), op.ctaSlot, now_);
+            sms_[core]->onChildGridEnqueued(op.warpSlot, grid);
+            break;
+          }
+          case SmOp::Kind::CtaComplete:
+            onGridCtaComplete(*op.grid, int(core), now_);
+            break;
+        }
+    }
+    ops.clear();
 }
 
 void
@@ -590,16 +610,57 @@ Gpu::wakeSmAt(std::size_t core, Cycles resume_at)
     SmCore &sm = *sms_[core];
     if (sm.skipping())
         sm.exitSkip(resume_at, pendingCycles_);
-    if (smWakeAt_[core] > resume_at)
+    if (smWakeAt_[core] > resume_at) {
         smWakeAt_[core] = resume_at;
+        pushSmWake(core, resume_at);
+    }
+}
+
+void
+Gpu::pushSmWake(std::size_t core, Cycles at)
+{
+    if (at == ~Cycles(0))
+        return;  // "never": prior entries surface as stale and drop
+    smWakeHeap_.emplace_back(at, std::uint32_t(core));
+    std::push_heap(smWakeHeap_.begin(), smWakeHeap_.end(),
+                   std::greater<>());
+}
+
+void
+Gpu::collectDueSms()
+{
+    smDue_.clear();
+    while (!smWakeHeap_.empty() && smWakeHeap_.front().first <= now_) {
+        const std::uint32_t core = smWakeHeap_.front().second;
+        std::pop_heap(smWakeHeap_.begin(), smWakeHeap_.end(),
+                      std::greater<>());
+        smWakeHeap_.pop_back();
+        // Stale entry: the core was re-armed to a later cycle after
+        // this entry was pushed (its live value has its own entry).
+        if (smWakeAt_[core] > now_)
+            continue;
+        smDue_.push_back(core);
+    }
+    // Core-index order: the SM phase's lane split and the outbox drain
+    // must see the same ordering a full scan would have produced. A
+    // core can surface more than once (wakeSmAt lowering an armed
+    // timer leaves both entries due); collapse duplicates.
+    std::sort(smDue_.begin(), smDue_.end());
+    smDue_.erase(std::unique(smDue_.begin(), smDue_.end()), smDue_.end());
 }
 
 Cycles
 Gpu::dramNextEvent(std::size_t partition) const
 {
+    // Completion-only bound: advanceTo() replays issues and overflow
+    // refills across the whole window in one call, so the fast path
+    // only needs to wake when a transfer can finish. After the drain
+    // below, overflow is non-empty only while the queue is full, so
+    // queued requests carry the bound for overflowed ones too; the
+    // clamp covers the (unreachable in practice) drained-empty case.
     const Partition &part = *partitions_[partition];
-    Cycles next = part.dram.nextEventAt(now_);
-    if (!part.overflow.empty())
+    Cycles next = part.dram.nextCompletionAt(now_);
+    if (!part.overflow.empty() && part.dram.queueDepth() == 0)
         next = std::min(next, now_ + 1);
     return next;
 }
@@ -612,7 +673,7 @@ Gpu::tickDramDue()
             continue;
         Partition &part = *partitions_[p];
         dramCompleted_.clear();
-        part.dram.tick(now_, dramCompleted_);
+        part.dram.advanceTo(now_, dramCompleted_, &part.overflow);
         drainOverflow(part, now_);
         if (!dramCompleted_.empty())
             handleDramCompletions(int(p), dramCompleted_);
@@ -631,7 +692,7 @@ Gpu::launchPendingUntil() const
 }
 
 Cycles
-Gpu::nextComponentEventAt() const
+Gpu::nextComponentEventAt()
 {
     Cycles next = ~Cycles(0);
     if (!events_.empty())
@@ -639,8 +700,19 @@ Gpu::nextComponentEventAt() const
     next = std::min(next, dispatchNextAt_);
     for (Cycles at : dramNextAt_)
         next = std::min(next, at);
-    for (Cycles at : smWakeAt_)
-        next = std::min(next, at);
+    // Soonest-waking core, from the heap instead of an every-SM scan.
+    // Entries below the core's live wake time were superseded by a
+    // later re-arm (the live value always has its own entry); drop
+    // them as they surface so they can't trigger useless iterations.
+    while (!smWakeHeap_.empty() &&
+           smWakeHeap_.front().first <
+               smWakeAt_[smWakeHeap_.front().second]) {
+        std::pop_heap(smWakeHeap_.begin(), smWakeHeap_.end(),
+                      std::greater<>());
+        smWakeHeap_.pop_back();
+    }
+    if (!smWakeHeap_.empty())
+        next = std::min(next, smWakeHeap_.front().first);
     return next;
 }
 
@@ -649,6 +721,7 @@ Gpu::runEventDriven()
 {
     // Every core starts asleep; dispatches, line fills, write retires,
     // and child-grid completions wake exactly the cores that can act.
+    smWakeHeap_.clear();
     for (std::size_t i = 0; i < sms_.size(); ++i) {
         smWakeAt_[i] = ~Cycles(0);
         sms_[i]->enterSkip(now_, pendingCycles_);
@@ -673,33 +746,39 @@ Gpu::runEventDriven()
 
         // SM phase over awake cores only (same barrier discipline as
         // the reference loop: shared state is frozen for the cycle).
-        inSmPhase_ = true;
-        try {
-            if (pool_) {
-                pool_->parallelFor(
-                    sms_.size(), [this](std::size_t begin,
-                                        std::size_t end) {
-                        tickSmRange(begin, end);
-                    });
-            } else {
-                tickSmRange(0, sms_.size());
+        // The due list comes from the wake heap, so iterations spent
+        // ferrying DRAM/NoC events don't scan every core — or pay a
+        // pool dispatch — just to find them all asleep.
+        collectDueSms();
+        if (!smDue_.empty()) {
+            inSmPhase_ = true;
+            try {
+                if (pool_) {
+                    pool_->parallelFor(
+                        smDue_.size(), [this](std::size_t begin,
+                                              std::size_t end) {
+                            tickSmDueRange(begin, end);
+                        });
+                } else {
+                    tickSmDueRange(0, smDue_.size());
+                }
+            } catch (...) {
+                inSmPhase_ = false;
+                throw;
             }
-        } catch (...) {
             inSmPhase_ = false;
-            throw;
         }
-        inSmPhase_ = false;
 
         // Sleep decisions must precede the cycle barrier: a core the
         // barrier wakes for the next cycle must not be put back to
         // sleep past that wake.
-        for (std::size_t i = 0; i < sms_.size(); ++i) {
-            if (smWakeAt_[i] > now_)
-                continue;
+        for (const std::uint32_t i : smDue_) {
             if (smIssued_[i]) {
                 smWakeAt_[i] = now_ + 1;
+                pushSmWake(i, now_ + 1);
             } else {
                 smWakeAt_[i] = sms_[i]->nextReadyTime(now_);
+                pushSmWake(i, smWakeAt_[i]);
                 sms_[i]->enterSkip(now_ + 1, pendingCycles_);
             }
         }

@@ -257,11 +257,22 @@ class Gpu
     /** Wake a skipping core so it ticks from @p resume_at onward,
      *  catching up its bulk accounting first. */
     void wakeSmAt(std::size_t core, Cycles resume_at);
-    /** Tick only memory partitions whose cached nextEventAt() is due. */
+    /** Advance only memory partitions whose cached completion bound is
+     *  due, jumping each across its busy window in one advanceTo(). */
     void tickDramDue();
     Cycles dramNextEvent(std::size_t partition) const;
-    /** Earliest cycle at which any component can act (lower bound). */
-    Cycles nextComponentEventAt() const;
+    /** Record a wake time in the lazy min-heap mirror of smWakeAt_. */
+    void pushSmWake(std::size_t core, Cycles at);
+    /** Collect cores due this cycle (smWakeAt_ <= now_) into smDue_,
+     *  ascending, consuming their heap entries. */
+    void collectDueSms();
+    /** Tick the smDue_[begin, end) slice (fast path's SM phase). */
+    void tickSmDueRange(std::size_t begin, std::size_t end);
+    /** Replay one core's buffered SM->device ops (cycle barrier). */
+    void drainOneOutbox(std::size_t core);
+    /** Earliest cycle at which any component can act (lower bound).
+     *  Non-const: prunes stale smWakeHeap_ entries as a side effect. */
+    Cycles nextComponentEventAt();
     /** First cycle from which launchPending() stays false (the queue
      *  frozen as of now; exact during a jump: grids only leave the
      *  queue in the serial dispatch phase). */
@@ -308,6 +319,13 @@ class Gpu
     // in bulk by wakeSmAt()/exitSkip() before it is touched again.
     bool ffActive_ = false;
     std::vector<Cycles> smWakeAt_;
+    /** Lazy min-heap over smWakeAt_ writes: every assignment pushes a
+     *  (wake, core) pair, so the fast-forward loop finds due and
+     *  soonest-waking cores without scanning every SM per iteration.
+     *  Superseded entries (wake < smWakeAt_[core]) are dropped when
+     *  they surface; an entry equal to the live value always exists. */
+    std::vector<std::pair<Cycles, std::uint32_t>> smWakeHeap_;
+    std::vector<std::uint32_t> smDue_;  //!< Cores awake this iteration
     std::vector<Cycles> dramNextAt_;   //!< Cached per-partition bound
     Cycles dispatchNextAt_ = 0;        //!< Next useful dispatchCtas()
     /** Cumulative count of simulated cycles with launchPending() true

@@ -257,6 +257,47 @@ TEST_P(EngineEquivalenceTest, FuzzedConfigsStayEquivalent)
 INSTANTIATE_TEST_SUITE_P(AllApps, EngineEquivalenceTest,
                          ::testing::ValuesIn(allCases()), caseName);
 
+// The batched DRAM window advance is most at risk on memory-bound
+// apps, where the fast-forward path jumps partitions across long busy
+// windows: pin every scheduler's replay order against every line size
+// (line size changes both the trace and dataCyclesPerLine), with the
+// remaining timing knobs fuzzed per combination.
+TEST(EngineMemSchedGrid, MemBoundAppsStayEquivalentAcrossLineSizes)
+{
+    for (const std::string app : {"NvB", "CLUSTER"}) {
+        for (const MemSchedPolicy sched :
+             {MemSchedPolicy::Fifo, MemSchedPolicy::FrFcfs,
+              MemSchedPolicy::OoO128}) {
+            for (const std::uint32_t line_bytes : {64u, 128u, 256u}) {
+                Rng rng((std::uint64_t(std::hash<std::string>{}(app))
+                         << 8) ^ (std::uint64_t(sched) << 4) ^ line_bytes);
+                core::RunConfig config = tinyConfig(false);
+                config.system = fuzzedSystem(rng);
+                config.system.gpu.memSched = sched;
+                config.system.gpu.lineBytes = line_bytes;
+                config.system.gpu.perfectMemory = false;  // Exercise DRAM
+                config.system.validate();
+                SCOPED_TRACE(app + " sched=" +
+                             toString(config.system.gpu.memSched) +
+                             " line=" + std::to_string(line_bytes) +
+                             " parts=" +
+                             std::to_string(
+                                 config.system.gpu.numMemPartitions));
+
+                core::RunRecord reference;
+                {
+                    ScopedNoFastForward off;
+                    reference = core::runApp(app, config);
+                }
+                ASSERT_TRUE(reference.verified) << reference.detail;
+
+                const core::RunRecord ff = core::runApp(app, config);
+                expectRecordsIdentical(reference, ff);
+            }
+        }
+    }
+}
+
 // ---- Profiler / checker seam ---------------------------------------
 
 // An attached timing observer forces single-cycle stepping, so a
@@ -350,6 +391,33 @@ TEST(EngineTickContract, FastForwardNeverSimulatesMoreThanCycles)
     EXPECT_EQ(ref_stats.smTicks,
               ref_stats.iterations * std::uint64_t(cores));
     // The whole point: strictly fewer iterations on a stall-heavy app.
+    EXPECT_LT(stats.iterations, ref_stats.iterations);
+}
+
+// Same contract on a memory-bound app at small scale: with the DRAM
+// window advance batched, the fast-forward loop's iteration count is
+// set by completion events and must land strictly below the reference
+// loop's even when DRAM is busy nearly every cycle.
+TEST(EngineTickContract, MemoryBoundFastForwardIteratesLessAtSmallScale)
+{
+    core::RunConfig config = tinyConfig(false);
+    config.options.scale = kernels::InputScale::Small;
+
+    rt::Device device(config.system);
+    auto app = core::makeApp("NvB");
+    ASSERT_TRUE(app->run(device, config.options).verified);
+    const sim::EngineStats stats = device.engineStats();
+    EXPECT_TRUE(stats.fastForward);
+    EXPECT_LE(stats.iterations, stats.cycles);
+
+    rt::Device reference(config.system);
+    {
+        ScopedNoFastForward off;
+        auto ref_app = core::makeApp("NvB");
+        ASSERT_TRUE(ref_app->run(reference, config.options).verified);
+    }
+    const sim::EngineStats ref_stats = reference.engineStats();
+    EXPECT_EQ(ref_stats.cycles, stats.cycles);
     EXPECT_LT(stats.iterations, ref_stats.iterations);
 }
 

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "common/log.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -109,7 +112,7 @@ TEST(Dram, RowHitsAreCountedAfterActivation)
     std::vector<DramCompletion> done;
     Cycles now = 0;
     while (done.size() < 2 && now < 100000)
-        channel.tick(++now, done);
+        channel.advanceTo(++now, done);
     EXPECT_EQ(done.size(), 2u);
     EXPECT_EQ(channel.rowMisses(), 1u);  // first opens the row
     EXPECT_EQ(channel.rowHits(), 1u);
@@ -127,7 +130,7 @@ TEST(Dram, FrFcfsPrefersOpenRowOverOlderRequest)
     std::vector<DramCompletion> done;
     Cycles now = 0;
     while (done.empty() && now < 100000)
-        channel.tick(++now, done);
+        channel.advanceTo(++now, done);
     done.clear();
 
     const Addr rowB = Addr(cfg.dramRowBytes) * cfg.dramBanksPerChannel;
@@ -135,7 +138,7 @@ TEST(Dram, FrFcfsPrefersOpenRowOverOlderRequest)
     channel.push({0x100, false, now, 11});  // row A again
     std::vector<DramCompletion> completed;
     while (completed.size() < 2 && now < 200000)
-        channel.tick(++now, completed);
+        channel.advanceTo(++now, completed);
     ASSERT_EQ(completed.size(), 2u);
     const bool hit_first =
         completed[0].doneAt < completed[1].doneAt
@@ -155,7 +158,7 @@ TEST(Dram, FifoServesStrictlyInOrder)
     std::vector<DramCompletion> done;
     Cycles now = 0;
     while (done.size() < 3 && now < 300000)
-        channel.tick(++now, done);
+        channel.advanceTo(++now, done);
     ASSERT_EQ(done.size(), 3u);
     // Completion times must be ordered by request id under FIFO.
     Cycles t1 = 0, t2 = 0, t3 = 0;
@@ -198,7 +201,7 @@ TEST(Dram, EfficiencyIsPinBusyOverActive)
     std::vector<DramCompletion> done;
     Cycles now = 0;
     while (done.empty() && now < 100000)
-        channel.tick(++now, done);
+        channel.advanceTo(++now, done);
     EXPECT_GT(channel.activeCycles(), channel.pinBusyCycles());
     EXPECT_GT(channel.efficiency(), 0.0);
     EXPECT_LT(channel.efficiency(), 1.0);
@@ -215,7 +218,7 @@ TEST(Dram, BankParallelismOverlapsActivations)
         std::vector<DramCompletion> done;
         Cycles now = 0;
         while (done.size() < 2 && now < 300000)
-            channel.tick(++now, done);
+            channel.advanceTo(++now, done);
         Cycles last = 0;
         for (const auto &d : done)
             last = std::max(last, d.doneAt);
@@ -238,14 +241,14 @@ TEST(Dram, RetirementBatchIsAgeOrdered)
     channel.push({Addr(cfg.dramRowBytes), false, 0, 2});
     channel.push({Addr(cfg.dramRowBytes) * 2, false, 0, 3});
     std::vector<DramCompletion> done;
-    channel.tick(1, done);
-    channel.tick(2, done);
-    channel.tick(3, done);
+    channel.advanceTo(1, done);
+    channel.advanceTo(2, done);
+    channel.advanceTo(3, done);
     ASSERT_TRUE(done.empty());
     // Jump past all three completions in one tick, as the event-driven
     // GPU loop does. The swap-with-back removal scrambles the internal
     // in-flight vector, so an unsorted batch would retire 1, 3, 2.
-    channel.tick(1000000, done);
+    channel.advanceTo(1000000, done);
     ASSERT_EQ(done.size(), 3u);
     EXPECT_EQ(done[0].reqId, 1u);
     EXPECT_EQ(done[1].reqId, 2u);
@@ -261,6 +264,166 @@ TEST(Dram, NextEventAtBoundsProgress)
     EXPECT_EQ(channel.nextEventAt(10), ~Cycles(0));  // idle
     channel.push({0x0, false, 0, 1});
     EXPECT_EQ(channel.nextEventAt(10), 11u);  // can issue next cycle
+}
+
+namespace
+{
+
+/**
+ * A random request stream for the cross-check tests: a handful of
+ * banks and rows (so bank conflicts and row hits both occur), arrivals
+ * spread over a window, at most 60 requests so the queue never fills
+ * under any policy and both walkers can push at identical cycles.
+ */
+std::vector<DramRequest>
+randomTrace(std::mt19937 &rng, const GpuConfig &cfg)
+{
+    std::uniform_int_distribution<int> count(30, 60);
+    std::uniform_int_distribution<Addr> bank(0, 3);
+    std::uniform_int_distribution<Addr> row(0, 2);
+    std::uniform_int_distribution<Addr> col(0, 15);
+    std::uniform_int_distribution<Cycles> arrival(0, 3000);
+    std::uniform_int_distribution<int> write(0, 1);
+
+    std::vector<DramRequest> trace(std::size_t(count(rng)));
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const Addr line =
+            (row(rng) * cfg.dramBanksPerChannel + bank(rng))
+                * cfg.dramRowBytes
+            + col(rng) * cfg.lineBytes;
+        trace[i] = {line, write(rng) != 0, arrival(rng), i + 1};
+    }
+    std::sort(trace.begin(), trace.end(),
+              [](const DramRequest &a, const DramRequest &b) {
+                  return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                : a.reqId < b.reqId;
+              });
+    return trace;
+}
+
+const MemSchedPolicy kAllPolicies[] = {
+    MemSchedPolicy::Fifo, MemSchedPolicy::FrFcfs, MemSchedPolicy::OoO128};
+
+} // namespace
+
+TEST(Dram, NextEventAtNeverSkipsAnEventRandomized)
+{
+    // Brute-force audit of the wake bound's contract: whenever
+    // nextEventAt(t) claims the stretch (t, bound) is quiet, stepping
+    // the channel cycle by cycle must find no issue and no completion
+    // inside it. A new arrival voids outstanding claims (the bound
+    // could not have known), exactly as the simulator's reference loop
+    // recomputes its wake after delivering events.
+    std::mt19937 rng(0xD5A3);
+    for (const MemSchedPolicy policy : kAllPolicies) {
+        const GpuConfig cfg = dramConfig(policy);
+        for (int trial = 0; trial < 8; ++trial) {
+            DramChannel channel(cfg, 0);
+            const std::vector<DramRequest> trace = randomTrace(rng, cfg);
+            std::vector<DramCompletion> done;
+            std::size_t next_push = 0;
+            std::uint64_t served_before = 0;
+            Cycles max_bound = 0;
+            for (Cycles now = 1; now < 400000; ++now) {
+                bool pushed = false;
+                while (next_push < trace.size() &&
+                       trace[next_push].arrival <= now) {
+                    channel.push(trace[next_push++]);
+                    pushed = true;
+                }
+                if (pushed)
+                    max_bound = 0;
+                const std::size_t done_before = done.size();
+                channel.advanceTo(now, done);
+                const bool event = done.size() != done_before ||
+                                   channel.served() != served_before;
+                served_before = channel.served();
+                if (event)
+                    ASSERT_LE(max_bound, now)
+                        << "policy " << int(policy) << " trial " << trial
+                        << ": nextEventAt skipped an event at " << now;
+                if (next_push == trace.size() && channel.idle())
+                    break;
+                max_bound = std::max(max_bound, channel.nextEventAt(now));
+            }
+            ASSERT_TRUE(channel.idle());
+        }
+    }
+}
+
+TEST(Dram, CompletionBoundJumpMatchesPerCycleOracleRandomized)
+{
+    // The fast-forward engine's contract end to end: jumping a channel
+    // straight between nextCompletionAt() bounds (stopping only for
+    // arrivals) must reproduce, byte for byte, the completion stream
+    // and every counter that per-cycle stepping produces.
+    std::mt19937 rng(0xBEEF);
+    for (const MemSchedPolicy policy : kAllPolicies) {
+        const GpuConfig cfg = dramConfig(policy);
+        for (int trial = 0; trial < 8; ++trial) {
+            const std::vector<DramRequest> trace = randomTrace(rng, cfg);
+
+            const auto run = [&cfg, &trace](bool jump) {
+                DramChannel channel(cfg, 0);
+                std::vector<DramCompletion> done;
+                std::size_t next_push = 0;
+                Cycles now = 0;
+                while (now < 400000) {
+                    if (jump) {
+                        Cycles wake = channel.nextCompletionAt(now);
+                        if (next_push < trace.size())
+                            wake = std::min(
+                                wake,
+                                std::max(trace[next_push].arrival,
+                                         now + 1));
+                        if (wake == ~Cycles(0))
+                            break;
+                        now = wake;
+                    } else {
+                        if (next_push == trace.size() && channel.idle())
+                            break;
+                        ++now;
+                    }
+                    // Mirror the simulator's call pattern: the channel
+                    // is brought up to `now` before an arriving request
+                    // enters the queue (pushing first would let the
+                    // interior replay back-date its issue), then ticked
+                    // once more within the same cycle per arrival batch.
+                    channel.advanceTo(now, done);
+                    bool pushed = false;
+                    while (next_push < trace.size() &&
+                           trace[next_push].arrival <= now) {
+                        channel.push(trace[next_push++]);
+                        pushed = true;
+                    }
+                    if (pushed)
+                        channel.advanceTo(now, done);
+                }
+                return std::make_tuple(done, channel.served(),
+                                       channel.rowHits(),
+                                       channel.rowMisses(),
+                                       channel.pinBusyCycles(),
+                                       channel.activeCycles());
+            };
+
+            const auto oracle = run(false);
+            const auto jumped = run(true);
+            const auto &ref_done = std::get<0>(oracle);
+            const auto &jmp_done = std::get<0>(jumped);
+            ASSERT_EQ(ref_done.size(), jmp_done.size())
+                << "policy " << int(policy) << " trial " << trial;
+            for (std::size_t i = 0; i < ref_done.size(); ++i) {
+                EXPECT_EQ(ref_done[i].reqId, jmp_done[i].reqId);
+                EXPECT_EQ(ref_done[i].write, jmp_done[i].write);
+                EXPECT_EQ(ref_done[i].doneAt, jmp_done[i].doneAt);
+            }
+            EXPECT_EQ(std::get<1>(oracle), std::get<1>(jumped));
+            EXPECT_EQ(std::get<2>(oracle), std::get<2>(jumped));
+            EXPECT_EQ(std::get<3>(oracle), std::get<3>(jumped));
+            EXPECT_EQ(std::get<4>(oracle), std::get<4>(jumped));
+            EXPECT_EQ(std::get<5>(oracle), std::get<5>(jumped));
+        }
+    }
 }
 
 // -------------------------------------------------------------- PCI

@@ -85,17 +85,45 @@ TEST(SweepQueue, StaleClaimFromDeadPidIsRequeued)
     ASSERT_EQ(queue.claim(12345, index, prior), ClaimResult::Claimed);
 
     // While the claimant "lives", the point is unavailable.
-    queue.setLiveProbe([](pid_t) { return true; });
+    queue.setLiveProbe([](const std::string &) { return true; });
     EXPECT_EQ(queue.claim(::getpid(), index, prior),
               ClaimResult::WaitAndRetry);
 
     // Once it dies, the same point is claimable again and the caller
     // learns it is a retry (prior attempt count > 0).
-    queue.setLiveProbe([](pid_t) { return false; });
+    queue.setLiveProbe([](const std::string &) { return false; });
     ASSERT_EQ(queue.claim(::getpid(), index, prior),
               ClaimResult::Claimed);
     EXPECT_EQ(index, 0u);
     EXPECT_EQ(prior, 1);
+}
+
+TEST(SweepQueue, RecycledPidClaimIsRequeued)
+{
+    // Regression: a crashed worker's pid recycled by an unrelated live
+    // process must not pin its point forever. The journal records a
+    // claim whose pid is alive (ours) but whose start time belongs to
+    // the dead worker; the default probe must see through the reuse.
+    const std::string dir = freshDir("recycled");
+    const pid_t self = ::getpid();
+    {
+        std::ofstream os(dir + "/journal.log", std::ios::binary);
+        char host[256] = {};
+        ASSERT_EQ(::gethostname(host, sizeof(host) - 1), 0);
+        // Start time 1 (boot-era) can never match a test process.
+        os << "claim 0 " << host << ":" << self << ":1\n";
+    }
+    WorkQueue queue(dir, 1);
+    std::size_t index = 99;
+    int prior = -1;
+    // A pid-only liveness probe would return WaitAndRetry here forever.
+    ASSERT_EQ(queue.claim(self, index, prior), ClaimResult::Claimed);
+    EXPECT_EQ(index, 0u);
+    EXPECT_EQ(prior, 1);
+
+    // Sanity: an honest token for a live process still holds its claim.
+    WorkQueue other(dir, 1);
+    EXPECT_EQ(other.claim(self, index, prior), ClaimResult::WaitAndRetry);
 }
 
 TEST(SweepQueue, FailedPointRetriesOnceThenExhausts)

@@ -10,6 +10,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -222,6 +227,81 @@ TEST(TraceCache, StrictVerifyTurnsUnverifiedIntoFatal)
     EXPECT_THROW(store.get("SW", tinyOptions(), 128), ggpu::FatalError);
     ::unsetenv("GGPU_STRICT_VERIFY");
     EXPECT_EQ(store.diskStores(), 0u);
+}
+
+TEST(TraceCache, GcEvictsOldestFirstUntilUnderBudget)
+{
+    const std::string dir = freshDir("gc_lru");
+    // Three 100-byte "bundles" with staggered ages; GC only looks at
+    // names, sizes, and mtimes, so synthetic files are enough.
+    const std::string payload(100, 'x');
+    using namespace std::chrono_literals;
+    const auto now = fs::file_time_type::clock::now();
+    writeFile(dir + "/a.ggputrace", payload);
+    writeFile(dir + "/b.ggputrace", payload);
+    writeFile(dir + "/c.ggputrace", payload);
+    fs::last_write_time(dir + "/a.ggputrace", now - 3h);
+    fs::last_write_time(dir + "/b.ggputrace", now - 2h);
+    fs::last_write_time(dir + "/c.ggputrace", now - 1h);
+
+    const auto stats = ggpu::core::traceCacheGc(dir, 150);
+    EXPECT_EQ(stats.scanned, 3u);
+    EXPECT_EQ(stats.bytesBefore, 300u);
+    EXPECT_EQ(stats.evicted, 2u);
+    EXPECT_EQ(stats.bytesAfter, 100u);
+    EXPECT_FALSE(fs::exists(dir + "/a.ggputrace"));
+    EXPECT_FALSE(fs::exists(dir + "/b.ggputrace"));
+    EXPECT_TRUE(fs::exists(dir + "/c.ggputrace"));
+
+    // Budget 0 is report-only.
+    const auto report = ggpu::core::traceCacheGc(dir, 0);
+    EXPECT_EQ(report.bytesBefore, 100u);
+    EXPECT_EQ(report.evicted, 0u);
+}
+
+TEST(TraceCache, GcNeverEvictsEntryWhoseLockIsHeld)
+{
+    const std::string dir = freshDir("gc_locked");
+    const std::string payload(100, 'x');
+    using namespace std::chrono_literals;
+    const auto now = fs::file_time_type::clock::now();
+    writeFile(dir + "/old.ggputrace", payload);
+    writeFile(dir + "/new.ggputrace", payload);
+    fs::last_write_time(dir + "/old.ggputrace", now - 2h);
+    fs::last_write_time(dir + "/new.ggputrace", now - 1h);
+
+    // Hold the oldest entry's per-key flock, as an in-progress load or
+    // emission would.
+    const int fd = ::open((dir + "/old.ggputrace.lock").c_str(),
+                          O_CREAT | O_RDWR, 0644);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::flock(fd, LOCK_EX), 0);
+
+    const auto stats = ggpu::core::traceCacheGc(dir, 100);
+    EXPECT_EQ(stats.lockSkipped, 1u);
+    EXPECT_EQ(stats.evicted, 1u);
+    EXPECT_TRUE(fs::exists(dir + "/old.ggputrace"));   // In use: kept
+    EXPECT_FALSE(fs::exists(dir + "/new.ggputrace"));  // LRU fallback
+    ::close(fd);
+}
+
+TEST(TraceCache, StoreHonorsMaxBytesBudgetFromEnvironment)
+{
+    const std::string dir = freshDir("gc_env");
+    ::setenv("GGPU_TRACE_CACHE_MAX_BYTES", "1", 1);
+    TraceStore store(dir);
+    store.get("SW", tinyOptions(), 128);
+    const std::string first = store.cacheFilePath("SW", tinyOptions(), 128);
+    EXPECT_TRUE(fs::exists(first));
+
+    // Storing a second bundle blows the 1-byte budget; the GC pass runs
+    // while the second key's flock is still held, so it evicts the
+    // older entry and keeps the one just published.
+    store.get("NW", tinyOptions(), 128);
+    const std::string second = store.cacheFilePath("NW", tinyOptions(), 128);
+    ::unsetenv("GGPU_TRACE_CACHE_MAX_BYTES");
+    EXPECT_FALSE(fs::exists(first));
+    EXPECT_TRUE(fs::exists(second));
 }
 
 TEST(TraceCache, SerializeRoundTripPreservesReplay)

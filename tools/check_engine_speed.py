@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Engine-speed floor check for CI.
+
+Reads a BENCH_ENGINE.json artifact (ggpu.bench.v1) produced by
+bench_engine_speed, computes the average fast-forward-vs-per-cycle
+speedup across all rows, and fails if it falls below the floor
+recorded in bench/engine_speed_baseline.json.
+
+The floor is a regression tripwire, not a target: it is set well below
+the average measured before the batched DRAM window advance landed, so
+only a real loss of fast-forward effectiveness (or an accidental
+fallback to per-cycle stepping) trips it, not machine-to-machine
+noise. Update the baseline file deliberately, with a measurement, when
+the engine is intentionally changed.
+
+Usage: check_engine_speed.py <BENCH_ENGINE.json> [baseline.json]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+# Trailing aggregate rows emitted after the per-app rows; they carry a
+# value in the speedup column and must not be folded into the average.
+SUMMARY_ROWS = {"average", "max", ">=2x runs"}
+
+
+def average_speedup(artifact_path):
+    with open(artifact_path) as handle:
+        artifact = json.load(handle)
+    series = artifact["series"][0]
+    app_col = series["headers"].index("App")
+    speedup_col = series["headers"].index("speedup")
+    speedups = [
+        float(row[speedup_col])
+        for row in series["rows"]
+        if row[app_col] not in SUMMARY_ROWS
+    ]
+    if not speedups:
+        raise SystemExit(f"{artifact_path}: no benchmark rows")
+    return sum(speedups) / len(speedups), len(speedups)
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        raise SystemExit(__doc__)
+    artifact = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else Path(__file__).resolve().parent.parent
+        / "bench"
+        / "engine_speed_baseline.json"
+    )
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+
+    average, rows = average_speedup(artifact)
+    floor = float(baseline["average_speedup_floor"])
+    scale = baseline.get("scale", "?")
+    print(
+        f"engine-speed: average replay speedup {average:.2f}x over "
+        f"{rows} runs (floor {floor:.2f}x at scale={scale}, pre-change "
+        f"average {baseline.get('measured_baseline_average', '?')}x)"
+    )
+    if average < floor:
+        raise SystemExit(
+            f"engine-speed REGRESSION: average speedup {average:.2f}x "
+            f"is below the recorded floor {floor:.2f}x "
+            f"(see {baseline_path})"
+        )
+    print("engine-speed: OK")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -56,6 +56,7 @@ using ggpu::tools::WorkQueue;
 struct Cli
 {
     bool workerMode = false;
+    bool cacheGc = false;
     int workerId = 0;
     std::string dir;
     int workers = 1;
@@ -108,7 +109,12 @@ usage()
         << "execution options:\n"
         << "  --workers N               worker processes (default 1)\n"
         << "  --backoff-ms N            retry backoff (default 200)\n"
-        << "  --stagger-ms N            delay worker i by i*N ms\n";
+        << "  --stagger-ms N            delay worker i by i*N ms\n"
+        << "\n"
+        << "maintenance:\n"
+        << "  --cache-gc                shrink the sweep's trace cache\n"
+        << "                            to GGPU_TRACE_CACHE_MAX_BYTES\n"
+        << "                            (report size only when unset)\n";
     return 2;
 }
 
@@ -124,6 +130,8 @@ parseCli(const std::vector<std::string> &args, Cli &cli)
         };
         if (arg == "--worker")
             cli.workerMode = true;
+        else if (arg == "--cache-gc")
+            cli.cacheGc = true;
         else if (arg == "--id")
             cli.workerId = std::stoi(next());
         else if (arg == "--dir")
@@ -469,6 +477,23 @@ runOrchestrator(const Cli &cli)
     return 0;
 }
 
+int
+runCacheGc(const Cli &cli)
+{
+    defaultTraceCache(cli.dir);
+    const std::string cache = std::getenv("GGPU_TRACE_CACHE");
+    const std::uint64_t budget = ggpu::core::traceCacheMaxBytes();
+    const ggpu::core::TraceCacheGcStats stats =
+        ggpu::core::traceCacheGc(cache, budget);
+    std::cout << "[sweep] cache-gc " << cache << ": " << stats.scanned
+              << " bundles, " << stats.bytesBefore << " -> "
+              << stats.bytesAfter << " bytes (budget "
+              << (budget > 0 ? std::to_string(budget) : std::string("none"))
+              << "), evicted " << stats.evicted << ", kept "
+              << stats.lockSkipped << " in-use\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -479,6 +504,8 @@ main(int argc, char **argv)
     try {
         if (!parseCli(args, cli))
             return usage();
+        if (cli.cacheGc)
+            return runCacheGc(cli);
         return cli.workerMode ? runWorker(cli) : runOrchestrator(cli);
     } catch (const std::exception &e) {
         std::cerr << "ggpu_sweep: " << e.what() << "\n";

@@ -43,7 +43,104 @@ class QueueLock
     int fd_;
 };
 
+/** kill(0) liveness: does the pid name any current process? */
+bool
+pidLive(pid_t pid)
+{
+    return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+/** This machine's name, cached (claim tokens embed it). */
+const std::string &
+localHostname()
+{
+    static const std::string host = [] {
+        char buf[256] = {};
+        if (::gethostname(buf, sizeof(buf) - 1) != 0)
+            return std::string("localhost");
+        return std::string(buf);
+    }();
+    return host;
+}
+
+/**
+ * Start time of @p pid in clock ticks since boot, from field 22 of
+ * /proc/<pid>/stat; 0 when unreadable. Parsed from the last ')' —
+ * the comm field may itself contain spaces and parentheses.
+ */
+unsigned long long
+procStartTime(pid_t pid)
+{
+    std::ifstream in("/proc/" + std::to_string(pid) + "/stat");
+    if (!in)
+        return 0;
+    std::string stat;
+    std::getline(in, stat);
+    const std::size_t close = stat.rfind(')');
+    if (close == std::string::npos)
+        return 0;
+    // Fields 3..: state ppid pgrp session tty_nr tpgid flags minflt
+    // cminflt majflt cmajflt utime stime cutime cstime priority nice
+    // num_threads itrealvalue starttime -> the 20th token after comm.
+    std::istringstream rest(stat.substr(close + 1));
+    std::string token;
+    for (int field = 3; field <= 22; ++field)
+        if (!(rest >> token))
+            return 0;
+    try {
+        return std::stoull(token);
+    } catch (...) {
+        return 0;
+    }
+}
+
 } // namespace
+
+std::string
+WorkQueue::claimToken(pid_t pid)
+{
+    std::ostringstream os;
+    os << localHostname() << ":" << pid << ":" << procStartTime(pid);
+    return os.str();
+}
+
+bool
+WorkQueue::tokenAlive(const std::string &token)
+{
+    const std::size_t last = token.rfind(':');
+    if (last == std::string::npos) {
+        // Legacy bare-pid claim line: pid liveness is all we have.
+        try {
+            return pidLive(pid_t(std::stoll(token)));
+        } catch (...) {
+            return false;
+        }
+    }
+    const std::size_t mid =
+        last > 0 ? token.rfind(':', last - 1) : std::string::npos;
+    if (mid == std::string::npos)
+        return true;  // Malformed: never steal what we can't judge.
+    long long pid = 0;
+    unsigned long long start = 0;
+    try {
+        pid = std::stoll(token.substr(mid + 1, last - mid - 1));
+        start = std::stoull(token.substr(last + 1));
+    } catch (...) {
+        return true;
+    }
+    if (token.compare(0, mid, localHostname()) != 0)
+        return true;  // Remote worker: unprobeable, count as live.
+    if (!pidLive(pid_t(pid)))
+        return false;
+    if (start != 0) {
+        // The pid exists, but is it still the claimant? A different
+        // start time means the pid was recycled by another process.
+        const unsigned long long current = procStartTime(pid_t(pid));
+        if (current != 0 && current != start)
+            return false;
+    }
+    return true;
+}
 
 WorkQueue::WorkQueue(std::string dir, std::size_t num_points,
                      int max_attempts)
@@ -52,16 +149,14 @@ WorkQueue::WorkQueue(std::string dir, std::size_t num_points,
       lockPath_(dir_ + "/queue.lock"),
       maxAttempts_(max_attempts),
       states_(num_points),
-      liveProbe_([](pid_t pid) {
-          return ::kill(pid, 0) == 0 || errno == EPERM;
-      })
+      liveProbe_(&WorkQueue::tokenAlive)
 {
     if (max_attempts < 1)
         fatal("sweep-queue: max_attempts must be >= 1");
 }
 
 void
-WorkQueue::setLiveProbe(std::function<bool(pid_t)> probe)
+WorkQueue::setLiveProbe(std::function<bool(const std::string &)> probe)
 {
     liveProbe_ = std::move(probe);
 }
@@ -80,21 +175,21 @@ WorkQueue::reload()
         std::istringstream fields(line);
         std::string verb;
         std::size_t index = 0;
-        long long pid = 0;
-        if (!(fields >> verb >> index >> pid))
+        std::string token;
+        if (!(fields >> verb >> index >> token))
             continue;
         if (index >= states_.size())
             continue;
         PointState &state = states_[index];
         if (verb == "claim") {
             ++state.attempts;
-            state.claimedBy = pid_t(pid);
+            state.claimedBy = token;
         } else if (verb == "done") {
             state.done = true;
-            state.claimedBy = 0;
+            state.claimedBy.clear();
         } else if (verb == "fail") {
             ++state.failures;
-            state.claimedBy = 0;
+            state.claimedBy.clear();
         }
     }
 }
@@ -122,7 +217,7 @@ WorkQueue::runnable(const PointState &state) const
 {
     if (state.done || state.attempts >= maxAttempts_)
         return false;
-    return state.claimedBy == 0 || !liveProbe_(state.claimedBy);
+    return state.claimedBy.empty() || !liveProbe_(state.claimedBy);
 }
 
 ClaimResult
@@ -138,16 +233,17 @@ WorkQueue::claim(pid_t self, std::size_t &index, int &prior_attempts)
         if (runnable(state)) {
             index = i;
             prior_attempts = state.attempts;
+            const std::string token = claimToken(self);
             std::ostringstream os;
-            os << "claim " << i << " " << self;
+            os << "claim " << i << " " << token;
             append(os.str());
-            states_[i].claimedBy = self;
+            states_[i].claimedBy = token;
             ++states_[i].attempts;
             return ClaimResult::Claimed;
         }
         // Not runnable but not done: either live-claimed (may yet
         // fail back onto the queue) or out of attempts (dead).
-        if (state.attempts < maxAttempts_ || state.claimedBy != 0)
+        if (state.attempts < maxAttempts_ || !state.claimedBy.empty())
             anyOpen = true;
     }
     return anyOpen ? ClaimResult::WaitAndRetry : ClaimResult::NothingLeft;
@@ -158,7 +254,7 @@ WorkQueue::markDone(std::size_t index, pid_t self)
 {
     QueueLock lock(lockPath_);
     std::ostringstream os;
-    os << "done " << index << " " << self;
+    os << "done " << index << " " << claimToken(self);
     append(os.str());
     reload();
 }
@@ -174,7 +270,7 @@ WorkQueue::markFailed(std::size_t index, pid_t self,
     for (char &c : flat)
         if (c == '\n' || c == '\r')
             c = ' ';
-    os << "fail " << index << " " << self << " " << flat;
+    os << "fail " << index << " " << claimToken(self) << " " << flat;
     append(os.str());
     reload();
 }
@@ -195,7 +291,7 @@ WorkQueue::exhaustedPoints() const
     for (std::size_t i = 0; i < states_.size(); ++i) {
         const PointState &state = states_[i];
         if (!state.done && state.attempts >= maxAttempts_ &&
-            (state.claimedBy == 0 || !liveProbe_(state.claimedBy)))
+            (state.claimedBy.empty() || !liveProbe_(state.claimedBy)))
             out.push_back(i);
     }
     return out;

@@ -10,9 +10,17 @@
  *
  * Journal grammar (one event per line, appended under the lock):
  *
- *     claim <point> <pid>
- *     done <point> <pid>
- *     fail <point> <pid> <reason...>
+ *     claim <point> <host:pid:starttime>
+ *     done <point> <host:pid:starttime>
+ *     fail <point> <host:pid:starttime> <reason...>
+ *
+ * The claimant token pins the worker's identity across pid reuse: pid
+ * alone is ambiguous (a crashed worker's pid can be recycled by an
+ * unrelated live process, which would block its point forever), so
+ * claims carry the hostname and the process start time from
+ * /proc/<pid>/stat field 22 and a claim is only honoured while all
+ * three still match a live process. Legacy bare-pid tokens parse and
+ * keep the old pid-liveness semantics.
  *
  * A torn final line (the writer died mid-append) is ignored on
  * replay. Every mutation re-reads the journal first, so the in-memory
@@ -35,9 +43,9 @@ namespace ggpu::tools
 /** Replayed state of one point. */
 struct PointState
 {
-    int attempts = 0;       //!< claim lines seen
-    int failures = 0;       //!< fail lines seen
-    pid_t claimedBy = 0;    //!< Pid of an open claim (0 = none)
+    int attempts = 0;         //!< claim lines seen
+    int failures = 0;         //!< fail lines seen
+    std::string claimedBy;    //!< Claimant token of an open claim
     bool done = false;
 };
 
@@ -87,9 +95,23 @@ class WorkQueue
     /** Points whose attempts are exhausted without success. */
     std::vector<std::size_t> exhaustedPoints() const;
 
-    /** Replace the liveness probe (kill(pid, 0) by default); tests
+    /** Replace the liveness probe (tokenAlive() by default); tests
      *  inject "everything is dead" to exercise stale-claim requeue. */
-    void setLiveProbe(std::function<bool(pid_t)> probe);
+    void setLiveProbe(std::function<bool(const std::string &)> probe);
+
+    /** Claimant token for @p pid: `host:pid:starttime` (starttime 0
+     *  when /proc/<pid>/stat is unreadable, e.g. a foreign pid). */
+    static std::string claimToken(pid_t pid);
+
+    /**
+     * Default probe: does @p token still name a live worker? Remote
+     * hosts can't be probed and count as live; a local token is live
+     * only while its pid exists AND its recorded start time matches
+     * the current /proc start time (a mismatch means the pid was
+     * recycled by an unrelated process). Legacy bare-pid tokens fall
+     * back to pid liveness alone.
+     */
+    static bool tokenAlive(const std::string &token);
 
     const std::string &journalPath() const { return journalPath_; }
 
@@ -102,7 +124,7 @@ class WorkQueue
     std::string lockPath_;
     int maxAttempts_;
     std::vector<PointState> states_;
-    std::function<bool(pid_t)> liveProbe_;
+    std::function<bool(const std::string &)> liveProbe_;
 };
 
 } // namespace ggpu::tools
