@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Serving-mode sweep: p50/p95/p99 latency and sustained throughput
+ * across arrival rates x batch policies x stream counts on one
+ * simulated device. Prints one table per sweep axis and, under
+ * GGPU_JSON, writes BENCH_SERVING.json (`ggpu.serving.v1`,
+ * docs/SERVING.md) next to the bench.v1 artifacts. Unlike the figure
+ * benches this binary does not use Google Benchmark — a serving point
+ * is a single deterministic replay, not a timed microbenchmark — but
+ * it accepts (and ignores) run_benches.sh's --benchmark_* flags.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/metrics_merge.hh"
+#include "core/report.hh"
+#include "core/trace_store.hh"
+#include "serve/report.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+struct Point
+{
+    double rate = 0.0;
+    serve::BatchPolicy policy = serve::BatchPolicy::Fifo;
+    int streams = 2;
+};
+
+std::uint64_t
+requestsForScale(kernels::InputScale scale)
+{
+    switch (scale) {
+      case kernels::InputScale::Tiny:
+        return 48;
+      case kernels::InputScale::Small:
+        return 96;
+      case kernels::InputScale::Medium:
+        return 160;
+    }
+    return 48;
+}
+
+} // namespace
+
+int
+main(int, char **)
+{
+    const kernels::InputScale scale = core::scaleFromEnv();
+    const int threads = core::threadsFromEnv();
+
+    serve::ServeConfig config;
+    config.system.sim.threads = threads;
+    config.scale = scale;
+    config.batcher.maxBatch = 24;
+
+    serve::TapeConfig tape_config;
+    tape_config.requests = requestsForScale(scale);
+    tape_config.coreClockGhz = config.system.gpu.coreClockGhz;
+    tape_config.apps = {"SW", "GL"};
+    // ~200 us flush bound: far below any p50 a saturated device can
+    // reach, so the timeout only shapes the partial-batch tail.
+    config.batcher.timeout =
+        Cycles(200.0 * config.system.gpu.coreClockGhz * 1e3);
+
+    std::vector<Point> points;
+    for (const double rate : {1000.0, 4000.0, 16000.0}) {
+        for (const serve::BatchPolicy policy :
+             {serve::BatchPolicy::Fifo, serve::BatchPolicy::PerApp,
+              serve::BatchPolicy::LengthBinned})
+            points.push_back({rate, policy, 2});
+    }
+    for (const int streams : {1, 4})
+        points.push_back({4000.0, serve::BatchPolicy::PerApp, streams});
+
+    core::TraceStore store;
+    core::Table table({"point", "served", "batches", "reads/s",
+                       "p50 ms", "p95 ms", "p99 ms", "util"});
+    std::vector<core::json::Value> rendered;
+
+    const double ghz = config.system.gpu.coreClockGhz;
+    for (const Point &point : points) {
+        tape_config.ratePerSec = point.rate;
+        config.batcher.policy = point.policy;
+        config.streams = point.streams;
+        const serve::RequestTape tape =
+            serve::generateTape(tape_config);
+        const serve::ServeResult result =
+            serve::runServing(tape, config, store);
+
+        const std::string label =
+            std::string(
+                serve::arrivalProcessName(tape_config.process)) +
+            "-" + std::to_string(std::uint64_t(point.rate)) + "/" +
+            serve::policyName(point.policy) + "/s" +
+            std::to_string(point.streams);
+        auto ms = [&](double p) {
+            return core::Table::num(
+                double(percentileOfSorted(result.latencyCycles, p)) /
+                    (ghz * 1e6),
+                3);
+        };
+        double busy = 0.0;
+        for (Cycles b : result.streamBusy)
+            busy += double(b);
+        const double makespan = double(result.makespan);
+        table.addRow(
+            {label, std::to_string(result.served),
+             std::to_string(result.batches),
+             core::Table::num(makespan > 0.0
+                                  ? double(result.reads) /
+                                        (makespan / (ghz * 1e9))
+                                  : 0.0,
+                              1),
+             ms(0.50), ms(0.95), ms(0.99),
+             core::Table::percent(
+                 makespan > 0.0
+                     ? busy / (makespan * double(point.streams))
+                     : 0.0)});
+        rendered.push_back(
+            serve::pointToJson(label, tape, config, result));
+    }
+
+    std::cout << "== serving sweep (" << core::scaleName(scale)
+              << ", " << threads << " thread(s)) ==\n";
+    table.print(std::cout);
+
+    if (const char *dir = std::getenv("GGPU_JSON"); dir && *dir) {
+        const std::string path =
+            std::string(dir) + "/BENCH_SERVING.json";
+        const core::json::Value doc = serve::buildServingArtifact(
+            core::scaleName(scale), threads, tape_config.seed,
+            std::move(rendered));
+        serve::validateServingArtifact(path, doc);
+        core::writeJsonFile(path, doc);
+        std::cout << "wrote " << path << "\n";
+    }
+    return 0;
+}

@@ -25,6 +25,7 @@
 #include "core/metrics.hh"
 #include "core/metrics_merge.hh"
 #include "profile/timeline.hh"
+#include "serve/report.hh"
 
 namespace
 {
@@ -84,6 +85,12 @@ cmdValidate(const std::string &path)
         checkCheckerArtifact(path, doc);
         std::cout << path << ": ok (" << doc.at("runs").size()
                   << " checker runs)\n";
+        return 0;
+    }
+    if (doc.at("schema").asString() == ggpu::serve::servingSchema) {
+        ggpu::serve::validateServingArtifact(path, doc);
+        std::cout << path << ": ok (" << doc.at("points").size()
+                  << " serving points)\n";
         return 0;
     }
     if (doc.at("schema").asString() == ggpu::profile::timelineSchema) {

@@ -57,6 +57,50 @@ Histogram::fraction(std::size_t key) const
     return ratio(count(key), total());
 }
 
+namespace
+{
+
+/** ceil(p * n) as a rank in [1, n] for clamped p in (0, 1]. */
+std::uint64_t
+nearestRank(double p, std::uint64_t n)
+{
+    if (p <= 0.0)
+        return 1;
+    if (p >= 1.0)
+        return n;
+    const std::uint64_t rank = std::uint64_t(p * double(n));
+    // Integer truncation floors; bump unless p * n was exact.
+    return double(rank) >= p * double(n) ? (rank == 0 ? 1 : rank)
+                                         : rank + 1;
+}
+
+} // namespace
+
+std::uint64_t
+percentileOfSorted(const std::vector<std::uint64_t> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    const std::uint64_t rank = nearestRank(p, sorted.size());
+    return sorted[std::size_t(rank - 1)];
+}
+
+std::size_t
+Histogram::percentile(double p) const
+{
+    const std::uint64_t samples = total();
+    if (samples == 0)
+        return 0;
+    const std::uint64_t rank = nearestRank(p, samples);
+    std::uint64_t cumulative = 0;
+    for (std::size_t key = 0; key < counts_.size(); ++key) {
+        cumulative += counts_[key];
+        if (cumulative >= rank)
+            return key;
+    }
+    return counts_.size() - 1;
+}
+
 void
 Histogram::merge(const Histogram &other)
 {

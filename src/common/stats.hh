@@ -32,6 +32,16 @@ class Counter
 double ratio(std::uint64_t num, std::uint64_t den);
 
 /**
+ * Nearest-rank percentile of an ascending-sorted sample vector: the
+ * smallest element whose rank is >= ceil(p * n). @p p is clamped to
+ * [0, 1]; p == 0 returns the minimum, p == 1 the maximum, and an
+ * empty vector returns 0. Integer in, integer out — no interpolation,
+ * so results are bit-reproducible across platforms.
+ */
+std::uint64_t percentileOfSorted(const std::vector<std::uint64_t> &sorted,
+                                 double p);
+
+/**
  * Fixed-bucket histogram over small integer keys (e.g. warp occupancy
  * 1..32, or enum-indexed stall reasons).
  */
@@ -61,6 +71,14 @@ class Histogram
 
     /** Merge another histogram of the same shape into this one. */
     void merge(const Histogram &other);
+
+    /**
+     * Nearest-rank percentile over the bucket keys: the smallest key
+     * whose cumulative count reaches ceil(p * total()). @p p is
+     * clamped to [0, 1]; an empty histogram (total() == 0) returns 0.
+     * Overflow samples are excluded, matching total().
+     */
+    std::size_t percentile(double p) const;
 
     /** Exact bucket-wise equality (differential determinism tests). */
     bool operator==(const Histogram &other) const = default;

@@ -109,6 +109,14 @@ mergeBenchArtifacts(const std::string &dir,
     Value figures = Value::object();
     for (const auto &file : files) {
         Value doc = readJsonFile(file);
+        // The artifact directory is shared by every schema that CI
+        // collects (e.g. BENCH_SERVING.json carries ggpu.serving.v1);
+        // the bench summary only folds in bench.v1 documents — other
+        // schemas have their own validators and consumers.
+        const Value *schema = doc.isObject() ? doc.find("schema") : nullptr;
+        if (schema && schema->isString() &&
+            schema->asString() != metricsSchema)
+            continue;
         validateBenchArtifact(file, doc);
         const std::string figure = doc.at("figure").asString();
         figures.set(figure, std::move(doc));

@@ -1,0 +1,155 @@
+#include "serve/batcher.hh"
+
+#include "common/log.hh"
+
+namespace ggpu::serve
+{
+
+const char *
+policyName(BatchPolicy policy)
+{
+    switch (policy) {
+      case BatchPolicy::Fifo:
+        return "fifo";
+      case BatchPolicy::PerApp:
+        return "perapp";
+      case BatchPolicy::LengthBinned:
+        return "binned";
+    }
+    return "?";
+}
+
+bool
+parsePolicy(const std::string &name, BatchPolicy &out)
+{
+    if (name == "fifo") {
+        out = BatchPolicy::Fifo;
+        return true;
+    }
+    if (name == "perapp") {
+        out = BatchPolicy::PerApp;
+        return true;
+    }
+    if (name == "binned") {
+        out = BatchPolicy::LengthBinned;
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+lengthBin(std::uint32_t reads)
+{
+    if (reads <= 16)
+        return 0;
+    if (reads <= 32)
+        return 1;
+    return 2;
+}
+
+std::uint64_t
+Batch::reads() const
+{
+    std::uint64_t total = 0;
+    for (const Request &r : requests)
+        total += r.reads;
+    return total;
+}
+
+Batcher::Batcher(const BatcherConfig &config, std::uint32_t num_apps)
+    : cfg_(config)
+{
+    if (num_apps == 0)
+        panic("Batcher: zero applications");
+    if (cfg_.maxBatch == 0)
+        panic("Batcher: maxBatch must be nonzero");
+    std::size_t queues = 1;
+    switch (cfg_.policy) {
+      case BatchPolicy::Fifo:
+        queues = 1;
+        break;
+      case BatchPolicy::PerApp:
+        queues = num_apps;
+        break;
+      case BatchPolicy::LengthBinned:
+        queues = std::size_t(num_apps) * numLengthBins;
+        break;
+    }
+    queues_.resize(queues);
+}
+
+std::size_t
+Batcher::queueFor(const Request &request) const
+{
+    switch (cfg_.policy) {
+      case BatchPolicy::Fifo:
+        return 0;
+      case BatchPolicy::PerApp:
+        return request.app;
+      case BatchPolicy::LengthBinned:
+        return std::size_t(request.app) * numLengthBins +
+               lengthBin(request.reads);
+    }
+    return 0;
+}
+
+void
+Batcher::enqueue(const Request &request, Cycles now)
+{
+    Queue &queue = queues_[queueFor(request)];
+    if (queue.requests.empty())
+        queue.oldestArrival = now;
+    queue.requests.push_back(request);
+    ++pending_;
+}
+
+void
+Batcher::popBatch(Queue &queue, Cycles now, std::vector<Batch> &out)
+{
+    const std::size_t take =
+        std::min<std::size_t>(queue.requests.size(),
+                              std::size_t(cfg_.maxBatch));
+    Batch batch;
+    batch.app = queue.requests.front().app;
+    batch.formedAt = now;
+    batch.requests.assign(queue.requests.begin(),
+                          queue.requests.begin() +
+                              std::ptrdiff_t(take));
+    queue.requests.erase(queue.requests.begin(),
+                         queue.requests.begin() + std::ptrdiff_t(take));
+    pending_ -= take;
+    if (!queue.requests.empty()) {
+        // The timeout clock restarts for the remainder: they became
+        // the head of the queue now, after their elders left.
+        queue.oldestArrival = now;
+    }
+    out.push_back(std::move(batch));
+}
+
+std::vector<Batch>
+Batcher::ready(Cycles now)
+{
+    std::vector<Batch> out;
+    for (Queue &queue : queues_) {
+        while (queue.requests.size() >= std::size_t(cfg_.maxBatch))
+            popBatch(queue, now, out);
+        if (!queue.requests.empty() &&
+            now >= queue.oldestArrival + cfg_.timeout) {
+            popBatch(queue, now, out);
+        }
+    }
+    return out;
+}
+
+Cycles
+Batcher::nextDeadline() const
+{
+    Cycles next = ~Cycles(0);
+    for (const Queue &queue : queues_) {
+        if (!queue.requests.empty())
+            next = std::min(next, queue.oldestArrival + cfg_.timeout);
+    }
+    return next;
+}
+
+} // namespace ggpu::serve

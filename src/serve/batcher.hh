@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Request batcher of the serving mode: packs arriving requests into
+ * kernel-launch-sized batches under a timeout-or-full policy. Three
+ * queueing disciplines (docs/SERVING.md):
+ *
+ *  - Fifo: one app-oblivious queue. A batch may mix applications and
+ *    is timed with the oldest request's kernel template — the
+ *    mismatch cost is the point of comparison against per-app queues.
+ *  - PerApp: one queue per application; batches are app-homogeneous.
+ *  - LengthBinned: one queue per (application, read-count bin), the
+ *    gpuPairHMM-style discipline that keeps similar-sized work in the
+ *    same launch.
+ *
+ * A queue flushes when it holds maxBatch requests (at the arrival that
+ * filled it) or when its oldest request has waited timeout cycles.
+ */
+
+#ifndef GGPU_SERVE_BATCHER_HH
+#define GGPU_SERVE_BATCHER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace ggpu::serve
+{
+
+/** Queueing discipline of the batcher. */
+enum class BatchPolicy
+{
+    Fifo,         //!< One mixed queue
+    PerApp,       //!< One queue per application
+    LengthBinned  //!< One queue per (application, read-length bin)
+};
+
+/** "fifo" / "perapp" / "binned". */
+const char *policyName(BatchPolicy policy);
+
+/** Parse a policy name; returns false on unknown names. */
+bool parsePolicy(const std::string &name, BatchPolicy &out);
+
+/** Read-count bin edges of the LengthBinned policy: bin 0 holds reads
+ *  <= 16, bin 1 <= 32, bin 2 the rest. */
+std::size_t lengthBin(std::uint32_t reads);
+constexpr std::size_t numLengthBins = 3;
+
+/** Batcher knobs (one serving sweep point). */
+struct BatcherConfig
+{
+    BatchPolicy policy = BatchPolicy::Fifo;
+    std::uint64_t maxBatch = 32;  //!< Requests per kernel launch
+    Cycles timeout = 500000;      //!< Flush partial queues after this
+};
+
+/** One formed batch, ready to stage onto a stream. */
+struct Batch
+{
+    std::uint32_t app = 0;   //!< Kernel template (oldest request's app)
+    Cycles formedAt = 0;     //!< Cycle the batch left its queue
+    std::vector<Request> requests;
+
+    std::uint64_t reads() const;
+};
+
+/**
+ * The batching stage between the tape and the stream server. Purely
+ * host-side bookkeeping in integer cycles: enqueue() files a request,
+ * ready() pops every batch due at the current cycle, nextDeadline()
+ * tells the serve loop when a timeout flush comes due.
+ */
+class Batcher
+{
+  public:
+    Batcher(const BatcherConfig &config, std::uint32_t num_apps);
+
+    /** File @p request; @p now is its arrival cycle. */
+    void enqueue(const Request &request, Cycles now);
+
+    /**
+     * Pop the batches due at @p now: every full queue, and every
+     * non-empty queue whose oldest request arrived timeout cycles ago.
+     * Queues are scanned in a fixed index order (app-major), so the
+     * result is deterministic.
+     */
+    std::vector<Batch> ready(Cycles now);
+
+    /** Earliest timeout flush across non-empty queues (~Cycles(0)
+     *  when everything is empty). */
+    Cycles nextDeadline() const;
+
+    bool empty() const { return pending_ == 0; }
+    std::uint64_t pendingRequests() const { return pending_; }
+
+  private:
+    struct Queue
+    {
+        std::vector<Request> requests;
+        Cycles oldestArrival = 0;  //!< Valid while non-empty
+    };
+
+    std::size_t queueFor(const Request &request) const;
+    void popBatch(Queue &queue, Cycles now, std::vector<Batch> &out);
+
+    BatcherConfig cfg_;
+    std::vector<Queue> queues_;
+    std::uint64_t pending_ = 0;
+};
+
+} // namespace ggpu::serve
+
+#endif // GGPU_SERVE_BATCHER_HH

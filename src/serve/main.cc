@@ -1,0 +1,208 @@
+/**
+ * @file
+ * `ggpu_serve`: run one streaming serving experiment from the command
+ * line — generate a seeded request tape, serve it on a simulated
+ * device, print the latency/throughput summary, and optionally write
+ * a `ggpu.serving.v1` artifact. Every flag has a GGPU_SERVE_* env
+ * default (docs/CONFIGURATION.md); scale and engine lanes come from
+ * the usual GGPU_SCALE / GGPU_THREADS.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/log.hh"
+#include "core/metrics_merge.hh"
+#include "core/report.hh"
+#include "core/trace_store.hh"
+#include "serve/report.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+std::string
+envOr(const char *name, const std::string &fallback)
+{
+    const char *value = std::getenv(name);
+    return value && *value ? value : fallback;
+}
+
+double
+parseNumber(const std::string &what, const std::string &text)
+{
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used == text.size())
+            return value;
+    } catch (...) {
+    }
+    fatal("ggpu_serve: bad ", what, " '", text, "'");
+}
+
+std::vector<std::string>
+splitApps(const std::string &list)
+{
+    std::vector<std::string> apps;
+    std::istringstream in(list);
+    std::string app;
+    while (std::getline(in, app, ','))
+        if (!app.empty())
+            apps.push_back(app);
+    return apps;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: ggpu_serve [options]\n"
+           "  --rate R        mean arrivals/second (GGPU_SERVE_RATE)\n"
+           "  --requests N    tape length (GGPU_SERVE_REQUESTS)\n"
+           "  --process P     poisson|bursty (GGPU_SERVE_PROCESS)\n"
+           "  --policy P      fifo|perapp|binned (GGPU_SERVE_POLICY)\n"
+           "  --streams N     concurrent streams (GGPU_SERVE_STREAMS)\n"
+           "  --max-batch N   requests/launch (GGPU_SERVE_MAX_BATCH)\n"
+           "  --timeout-us U  batch flush timeout "
+           "(GGPU_SERVE_TIMEOUT_US)\n"
+           "  --seed S        tape seed (GGPU_SERVE_SEED)\n"
+           "  --apps A,B      application mix (GGPU_SERVE_APPS)\n"
+           "  --json PATH     write a ggpu.serving.v1 artifact\n"
+           "Scale/threads come from GGPU_SCALE / GGPU_THREADS.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string rate = envOr("GGPU_SERVE_RATE", "2000");
+    std::string requests = envOr("GGPU_SERVE_REQUESTS", "128");
+    std::string process = envOr("GGPU_SERVE_PROCESS", "poisson");
+    std::string policy = envOr("GGPU_SERVE_POLICY", "perapp");
+    std::string streams = envOr("GGPU_SERVE_STREAMS", "2");
+    std::string max_batch = envOr("GGPU_SERVE_MAX_BATCH", "32");
+    std::string timeout_us = envOr("GGPU_SERVE_TIMEOUT_US", "300");
+    std::string seed = envOr("GGPU_SERVE_SEED", "24317");
+    std::string apps = envOr("GGPU_SERVE_APPS", "SW,GL");
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("ggpu_serve: ", arg, " needs a value");
+            return argv[++i];
+        };
+        if (arg == "--rate")
+            rate = next();
+        else if (arg == "--requests")
+            requests = next();
+        else if (arg == "--process")
+            process = next();
+        else if (arg == "--policy")
+            policy = next();
+        else if (arg == "--streams")
+            streams = next();
+        else if (arg == "--max-batch")
+            max_batch = next();
+        else if (arg == "--timeout-us")
+            timeout_us = next();
+        else if (arg == "--seed")
+            seed = next();
+        else if (arg == "--apps")
+            apps = next();
+        else if (arg == "--json")
+            json_path = next();
+        else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            fatal("ggpu_serve: unknown option '", arg, "'");
+        }
+    }
+
+    serve::ServeConfig config;
+    config.system.sim.threads = core::threadsFromEnv();
+    config.scale = core::scaleFromEnv();
+    config.streams = int(parseNumber("--streams", streams));
+    config.batcher.maxBatch =
+        std::uint64_t(parseNumber("--max-batch", max_batch));
+    config.batcher.timeout =
+        Cycles(parseNumber("--timeout-us", timeout_us) *
+               config.system.gpu.coreClockGhz * 1e3);
+    if (!serve::parsePolicy(policy, config.batcher.policy))
+        fatal("ggpu_serve: unknown policy '", policy, "'");
+
+    serve::TapeConfig tape_config;
+    tape_config.ratePerSec = parseNumber("--rate", rate);
+    tape_config.requests =
+        std::uint64_t(parseNumber("--requests", requests));
+    tape_config.seed = std::uint64_t(parseNumber("--seed", seed));
+    tape_config.coreClockGhz = config.system.gpu.coreClockGhz;
+    tape_config.apps = splitApps(apps);
+    if (!serve::parseArrivalProcess(process, tape_config.process))
+        fatal("ggpu_serve: unknown arrival process '", process, "'");
+    if (tape_config.apps.empty())
+        fatal("ggpu_serve: empty --apps list");
+
+    const serve::RequestTape tape = serve::generateTape(tape_config);
+    core::TraceStore store;
+    const serve::ServeResult result =
+        serve::runServing(tape, config, store);
+
+    const std::string label =
+        std::string(serve::arrivalProcessName(tape_config.process)) +
+        "-" + rate + "/" + serve::policyName(config.batcher.policy) +
+        "/s" + streams;
+
+    core::Table table({"metric", "value"});
+    const double ghz = config.system.gpu.coreClockGhz;
+    auto ms = [&](double p) {
+        return core::Table::num(
+            double(percentileOfSorted(result.latencyCycles, p)) /
+                (ghz * 1e6),
+            3);
+    };
+    table.addRow({"requests", std::to_string(result.requests)});
+    table.addRow({"served", std::to_string(result.served)});
+    table.addRow({"reads", std::to_string(result.reads)});
+    table.addRow({"batches", std::to_string(result.batches)});
+    table.addRow(
+        {"makespan_cycles", std::to_string(result.makespan)});
+    table.addRow(
+        {"reads_per_sec",
+         core::Table::num(result.makespan > 0
+                              ? double(result.reads) /
+                                    (double(result.makespan) /
+                                     (ghz * 1e9))
+                              : 0.0,
+                          1)});
+    table.addRow({"latency_p50_ms", ms(0.50)});
+    table.addRow({"latency_p95_ms", ms(0.95)});
+    table.addRow({"latency_p99_ms", ms(0.99)});
+    std::cout << "== serving " << label << " ==\n";
+    table.print(std::cout);
+
+    if (!json_path.empty()) {
+        std::vector<core::json::Value> points;
+        points.push_back(
+            serve::pointToJson(label, tape, config, result));
+        const core::json::Value doc = serve::buildServingArtifact(
+            core::scaleName(config.scale),
+            config.system.sim.threads, tape_config.seed,
+            std::move(points));
+        serve::validateServingArtifact(json_path, doc);
+        core::writeJsonFile(json_path, doc);
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

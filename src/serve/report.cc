@@ -1,0 +1,239 @@
+#include "serve/report.hh"
+
+#include "common/log.hh"
+
+namespace ggpu::serve
+{
+
+using core::json::Value;
+
+namespace
+{
+
+double
+cyclesToMs(std::uint64_t cycles, double ghz)
+{
+    return double(cycles) / (ghz * 1e9) * 1e3;
+}
+
+Value
+latencyObject(const std::vector<std::uint64_t> &sorted)
+{
+    Value out = Value::object();
+    out.set("p50", percentileOfSorted(sorted, 0.50));
+    out.set("p95", percentileOfSorted(sorted, 0.95));
+    out.set("p99", percentileOfSorted(sorted, 0.99));
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : sorted)
+        sum += v;
+    out.set("mean", ratio(sum, sorted.size()));
+    out.set("max", sorted.empty() ? std::uint64_t(0) : sorted.back());
+    return out;
+}
+
+} // namespace
+
+Value
+pointToJson(const std::string &label, const RequestTape &tape,
+            const ServeConfig &config, const ServeResult &result)
+{
+    const TapeConfig &tc = tape.config;
+    const double ghz = config.system.gpu.coreClockGhz;
+
+    Value point = Value::object();
+    point.set("label", label);
+
+    Value arrival = Value::object();
+    arrival.set("process", arrivalProcessName(tc.process));
+    arrival.set("rate_per_sec", tc.ratePerSec);
+    arrival.set("requests", tc.requests);
+    arrival.set("seed", tc.seed);
+    Value apps = Value::array();
+    for (const std::string &app : tc.apps)
+        apps.push(app);
+    arrival.set("apps", std::move(apps));
+    arrival.set("min_reads", tc.minReads);
+    arrival.set("max_reads", tc.maxReads);
+    point.set("arrival", std::move(arrival));
+
+    Value batcher = Value::object();
+    batcher.set("policy", policyName(config.batcher.policy));
+    batcher.set("max_batch", config.batcher.maxBatch);
+    batcher.set("timeout_cycles", std::uint64_t(config.batcher.timeout));
+    point.set("batcher", std::move(batcher));
+
+    point.set("streams", config.streams);
+    point.set("requests", result.requests);
+    point.set("served", result.served);
+    point.set("reads", result.reads);
+    point.set("batches", result.batches);
+    point.set("makespan_cycles", std::uint64_t(result.makespan));
+    const double makespan_seconds =
+        double(result.makespan) / (ghz * 1e9);
+    point.set("reads_per_sec",
+              makespan_seconds > 0.0
+                  ? double(result.reads) / makespan_seconds
+                  : 0.0);
+
+    point.set("latency_cycles", latencyObject(result.latencyCycles));
+    Value latency_ms = Value::object();
+    latency_ms.set(
+        "p50", cyclesToMs(percentileOfSorted(result.latencyCycles, 0.50),
+                          ghz));
+    latency_ms.set(
+        "p95", cyclesToMs(percentileOfSorted(result.latencyCycles, 0.95),
+                          ghz));
+    latency_ms.set(
+        "p99", cyclesToMs(percentileOfSorted(result.latencyCycles, 0.99),
+                          ghz));
+    point.set("latency_ms", std::move(latency_ms));
+
+    Value occupancy = Value::object();
+    Value counts = Value::array();
+    for (std::size_t k = 0; k < result.batchOccupancy.buckets(); ++k)
+        counts.push(result.batchOccupancy.count(k));
+    occupancy.set("counts", std::move(counts));
+    occupancy.set("total", result.batchOccupancy.total());
+    occupancy.set("overflow", result.batchOccupancy.overflow());
+    point.set("batch_occupancy", std::move(occupancy));
+
+    Value utilization = Value::array();
+    for (Cycles busy : result.streamBusy) {
+        utilization.push(result.makespan > 0
+                             ? double(busy) / double(result.makespan)
+                             : 0.0);
+    }
+    point.set("stream_utilization", std::move(utilization));
+
+    Value pci = Value::object();
+    pci.set("h2d_bytes", result.h2dBytes);
+    pci.set("d2h_bytes", result.d2hBytes);
+    pci.set("transactions", result.pciTransactions);
+    point.set("pci", std::move(pci));
+
+    Value device = Value::object();
+    device.set("gpu_cycles", std::uint64_t(result.stats.gpuCycles));
+    device.set("launches", result.stats.launches);
+    device.set("instructions", result.stats.totalInsns());
+    device.set("l2_accesses", result.stats.l2Accesses);
+    device.set("dram_served", result.stats.dramServed);
+    point.set("device", std::move(device));
+    return point;
+}
+
+Value
+buildServingArtifact(const std::string &scale_name, int threads,
+                     std::uint64_t seed, std::vector<Value> points)
+{
+    Value doc = Value::object();
+    doc.set("schema", servingSchema);
+    Value provenance = Value::object();
+    provenance.set("scale", scale_name);
+    provenance.set("threads", threads);
+    provenance.set("seed", seed);
+    doc.set("provenance", std::move(provenance));
+    Value array = Value::array();
+    for (Value &point : points)
+        array.push(std::move(point));
+    doc.set("points", std::move(array));
+    return doc;
+}
+
+namespace
+{
+
+[[noreturn]] void
+fail(const std::string &path, const std::string &what)
+{
+    fatal("serving artifact ", path, ": ", what);
+}
+
+double
+number(const std::string &path, const Value &obj, const std::string &key)
+{
+    const Value *v = obj.find(key);
+    if (!v || !v->isNumber())
+        fail(path, "missing numeric '" + key + "'");
+    return v->asNumber();
+}
+
+} // namespace
+
+void
+validateServingArtifact(const std::string &path, const Value &doc)
+{
+    if (!doc.isObject())
+        fail(path, "top level is not an object");
+    const Value *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != servingSchema)
+        fail(path, std::string("schema tag is not ") + servingSchema);
+    const Value *provenance = doc.find("provenance");
+    if (!provenance || !provenance->isObject())
+        fail(path, "missing provenance object");
+    for (const char *key : {"scale", "threads", "seed"}) {
+        if (!provenance->has(key))
+            fail(path, std::string("provenance lacks '") + key + "'");
+    }
+    const Value *points = doc.find("points");
+    if (!points || !points->isArray())
+        fail(path, "missing points array");
+
+    for (std::size_t i = 0; i < points->size(); ++i) {
+        const Value &point = points->at(i);
+        const std::string where = "points[" + std::to_string(i) + "] ";
+        if (!point.isObject())
+            fail(path, where + "is not an object");
+        for (const char *key :
+             {"label", "arrival", "batcher", "streams", "requests",
+              "served", "reads", "batches", "makespan_cycles",
+              "reads_per_sec", "latency_cycles", "latency_ms",
+              "batch_occupancy", "stream_utilization", "pci"}) {
+            if (!point.has(key))
+                fail(path, where + "lacks '" + key + "'");
+        }
+
+        const double requests = number(path, point, "requests");
+        const double served = number(path, point, "served");
+        if (served != requests)
+            fail(path, where + "served != requests (dropped work)");
+        if (requests > 0 && number(path, point, "reads") <= 0)
+            fail(path, where + "has requests but no reads");
+
+        const Value &latency = point.at("latency_cycles");
+        const double p50 = number(path, latency, "p50");
+        const double p95 = number(path, latency, "p95");
+        const double p99 = number(path, latency, "p99");
+        const double max = number(path, latency, "max");
+        if (p50 > p95 || p95 > p99 || p99 > max)
+            fail(path,
+                 where + "latency percentiles not monotone in p");
+
+        const Value &occupancy = point.at("batch_occupancy");
+        const Value *counts = occupancy.find("counts");
+        if (!counts || !counts->isArray())
+            fail(path, where + "occupancy lacks counts array");
+        double occupancy_sum = 0;
+        for (std::size_t k = 0; k < counts->size(); ++k)
+            occupancy_sum += counts->at(k).asNumber();
+        if (occupancy_sum != number(path, occupancy, "total"))
+            fail(path, where + "occupancy counts do not sum to total");
+        if (occupancy_sum != number(path, point, "batches"))
+            fail(path, where + "occupancy total != batch count");
+        if (number(path, occupancy, "overflow") != 0)
+            fail(path, where + "occupancy histogram overflowed");
+
+        const Value &utilization = point.at("stream_utilization");
+        if (!utilization.isArray() ||
+            utilization.size() !=
+                std::size_t(number(path, point, "streams")))
+            fail(path, where + "stream_utilization size != streams");
+        for (std::size_t s = 0; s < utilization.size(); ++s) {
+            const double u = utilization.at(s).asNumber();
+            if (u < 0.0 || u > 1.0)
+                fail(path, where + "stream utilization outside [0,1]");
+        }
+    }
+}
+
+} // namespace ggpu::serve

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The `ggpu.serving.v1` artifact: JSON export of a serving sweep
+ * (sustained throughput, latency percentiles, batch-occupancy
+ * histograms, per-stream utilization per sweep point) plus the
+ * validator that CI's serving_artifact_contract test and
+ * `ggpu_metrics_tool validate` apply to it. The annotated schema
+ * lives in docs/SERVING.md.
+ */
+
+#ifndef GGPU_SERVE_REPORT_HH
+#define GGPU_SERVE_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/json.hh"
+#include "serve/server.hh"
+
+namespace ggpu::serve
+{
+
+/** Schema identifier stamped into every serving artifact. */
+inline constexpr const char *servingSchema = "ggpu.serving.v1";
+
+/**
+ * Flatten one sweep point — the tape/batcher/stream configuration it
+ * ran under and everything it measured — into the artifact's "points"
+ * element. Deterministic: every number derives from the seeded tape
+ * and the byte-deterministic device, so the same configuration dumps
+ * the same bytes under any engine or lane count.
+ */
+core::json::Value pointToJson(const std::string &label,
+                              const RequestTape &tape,
+                              const ServeConfig &config,
+                              const ServeResult &result);
+
+/** Assemble the whole artifact from rendered points. */
+core::json::Value
+buildServingArtifact(const std::string &scale_name, int threads,
+                     std::uint64_t seed,
+                     std::vector<core::json::Value> points);
+
+/**
+ * Check one parsed `ggpu.serving.v1` artifact: schema tag,
+ * provenance, and per-point invariants (every request served,
+ * latency percentiles monotone in the percentile, occupancy counts
+ * summing to the batch count, utilizations within [0, 1]). Throws
+ * FatalError naming @p path and the defect.
+ */
+void validateServingArtifact(const std::string &path,
+                             const core::json::Value &doc);
+
+} // namespace ggpu::serve
+
+#endif // GGPU_SERVE_REPORT_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Request model of the streaming serving mode: an arrival-timed,
+ * seeded tape of alignment requests (mixed applications, per-request
+ * read counts) that the batcher and stream server consume. The tape is
+ * generated once per experiment from a TapeConfig, so every sweep
+ * point — and every engine/thread configuration — replays the exact
+ * same request sequence.
+ */
+
+#ifndef GGPU_SERVE_REQUEST_HH
+#define GGPU_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ggpu::serve
+{
+
+/** Shape of the arrival process (docs/SERVING.md). */
+enum class ArrivalProcess
+{
+    Poisson,  //!< Independent exponential inter-arrival gaps
+    Bursty    //!< Alternating high/low-rate phases (same mean rate)
+};
+
+/** "poisson" / "bursty". */
+const char *arrivalProcessName(ArrivalProcess process);
+
+/** Parse an arrival-process name; returns false on unknown names. */
+bool parseArrivalProcess(const std::string &name, ArrivalProcess &out);
+
+/** Everything the tape generator depends on (all of it is in the
+ *  reproducibility key of a serving experiment). */
+struct TapeConfig
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    double ratePerSec = 2000.0;      //!< Mean request arrival rate
+    std::uint64_t requests = 256;    //!< Tape length
+    std::uint64_t seed = 0x5eedu;    //!< Generator seed
+    double coreClockGhz = 1.5;       //!< Converts seconds to cycles
+
+    // Bursty shape: phases of phaseLen requests alternate between
+    // rate * burstFactor and rate * calmFactor. The first phase is a
+    // burst. Ignored by the Poisson process.
+    double burstFactor = 4.0;
+    double calmFactor = 0.25;
+    std::uint64_t phaseLen = 32;
+
+    /** Application mix, drawn uniformly per request (Table III
+     *  abbreviations, e.g. {"SW", "GL"}). Must be non-empty. */
+    std::vector<std::string> apps = {"SW"};
+
+    /** Per-request read-count range (uniform in [minReads, maxReads]). */
+    std::uint64_t minReads = 8;
+    std::uint64_t maxReads = 64;
+};
+
+/** One serving request on the tape. */
+struct Request
+{
+    std::uint64_t id = 0;     //!< Tape position (0-based, arrival order)
+    Cycles arrival = 0;       //!< Arrival time in core cycles
+    std::uint32_t app = 0;    //!< Index into TapeConfig::apps
+    std::uint32_t reads = 0;  //!< Alignment reads carried by the request
+};
+
+/** An immutable, arrival-sorted request tape. */
+struct RequestTape
+{
+    TapeConfig config;
+    std::vector<Request> requests;
+
+    std::uint64_t totalReads() const;
+};
+
+/**
+ * Generate the request tape for @p config. Deterministic: the same
+ * config (seed included) yields the same tape on every platform —
+ * inter-arrival gaps are derived from ggpu::Rng draws and rounded to
+ * whole cycles, never from wall-clock state.
+ */
+RequestTape generateTape(const TapeConfig &config);
+
+} // namespace ggpu::serve
+
+#endif // GGPU_SERVE_REQUEST_HH

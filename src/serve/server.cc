@@ -1,0 +1,257 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/log.hh"
+#include "mem/pci.hh"
+
+namespace ggpu::serve
+{
+
+namespace
+{
+
+/** Per-application kernel template a batch replays a prefix of. */
+struct Template
+{
+    const sim::KernelTrace *kernel = nullptr;
+};
+
+/** A batch staged onto a stream (H2D scheduled, kernel maybe not). */
+struct InFlight
+{
+    Batch batch;
+    std::uint64_t reads = 0;
+    int stream = 0;
+    Cycles h2dDoneAt = 0;
+    Cycles kernelReadyAt = 0;
+    std::uint64_t ticket = 0;  //!< 0 until the kernel is enqueued
+};
+
+} // namespace
+
+ServeResult
+runServing(const RequestTape &tape, const ServeConfig &config,
+           core::TraceStore &store)
+{
+    if (config.streams < 1)
+        panic("runServing: need at least one stream");
+    const SystemConfig &system = config.system;
+    const double ghz = system.gpu.coreClockGhz;
+
+    // Emit (or reuse) one trace bundle per application in the mix; a
+    // batch replays a CTA prefix of the app's largest kernel, so the
+    // template only has to be emitted once regardless of batch sizes.
+    kernels::AppOptions options;
+    options.cdp = false;
+    options.scale = config.scale;
+    std::vector<Template> templates;
+    templates.reserve(tape.config.apps.size());
+    for (const std::string &app : tape.config.apps) {
+        const sim::TraceBundle &bundle =
+            store.get(app, options, system.gpu.lineBytes);
+        if (bundle.lineBytes != system.gpu.lineBytes)
+            panic("runServing: bundle line size ", bundle.lineBytes,
+                  " != device line size ", system.gpu.lineBytes);
+        const sim::KernelTrace *largest = nullptr;
+        for (const sim::KernelTrace &kernel : bundle.kernels) {
+            if (!largest || kernel.ctas.size() > largest->ctas.size())
+                largest = &kernel;
+        }
+        if (!largest)
+            panic("runServing: app '", app, "' emitted no kernels");
+        templates.push_back(Template{largest});
+    }
+
+    ServeResult result;
+    result.requests = tape.requests.size();
+    result.batchOccupancy =
+        Histogram(std::size_t(config.batcher.maxBatch) + 1);
+    result.streamBusy.assign(std::size_t(config.streams), 0);
+
+    sim::Gpu gpu(system);
+    gpu.beginStreamMode();
+    mem::PciModel pci(system.pci);
+    Batcher batcher(config.batcher,
+                    std::uint32_t(tape.config.apps.size()));
+
+    std::size_t tapeIdx = 0;
+    std::deque<Batch> backlog;
+    std::vector<std::deque<InFlight>> staged(std::size_t(config.streams));
+    std::vector<bool> kernelInFlight(std::size_t(config.streams), false);
+    std::map<std::uint64_t, int> ticketStream;
+    // The two copy engines. One transfer at a time per direction,
+    // back-to-back transfers queue: classic DMA-engine serialization,
+    // overlapped with whatever compute the streams have in flight.
+    Cycles h2dFreeAt = 0;
+    Cycles d2hFreeAt = 0;
+
+    // Launch the stream's next staged batch once its predecessor left
+    // the device. ready_at carries the H2D and launch-overhead edges,
+    // so enqueueing eagerly (possibly before the data lands) is safe.
+    auto maybeLaunch = [&](int s, Cycles now) {
+        auto &queue = staged[std::size_t(s)];
+        if (kernelInFlight[std::size_t(s)] || queue.empty())
+            return;
+        InFlight &flight = queue.front();
+        const Template &tmpl = templates[flight.batch.app];
+        const std::uint64_t ctas = std::min<std::uint64_t>(
+            std::max<std::uint64_t>(flight.reads, 1),
+            tmpl.kernel->ctas.size());
+        flight.kernelReadyAt = std::max(now, flight.h2dDoneAt) +
+                               system.gpu.kernelLaunchOverhead;
+        flight.ticket =
+            gpu.enqueueStream(*tmpl.kernel, ctas, flight.kernelReadyAt);
+        ticketStream[flight.ticket] = s;
+        kernelInFlight[std::size_t(s)] = true;
+    };
+
+    // Double-buffer admission: each stream holds at most two staged
+    // batches (one computing, one with its H2D in flight), so a burst
+    // backs up in the host-side backlog instead of over-committing
+    // transfer bandwidth far ahead of compute.
+    auto admitBacklog = [&](Cycles now) {
+        while (!backlog.empty()) {
+            int best = -1;
+            std::size_t bestLoad = 2;
+            for (int s = 0; s < config.streams; ++s) {
+                if (staged[std::size_t(s)].size() < bestLoad) {
+                    bestLoad = staged[std::size_t(s)].size();
+                    best = s;
+                }
+            }
+            if (best < 0)
+                break;
+            InFlight flight;
+            flight.batch = std::move(backlog.front());
+            backlog.pop_front();
+            flight.reads = flight.batch.reads();
+            flight.stream = best;
+            const std::uint64_t bytes =
+                flight.reads * config.h2dBytesPerRead;
+            const Cycles start = std::max(now, h2dFreeAt);
+            flight.h2dDoneAt =
+                start + pci.transfer(bytes,
+                                     mem::PciDirection::HostToDevice,
+                                     ghz);
+            h2dFreeAt = flight.h2dDoneAt;
+            result.h2dBytes += bytes;
+            staged[std::size_t(best)].push_back(std::move(flight));
+            maybeLaunch(best, now);
+        }
+    };
+
+    auto processCompletions =
+        [&](std::vector<sim::StreamCompletion> done) {
+            // Recording order is already deterministic (cycle barrier,
+            // core-index order); sort to make the contract explicit.
+            std::sort(done.begin(), done.end(),
+                      [](const sim::StreamCompletion &a,
+                         const sim::StreamCompletion &b) {
+                          return a.doneAt != b.doneAt
+                                     ? a.doneAt < b.doneAt
+                                     : a.ticket < b.ticket;
+                      });
+            for (const sim::StreamCompletion &completion : done) {
+                const auto it = ticketStream.find(completion.ticket);
+                if (it == ticketStream.end())
+                    panic("runServing: unknown stream ticket ",
+                          completion.ticket);
+                const int s = it->second;
+                ticketStream.erase(it);
+                auto &queue = staged[std::size_t(s)];
+                if (queue.empty() ||
+                    queue.front().ticket != completion.ticket)
+                    panic("runServing: completion out of stream order");
+                InFlight flight = std::move(queue.front());
+                queue.pop_front();
+                kernelInFlight[std::size_t(s)] = false;
+
+                result.streamBusy[std::size_t(s)] +=
+                    completion.doneAt - flight.kernelReadyAt;
+                const std::uint64_t bytes =
+                    flight.reads * config.d2hBytesPerRead;
+                const Cycles start =
+                    std::max(completion.doneAt, d2hFreeAt);
+                const Cycles d2h_done =
+                    start + pci.transfer(
+                                bytes,
+                                mem::PciDirection::DeviceToHost, ghz);
+                d2hFreeAt = d2h_done;
+                result.d2hBytes += bytes;
+
+                for (const Request &request : flight.batch.requests) {
+                    result.latencyCycles.push_back(d2h_done -
+                                                   request.arrival);
+                }
+                result.served += flight.batch.requests.size();
+                result.reads += flight.reads;
+                ++result.batches;
+                result.batchOccupancy.add(flight.batch.requests.size());
+                result.makespan = std::max(result.makespan, d2h_done);
+
+                BatchRecord record;
+                record.app = flight.batch.app;
+                record.stream = s;
+                record.requests = flight.batch.requests.size();
+                record.reads = flight.reads;
+                record.formedAt = flight.batch.formedAt;
+                record.h2dDoneAt = flight.h2dDoneAt;
+                record.kernelReadyAt = flight.kernelReadyAt;
+                record.kernelDoneAt = completion.doneAt;
+                record.d2hDoneAt = d2h_done;
+                result.batchLog.push_back(record);
+
+                maybeLaunch(s, gpu.now());
+            }
+            admitBacklog(gpu.now());
+        };
+
+    // The serve loop: hop between host events (arrivals, batcher
+    // timeout deadlines) and device events (stream kernel
+    // completions), whichever comes first. advanceStreams() never
+    // overshoots the requested stop, so every host event is processed
+    // at exactly its own cycle.
+    while (true) {
+        const Cycles next_arrival = tapeIdx < tape.requests.size()
+                                        ? tape.requests[tapeIdx].arrival
+                                        : ~Cycles(0);
+        const Cycles next_host =
+            std::min(next_arrival, batcher.nextDeadline());
+        if (next_host == ~Cycles(0) && gpu.streamIdle()) {
+            bool pending = !backlog.empty();
+            for (const auto &queue : staged)
+                pending = pending || !queue.empty();
+            if (pending)
+                panic("runServing: stalled with staged work");
+            break;
+        }
+        if (next_host > gpu.now()) {
+            gpu.advanceStreams(next_host);
+            std::vector<sim::StreamCompletion> done =
+                gpu.takeStreamCompletions();
+            if (!done.empty())
+                processCompletions(std::move(done));
+        }
+        const Cycles now = gpu.now();
+        while (tapeIdx < tape.requests.size() &&
+               tape.requests[tapeIdx].arrival <= now) {
+            batcher.enqueue(tape.requests[tapeIdx],
+                            tape.requests[tapeIdx].arrival);
+            ++tapeIdx;
+        }
+        for (Batch &batch : batcher.ready(now))
+            backlog.push_back(std::move(batch));
+        admitBacklog(now);
+    }
+
+    gpu.endStreamMode();
+    result.stats = gpu.stats();
+    result.pciTransactions = pci.transactions();
+    std::sort(result.latencyCycles.begin(), result.latencyCycles.end());
+    return result;
+}
+
+} // namespace ggpu::serve

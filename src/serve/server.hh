@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The stream server of the serving mode: replays a request tape
+ * against one simulated device, batching requests (serve/batcher),
+ * overlapping H2D/D2H slices with compute via the PCIe model, and
+ * running batches on N concurrent simulated streams through the
+ * Gpu stream-mode API (beginStreamMode / enqueueStream /
+ * advanceStreams). See docs/SERVING.md for the pipeline semantics.
+ *
+ * Everything host-side is integer-cycle arithmetic over a seeded
+ * tape, and the device is the byte-deterministic timing engine, so a
+ * serving run is reproducible across sim.threads lane counts and the
+ * fast-forward on/off engines (tests/test_serving.cc holds the line).
+ */
+
+#ifndef GGPU_SERVE_SERVER_HH
+#define GGPU_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/trace_store.hh"
+#include "serve/batcher.hh"
+#include "serve/request.hh"
+#include "sim/gpu.hh"
+
+namespace ggpu::serve
+{
+
+/** One serving experiment's knobs (beyond the tape itself). */
+struct ServeConfig
+{
+    SystemConfig system;
+    kernels::InputScale scale = kernels::InputScale::Tiny;
+    BatcherConfig batcher;
+    int streams = 2;  //!< Concurrent simulated streams (>= 1)
+
+    // Modelled request payload: bytes moved per read over PCIe. Reads
+    // upload query+reference slices and download score/traceback
+    // summaries, so H2D dominates.
+    std::uint64_t h2dBytesPerRead = 256;
+    std::uint64_t d2hBytesPerRead = 64;
+};
+
+/** Timing of one served batch (report detail + tests). */
+struct BatchRecord
+{
+    std::uint32_t app = 0;
+    int stream = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    Cycles formedAt = 0;
+    Cycles h2dDoneAt = 0;
+    Cycles kernelReadyAt = 0;  //!< enqueueStream ready_at
+    Cycles kernelDoneAt = 0;
+    Cycles d2hDoneAt = 0;
+};
+
+/** Outcome of one serving run. */
+struct ServeResult
+{
+    std::uint64_t requests = 0;  //!< Tape length
+    std::uint64_t served = 0;    //!< Requests whose D2H completed
+    std::uint64_t reads = 0;
+    std::uint64_t batches = 0;
+
+    /** Last D2H completion (the tape starts near cycle 0). */
+    Cycles makespan = 0;
+
+    /** Per-request latency (D2H done - arrival), ascending. */
+    std::vector<std::uint64_t> latencyCycles;
+
+    /** Batch-size histogram: bucket k = batches carrying k requests
+     *  (bucket 0 unused; buckets = maxBatch + 1). */
+    Histogram batchOccupancy{1};
+
+    /** Per-stream kernel-busy cycles (enqueue ready to completion). */
+    std::vector<Cycles> streamBusy;
+
+    std::vector<BatchRecord> batchLog;
+
+    std::uint64_t h2dBytes = 0;
+    std::uint64_t d2hBytes = 0;
+    std::uint64_t pciTransactions = 0;
+
+    sim::SimStats stats;  //!< Device counters for the serve session
+};
+
+/**
+ * Serve @p tape under @p config. Kernel templates are emitted (or
+ * reused) through @p store: one tiny-grid trace bundle per application
+ * in the tape's mix; a batch of R reads replays the first
+ * min(R, grid) CTAs of its app's largest kernel.
+ */
+ServeResult runServing(const RequestTape &tape, const ServeConfig &config,
+                       core::TraceStore &store);
+
+} // namespace ggpu::serve
+
+#endif // GGPU_SERVE_SERVER_HH

@@ -1,0 +1,103 @@
+#include "serve/request.hh"
+
+#include <cmath>
+
+#include "common/log.hh"
+#include "common/random.hh"
+
+namespace ggpu::serve
+{
+
+const char *
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson:
+        return "poisson";
+      case ArrivalProcess::Bursty:
+        return "bursty";
+    }
+    return "?";
+}
+
+bool
+parseArrivalProcess(const std::string &name, ArrivalProcess &out)
+{
+    if (name == "poisson") {
+        out = ArrivalProcess::Poisson;
+        return true;
+    }
+    if (name == "bursty") {
+        out = ArrivalProcess::Bursty;
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+RequestTape::totalReads() const
+{
+    std::uint64_t reads = 0;
+    for (const Request &r : requests)
+        reads += r.reads;
+    return reads;
+}
+
+namespace
+{
+
+/** Exponential inter-arrival gap at @p rate_per_sec, in whole core
+ *  cycles (floored, minimum 1 so arrivals stay strictly ordered in
+ *  time only when the draw allows — equal-cycle arrivals are legal). */
+Cycles
+expGapCycles(Rng &rng, double rate_per_sec, double ghz)
+{
+    // uniform() is in [0, 1); 1 - u is in (0, 1], so the log is finite.
+    const double u = rng.uniform();
+    const double gap_seconds = -std::log(1.0 - u) / rate_per_sec;
+    return Cycles(gap_seconds * ghz * 1e9);
+}
+
+} // namespace
+
+RequestTape
+generateTape(const TapeConfig &config)
+{
+    if (config.apps.empty())
+        panic("generateTape: empty application mix");
+    if (config.ratePerSec <= 0.0)
+        panic("generateTape: arrival rate must be positive");
+    if (config.minReads == 0 || config.minReads > config.maxReads)
+        panic("generateTape: bad read-count range [", config.minReads,
+              ", ", config.maxReads, "]");
+    if (config.process == ArrivalProcess::Bursty && config.phaseLen == 0)
+        panic("generateTape: bursty phase length must be nonzero");
+
+    RequestTape tape;
+    tape.config = config;
+    tape.requests.reserve(std::size_t(config.requests));
+
+    Rng rng(config.seed);
+    Cycles clock = 0;
+    for (std::uint64_t i = 0; i < config.requests; ++i) {
+        double rate = config.ratePerSec;
+        if (config.process == ArrivalProcess::Bursty) {
+            const bool burst = (i / config.phaseLen) % 2 == 0;
+            rate *= burst ? config.burstFactor : config.calmFactor;
+        }
+        clock += expGapCycles(rng, rate, config.coreClockGhz);
+
+        Request request;
+        request.id = i;
+        request.arrival = clock;
+        request.app =
+            std::uint32_t(rng.below(std::uint64_t(config.apps.size())));
+        request.reads = std::uint32_t(
+            rng.between(std::int64_t(config.minReads),
+                        std::int64_t(config.maxReads)));
+        tape.requests.push_back(request);
+    }
+    return tape;
+}
+
+} // namespace ggpu::serve

@@ -252,6 +252,8 @@ Gpu::onGridCtaComplete(GridState &grid, int core, Cycles now)
         return;
     grid.done = true;
     --liveGrids_;
+    if (grid.streamTicket != 0)
+        streamCompletions_.push_back({grid.streamTicket, now});
     if (obs && grid.depth > 0)
         obs->onChildDone(grid.profileId, now);
     if (grid.parentCore >= 0) {
@@ -583,6 +585,12 @@ Gpu::drainOneOutbox(std::size_t core)
 void
 Gpu::runUntilDrained()
 {
+    runUntil(~Cycles(0), false);
+}
+
+void
+Gpu::runUntil(Cycles stop_at, bool stop_on_completion)
+{
     // Observers (timing profiler, emission checker) are promised one
     // callback-consistent step per cycle, so their presence — like the
     // GGPU_NO_FAST_FORWARD escape hatch — forces the reference loop.
@@ -590,18 +598,25 @@ Gpu::runUntilDrained()
                     timingObserver() == nullptr &&
                     emissionObserver() == nullptr;
     lastRunFastForward_ = ff;
-    if (!ff) {
-        runPerCycle();
-        return;
-    }
-    ffActive_ = true;
+    stopAt_ = stop_at;
+    stopOnCompletion_ = stop_on_completion;
+    streamBreakBase_ = streamCompletions_.size();
     try {
-        runEventDriven();
+        if (ff) {
+            ffActive_ = true;
+            runEventDriven();
+            ffActive_ = false;
+        } else {
+            runPerCycle();
+        }
     } catch (...) {
         ffActive_ = false;
+        stopAt_ = ~Cycles(0);
+        stopOnCompletion_ = false;
         throw;
     }
-    ffActive_ = false;
+    stopAt_ = ~Cycles(0);
+    stopOnCompletion_ = false;
 }
 
 void
@@ -721,9 +736,18 @@ Gpu::runEventDriven()
 {
     // Every core starts asleep; dispatches, line fills, write retires,
     // and child-grid completions wake exactly the cores that can act.
+    // For a run-to-completion entry every core is empty and stays
+    // armed at "never" (the old behavior); a stream-mode window resume
+    // instead arms every core holding work at now_ so it ticks
+    // immediately and the per-cycle sleep decision takes over.
+    // nextReadyTime() is NOT a safe resume bound: it reports "never"
+    // for a warp whose timer already expired, assuming such a core is
+    // awake this cycle — true after a tick, false for a core parked at
+    // the previous window's stop edge.
     smWakeHeap_.clear();
     for (std::size_t i = 0; i < sms_.size(); ++i) {
-        smWakeAt_[i] = ~Cycles(0);
+        smWakeAt_[i] = sms_[i]->hasWork() ? now_ : ~Cycles(0);
+        pushSmWake(i, smWakeAt_[i]);
         sms_[i]->enterSkip(now_, pendingCycles_);
     }
     for (std::size_t p = 0; p < partitions_.size(); ++p)
@@ -736,6 +760,8 @@ Gpu::runEventDriven()
     }
 
     while (true) {
+        if (now_ >= stopAt_)
+            break;
         ++engineIterations_;
         processEvents();
         tickDramDue();
@@ -790,12 +816,21 @@ Gpu::runEventDriven()
             ++now_;
             break;
         }
+        // A stream kernel retired at this cycle's barrier: stop at the
+        // same cycle edge run-to-completion would have, handing control
+        // back to the serving driver.
+        if (stopOnCompletion_ &&
+            streamCompletions_.size() > streamBreakBase_) {
+            ++now_;
+            break;
+        }
 
         const Cycles next = nextComponentEventAt();
         if (next == ~Cycles(0))
             panic("Gpu: deadlock — no wakeup but work remains\n",
                   pendingWorkReport());
-        const Cycles target = std::max(next, now_ + 1);
+        const Cycles target =
+            std::min(std::max(next, now_ + 1), stopAt_);
         if (target > now_ + 1) {
             // Count launch-pending cycles inside the jump; sleeping
             // empty cores sample FunctionalDone off this counter. The
@@ -820,6 +855,8 @@ Gpu::runPerCycle()
 {
     std::uint64_t idle_iterations = 0;
     while (!drained()) {
+        if (now_ >= stopAt_)
+            break;
         ++engineIterations_;
         bool progress = false;
         progress |= processEvents();
@@ -851,12 +888,25 @@ Gpu::runPerCycle()
 
         progress |= anySmIssued_.load(std::memory_order_relaxed);
 
+        // Mirror of the fast path's completion break: a stream kernel
+        // that retired at this barrier stops the window at the next
+        // cycle edge regardless of whether the cycle made progress.
+        const bool stream_break =
+            stopOnCompletion_ &&
+            streamCompletions_.size() > streamBreakBase_;
+
         if (progress) {
             idle_iterations = 0;
             ++now_;
             if (TimingObserver *obs = timingObserver())
                 profileMaybeSample(*obs);
+            if (stream_break)
+                break;
             continue;
+        }
+        if (stream_break) {
+            ++now_;
+            break;
         }
 
         const Cycles wake = nextWakeup();
@@ -866,7 +916,8 @@ Gpu::runPerCycle()
             panic("Gpu: deadlock — no wakeup but work remains\n",
                   pendingWorkReport());
         }
-        const Cycles target = std::max(wake, now_ + 1);
+        const Cycles target =
+            std::min(std::max(wake, now_ + 1), stopAt_);
         const Cycles skip = target - (now_ + 1);
         if (skip > 0) {
             for (auto &sm : sms_)
@@ -1098,6 +1149,111 @@ Gpu::launchTraced(const KernelTrace &kernel)
     activeGrids_.clear();
     noc_.resetState();
     return result;
+}
+
+void
+Gpu::beginStreamMode()
+{
+    if (streamMode_)
+        panic("Gpu::beginStreamMode: already in stream mode");
+    if (!drained())
+        panic("Gpu::beginStreamMode: device busy");
+    streamMode_ = true;
+    streamStartedAt_ = now_;
+    streamLaunches_ = 0;
+    streamTicketSeq_ = 0;
+    streamCompletions_.clear();
+    // No host launch is being set up; don't let a bound left over from
+    // an earlier blocking launch classify stream cycles as pending.
+    launchReadyAt_ = now_;
+}
+
+std::uint64_t
+Gpu::enqueueStream(const KernelTrace &kernel, std::uint64_t ctas,
+                   Cycles ready_at)
+{
+    if (!streamMode_)
+        panic("Gpu::enqueueStream outside stream mode");
+    if (ctas == 0 || kernel.ctas.empty())
+        panic("Gpu::enqueueStream: empty kernel slice");
+    computeOccupancy(cfg_.gpu, kernel.spec);  // fatal when CTA can't fit
+
+    auto grid = std::make_unique<GridState>();
+    grid->spec = kernel.spec;
+    grid->ctaSrc = &kernel.ctas;
+    // Serving batches replay a prefix of the template kernel's trace:
+    // CtaTraces are independent, so a truncated grid is a valid grid.
+    grid->totalCtas = std::min<std::uint64_t>(ctas, kernel.ctas.size());
+    grid->remaining = grid->totalCtas;
+    grid->profileId = ++profileGridSeq_;
+    grid->readyAt = std::max(ready_at, now_);
+    grid->streamTicket = ++streamTicketSeq_;
+    launchPendingBound_ = std::max(launchPendingBound_, grid->readyAt);
+
+    GridState *raw = grid.get();
+    activeGrids_.push_back(std::move(grid));
+    dispatchQueue_.push_back(raw);
+    ++liveGrids_;
+    ++streamLaunches_;
+    return raw->streamTicket;
+}
+
+void
+Gpu::advanceStreams(Cycles stop_at)
+{
+    if (!streamMode_)
+        panic("Gpu::advanceStreams outside stream mode");
+    if (stop_at == ~Cycles(0) && drained())
+        panic("Gpu::advanceStreams: unbounded advance on idle device");
+    const std::size_t seen = streamCompletions_.size();
+    while (now_ < stop_at) {
+        if (drained()) {
+            // Idle gap: host time passes, the device sleeps. Neither
+            // engine loop runs, so no cycles are accounted — exactly
+            // what a per-cycle walk over a grid-free device would do.
+            now_ = stop_at;
+            break;
+        }
+        runUntil(stop_at, true);
+        if (streamCompletions_.size() > seen)
+            break;  // hand fresh completions back to the driver
+    }
+}
+
+std::vector<StreamCompletion>
+Gpu::takeStreamCompletions()
+{
+    // Prune retired stream grids so a long serve session's grid list
+    // stays bounded (fully-dispatched grids already left the queue).
+    std::erase_if(activeGrids_, [](const std::unique_ptr<GridState> &g) {
+        return g->done && g->streamTicket != 0;
+    });
+    std::vector<StreamCompletion> taken;
+    taken.swap(streamCompletions_);
+    return taken;
+}
+
+bool
+Gpu::streamIdle() const
+{
+    return drained() && streamCompletions_.empty();
+}
+
+void
+Gpu::endStreamMode()
+{
+    if (!streamMode_)
+        panic("Gpu::endStreamMode outside stream mode");
+    if (!drained())
+        panic("Gpu::endStreamMode: stream work still in flight");
+    streamMode_ = false;
+    const Cycles window = now_ - streamStartedAt_;
+    stats_.gpuCycles += window;
+    stats_.launches += streamLaunches_;
+    engineCycles_ += window;
+    harvestStats();
+    activeGrids_.clear();
+    noc_.resetState();
 }
 
 void

@@ -75,6 +75,15 @@ struct LaunchResult
     std::uint64_t childGrids = 0;
 };
 
+/** Completion of one stream-enqueued kernel (Gpu::enqueueStream). */
+struct StreamCompletion
+{
+    std::uint64_t ticket = 0;  //!< enqueueStream's return value
+    Cycles doneAt = 0;         //!< Cycle the last CTA retired
+
+    bool operator==(const StreamCompletion &other) const = default;
+};
+
 /**
  * Host-side engine execution counters (accumulated across launches).
  * These describe how the host simulated — not what was simulated — so
@@ -171,6 +180,41 @@ class Gpu
     GridState *enqueueChildGrid(const ChildGrid &child, int parent_core,
                                 int parent_cta_slot, Cycles now);
 
+    // ---- Stream mode (serving front end; docs/SERVING.md) ---------
+    // Instead of one blocking launchTraced() per kernel, a serving
+    // driver opens stream mode, enqueues kernels with explicit ready
+    // times as its host-side pipeline admits them, and advances
+    // simulated time in bounded windows. Kernels from any number of
+    // logical streams share the SM array concurrently (the driver
+    // enforces intra-stream ordering by enqueueing a successor only
+    // after its predecessor's completion is observed).
+    /** Open stream mode. The device must be idle (between launches). */
+    void beginStreamMode();
+    /**
+     * Enqueue a truncated replay of @p kernel — its first @p ctas CTA
+     * traces — that becomes dispatchable at @p ready_at (>= now()).
+     * Returns a ticket that identifies the completion. Must be called
+     * outside advanceStreams (at a host sync point).
+     */
+    std::uint64_t enqueueStream(const KernelTrace &kernel,
+                                std::uint64_t ctas, Cycles ready_at);
+    /**
+     * Advance simulated time to @p stop_at, or just past the cycle a
+     * stream kernel completes, whichever is earlier (the early return
+     * lets the driver enqueue a dependent kernel without inflating the
+     * simulated gap). When the device is idle the clock jumps straight
+     * to @p stop_at. Identical across engines and thread counts.
+     */
+    void advanceStreams(Cycles stop_at);
+    /** Completions recorded since the last call, in completion order.
+     *  Also prunes the retired grids' dispatch state. */
+    std::vector<StreamCompletion> takeStreamCompletions();
+    /** Whether no stream work is queued, running, or unreported. */
+    bool streamIdle() const;
+    /** Close stream mode: the device must be idle; folds the window's
+     *  cycle span and per-launch counters into stats(). */
+    void endStreamMode();
+
   private:
     struct Event
     {
@@ -248,6 +292,9 @@ class Gpu
 
     void schedule(Event event);
     void runUntilDrained();
+    /** Engine-dispatch core shared by runUntilDrained (stop bound ~0)
+     *  and advanceStreams (window stop + stop-on-completion). */
+    void runUntil(Cycles stop_at, bool stop_on_completion);
     void runPerCycle();
     void runEventDriven();
     bool processEvents();
@@ -353,6 +400,20 @@ class Gpu
     std::uint64_t liveGrids_ = 0;
     std::uint64_t childGridsThisLaunch_ = 0;
     bool cdpRuntimeInitialized_ = false;
+
+    // Stream-mode state (valid while streamMode_). The engine loops
+    // honor stopAt_/stopOnCompletion_ in every mode; outside stream
+    // mode they are ~0/false, reproducing run-to-completion exactly.
+    bool streamMode_ = false;
+    Cycles stopAt_ = ~Cycles(0);      //!< Engine window stop (exclusive)
+    bool stopOnCompletion_ = false;   //!< Break after a stream grid ends
+    std::uint64_t streamTicketSeq_ = 0;
+    std::uint64_t streamLaunches_ = 0;  //!< Enqueues this stream session
+    Cycles streamStartedAt_ = 0;        //!< now() at beginStreamMode
+    std::vector<StreamCompletion> streamCompletions_;
+    /** streamCompletions_ size at runUntil entry: the loops break only
+     *  on completions recorded inside the current window. */
+    std::size_t streamBreakBase_ = 0;
 
     Cycles now_ = 0;
     Cycles launchReadyAt_ = 0;

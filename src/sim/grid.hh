@@ -37,6 +37,11 @@ struct GridState
     bool done = false;
     int depth = 0;                //!< CDP nesting depth (0 = host)
 
+    /** Stream-mode serve ticket (Gpu::enqueueStream). 0 for host and
+     *  CDP grids; nonzero grids report their completion through
+     *  Gpu::takeStreamCompletions instead of a blocking launch. */
+    std::uint64_t streamTicket = 0;
+
     /** Parent CTA holding this child grid (resource-release ordering). */
     int parentCore = -1;
     int parentCtaSlot = -1;

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Serving-mode validation: the percentile helpers, the seeded tape
+ * generator, the batcher's policy/timeout semantics, and — the
+ * load-bearing contract — the engine differential: one serving
+ * experiment must render a byte-identical `ggpu.serving.v1` point
+ * under fast-forward ON and OFF and under sim.threads {1, 2, 8}.
+ * Serving drives the Gpu stream-mode API (window-bounded engine runs,
+ * mid-flight resume), which is exactly the code path run-to-completion
+ * tests cannot reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.hh"
+#include "core/json.hh"
+#include "core/trace_store.hh"
+#include "serve/batcher.hh"
+#include "serve/report.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace ggpu;
+
+// ---- Percentile helpers ------------------------------------------
+
+TEST(Percentile, OfSortedNearestRank)
+{
+    const std::vector<std::uint64_t> sorted{10, 20, 30, 40, 50};
+    EXPECT_EQ(percentileOfSorted(sorted, 0.0), 10u);
+    EXPECT_EQ(percentileOfSorted(sorted, 0.5), 30u);
+    EXPECT_EQ(percentileOfSorted(sorted, 0.9), 50u);
+    EXPECT_EQ(percentileOfSorted(sorted, 1.0), 50u);
+    // ceil(0.55 * 5) = 3 -> third element.
+    EXPECT_EQ(percentileOfSorted(sorted, 0.55), 30u);
+    EXPECT_EQ(percentileOfSorted({}, 0.5), 0u);
+    EXPECT_EQ(percentileOfSorted({7}, 0.99), 7u);
+}
+
+TEST(Percentile, MonotoneInP)
+{
+    const std::vector<std::uint64_t> sorted{1, 1, 2, 3, 5, 8, 13, 21};
+    std::uint64_t last = 0;
+    for (double p = 0.0; p <= 1.0; p += 0.05) {
+        const std::uint64_t v = percentileOfSorted(sorted, p);
+        EXPECT_GE(v, last);
+        last = v;
+    }
+}
+
+TEST(Percentile, HistogramNearestRank)
+{
+    Histogram hist(8);
+    hist.add(1, 50);  // keys 1..3, counts 50/30/20
+    hist.add(2, 30);
+    hist.add(3, 20);
+    EXPECT_EQ(hist.percentile(0.0), 1u);
+    EXPECT_EQ(hist.percentile(0.5), 1u);   // rank 50 inside bucket 1
+    EXPECT_EQ(hist.percentile(0.51), 2u);
+    EXPECT_EQ(hist.percentile(0.8), 2u);
+    EXPECT_EQ(hist.percentile(0.81), 3u);
+    EXPECT_EQ(hist.percentile(1.0), 3u);
+    EXPECT_EQ(Histogram(4).percentile(0.5), 0u);
+}
+
+// ---- Tape generator ----------------------------------------------
+
+serve::TapeConfig
+tinyTapeConfig()
+{
+    serve::TapeConfig config;
+    config.requests = 64;
+    config.ratePerSec = 8000.0;
+    config.seed = 1234;
+    config.apps = {"SW", "GL"};
+    config.minReads = 4;
+    config.maxReads = 40;
+    return config;
+}
+
+TEST(RequestTape, DeterministicAndWellFormed)
+{
+    const serve::TapeConfig config = tinyTapeConfig();
+    const serve::RequestTape a = serve::generateTape(config);
+    const serve::RequestTape b = serve::generateTape(config);
+    ASSERT_EQ(a.requests.size(), 64u);
+    Cycles last = 0;
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        const serve::Request &r = a.requests[i];
+        EXPECT_EQ(r.id, i);
+        EXPECT_GE(r.arrival, last);
+        last = r.arrival;
+        EXPECT_LT(r.app, config.apps.size());
+        EXPECT_GE(r.reads, config.minReads);
+        EXPECT_LE(r.reads, config.maxReads);
+        EXPECT_EQ(r.arrival, b.requests[i].arrival);
+        EXPECT_EQ(r.app, b.requests[i].app);
+        EXPECT_EQ(r.reads, b.requests[i].reads);
+    }
+}
+
+TEST(RequestTape, SeedAndProcessChangeTheTape)
+{
+    serve::TapeConfig config = tinyTapeConfig();
+    const serve::RequestTape base = serve::generateTape(config);
+    config.seed = 1235;
+    const serve::RequestTape reseeded = serve::generateTape(config);
+    EXPECT_NE(base.requests.back().arrival,
+              reseeded.requests.back().arrival);
+
+    config.seed = 1234;
+    config.process = serve::ArrivalProcess::Bursty;
+    const serve::RequestTape bursty = serve::generateTape(config);
+    // Same seed: the per-request draws match, only the gaps rescale.
+    EXPECT_EQ(base.requests[0].reads, bursty.requests[0].reads);
+    EXPECT_NE(base.requests.back().arrival,
+              bursty.requests.back().arrival);
+}
+
+// ---- Batcher ------------------------------------------------------
+
+serve::Request
+makeRequest(std::uint64_t id, Cycles at, std::uint32_t app,
+            std::uint32_t reads)
+{
+    serve::Request r;
+    r.id = id;
+    r.arrival = at;
+    r.app = app;
+    r.reads = reads;
+    return r;
+}
+
+TEST(Batcher, FullQueueFlushesAtArrival)
+{
+    serve::BatcherConfig config;
+    config.policy = serve::BatchPolicy::Fifo;
+    config.maxBatch = 4;
+    config.timeout = 1000;
+    serve::Batcher batcher(config, 2);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        batcher.enqueue(makeRequest(i, 10 + i, 0, 8), 10 + i);
+        EXPECT_TRUE(batcher.ready(10 + i).empty());
+    }
+    batcher.enqueue(makeRequest(3, 20, 1, 8), 20);
+    const std::vector<serve::Batch> formed = batcher.ready(20);
+    ASSERT_EQ(formed.size(), 1u);
+    EXPECT_EQ(formed[0].requests.size(), 4u);
+    EXPECT_EQ(formed[0].app, 0u);  // oldest request's template
+    EXPECT_EQ(formed[0].formedAt, 20u);
+    EXPECT_TRUE(batcher.empty());
+}
+
+TEST(Batcher, TimeoutFlushesPartialBatch)
+{
+    serve::BatcherConfig config;
+    config.policy = serve::BatchPolicy::Fifo;
+    config.maxBatch = 8;
+    config.timeout = 100;
+    serve::Batcher batcher(config, 1);
+    batcher.enqueue(makeRequest(0, 50, 0, 8), 50);
+    batcher.enqueue(makeRequest(1, 60, 0, 8), 60);
+    EXPECT_EQ(batcher.nextDeadline(), 150u);
+    EXPECT_TRUE(batcher.ready(149).empty());
+    const std::vector<serve::Batch> formed = batcher.ready(150);
+    ASSERT_EQ(formed.size(), 1u);
+    EXPECT_EQ(formed[0].requests.size(), 2u);
+    EXPECT_EQ(batcher.nextDeadline(), ~Cycles(0));
+}
+
+TEST(Batcher, PerAppQueuesAreIndependent)
+{
+    serve::BatcherConfig config;
+    config.policy = serve::BatchPolicy::PerApp;
+    config.maxBatch = 2;
+    config.timeout = 1000000;
+    serve::Batcher batcher(config, 2);
+    batcher.enqueue(makeRequest(0, 1, 0, 8), 1);
+    batcher.enqueue(makeRequest(1, 2, 1, 8), 2);
+    EXPECT_TRUE(batcher.ready(2).empty());  // both queues half full
+    batcher.enqueue(makeRequest(2, 3, 1, 8), 3);
+    const std::vector<serve::Batch> formed = batcher.ready(3);
+    ASSERT_EQ(formed.size(), 1u);
+    EXPECT_EQ(formed[0].app, 1u);
+    EXPECT_EQ(batcher.pendingRequests(), 1u);
+}
+
+TEST(Batcher, LengthBinsSeparateReadCounts)
+{
+    EXPECT_EQ(serve::lengthBin(1), 0u);
+    EXPECT_EQ(serve::lengthBin(16), 0u);
+    EXPECT_EQ(serve::lengthBin(17), 1u);
+    EXPECT_EQ(serve::lengthBin(32), 1u);
+    EXPECT_EQ(serve::lengthBin(33), 2u);
+
+    serve::BatcherConfig config;
+    config.policy = serve::BatchPolicy::LengthBinned;
+    config.maxBatch = 2;
+    config.timeout = 1000000;
+    serve::Batcher batcher(config, 1);
+    batcher.enqueue(makeRequest(0, 1, 0, 8), 1);   // bin 0
+    batcher.enqueue(makeRequest(1, 2, 0, 40), 2);  // bin 2
+    EXPECT_TRUE(batcher.ready(2).empty());
+    batcher.enqueue(makeRequest(2, 3, 0, 12), 3);  // fills bin 0
+    const std::vector<serve::Batch> formed = batcher.ready(3);
+    ASSERT_EQ(formed.size(), 1u);
+    EXPECT_EQ(formed[0].requests[0].reads, 8u);
+    EXPECT_EQ(formed[0].requests[1].reads, 12u);
+}
+
+// ---- Serving runs -------------------------------------------------
+
+/** Shared store: templates are emitted once for the whole binary. */
+core::TraceStore &
+sharedStore()
+{
+    static core::TraceStore store;
+    return store;
+}
+
+serve::ServeConfig
+tinyServeConfig()
+{
+    serve::ServeConfig config;
+    config.scale = kernels::InputScale::Tiny;
+    config.batcher.policy = serve::BatchPolicy::LengthBinned;
+    config.batcher.maxBatch = 6;
+    config.batcher.timeout = 200000;
+    config.streams = 3;
+    return config;
+}
+
+TEST(Serving, ServesEveryRequestWithSaneTiming)
+{
+    serve::TapeConfig tape_config = tinyTapeConfig();
+    tape_config.process = serve::ArrivalProcess::Bursty;
+    const serve::RequestTape tape = serve::generateTape(tape_config);
+    const serve::ServeConfig config = tinyServeConfig();
+    const serve::ServeResult result =
+        serve::runServing(tape, config, sharedStore());
+
+    EXPECT_EQ(result.requests, tape.requests.size());
+    EXPECT_EQ(result.served, result.requests);
+    EXPECT_EQ(result.reads, tape.totalReads());
+    EXPECT_EQ(result.latencyCycles.size(), result.served);
+    EXPECT_EQ(result.batchOccupancy.total(), result.batches);
+    EXPECT_EQ(result.batchOccupancy.overflow(), 0u);
+    EXPECT_GT(result.batches, 0u);
+    EXPECT_GT(result.makespan, 0u);
+    EXPECT_TRUE(std::is_sorted(result.latencyCycles.begin(),
+                               result.latencyCycles.end()));
+    EXPECT_GT(result.latencyCycles.front(), 0u);
+
+    ASSERT_EQ(result.batchLog.size(), result.batches);
+    for (const serve::BatchRecord &record : result.batchLog) {
+        EXPECT_GE(record.h2dDoneAt, record.formedAt);
+        EXPECT_GT(record.kernelReadyAt, record.h2dDoneAt);
+        EXPECT_GT(record.kernelDoneAt, record.kernelReadyAt);
+        EXPECT_GT(record.d2hDoneAt, record.kernelDoneAt);
+        EXPECT_GE(record.stream, 0);
+        EXPECT_LT(record.stream, config.streams);
+    }
+    // Per-stream kernels never overlap: busy time fits the makespan.
+    for (Cycles busy : result.streamBusy)
+        EXPECT_LE(busy, result.makespan);
+}
+
+/** The acceptance gate: one serving experiment, six engine/lane
+ *  configurations, byte-identical artifact points. */
+TEST(Serving, EngineAndThreadDifferential)
+{
+    serve::TapeConfig tape_config = tinyTapeConfig();
+    tape_config.process = serve::ArrivalProcess::Bursty;
+    const serve::RequestTape tape = serve::generateTape(tape_config);
+
+    std::string reference;
+    sim::SimStats reference_stats;
+    for (const bool fast_forward : {true, false}) {
+        for (const int threads : {1, 2, 8}) {
+            serve::ServeConfig config = tinyServeConfig();
+            config.system.sim.fastForward = fast_forward;
+            config.system.sim.threads = threads;
+            const serve::ServeResult result =
+                serve::runServing(tape, config, sharedStore());
+            const std::string dump =
+                serve::pointToJson("diff", tape, config, result)
+                    .dump();
+            if (reference.empty()) {
+                reference = dump;
+                reference_stats = result.stats;
+                continue;
+            }
+            EXPECT_EQ(dump, reference)
+                << "fast_forward=" << fast_forward
+                << " threads=" << threads;
+            EXPECT_TRUE(result.stats == reference_stats)
+                << "fast_forward=" << fast_forward
+                << " threads=" << threads;
+        }
+    }
+}
+
+TEST(Serving, StreamCountChangesScheduleNotWork)
+{
+    const serve::RequestTape tape =
+        serve::generateTape(tinyTapeConfig());
+    serve::ServeConfig config = tinyServeConfig();
+    config.streams = 1;
+    const serve::ServeResult serial =
+        serve::runServing(tape, config, sharedStore());
+    config.streams = 4;
+    const serve::ServeResult wide =
+        serve::runServing(tape, config, sharedStore());
+    EXPECT_EQ(serial.served, wide.served);
+    EXPECT_EQ(serial.reads, wide.reads);
+    EXPECT_EQ(serial.batches, wide.batches);
+    // More streams never hurt the backlog-bound tail at this load.
+    EXPECT_LE(percentileOfSorted(wide.latencyCycles, 0.99),
+              percentileOfSorted(serial.latencyCycles, 0.99) * 2);
+}
+
+TEST(Serving, ArtifactValidates)
+{
+    const serve::RequestTape tape =
+        serve::generateTape(tinyTapeConfig());
+    const serve::ServeConfig config = tinyServeConfig();
+    const serve::ServeResult result =
+        serve::runServing(tape, config, sharedStore());
+    std::vector<core::json::Value> points;
+    points.push_back(
+        serve::pointToJson("unit", tape, config, result));
+    const core::json::Value doc =
+        serve::buildServingArtifact("tiny", 1, tape.config.seed,
+                                    std::move(points));
+    EXPECT_NO_THROW(
+        serve::validateServingArtifact("unit-test", doc));
+    // Round-trip through the writer's parser (CI validates files).
+    const core::json::Value parsed =
+        core::json::parse(doc.dump());
+    EXPECT_NO_THROW(
+        serve::validateServingArtifact("round-trip", parsed));
+}
+
+} // namespace

@@ -12,7 +12,10 @@ Walks every git-tracked Markdown file and fails (exit 1) on:
     exist;
   * inline-code build-target tokens (`ggpu_*` / `bench_*`, no dots)
     that are not declared by any add_executable/add_library in the
-    repo's CMakeLists.txt files.
+    repo's CMakeLists.txt files;
+  * GGPU_* environment variables referenced as string literals in
+    src/, bench/ or tools/ sources but not documented in
+    docs/CONFIGURATION.md.
 
 Fenced code blocks are ignored entirely; only prose and inline code
 are checked. Run from anywhere inside the repo:
@@ -39,6 +42,9 @@ CMAKE_SET_RE = re.compile(r"set\s*\(\s*[A-Za-z0-9_]+([^)]*)\)",
                           re.DOTALL)
 PATH_PREFIXES = ("src/", "docs/", "tests/", "bench/", "examples/",
                  "tools/")
+ENV_VAR_RE = re.compile(r'"(GGPU_[A-Z0-9_]+)"')
+ENV_SOURCE_DIRS = ("src", "bench", "tools")
+CONFIG_DOC = os.path.join("docs", "CONFIGURATION.md")
 
 
 def repo_root():
@@ -124,6 +130,33 @@ def check_file(root, md, targets, errors):
                         f"'{token}'")
 
 
+def check_env_vars(root, errors):
+    """Every GGPU_* string literal in the sources must appear in
+    docs/CONFIGURATION.md — the configuration reference promises to
+    cover every runtime knob."""
+    out = subprocess.run(["git", "ls-files"] +
+                         [f"{d}/*" for d in ENV_SOURCE_DIRS],
+                         cwd=root, capture_output=True, text=True,
+                         check=True)
+    referenced = {}  # var -> first "file:line" reference
+    for rel in out.stdout.splitlines():
+        if not rel.endswith((".cc", ".hh", ".h", ".py", ".sh")):
+            continue
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            for number, line in enumerate(f, start=1):
+                for var in ENV_VAR_RE.findall(line):
+                    referenced.setdefault(var, f"{rel}:{number}")
+
+    with open(os.path.join(root, CONFIG_DOC), encoding="utf-8") as f:
+        documented = set(re.findall(r"GGPU_[A-Z0-9_]+", f.read()))
+
+    for var in sorted(referenced):
+        if var not in documented:
+            errors.append(
+                f"{referenced[var]}: env var '{var}' is not "
+                f"documented in {CONFIG_DOC}")
+
+
 def main():
     root = repo_root()
     targets = cmake_targets(root)
@@ -138,6 +171,7 @@ def main():
     errors = []
     for md in files:
         check_file(root, md, targets, errors)
+    check_env_vars(root, errors)
 
     if errors:
         for error in errors:
